@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench tables tables-quick examples cover
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+tables:
+	go run ./cmd/benchtab
+
+tables-quick:
+	go run ./cmd/benchtab -quick
+
+examples:
+	@for d in examples/*; do echo "== $$d"; go run ./$$d || exit 1; done
+
+cover:
+	go test -coverprofile=cover.out ./internal/...
+	go tool cover -func=cover.out | tail -1

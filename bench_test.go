@@ -1,0 +1,409 @@
+// Benchmarks regenerating the cost figures of EXPERIMENTS.md: one
+// benchmark per experiment (E1..E8) and ablation (A1..A3), measuring the
+// operation at that experiment's core, plus micro-benchmarks for the
+// cryptographic substrate. Message/crypto *counts* (the other axis of
+// Section 6) are produced by `go run ./cmd/benchtab`.
+package securestore_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"securestore/internal/baseline/masking"
+	"securestore/internal/baseline/pbftsm"
+	"securestore/internal/bench"
+	"securestore/internal/client"
+	"securestore/internal/core"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/fragment"
+	"securestore/internal/gossip"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/simnet"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// benchEnv assembles a connected client against a fresh cluster.
+type benchEnv struct {
+	cluster *core.Cluster
+	client  *client.Client
+}
+
+func newBenchEnv(b *testing.B, n, bb int, group core.GroupSpec) *benchEnv {
+	b.Helper()
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, B: bb, Seed: b.Name(), DisableAuth: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Close)
+	cluster.RegisterGroup(group)
+	cl, err := cluster.NewClient(core.ClientSpec{ID: "bench", Group: group.Name}, group)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return &benchEnv{cluster: cluster, client: cl}
+}
+
+// BenchmarkE1ContextQuorum measures one context write + read cycle
+// (disconnect/connect), the ⌈(n+b+1)/2⌉-quorum operations of Figure 1.
+func BenchmarkE1ContextQuorum(b *testing.B) {
+	env := newBenchEnv(b, 7, 2, core.GroupSpec{Name: "g", Consistency: wire.MRC})
+	ctx := context.Background()
+	if _, err := env.client.Write(ctx, "x", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.client.Disconnect(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.client.Connect(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2DataOpMessages measures single data operations at the b+1
+// write-set / read-quorum sizes of Figure 2.
+func BenchmarkE2DataOpMessages(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		group core.GroupSpec
+	}{
+		{"MRC", core.GroupSpec{Name: "g", Consistency: wire.MRC}},
+		{"CC", core.GroupSpec{Name: "g", Consistency: wire.CC}},
+		{"MultiWriterCC", core.GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: true}},
+	} {
+		b.Run(mode.name+"/Write", func(b *testing.B) {
+			env := newBenchEnv(b, 7, 2, mode.group)
+			ctx := context.Background()
+			val := []byte("benchmark value")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.client.Write(ctx, "x", val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(mode.name+"/Read", func(b *testing.B) {
+			env := newBenchEnv(b, 7, 2, mode.group)
+			ctx := context.Background()
+			if _, err := env.client.Write(ctx, "x", []byte("benchmark value")); err != nil {
+				b.Fatal(err)
+			}
+			env.cluster.Converge()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := env.client.Read(ctx, "x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3CryptoCounts isolates the cryptographic substrate: signing
+// and verifying a data write (the per-operation crypto of Section 6).
+func BenchmarkE3CryptoCounts(b *testing.B) {
+	key := cryptoutil.DeterministicKeyPair("writer", "bench")
+	ring := cryptoutil.NewKeyring()
+	ring.MustRegister(key.ID, key.Public)
+	w := &wire.SignedWrite{Group: "g", Item: "x", Value: make([]byte, 1024)}
+
+	b.Run("Sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.Sign(key, nil)
+		}
+	})
+	w.Sign(key, nil)
+	b.Run("Verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.Verify(ring, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4GossipFreshness measures one anti-entropy round after a
+// fresh write — the dissemination unit cost whose frequency E4 sweeps.
+func BenchmarkE4GossipFreshness(b *testing.B) {
+	env := newBenchEnv(b, 4, 1, core.GroupSpec{Name: "g", Consistency: wire.MRC})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := env.client.Write(ctx, "x", []byte(fmt.Sprintf("%06d", i))); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		gossip.Converge(env.cluster.Engines, 40)
+	}
+}
+
+// BenchmarkE5LatencyComparison measures one write per system on an
+// instant network — the protocol-logic floor under the E5 latency table.
+func BenchmarkE5LatencyComparison(b *testing.B) {
+	ctx := context.Background()
+
+	b.Run("SecureStore", func(b *testing.B) {
+		env := newBenchEnv(b, 4, 1, core.GroupSpec{Name: "g", Consistency: wire.MRC})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := env.client.Write(ctx, "x", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MaskingQuorum", func(b *testing.B) {
+		menv := newMaskingBench(b, 5, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := menv.Write(ctx, "x", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PBFT", func(b *testing.B) {
+		cl := newPBFTBench(b, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cl.Put(ctx, "x", "v"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6MultiWriter measures the 2b+1-server multi-writer read.
+func BenchmarkE6MultiWriter(b *testing.B) {
+	env := newBenchEnv(b, 7, 2, core.GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: true})
+	ctx := context.Background()
+	if _, err := env.client.Write(ctx, "x", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	env.cluster.Converge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.client.Read(ctx, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7FaultTolerance measures reads while b servers serve stale
+// data — the degraded-but-correct path.
+func BenchmarkE7FaultTolerance(b *testing.B) {
+	env := newBenchEnv(b, 7, 2, core.GroupSpec{Name: "g", Consistency: wire.MRC})
+	ctx := context.Background()
+	if _, err := env.client.Write(ctx, "x", []byte("v1")); err != nil {
+		b.Fatal(err)
+	}
+	env.cluster.Converge()
+	if _, err := env.client.Write(ctx, "x", []byte("v2")); err != nil {
+		b.Fatal(err)
+	}
+	env.cluster.Converge()
+	env.cluster.InjectFaults(server.Stale, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.client.Read(ctx, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8ConsistencySpectrum measures a write+read pair per
+// consistency level on one cluster size.
+func BenchmarkE8ConsistencySpectrum(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		group core.GroupSpec
+	}{
+		{"MRC", core.GroupSpec{Name: "g", Consistency: wire.MRC}},
+		{"CC", core.GroupSpec{Name: "g", Consistency: wire.CC}},
+		{"MultiWriterCC", core.GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			env := newBenchEnv(b, 7, 2, mode.group)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.client.Write(ctx, "x", []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := env.client.Read(ctx, "x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA1CausalGating measures server-side write acceptance with the
+// causal-gating check on the hot path.
+func BenchmarkA1CausalGating(b *testing.B) {
+	env := newBenchEnv(b, 4, 1, core.GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: true})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.client.Write(ctx, "x", []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2WriteLog measures multi-writer log maintenance under
+// sustained writes to one item.
+func BenchmarkA2WriteLog(b *testing.B) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: 4, B: 1, Seed: b.Name(), DisableAuth: true, LogDepth: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Close)
+	group := core.GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: true}
+	cluster.RegisterGroup(group)
+	cl, err := cluster.NewClient(core.ClientSpec{ID: "w", Group: "g"}, group)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.Connect(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Write(ctx, "x", []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA3ContextReconstruct measures rebuilding a 16-item context
+// from all servers (the crashed-session path of Section 5.1).
+func BenchmarkA3ContextReconstruct(b *testing.B) {
+	env := newBenchEnv(b, 7, 2, core.GroupSpec{Name: "g", Consistency: wire.CC})
+	ctx := context.Background()
+	items := make([]string, 16)
+	for i := range items {
+		items[i] = fmt.Sprintf("item%02d", i)
+		if _, err := env.client.Write(ctx, items[i], []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.cluster.Converge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.client.ReconstructContext(ctx, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks for the substrates.
+
+func BenchmarkSealOpen(b *testing.B) {
+	key := cryptoutil.DeriveDataKey("pass", "bench")
+	value := make([]byte, 1024)
+	aad := []byte("g/x")
+	b.Run("Seal1KiB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Seal(value, aad, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sealed, err := key.Seal(value, aad, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Open1KiB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.Open(sealed, aad, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFragmentIDA(b *testing.B) {
+	data := make([]byte, 4096)
+	b.Run("Split3of5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fragment.Split(data, 3, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	frags, err := fragment.Split(data, 3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Reconstruct3of5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fragment.Reconstruct(frags[:3]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Table regeneration smoke-benchmark: runs the full quick-mode experiment
+// suite once per iteration so `go test -bench Tables` regenerates every
+// table under the benchmark harness.
+func BenchmarkTablesQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, exp := range bench.All() {
+			if _, err := exp.Run(bench.Options{Quick: true, Seed: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// newMaskingBench assembles a masking-quorum deployment for benchmarks.
+func newMaskingBench(b *testing.B, n, bb int) *masking.Client {
+	b.Helper()
+	ring := cryptoutil.NewKeyring()
+	bus := transport.NewBus(simnet.New(simnet.Instant, 1))
+	m := &metrics.Counters{}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%02d", i)
+		bus.Register(name, masking.NewServer(name, ring, m))
+		names = append(names, name)
+	}
+	key := cryptoutil.DeterministicKeyPair("mb", "bench")
+	ring.MustRegister(key.ID, key.Public)
+	cl, err := masking.NewClient(masking.Config{
+		ID: key.ID, Key: key, Ring: ring, Servers: names, B: bb,
+		Caller: bus.Caller(key.ID, m), Metrics: m, CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// newPBFTBench assembles a PBFT baseline deployment for benchmarks.
+func newPBFTBench(b *testing.B, f int) *pbftsm.Client {
+	b.Helper()
+	bus := transport.NewBus(nil)
+	m := &metrics.Counters{}
+	cluster, err := pbftsm.NewCluster(bus, f, "bench", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cluster.Close)
+	return cluster.NewClusterClient(bus, "bclient", "bench", m)
+}

@@ -1,0 +1,76 @@
+// Command benchtab regenerates every experiment table of EXPERIMENTS.md:
+// the measured reproduction of the paper's Section 6 performance analysis
+// plus the design ablations.
+//
+// Usage:
+//
+//	benchtab                 # run everything (full sweeps)
+//	benchtab -quick          # reduced sweeps, seconds instead of minutes
+//	benchtab -exp e5,e8      # only the named experiments
+//	benchtab -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"securestore/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced sweeps for a fast run")
+		exps  = fs.String("exp", "", "comma-separated experiment ids (default: all)")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		seed  = fs.String("seed", "benchtab", "seed for reproducible runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := bench.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+
+	want := make(map[string]bool)
+	if *exps != "" {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		fmt.Println(table.Format())
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q (try -list)", *exps)
+	}
+	return nil
+}

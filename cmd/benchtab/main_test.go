@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a pipe.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = f
+	runErr := run(args)
+	os.Stdout = old
+	_ = f.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), runErr
+}
+
+func TestListShowsAllExperiments(t *testing.T) {
+	out, err := capture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "a1", "a2", "a3", "a4"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	out, err := capture(t, "-quick", "-exp", "e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "data write") {
+		t.Fatalf("e3 output wrong:\n%s", out)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if _, err := capture(t, "-exp", "nope"); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

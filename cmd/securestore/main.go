@@ -1,0 +1,156 @@
+// Command securestore is the CLI client for a TCP secure-store
+// deployment started with securestored.
+//
+// Usage:
+//
+//	securestore -config demo.json -id alice -group notes put key value
+//	securestore -config demo.json -id alice -group notes get key
+//	securestore -config demo.json -id alice -group notes session
+//
+// put/get run a full connect → operation → disconnect session. "session"
+// opens an interactive loop reading one command per line ("put k v",
+// "get k", "quit"), holding the session context across operations.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"securestore/internal/client"
+	"securestore/internal/deploy"
+	"securestore/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "securestore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in *os.File, out *os.File) error {
+	fs := flag.NewFlagSet("securestore", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to the deployment config (required)")
+		id         = fs.String("id", "", "client principal name (required)")
+		group      = fs.String("group", "", "related item group (required)")
+		timeout    = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || *id == "" || *group == "" {
+		return fmt.Errorf("-config, -id and -group are required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("command required: put|get|session")
+	}
+
+	cfg, err := deploy.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	wire.RegisterGob()
+	cl, err := deploy.BuildClient(cfg, *id, *group)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := cl.Connect(ctx); err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+
+	switch rest[0] {
+	case "put":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: put <item> <value>")
+		}
+		if err := doPut(ctx, cl, out, rest[1], rest[2]); err != nil {
+			return err
+		}
+	case "get":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: get <item>")
+		}
+		if err := doGet(ctx, cl, out, rest[1]); err != nil {
+			return err
+		}
+	case "session":
+		if err := session(cl, in, out, *timeout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown command %q (want put|get|session)", rest[0])
+	}
+
+	if err := cl.Disconnect(ctx); err != nil {
+		return fmt.Errorf("disconnect: %w", err)
+	}
+	return nil
+}
+
+func doPut(ctx context.Context, cl *client.Client, out *os.File, item, value string) error {
+	stamp, err := cl.Write(ctx, item, []byte(value))
+	if err != nil {
+		return fmt.Errorf("put %s: %w", item, err)
+	}
+	fmt.Fprintf(out, "stored %s @ %s\n", item, stamp)
+	return nil
+}
+
+func doGet(ctx context.Context, cl *client.Client, out *os.File, item string) error {
+	value, stamp, err := cl.Read(ctx, item)
+	if err != nil {
+		return fmt.Errorf("get %s: %w", item, err)
+	}
+	fmt.Fprintf(out, "%s @ %s: %s\n", item, stamp, value)
+	return nil
+}
+
+func session(cl *client.Client, in *os.File, out *os.File, timeout time.Duration) error {
+	fmt.Fprintln(out, "session open; commands: put <item> <value> | get <item> | quit")
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		var err error
+		switch fields[0] {
+		case "put":
+			if len(fields) < 3 {
+				err = fmt.Errorf("usage: put <item> <value>")
+			} else {
+				err = doPut(ctx, cl, out, fields[1], strings.Join(fields[2:], " "))
+			}
+		case "get":
+			if len(fields) != 2 {
+				err = fmt.Errorf("usage: get <item>")
+			} else {
+				err = doGet(ctx, cl, out, fields[1])
+			}
+		case "quit", "exit":
+			cancel()
+			return nil
+		default:
+			err = fmt.Errorf("unknown command %q", fields[0])
+		}
+		cancel()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securestore/internal/deploy"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// bootDeployment starts a full in-process TCP deployment and returns the
+// config path.
+func bootDeployment(t *testing.T) string {
+	t.Helper()
+	wire.RegisterGob()
+
+	addrs := make([]string, 4)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		_ = ln.Close()
+	}
+	raw := fmt.Sprintf(`{
+		"seed": "clitest", "b": 1,
+		"servers": {"s00": %q, "s01": %q, "s02": %q, "s03": %q},
+		"groups": [{"name": "notes", "consistency": "MRC"}],
+		"clients": ["alice"],
+		"gossipIntervalMillis": 20
+	}`, addrs[0], addrs[1], addrs[2], addrs[3])
+	path := filepath.Join(t.TempDir(), "deploy.json")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := deploy.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range cfg.ServerNames() {
+		srv, engine, err := deploy.BuildServer(cfg, name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp := transport.NewTCPServer(srv)
+		if _, err := tcp.Serve(cfg.Servers[name]); err != nil {
+			t.Fatal(err)
+		}
+		engine.Start()
+		t.Cleanup(func() {
+			engine.Stop()
+			tcp.Close()
+		})
+	}
+	return path
+}
+
+// runCLI invokes the CLI's run function capturing stdout.
+func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	outPath := filepath.Join(t.TempDir(), "out")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	inPath := filepath.Join(t.TempDir(), "in")
+	if err := os.WriteFile(inPath, []byte(stdin), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	runErr := run(args, in, out)
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), runErr
+}
+
+func TestCLIPutGet(t *testing.T) {
+	config := bootDeployment(t)
+	base := []string{"-config", config, "-id", "alice", "-group", "notes"}
+
+	out, err := runCLI(t, "", append(base, "put", "memo", "hello from the cli")...)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if !strings.Contains(out, "stored memo") {
+		t.Fatalf("put output = %q", out)
+	}
+
+	out, err = runCLI(t, "", append(base, "get", "memo")...)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !strings.Contains(out, "hello from the cli") {
+		t.Fatalf("get output = %q", out)
+	}
+}
+
+func TestCLISession(t *testing.T) {
+	config := bootDeployment(t)
+	base := []string{"-config", config, "-id", "alice", "-group", "notes"}
+
+	script := "put k session-value\nget k\nquit\n"
+	out, err := runCLI(t, script, append(base, "session")...)
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if !strings.Contains(out, "session-value") {
+		t.Fatalf("session output = %q", out)
+	}
+}
+
+func TestCLIValidation(t *testing.T) {
+	if _, err := runCLI(t, "", "put", "a", "b"); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	config := bootDeployment(t)
+	base := []string{"-config", config, "-id", "alice", "-group", "notes"}
+	if _, err := runCLI(t, "", append(base, "frobnicate")...); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if _, err := runCLI(t, "", append(base, "put", "only-item")...); err == nil {
+		t.Fatal("put with missing value accepted")
+	}
+	if _, err := runCLI(t, "", base...); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	// Unknown principal is rejected by the deployment config.
+	bad := []string{"-config", config, "-id", "mallory", "-group", "notes"}
+	if _, err := runCLI(t, "", append(bad, "get", "x")...); err == nil {
+		t.Fatal("unknown principal accepted")
+	}
+}

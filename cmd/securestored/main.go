@@ -1,0 +1,108 @@
+// Command securestored runs one secure-store replica over TCP.
+//
+// A small deployment is described by a JSON config file shared by all
+// replicas and clients:
+//
+//	{
+//	  "seed": "demo",
+//	  "b": 1,
+//	  "servers": {
+//	    "s00": "127.0.0.1:7100",
+//	    "s01": "127.0.0.1:7101",
+//	    "s02": "127.0.0.1:7102",
+//	    "s03": "127.0.0.1:7103"
+//	  },
+//	  "groups": [
+//	    {"name": "notes", "consistency": "MRC", "multiWriter": false}
+//	  ],
+//	  "clients": ["alice", "bob"]
+//	}
+//
+// Keys are derived deterministically from the seed so that independently
+// started processes agree on the key ring — a stand-in for the paper's
+// assumption that public keys are well known. Real deployments would
+// distribute actual public keys instead.
+//
+// Usage:
+//
+//	securestored -config demo.json -name s00
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"securestore/internal/deploy"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "securestored:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("securestored", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to the deployment config (required)")
+		name       = fs.String("name", "", "this replica's name from the config (required)")
+		dataDir    = fs.String("data", "", "directory for durable replica state (empty: in-memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || *name == "" {
+		return fmt.Errorf("-config and -name are required")
+	}
+
+	bound, shutdown, err := startReplica(*configPath, *name, *dataDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("securestored %s listening on %s\n", *name, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	shutdown()
+	fmt.Printf("securestored %s stopped\n", *name)
+	return nil
+}
+
+// startReplica boots one replica process: load config, build the server
+// (recovering durable state when dataDir is set), serve TCP, start
+// gossip. It returns the bound address and a shutdown function.
+func startReplica(configPath, name, dataDir string) (string, func(), error) {
+	cfg, err := deploy.Load(configPath)
+	if err != nil {
+		return "", nil, err
+	}
+	addr, ok := cfg.Servers[name]
+	if !ok {
+		return "", nil, fmt.Errorf("server %q not in config", name)
+	}
+
+	wire.RegisterGob()
+	srv, engine, err := deploy.BuildServer(cfg, name, dataDir)
+	if err != nil {
+		return "", nil, err
+	}
+
+	tcp := transport.NewTCPServer(srv)
+	bound, err := tcp.Serve(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	engine.Start()
+	return bound, func() {
+		engine.Stop()
+		tcp.Close()
+	}, nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"securestore/internal/deploy"
+)
+
+func writeTestConfig(t *testing.T) string {
+	t.Helper()
+	addrs := make([]string, 4)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		_ = ln.Close()
+	}
+	raw := fmt.Sprintf(`{
+		"seed": "daemontest", "b": 1,
+		"servers": {"s00": %q, "s01": %q, "s02": %q, "s03": %q},
+		"groups": [{"name": "notes", "consistency": "MRC"}],
+		"clients": ["alice"],
+		"gossipIntervalMillis": 20
+	}`, addrs[0], addrs[1], addrs[2], addrs[3])
+	path := filepath.Join(t.TempDir(), "deploy.json")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStartReplicaServesAndShutsDown(t *testing.T) {
+	config := writeTestConfig(t)
+	cfg, err := deploy.Load(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shutdowns []func()
+	for _, name := range cfg.ServerNames() {
+		bound, shutdown, err := startReplica(config, name, "")
+		if err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		if bound == "" {
+			t.Fatalf("start %s: empty bound address", name)
+		}
+		shutdowns = append(shutdowns, shutdown)
+	}
+
+	cl, err := deploy.BuildClient(cfg, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if _, err := cl.Write(ctx, "memo", []byte("served by the daemon path")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, _, err := cl.Read(ctx, "memo")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "served by the daemon path" {
+		t.Fatalf("read = %q", got)
+	}
+
+	for _, shutdown := range shutdowns {
+		shutdown()
+	}
+	// After shutdown, calls fail.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel2()
+	cl2, err := deploy.BuildClient(cfg, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Connect(ctx2); err == nil {
+		t.Fatal("connect succeeded after every replica shut down")
+	}
+}
+
+func TestStartReplicaValidation(t *testing.T) {
+	config := writeTestConfig(t)
+	if _, _, err := startReplica(config, "ghost", ""); err == nil {
+		t.Fatal("unknown replica name accepted")
+	}
+	if _, _, err := startReplica(filepath.Join(t.TempDir(), "missing.json"), "s00", ""); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-config", "x"}); err == nil {
+		t.Fatal("missing -name accepted")
+	}
+}

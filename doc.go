@@ -1,0 +1,15 @@
+// Package securestore is a from-scratch Go implementation of the secure
+// store of Lakshmanan, Ahamad and Venkateswaran, "A Secure and Highly
+// Available Distributed Store for Meeting Diverse Data Storage Needs"
+// (DSN 2001): a data repository replicated across n servers of which up
+// to b may be Byzantine, where passive servers hold signed data and
+// clients enforce Monotonic Read or Causal Consistency through per-session
+// contexts.
+//
+// The public entry points live under internal/core (cluster assembly and
+// client minting), internal/client (the protocols) and internal/deploy
+// (TCP deployments); see README.md for a tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the measured reproduction of the
+// paper's performance analysis. The root-level bench_test.go hosts one
+// Go benchmark per experiment.
+package securestore

@@ -1,0 +1,200 @@
+// Community board: the paper's second application class (Section 2) — a
+// single source (a school) disseminates information many families read.
+//
+// Integrity is what matters here: readers must know bulletins really come
+// from the school and see increasingly recent editions (MRC), even while
+// a compromised replica rewrites history. Reader keys are managed with
+// the LKH key-distribution scheme so bulletins can also be confidential
+// to enrolled families, and a family that un-enrolls loses access to
+// future editions.
+//
+//	go run ./examples/communityboard
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"securestore/internal/core"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/keydist"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	cluster, err := core.NewCluster(core.ClusterConfig{N: 7, B: 2, Seed: "board"})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	group := core.GroupSpec{Name: "board", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	// The school manages the reader group's keys with a logical key
+	// hierarchy: O(log n) rekey messages per membership change, and
+	// servers never see any of these keys.
+	lkh, err := keydist.NewManager(3, nil)
+	if err != nil {
+		return err
+	}
+	families := []string{"garcia", "chen", "okafor"}
+	members := make(map[string]*keydist.Member, len(families))
+	for _, f := range families {
+		pers, err := cryptoutil.NewDataKey()
+		if err != nil {
+			return err
+		}
+		members[f] = keydist.NewMember(f, pers, nil)
+		welcome, broadcast, err := lkh.Join(f, pers)
+		if err != nil {
+			return err
+		}
+		members[f].Apply(welcome)
+		for _, other := range families {
+			if other != f {
+				if m, ok := members[other]; ok {
+					m.Apply(broadcast)
+				}
+			}
+		}
+	}
+	groupKey := lkh.GroupKey()
+	fmt.Printf("enrolled %d families; group key established via LKH\n", len(families))
+
+	// The school writes bulletins sealed under the group key.
+	schoolKey := groupKey
+	school, err := cluster.NewClient(core.ClientSpec{
+		ID: "school", Group: "board", DataKey: &schoolKey,
+	}, group)
+	if err != nil {
+		return err
+	}
+	if err := school.Connect(ctx); err != nil {
+		return err
+	}
+	if _, err := school.Write(ctx, "bulletin", []byte("Edition 1: bake sale friday")); err != nil {
+		return err
+	}
+	cluster.Converge()
+
+	// Each family reads with its own client and the LKH-derived key.
+	for _, f := range families {
+		gk, err := members[f].GroupKey()
+		if err != nil {
+			return err
+		}
+		reader, err := cluster.NewClient(core.ClientSpec{
+			ID: f, Group: "board", DataKey: &gk,
+		}, group)
+		if err != nil {
+			return err
+		}
+		if err := reader.Connect(ctx); err != nil {
+			return err
+		}
+		value, _, err := reader.Read(ctx, "bulletin")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s family reads: %s\n", f, value)
+	}
+
+	// Two replicas turn malicious (b=2): one serves stale editions, one
+	// corrupts values. Readers still get the genuine latest edition.
+	if _, err := school.Write(ctx, "bulletin", []byte("Edition 2: bake sale moved to saturday")); err != nil {
+		return err
+	}
+	cluster.Converge()
+	cluster.Servers[0].SetFault(server.Stale)
+	cluster.Servers[1].SetFault(server.CorruptValue)
+	fmt.Println("injected: one stale and one corrupting replica")
+
+	gk, err := members["garcia"].GroupKey()
+	if err != nil {
+		return err
+	}
+	garcia, err := cluster.NewClient(core.ClientSpec{ID: "garcia-2", Group: "board", DataKey: &gk}, group)
+	if err != nil {
+		return err
+	}
+	if err := garcia.Connect(ctx); err != nil {
+		return err
+	}
+	// Read twice: MRC guarantees the second read is never older.
+	v1, s1, err := garcia.Read(ctx, "bulletin")
+	if err != nil {
+		return err
+	}
+	v2, s2, err := garcia.Read(ctx, "bulletin")
+	if err != nil {
+		return err
+	}
+	if s2.Less(s1) {
+		return fmt.Errorf("monotonic reads violated: %s then %s", s1, s2)
+	}
+	fmt.Printf("  garcia reads: %q then %q (never goes backwards)\n", v1, v2)
+
+	// The chen family un-enrolls: LKH rekeys, and their old key no longer
+	// opens editions written after the change.
+	broadcast, err := lkh.Leave("chen")
+	if err != nil {
+		return err
+	}
+	for _, f := range []string{"garcia", "okafor"} {
+		members[f].Apply(broadcast)
+	}
+	// The school rotates its sealing key to the new group key (the paper's
+	// owner key-change procedure) and publishes the next edition.
+	newKey := lkh.GroupKey()
+	school.SetDataKey(&newKey)
+	cluster.HealAll()
+	if _, err := school.Write(ctx, "bulletin", []byte("Edition 3: enrolled families only")); err != nil {
+		return err
+	}
+	cluster.Converge()
+
+	oldChenKey, err := members["chen"].GroupKey() // stale view from before leaving
+	if err != nil {
+		return err
+	}
+	chen, err := cluster.NewClient(core.ClientSpec{ID: "chen-2", Group: "board", DataKey: &oldChenKey}, group)
+	if err != nil {
+		return err
+	}
+	if err := chen.Connect(ctx); err != nil {
+		return err
+	}
+	if _, _, err := chen.Read(ctx, "bulletin"); err == nil {
+		return fmt.Errorf("departed family still reads new editions")
+	}
+	fmt.Println("  chen family (departed) can no longer decrypt new editions")
+
+	gk2, err := members["okafor"].GroupKey()
+	if err != nil {
+		return err
+	}
+	okafor, err := cluster.NewClient(core.ClientSpec{ID: "okafor-2", Group: "board", DataKey: &gk2}, group)
+	if err != nil {
+		return err
+	}
+	if err := okafor.Connect(ctx); err != nil {
+		return err
+	}
+	value, _, err := okafor.Read(ctx, "bulletin")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  okafor family (remaining) reads: %s\n", value)
+	return nil
+}

@@ -1,0 +1,60 @@
+package securestore_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRunCleanly builds and executes every example program as a
+// real subprocess, asserting each exits zero. The examples are the
+// repository's living documentation; this keeps them honest.
+func TestExamplesRunCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example subprocesses in -short mode")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(examples) < 5 {
+		t.Fatalf("found %d examples, want >= 5", len(examples))
+	}
+	binDir := t.TempDir()
+	for _, dir := range examples {
+		dir := dir
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+
+			run := exec.Command(bin)
+			done := make(chan error, 1)
+			var output []byte
+			go func() {
+				out, err := run.CombinedOutput()
+				output = out
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, output)
+				}
+			case <-time.After(2 * time.Minute):
+				_ = run.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if len(output) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module securestore
+
+go 1.22

@@ -1,0 +1,107 @@
+package accessctl
+
+import (
+	"errors"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+)
+
+func newAuthority(t *testing.T) (*Authority, *cryptoutil.Keyring) {
+	t.Helper()
+	key := cryptoutil.DeterministicKeyPair("authority", "s")
+	ring := cryptoutil.NewKeyring()
+	ring.MustRegister(key.ID, key.Public)
+	return NewAuthority(key), ring
+}
+
+func TestIssueVerify(t *testing.T) {
+	auth, ring := newAuthority(t)
+	tok := auth.Issue("alice", "g", ReadWrite, nil)
+	if err := tok.Verify(ring, "alice", "g", ReadWrite, nil); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := tok.Verify(ring, "alice", "g", ReadOnly, nil); err != nil {
+		t.Fatalf("read with rw token: %v", err)
+	}
+}
+
+func TestRightsEnforcement(t *testing.T) {
+	auth, ring := newAuthority(t)
+
+	ro := auth.Issue("alice", "g", ReadOnly, nil)
+	if err := ro.Verify(ring, "alice", "g", WriteOnly, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("write with ro token = %v, want ErrUnauthorized", err)
+	}
+	wo := auth.Issue("alice", "g", WriteOnly, nil)
+	if err := wo.Verify(ring, "alice", "g", ReadOnly, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("read with wo token = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestTokenBinding(t *testing.T) {
+	auth, ring := newAuthority(t)
+	tok := auth.Issue("alice", "g", ReadWrite, nil)
+
+	if err := tok.Verify(ring, "bob", "g", ReadOnly, nil); !errors.Is(err, ErrTokenClient) {
+		t.Fatalf("stolen token = %v, want ErrTokenClient", err)
+	}
+	if err := tok.Verify(ring, "alice", "other", ReadOnly, nil); !errors.Is(err, ErrTokenGroup) {
+		t.Fatalf("cross-group token = %v, want ErrTokenGroup", err)
+	}
+}
+
+func TestForgedTokenRejected(t *testing.T) {
+	_, ring := newAuthority(t)
+	mallory := cryptoutil.DeterministicKeyPair("mallory", "s")
+	ring.MustRegister(mallory.ID, mallory.Public)
+
+	forged := &Token{Issuer: "authority", Client: "mallory", Group: "g", Rights: ReadWrite, Serial: 1}
+	forged.Sig = mallory.Sign(forged.SigningBytes(), nil)
+	if err := forged.Verify(ring, "mallory", "g", ReadWrite, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("forged token = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestTamperedTokenRejected(t *testing.T) {
+	auth, ring := newAuthority(t)
+	tok := auth.Issue("alice", "g", ReadOnly, nil)
+	tok.Rights = ReadWrite // escalate after signing
+	if err := tok.Verify(ring, "alice", "g", WriteOnly, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("tampered token = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestNilToken(t *testing.T) {
+	_, ring := newAuthority(t)
+	var tok *Token
+	if err := tok.Verify(ring, "alice", "g", ReadOnly, nil); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("nil token = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestSerialsIncrease(t *testing.T) {
+	auth, _ := newAuthority(t)
+	a := auth.Issue("alice", "g", ReadOnly, nil)
+	b := auth.Issue("alice", "g", ReadOnly, nil)
+	if b.Serial <= a.Serial {
+		t.Fatalf("serials not increasing: %d then %d", a.Serial, b.Serial)
+	}
+}
+
+func TestRightsHelpers(t *testing.T) {
+	if !ReadOnly.CanRead() || ReadOnly.CanWrite() {
+		t.Fatal("ReadOnly rights wrong")
+	}
+	if WriteOnly.CanRead() || !WriteOnly.CanWrite() {
+		t.Fatal("WriteOnly rights wrong")
+	}
+	if !ReadWrite.CanRead() || !ReadWrite.CanWrite() {
+		t.Fatal("ReadWrite rights wrong")
+	}
+	for _, r := range []Rights{ReadOnly, WriteOnly, ReadWrite, Rights(99)} {
+		if r.String() == "" {
+			t.Fatal("empty rights string")
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package masking implements the strong-consistency Byzantine quorum
+// baseline the paper compares against (Sections 3 and 6): a Phalanx/Fleet
+// style replicated variable where every read and write contacts a quorum
+// of ⌈(n+2b+1)/2⌉ servers, so that any two quorums intersect in at least
+// 2b+1 servers — b+1 of them correct — giving safe semantics without
+// client contexts.
+//
+// Values are signed by their writers; to find the latest valid value, the
+// reading client must verify signatures across the quorum's replies, which
+// is why the paper notes that "the computational overheads of strong
+// consistency quorums include signature verifications that are
+// proportional to the size of the quorums". Multi-writer mode prepends a
+// timestamp-discovery round to each write, doubling its message cost.
+package masking
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// ErrNoValue reports a read of an item no quorum member stores.
+var ErrNoValue = errors.New("masking: no valid value found")
+
+// Entry is one signed (item, value, timestamp) record.
+type Entry struct {
+	Item   string          `json:"item"`
+	Stamp  timestamp.Stamp `json:"stamp"`
+	Value  []byte          `json:"value"`
+	Writer string          `json:"writer"`
+	Sig    []byte          `json:"sig"`
+}
+
+// SigningBytes returns the canonical signed payload.
+func (e *Entry) SigningBytes() []byte {
+	c := struct {
+		Item   string          `json:"item"`
+		Stamp  timestamp.Stamp `json:"stamp"`
+		Digest [32]byte        `json:"digest"`
+		Writer string          `json:"writer"`
+	}{e.Item, e.Stamp, cryptoutil.Digest(e.Value), e.Writer}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("masking: marshal entry: %v", err))
+	}
+	return raw
+}
+
+// Sign signs the entry.
+func (e *Entry) Sign(key cryptoutil.KeyPair, m *metrics.Counters) {
+	e.Writer = key.ID
+	e.Sig = key.Sign(e.SigningBytes(), m)
+}
+
+// Verify checks the entry's signature.
+func (e *Entry) Verify(ring *cryptoutil.Keyring, m *metrics.Counters) error {
+	return ring.Verify(e.Writer, e.SigningBytes(), e.Sig, m)
+}
+
+// Protocol messages.
+type (
+	// ReadReq asks for the server's current entry.
+	ReadReq struct{ Item string }
+	// ReadResp returns it (Has false when absent).
+	ReadResp struct {
+		Has   bool
+		Entry Entry
+	}
+	// TimeReq asks only for the entry's timestamp (multi-writer write
+	// phase one).
+	TimeReq struct{ Item string }
+	// TimeResp returns the timestamp.
+	TimeResp struct {
+		Has   bool
+		Stamp timestamp.Stamp
+	}
+	// WriteReq stores an entry.
+	WriteReq struct{ Entry Entry }
+	// WriteResp acknowledges.
+	WriteResp struct{}
+)
+
+// WireRequest/WireResponse route these through the shared transports.
+func (ReadReq) WireRequest()    {}
+func (TimeReq) WireRequest()    {}
+func (WriteReq) WireRequest()   {}
+func (ReadResp) WireResponse()  {}
+func (TimeResp) WireResponse()  {}
+func (WriteResp) WireResponse() {}
+
+// FaultMode selects replica behaviour.
+type FaultMode int
+
+// Fault modes for the baseline replicas.
+const (
+	Healthy FaultMode = iota + 1
+	Crash
+	Stale
+)
+
+// Server is one baseline replica.
+type Server struct {
+	id      string
+	ring    *cryptoutil.Keyring
+	metrics *metrics.Counters
+
+	mu    sync.Mutex
+	fault FaultMode
+	items map[string]*itemState
+}
+
+type itemState struct {
+	cur   Entry
+	first Entry
+}
+
+var _ transport.Handler = (*Server)(nil)
+
+// NewServer creates a healthy replica.
+func NewServer(id string, ring *cryptoutil.Keyring, m *metrics.Counters) *Server {
+	return &Server{id: id, ring: ring, metrics: m, fault: Healthy, items: make(map[string]*itemState)}
+}
+
+// ID returns the replica name.
+func (s *Server) ID() string { return s.id }
+
+// SetFault switches the replica's behaviour.
+func (s *Server) SetFault(f FaultMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// ServeRequest implements transport.Handler.
+func (s *Server) ServeRequest(_ context.Context, _ string, req wire.Request) (wire.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault == Crash {
+		return nil, errors.New("masking: server crashed")
+	}
+	switch r := req.(type) {
+	case ReadReq:
+		st, ok := s.items[r.Item]
+		if !ok {
+			return ReadResp{}, nil
+		}
+		if s.fault == Stale {
+			return ReadResp{Has: true, Entry: st.first}, nil
+		}
+		return ReadResp{Has: true, Entry: st.cur}, nil
+	case TimeReq:
+		st, ok := s.items[r.Item]
+		if !ok {
+			return TimeResp{}, nil
+		}
+		if s.fault == Stale {
+			return TimeResp{Has: true, Stamp: st.first.Stamp}, nil
+		}
+		return TimeResp{Has: true, Stamp: st.cur.Stamp}, nil
+	case WriteReq:
+		// Servers verify writer signatures before overwriting state.
+		if err := r.Entry.Verify(s.ring, s.metrics); err != nil {
+			return nil, err
+		}
+		if s.fault == Stale {
+			// Acks but ignores the update.
+			return WriteResp{}, nil
+		}
+		st, ok := s.items[r.Entry.Item]
+		if !ok {
+			s.items[r.Entry.Item] = &itemState{cur: r.Entry, first: r.Entry}
+			return WriteResp{}, nil
+		}
+		if st.cur.Stamp.Less(r.Entry.Stamp) {
+			st.cur = r.Entry
+		}
+		return WriteResp{}, nil
+	default:
+		return nil, fmt.Errorf("masking: unknown request %T", req)
+	}
+}
+
+// Config configures a baseline client.
+type Config struct {
+	ID      string
+	Key     cryptoutil.KeyPair
+	Ring    *cryptoutil.Keyring
+	Servers []string
+	B       int
+	Caller  transport.Caller
+	Metrics *metrics.Counters
+	// MultiWriter enables the timestamp-discovery phase before each write.
+	MultiWriter bool
+	// CallTimeout bounds each quorum round (default 2s).
+	CallTimeout time.Duration
+}
+
+// Client reads and writes through masking quorums.
+type Client struct {
+	cfg   Config
+	n     int
+	clock timestamp.Clock
+}
+
+// NewClient validates the configuration.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	n := len(cfg.Servers)
+	if n-cfg.B < quorum.MaskingQuorum(n, cfg.B) {
+		return nil, fmt.Errorf("%w: n=%d b=%d (need n >= 4b+1 for live masking quorums)",
+			quorum.ErrInfeasible, n, cfg.B)
+	}
+	return &Client{cfg: cfg, n: n}, nil
+}
+
+// QuorumSize returns the quorum this client uses per operation.
+func (c *Client) QuorumSize() int { return quorum.MaskingQuorum(c.n, c.cfg.B) }
+
+// Write stores a value. In multi-writer mode it first discovers the
+// highest timestamp at a quorum; otherwise the client's own clock orders
+// its writes.
+func (c *Client) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	q := c.QuorumSize()
+
+	floor := uint64(0)
+	if c.cfg.MultiWriter {
+		replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+			return TimeReq{Item: item}
+		}, q)
+		if err != nil {
+			return timestamp.Stamp{}, fmt.Errorf("masking write (ts phase) %s: %w", item, err)
+		}
+		for _, r := range quorum.Successes(replies) {
+			if tr, ok := r.Resp.(TimeResp); ok && tr.Has && tr.Stamp.Time > floor {
+				floor = tr.Stamp.Time
+			}
+		}
+	}
+
+	entry := Entry{
+		Item:  item,
+		Stamp: timestamp.Stamp{Time: c.clock.Next(floor), Writer: c.cfg.ID},
+		Value: value,
+	}
+	entry.Sign(c.cfg.Key, c.cfg.Metrics)
+
+	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return WriteReq{Entry: entry}
+	}, q); err != nil {
+		return timestamp.Stamp{}, fmt.Errorf("masking write %s: %w", item, err)
+	}
+	return entry.Stamp, nil
+}
+
+// Read returns the latest validly signed value found across a quorum. The
+// client verifies each distinct candidate reply — crypto work proportional
+// to the quorum size, per the paper's comparison.
+func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	q := c.QuorumSize()
+
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return ReadReq{Item: item}
+	}, q)
+	if err != nil {
+		return nil, timestamp.Stamp{}, fmt.Errorf("masking read %s: %w", item, err)
+	}
+
+	var (
+		best    Entry
+		haveAny bool
+	)
+	for _, r := range quorum.Successes(replies) {
+		rr, ok := r.Resp.(ReadResp)
+		if !ok || !rr.Has || rr.Entry.Item != item {
+			continue
+		}
+		if err := rr.Entry.Verify(c.cfg.Ring, c.cfg.Metrics); err != nil {
+			continue
+		}
+		if !haveAny || best.Stamp.Less(rr.Entry.Stamp) {
+			best = rr.Entry
+			haveAny = true
+		}
+	}
+	if !haveAny {
+		return nil, timestamp.Stamp{}, fmt.Errorf("%w: %s", ErrNoValue, item)
+	}
+	return best.Value, best.Stamp, nil
+}

@@ -1,0 +1,204 @@
+package masking
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/transport"
+)
+
+type env struct {
+	servers []*Server
+	client  *Client
+	m       *metrics.Counters
+}
+
+func newEnv(t *testing.T, n, b int, multiWriter bool) *env {
+	t.Helper()
+	ring := cryptoutil.NewKeyring()
+	bus := transport.NewBus(nil)
+	m := &metrics.Counters{}
+	e := &env{m: m}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%02d", i)
+		srv := NewServer(name, ring, m)
+		bus.Register(name, srv)
+		e.servers = append(e.servers, srv)
+		names = append(names, name)
+	}
+	key := cryptoutil.DeterministicKeyPair("client", "s")
+	ring.MustRegister(key.ID, key.Public)
+	cl, err := NewClient(Config{
+		ID: key.ID, Key: key, Ring: ring, Servers: names, B: b,
+		Caller: bus.Caller(key.ID, m), Metrics: m,
+		MultiWriter: multiWriter, CallTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.client = cl
+	return e
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e := newEnv(t, 5, 1, false)
+	ctx := context.Background()
+	if _, err := e.client.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestReadLatestAfterOverwrite(t *testing.T) {
+	e := newEnv(t, 5, 1, false)
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		if _, err := e.client.Write(ctx, "x", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, stamp, err := e.client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || stamp.Time < 3 {
+		t.Fatalf("read = %v @ %v, want latest", got, stamp)
+	}
+}
+
+func TestQuorumSizeMatchesFormula(t *testing.T) {
+	e := newEnv(t, 9, 2, false)
+	want := quorum.MaskingQuorum(9, 2)
+	if got := e.client.QuorumSize(); got != want {
+		t.Fatalf("quorum = %d, want %d", got, want)
+	}
+	// Feasibility: n=4, b=1 is rejected (needs 4b+1 = 5).
+	if _, err := NewClient(Config{ID: "x", Servers: []string{"a", "b", "c", "d"}, B: 1}); err == nil {
+		t.Fatal("accepted n=4 b=1")
+	}
+}
+
+func TestToleratesCrashAndStale(t *testing.T) {
+	e := newEnv(t, 5, 1, false)
+	ctx := context.Background()
+	if _, err := e.client.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.client.Write(ctx, "x", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	e.servers[0].SetFault(Stale)
+	got, _, err := e.client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("read with stale server = %q", got)
+	}
+
+	e.servers[0].SetFault(Healthy)
+	e.servers[1].SetFault(Crash)
+	got, _, err = e.client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("read with crashed server = %q", got)
+	}
+	if _, err := e.client.Write(ctx, "x", []byte("v3")); err != nil {
+		t.Fatalf("write with crashed server: %v", err)
+	}
+}
+
+func TestServerRejectsForgedEntry(t *testing.T) {
+	e := newEnv(t, 5, 1, false)
+	ctx := context.Background()
+	if _, err := e.client.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the stored entry with a modified value directly at a server.
+	bus := transport.NewBus(nil)
+	_ = bus
+	entry := Entry{Item: "x", Value: []byte("forged"), Writer: "client"}
+	if _, err := e.servers[0].ServeRequest(ctx, "anyone", WriteReq{Entry: entry}); err == nil {
+		t.Fatal("unsigned entry accepted")
+	}
+}
+
+func TestReadNoValue(t *testing.T) {
+	e := newEnv(t, 5, 1, false)
+	if _, _, err := e.client.Read(context.Background(), "ghost"); !errors.Is(err, ErrNoValue) {
+		t.Fatalf("err = %v, want ErrNoValue", err)
+	}
+}
+
+func TestMultiWriterTimestampDiscovery(t *testing.T) {
+	// Two independent clients; the second's write must order after the
+	// first's thanks to the timestamp-discovery phase.
+	ring := cryptoutil.NewKeyring()
+	bus := transport.NewBus(nil)
+	m := &metrics.Counters{}
+	names := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("m%02d", i)
+		bus.Register(name, NewServer(name, ring, m))
+		names = append(names, name)
+	}
+	mkClient := func(id string) *Client {
+		key := cryptoutil.DeterministicKeyPair(id, "s")
+		ring.MustRegister(key.ID, key.Public)
+		cl, err := NewClient(Config{
+			ID: key.ID, Key: key, Ring: ring, Servers: names, B: 1,
+			Caller: bus.Caller(key.ID, m), Metrics: m, MultiWriter: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	a, b := mkClient("a"), mkClient("b")
+	ctx := context.Background()
+	if _, err := a.Write(ctx, "x", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(ctx, "x", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("from-b")) {
+		t.Fatalf("read = %q, want from-b (later write wins)", got)
+	}
+}
+
+func TestReadVerifiesPerReply(t *testing.T) {
+	// Crypto cost proportional to quorum size (Section 6 comparison).
+	e := newEnv(t, 5, 1, false)
+	ctx := context.Background()
+	if _, err := e.client.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	e.m.Reset()
+	if _, _, err := e.client.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.m.Verifications(); got < int64(e.client.QuorumSize()) {
+		t.Fatalf("read verifications = %d, want >= quorum size %d", got, e.client.QuorumSize())
+	}
+}

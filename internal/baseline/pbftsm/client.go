@@ -1,0 +1,196 @@
+package pbftsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// ErrTimeout reports that f+1 matching replies did not arrive in time.
+var ErrTimeout = errors.New("pbftsm: timed out waiting for replies")
+
+// ClientConfig configures a state-machine client.
+type ClientConfig struct {
+	ID       string
+	Replicas []string
+	F        int
+	Secret   string
+	Caller   transport.Caller
+	Metrics  *metrics.Counters
+	// Timeout bounds one Invoke (default 5s).
+	Timeout time.Duration
+}
+
+// Client submits operations to the replicated state machine. The client
+// must be registered on the transport under its ID so replicas can deliver
+// Reply messages to it.
+type Client struct {
+	cfg  ClientConfig
+	keys MACKeys
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Reply
+}
+
+var _ transport.Handler = (*Client)(nil)
+
+// NewClient creates a client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Client{
+		cfg:     cfg,
+		keys:    NewMACKeys(cfg.Secret, cfg.ID),
+		pending: make(map[uint64]chan Reply),
+	}
+}
+
+// ID returns the client's principal name.
+func (c *Client) ID() string { return c.cfg.ID }
+
+// ServeRequest collects Reply messages from replicas.
+func (c *Client) ServeRequest(_ context.Context, from string, req wire.Request) (wire.Response, error) {
+	reply, ok := req.(Reply)
+	if !ok {
+		return nil, fmt.Errorf("pbftsm client: unexpected message %T", req)
+	}
+	if reply.From != from {
+		return nil, fmt.Errorf("pbftsm client: reply claims %q, sent by %q", reply.From, from)
+	}
+	if err := c.keys.Check(from, reply.payload(), reply.MAC, c.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[reply.ReqID]
+	c.mu.Unlock()
+	if ok {
+		select {
+		case ch <- reply:
+		default:
+		}
+	}
+	return Ack{}, nil
+}
+
+// Put replicates a write.
+func (c *Client) Put(ctx context.Context, key, value string) error {
+	_, err := c.Invoke(ctx, Op{Kind: "put", Key: key, Value: value})
+	return err
+}
+
+// Get performs a linearizable read through agreement.
+func (c *Client) Get(ctx context.Context, key string) (string, error) {
+	return c.Invoke(ctx, Op{Kind: "get", Key: key})
+}
+
+// Invoke submits one operation and waits for f+1 matching replies.
+func (c *Client) Invoke(ctx context.Context, op Op) (string, error) {
+	c.mu.Lock()
+	c.nextID++
+	reqID := c.nextID
+	// Buffer all replicas' replies so slow repliers never block.
+	ch := make(chan Reply, len(c.cfg.Replicas))
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+	}()
+
+	primary := c.cfg.Replicas[0]
+	req := Request{Client: c.cfg.ID, ReqID: reqID, Op: op}
+	req.MAC = c.keys.Tag(primary, req.payload(), c.cfg.Metrics)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	if _, err := c.cfg.Caller.Call(opCtx, primary, req); err != nil {
+		return "", fmt.Errorf("pbftsm invoke: %w", err)
+	}
+
+	// Wait for f+1 matching replies from distinct replicas.
+	votes := make(map[string]map[string]bool) // result -> replicas
+	for {
+		select {
+		case reply := <-ch:
+			if reply.Client != c.cfg.ID || reply.ReqID != reqID {
+				continue
+			}
+			voters, ok := votes[reply.Result]
+			if !ok {
+				voters = make(map[string]bool)
+				votes[reply.Result] = voters
+			}
+			voters[reply.From] = true
+			if len(voters) >= c.cfg.F+1 {
+				return reply.Result, nil
+			}
+		case <-opCtx.Done():
+			return "", fmt.Errorf("%w: op %v", ErrTimeout, op.Kind)
+		}
+	}
+}
+
+// Cluster bundles a full deployment of the baseline for tests and
+// experiments.
+type Cluster struct {
+	Replicas []*Replica
+	Names    []string
+	F        int
+}
+
+// NewCluster creates 3f+1 replicas registered on the bus under names
+// pbft00..; it returns the cluster for client construction.
+func NewCluster(bus *transport.Bus, f int, secret string, m *metrics.Counters) (*Cluster, error) {
+	n := 3*f + 1
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("pbft%02d", i)
+	}
+	c := &Cluster{Names: names, F: f}
+	for _, name := range names {
+		rep, err := NewReplica(ReplicaConfig{
+			ID:       name,
+			Replicas: names,
+			F:        f,
+			Secret:   secret,
+			Caller:   bus.Caller(name, m),
+			Metrics:  m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Replicas = append(c.Replicas, rep)
+		bus.Register(name, rep)
+	}
+	return c, nil
+}
+
+// NewClusterClient mints a client and registers it on the bus.
+func (c *Cluster) NewClusterClient(bus *transport.Bus, id, secret string, m *metrics.Counters) *Client {
+	cl := NewClient(ClientConfig{
+		ID:       id,
+		Replicas: c.Names,
+		F:        c.F,
+		Secret:   secret,
+		Caller:   bus.Caller(id, m),
+		Metrics:  m,
+	})
+	bus.Register(id, cl)
+	return cl
+}
+
+// Close drains all replicas' asynchronous sends.
+func (c *Cluster) Close() {
+	for _, r := range c.Replicas {
+		r.Close()
+	}
+}

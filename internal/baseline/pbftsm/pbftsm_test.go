@@ -1,0 +1,193 @@
+package pbftsm
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"securestore/internal/metrics"
+	"securestore/internal/transport"
+)
+
+func newTestCluster(t *testing.T, f int) (*Cluster, *transport.Bus, *metrics.Counters) {
+	t.Helper()
+	m := &metrics.Counters{}
+	bus := transport.NewBus(nil)
+	c, err := NewCluster(bus, f, "secret", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, bus, m
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	cl := cluster.NewClusterClient(bus, "client", "secret", m)
+	ctx := context.Background()
+
+	if err := cl.Put(ctx, "k", "v1"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := cl.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got != "v1" {
+		t.Fatalf("get = %q, want v1", got)
+	}
+}
+
+func TestToleratesBackupCrash(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	cl := cluster.NewClusterClient(bus, "client", "secret", m)
+	ctx := context.Background()
+
+	cluster.Replicas[3].SetCrashed(true) // crash one backup (f=1)
+	if err := cl.Put(ctx, "k", "v1"); err != nil {
+		t.Fatalf("put with crashed backup: %v", err)
+	}
+	got, err := cl.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("get with crashed backup: %v", err)
+	}
+	if got != "v1" {
+		t.Fatalf("get = %q, want v1", got)
+	}
+}
+
+func TestSequentialOrdering(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	cl := cluster.NewClusterClient(bus, "client", "secret", m)
+	ctx := context.Background()
+	for _, v := range []string{"a", "b", "c"} {
+		if err := cl.Put(ctx, "k", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "c" {
+		t.Fatalf("get = %q, want c (last write)", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cl := cluster.NewClusterClient(bus, "client"+string(rune('a'+i)), "secret", m)
+		wg.Add(1)
+		go func(cl *Client, v string) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if err := cl.Put(ctx, "k"+v, v); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(cl, string(rune('a'+i)))
+	}
+	wg.Wait()
+	// All replicas must agree on final state.
+	for _, suffix := range []string{"a", "b", "c", "d"} {
+		want := suffix
+		for _, rep := range cluster.Replicas {
+			if got, _ := rep.Get("k" + suffix); got != want {
+				t.Fatalf("replica %s: k%s = %q, want %q", rep.ID(), suffix, got, want)
+			}
+		}
+	}
+}
+
+func TestRejectsBadClientMAC(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	_ = bus
+	primary := cluster.Replicas[0]
+	req := Request{Client: "client", ReqID: 1, Op: Op{Kind: "put", Key: "k", Value: "v"}}
+	// MAC computed with the wrong secret.
+	wrongKeys := NewMACKeys("wrong-secret", "client")
+	req.MAC = wrongKeys.Tag(primary.ID(), req.payload(), m)
+	if _, err := primary.ServeRequest(context.Background(), "client", req); err == nil {
+		t.Fatal("primary accepted a request with a bad MAC")
+	}
+}
+
+func TestBackupRejectsClientRequests(t *testing.T) {
+	cluster, _, m := newTestCluster(t, 1)
+	backup := cluster.Replicas[1]
+	keys := NewMACKeys("secret", "client")
+	req := Request{Client: "client", ReqID: 1, Op: Op{Kind: "put", Key: "k", Value: "v"}}
+	req.MAC = keys.Tag(backup.ID(), req.payload(), m)
+	if _, err := backup.ServeRequest(context.Background(), "client", req); err == nil {
+		t.Fatal("backup accepted a client request (stable view: primary only)")
+	}
+}
+
+func TestRejectsForgedPrePrepare(t *testing.T) {
+	cluster, _, m := newTestCluster(t, 1)
+	backup := cluster.Replicas[1]
+	// A backup (not the primary) tries to order a request.
+	forger := cluster.Replicas[2]
+	keys := NewMACKeys("secret", forger.ID())
+	req := Request{Client: "client", ReqID: 1, Op: Op{Kind: "put", Key: "k", Value: "v"}}
+	pp := PrePrepare{View: 0, Seq: 1, Req: req, From: forger.ID()}
+	pp.MAC = keys.Tag(backup.ID(), pp.payload(), m)
+	if _, err := backup.ServeRequest(context.Background(), forger.ID(), pp); err == nil {
+		t.Fatal("backup accepted a pre-prepare from a non-primary")
+	}
+}
+
+func TestRejectsImpersonatedPrepare(t *testing.T) {
+	cluster, _, m := newTestCluster(t, 1)
+	backup := cluster.Replicas[1]
+	// Replica 2 sends a prepare claiming to be replica 3.
+	keys := NewMACKeys("secret", cluster.Replicas[2].ID())
+	p := Prepare{View: 0, Seq: 1, From: cluster.Replicas[3].ID()}
+	p.MAC = keys.Tag(backup.ID(), p.payload(), m)
+	if _, err := backup.ServeRequest(context.Background(), cluster.Replicas[2].ID(), p); err == nil {
+		t.Fatal("backup accepted a prepare with mismatched sender")
+	}
+}
+
+func TestRetransmissionReturnsCachedReply(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	cl := cluster.NewClusterClient(bus, "client", "secret", m)
+	ctx := context.Background()
+	if err := cl.Put(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Directly retransmit the same (client, reqID) to the primary: the
+	// state machine must not execute it twice.
+	keys := NewMACKeys("secret", "client")
+	primary := cluster.Replicas[0]
+	req := Request{Client: "client", ReqID: 1, Op: Op{Kind: "put", Key: "k", Value: "v1"}}
+	req.MAC = keys.Tag(primary.ID(), req.payload(), m)
+	if _, err := primary.ServeRequest(ctx, "client", req); err != nil {
+		t.Fatalf("retransmission rejected: %v", err)
+	}
+	if err := cl.Put(ctx, "k2", "v2"); err != nil {
+		t.Fatalf("pipeline wedged after retransmission: %v", err)
+	}
+}
+
+func TestLinearizableReadsSeeLatestWrite(t *testing.T) {
+	cluster, bus, m := newTestCluster(t, 1)
+	a := cluster.NewClusterClient(bus, "clienta", "secret", m)
+	b := cluster.NewClusterClient(bus, "clientb", "secret", m)
+	ctx := context.Background()
+	if err := a.Put(ctx, "k", "from-a"); err != nil {
+		t.Fatal(err)
+	}
+	// b's get is ordered through agreement after a's put: it must see it.
+	got, err := b.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "from-a" {
+		t.Fatalf("get = %q, want from-a (linearizability)", got)
+	}
+}

@@ -1,0 +1,348 @@
+package pbftsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// ErrCrashed is returned by a crashed replica.
+var ErrCrashed = errors.New("pbftsm: replica crashed")
+
+// ReplicaConfig configures one replica.
+type ReplicaConfig struct {
+	// ID is this replica's name; Replicas lists all replica names in a
+	// fixed order shared by every party. The primary is Replicas[0]
+	// (stable view 0).
+	ID       string
+	Replicas []string
+	// F is the fault bound; len(Replicas) must be 3F+1.
+	F int
+	// Secret seeds the pairwise MAC keys.
+	Secret string
+	// Caller sends protocol messages to peers and clients.
+	Caller transport.Caller
+	// Metrics receives MAC-operation counts.
+	Metrics *metrics.Counters
+	// SendTimeout bounds each peer send (default 2s).
+	SendTimeout time.Duration
+}
+
+// slot tracks agreement for one sequence number.
+type slot struct {
+	req         Request
+	hasReq      bool
+	digest      [32]byte
+	preprepared bool
+	prepares    map[string]bool
+	commits     map[string]bool
+	committed   bool
+	executed    bool
+}
+
+// Replica is one state-machine replica.
+type Replica struct {
+	cfg  ReplicaConfig
+	keys MACKeys
+
+	mu       sync.Mutex
+	crashed  bool
+	nextSeq  uint64 // primary only
+	lastExec uint64
+	slots    map[uint64]*slot
+	kv       map[string]string
+	// lastReply deduplicates retransmitted client requests.
+	lastReply map[string]Reply
+
+	// sendMu gates new asynchronous sends against Close: senders hold the
+	// read side while registering with wg; Close takes the write side to
+	// flip closed before waiting, so wg.Add can never race wg.Wait.
+	sendMu sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Handler = (*Replica)(nil)
+
+// NewReplica creates a replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if len(cfg.Replicas) != 3*cfg.F+1 {
+		return nil, fmt.Errorf("pbftsm: need 3f+1=%d replicas, have %d", 3*cfg.F+1, len(cfg.Replicas))
+	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = 2 * time.Second
+	}
+	return &Replica{
+		cfg:       cfg,
+		keys:      NewMACKeys(cfg.Secret, cfg.ID),
+		slots:     make(map[uint64]*slot),
+		kv:        make(map[string]string),
+		lastReply: make(map[string]Reply),
+	}, nil
+}
+
+// ID returns the replica name.
+func (r *Replica) ID() string { return r.cfg.ID }
+
+// IsPrimary reports whether this replica is the view-0 primary.
+func (r *Replica) IsPrimary() bool { return r.cfg.ID == r.cfg.Replicas[0] }
+
+// SetCrashed switches the replica into (or out of) crash failure.
+func (r *Replica) SetCrashed(crashed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.crashed = crashed
+}
+
+// Close stops new asynchronous sends and waits for in-flight ones to
+// drain. Safe to call multiple times.
+func (r *Replica) Close() {
+	r.sendMu.Lock()
+	r.closed = true
+	r.sendMu.Unlock()
+	r.wg.Wait()
+}
+
+// Get reads the replica's executed state (test instrumentation).
+func (r *Replica) Get(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.kv[key]
+	return v, ok
+}
+
+// ServeRequest implements transport.Handler, dispatching protocol
+// messages. Outgoing multicasts are computed under the lock but sent
+// asynchronously to keep the agreement pipeline concurrent.
+func (r *Replica) ServeRequest(_ context.Context, from string, req wire.Request) (wire.Response, error) {
+	r.mu.Lock()
+	if r.crashed {
+		r.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	var outs []outMsg
+	var err error
+	switch msg := req.(type) {
+	case Request:
+		outs, err = r.handleRequestLocked(from, msg)
+	case PrePrepare:
+		outs, err = r.handlePrePrepareLocked(from, msg)
+	case Prepare:
+		outs, err = r.handlePrepareLocked(from, msg)
+	case Commit:
+		outs, err = r.handleCommitLocked(from, msg)
+	default:
+		err = fmt.Errorf("pbftsm: unknown message %T", req)
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	r.send(outs)
+	return Ack{}, nil
+}
+
+type outMsg struct {
+	to  string
+	msg wire.Request
+}
+
+// send dispatches asynchronous protocol messages. Sends started after
+// Close are dropped.
+func (r *Replica) send(outs []outMsg) {
+	r.sendMu.RLock()
+	if r.closed {
+		r.sendMu.RUnlock()
+		return
+	}
+	r.wg.Add(len(outs))
+	r.sendMu.RUnlock()
+
+	for _, o := range outs {
+		go func(o outMsg) {
+			defer r.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.SendTimeout)
+			defer cancel()
+			_, _ = r.cfg.Caller.Call(ctx, o.to, o.msg) // best effort, like UDP PBFT
+		}(o)
+	}
+}
+
+// handleRequestLocked processes a client request at the primary: assign
+// the next sequence number and multicast a pre-prepare.
+func (r *Replica) handleRequestLocked(from string, req Request) ([]outMsg, error) {
+	if err := r.keys.Check(req.Client, req.payload(), req.MAC, r.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	if from != req.Client {
+		return nil, fmt.Errorf("pbftsm: request for client %q from %q", req.Client, from)
+	}
+	if !r.IsPrimary() {
+		// Stable view: backups do not relay. The client is expected to
+		// contact the primary.
+		return nil, errors.New("pbftsm: not the primary")
+	}
+	if last, ok := r.lastReply[req.Client]; ok && last.ReqID == req.ReqID {
+		// Retransmission of an executed request: resend the reply.
+		return []outMsg{{to: req.Client, msg: last}}, nil
+	}
+
+	r.nextSeq++
+	seq := r.nextSeq
+	sl := r.slotFor(seq)
+	sl.req = req
+	sl.hasReq = true
+	sl.digest = requestDigest(req)
+	sl.preprepared = true
+	sl.prepares[r.cfg.ID] = true
+
+	var outs []outMsg
+	for _, peer := range r.cfg.Replicas {
+		if peer == r.cfg.ID {
+			continue
+		}
+		pp := PrePrepare{View: 0, Seq: seq, Req: req, From: r.cfg.ID}
+		pp.MAC = r.keys.Tag(peer, pp.payload(), r.cfg.Metrics)
+		outs = append(outs, outMsg{to: peer, msg: pp})
+	}
+	return outs, nil
+}
+
+// handlePrePrepareLocked accepts the primary's ordering and multicasts a
+// prepare.
+func (r *Replica) handlePrePrepareLocked(from string, pp PrePrepare) ([]outMsg, error) {
+	if from != r.cfg.Replicas[0] || pp.From != from {
+		return nil, fmt.Errorf("pbftsm: pre-prepare from non-primary %q", from)
+	}
+	if err := r.keys.Check(from, pp.payload(), pp.MAC, r.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	sl := r.slotFor(pp.Seq)
+	if sl.preprepared && sl.digest != requestDigest(pp.Req) {
+		return nil, fmt.Errorf("pbftsm: conflicting pre-prepare for seq %d", pp.Seq)
+	}
+	sl.req = pp.Req
+	sl.hasReq = true
+	sl.digest = requestDigest(pp.Req)
+	sl.preprepared = true
+	sl.prepares[r.cfg.ID] = true
+	// The pre-prepare doubles as the primary's prepare (as in PBFT), so
+	// agreement needs only 2f further prepares.
+	sl.prepares[from] = true
+
+	var outs []outMsg
+	for _, peer := range r.cfg.Replicas {
+		if peer == r.cfg.ID {
+			continue
+		}
+		p := Prepare{View: 0, Seq: pp.Seq, Digest: sl.digest, From: r.cfg.ID}
+		p.MAC = r.keys.Tag(peer, p.payload(), r.cfg.Metrics)
+		outs = append(outs, outMsg{to: peer, msg: p})
+	}
+	outs = append(outs, r.maybeCommitLocked(pp.Seq)...)
+	return outs, nil
+}
+
+// handlePrepareLocked records a prepare; at 2f+1 total (incl. own) the
+// replica is prepared and multicasts a commit.
+func (r *Replica) handlePrepareLocked(from string, p Prepare) ([]outMsg, error) {
+	if p.From != from {
+		return nil, fmt.Errorf("pbftsm: prepare claims %q, sent by %q", p.From, from)
+	}
+	if err := r.keys.Check(from, p.payload(), p.MAC, r.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	sl := r.slotFor(p.Seq)
+	if sl.preprepared && sl.digest != p.Digest {
+		return nil, fmt.Errorf("pbftsm: prepare digest mismatch at seq %d", p.Seq)
+	}
+	sl.prepares[from] = true
+	return r.maybeCommitLocked(p.Seq), nil
+}
+
+// maybeCommitLocked multicasts a commit once the slot is prepared.
+func (r *Replica) maybeCommitLocked(seq uint64) []outMsg {
+	sl := r.slotFor(seq)
+	if !sl.preprepared || sl.committed || len(sl.prepares) < 2*r.cfg.F+1 {
+		return nil
+	}
+	sl.committed = true
+	sl.commits[r.cfg.ID] = true
+
+	var outs []outMsg
+	for _, peer := range r.cfg.Replicas {
+		if peer == r.cfg.ID {
+			continue
+		}
+		cm := Commit{View: 0, Seq: seq, Digest: sl.digest, From: r.cfg.ID}
+		cm.MAC = r.keys.Tag(peer, cm.payload(), r.cfg.Metrics)
+		outs = append(outs, outMsg{to: peer, msg: cm})
+	}
+	outs = append(outs, r.maybeExecuteLocked()...)
+	return outs
+}
+
+// handleCommitLocked records a commit; at 2f+1 the operation is
+// committed-local and executed in sequence order.
+func (r *Replica) handleCommitLocked(from string, cm Commit) ([]outMsg, error) {
+	if cm.From != from {
+		return nil, fmt.Errorf("pbftsm: commit claims %q, sent by %q", cm.From, from)
+	}
+	if err := r.keys.Check(from, cm.payload(), cm.MAC, r.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	sl := r.slotFor(cm.Seq)
+	if sl.preprepared && sl.digest != cm.Digest {
+		return nil, fmt.Errorf("pbftsm: commit digest mismatch at seq %d", cm.Seq)
+	}
+	sl.commits[from] = true
+	return r.maybeExecuteLocked(), nil
+}
+
+// maybeExecuteLocked executes committed slots in order and emits replies.
+func (r *Replica) maybeExecuteLocked() []outMsg {
+	var outs []outMsg
+	for {
+		seq := r.lastExec + 1
+		sl, ok := r.slots[seq]
+		if !ok || !sl.hasReq || !sl.committed || len(sl.commits) < 2*r.cfg.F+1 || sl.executed {
+			return outs
+		}
+		sl.executed = true
+		r.lastExec = seq
+
+		result := r.applyLocked(sl.req.Op)
+		reply := Reply{View: 0, ReqID: sl.req.ReqID, Client: sl.req.Client, Result: result, From: r.cfg.ID}
+		reply.MAC = r.keys.Tag(sl.req.Client, reply.payload(), r.cfg.Metrics)
+		r.lastReply[sl.req.Client] = reply
+		outs = append(outs, outMsg{to: sl.req.Client, msg: reply})
+	}
+}
+
+// applyLocked executes one operation on the key-value state machine.
+func (r *Replica) applyLocked(op Op) string {
+	switch op.Kind {
+	case "put":
+		r.kv[op.Key] = op.Value
+		return "ok"
+	case "get":
+		return r.kv[op.Key]
+	default:
+		return "error: unknown op " + op.Kind
+	}
+}
+
+func (r *Replica) slotFor(seq uint64) *slot {
+	sl, ok := r.slots[seq]
+	if !ok {
+		sl = &slot{prepares: make(map[string]bool), commits: make(map[string]bool)}
+		r.slots[seq] = sl
+	}
+	return sl
+}

@@ -1,0 +1,538 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/core"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/gossip"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/server"
+	"securestore/internal/simnet"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// A1CausalGating demonstrates why Section 5.3 makes servers withhold
+// writes until their causal predecessors arrive. A malicious client
+// writes a value whose context claims a spuriously high timestamp for a
+// related item; any reader that accepts the write poisons its own context
+// and can never read the related item again (the paper's "easy denial of
+// service attack"). With gating on, honest servers never report the
+// poisoned write and the reader is unaffected.
+func A1CausalGating(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "A1",
+		Title: "causal gating vs the spurious-context DoS attack (n=4, b=1, multi-writer CC)",
+		Header: []string{"causal gating", "doc read returns", "dep read after doc read",
+			"reader context poisoned"},
+		Notes: []string{
+			"attack: malicious client writes doc with context naming dep@10^9, a write that does not exist",
+		},
+	}
+	ctx := context.Background()
+
+	for _, gating := range []bool{true, false} {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: 4, B: 1, Seed: opts.seed(), DisableCausalGating: !gating,
+		})
+		if err != nil {
+			return nil, err
+		}
+		group := core.GroupSpec{Name: "shared", Consistency: wire.CC, MultiWriter: true}
+		cluster.RegisterGroup(group)
+
+		honest, err := cluster.NewClient(core.ClientSpec{ID: "honest", Group: "shared"}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		reader, err := cluster.NewClient(core.ClientSpec{ID: "reader", Group: "shared",
+			CallTimeout: time.Second, ReadRetries: 1, RetryBackoff: 5 * time.Millisecond}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := honest.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := reader.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+
+		// Honest state: dep and doc exist everywhere.
+		if _, err := honest.Write(ctx, "dep", []byte("dep-ok")); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if _, err := honest.Write(ctx, "doc", []byte("doc-ok")); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		cluster.Converge()
+
+		// The attack: a validly signed write whose context lies about dep.
+		attacker := cryptoutil.DeterministicKeyPair("attacker", opts.seed())
+		if err := cluster.Ring.Register(attacker.ID, attacker.Public); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		var tok *accessctl.Token
+		if cluster.Authority != nil {
+			tok = cluster.Authority.Issue(attacker.ID, "shared", accessctl.ReadWrite, nil)
+		}
+		evil := []byte("doc-evil")
+		evilWrite := &wire.SignedWrite{
+			Group: "shared",
+			Item:  "doc",
+			Stamp: timestamp.Stamp{Time: 50, Writer: attacker.ID, Digest: cryptoutil.Digest(evil)},
+			WriterCtx: map[string]timestamp.Stamp{
+				"doc": {Time: 50, Writer: attacker.ID, Digest: cryptoutil.Digest(evil)},
+				"dep": {Time: 1_000_000_000, Writer: attacker.ID},
+			},
+			Value: evil,
+		}
+		evilWrite.Sign(attacker, nil)
+		caller := cluster.Bus.Caller(attacker.ID, nil)
+		for _, srv := range cluster.ServerNames {
+			_, _ = caller.Call(ctx, srv, wire.WriteReq{Write: evilWrite, Token: tok})
+		}
+
+		docVal := "error"
+		if v, _, err := reader.Read(ctx, "doc"); err == nil {
+			docVal = string(v)
+		}
+		depResult := "ok"
+		if _, _, err := reader.Read(ctx, "dep"); err != nil {
+			depResult = "FAILS (DoS)"
+		}
+		poisoned := reader.Context().Get("dep").Time >= 1_000_000_000
+		cluster.Close()
+
+		t.AddRow(fmt.Sprint(gating), docVal, depResult, fmt.Sprint(poisoned))
+	}
+	return t, nil
+}
+
+// A2WriteLog demonstrates the Section 5.3 write log: "a value being
+// over-written is still available while the new value is being
+// disseminated to at least b+1 non-malicious servers". With a deep enough
+// log, a reader facing a stale-lying server and an under-disseminated new
+// value can still assemble b+1 matching reports for the previous value;
+// with depth 1 the previous value is evicted and the read fails.
+func A2WriteLog(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "A2",
+		Title:  "multi-writer write-log depth vs overwrite availability (n=4, b=1)",
+		Header: []string{"log depth", "read outcome", "value returned"},
+		Notes: []string{
+			"scenario: v_old everywhere; one stale server lies with the initial value; v_new hand-delivered to one server only",
+			"the reader's 2b+1 quorum must find b+1 matches; only the log preserves v_old at the v_new holder",
+		},
+	}
+	ctx := context.Background()
+
+	for _, depth := range []int{1, 2, 4} {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: 4, B: 1, Seed: opts.seed(), LogDepth: depth,
+		})
+		if err != nil {
+			return nil, err
+		}
+		group := core.GroupSpec{Name: "shared", Consistency: wire.CC, MultiWriter: true}
+		cluster.RegisterGroup(group)
+
+		writer, err := cluster.NewClient(core.ClientSpec{ID: "writer", Group: "shared"}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		reader, err := cluster.NewClient(core.ClientSpec{ID: "reader", Group: "shared",
+			CallTimeout: time.Second, ReadRetries: 1, RetryBackoff: 5 * time.Millisecond}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := writer.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := reader.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+
+		// v0 then v_old, both converged; the stale server will lie with v0.
+		if _, err := writer.Write(ctx, "x", []byte("v0")); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		cluster.Converge()
+		if _, err := writer.Write(ctx, "x", []byte("v_old")); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		cluster.Converge()
+		cluster.InjectFaults(server.Stale, 1) // s00 now serves v0 and drops updates
+
+		// Hand-deliver v_new to exactly one healthy server (s01), modelling
+		// a write caught mid-dissemination.
+		wkey := cryptoutil.DeterministicKeyPair("writer", opts.seed())
+		var tok *accessctl.Token
+		if cluster.Authority != nil {
+			tok = cluster.Authority.Issue("writer", "shared", accessctl.ReadWrite, nil)
+		}
+		vNew := []byte("v_new")
+		newWrite := &wire.SignedWrite{
+			Group: "shared",
+			Item:  "x",
+			Stamp: timestamp.Stamp{Time: 100, Writer: "writer", Digest: cryptoutil.Digest(vNew)},
+			WriterCtx: map[string]timestamp.Stamp{
+				"x": {Time: 100, Writer: "writer", Digest: cryptoutil.Digest(vNew)},
+			},
+			Value: vNew,
+		}
+		newWrite.Sign(wkey, nil)
+		caller := cluster.Bus.Caller("writer", nil)
+		if _, err := caller.Call(ctx, cluster.ServerNames[1], wire.WriteReq{Write: newWrite, Token: tok}); err != nil {
+			cluster.Close()
+			return nil, fmt.Errorf("A2 hand-delivery: %w", err)
+		}
+
+		// Reader queries its 2b+1 = 3 first servers: s00 (stale: v0),
+		// s01 (v_new + log), s02 (v_old).
+		outcome := "ok"
+		val := ""
+		if v, _, err := reader.Read(ctx, "x"); err != nil {
+			outcome = "FAILS (no b+1 match)"
+		} else {
+			val = string(v)
+		}
+		cluster.Close()
+		t.AddRow(depth, outcome, val)
+	}
+	return t, nil
+}
+
+// A3ContextReconstruct quantifies Section 5.1's trade-off: storing the
+// context in the secure store makes session start cheap
+// (2·⌈(n+b+1)/2⌉ messages regardless of group size), while reconstruction
+// after a crashed session reads every item from every server.
+func A3ContextReconstruct(opts Options) (*Table, error) {
+	n, b := 7, 2
+	t := &Table{
+		ID:    "A3",
+		Title: fmt.Sprintf("context acquisition vs reconstruction cost (n=%d, b=%d)", n, b),
+		Header: []string{"group items", "connect msgs", "connect ms",
+			"reconstruct msgs", "reconstruct ms"},
+	}
+	ctx := context.Background()
+	sizes := pick(opts, []int{4, 16, 48}, []int{4, 8})
+
+	for _, size := range sizes {
+		env, err := newStoreEnv(n, b, simnet.LAN, ccGroup(), "alice", opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		items := make([]string, size)
+		for i := range items {
+			items[i] = fmt.Sprintf("item%03d", i)
+			if _, err := env.Client.Write(ctx, items[i], []byte("v")); err != nil {
+				env.Close()
+				return nil, err
+			}
+		}
+		env.Cluster.Converge()
+		if err := env.Client.Disconnect(ctx); err != nil {
+			env.Close()
+			return nil, err
+		}
+
+		env.M.Reset()
+		start := time.Now()
+		if err := env.Client.Connect(ctx); err != nil {
+			env.Close()
+			return nil, err
+		}
+		connectTime := time.Since(start)
+		connectMsgs := env.M.MessagesSent()
+
+		env.M.Reset()
+		start = time.Now()
+		if err := env.Client.ReconstructContext(ctx, items); err != nil {
+			env.Close()
+			return nil, err
+		}
+		reconTime := time.Since(start)
+		reconMsgs := env.M.MessagesSent()
+		env.Close()
+
+		t.AddRow(size, connectMsgs, msPerOp(connectTime, 1), reconMsgs, msPerOp(reconTime, 1))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("connect formula: 2*ceil((n+b+1)/2) = %d msgs independent of group size", 2*quorum.ContextQuorum(n, b)),
+		"reconstruct formula: items * (up to 2n) msgs — grows linearly with the group")
+	return t, nil
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Options) (*Table, error)
+}
+
+// All returns every experiment and ablation in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"e1", "context quorum sizes and message costs", E1ContextQuorum},
+		{"e2", "data operation message costs", E2DataOpMessages},
+		{"e3", "cryptographic operation counts", E3CryptoCounts},
+		{"e4", "gossip frequency vs read freshness", E4GossipFreshness},
+		{"e5", "latency comparison across systems", E5LatencyComparison},
+		{"e6", "multi-writer protocol overhead", E6MultiWriter},
+		{"e7", "fault tolerance and safety", E7FaultTolerance},
+		{"e8", "cost vs consistency spectrum", E8ConsistencySpectrum},
+		{"a1", "ablation: causal gating", A1CausalGating},
+		{"a2", "ablation: write-log depth", A2WriteLog},
+		{"a3", "ablation: context reconstruction", A3ContextReconstruct},
+		{"a4", "ablation: eager single-round reads", A4EagerRead},
+		{"a5", "ablation: gossip modes (push/pull/push-pull)", A5GossipModes},
+		{"a6", "ablation: write-ahead-log durability cost", A6Persistence},
+	}
+}
+
+// A4EagerRead quantifies the single-round read optimization (an
+// engineering extension beyond the paper): fetching values directly from
+// b+1 servers halves read latency but moves b+1 value copies and verifies
+// up to b+1 signatures instead of one.
+func A4EagerRead(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "A4",
+		Title:  "two-phase read (paper, Figure 2) vs eager single-round read (n=4, b=1)",
+		Header: []string{"read protocol", "network", "read ms", "read msgs", "client verifies/read"},
+		Notes: []string{
+			"eager reads trade bandwidth (b+1 value copies) and verifications for one round trip",
+		},
+	}
+	ctx := context.Background()
+	ops := pick(opts, 8, 3)
+
+	for _, prof := range []struct {
+		name string
+		p    simnet.Profile
+	}{{"LAN", simnet.LAN}, {"WAN", simnet.WAN}} {
+		for _, eager := range []bool{false, true} {
+			cluster, err := core.NewCluster(core.ClusterConfig{
+				N: 4, B: 1, Seed: opts.seed(), NetProfile: prof.p, DisableAuth: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			group := core.GroupSpec{Name: "g", Consistency: wire.MRC}
+			cluster.RegisterGroup(group)
+			m := &metrics.Counters{}
+			cl, err := cluster.NewClient(core.ClientSpec{
+				ID: "alice", Group: "g", Metrics: m, EagerRead: eager,
+				CallTimeout: 2 * time.Second,
+			}, group)
+			if err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			if err := cl.Connect(ctx); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			if _, err := cl.Write(ctx, "x", []byte("value")); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			cluster.Converge()
+
+			m.Reset()
+			var total time.Duration
+			for i := 0; i < ops; i++ {
+				start := time.Now()
+				if _, _, err := cl.Read(ctx, "x"); err != nil {
+					cluster.Close()
+					return nil, err
+				}
+				total += time.Since(start)
+			}
+			msgs, verifies := m.MessagesSent(), m.Verifications()
+			cluster.Close()
+
+			mode := "two-phase (paper)"
+			if eager {
+				mode = "eager single-round"
+			}
+			t.AddRow(mode, prof.name, msPerOp(total, ops), perOp(msgs, ops), perOp(verifies, ops))
+		}
+	}
+	return t, nil
+}
+
+// A5GossipModes compares the three anti-entropy directions (epidemic
+// replication, the paper's ref [7]): rounds until a single write reaches
+// every replica, and the network messages spent, as the cluster grows.
+// Push floods fresh writes fastest; pull costs a request per round even
+// when idle but lets lagging replicas drive their own recovery; push-pull
+// converges fastest at the highest message cost.
+func A5GossipModes(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "A5",
+		Title:  "gossip mode vs convergence (fanout 1, one fresh write)",
+		Header: []string{"n", "mode", "rounds to converge", "network msgs"},
+		Notes: []string{
+			"rounds: full sweeps (every engine fires once per sweep) until all replicas hold the write",
+			"msgs: simulated-network messages during convergence, including empty pull probes",
+		},
+	}
+	ctx := context.Background()
+	sizes := pick(opts, []int{4, 7, 13}, []int{4})
+
+	for _, n := range sizes {
+		for _, mode := range []gossip.Mode{gossip.Push, gossip.Pull, gossip.PushPull} {
+			cluster, err := core.NewCluster(core.ClusterConfig{
+				N: n, B: 1, Seed: opts.seed(), DisableAuth: true,
+				GossipMode: mode, GossipFanout: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			group := core.GroupSpec{Name: "g", Consistency: wire.MRC}
+			cluster.RegisterGroup(group)
+			cl, err := cluster.NewClient(core.ClientSpec{ID: "w", Group: "g"}, group)
+			if err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			if err := cl.Connect(ctx); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			if _, err := cl.Write(ctx, "x", []byte("v")); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+			cluster.Net.ResetStats()
+
+			rounds := 0
+			for ; rounds < 20*n; rounds++ {
+				done := true
+				for _, srv := range cluster.Servers {
+					if srv.Head("g", "x") == nil {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+				for _, e := range cluster.Engines {
+					e.Round()
+				}
+			}
+			msgs, _ := cluster.Net.Stats()
+			cluster.Close()
+
+			modeName := map[gossip.Mode]string{
+				gossip.Push: "push", gossip.Pull: "pull", gossip.PushPull: "push-pull",
+			}[mode]
+			t.AddRow(n, modeName, rounds, msgs)
+		}
+	}
+	return t, nil
+}
+
+// A6Persistence measures the cost of durability: per-write latency with
+// and without the write-ahead log, and the time to recover a replica's
+// state by replay (including signature re-verification of every record).
+func A6Persistence(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "A6",
+		Title:  "write-ahead-log durability costs (n=4, b=1, instant network)",
+		Header: []string{"configuration", "writes", "write ms (mean)", "recovery ms"},
+		Notes: []string{
+			"recovery replays the log and re-verifies every record's client signature",
+		},
+	}
+	ctx := context.Background()
+	writes := pick(opts, 200, 50)
+
+	run := func(durable bool) error {
+		var dataDir string
+		if durable {
+			dir, err := os.MkdirTemp("", "securestore-a6-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			dataDir = dir
+		}
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: 4, B: 1, Seed: opts.seed(), DisableAuth: true,
+			DataDir: dataDir, Principals: []string{"alice"},
+		})
+		if err != nil {
+			return err
+		}
+		group := core.GroupSpec{Name: "g", Consistency: wire.MRC}
+		cluster.RegisterGroup(group)
+		cl, err := cluster.NewClient(core.ClientSpec{ID: "alice", Group: "g"}, group)
+		if err != nil {
+			cluster.Close()
+			return err
+		}
+		if err := cl.Connect(ctx); err != nil {
+			cluster.Close()
+			return err
+		}
+
+		start := time.Now()
+		for i := 0; i < writes; i++ {
+			if _, err := cl.Write(ctx, fmt.Sprintf("item%02d", i%8), []byte(fmt.Sprintf("%06d", i))); err != nil {
+				cluster.Close()
+				return err
+			}
+		}
+		writeTime := time.Since(start)
+		cluster.Close()
+
+		recovery := "n/a"
+		if durable {
+			start = time.Now()
+			c2, err := core.NewCluster(core.ClusterConfig{
+				N: 4, B: 1, Seed: opts.seed(), DisableAuth: true,
+				DataDir: dataDir, Principals: []string{"alice"},
+			})
+			if err != nil {
+				return err
+			}
+			recovery = msPerOp(time.Since(start), 1)
+			c2.Close()
+		}
+
+		name := "in-memory"
+		if durable {
+			name = "write-ahead log"
+		}
+		t.AddRow(name, writes, msPerOp(writeTime, writes), recovery)
+		return nil
+	}
+	if err := run(false); err != nil {
+		return nil, err
+	}
+	if err := run(true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode and checks
+// the resulting tables are structurally sound.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := exp.Run(Options{Quick: true, Seed: "test-" + exp.ID})
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s: no rows", exp.ID)
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Fatalf("%s row %d: %d cells, header has %d", exp.ID, i, len(row), len(table.Header))
+				}
+			}
+			if out := table.Format(); !strings.Contains(out, table.ID) {
+				t.Fatalf("%s: Format missing table ID", exp.ID)
+			}
+		})
+	}
+}
+
+// TestE1FormulasHold asserts the measured context costs equal the paper's
+// formula exactly in the failure-free case.
+func TestE1FormulasHold(t *testing.T) {
+	table, err := E1ContextQuorum(Options{Quick: true, Seed: "e1-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		formula, measured := row[3], row[4]
+		if formula != measured {
+			t.Errorf("n=%s b=%s: context msgs formula %s != measured %s", row[0], row[1], formula, measured)
+		}
+	}
+}
+
+// TestE2FormulasHold asserts write message counts match 2(b+1) and reads
+// match the per-mode formulas in the disseminated case.
+func TestE2FormulasHold(t *testing.T) {
+	table, err := E2DataOpMessages(Options{Quick: true, Seed: "e2-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		if row[3] != row[4] {
+			t.Errorf("b=%s mode=%s: write formula %s != measured %s", row[0], row[2], row[3], row[4])
+		}
+		if row[5] != row[6] {
+			t.Errorf("b=%s mode=%s: read formula %s != measured %s", row[0], row[2], row[5], row[6])
+		}
+	}
+}
+
+// TestE7SafetyNeverViolated asserts zero staleness/integrity violations in
+// every fault row — the client-enforced-consistency safety argument.
+func TestE7SafetyNeverViolated(t *testing.T) {
+	table, err := E7FaultTolerance(Options{Quick: true, Seed: "e7-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		if row[4] != "0" || row[5] != "0" {
+			t.Errorf("mode=%s count=%s: violations stale=%s integrity=%s", row[0], row[1], row[4], row[5])
+		}
+		// Within the fault bound, availability must be total.
+		if count, _ := strconv.Atoi(row[1]); count <= 2 {
+			if row[3] != "100" {
+				t.Errorf("mode=%s count=%s: ok%%=%s, want 100 within bound", row[0], row[1], row[3])
+			}
+		}
+	}
+}
+
+// TestA1GatingBlocksDoS asserts the ablation shows the attack blunted with
+// gating on and successful with gating off.
+func TestA1GatingBlocksDoS(t *testing.T) {
+	table, err := A1CausalGating(Options{Quick: true, Seed: "a1-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(table.Rows))
+	}
+	on, off := table.Rows[0], table.Rows[1]
+	if on[0] != "true" {
+		on, off = off, on
+	}
+	if on[2] != "ok" || on[3] != "false" {
+		t.Errorf("gating on: dep read %q poisoned %q; want ok/false", on[2], on[3])
+	}
+	if off[2] == "ok" || off[3] != "true" {
+		t.Errorf("gating off: dep read %q poisoned %q; want FAILS/true", off[2], off[3])
+	}
+}
+
+// TestA2LogDepthMatters asserts depth-1 logs lose the overwritten value
+// while deeper logs keep the read available.
+func TestA2LogDepthMatters(t *testing.T) {
+	table, err := A2WriteLog(Options{Quick: true, Seed: "a2-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		depth, _ := strconv.Atoi(row[0])
+		if depth == 1 && row[1] == "ok" {
+			t.Errorf("depth 1: read unexpectedly succeeded with %q", row[2])
+		}
+		if depth >= 2 && row[1] != "ok" {
+			t.Errorf("depth %d: read failed: %s", depth, row[1])
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"securestore/internal/quorum"
+	"securestore/internal/simnet"
+)
+
+// E1ContextQuorum reproduces Section 6's quorum-size and message-count
+// claims for context operations: the secure store exchanges
+// 2·⌈(n+b+1)/2⌉ messages per context read/write, while masking quorums
+// need ⌈(n+2b+1)/2⌉ servers per operation and the state-machine approach
+// needs O(n²) messages.
+func E1ContextQuorum(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "context-operation quorum sizes and message costs vs (n, b)",
+		Header: []string{"n", "b", "ctx quorum", "ctx msgs (formula)", "ctx msgs (measured)",
+			"masking b", "masking quorum", "masking msgs (measured)", "pbft n", "pbft msgs/op (measured)"},
+		Notes: []string{
+			"ctx msgs formula: 2*ceil((n+b+1)/2) per Figure 1 / Section 6",
+			"masking uses b'=min(b,(n-1)/4) since masking quorums need n>=4b+1 to stay live",
+			"pbft runs its own n=3b+1 replicas; message count includes all replica-to-replica traffic",
+		},
+	}
+
+	configs := pick(opts,
+		[][2]int{{4, 1}, {7, 2}, {10, 3}, {13, 4}, {16, 5}},
+		[][2]int{{4, 1}, {7, 2}})
+
+	ctx := context.Background()
+	for _, nb := range configs {
+		n, b := nb[0], nb[1]
+
+		// Secure store: measure one context write (disconnect).
+		env, err := newStoreEnv(n, b, simnet.Instant, mrcGroup(), "alice", opts.seed())
+		if err != nil {
+			return nil, fmt.Errorf("E1 store n=%d b=%d: %w", n, b, err)
+		}
+		if _, err := env.Client.Write(ctx, "x", []byte("v")); err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.M.Reset()
+		if err := env.Client.Disconnect(ctx); err != nil {
+			env.Close()
+			return nil, err
+		}
+		ctxMsgs := env.M.MessagesSent()
+		env.Close()
+
+		// Masking baseline: one read.
+		bMask := b
+		if max := (n - 1) / 4; bMask > max {
+			bMask = max
+		}
+		maskMsgs := "n/a"
+		maskQ := "n/a"
+		if bMask >= 1 {
+			menv, err := newMaskingEnv(n, bMask, simnet.Instant, opts.seed(), false)
+			if err != nil {
+				return nil, fmt.Errorf("E1 masking n=%d b=%d: %w", n, bMask, err)
+			}
+			if _, err := menv.Client.Write(ctx, "x", []byte("v")); err != nil {
+				return nil, err
+			}
+			menv.M.Reset()
+			if _, _, err := menv.Client.Read(ctx, "x"); err != nil {
+				return nil, err
+			}
+			maskMsgs = fmt.Sprint(menv.M.MessagesSent())
+			maskQ = fmt.Sprint(quorum.MaskingQuorum(n, bMask))
+		}
+
+		// PBFT baseline with f=b: one put, fully drained.
+		penv, err := newPBFTEnv(b, simnet.Instant, opts.seed())
+		if err != nil {
+			return nil, fmt.Errorf("E1 pbft f=%d: %w", b, err)
+		}
+		// Warm up one op so steady state is measured.
+		if err := penv.Client.Put(ctx, "k", "w"); err != nil {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond) // drain warm-up commits
+		penv.M.Reset()
+		if err := penv.Client.Put(ctx, "k", "v"); err != nil {
+			return nil, err
+		}
+		penv.Cluster.Close() // wait for all protocol messages to finish
+		pbftMsgs := penv.M.MessagesSent()
+
+		t.AddRow(n, b,
+			quorum.ContextQuorum(n, b),
+			2*quorum.ContextQuorum(n, b),
+			ctxMsgs,
+			bMask, maskQ, maskMsgs,
+			3*b+1, pbftMsgs)
+	}
+	return t, nil
+}
+
+// E2DataOpMessages reproduces the data-operation costs of Section 6: a
+// write completes with b+1 servers for every consistency level, a read
+// costs the same b+1 in the best (disseminated) case plus one value fetch,
+// and the multi-writer protocol raises reads to 2b+1 servers.
+func E2DataOpMessages(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "data read/write message costs vs b (n = 3b+1)",
+		Header: []string{"b", "n", "consistency",
+			"write msgs (formula 2(b+1))", "write msgs (measured)",
+			"read msgs (formula)", "read msgs (measured)"},
+		Notes: []string{
+			"single-writer read formula: 2(b+1) meta phase + 2 value fetch",
+			"multi-writer read formula: 2(2b+1) log queries, no value fetch",
+		},
+	}
+	ctx := context.Background()
+	bs := pick(opts, []int{1, 2, 3, 4}, []int{1, 2})
+
+	for _, b := range bs {
+		n := 3*b + 1
+		for _, mode := range []string{"MRC", "CC", "multi-writer CC"} {
+			group := mrcGroup()
+			switch mode {
+			case "CC":
+				group = ccGroup()
+			case "multi-writer CC":
+				group = mwGroup()
+			}
+			env, err := newStoreEnv(n, b, simnet.Instant, group, "alice", opts.seed())
+			if err != nil {
+				return nil, fmt.Errorf("E2 %s b=%d: %w", mode, b, err)
+			}
+
+			env.M.Reset()
+			if _, err := env.Client.Write(ctx, "x", []byte("v1")); err != nil {
+				env.Close()
+				return nil, err
+			}
+			writeMsgs := env.M.MessagesSent()
+
+			env.Cluster.Converge()
+			env.M.Reset()
+			if _, _, err := env.Client.Read(ctx, "x"); err != nil {
+				env.Close()
+				return nil, err
+			}
+			readMsgs := env.M.MessagesSent()
+			env.Close()
+
+			readFormula := 2*(b+1) + 2
+			if group.MultiWriter {
+				readFormula = 2 * (2*b + 1)
+			}
+			t.AddRow(b, n, mode, 2*(b+1), writeMsgs, readFormula, readMsgs)
+		}
+	}
+	return t, nil
+}
+
+// E3CryptoCounts reproduces Section 6's cryptographic-cost analysis:
+// context write = 1 signature + ⌈(n+b+1)/2⌉ verifications (at servers),
+// context read = 1 verification in the best case, data write = 1
+// signature + b+1 server verifications, data read = 1 client
+// verification.
+func E3CryptoCounts(opts Options) (*Table, error) {
+	n, b := 7, 2
+	t := &Table{
+		ID:    "E3",
+		Title: fmt.Sprintf("cryptographic operation counts per operation (n=%d, b=%d)", n, b),
+		Header: []string{"operation", "client sigs (formula/measured)",
+			"client verifies (formula/measured)", "server verifies (formula/measured)"},
+		Notes: []string{
+			"authorization disabled: capability tokens would add one verification per server request uniformly",
+		},
+	}
+	ctx := context.Background()
+
+	env, err := newStoreEnv(n, b, simnet.Instant, ccGroup(), "alice", opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	sm := env.Cluster.ServerMetrics
+
+	// Data write.
+	env.M.Reset()
+	sm.Reset()
+	if _, err := env.Client.Write(ctx, "x", []byte("v1")); err != nil {
+		return nil, err
+	}
+	t.AddRow("data write",
+		fmt.Sprintf("1 / %d", env.M.Signatures()),
+		fmt.Sprintf("0 / %d", env.M.Verifications()),
+		fmt.Sprintf("%d / %d", b+1, sm.Verifications()))
+
+	// Data read (fully disseminated best case).
+	env.Cluster.Converge()
+	env.M.Reset()
+	sm.Reset()
+	if _, _, err := env.Client.Read(ctx, "x"); err != nil {
+		return nil, err
+	}
+	t.AddRow("data read",
+		fmt.Sprintf("0 / %d", env.M.Signatures()),
+		fmt.Sprintf("1 / %d", env.M.Verifications()),
+		fmt.Sprintf("0 / %d", sm.Verifications()))
+
+	// Context write (disconnect).
+	env.M.Reset()
+	sm.Reset()
+	if err := env.Client.Disconnect(ctx); err != nil {
+		return nil, err
+	}
+	q := quorum.ContextQuorum(n, b)
+	t.AddRow("context write",
+		fmt.Sprintf("1 / %d", env.M.Signatures()),
+		fmt.Sprintf("0 / %d", env.M.Verifications()),
+		fmt.Sprintf("%d / %d", q, sm.Verifications()))
+
+	// Context read (connect).
+	env.M.Reset()
+	sm.Reset()
+	if err := env.Client.Connect(ctx); err != nil {
+		return nil, err
+	}
+	t.AddRow("context read",
+		fmt.Sprintf("0 / %d", env.M.Signatures()),
+		fmt.Sprintf("1 / %d", env.M.Verifications()),
+		fmt.Sprintf("0 / %d", sm.Verifications()))
+
+	return t, nil
+}
+
+// E4GossipFreshness measures how dissemination frequency and write rate
+// shape read behaviour (Section 6: "the cost of a read operation will
+// depend on the dissemination protocol as well as the frequency with
+// which data items are updated"; when writes are infrequent, "most reads
+// will access data that has been disseminated to all servers" and cost
+// the same as writes).
+func E4GossipFreshness(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "read freshness and cost vs gossip interval and write rate (n=4, b=1, LAN)",
+		Header: []string{"gossip interval", "write gap", "reads", "fresh (latest) %",
+			"first-quorum hit %", "mean read ms", "mean read msgs"},
+		Notes: []string{
+			"fresh %: reads returning the very latest write's value",
+			"first-quorum hit %: reads satisfied by the first b+1 servers without widening",
+		},
+	}
+	ctx := context.Background()
+
+	intervals := pick(opts,
+		[]time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond},
+		[]time.Duration{2 * time.Millisecond, 20 * time.Millisecond})
+	gaps := pick(opts,
+		[]time.Duration{5 * time.Millisecond, 20 * time.Millisecond},
+		[]time.Duration{10 * time.Millisecond})
+	writes := pick(opts, 25, 8)
+
+	for _, interval := range intervals {
+		for _, gap := range gaps {
+			env, err := newStoreEnvGossip(4, 1, simnet.LAN, mrcGroup(), "writer", opts.seed(), interval)
+			if err != nil {
+				return nil, err
+			}
+			reader, rm, err := env.newExtraClient("reader", true)
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			env.Cluster.StartGossip()
+
+			var (
+				fresh     int
+				readTime  time.Duration
+				succeeded int
+			)
+			for i := 0; i < writes; i++ {
+				stamp, err := env.Client.Write(ctx, "feed", []byte(fmt.Sprintf("%06d", i)))
+				if err != nil {
+					env.Close()
+					return nil, err
+				}
+				time.Sleep(gap)
+				start := time.Now()
+				_, got, err := reader.Read(ctx, "feed")
+				readTime += time.Since(start)
+				if err != nil {
+					continue
+				}
+				succeeded++
+				if got == stamp {
+					fresh++
+				}
+			}
+			widened := rm.Custom("read.widened")
+			msgs := rm.MessagesSent()
+			env.Close()
+
+			t.AddRow(interval.String(), gap.String(), succeeded,
+				fmt.Sprintf("%.0f", 100*float64(fresh)/float64(writes)),
+				fmt.Sprintf("%.0f", 100*(1-float64(widened)/float64(writes))),
+				msPerOp(readTime, writes),
+				perOp(msgs, succeeded))
+		}
+	}
+	return t, nil
+}
+
+// E5LatencyComparison reproduces the paper's qualitative latency ranking
+// (Section 6): in wide-area settings the secure store's small quorums beat
+// both masking quorums (larger quorums) and the state-machine approach
+// (O(n²) messages, multiple all-to-all phases); in a LAN the differences
+// shrink.
+func E5LatencyComparison(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "operation latency and message cost across systems and networks",
+		Header: []string{"system", "network", "n", "write ms", "read ms",
+			"write msgs", "read msgs"},
+		Notes: []string{
+			"secure store: n=4 b=1 MRC single-writer, fully disseminated reads",
+			"masking: n=5 b=1 (needs n>=4b+1); pbft: f=1 n=4, msgs counted across all parties",
+			"WAN one-way delays are scaled down ~5x; ratios between systems are what matters",
+		},
+	}
+	ctx := context.Background()
+	ops := pick(opts, 8, 3)
+
+	profiles := []struct {
+		name string
+		p    simnet.Profile
+	}{
+		{"LAN", simnet.LAN},
+		{"WAN", simnet.WAN},
+	}
+
+	for _, prof := range profiles {
+		// Secure store.
+		env, err := newStoreEnv(4, 1, prof.p, mrcGroup(), "alice", opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		var wTime, rTime time.Duration
+		var wMsgs, rMsgs int64
+		for i := 0; i < ops; i++ {
+			env.M.Reset()
+			start := time.Now()
+			if _, err := env.Client.Write(ctx, "x", []byte(fmt.Sprintf("%06d", i))); err != nil {
+				env.Close()
+				return nil, err
+			}
+			wTime += time.Since(start)
+			wMsgs += env.M.MessagesSent()
+
+			env.Cluster.Converge()
+			env.M.Reset()
+			start = time.Now()
+			if _, _, err := env.Client.Read(ctx, "x"); err != nil {
+				env.Close()
+				return nil, err
+			}
+			rTime += time.Since(start)
+			rMsgs += env.M.MessagesSent()
+		}
+		env.Close()
+		t.AddRow("secure store", prof.name, 4, msPerOp(wTime, ops), msPerOp(rTime, ops),
+			perOp(wMsgs, ops), perOp(rMsgs, ops))
+
+		// Masking quorums.
+		menv, err := newMaskingEnv(5, 1, prof.p, opts.seed(), false)
+		if err != nil {
+			return nil, err
+		}
+		wTime, rTime, wMsgs, rMsgs = 0, 0, 0, 0
+		for i := 0; i < ops; i++ {
+			menv.M.Reset()
+			start := time.Now()
+			if _, err := menv.Client.Write(ctx, "x", []byte(fmt.Sprintf("%06d", i))); err != nil {
+				return nil, err
+			}
+			wTime += time.Since(start)
+			wMsgs += menv.M.MessagesSent()
+
+			menv.M.Reset()
+			start = time.Now()
+			if _, _, err := menv.Client.Read(ctx, "x"); err != nil {
+				return nil, err
+			}
+			rTime += time.Since(start)
+			rMsgs += menv.M.MessagesSent()
+		}
+		t.AddRow("masking quorum", prof.name, 5, msPerOp(wTime, ops), msPerOp(rTime, ops),
+			perOp(wMsgs, ops), perOp(rMsgs, ops))
+
+		// PBFT state machine.
+		penv, err := newPBFTEnv(1, prof.p, opts.seed())
+		if err != nil {
+			return nil, err
+		}
+		wTime, rTime = 0, 0
+		var totalMsgs int64
+		for i := 0; i < ops; i++ {
+			start := time.Now()
+			if err := penv.Client.Put(ctx, "x", fmt.Sprintf("%06d", i)); err != nil {
+				return nil, err
+			}
+			wTime += time.Since(start)
+			start = time.Now()
+			if _, err := penv.Client.Get(ctx, "x"); err != nil {
+				return nil, err
+			}
+			rTime += time.Since(start)
+		}
+		penv.Cluster.Close()
+		totalMsgs = penv.M.MessagesSent()
+		t.AddRow("pbft state machine", prof.name, 4, msPerOp(wTime, ops), msPerOp(rTime, ops),
+			perOp(totalMsgs, 2*ops), perOp(totalMsgs, 2*ops))
+	}
+	return t, nil
+}

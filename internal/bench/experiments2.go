@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"securestore/internal/server"
+	"securestore/internal/simnet"
+)
+
+// E6MultiWriter reproduces Section 6's multi-writer cost deltas: the
+// figures "change from b+1 to 2b+1 for the malicious clients case",
+// clients stop verifying signatures on reads (servers validate instead),
+// and servers pay memory for bounded write logs.
+func E6MultiWriter(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "single-writer vs multi-writer (malicious clients) costs (n = 3b+1)",
+		Header: []string{"b", "mode", "read servers", "read msgs", "read client verifies",
+			"write msgs", "server log entries"},
+		Notes: []string{
+			"multi-writer reads contact 2b+1 servers and need b+1 matching replies",
+			"log entries counted across all servers after 6 writes to one item",
+		},
+	}
+	ctx := context.Background()
+	bs := pick(opts, []int{1, 2, 3}, []int{1, 2})
+
+	for _, b := range bs {
+		n := 3*b + 1
+		for _, mw := range []bool{false, true} {
+			group := ccGroup()
+			mode := "single-writer"
+			if mw {
+				group = mwGroup()
+				mode = "multi-writer"
+			}
+			env, err := newStoreEnv(n, b, simnet.Instant, group, "alice", opts.seed())
+			if err != nil {
+				return nil, fmt.Errorf("E6 b=%d mw=%v: %w", b, mw, err)
+			}
+
+			env.M.Reset()
+			if _, err := env.Client.Write(ctx, "x", []byte("v0")); err != nil {
+				env.Close()
+				return nil, err
+			}
+			writeMsgs := env.M.MessagesSent()
+
+			for i := 1; i < 6; i++ {
+				if _, err := env.Client.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
+					env.Close()
+					return nil, err
+				}
+			}
+			env.Cluster.Converge()
+
+			env.M.Reset()
+			if _, _, err := env.Client.Read(ctx, "x"); err != nil {
+				env.Close()
+				return nil, err
+			}
+			readMsgs := env.M.MessagesSent()
+			readVerifies := env.M.Verifications()
+
+			logEntries := 0
+			for _, srv := range env.Cluster.Servers {
+				_, _, l := srv.Stats()
+				logEntries += l
+			}
+			env.Close()
+
+			readServers := b + 1
+			if mw {
+				readServers = 2*b + 1
+			}
+			t.AddRow(b, mode, readServers, readMsgs, readVerifies, writeMsgs, logEntries)
+		}
+	}
+	return t, nil
+}
+
+// E7FaultTolerance verifies the availability and safety claims: all
+// operations succeed with up to b arbitrary faulty servers, and — because
+// consistency is client-enforced over signed data — safety (monotonicity
+// and integrity) holds even beyond the bound, where only availability
+// degrades.
+func E7FaultTolerance(opts Options) (*Table, error) {
+	n, b := 7, 2
+	t := &Table{
+		ID:    "E7",
+		Title: fmt.Sprintf("availability and safety under injected faults (n=%d, b=%d)", n, b),
+		Header: []string{"fault mode", "faulty servers", "ops", "ok %",
+			"staleness violations", "integrity violations"},
+		Notes: []string{
+			"staleness violation: a read returning an older value than a previous read (MRC breach)",
+			"integrity violation: a read returning a value the writer never wrote",
+			"faulty > b rows show graceful degradation: availability may drop, safety must not",
+		},
+	}
+	ctx := context.Background()
+	modes := []server.FaultMode{server.Crash, server.Stale, server.CorruptValue, server.CorruptMeta, server.Equivocate}
+	counts := pick(opts, []int{0, 1, 2, 3}, []int{0, 2})
+	ops := pick(opts, 12, 6)
+
+	for _, mode := range modes {
+		for _, count := range counts {
+			env, err := newStoreEnv(n, b, simnet.Instant, mrcGroup(), "writer", opts.seed())
+			if err != nil {
+				return nil, err
+			}
+			reader, _, err := env.newExtraClient("reader", false)
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			// Seed one converged value so stale servers have old state to lie with.
+			if _, err := env.Client.Write(ctx, "x", []byte("000000")); err != nil {
+				env.Close()
+				return nil, err
+			}
+			env.Cluster.Converge()
+			env.Cluster.InjectFaults(mode, count)
+
+			okOps, staleViol, integViol := 0, 0, 0
+			lastSeen := -1
+			for i := 1; i <= ops; i++ {
+				val := fmt.Sprintf("%06d", i)
+				if _, err := env.Client.Write(ctx, "x", []byte(val)); err != nil {
+					continue
+				}
+				env.Cluster.Converge()
+				got, _, err := reader.Read(ctx, "x")
+				if err != nil {
+					continue
+				}
+				okOps++
+				seen, perr := strconv.Atoi(string(got))
+				if perr != nil {
+					integViol++
+					continue
+				}
+				if seen < lastSeen {
+					staleViol++
+				}
+				if seen > i {
+					integViol++ // value from the future: fabricated
+				}
+				lastSeen = seen
+			}
+			env.Close()
+			t.AddRow(mode.String(), count, ops,
+				fmt.Sprintf("%.0f", 100*float64(okOps)/float64(ops)),
+				staleViol, integViol)
+		}
+	}
+	return t, nil
+}
+
+// E8ConsistencySpectrum reproduces the paper's bottom line (Sections 6-7):
+// "by providing weaker consistency when appropriate, significant
+// communication and computational savings can be realized." One workload,
+// five systems, three cost dimensions.
+func E8ConsistencySpectrum(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "cost vs consistency across the spectrum (LAN, 7 servers for the store)",
+		Header: []string{"system", "consistency", "write ms", "read ms",
+			"msgs/op", "client crypto ops/op"},
+		Notes: []string{
+			"store rows: n=7 b=2; masking: n=7 b=1 (needs n>=4b+1); pbft: f=2 n=7",
+			"client crypto ops = signatures + verifications at the client (pbft uses MACs, counted separately)",
+		},
+	}
+	ctx := context.Background()
+	ops := pick(opts, 8, 4)
+
+	type result struct {
+		system, consistency string
+		wTime, rTime        time.Duration
+		msgs, crypto        int64
+		opsDone             int
+	}
+	var results []result
+
+	runStore := func(name string, mw bool, cc bool) error {
+		group := mrcGroup()
+		if cc {
+			group = ccGroup()
+		}
+		if mw {
+			group = mwGroup()
+		}
+		env, err := newStoreEnv(7, 2, simnet.LAN, group, "alice", opts.seed())
+		if err != nil {
+			return err
+		}
+		defer env.Close()
+		res := result{system: "secure store", consistency: name}
+		for i := 0; i < ops; i++ {
+			env.M.Reset()
+			start := time.Now()
+			if _, err := env.Client.Write(ctx, "x", []byte(fmt.Sprintf("%06d", i))); err != nil {
+				return err
+			}
+			res.wTime += time.Since(start)
+			env.Cluster.Converge()
+			start = time.Now()
+			if _, _, err := env.Client.Read(ctx, "x"); err != nil {
+				return err
+			}
+			res.rTime += time.Since(start)
+			res.msgs += env.M.MessagesSent()
+			res.crypto += env.M.Signatures() + env.M.Verifications()
+			res.opsDone += 2
+		}
+		results = append(results, res)
+		return nil
+	}
+	if err := runStore("MRC", false, false); err != nil {
+		return nil, err
+	}
+	if err := runStore("CC", false, true); err != nil {
+		return nil, err
+	}
+	if err := runStore("CC multi-writer", true, true); err != nil {
+		return nil, err
+	}
+
+	// Masking quorums.
+	menv, err := newMaskingEnv(7, 1, simnet.LAN, opts.seed(), false)
+	if err != nil {
+		return nil, err
+	}
+	mres := result{system: "masking quorum", consistency: "safe (strong)"}
+	for i := 0; i < ops; i++ {
+		menv.M.Reset()
+		start := time.Now()
+		if _, err := menv.Client.Write(ctx, "x", []byte(fmt.Sprintf("%06d", i))); err != nil {
+			return nil, err
+		}
+		mres.wTime += time.Since(start)
+		start = time.Now()
+		if _, _, err := menv.Client.Read(ctx, "x"); err != nil {
+			return nil, err
+		}
+		mres.rTime += time.Since(start)
+		mres.msgs += menv.M.MessagesSent()
+		mres.crypto += menv.M.Signatures() + menv.M.Verifications()
+		mres.opsDone += 2
+	}
+	results = append(results, mres)
+
+	// PBFT.
+	penv, err := newPBFTEnv(2, simnet.LAN, opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	pres := result{system: "pbft state machine", consistency: "linearizable"}
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		if err := penv.Client.Put(ctx, "x", fmt.Sprintf("%06d", i)); err != nil {
+			return nil, err
+		}
+		pres.wTime += time.Since(start)
+		start = time.Now()
+		if _, err := penv.Client.Get(ctx, "x"); err != nil {
+			return nil, err
+		}
+		pres.rTime += time.Since(start)
+		pres.opsDone += 2
+	}
+	penv.Cluster.Close()
+	pres.msgs = penv.M.MessagesSent()
+	pres.crypto = penv.M.Custom("mac.sign") + penv.M.Custom("mac.verify")
+	results = append(results, pres)
+
+	for _, r := range results {
+		half := r.opsDone / 2
+		t.AddRow(r.system, r.consistency,
+			msPerOp(r.wTime, half), msPerOp(r.rTime, half),
+			perOp(r.msgs, r.opsDone), perOp(r.crypto, r.opsDone))
+	}
+	return t, nil
+}

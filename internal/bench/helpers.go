@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"securestore/internal/baseline/masking"
+	"securestore/internal/baseline/pbftsm"
+	"securestore/internal/client"
+	"securestore/internal/core"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/simnet"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Options tunes experiment depth.
+type Options struct {
+	// Quick reduces sweep sizes and repetitions so the full suite runs in
+	// seconds (used by tests); full mode is the default for benchtab.
+	Quick bool
+	// Seed makes runs reproducible.
+	Seed string
+}
+
+func (o Options) seed() string {
+	if o.Seed == "" {
+		return "bench"
+	}
+	return o.Seed
+}
+
+// pick returns quick when Quick, else full.
+func pick[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// storeEnv is an assembled secure-store deployment plus one measured
+// client session.
+type storeEnv struct {
+	Cluster *core.Cluster
+	Group   core.GroupSpec
+	Client  *client.Client
+	M       *metrics.Counters
+}
+
+// newStoreEnv builds a cluster, declares the group, and connects one
+// client whose costs are recorded on M. Auth is disabled so measurements
+// isolate protocol costs (tokens add one verification per request
+// uniformly).
+func newStoreEnv(n, b int, profile simnet.Profile, group core.GroupSpec, clientID, seed string) (*storeEnv, error) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cluster.RegisterGroup(group)
+	m := &metrics.Counters{}
+	cl, err := cluster.NewClient(core.ClientSpec{
+		ID:           clientID,
+		Group:        group.Name,
+		Metrics:      m,
+		CallTimeout:  2 * time.Second,
+		ReadRetries:  3,
+		RetryBackoff: 10 * time.Millisecond,
+	}, group)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &storeEnv{Cluster: cluster, Group: group, Client: cl, M: m}, nil
+}
+
+// newStoreEnvGossip is newStoreEnv with a custom gossip interval (the
+// engines are created but only run after Cluster.StartGossip).
+func newStoreEnvGossip(n, b int, profile simnet.Profile, group core.GroupSpec, clientID, seed string, gossipInterval time.Duration) (*storeEnv, error) {
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true,
+		GossipInterval: gossipInterval, GossipFanout: n - 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cluster.RegisterGroup(group)
+	m := &metrics.Counters{}
+	cl, err := cluster.NewClient(core.ClientSpec{
+		ID:           clientID,
+		Group:        group.Name,
+		Metrics:      m,
+		CallTimeout:  2 * time.Second,
+		ReadRetries:  3,
+		RetryBackoff: 10 * time.Millisecond,
+	}, group)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &storeEnv{Cluster: cluster, Group: group, Client: cl, M: m}, nil
+}
+
+// newExtraClient connects another measured client to an existing env.
+// With farSide set, the client's contact order is reversed — it prefers
+// the replicas the writer touches last, modelling a reader whose nearest
+// servers are not the writer's (the situation dissemination exists for).
+func (e *storeEnv) newExtraClient(id string, farSide bool) (*client.Client, *metrics.Counters, error) {
+	m := &metrics.Counters{}
+	var order []string
+	if farSide {
+		names := e.Cluster.ServerNames
+		order = make([]string, len(names))
+		for i, name := range names {
+			order[len(names)-1-i] = name
+		}
+	}
+	cl, err := e.Cluster.NewClient(core.ClientSpec{
+		ID:           id,
+		Group:        e.Group.Name,
+		Metrics:      m,
+		CallTimeout:  2 * time.Second,
+		ReadRetries:  3,
+		RetryBackoff: 10 * time.Millisecond,
+		ServerOrder:  order,
+	}, e.Group)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		return nil, nil, err
+	}
+	return cl, m, nil
+}
+
+// Close releases the env.
+func (e *storeEnv) Close() { e.Cluster.Close() }
+
+// maskingEnv is a masking-quorum baseline deployment.
+type maskingEnv struct {
+	Bus     *transport.Bus
+	Servers []*masking.Server
+	Client  *masking.Client
+	M       *metrics.Counters
+}
+
+// newMaskingEnv builds n baseline replicas and one measured client.
+func newMaskingEnv(n, b int, profile simnet.Profile, seed string, multiWriter bool) (*maskingEnv, error) {
+	ring := cryptoutil.NewKeyring()
+	net := simnet.New(profile, 42)
+	bus := transport.NewBus(net)
+	m := &metrics.Counters{}
+
+	env := &maskingEnv{Bus: bus, M: m}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%02d", i)
+		srv := masking.NewServer(name, ring, m)
+		bus.Register(name, srv)
+		env.Servers = append(env.Servers, srv)
+		names = append(names, name)
+	}
+	key := cryptoutil.DeterministicKeyPair("mclient", seed)
+	ring.MustRegister(key.ID, key.Public)
+	cl, err := masking.NewClient(masking.Config{
+		ID:          key.ID,
+		Key:         key,
+		Ring:        ring,
+		Servers:     names,
+		B:           b,
+		Caller:      bus.Caller(key.ID, m),
+		Metrics:     m,
+		MultiWriter: multiWriter,
+		CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.Client = cl
+	return env, nil
+}
+
+// pbftEnv is a PBFT baseline deployment.
+type pbftEnv struct {
+	Cluster *pbftsm.Cluster
+	Client  *pbftsm.Client
+	M       *metrics.Counters
+}
+
+// newPBFTEnv builds a 3f+1 replica state machine over the given profile.
+// All parties share one metrics counter, so M captures total protocol
+// messages — the O(n²) the paper attributes to this approach.
+func newPBFTEnv(f int, profile simnet.Profile, seed string) (*pbftEnv, error) {
+	net := simnet.New(profile, 42)
+	bus := transport.NewBus(net)
+	m := &metrics.Counters{}
+	cluster, err := pbftsm.NewCluster(bus, f, seed, m)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.NewClusterClient(bus, "pclient", seed, m)
+	return &pbftEnv{Cluster: cluster, Client: cl, M: m}, nil
+}
+
+// mrcGroup and ccGroup are the standard experiment groups.
+func mrcGroup() core.GroupSpec {
+	return core.GroupSpec{Name: "bench", Consistency: wire.MRC}
+}
+
+func ccGroup() core.GroupSpec {
+	return core.GroupSpec{Name: "bench", Consistency: wire.CC}
+}
+
+func mwGroup() core.GroupSpec {
+	return core.GroupSpec{Name: "bench", Consistency: wire.CC, MultiWriter: true}
+}
+
+// msPerOp renders a per-op duration in milliseconds.
+func msPerOp(total time.Duration, ops int) string {
+	if ops == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(total.Microseconds())/1000/float64(ops))
+}
+
+// perOp renders an integer total divided by op count.
+func perOp(total int64, ops int) string {
+	if ops == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", float64(total)/float64(ops))
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The tests in this file assert the *shapes* the paper predicts, parsed
+// out of the experiment tables themselves — the reproduction contract of
+// EXPERIMENTS.md, enforced in CI.
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+// TestE5MessageOrderingHolds asserts the §6 comparison on message counts:
+// secure store < masking quorums < PBFT, on every network profile.
+// (Latency is load-sensitive; message counts are deterministic.)
+func TestE5MessageOrderingHolds(t *testing.T) {
+	table, err := E5LatencyComparison(Options{Quick: true, Seed: "e5-shape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNet := make(map[string]map[string]float64) // network -> system -> write msgs
+	for _, row := range table.Rows {
+		system, network := row[0], row[1]
+		if byNet[network] == nil {
+			byNet[network] = make(map[string]float64)
+		}
+		byNet[network][system] = cellFloat(t, row[5])
+	}
+	for network, systems := range byNet {
+		store, masking, pbft := systems["secure store"], systems["masking quorum"], systems["pbft state machine"]
+		if !(store < masking && masking < pbft) {
+			t.Errorf("%s: write msgs store=%.1f masking=%.1f pbft=%.1f; want strictly increasing",
+				network, store, masking, pbft)
+		}
+	}
+}
+
+// TestE6MultiWriterShiftHolds asserts the b+1 → 2b+1 read shift and the
+// elimination of client-side read verification in multi-writer mode.
+func TestE6MultiWriterShiftHolds(t *testing.T) {
+	table, err := E6MultiWriter(Options{Quick: true, Seed: "e6-shape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct{ readServers, verifies int }
+	rows := make(map[string]map[int]row) // mode -> b -> data
+	for _, r := range table.Rows {
+		b, _ := strconv.Atoi(r[0])
+		servers, _ := strconv.Atoi(r[2])
+		verifies, _ := strconv.Atoi(r[4])
+		if rows[r[1]] == nil {
+			rows[r[1]] = make(map[int]row)
+		}
+		rows[r[1]][b] = row{readServers: servers, verifies: verifies}
+	}
+	for b, single := range rows["single-writer"] {
+		multi, ok := rows["multi-writer"][b]
+		if !ok {
+			t.Fatalf("missing multi-writer row for b=%d", b)
+		}
+		if single.readServers != b+1 || multi.readServers != 2*b+1 {
+			t.Errorf("b=%d: read servers %d/%d, want %d/%d",
+				b, single.readServers, multi.readServers, b+1, 2*b+1)
+		}
+		if single.verifies != 1 || multi.verifies != 0 {
+			t.Errorf("b=%d: client verifies %d/%d, want 1/0", b, single.verifies, multi.verifies)
+		}
+	}
+}
+
+// TestA3ReconstructLinearInItems asserts the exact Section 5.1 cost:
+// reconstruction reads every item from every server — items × 2n messages
+// (n=7 here) — while connect stays at the fixed quorum cost.
+func TestA3ReconstructLinearInItems(t *testing.T) {
+	table, err := A3ContextReconstruct(Options{Quick: true, Seed: "a3-shape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for _, row := range table.Rows {
+		items, _ := strconv.Atoi(row[0])
+		connectMsgs, _ := strconv.Atoi(row[1])
+		reconMsgs, _ := strconv.Atoi(row[3])
+		if connectMsgs != 10 { // 2*ceil((7+2+1)/2)
+			t.Errorf("items=%d: connect msgs = %d, want 10", items, connectMsgs)
+		}
+		if reconMsgs != items*2*n {
+			t.Errorf("items=%d: reconstruct msgs = %d, want %d", items, reconMsgs, items*2*n)
+		}
+	}
+}
+
+// TestA4EagerHalvesMessages asserts the eager read's message saving
+// (4 vs 6 at b=1) independent of timing.
+func TestA4EagerHalvesMessages(t *testing.T) {
+	table, err := A4EagerRead(Options{Quick: true, Seed: "a4-shape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table.Rows {
+		msgs := cellFloat(t, row[3])
+		switch row[0] {
+		case "two-phase (paper)":
+			if msgs != 6 {
+				t.Errorf("%s/%s: msgs = %.1f, want 6", row[0], row[1], msgs)
+			}
+		case "eager single-round":
+			if msgs != 4 {
+				t.Errorf("%s/%s: msgs = %.1f, want 4", row[0], row[1], msgs)
+			}
+		}
+	}
+}
+
+// TestA6DurabilityRecovers asserts the persistence row reports a real
+// recovery measurement.
+func TestA6DurabilityRecovers(t *testing.T) {
+	table, err := A6Persistence(Options{Quick: true, Seed: "a6-shape"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWAL bool
+	for _, row := range table.Rows {
+		if row[0] == "write-ahead log" {
+			sawWAL = true
+			if row[3] == "n/a" {
+				t.Error("WAL row missing recovery measurement")
+			}
+		}
+		if row[0] == "in-memory" && row[3] != "n/a" {
+			t.Error("in-memory row claims a recovery measurement")
+		}
+	}
+	if !sawWAL {
+		t.Fatal("no WAL row")
+	}
+}

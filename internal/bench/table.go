@@ -1,0 +1,78 @@
+// Package bench runs the experiments of EXPERIMENTS.md: the measured
+// reproduction of every performance claim in the paper's Section 6, plus
+// the ablations called out in DESIGN.md. Each experiment returns a Table
+// that cmd/benchtab prints and that the root-level Go benchmarks exercise.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid of rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatAligned(t *testing.T) {
+	tbl := &Table{
+		ID:     "T1",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("short", 1)
+	tbl.AddRow("much-longer-cell", 123456)
+	tbl.AddRow("float", 3.14159)
+
+	out := tbl.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows... plus note = 7? count below
+		// title + header + rule + 3 rows + 1 note = 7
+		if len(lines) != 7 {
+			t.Fatalf("lines = %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "T1 — demo") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// The value column must be aligned: every row's second column starts
+	// at the same offset.
+	idx := strings.Index(lines[1], "value")
+	for _, row := range lines[3:6] {
+		if len(row) < idx {
+			t.Fatalf("row %q shorter than header alignment", row)
+		}
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float cell not formatted: %s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("note missing: %s", out)
+	}
+}
+
+func TestAddRowStringifiesTypes(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b", "c"}}
+	tbl.AddRow("s", 42, 1.5)
+	row := tbl.Rows[0]
+	if row[0] != "s" || row[1] != "42" || row[2] != "1.50" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestPickQuickVsFull(t *testing.T) {
+	if got := pick(Options{Quick: true}, "full", "quick"); got != "quick" {
+		t.Fatalf("pick quick = %q", got)
+	}
+	if got := pick(Options{}, "full", "quick"); got != "full" {
+		t.Fatalf("pick full = %q", got)
+	}
+}
+
+func TestOptionsSeedDefault(t *testing.T) {
+	if (Options{}).seed() == "" {
+		t.Fatal("empty default seed")
+	}
+	if (Options{Seed: "x"}).seed() != "x" {
+		t.Fatal("explicit seed ignored")
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}

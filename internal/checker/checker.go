@@ -1,0 +1,205 @@
+// Package checker verifies consistency over recorded operation histories:
+// an offline oracle for the guarantees the secure store promises. Tests
+// and soak harnesses record every write (with its stamp and, under CC,
+// its writer context) and every read (client, item, stamp returned), then
+// ask the checker for violations of:
+//
+//   - integrity: every read returned the stamp of some recorded write
+//     whose value digest matches — nothing fabricated;
+//   - MRC: per client and item, returned stamps never decrease
+//     (Section 4.2's monotonic-read consistency);
+//   - CC: if a client read a write w of item x, then any of the client's
+//     subsequent reads of an item y listed in w's writer context returns a
+//     stamp at least as new as the context entry (the causal-floor rule
+//     that "no read operation returns a causally overwritten value").
+//
+// The checker is deliberately independent of the protocol code: it sees
+// only the observable history, so a protocol bug cannot hide inside it.
+package checker
+
+import (
+	"fmt"
+	"sync"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+// WriteEvent records one completed write.
+type WriteEvent struct {
+	Client string
+	Item   string
+	Stamp  timestamp.Stamp
+	// Digest identifies the value written (so integrity can match values
+	// without retaining them).
+	Digest [32]byte
+	// Ctx is the writer's context embedded in the write (CC only).
+	Ctx sessionctx.Vector
+}
+
+// ReadEvent records one completed read.
+type ReadEvent struct {
+	Client string
+	Item   string
+	Stamp  timestamp.Stamp
+	Digest [32]byte
+}
+
+// Violation is one detected consistency breach.
+type Violation struct {
+	Kind   string // "integrity", "mrc", "cc"
+	Client string
+	Item   string
+	Detail string
+}
+
+// String renders the violation for test output.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation: client %s item %s: %s", v.Kind, v.Client, v.Item, v.Detail)
+}
+
+// History accumulates events. Safe for concurrent recording; Check must
+// be called after recording is quiescent.
+type History struct {
+	mu     sync.Mutex
+	writes []WriteEvent
+	// reads kept per client in arrival order (each client's session is
+	// sequential, so per-client order is well defined even when clients
+	// record concurrently).
+	reads map[string][]ReadEvent
+}
+
+// New creates an empty history.
+func New() *History {
+	return &History{reads: make(map[string][]ReadEvent)}
+}
+
+// RecordWrite logs a completed write.
+func (h *History) RecordWrite(client, item string, stamp timestamp.Stamp, value []byte, ctx sessionctx.Vector) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writes = append(h.writes, WriteEvent{
+		Client: client, Item: item, Stamp: stamp,
+		Digest: cryptoutil.Digest(value), Ctx: ctx.Clone(),
+	})
+}
+
+// RecordRead logs a completed read.
+func (h *History) RecordRead(client, item string, stamp timestamp.Stamp, value []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reads[client] = append(h.reads[client], ReadEvent{
+		Client: client, Item: item, Stamp: stamp, Digest: cryptoutil.Digest(value),
+	})
+}
+
+// Stats returns (writes, reads) recorded.
+func (h *History) Stats() (writes, reads int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rs := range h.reads {
+		reads += len(rs)
+	}
+	return len(h.writes), reads
+}
+
+// Check returns every violation in the recorded history.
+func (h *History) Check() []Violation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	var out []Violation
+	out = append(out, h.checkIntegrityLocked()...)
+	out = append(out, h.checkMRCLocked()...)
+	out = append(out, h.checkCCLocked()...)
+	return out
+}
+
+type writeKey struct {
+	item  string
+	stamp timestamp.Stamp
+}
+
+// writeIndexLocked maps (item, stamp) to the write event.
+func (h *History) writeIndexLocked() map[writeKey]WriteEvent {
+	idx := make(map[writeKey]WriteEvent, len(h.writes))
+	for _, w := range h.writes {
+		idx[writeKey{item: w.Item, stamp: w.Stamp}] = w
+	}
+	return idx
+}
+
+// checkIntegrityLocked: every read corresponds to a recorded write with a
+// matching digest.
+func (h *History) checkIntegrityLocked() []Violation {
+	idx := h.writeIndexLocked()
+	var out []Violation
+	for client, reads := range h.reads {
+		for _, r := range reads {
+			w, ok := idx[writeKey{item: r.Item, stamp: r.Stamp}]
+			if !ok {
+				out = append(out, Violation{
+					Kind: "integrity", Client: client, Item: r.Item,
+					Detail: fmt.Sprintf("read stamp %s matches no recorded write", r.Stamp),
+				})
+				continue
+			}
+			if w.Digest != r.Digest {
+				out = append(out, Violation{
+					Kind: "integrity", Client: client, Item: r.Item,
+					Detail: fmt.Sprintf("read value differs from the write at stamp %s", r.Stamp),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkMRCLocked: per client and item, read stamps never decrease.
+func (h *History) checkMRCLocked() []Violation {
+	var out []Violation
+	for client, reads := range h.reads {
+		last := make(map[string]timestamp.Stamp)
+		for i, r := range reads {
+			if prev, ok := last[r.Item]; ok && r.Stamp.Less(prev) {
+				out = append(out, Violation{
+					Kind: "mrc", Client: client, Item: r.Item,
+					Detail: fmt.Sprintf("read %d returned %s after %s", i, r.Stamp, prev),
+				})
+			}
+			last[r.Item] = r.Stamp
+		}
+	}
+	return out
+}
+
+// checkCCLocked: after a client reads a write carrying context entry
+// (y, ts), its later reads of y return stamps >= ts.
+func (h *History) checkCCLocked() []Violation {
+	idx := h.writeIndexLocked()
+	var out []Violation
+	for client, reads := range h.reads {
+		floor := make(map[string]timestamp.Stamp)
+		for i, r := range reads {
+			if f, ok := floor[r.Item]; ok && r.Stamp.Less(f) {
+				out = append(out, Violation{
+					Kind: "cc", Client: client, Item: r.Item,
+					Detail: fmt.Sprintf("read %d returned %s below causal floor %s", i, r.Stamp, f),
+				})
+			}
+			// Raise floors from the writer context of the write just read.
+			if w, ok := idx[writeKey{item: r.Item, stamp: r.Stamp}]; ok {
+				for item, ts := range w.Ctx {
+					if cur, ok := floor[item]; !ok || cur.Less(ts) {
+						floor[item] = ts
+					}
+				}
+			}
+			if cur, ok := floor[r.Item]; !ok || cur.Less(r.Stamp) {
+				floor[r.Item] = r.Stamp
+			}
+		}
+	}
+	return out
+}

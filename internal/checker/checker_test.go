@@ -1,0 +1,162 @@
+package checker
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+func st(t uint64) timestamp.Stamp { return timestamp.Stamp{Time: t} }
+
+func TestCleanHistoryPasses(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	h.RecordWrite("w", "x", st(2), []byte("v2"), nil)
+	h.RecordRead("r", "x", st(1), []byte("v1"))
+	h.RecordRead("r", "x", st(2), []byte("v2"))
+	h.RecordRead("r", "x", st(2), []byte("v2"))
+
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations in clean history: %v", v)
+	}
+	writes, reads := h.Stats()
+	if writes != 2 || reads != 3 {
+		t.Fatalf("stats = %d/%d", writes, reads)
+	}
+}
+
+func TestDetectsFabricatedRead(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	// Read of a stamp nobody wrote.
+	h.RecordRead("r", "x", st(9), []byte("forged"))
+	v := h.Check()
+	if len(v) != 1 || v[0].Kind != "integrity" {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "integrity") {
+		t.Fatalf("string = %q", v[0].String())
+	}
+}
+
+func TestDetectsValueSubstitution(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("genuine"), nil)
+	// Correct stamp, wrong value.
+	h.RecordRead("r", "x", st(1), []byte("swapped"))
+	v := h.Check()
+	if len(v) != 1 || v[0].Kind != "integrity" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestDetectsMRCViolation(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	h.RecordWrite("w", "x", st(2), []byte("v2"), nil)
+	h.RecordRead("r", "x", st(2), []byte("v2"))
+	h.RecordRead("r", "x", st(1), []byte("v1")) // backwards!
+	var kinds []string
+	for _, v := range h.Check() {
+		kinds = append(kinds, v.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "mrc") {
+		t.Fatalf("violations = %v", kinds)
+	}
+}
+
+func TestMRCIsPerClient(t *testing.T) {
+	// Different clients may legitimately see different versions.
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	h.RecordWrite("w", "x", st(2), []byte("v2"), nil)
+	h.RecordRead("r1", "x", st(2), []byte("v2"))
+	h.RecordRead("r2", "x", st(1), []byte("v1")) // a different client: fine
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("cross-client staleness flagged: %v", v)
+	}
+}
+
+func TestDetectsCausalViolation(t *testing.T) {
+	h := New()
+	// dep@1, then doc@2 carrying a context naming dep@1.
+	h.RecordWrite("w", "dep", st(1), []byte("d1"), nil)
+	h.RecordWrite("w", "dep", st(5), []byte("d5"), nil)
+	h.RecordWrite("w", "doc", st(2), []byte("doc"), sessionctx.Vector{"dep": st(5)})
+	// Reader sees doc (deps: dep@5) then an older dep@1: CC violation.
+	h.RecordRead("r", "doc", st(2), []byte("doc"))
+	h.RecordRead("r", "dep", st(1), []byte("d1"))
+	var found bool
+	for _, v := range h.Check() {
+		if v.Kind == "cc" && v.Item == "dep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("causal violation not detected: %v", h.Check())
+	}
+}
+
+func TestCausalFloorSatisfied(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "dep", st(5), []byte("d5"), nil)
+	h.RecordWrite("w", "doc", st(2), []byte("doc"), sessionctx.Vector{"dep": st(5)})
+	h.RecordRead("r", "doc", st(2), []byte("doc"))
+	h.RecordRead("r", "dep", st(5), []byte("d5")) // exactly the floor: fine
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestMultiWriterStampsDistinct(t *testing.T) {
+	// Two writers with the same time but different uids are distinct
+	// writes, both readable without violations in either order by
+	// different clients.
+	h := New()
+	sa := timestamp.Stamp{Time: 1, Writer: "a"}
+	sb := timestamp.Stamp{Time: 1, Writer: "b"}
+	h.RecordWrite("a", "x", sa, []byte("from-a"), nil)
+	h.RecordWrite("b", "x", sb, []byte("from-b"), nil)
+	h.RecordRead("r1", "x", sa, []byte("from-a"))
+	h.RecordRead("r1", "x", sb, []byte("from-b")) // sb > sa (writer tiebreak)
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+	// The reverse order within one client is an MRC violation.
+	h2 := New()
+	h2.RecordWrite("a", "x", sa, []byte("from-a"), nil)
+	h2.RecordWrite("b", "x", sb, []byte("from-b"), nil)
+	h2.RecordRead("r", "x", sb, []byte("from-b"))
+	h2.RecordRead("r", "x", sa, []byte("from-a"))
+	if v := h2.Check(); len(v) == 0 {
+		t.Fatal("backwards multi-writer read not flagged")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := string(rune('a' + c))
+			for i := 1; i <= 50; i++ {
+				h.RecordWrite(client, "x", timestamp.Stamp{Time: uint64(i), Writer: client}, []byte{byte(i)}, nil)
+				h.RecordRead(client, "x", timestamp.Stamp{Time: uint64(i), Writer: client}, []byte{byte(i)})
+			}
+		}(c)
+	}
+	wg.Wait()
+	writes, reads := h.Stats()
+	if writes != 400 || reads != 400 {
+		t.Fatalf("stats = %d/%d", writes, reads)
+	}
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+}

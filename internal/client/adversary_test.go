@@ -1,0 +1,227 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// tamperingHandler wraps a server and rewrites selected responses — an
+// adversary stronger than the built-in fault modes, used to probe client
+// defenses directly.
+type tamperingHandler struct {
+	inner  transport.Handler
+	mutate func(wire.Request, wire.Response) wire.Response
+}
+
+func (h *tamperingHandler) ServeRequest(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+	resp, err := h.inner.ServeRequest(ctx, from, req)
+	if err != nil {
+		return nil, err
+	}
+	if mutated := h.mutate(req, resp); mutated != nil {
+		return mutated, nil
+	}
+	return resp, nil
+}
+
+func TestConnectRejectsForgedContext(t *testing.T) {
+	// A malicious server responds to context reads with a forged context
+	// claiming a huge sequence number (to make the client adopt a stale or
+	// fabricated state). The owner's signature cannot be forged, so the
+	// client must skip it and adopt the genuine latest context.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	ctx := context.Background()
+
+	// A genuine session stores a context at seq 1.
+	c1 := r.client(t, "alice", 1, nil)
+	if err := c1.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := c1.Write(ctx, "x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server a starts forging contexts with an absurd seq.
+	evilKey := cryptoutil.DeterministicKeyPair("server-a-evil", "s")
+	forged := &sessionctx.Signed{
+		Owner: "alice", Group: "g", Seq: 999,
+		Vector: sessionctx.Vector{"x": {Time: 999_999}},
+	}
+	forged.Sig = evilKey.Sign(forged.SigningBytes(), nil)
+	r.bus.Register("a", &tamperingHandler{
+		inner: r.servers[0],
+		mutate: func(req wire.Request, resp wire.Response) wire.Response {
+			if _, ok := req.(wire.ContextReadReq); ok {
+				return wire.ContextReadResp{Ctx: forged}
+			}
+			return nil
+		},
+	})
+
+	c2 := r.client(t, "alice", 1, nil)
+	if err := c2.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ContextSeq() != 1 {
+		t.Fatalf("adopted context seq = %d, want the genuine 1", c2.ContextSeq())
+	}
+	if got := c2.Context().Get("x"); got != stamp {
+		t.Fatalf("adopted x floor = %v, want %v", got, stamp)
+	}
+	// And the forgeries cost extra verification attempts, visible in
+	// metrics if a counter is attached — the protocol remains correct.
+}
+
+func TestReadRejectsReplayedOtherItemsWrite(t *testing.T) {
+	// A malicious server answers a ValueReq for item x with a perfectly
+	// valid signed write... for item y. The client must not accept it.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	ctx := context.Background()
+	c := r.client(t, "alice", 1, nil)
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("x-value")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "y", []byte("y-value")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server a swaps every value response for its copy of y.
+	inner := r.servers[0]
+	r.bus.Register("a", &tamperingHandler{
+		inner: inner,
+		mutate: func(req wire.Request, resp wire.Response) wire.Response {
+			if vq, ok := req.(wire.ValueReq); ok && vq.Item == "x" {
+				if y := inner.Head("g", "y"); y != nil {
+					return wire.ValueResp{Write: y}
+				}
+			}
+			return nil
+		},
+	})
+
+	got, _, err := c.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("x-value")) {
+		t.Fatalf("read x = %q (cross-item replay accepted)", got)
+	}
+}
+
+func TestMultiWriterReadIgnoresUnverifiableLogEntries(t *testing.T) {
+	// A malicious server injects fabricated entries into its log replies.
+	// Those entries can never gather b+1 matching reports from distinct
+	// servers, so readers are unaffected.
+	r := newRig(t, 4, server.Policy{Consistency: wire.CC, MultiWriter: true})
+	ctx := context.Background()
+	w := r.client(t, "writer", 1, func(cfg *Config) {
+		cfg.Consistency = wire.CC
+		cfg.MultiWriter = true
+	})
+	if err := w.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(ctx, "doc", []byte("genuine")); err != nil {
+		t.Fatal(err)
+	}
+	// Disseminate so every server reports the genuine write.
+	for _, srv := range r.servers {
+		if head := r.servers[0].Head("g", "doc"); head != nil {
+			srv.ApplyDisseminated(head)
+		}
+	}
+
+	fake := []byte("fabricated")
+	fakeStamp := timestamp.Stamp{Time: 10_000, Writer: "writer", Digest: cryptoutil.Digest(fake)}
+	r.bus.Register("a", &tamperingHandler{
+		inner: r.servers[0],
+		mutate: func(req wire.Request, resp wire.Response) wire.Response {
+			if _, ok := req.(wire.LogReq); ok {
+				lr, _ := resp.(wire.LogResp)
+				lr.Writes = append([]*wire.SignedWrite{{
+					Group: "g", Item: "doc", Stamp: fakeStamp, Value: fake,
+				}}, lr.Writes...)
+				return lr
+			}
+			return nil
+		},
+	})
+
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.Consistency = wire.CC
+		cfg.MultiWriter = true
+		cfg.Metrics = &metrics.Counters{}
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reader.Read(ctx, "doc")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("genuine")) {
+		t.Fatalf("read = %q (fabricated log entry accepted)", got)
+	}
+}
+
+func TestEquivocationDetectionReported(t *testing.T) {
+	// A malicious writer signs two values under one (time, writer) pair.
+	// Whatever the read returns (or fails with), the client records the
+	// detection — the paper's "clients ... can be informed" (Section 5.3).
+	r := newRig(t, 4, server.Policy{Consistency: wire.CC, MultiWriter: true})
+	ctx := context.Background()
+
+	evil := cryptoutil.DeterministicKeyPair("evil", "s")
+	r.ring.MustRegister(evil.ID, evil.Public)
+	mk := func(value []byte) *wire.SignedWrite {
+		st := timestamp.Stamp{Time: 9, Writer: "evil", Digest: cryptoutil.Digest(value)}
+		w := &wire.SignedWrite{Group: "g", Item: "x", Stamp: st,
+			WriterCtx: map[string]timestamp.Stamp{"x": st}, Value: value}
+		w.Sign(evil, nil)
+		return w
+	}
+	caller := r.bus.Caller("evil", nil)
+	// Variant A at servers a and b (b+1 backing: acceptable); variant B
+	// only at server c, so the read quorum {a,b,c} sees both variants.
+	for _, srv := range []string{"a", "b"} {
+		if _, err := caller.Call(ctx, srv, wire.WriteReq{Write: mk([]byte("yes"))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := caller.Call(ctx, "c", wire.WriteReq{Write: mk([]byte("no"))}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &metrics.Counters{}
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.Consistency = wire.CC
+		cfg.MultiWriter = true
+		cfg.Metrics = m
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reader.Read(ctx, "x")
+	if err == nil && !bytes.Equal(got, []byte("yes")) {
+		t.Fatalf("read = %q, only the b+1-backed variant may win", got)
+	}
+	if m.Custom("equivocation.detected") == 0 {
+		t.Fatal("equivocation not reported to the client")
+	}
+}

@@ -1,0 +1,347 @@
+// Package client implements the secure-store client: the active party of
+// the paper's protocols. Servers are passive signed-data repositories;
+// clients carry the consistency burden using their *context* (Sections 4
+// and 5). This package provides:
+//
+//   - session management: Connect reads the client's stored context from a
+//     ⌈(n+b+1)/2⌉ quorum, Disconnect writes it back (Figure 1);
+//   - single-writer reads and writes under MRC or CC (Figure 2), touching
+//     only b+1 servers in the common case;
+//   - the multi-writer protocol of Section 5.3 with augmented timestamps,
+//     2b+1-server reads and b+1 matching replies;
+//   - context reconstruction after a crashed session (Section 5.1);
+//   - optional client-side encryption so servers never see plaintext
+//     (Section 5.2).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Errors returned by client operations.
+var (
+	// ErrStale reports that no server could supply a value at least as
+	// recent as the client's context requires, even after retries. The
+	// paper's options — "contact additional servers or try later" — are
+	// both exhausted when this is returned.
+	ErrStale = errors.New("client: no sufficiently recent value available")
+	// ErrNotConnected reports an operation before Connect.
+	ErrNotConnected = errors.New("client: not connected")
+	// ErrEquivocation reports proof that a writer signed two values under
+	// one timestamp (multi-writer mode).
+	ErrEquivocation = errors.New("client: writer equivocation detected")
+)
+
+// Config assembles everything a client session needs.
+type Config struct {
+	// ID is the client's principal name (the paper's uid(C_i)).
+	ID string
+	// Key is the client's signing key; its public half must be in Ring.
+	Key cryptoutil.KeyPair
+	// Ring holds all well-known public keys.
+	Ring *cryptoutil.Keyring
+	// Servers lists the replica names S_1..S_n.
+	Servers []string
+	// B is the assumed bound on faulty servers.
+	B int
+	// Group is the related group of data items this session accesses.
+	Group string
+	// Consistency is the group's consistency level (fixed at creation).
+	Consistency wire.Consistency
+	// MultiWriter selects the Section 5.3 protocol.
+	MultiWriter bool
+	// Caller is the transport bound to this client.
+	Caller transport.Caller
+	// Token authorizes this client for Group. May be nil when servers run
+	// without an authority.
+	Token *accessctl.Token
+	// Metrics receives cost accounting. May be nil.
+	Metrics *metrics.Counters
+	// CallTimeout bounds each quorum operation (default 2s).
+	CallTimeout time.Duration
+	// ReadRetries is how many times a read re-polls for a fresh enough
+	// value before returning ErrStale (default 3).
+	ReadRetries int
+	// RetryBackoff is the pause between read retries (default 20ms),
+	// giving dissemination time to deliver the missing write.
+	RetryBackoff time.Duration
+	// DataKey, when non-nil, encrypts values client-side; servers store
+	// only ciphertext (Section 5.2 confidentiality).
+	DataKey *cryptoutil.DataKey
+	// ObfuscateTimestamps advances timestamps by random increments so
+	// observers cannot count updates (Section 5.2).
+	ObfuscateTimestamps bool
+	// EagerRead is an engineering optimization beyond the paper: reads
+	// fetch full values from the first b+1 servers in a single round
+	// instead of the two-phase timestamp-then-value protocol of Figure 2.
+	// It halves read latency (1 RTT instead of 2) at the cost of moving
+	// b+1 copies of the value and verifying up to b+1 signatures instead
+	// of one. Ablation A4 quantifies the trade. Single-writer groups only.
+	EagerRead bool
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.ReadRetries <= 0 {
+		cfg.ReadRetries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 20 * time.Millisecond
+	}
+	if cfg.Consistency == 0 {
+		cfg.Consistency = wire.MRC
+	}
+	return cfg
+}
+
+// Client is one client session with the secure store. Not safe for
+// concurrent use: a session is a single principal's thread of interaction,
+// and its context evolves sequentially (as in the paper).
+type Client struct {
+	cfg       Config
+	n         int
+	ctxVec    sessionctx.Vector
+	seq       uint64
+	clock     timestamp.Clock
+	connected bool
+}
+
+// New validates the configuration and creates a (not yet connected)
+// client.
+func New(cfg Config) (*Client, error) {
+	c := cfg.withDefaults()
+	if err := quorum.Validate(len(c.Servers), c.B); err != nil {
+		return nil, err
+	}
+	if c.Caller == nil {
+		return nil, errors.New("client: caller required")
+	}
+	return &Client{
+		cfg:    c,
+		n:      len(c.Servers),
+		ctxVec: sessionctx.NewVector(),
+		clock:  timestamp.Clock{Obfuscate: c.ObfuscateTimestamps},
+	}, nil
+}
+
+// ID returns the client's principal name.
+func (c *Client) ID() string { return c.cfg.ID }
+
+// Context returns a copy of the client's current context vector.
+func (c *Client) Context() sessionctx.Vector { return c.ctxVec.Clone() }
+
+// ContextSeq returns the sequence number of the last stored context.
+func (c *Client) ContextSeq() uint64 { return c.seq }
+
+// Connected reports whether a session is active.
+func (c *Client) Connected() bool { return c.connected }
+
+// Connect initiates a session: it collects the client's stored context
+// from at least ⌈(n+b+1)/2⌉ servers, verifies signatures, and adopts the
+// latest valid context (Figure 1). A client with no stored context starts
+// fresh. Contact is staged — exactly the quorum first, expanding past
+// failures — which realizes Section 6's cost of 2·⌈(n+b+1)/2⌉ messages in
+// the failure-free case.
+func (c *Client) Connect(ctx context.Context) error {
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	need := quorum.ContextQuorum(c.n, c.cfg.B)
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return wire.ContextReadReq{Client: c.cfg.ID, Group: c.cfg.Group, Token: c.cfg.Token}
+	}, need)
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+
+	// Candidates sorted newest first; signatures are checked lazily so the
+	// common case — the latest returned context is genuine — costs exactly
+	// one verification, the paper's best case ("context acquisition
+	// requires just one signature verification", Section 6). A forged or
+	// stale-context lie from a malicious server merely moves verification
+	// to the next candidate.
+	var candidates []*sessionctx.Signed
+	for _, r := range quorum.Successes(replies) {
+		resp, ok := r.Resp.(wire.ContextReadResp)
+		if !ok || resp.Ctx == nil {
+			continue
+		}
+		if resp.Ctx.Owner != c.cfg.ID || resp.Ctx.Group != c.cfg.Group {
+			continue
+		}
+		candidates = append(candidates, resp.Ctx)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Seq > candidates[j].Seq })
+	var best *sessionctx.Signed
+	for _, cand := range candidates {
+		// Malicious servers cannot forge the owner's signature, so the
+		// first verifiable candidate is the newest genuine one.
+		if err := cand.Verify(c.cfg.Ring, c.cfg.Metrics); err == nil {
+			best = cand
+			break
+		}
+	}
+
+	c.ctxVec = sessionctx.NewVector()
+	c.seq = 0
+	if best != nil {
+		c.ctxVec = best.Vector.Clone()
+		c.seq = best.Seq
+	}
+	c.observeContextClock()
+	c.connected = true
+	return nil
+}
+
+// Disconnect terminates the session: the client signs its current context
+// (with an incremented sequence number) and stores it at ⌈(n+b+1)/2⌉
+// servers (Figure 1).
+func (c *Client) Disconnect(ctx context.Context) error {
+	if !c.connected {
+		return ErrNotConnected
+	}
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	signed := &sessionctx.Signed{
+		Owner:  c.cfg.ID,
+		Group:  c.cfg.Group,
+		Seq:    c.seq + 1,
+		Vector: c.ctxVec.Clone(),
+	}
+	signed.Sign(c.cfg.Key, c.cfg.Metrics)
+
+	need := quorum.ContextQuorum(c.n, c.cfg.B)
+	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return wire.ContextWriteReq{Ctx: signed, Token: c.cfg.Token}
+	}, need); err != nil {
+		return fmt.Errorf("disconnect: %w", err)
+	}
+	c.seq = signed.Seq
+	c.connected = false
+	return nil
+}
+
+// ReconstructContext rebuilds the client's context after a session that
+// ended without Disconnect (Section 5.1): it reads the named items from
+// *all* servers, verifies each returned signed write, and adopts the
+// latest valid stamp per item. Expensive by design — "a more expensive
+// protocol is used to reconstruct the context".
+func (c *Client) ReconstructContext(ctx context.Context, items []string) error {
+	vec := sessionctx.NewVector()
+	for _, item := range items {
+		opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		replies, err := quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+			return wire.ValueReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
+		}, c.n-c.cfg.B)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("reconstruct context: item %s: %w", item, err)
+		}
+		for _, r := range quorum.Successes(replies) {
+			resp, ok := r.Resp.(wire.ValueResp)
+			if !ok || resp.Write == nil {
+				continue
+			}
+			if resp.Write.Item != item || resp.Write.Group != c.cfg.Group {
+				continue
+			}
+			if err := resp.Write.Verify(c.cfg.Ring, c.cfg.Metrics); err != nil {
+				continue
+			}
+			vec.Update(item, resp.Write.Stamp)
+		}
+	}
+	c.ctxVec = vec
+	c.observeContextClock()
+	c.connected = true
+	return nil
+}
+
+// observeContextClock raises the write clock above every stamp in the
+// context so a reconnecting writer never reuses a timestamp.
+func (c *Client) observeContextClock() {
+	for _, ts := range c.ctxVec {
+		c.clock.Observe(ts.Time)
+	}
+}
+
+// SetDataKey rotates the client-side encryption key. The paper's owner
+// key-change procedure (Section 5.2) is: read each item, rotate the key,
+// re-encrypt and write the items back; subsequent writes seal under the
+// new key. Passing nil disables encryption.
+func (c *Client) SetDataKey(key *cryptoutil.DataKey) {
+	c.cfg.DataKey = key
+}
+
+// seal encrypts the value when a data key is configured, binding it to the
+// item so ciphertexts cannot be replayed across items.
+func (c *Client) seal(item string, value []byte) ([]byte, error) {
+	if c.cfg.DataKey == nil {
+		return value, nil
+	}
+	sealed, err := c.cfg.DataKey.Seal(value, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("seal %s: %w", item, err)
+	}
+	return sealed, nil
+}
+
+// open decrypts a stored value when a data key is configured.
+func (c *Client) open(item string, stored []byte) ([]byte, error) {
+	if c.cfg.DataKey == nil {
+		return stored, nil
+	}
+	plain, err := c.cfg.DataKey.Open(stored, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", item, err)
+	}
+	return plain, nil
+}
+
+// RotateDataKey performs the paper's owner key-change procedure (Section
+// 5.2): "When the owner changes its key, it reads the data items,
+// re-encrypts and stores them back." Every listed item is read under the
+// current key, the client switches to newKey, and the plaintexts are
+// re-sealed and written back under fresh timestamps. Items that fail to
+// read as absent are skipped; any other failure aborts before the key is
+// switched, leaving the session fully on the old key.
+func (c *Client) RotateDataKey(ctx context.Context, items []string, newKey *cryptoutil.DataKey) error {
+	if !c.connected {
+		return ErrNotConnected
+	}
+	plaintexts := make(map[string][]byte, len(items))
+	for _, item := range items {
+		value, _, err := c.Read(ctx, item)
+		if err != nil {
+			if errors.Is(err, ErrStale) {
+				continue // never written (or unreachable as absent): nothing to re-encrypt
+			}
+			return fmt.Errorf("rotate key: read %s: %w", item, err)
+		}
+		plaintexts[item] = value
+	}
+	c.SetDataKey(newKey)
+	for item, value := range plaintexts {
+		if _, err := c.Write(ctx, item, value); err != nil {
+			return fmt.Errorf("rotate key: rewrite %s: %w", item, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// rig wires n servers and one client directly (no core facade), exposing
+// the pieces tests poke at.
+type rig struct {
+	bus     *transport.Bus
+	ring    *cryptoutil.Keyring
+	servers []*server.Server
+	names   []string
+}
+
+func newRig(t *testing.T, n int, policy server.Policy) *rig {
+	t.Helper()
+	r := &rig{
+		bus:  transport.NewBus(nil),
+		ring: cryptoutil.NewKeyring(),
+	}
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		srv := server.New(server.Config{ID: name, Ring: r.ring})
+		srv.RegisterGroup("g", policy)
+		r.bus.Register(name, srv)
+		r.servers = append(r.servers, srv)
+		r.names = append(r.names, name)
+	}
+	return r
+}
+
+func (r *rig) client(t *testing.T, id string, b int, mutate func(*Config)) *Client {
+	t.Helper()
+	key := cryptoutil.DeterministicKeyPair(id, "s")
+	_ = r.ring.Register(id, key.Public)
+	cfg := Config{
+		ID:           id,
+		Key:          key,
+		Ring:         r.ring,
+		Servers:      r.names,
+		B:            b,
+		Group:        "g",
+		Consistency:  wire.MRC,
+		Caller:       r.bus.Caller(id, &metrics.Counters{}),
+		CallTimeout:  300 * time.Millisecond,
+		ReadRetries:  1,
+		RetryBackoff: 5 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+		if cfg.Metrics != nil {
+			// Rebind the caller so message counts land on the test's
+			// counters too.
+			cfg.Caller = r.bus.Caller(id, cfg.Metrics)
+		}
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	key := cryptoutil.DeterministicKeyPair("x", "s")
+
+	// Infeasible n/b.
+	if _, err := New(Config{ID: "x", Key: key, Ring: r.ring, Servers: r.names[:3], B: 1,
+		Group: "g", Caller: r.bus.Caller("x", nil)}); err == nil {
+		t.Fatal("accepted n=3, b=1")
+	}
+	// Missing caller.
+	if _, err := New(Config{ID: "x", Key: key, Ring: r.ring, Servers: r.names, B: 1, Group: "g"}); err == nil {
+		t.Fatal("accepted nil caller")
+	}
+}
+
+func TestOperationsRequireConnect(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if _, err := c.Write(ctx, "x", []byte("v")); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("write = %v, want ErrNotConnected", err)
+	}
+	if _, _, err := c.Read(ctx, "x"); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("read = %v, want ErrNotConnected", err)
+	}
+	if err := c.Disconnect(ctx); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("disconnect = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestWriteLandsOnExactlyBPlusOne(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	holders := 0
+	for _, srv := range r.servers {
+		if srv.Head("g", "x") != nil {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("write landed on %d servers, want b+1 = 2", holders)
+	}
+}
+
+func TestReadRetriesThenSucceeds(t *testing.T) {
+	// The fresh value reaches the read quorum only after a delay
+	// (simulating dissemination); the read's retry loop must pick it up.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "writer", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := writer.Write(ctx, "x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &metrics.Counters{}
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.Metrics = m
+		cfg.ReadRetries = 5
+		cfg.RetryBackoff = 20 * time.Millisecond
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-load the reader's context to demand the fresh stamp, then make
+	// the servers holding it unavailable at first.
+	reader.ctxVec.Update("x", stamp)
+	r.servers[0].SetFault(server.Crash)
+	r.servers[1].SetFault(server.Crash)
+
+	// Heal the servers shortly after the first attempt fails.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		r.servers[0].SetFault(server.Healthy)
+		r.servers[1].SetFault(server.Healthy)
+	}()
+
+	got, _, err := reader.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("read after retries: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+	if m.Custom("read.retries") == 0 {
+		t.Fatal("no retries recorded; test did not exercise the retry path")
+	}
+}
+
+func TestReadWidensPastInitialQuorum(t *testing.T) {
+	// Fresh value lives only at servers c and d (indices 2, 3); the first
+	// b+1 = 2 contacted (a, b) have nothing, so the client must widen.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "writer", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a, b during the write so it lands on c, d.
+	r.servers[0].SetFault(server.Crash)
+	r.servers[1].SetFault(server.Crash)
+	if _, err := writer.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].SetFault(server.Healthy)
+	r.servers[1].SetFault(server.Healthy)
+
+	m := &metrics.Counters{}
+	reader := r.client(t, "reader", 1, func(cfg *Config) { cfg.Metrics = m })
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reader.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+	if m.Custom("read.widened") == 0 {
+		t.Fatal("read did not widen despite empty first quorum")
+	}
+}
+
+func TestCorruptMetaFallsBackToHonestServer(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) {
+		cfg.Metrics = &metrics.Counters{}
+	})
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Server a lures with an inflated stamp but cannot substantiate it.
+	r.servers[0].SetFault(server.CorruptMeta)
+	got, _, err := c.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("read with corrupt-meta server: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestCCReadMergesWriterContext(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.CC})
+	writer := r.client(t, "writer", 1, func(cfg *Config) { cfg.Consistency = wire.CC })
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := writer.Write(ctx, "x", []byte("vx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Write(ctx, "y", []byte("vy")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := r.client(t, "reader", 1, func(cfg *Config) { cfg.Consistency = wire.CC })
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reader.Read(ctx, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reader.Context().Get("x"); got.Less(s1) {
+		t.Fatalf("reader x floor = %v, want >= %v", got, s1)
+	}
+}
+
+func TestMRCReadDoesNotImportOtherFloors(t *testing.T) {
+	// Under MRC, reading y must not constrain x.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "writer", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Write(ctx, "x", []byte("vx")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Write(ctx, "y", []byte("vy")); err != nil {
+		t.Fatal(err)
+	}
+	reader := r.client(t, "reader", 1, nil)
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reader.Read(ctx, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reader.Context().Get("x"); !got.Zero() {
+		t.Fatalf("MRC read of y set x floor to %v", got)
+	}
+}
+
+func TestMultiWriterEquivocationSurfaced(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.CC, MultiWriter: true})
+	ctx := context.Background()
+
+	// Hand-craft two values under one stamp from an equivocating writer,
+	// delivered so that neither variant reaches b+1 = 2 servers... with 4
+	// servers and a 3-server read quorum, split 2/2 so the read sees both.
+	evil := cryptoutil.DeterministicKeyPair("evil", "s")
+	r.ring.MustRegister(evil.ID, evil.Public)
+	mk := func(value []byte) *wire.SignedWrite {
+		st := timestamp.Stamp{Time: 9, Writer: "evil", Digest: cryptoutil.Digest(value)}
+		w := &wire.SignedWrite{Group: "g", Item: "x", Stamp: st,
+			WriterCtx: map[string]timestamp.Stamp{"x": st}, Value: value}
+		w.Sign(evil, nil)
+		return w
+	}
+	// Both variants share (Time, Writer) but differ in digest. Deliver
+	// each variant to a single server: neither can ever assemble b+1 = 2
+	// matching reports, so no reader accepts either.
+	va, vb := mk([]byte("say yes")), mk([]byte("say no"))
+	caller := r.bus.Caller("evil", nil)
+	if _, err := caller.Call(ctx, r.names[0], wire.WriteReq{Write: va}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := caller.Call(ctx, r.names[2], wire.WriteReq{Write: vb}); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.Consistency = wire.CC
+		cfg.MultiWriter = true
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := reader.Read(ctx, "x")
+	if err == nil {
+		t.Fatal("read accepted an equivocated value without b+1 distinct-server match")
+	}
+}
+
+func TestEncryptionTransparent(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	key := cryptoutil.DeriveDataKey("pass", "g")
+	c := r.client(t, "alice", 1, func(cfg *Config) { cfg.DataKey = &key })
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("plaintext secret")
+	if _, err := c.Write(ctx, "x", secret); err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range r.servers {
+		if w := srv.Head("g", "x"); w != nil && bytes.Contains(w.Value, secret) {
+			t.Fatal("server stores plaintext")
+		}
+	}
+	got, _, err := c.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("read = %q", got)
+	}
+
+	// Reading with the wrong key fails loudly rather than returning junk.
+	wrong := cryptoutil.DeriveDataKey("other", "g")
+	c2 := r.client(t, "bob", 1, func(cfg *Config) { cfg.DataKey = &wrong })
+	if err := c2.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Read(ctx, "x"); err == nil {
+		t.Fatal("wrong key read succeeded")
+	}
+}
+
+func TestReconstructSkipsCorruptCopies(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := c.Write(ctx, "x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One corrupting server: its copies fail verification and are
+	// ignored during reconstruction.
+	r.servers[0].SetFault(server.CorruptValue)
+
+	c2 := r.client(t, "alice", 1, nil)
+	if err := c2.ReconstructContext(ctx, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Context().Get("x"); got != stamp {
+		t.Fatalf("reconstructed x = %v, want %v", got, stamp)
+	}
+}
+
+func TestContextSeqAdvancesPerSession(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	ctx := context.Background()
+	for want := uint64(1); want <= 3; want++ {
+		c := r.client(t, "alice", 1, nil)
+		if err := c.Connect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(ctx, "x", []byte{byte(want)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Disconnect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if c.ContextSeq() != want {
+			t.Fatalf("session %d seq = %d", want, c.ContextSeq())
+		}
+	}
+}
+
+func TestWriteClockNeverReusesStamps(t *testing.T) {
+	// Across sessions, a writer's stamps strictly increase even without a
+	// stored context (reconstruction path).
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	ctx := context.Background()
+
+	c1 := r.client(t, "alice", 1, nil)
+	if err := c1.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c1.Write(ctx, "x", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session "crashes" (no disconnect). New session reconstructs.
+	c2 := r.client(t, "alice", 1, nil)
+	if err := c2.ReconstructContext(ctx, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c2.Write(ctx, "x", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Less(s2) {
+		t.Fatalf("stamp reuse: %v then %v", s1, s2)
+	}
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+func TestEagerReadSingleRound(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	m := &metrics.Counters{}
+	c := r.client(t, "alice", 1, func(cfg *Config) {
+		cfg.EagerRead = true
+		cfg.Metrics = m
+	})
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	got, _, err := c.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+	// Single round to b+1 = 2 servers: 4 messages, vs 6 for two-phase.
+	if msgs := m.MessagesSent(); msgs != 4 {
+		t.Fatalf("eager read messages = %d, want 4", msgs)
+	}
+}
+
+func TestEagerReadVerifiesAndSkipsCorrupt(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) { cfg.EagerRead = true })
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// First contacted server corrupts values; the eager read must fall
+	// through to the other holder (or the two-phase fallback) and still
+	// return the genuine value.
+	r.servers[0].SetFault(server.CorruptValue)
+	got, _, err := c.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("eager read with corrupting server: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestEagerReadFallsBackWhenStale(t *testing.T) {
+	// Fresh value only at the far servers: eager's first quorum misses it,
+	// the fallback two-phase widened read finds it.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "writer", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].SetFault(server.Crash)
+	r.servers[1].SetFault(server.Crash)
+	stamp, err := writer.Write(ctx, "x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.servers[0].SetFault(server.Healthy)
+	r.servers[1].SetFault(server.Healthy)
+
+	m := &metrics.Counters{}
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.EagerRead = true
+		cfg.Metrics = m
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reader.ctxVec.Update("x", stamp) // demand the fresh value
+	got, _, err := reader.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("read = %q", got)
+	}
+	if m.Custom("read.eager.fallback") == 0 {
+		t.Fatal("eager read did not record its fallback")
+	}
+}
+
+func TestRotateDataKey(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	oldKey := cryptoutil.DeriveDataKey("old", "g")
+	c := r.client(t, "owner", 1, func(cfg *Config) { cfg.DataKey = &oldKey })
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	items := map[string][]byte{
+		"a": []byte("alpha"),
+		"b": []byte("bravo"),
+	}
+	for item, v := range items {
+		if _, err := c.Write(ctx, item, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	newKey := cryptoutil.DeriveDataKey("new", "g")
+	if err := c.RotateDataKey(ctx, []string{"a", "b", "never-written"}, &newKey); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+
+	// The rotating client still reads everything.
+	for item, want := range items {
+		got, _, err := c.Read(ctx, item)
+		if err != nil {
+			t.Fatalf("read %s after rotation: %v", item, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %s = %q, want %q", item, got, want)
+		}
+	}
+
+	// A reader still on the old key can no longer open the heads.
+	oldReader := r.client(t, "old-reader", 1, func(cfg *Config) { cfg.DataKey = &oldKey })
+	if err := oldReader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := oldReader.Read(ctx, "a"); err == nil {
+		t.Fatal("old key still opens rotated item")
+	}
+	// A reader with the new key can.
+	newReader := r.client(t, "new-reader", 1, func(cfg *Config) { cfg.DataKey = &newKey })
+	if err := newReader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := newReader.Read(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("new-key read = %q", got)
+	}
+}
+
+func TestRotateDataKeyRequiresConnect(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	key := cryptoutil.DeriveDataKey("k", "g")
+	c := r.client(t, "owner", 1, func(cfg *Config) { cfg.DataKey = &key })
+	if err := c.RotateDataKey(context.Background(), []string{"a"}, &key); err == nil {
+		t.Fatal("rotate before connect succeeded")
+	}
+}

@@ -1,0 +1,340 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/quorum"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// Write stores a new value for an item (Figure 2). The write message —
+// item uid, timestamp, the writer's context under CC, the value, and the
+// writer's signature over all of it — is sent to b+1 servers (expanding
+// past failures), guaranteeing at least one non-faulty server stores it.
+// In multi-writer mode the timestamp is the augmented 3-tuple
+// (time, uid, digest) of Section 5.3.
+func (c *Client) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
+	if !c.connected {
+		return timestamp.Stamp{}, ErrNotConnected
+	}
+	stored, err := c.seal(item, value)
+	if err != nil {
+		return timestamp.Stamp{}, err
+	}
+
+	stamp := timestamp.Stamp{Time: c.clock.Next(c.ctxVec.Get(item).Time)}
+	if c.cfg.MultiWriter {
+		stamp.Writer = c.cfg.ID
+		stamp.Digest = cryptoutil.Digest(stored)
+	}
+
+	w := &wire.SignedWrite{
+		Group: c.cfg.Group,
+		Item:  item,
+		Stamp: stamp,
+		Value: stored,
+	}
+	if c.cfg.Consistency == wire.CC {
+		// "increment t_j in X_i ... write-message := {..., X_i, v, ...}":
+		// the embedded context already reflects this write's own stamp.
+		vec := c.ctxVec.Clone()
+		vec.Update(item, stamp)
+		w.WriterCtx = vec
+	}
+	w.Sign(c.cfg.Key, c.cfg.Metrics)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	need := quorum.WriteSet(c.cfg.B)
+	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return wire.WriteReq{Write: w, Token: c.cfg.Token}
+	}, need); err != nil {
+		return timestamp.Stamp{}, fmt.Errorf("write %s: %w", item, err)
+	}
+
+	c.ctxVec.Update(item, stamp)
+	return stamp, nil
+}
+
+// Read returns a value for the item consistent with the client's context:
+// under MRC, at least as recent as any value this client has read before;
+// under CC, not causally overwritten by anything the client has seen
+// (Figure 2 for single-writer groups; Section 5.3 for multi-writer). When
+// the first quorum cannot supply a fresh-enough value, the client contacts
+// additional servers, then retries after a backoff — the paper's two
+// remedies — before giving up with ErrStale.
+func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	if !c.connected {
+		return nil, timestamp.Stamp{}, ErrNotConnected
+	}
+	var (
+		write *wire.SignedWrite
+		err   error
+	)
+	for attempt := 0; ; attempt++ {
+		switch {
+		case c.cfg.MultiWriter:
+			write, err = c.readMultiWriter(ctx, item)
+		case c.cfg.EagerRead:
+			write, err = c.readEager(ctx, item)
+		default:
+			write, err = c.readSingleWriter(ctx, item)
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= c.cfg.ReadRetries || ctx.Err() != nil {
+			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
+		}
+		c.cfg.Metrics.AddCustom("read.retries", 1)
+		timer := time.NewTimer(c.cfg.RetryBackoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, timestamp.Stamp{}, ctx.Err()
+		}
+	}
+
+	// Update the context per the consistency level (Figure 2).
+	if c.cfg.Consistency == wire.CC && write.WriterCtx != nil {
+		c.ctxVec.Merge(write.WriterCtx)
+	}
+	c.ctxVec.Update(item, write.Stamp)
+	c.clock.Observe(write.Stamp.Time)
+
+	value, err := c.open(item, write.Value)
+	if err != nil {
+		return nil, timestamp.Stamp{}, err
+	}
+	return value, write.Stamp, nil
+}
+
+// readSingleWriter is one attempt of the two-phase read of Figure 2:
+// query b+1 (or more) servers for the item's timestamp, pick the highest
+// t_r; if t_r is at least the context's timestamp, fetch the full signed
+// write from servers advertising fresh copies (best first) and accept the
+// first one whose signature checks out and whose stamp is fresh enough.
+func (c *Client) readSingleWriter(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	floor := c.ctxVec.Get(item)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	metaReq := func(string) wire.Request {
+		return wire.MetaReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
+	}
+
+	// Phase one: b+1 servers first.
+	need := c.cfg.B + 1
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, metaReq, need)
+	if err != nil {
+		return nil, err
+	}
+	candidates := freshCandidates(replies, floor)
+	if len(candidates) == 0 {
+		// "contact additional servers": widen phase one to every server.
+		c.cfg.Metrics.AddCustom("read.widened", 1)
+		replies, err = quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, metaReq, c.n-c.cfg.B)
+		if err != nil {
+			return nil, err
+		}
+		candidates = freshCandidates(replies, floor)
+		if len(candidates) == 0 {
+			return nil, ErrStale
+		}
+	}
+
+	// Phase two: fetch from the best candidate; fall back down the list
+	// when a server cannot substantiate its advertised timestamp (e.g. the
+	// CorruptMeta fault) or serves a corrupt value.
+	for _, cand := range candidates {
+		resp, err := c.cfg.Caller.Call(opCtx, cand.server, wire.ValueReq{
+			Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Stamp: cand.stamp, Token: c.cfg.Token,
+		})
+		if err != nil {
+			continue
+		}
+		vr, ok := resp.(wire.ValueResp)
+		if !ok || vr.Write == nil || vr.Write.Item != item || vr.Write.Group != c.cfg.Group {
+			continue
+		}
+		if vr.Write.Stamp.Less(floor) {
+			continue // stale despite the advertisement
+		}
+		if err := vr.Write.Verify(c.cfg.Ring, c.cfg.Metrics); err != nil {
+			c.cfg.Metrics.AddCustom("read.badsig", 1)
+			continue
+		}
+		return vr.Write, nil
+	}
+	return nil, ErrStale
+}
+
+// readEager is the optional single-round read: fetch full signed writes
+// from b+1 servers (expanding past failures), accept the freshest one
+// that verifies and satisfies the context floor. Falls back to the
+// two-phase widened read when the first quorum has nothing fresh enough.
+func (c *Client) readEager(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	floor := c.ctxVec.Get(item)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return wire.ValueReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
+	}, c.cfg.B+1)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *wire.SignedWrite
+	for _, r := range quorum.Successes(replies) {
+		vr, ok := r.Resp.(wire.ValueResp)
+		if !ok || vr.Write == nil || vr.Write.Item != item || vr.Write.Group != c.cfg.Group {
+			continue
+		}
+		if vr.Write.Stamp.Less(floor) {
+			continue
+		}
+		if best != nil && !best.Stamp.Less(vr.Write.Stamp) {
+			continue // not newer than what we already verified
+		}
+		if err := vr.Write.Verify(c.cfg.Ring, c.cfg.Metrics); err != nil {
+			c.cfg.Metrics.AddCustom("read.badsig", 1)
+			continue
+		}
+		best = vr.Write
+	}
+	if best != nil {
+		return best, nil
+	}
+	// Nothing fresh enough at the first quorum: the two-phase read's
+	// widening path takes over.
+	c.cfg.Metrics.AddCustom("read.eager.fallback", 1)
+	return c.readSingleWriter(ctx, item)
+}
+
+type candidate struct {
+	server string
+	stamp  timestamp.Stamp
+}
+
+// freshCandidates extracts servers whose advertised stamp is >= floor,
+// sorted newest first.
+func freshCandidates(replies []quorum.Reply, floor timestamp.Stamp) []candidate {
+	var out []candidate
+	for _, r := range quorum.Successes(replies) {
+		meta, ok := r.Resp.(wire.MetaResp)
+		if !ok || !meta.Has {
+			continue
+		}
+		if meta.Stamp.Less(floor) {
+			continue
+		}
+		out = append(out, candidate{server: r.Server, stamp: meta.Stamp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[j].stamp.Less(out[i].stamp) })
+	return out
+}
+
+// readMultiWriter is one attempt of the Section 5.3 read: query 2b+1
+// servers (expanding past failures) for their latest-writes logs and
+// accept the newest fresh-enough value reported identically by at least
+// b+1 servers. With at most b faulty servers, b+1 matching reports imply
+// at least one comes from a non-faulty server that validated the write and
+// its causal predecessors, masking both premature reports and stale lies.
+// The client performs no signature verification here — validation happened
+// at the servers (Section 6).
+func (c *Client) readMultiWriter(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	floor := c.ctxVec.Get(item)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	need := quorum.MultiReadSet(c.cfg.B)
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		return wire.LogReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
+	}, need)
+	if err != nil {
+		return nil, err
+	}
+
+	// Tally per-server votes per stamp. A server votes at most once per
+	// stamp; conflicting values under one stamp expose equivocation.
+	type tally struct {
+		write  *wire.SignedWrite
+		voters map[string]bool
+	}
+	tallies := make(map[timestamp.Stamp]*tally)
+	var equivocated *timestamp.Stamp
+	for _, r := range quorum.Successes(replies) {
+		lr, ok := r.Resp.(wire.LogResp)
+		if !ok {
+			continue
+		}
+		for _, w := range lr.Writes {
+			if w == nil || w.Item != item || w.Group != c.cfg.Group {
+				continue
+			}
+			t, ok := tallies[w.Stamp]
+			if !ok {
+				tallies[w.Stamp] = &tally{write: w, voters: map[string]bool{r.Server: true}}
+				continue
+			}
+			if cryptoutil.Digest(t.write.Value) != cryptoutil.Digest(w.Value) {
+				// Same stamp, different value: the stamp embeds the value
+				// digest, so at most one variant can be validly signed; a
+				// server reporting the other is lying, not the writer.
+				// Ignore the conflicting report.
+				stamp := w.Stamp
+				equivocated = &stamp
+				continue
+			}
+			t.voters[r.Server] = true
+		}
+	}
+
+	// Writer-equivocation detection (Section 5.3): two distinct stamps
+	// sharing (time, writer) but differing in digest are cryptographic
+	// proof the writer signed two values under one timestamp. At most one
+	// variant can ever be accepted (the b+1 matching rule), but the client
+	// is additionally informed — "clients accessing this data item can be
+	// informed that the value cannot be assumed to be correct".
+	seenPair := make(map[string]timestamp.Stamp, len(tallies))
+	for stamp := range tallies {
+		pair := fmt.Sprintf("%d/%s", stamp.Time, stamp.Writer)
+		if prev, ok := seenPair[pair]; ok && prev.Digest != stamp.Digest {
+			c.cfg.Metrics.AddCustom("equivocation.detected", 1)
+			st := stamp
+			equivocated = &st
+		}
+		seenPair[pair] = stamp
+	}
+
+	var best *wire.SignedWrite
+	threshold := quorum.MatchThreshold(c.cfg.B)
+	for stamp, t := range tallies {
+		if len(t.voters) < threshold {
+			continue
+		}
+		if stamp.Less(floor) {
+			continue
+		}
+		if best == nil || best.Stamp.Less(stamp) {
+			best = t.write
+		}
+	}
+	if best == nil {
+		if equivocated != nil {
+			return nil, fmt.Errorf("%w: stamp %s", ErrEquivocation, equivocated)
+		}
+		return nil, ErrStale
+	}
+	return best, nil
+}

@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+// newDeterministicRand gives property-style tests a fixed seed.
+func newDeterministicRand() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func TestDisconnectFailureKeepsSessionResumable(t *testing.T) {
+	// If the context write cannot reach its quorum, Disconnect fails, the
+	// session stays open, and the sequence number is NOT consumed; a retry
+	// after the outage stores the same context version.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Context quorum is 3; crash 2 servers so only 2 remain.
+	r.servers[0].SetFault(server.Crash)
+	r.servers[1].SetFault(server.Crash)
+	if err := c.Disconnect(ctx); err == nil {
+		t.Fatal("disconnect succeeded without a quorum")
+	}
+	if !c.Connected() {
+		t.Fatal("failed disconnect closed the session")
+	}
+	if c.ContextSeq() != 0 {
+		t.Fatalf("failed disconnect advanced seq to %d", c.ContextSeq())
+	}
+
+	// Outage over: the retry succeeds and stores seq 1.
+	r.servers[0].SetFault(server.Healthy)
+	r.servers[1].SetFault(server.Healthy)
+	if err := c.Disconnect(ctx); err != nil {
+		t.Fatalf("disconnect after heal: %v", err)
+	}
+	if c.ContextSeq() != 1 {
+		t.Fatalf("seq = %d, want 1", c.ContextSeq())
+	}
+	if c.Connected() {
+		t.Fatal("successful disconnect left the session open")
+	}
+}
+
+func TestReconnectWithinSameClient(t *testing.T) {
+	// A client object can run several sessions back to back; each Connect
+	// restores the latest stored context.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+
+	for session := uint64(1); session <= 3; session++ {
+		if err := c.Connect(ctx); err != nil {
+			t.Fatalf("session %d connect: %v", session, err)
+		}
+		if _, err := c.Write(ctx, "x", []byte{byte(session)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Disconnect(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if c.ContextSeq() != session {
+			t.Fatalf("session %d: seq = %d", session, c.ContextSeq())
+		}
+	}
+}
+
+func TestContextCarriesOnlyTouchedItems(t *testing.T) {
+	// The paper: "in a given session, we assume that a client only
+	// accesses a small number of such items. This implies that the context
+	// maintained by a client ... will not be large." The vector must track
+	// exactly the touched items.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "a", []byte("va")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(ctx, "b", []byte("vb")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	vec := c.Context()
+	if len(vec) != 2 {
+		t.Fatalf("context tracks %d items, want 2: %v", len(vec), vec)
+	}
+	if vec.Get("a").Zero() || vec.Get("b").Zero() {
+		t.Fatalf("context missing touched items: %v", vec)
+	}
+}
+
+func TestGroupIsolation(t *testing.T) {
+	// Consistency is scoped to one related group (Section 4): sessions on
+	// different groups have independent contexts even for the same client
+	// identity.
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	for _, srv := range r.servers {
+		srv.RegisterGroup("other", server.Policy{Consistency: wire.MRC})
+	}
+	ctx := context.Background()
+
+	g1 := r.client(t, "alice", 1, nil)
+	if err := g1.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.Write(ctx, "x", []byte("in-g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := r.client(t, "alice", 1, func(cfg *Config) { cfg.Group = "other" })
+	if err := g2.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Context()) != 0 {
+		t.Fatalf("group 'other' session inherited context %v from group 'g'", g2.Context())
+	}
+	if g2.ContextSeq() != 0 {
+		t.Fatalf("group 'other' seq = %d, want 0", g2.ContextSeq())
+	}
+	// And the item written in g is invisible in other.
+	if _, _, err := g2.Read(ctx, "x"); err == nil {
+		t.Fatal("read crossed group boundaries")
+	}
+}
+
+// TestReadYourWritesProperty: within one healthy session, a client always
+// reads back at least its own latest write of each item — MRC's
+// read-your-writes facet, property-checked over random op sequences.
+func TestReadYourWritesProperty(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	items := []string{"p", "q", "r"}
+	latest := make(map[string]byte)
+	rng := newDeterministicRand()
+	for op := 0; op < 120; op++ {
+		item := items[rng.Intn(len(items))]
+		if rng.Intn(2) == 0 || latest[item] == 0 {
+			v := byte(rng.Intn(255)) + 1
+			if _, err := c.Write(ctx, item, []byte{v}); err != nil {
+				t.Fatalf("op %d write: %v", op, err)
+			}
+			latest[item] = v
+		} else {
+			got, _, err := c.Read(ctx, item)
+			if err != nil {
+				t.Fatalf("op %d read %s: %v", op, item, err)
+			}
+			if got[0] != latest[item] {
+				t.Fatalf("op %d: read %s = %d, want own latest write %d", op, item, got[0], latest[item])
+			}
+		}
+	}
+}

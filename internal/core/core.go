@@ -1,0 +1,389 @@
+// Package core is the public face of the secure store: it assembles the n
+// replica servers, the (simulated or real) network, the dissemination
+// engines and the authorization service into a Cluster, and mints Clients
+// bound to it. Examples, experiments and tests all build on this package;
+// the protocol logic itself lives in internal/client and internal/server.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/client"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/fragstore"
+	"securestore/internal/gossip"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/server"
+	"securestore/internal/simnet"
+	"securestore/internal/storage"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// ClusterConfig sizes and wires a secure-store deployment.
+type ClusterConfig struct {
+	// N is the number of replica servers; B the bound on faulty ones.
+	// Validity requires N >= 3B+1 (see quorum.Validate).
+	N int
+	B int
+	// Seed derives deterministic keys and network randomness so whole
+	// experiments are reproducible. Empty selects "seed".
+	Seed string
+	// NetProfile is the default link profile (simnet.Instant when zero).
+	NetProfile simnet.Profile
+	// GossipInterval and GossipFanout tune dissemination. Background
+	// gossip only runs after StartGossip; experiments that want
+	// deterministic dissemination call Converge instead.
+	GossipInterval time.Duration
+	GossipFanout   int
+	// GossipMode selects push, pull or push-pull anti-entropy (default
+	// push).
+	GossipMode gossip.Mode
+	// LogDepth bounds the multi-writer per-item write logs.
+	LogDepth int
+	// DisableAuth omits the authorization service (micro-benchmarks that
+	// isolate protocol costs from token verification).
+	DisableAuth bool
+	// DisableCausalGating turns off server-side causal gating (ablation
+	// A1 only).
+	DisableCausalGating bool
+	// DataDir, when non-empty, backs every replica with a write-ahead log
+	// at DataDir/<name>.log and recovers state on construction — the same
+	// durability path cmd/securestored uses. The logs are closed by
+	// Cluster.Close.
+	DataDir string
+	// Principals pre-registers these clients' (deterministic) public keys
+	// before recovery runs. Recovery re-verifies every log record, so a
+	// persistent cluster must know its writers' keys upfront — exactly as
+	// a TCP deployment lists clients in its config. Clients minted later
+	// with NewClient are added to the ring as usual.
+	Principals []string
+}
+
+// Cluster is a running secure-store deployment over the in-memory
+// transport.
+type Cluster struct {
+	cfg           ClusterConfig
+	Ring          *cryptoutil.Keyring
+	Net           *simnet.Network
+	Bus           *transport.Bus
+	Servers       []*server.Server
+	ServerNames   []string
+	Engines       []*gossip.Engine
+	Authority     *accessctl.Authority
+	ServerMetrics *metrics.Counters
+
+	gossipRunning bool
+	logs          []*storage.Log
+}
+
+// GroupSpec declares one related group of data items.
+type GroupSpec struct {
+	Name        string
+	Consistency wire.Consistency
+	MultiWriter bool
+}
+
+// ClientSpec mints one client session against a cluster group.
+type ClientSpec struct {
+	ID    string
+	Group string
+	// Rights defaults to ReadWrite.
+	Rights accessctl.Rights
+	// Metrics receives this client's cost accounting (may be nil).
+	Metrics *metrics.Counters
+	// DataKey enables client-side encryption.
+	DataKey *cryptoutil.DataKey
+	// ObfuscateTimestamps randomizes timestamp increments.
+	ObfuscateTimestamps bool
+	// EagerRead selects the single-round read optimization (see
+	// client.Config.EagerRead; ablation A4).
+	EagerRead bool
+	// CallTimeout / ReadRetries / RetryBackoff override client defaults.
+	CallTimeout  time.Duration
+	ReadRetries  int
+	RetryBackoff time.Duration
+	// ServerOrder, when set, is the client's contact preference (e.g. its
+	// nearest replicas first). It must be a permutation of the cluster's
+	// server names. Staged operations contact servers in this order, which
+	// determines whose copies a read sees first.
+	ServerOrder []string
+}
+
+// NewCluster builds and starts a cluster (gossip engines are created but
+// not started; call StartGossip or drive Converge manually).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := quorum.Validate(cfg.N, cfg.B); err != nil {
+		return nil, err
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = "seed"
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 50 * time.Millisecond
+	}
+	if cfg.GossipFanout <= 0 {
+		cfg.GossipFanout = 2
+	}
+
+	c := &Cluster{
+		cfg:           cfg,
+		Ring:          cryptoutil.NewKeyring(),
+		Net:           simnet.New(cfg.NetProfile, seedInt(cfg.Seed)),
+		ServerMetrics: &metrics.Counters{},
+	}
+	c.Bus = transport.NewBus(c.Net)
+
+	if !cfg.DisableAuth {
+		authKey := cryptoutil.DeterministicKeyPair("authority", cfg.Seed)
+		c.Authority = accessctl.NewAuthority(authKey)
+		c.Ring.MustRegister(authKey.ID, authKey.Public)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		key := cryptoutil.DeterministicKeyPair(name, cfg.Seed)
+		c.Ring.MustRegister(name, key.Public)
+		authorityID := ""
+		if c.Authority != nil {
+			authorityID = c.Authority.ID()
+		}
+		var persist *storage.Log
+		if cfg.DataDir != "" {
+			log, err := storage.Open(filepath.Join(cfg.DataDir, name+".log"))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.logs = append(c.logs, log)
+			persist = log
+		}
+		srv := server.New(server.Config{
+			ID:                  name,
+			Ring:                c.Ring,
+			AuthorityID:         authorityID,
+			LogDepth:            cfg.LogDepth,
+			Metrics:             c.ServerMetrics,
+			DisableCausalGating: cfg.DisableCausalGating,
+			Persist:             persist,
+		})
+		c.Servers = append(c.Servers, srv)
+		c.ServerNames = append(c.ServerNames, name)
+		c.Bus.Register(name, srv)
+	}
+
+	for i, srv := range c.Servers {
+		peers := make([]string, 0, cfg.N-1)
+		for j, name := range c.ServerNames {
+			if j != i {
+				peers = append(peers, name)
+			}
+		}
+		mode := cfg.GossipMode
+		if mode == 0 {
+			mode = gossip.Push
+		}
+		eng := gossip.New(srv, c.Bus.Caller(srv.ID(), c.ServerMetrics), peers,
+			gossip.WithInterval(cfg.GossipInterval),
+			gossip.WithFanout(cfg.GossipFanout),
+			gossip.WithSeed(seedInt(cfg.Seed)+int64(i)),
+			gossip.WithMode(mode),
+		)
+		c.Engines = append(c.Engines, eng)
+	}
+	for _, id := range cfg.Principals {
+		key := cryptoutil.DeterministicKeyPair(id, cfg.Seed)
+		c.Ring.MustRegister(id, key.Public)
+	}
+	if cfg.DataDir != "" {
+		for _, srv := range c.Servers {
+			if err := srv.Recover(); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("recover %s: %w", srv.ID(), err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// N returns the cluster's replica count.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// B returns the cluster's fault bound.
+func (c *Cluster) B() int { return c.cfg.B }
+
+// RegisterGroup declares a related group on every server.
+func (c *Cluster) RegisterGroup(spec GroupSpec) {
+	pol := server.Policy{Consistency: spec.Consistency, MultiWriter: spec.MultiWriter}
+	for _, srv := range c.Servers {
+		srv.RegisterGroup(spec.Name, pol)
+	}
+}
+
+// StartGossip launches background dissemination on every server.
+func (c *Cluster) StartGossip() {
+	if c.gossipRunning {
+		return
+	}
+	c.gossipRunning = true
+	for _, e := range c.Engines {
+		e.Start()
+	}
+}
+
+// Close stops background gossip and closes any persistence logs. Safe to
+// call multiple times.
+func (c *Cluster) Close() {
+	for _, e := range c.Engines {
+		e.Stop()
+	}
+	c.gossipRunning = false
+	for _, l := range c.logs {
+		_ = l.Close()
+	}
+	c.logs = nil
+}
+
+// Converge pushes updates between all servers until no new writes are
+// applied, giving experiments a deterministic fully-disseminated state.
+func (c *Cluster) Converge() int {
+	return gossip.Converge(c.Engines, 10*c.cfg.N)
+}
+
+// InjectFaults switches the first count servers into the given fault mode
+// and returns their names. Crash faults are also deregistered from the bus
+// so calls fail fast like a refused connection.
+func (c *Cluster) InjectFaults(mode server.FaultMode, count int) []string {
+	var names []string
+	for i := 0; i < count && i < len(c.Servers); i++ {
+		c.Servers[i].SetFault(mode)
+		names = append(names, c.Servers[i].ID())
+	}
+	return names
+}
+
+// HealAll returns every server to healthy behaviour.
+func (c *Cluster) HealAll() {
+	for _, srv := range c.Servers {
+		srv.SetFault(server.Healthy)
+	}
+}
+
+// GroupConsistencyOf looks up the consistency registered for a group on
+// the first server (all servers share group specs registered through
+// RegisterGroup).
+func (c *Cluster) clientConfig(spec ClientSpec, consistency wire.Consistency, multiWriter bool) (client.Config, error) {
+	if spec.ID == "" || spec.Group == "" {
+		return client.Config{}, fmt.Errorf("core: client spec requires ID and Group")
+	}
+	key := cryptoutil.DeterministicKeyPair(spec.ID, c.cfg.Seed)
+	if err := c.Ring.Register(spec.ID, key.Public); err != nil {
+		return client.Config{}, err
+	}
+	rights := spec.Rights
+	if rights == 0 {
+		rights = accessctl.ReadWrite
+	}
+	var token *accessctl.Token
+	if c.Authority != nil {
+		token = c.Authority.Issue(spec.ID, spec.Group, rights, spec.Metrics)
+	}
+	servers := append([]string(nil), c.ServerNames...)
+	if len(spec.ServerOrder) > 0 {
+		if len(spec.ServerOrder) != len(c.ServerNames) {
+			return client.Config{}, fmt.Errorf("core: ServerOrder has %d names, cluster has %d",
+				len(spec.ServerOrder), len(c.ServerNames))
+		}
+		servers = append([]string(nil), spec.ServerOrder...)
+	}
+	return client.Config{
+		ID:                  spec.ID,
+		Key:                 key,
+		Ring:                c.Ring,
+		Servers:             servers,
+		B:                   c.cfg.B,
+		Group:               spec.Group,
+		Consistency:         consistency,
+		MultiWriter:         multiWriter,
+		Caller:              c.Bus.Caller(spec.ID, spec.Metrics),
+		Token:               token,
+		Metrics:             spec.Metrics,
+		CallTimeout:         spec.CallTimeout,
+		ReadRetries:         spec.ReadRetries,
+		RetryBackoff:        spec.RetryBackoff,
+		DataKey:             spec.DataKey,
+		ObfuscateTimestamps: spec.ObfuscateTimestamps,
+		EagerRead:           spec.EagerRead,
+	}, nil
+}
+
+// NewClient mints a client for a group previously declared with
+// RegisterGroup semantics. The caller supplies the group's consistency and
+// sharing mode via the GroupSpec to keep client and servers in agreement.
+func (c *Cluster) NewClient(spec ClientSpec, group GroupSpec) (*client.Client, error) {
+	if spec.Group == "" {
+		spec.Group = group.Name
+	}
+	if spec.Group != group.Name {
+		return nil, fmt.Errorf("core: client group %q does not match spec %q", spec.Group, group.Name)
+	}
+	cfg, err := c.clientConfig(spec, group.Consistency, group.MultiWriter)
+	if err != nil {
+		return nil, err
+	}
+	return client.New(cfg)
+}
+
+// seedInt derives a deterministic int64 from the cluster seed string.
+func seedInt(seed string) int64 {
+	sum := cryptoutil.Digest([]byte(seed))
+	var v int64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | int64(sum[i])
+	}
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// NewFragStore mints a fragmentation–scattering client (internal/fragstore)
+// over this cluster: values are dispersed into one IDA fragment per server
+// so that any k reconstruct and fewer reveal nothing — the complementary
+// technique of the paper's Section 3 (refs [14,15,18]) without any
+// encryption keys to manage. The group should be registered MRC,
+// single-writer. k = 0 selects the default b+1.
+func (c *Cluster) NewFragStore(spec ClientSpec, group GroupSpec, k int) (*fragstore.Store, error) {
+	if spec.Group == "" {
+		spec.Group = group.Name
+	}
+	key := cryptoutil.DeterministicKeyPair(spec.ID, c.cfg.Seed)
+	if err := c.Ring.Register(spec.ID, key.Public); err != nil {
+		return nil, err
+	}
+	rights := spec.Rights
+	if rights == 0 {
+		rights = accessctl.ReadWrite
+	}
+	var token *accessctl.Token
+	if c.Authority != nil {
+		token = c.Authority.Issue(spec.ID, spec.Group, rights, spec.Metrics)
+	}
+	return fragstore.New(fragstore.Config{
+		ID:          spec.ID,
+		Key:         key,
+		Ring:        c.Ring,
+		Servers:     append([]string(nil), c.ServerNames...),
+		B:           c.cfg.B,
+		K:           k,
+		Group:       spec.Group,
+		Caller:      c.Bus.Caller(spec.ID, spec.Metrics),
+		Token:       token,
+		Metrics:     spec.Metrics,
+		CallTimeout: spec.CallTimeout,
+	})
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/client"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+func newTestCluster(t *testing.T, n, b int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{N: n, B: b, Seed: t.Name()})
+	if err != nil {
+		t.Fatalf("NewCluster(%d,%d): %v", n, b, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mustConnect(t *testing.T, c *client.Client) {
+	t.Helper()
+	if err := c.Connect(context.Background()); err != nil {
+		t.Fatalf("connect %s: %v", c.ID(), err)
+	}
+}
+
+func fastSpec(id, group string) ClientSpec {
+	return ClientSpec{
+		ID:           id,
+		Group:        group,
+		CallTimeout:  500 * time.Millisecond,
+		ReadRetries:  2,
+		RetryBackoff: 5 * time.Millisecond,
+	}
+}
+
+func TestSingleWriterMRCRoundTrip(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "tax", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	alice, err := cluster.NewClient(fastSpec("alice", "tax"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice)
+
+	ctx := context.Background()
+	if _, err := alice.Write(ctx, "return-2025", []byte("v1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, _, err := alice.Read(ctx, "return-2025")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("read = %q, want v1", got)
+	}
+
+	// Overwrite and read again: must see the newer value.
+	if _, err := alice.Write(ctx, "return-2025", []byte("v2")); err != nil {
+		t.Fatalf("write v2: %v", err)
+	}
+	got, _, err = alice.Read(ctx, "return-2025")
+	if err != nil {
+		t.Fatalf("read v2: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("read = %q, want v2", got)
+	}
+}
+
+func TestContextSurvivesSessions(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	c1, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, c1)
+	stamp, err := c1.Write(ctx, "x", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Disconnect(ctx); err != nil {
+		t.Fatalf("disconnect: %v", err)
+	}
+
+	// A new session must restore a context that includes the write.
+	c2, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, c2)
+	if got := c2.Context().Get("x"); got != stamp {
+		t.Fatalf("restored context stamp = %v, want %v", got, stamp)
+	}
+	if c2.ContextSeq() != 1 {
+		t.Fatalf("context seq = %d, want 1", c2.ContextSeq())
+	}
+}
+
+func TestMRCMonotonicAcrossReaders(t *testing.T) {
+	// Single writer, one reader: once the reader has seen v2 it must never
+	// be handed v1 again, even when only stale replicas answer first.
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "news", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	writer, err := cluster.NewClient(fastSpec("school", "news"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := cluster.NewClient(fastSpec("family", "news"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, writer)
+	mustConnect(t, reader)
+
+	if _, err := writer.Write(ctx, "bulletin", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+	if _, _, err := reader.Read(ctx, "bulletin"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := writer.Write(ctx, "bulletin", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+	got, _, err := reader.Read(ctx, "bulletin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("read = %q, want v2", got)
+	}
+
+	// Re-reads can never go backwards.
+	for i := 0; i < 3; i++ {
+		got, _, err := reader.Read(ctx, "bulletin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte("v2")) {
+			t.Fatalf("read %d = %q, want v2 (MRC violation)", i, got)
+		}
+	}
+}
+
+func TestCausalConsistencySingleWriterPair(t *testing.T) {
+	// Writer writes x=v1 then y=v2 (y causally after x). A reader that
+	// sees y must not then read an older x than the writer had.
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "plan", Consistency: wire.CC}
+	cluster.RegisterGroup(group)
+
+	writer, err := cluster.NewClient(fastSpec("w", "plan"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := cluster.NewClient(fastSpec("r", "plan"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, writer)
+	mustConnect(t, reader)
+
+	xStamp, err := writer.Write(ctx, "x", []byte("x1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Write(ctx, "y", []byte("y1")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+
+	if _, _, err := reader.Read(ctx, "y"); err != nil {
+		t.Fatal(err)
+	}
+	// Reading y merged the writer's context: x's floor is now >= xStamp.
+	if got := reader.Context().Get("x"); got.Less(xStamp) {
+		t.Fatalf("reader context for x = %v, want >= %v (causal dependency lost)", got, xStamp)
+	}
+	val, stamp, err := reader.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp.Less(xStamp) {
+		t.Fatalf("read x stamp %v older than causal floor %v", stamp, xStamp)
+	}
+	if !bytes.Equal(val, []byte("x1")) {
+		t.Fatalf("read x = %q, want x1", val)
+	}
+}
+
+func TestByzantineFaultsMasked(t *testing.T) {
+	tests := []struct {
+		name string
+		mode server.FaultMode
+	}{
+		{"crash", server.Crash},
+		{"stale", server.Stale},
+		{"corrupt-value", server.CorruptValue},
+		{"corrupt-meta", server.CorruptMeta},
+		{"equivocate", server.Equivocate},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cluster := newTestCluster(t, 4, 1)
+			group := GroupSpec{Name: "g", Consistency: wire.MRC}
+			cluster.RegisterGroup(group)
+
+			w, err := cluster.NewClient(fastSpec("alice", "g"), group)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			mustConnect(t, w)
+			if _, err := w.Write(ctx, "x", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			cluster.Converge()
+
+			cluster.InjectFaults(tt.mode, 1)
+			if _, err := w.Write(ctx, "x", []byte("v2")); err != nil {
+				t.Fatalf("write with %s fault: %v", tt.mode, err)
+			}
+			cluster.Converge()
+			got, _, err := w.Read(ctx, "x")
+			if err != nil {
+				t.Fatalf("read with %s fault: %v", tt.mode, err)
+			}
+			if !bytes.Equal(got, []byte("v2")) {
+				t.Fatalf("read = %q with %s fault, want v2", got, tt.mode)
+			}
+			if err := w.Disconnect(ctx); err != nil {
+				t.Fatalf("disconnect with %s fault: %v", tt.mode, err)
+			}
+		})
+	}
+}
+
+func TestMultiWriterReadRequiresMatching(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "shared", Consistency: wire.CC, MultiWriter: true}
+	cluster.RegisterGroup(group)
+
+	a, err := cluster.NewClient(fastSpec("a", "shared"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.NewClient(fastSpec("b", "shared"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, a)
+	mustConnect(t, b)
+
+	if _, err := a.Write(ctx, "doc", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+
+	got, _, err := b.Read(ctx, "doc")
+	if err != nil {
+		t.Fatalf("multi-writer read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("from-a")) {
+		t.Fatalf("read = %q, want from-a", got)
+	}
+
+	// b writes on top; a must see it after dissemination.
+	if _, err := b.Write(ctx, "doc", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+	got, _, err = a.Read(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("from-b")) {
+		t.Fatalf("read = %q, want from-b", got)
+	}
+}
+
+func TestMultiWriterPrematureReportMasked(t *testing.T) {
+	// A faulty server reports a gated (causally premature) write; the b+1
+	// matching rule must prevent a reader from accepting it.
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "shared", Consistency: wire.CC, MultiWriter: true}
+	cluster.RegisterGroup(group)
+
+	a, err := cluster.NewClient(fastSpec("a", "shared"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.NewClient(fastSpec("r", "shared"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, a)
+	mustConnect(t, r)
+
+	// Baseline value everywhere.
+	if _, err := a.Write(ctx, "doc", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+
+	// Make one server report prematurely, then create a gated write: a
+	// writes "dep" only to servers (gossip off), then writes doc with a
+	// context naming a dep stamp that most servers have not seen.
+	cluster.InjectFaults(server.PrematureReport, 1)
+
+	if _, err := a.Write(ctx, "dep", []byte("dep-v")); err != nil {
+		t.Fatal(err)
+	}
+	// No convergence: dep exists at only b+1 servers. The next write's
+	// context names dep, so servers without dep must gate it.
+	if _, err := a.Write(ctx, "doc", []byte("premature")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := r.Read(ctx, "doc")
+	if err != nil {
+		// Acceptable: reader cannot assemble b+1 matches for the new value
+		// and still has the base value available only if enough servers
+		// report it.
+		t.Logf("read failed as allowed: %v", err)
+		return
+	}
+	if bytes.Equal(got, []byte("premature")) {
+		// The reader may only accept "premature" if b+1 servers report it,
+		// which requires a non-faulty server to have cleared gating.
+		depArrived := 0
+		for _, srv := range cluster.Servers {
+			if srv.Head("shared", "dep") != nil {
+				depArrived++
+			}
+		}
+		if depArrived < cluster.B()+1 {
+			t.Fatalf("reader accepted prematurely reported write backed by <b+1 honest servers")
+		}
+	}
+}
+
+func TestConfidentialityEndToEnd(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "private", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	key := cryptoutil.DeriveDataKey("passphrase", "private")
+	spec := fastSpec("owner", "private")
+	spec.DataKey = &key
+	owner, err := cluster.NewClient(spec, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, owner)
+
+	secret := []byte("medical record: blood type AB-")
+	if _, err := owner.Write(ctx, "record", secret); err != nil {
+		t.Fatal(err)
+	}
+
+	// Servers must hold only ciphertext.
+	cluster.Converge()
+	for _, srv := range cluster.Servers {
+		if w := srv.Head("private", "record"); w != nil && bytes.Contains(w.Value, []byte("blood type")) {
+			t.Fatalf("server %s stores plaintext", srv.ID())
+		}
+	}
+
+	got, _, err := owner.Read(ctx, "record")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("read = %q, want original secret", got)
+	}
+}
+
+func TestContextReconstruction(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	c1, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, c1)
+	s1, err := c1.Write(ctx, "x", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c1.Write(ctx, "y", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Session crashes here: no Disconnect. A new session reconstructs from
+	// the data items themselves (Section 5.1).
+	cluster.Converge()
+
+	c2, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.ReconstructContext(ctx, []string{"x", "y"}); err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if got := c2.Context().Get("x"); got != s1 {
+		t.Fatalf("reconstructed x = %v, want %v", got, s1)
+	}
+	if got := c2.Context().Get("y"); got != s2 {
+		t.Fatalf("reconstructed y = %v, want %v", got, s2)
+	}
+}
+
+func TestStaleReadEventuallyErrStale(t *testing.T) {
+	// If the only servers holding the fresh value are unreachable, the
+	// read must fail with ErrStale rather than return an old value.
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	w, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, w)
+	if _, err := w.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+	if _, err := w.Write(ctx, "x", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// v2 reached servers s00, s01 (b+1 = 2). Crash both — two faults,
+	// exceeding b=1. Availability may be lost, but safety must hold: the
+	// read fails (stale or insufficient quorum) rather than silently
+	// returning the old v1 the surviving servers hold.
+	cluster.Servers[0].SetFault(server.Crash)
+	cluster.Servers[1].SetFault(server.Crash)
+
+	_, _, err = w.Read(ctx, "x")
+	if err == nil {
+		t.Fatal("read succeeded; want failure (fresh copies unreachable)")
+	}
+	if !errors.Is(err, client.ErrStale) && !errors.Is(err, quorum.ErrInsufficient) {
+		t.Fatalf("read error = %v, want ErrStale or ErrInsufficient", err)
+	}
+}
+
+func TestMessageCountsMatchPaperFormulas(t *testing.T) {
+	// Section 6: context ops exchange 2*ceil((n+b+1)/2) messages; a data
+	// write exchanges 2*(b+1) (request+reply per contacted server).
+	n, b := 7, 2
+	cluster := newTestCluster(t, n, b)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	m := &metrics.Counters{}
+	spec := fastSpec("alice", "g")
+	spec.Metrics = m
+	c, err := cluster.NewClient(spec, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, c)
+
+	m.Reset()
+	if _, err := c.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	wantWrite := int64(2 * (b + 1))
+	if got := m.MessagesSent(); got != wantWrite {
+		t.Fatalf("write messages = %d, want %d", got, wantWrite)
+	}
+
+	m.Reset()
+	if err := c.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	q := (n + b + 2) / 2 // ceil((n+b+1)/2)
+	wantCtx := int64(2 * q)
+	if got := m.MessagesSent(); got != wantCtx {
+		t.Fatalf("context write messages = %d, want %d", got, wantCtx)
+	}
+}
+
+func TestUnauthorizedClientRejected(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	spec := fastSpec("mallory", "g")
+	spec.Rights = accessctlReadOnly()
+	c, err := cluster.NewClient(spec, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, c)
+	if _, err := c.Write(ctx, "x", []byte("v")); err == nil {
+		t.Fatal("write with read-only token succeeded; want rejection")
+	}
+}
+
+// accessctlReadOnly avoids importing accessctl twice in the test header.
+func accessctlReadOnly() accessctl.Rights { return accessctl.ReadOnly }

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"securestore/internal/gossip"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 3, B: 1}); err == nil {
+		t.Fatal("accepted n=3 b=1")
+	}
+	if _, err := NewCluster(ClusterConfig{N: 0, B: 0}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestClientSpecValidation(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	if _, err := cluster.NewClient(ClientSpec{Group: "g"}, group); err == nil {
+		t.Fatal("accepted empty client ID")
+	}
+	if _, err := cluster.NewClient(ClientSpec{ID: "a", Group: "other"}, group); err == nil {
+		t.Fatal("accepted mismatched group")
+	}
+	bad := fastSpec("a", "g")
+	bad.ServerOrder = []string{"s00"}
+	if _, err := cluster.NewClient(bad, group); err == nil {
+		t.Fatal("accepted short ServerOrder")
+	}
+}
+
+func TestServerOrderRespected(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	// A writer that prefers the high-index servers: its b+1 write set
+	// lands on s03, s02 instead of s00, s01.
+	spec := fastSpec("alice", "g")
+	spec.ServerOrder = []string{"s03", "s02", "s01", "s00"}
+	alice, err := cluster.NewClient(spec, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice)
+	if _, err := alice.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.Servers[3].Head("g", "x") == nil || cluster.Servers[2].Head("g", "x") == nil {
+		t.Fatal("write did not land on the preferred servers")
+	}
+	if cluster.Servers[0].Head("g", "x") != nil {
+		t.Fatal("write reached a non-preferred server without gossip")
+	}
+}
+
+func TestFragStoreViaFacade(t *testing.T) {
+	cluster := newTestCluster(t, 5, 1)
+	group := GroupSpec{Name: "vault", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	fs, err := cluster.NewFragStore(ClientSpec{ID: "owner", Group: "vault"}, group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.K() != 2 {
+		t.Fatalf("default k = %d, want b+1 = 2", fs.K())
+	}
+	data := []byte("facade-built fragmented value")
+	if _, err := fs.Write(ctx, "doc", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fs.Read(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read = %q", got)
+	}
+
+	// The authority's token is enforced for fragment writes too: a
+	// read-only principal cannot write fragments.
+	ro := ClientSpec{ID: "peeker", Group: "vault", Rights: accessctlReadOnly()}
+	fs2, err := cluster.NewFragStore(ro, group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Write(ctx, "doc", []byte("nope")); err == nil {
+		t.Fatal("read-only principal dispersed a write")
+	}
+}
+
+func TestPullModeClusterConverges(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		N: 4, B: 1, Seed: t.Name(), GossipMode: gossip.Pull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	alice, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice)
+	if _, err := alice.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Drive pull rounds: every server fetches what it misses.
+	for sweep := 0; sweep < 10; sweep++ {
+		moved := 0
+		for _, e := range cluster.Engines {
+			moved += e.PullAll()
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	for _, srv := range cluster.Servers {
+		if srv.Head("g", "x") == nil {
+			t.Fatalf("server %s missing the write under pull gossip", srv.ID())
+		}
+	}
+}
+
+func TestInjectAndHealFaults(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	names := cluster.InjectFaults(server.Stale, 2)
+	if len(names) != 2 {
+		t.Fatalf("injected %d, want 2", len(names))
+	}
+	if cluster.Servers[0].Fault() != server.Stale || cluster.Servers[1].Fault() != server.Stale {
+		t.Fatal("fault modes not applied")
+	}
+	cluster.HealAll()
+	for _, srv := range cluster.Servers {
+		if srv.Fault() != server.Healthy {
+			t.Fatalf("server %s not healed", srv.ID())
+		}
+	}
+	if cluster.N() != 4 || cluster.B() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestClusterPersistenceSurvivesRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	ctx := context.Background()
+
+	boot := func() *Cluster {
+		c, err := NewCluster(ClusterConfig{N: 4, B: 1, Seed: "persist", DataDir: dataDir, Principals: []string{"alice"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RegisterGroup(group)
+		return c
+	}
+
+	c1 := boot()
+	alice, err := c1.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice)
+	stamp, err := alice.Write(ctx, "x", []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // "power off" the whole cluster
+
+	c2 := boot()
+	defer c2.Close()
+	alice2, err := c2.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice2)
+	if alice2.ContextSeq() != 1 {
+		t.Fatalf("context seq after restart = %d, want 1", alice2.ContextSeq())
+	}
+	got, gotStamp, err := alice2.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if !bytes.Equal(got, []byte("durable")) || gotStamp != stamp {
+		t.Fatalf("read = %q @ %v, want durable @ %v", got, gotStamp, stamp)
+	}
+}
+
+func TestStartGossipBackgroundDelivery(t *testing.T) {
+	cluster, err := NewCluster(ClusterConfig{
+		N: 4, B: 1, Seed: t.Name(), GossipInterval: 5 * time.Millisecond, GossipFanout: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	alice, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, alice)
+	cluster.StartGossip()
+	cluster.StartGossip() // idempotent
+
+	if _, err := alice.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for _, srv := range cluster.Servers {
+			if srv.Head("g", "x") == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background gossip never delivered the write to all servers")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"securestore/internal/checker"
+	"securestore/internal/client"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+// TestHistoryCheckedSoak records every completed operation into the
+// offline consistency checker while random faults (within the bound)
+// churn underneath, then verifies the full history satisfies integrity,
+// MRC and CC. Unlike the inline assertions in soak_test.go, the checker
+// sees the global history, so cross-item causal breaches cannot hide.
+func TestHistoryCheckedSoak(t *testing.T) {
+	for _, mw := range []bool{false, true} {
+		mw := mw
+		name := "single-writer"
+		if mw {
+			name = "multi-writer"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runHistorySoak(t, mw)
+		})
+	}
+}
+
+func runHistorySoak(t *testing.T, multiWriter bool) {
+	rng := rand.New(rand.NewSource(11))
+	cluster := newTestCluster(t, 7, 2)
+	group := GroupSpec{Name: "g", Consistency: wire.CC, MultiWriter: multiWriter}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+	hist := checker.New()
+
+	items := []string{"a", "b", "c"}
+
+	newClient := func(id string) *client.Client {
+		cl, err := cluster.NewClient(fastSpec(id, "g"), group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustConnect(t, cl)
+		return cl
+	}
+	writers := []*client.Client{newClient("w0")}
+	if multiWriter {
+		writers = append(writers, newClient("w1"))
+	}
+	readers := []*client.Client{newClient("r0"), newClient("r1")}
+
+	faultModes := []server.FaultMode{server.Crash, server.Stale, server.CorruptValue, server.Equivocate}
+	faulty := 0
+	seq := 0
+	for round := 0; round < 80; round++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // write
+			w := writers[rng.Intn(len(writers))]
+			item := items[rng.Intn(len(items))]
+			seq++
+			value := []byte(fmt.Sprintf("%s=%d by %s", item, seq, w.ID()))
+			stamp, err := w.Write(ctx, item, value)
+			if err != nil {
+				t.Fatalf("round %d: write within fault bound failed: %v", round, err)
+			}
+			// Record the embedded context exactly as the write carried it
+			// (CC: the writer's context including this write's own stamp).
+			wctx := w.Context()
+			hist.RecordWrite(w.ID(), item, stamp, value, wctx)
+		case 3, 4, 5, 6, 7: // read
+			r := readers[rng.Intn(len(readers))]
+			item := items[rng.Intn(len(items))]
+			value, stamp, err := r.Read(ctx, item)
+			if err != nil {
+				continue // unavailability under churn is allowed
+			}
+			hist.RecordRead(r.ID(), item, stamp, value)
+		case 8: // gossip
+			cluster.Converge()
+		case 9: // churn faults within the bound
+			cluster.HealAll()
+			faulty = rng.Intn(3) // 0..2 <= b
+			for i := 0; i < faulty; i++ {
+				cluster.Servers[rng.Intn(7)].SetFault(faultModes[rng.Intn(len(faultModes))])
+			}
+		}
+	}
+
+	writes, reads := hist.Stats()
+	if writes == 0 || reads == 0 {
+		t.Fatalf("degenerate run: %d writes, %d reads", writes, reads)
+	}
+	for _, v := range hist.Check() {
+		t.Errorf("%s", v)
+	}
+}

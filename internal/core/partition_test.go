@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"securestore/internal/wire"
+)
+
+// TestPartitionMajoritySideOperates verifies availability during a
+// network partition: a client that can reach n-b servers completes every
+// operation, and after healing, dissemination brings the minority back up
+// to date.
+func TestPartitionMajoritySideOperates(t *testing.T) {
+	cluster := newTestCluster(t, 7, 2)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	alice, err := cluster.NewClient(fastSpec("alice", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, alice)
+	if _, err := alice.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Converge()
+
+	// Cut off two servers (within b); alice stays with the majority.
+	cluster.Net.Partition(1, "s00", "s01")
+	cluster.Net.Partition(2, "alice", "s02", "s03", "s04", "s05", "s06")
+
+	if _, err := alice.Write(ctx, "x", []byte("v2")); err != nil {
+		t.Fatalf("write during partition: %v", err)
+	}
+	got, _, err := alice.Read(ctx, "x")
+	if err != nil {
+		t.Fatalf("read during partition: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("read = %q during partition", got)
+	}
+	if err := alice.Disconnect(ctx); err != nil {
+		t.Fatalf("disconnect during partition: %v", err)
+	}
+	mustConnect(t, alice)
+	if alice.ContextSeq() != 1 {
+		t.Fatalf("context seq = %d after partitioned session", alice.ContextSeq())
+	}
+
+	// Heal: gossip repairs the minority.
+	cluster.Net.Heal()
+	cluster.Converge()
+	for _, name := range []string{"s00", "s01"} {
+		for _, srv := range cluster.Servers {
+			if srv.ID() != name {
+				continue
+			}
+			head := srv.Head("g", "x")
+			if head == nil || !bytes.Equal(head.Value, []byte("v2")) {
+				t.Fatalf("server %s not repaired after heal: %v", name, head)
+			}
+		}
+	}
+}
+
+// TestPartitionMinoritySideFailsSafe verifies the other direction: a
+// client stranded with fewer than the quorum cannot connect (or write),
+// but fails cleanly rather than diverging.
+func TestPartitionMinoritySideFailsSafe(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+
+	bob, err := cluster.NewClient(fastSpec("bob", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	mustConnect(t, bob)
+	if _, err := bob.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strand bob with a single server: context quorum is 3, write set 2.
+	cluster.Net.Partition(1, "bob", "s00")
+	cluster.Net.Partition(2, "s01", "s02", "s03")
+
+	if _, err := bob.Write(ctx, "y", []byte("v")); err == nil {
+		t.Fatal("write succeeded from minority partition (needs b+1 = 2 servers)")
+	}
+	if err := bob.Disconnect(ctx); err == nil {
+		t.Fatal("disconnect succeeded from minority partition (needs quorum 3)")
+	}
+
+	// After healing everything works again.
+	cluster.Net.Heal()
+	if _, err := bob.Write(ctx, "y", []byte("v")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	if err := bob.Disconnect(ctx); err != nil {
+		t.Fatalf("disconnect after heal: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"securestore/internal/client"
+	"securestore/internal/wire"
+	"securestore/internal/workload"
+)
+
+// TestConcurrentMultiWriterClients runs several clients concurrently
+// against one multi-writer group (each client is its own session; sessions
+// are independent goroutines) and checks convergence: after dissemination,
+// every item's head is identical on every server and carries a valid
+// augmented timestamp.
+func TestConcurrentMultiWriterClients(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "shared", Consistency: wire.CC, MultiWriter: true}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		cl, err := cluster.NewClient(fastSpec(fmt.Sprintf("writer%d", i), "shared"), group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustConnect(t, cl)
+		wg.Add(1)
+		go func(cl *client.Client, id int) {
+			defer wg.Done()
+			gen := workload.New(workload.Config{
+				Seed: int64(id), Items: 4, ItemPrefix: "doc", ReadFraction: 0.4, ValueSize: 32,
+			})
+			for op := 0; op < 15; op++ {
+				next := gen.Next()
+				if next.IsRead {
+					if _, _, err := cl.Read(ctx, next.Item); err != nil {
+						continue // stale reads are allowed mid-churn
+					}
+				} else {
+					if _, err := cl.Write(ctx, next.Item, next.Value); err != nil {
+						errs <- fmt.Errorf("writer%d: %w", id, err)
+						return
+					}
+				}
+			}
+		}(cl, i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cluster.Converge()
+
+	// All servers agree on every item's head, and heads verify.
+	gen := workload.New(workload.Config{Items: 4, ItemPrefix: "doc"})
+	for _, item := range gen.Items() {
+		ref := cluster.Servers[0].Head("shared", item)
+		for _, srv := range cluster.Servers[1:] {
+			head := srv.Head("shared", item)
+			switch {
+			case ref == nil && head == nil:
+				continue
+			case ref == nil || head == nil:
+				t.Fatalf("item %s: servers disagree on existence after convergence", item)
+			case ref.Stamp != head.Stamp:
+				t.Fatalf("item %s: heads diverge after convergence: %v vs %v", item, ref.Stamp, head.Stamp)
+			}
+		}
+		if ref != nil {
+			if ref.Stamp.Writer == "" {
+				t.Fatalf("item %s: head lacks an augmented timestamp", item)
+			}
+			if err := ref.Verify(cluster.Ring, nil); err != nil {
+				t.Fatalf("item %s: converged head fails verification: %v", item, err)
+			}
+		}
+	}
+}
+
+// TestZipfWorkloadSoak drives a skewed single-writer workload with a
+// reader mid-stream, checking MRC per item throughout.
+func TestZipfWorkloadSoak(t *testing.T) {
+	cluster := newTestCluster(t, 4, 1)
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	cluster.RegisterGroup(group)
+	ctx := context.Background()
+
+	writer, err := cluster.NewClient(fastSpec("writer", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := cluster.NewClient(fastSpec("reader", "g"), group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, writer)
+	mustConnect(t, reader)
+
+	gen := workload.New(workload.Config{
+		Seed: 99, Items: 8, ItemPrefix: "it", ReadFraction: 0, ValueSize: 24, ZipfSkew: 1.3,
+	})
+	lastStamp := make(map[string]uint64)
+	for op := 0; op < 80; op++ {
+		w := gen.NextWrite()
+		if _, err := writer.Write(ctx, w.Item, w.Value); err != nil {
+			t.Fatalf("op %d write %s: %v", op, w.Item, err)
+		}
+		if op%5 == 0 {
+			cluster.Converge()
+		}
+		if op%3 == 0 {
+			r := gen.NextRead()
+			_, stamp, err := reader.Read(ctx, r.Item)
+			if err != nil {
+				continue // item may not exist yet or be undisseminated
+			}
+			if stamp.Time < lastStamp[r.Item] {
+				t.Fatalf("op %d: item %s went backwards: %d after %d",
+					op, r.Item, stamp.Time, lastStamp[r.Item])
+			}
+			lastStamp[r.Item] = stamp.Time
+		}
+	}
+
+	// Final agreement check across the hot items.
+	cluster.Converge()
+	for _, item := range gen.Items() {
+		ref := cluster.Servers[0].Head("g", item)
+		for _, srv := range cluster.Servers[1:] {
+			head := srv.Head("g", item)
+			if (ref == nil) != (head == nil) {
+				t.Fatalf("item %s: existence disagreement after convergence", item)
+			}
+			if ref != nil && head != nil && ref.Stamp != head.Stamp {
+				t.Fatalf("item %s: divergent heads after convergence", item)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package cryptoutil supplies the cryptographic substrate the secure store
+// assumes to exist (paper Section 4): every client and server owns a private
+// key whose public key is well known, writes are accompanied by signed
+// digests, and data values may be kept confidential with symmetric
+// encryption that the servers never hold keys for.
+//
+// Primitive choices: Ed25519 signatures over SHA-256 digests, and
+// AES-256-GCM for confidentiality. The 2001 paper leaves the algorithms
+// abstract ("some agreed-upon digest algorithm"); these modern stdlib
+// primitives provide the same abstract properties.
+package cryptoutil
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"securestore/internal/metrics"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownPrincipal = errors.New("cryptoutil: unknown principal")
+	ErrBadSignature     = errors.New("cryptoutil: signature verification failed")
+	ErrDuplicateKey     = errors.New("cryptoutil: principal already registered")
+)
+
+// KeyPair holds a principal's Ed25519 key pair together with its identity.
+type KeyPair struct {
+	ID      string
+	Public  ed25519.PublicKey
+	Private ed25519.PrivateKey
+}
+
+// NewKeyPair generates a fresh random key pair for the named principal.
+func NewKeyPair(id string) (KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return KeyPair{}, fmt.Errorf("generate key for %q: %w", id, err)
+	}
+	return KeyPair{ID: id, Public: pub, Private: priv}, nil
+}
+
+// DeterministicKeyPair derives a key pair from the principal's name and a
+// seed string. It is intended for tests and reproducible experiments; real
+// deployments must use NewKeyPair.
+func DeterministicKeyPair(id, seed string) KeyPair {
+	sum := sha256.Sum256([]byte("securestore-key:" + seed + ":" + id))
+	priv := ed25519.NewKeyFromSeed(sum[:])
+	pub, ok := priv.Public().(ed25519.PublicKey)
+	if !ok {
+		// ed25519 private keys always yield ed25519 public keys; this is
+		// unreachable but keeps the type assertion checked.
+		panic("cryptoutil: ed25519 public key type mismatch")
+	}
+	return KeyPair{ID: id, Public: pub, Private: priv}
+}
+
+// Sign produces an Ed25519 signature over the SHA-256 digest of data,
+// matching the paper's "signed digest" construction {d(data)}_{K^-1}.
+func (k KeyPair) Sign(data []byte, m *metrics.Counters) []byte {
+	m.AddSignature()
+	digest := sha256.Sum256(data)
+	return ed25519.Sign(k.Private, digest[:])
+}
+
+// Keyring maps principal identifiers to their well-known public keys. It is
+// safe for concurrent use. A Keyring stands in for the paper's assumption
+// that "clients and servers own a secure private key for which the public
+// key is well known".
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[string]ed25519.PublicKey
+}
+
+// NewKeyring returns an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// Register installs a principal's public key. Registering the same principal
+// twice with a different key is an error (key changes are out of scope for
+// the paper, which does not address key management).
+func (r *Keyring) Register(id string, pub ed25519.PublicKey) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.keys[id]; ok {
+		if bytes.Equal(existing, pub) {
+			return nil
+		}
+		return fmt.Errorf("%w: %q", ErrDuplicateKey, id)
+	}
+	r.keys[id] = append(ed25519.PublicKey(nil), pub...)
+	return nil
+}
+
+// MustRegister is Register for initialization paths where a duplicate key
+// indicates a programming error.
+func (r *Keyring) MustRegister(id string, pub ed25519.PublicKey) {
+	if err := r.Register(id, pub); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the public key of the named principal.
+func (r *Keyring) Lookup(id string) (ed25519.PublicKey, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pub, ok := r.keys[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPrincipal, id)
+	}
+	return pub, nil
+}
+
+// Principals returns the sorted identifiers of all registered principals.
+func (r *Keyring) Principals() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.keys))
+	for id := range r.keys {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Verify checks sig over the SHA-256 digest of data against the registered
+// public key of principal id.
+func (r *Keyring) Verify(id string, data, sig []byte, m *metrics.Counters) error {
+	pub, err := r.Lookup(id)
+	if err != nil {
+		return err
+	}
+	m.AddVerification()
+	digest := sha256.Sum256(data)
+	if !ed25519.Verify(pub, digest[:], sig) {
+		return fmt.Errorf("%w: principal %q", ErrBadSignature, id)
+	}
+	return nil
+}
+
+// Digest returns the SHA-256 digest of data. It is the d(v) of the paper's
+// notation, used both in signatures and in multi-writer timestamps.
+func Digest(data []byte) [32]byte {
+	return sha256.Sum256(data)
+}
+
+// DigestHex returns the hex encoding of the SHA-256 digest of data.
+func DigestHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// RandomBytes returns n cryptographically random bytes.
+func RandomBytes(n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, buf); err != nil {
+		return nil, fmt.Errorf("read random bytes: %w", err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,170 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"securestore/internal/metrics"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key := DeterministicKeyPair("alice", "seed")
+	ring := NewKeyring()
+	ring.MustRegister("alice", key.Public)
+
+	m := &metrics.Counters{}
+	data := []byte("payload")
+	sig := key.Sign(data, m)
+	if err := ring.Verify("alice", data, sig, m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if m.Signatures() != 1 || m.Verifications() != 1 {
+		t.Fatalf("metrics sig=%d verify=%d, want 1/1", m.Signatures(), m.Verifications())
+	}
+}
+
+func TestVerifyRejectsTamperedData(t *testing.T) {
+	key := DeterministicKeyPair("alice", "seed")
+	ring := NewKeyring()
+	ring.MustRegister("alice", key.Public)
+
+	sig := key.Sign([]byte("payload"), nil)
+	if err := ring.Verify("alice", []byte("Payload"), sig, nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("verify tampered = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	alice := DeterministicKeyPair("alice", "seed")
+	bob := DeterministicKeyPair("bob", "seed")
+	ring := NewKeyring()
+	ring.MustRegister("alice", alice.Public)
+	ring.MustRegister("bob", bob.Public)
+
+	sig := bob.Sign([]byte("payload"), nil)
+	if err := ring.Verify("alice", []byte("payload"), sig, nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("verify wrong signer = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyUnknownPrincipal(t *testing.T) {
+	ring := NewKeyring()
+	if err := ring.Verify("ghost", []byte("x"), []byte("sig"), nil); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Fatalf("verify unknown = %v, want ErrUnknownPrincipal", err)
+	}
+}
+
+func TestKeyringDuplicateRegistration(t *testing.T) {
+	alice := DeterministicKeyPair("alice", "seed")
+	mallory := DeterministicKeyPair("alice", "other-seed")
+	ring := NewKeyring()
+	ring.MustRegister("alice", alice.Public)
+
+	// Same key again: idempotent.
+	if err := ring.Register("alice", alice.Public); err != nil {
+		t.Fatalf("re-register same key: %v", err)
+	}
+	// Different key for the same principal: rejected (key substitution).
+	if err := ring.Register("alice", mallory.Public); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("register substituted key = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestDeterministicKeyPairStable(t *testing.T) {
+	a := DeterministicKeyPair("alice", "seed")
+	b := DeterministicKeyPair("alice", "seed")
+	if !bytes.Equal(a.Private, b.Private) {
+		t.Fatal("deterministic keys differ across derivations")
+	}
+	c := DeterministicKeyPair("alice", "seed2")
+	if bytes.Equal(a.Private, c.Private) {
+		t.Fatal("different seeds produced the same key")
+	}
+	d := DeterministicKeyPair("bob", "seed")
+	if bytes.Equal(a.Private, d.Private) {
+		t.Fatal("different principals produced the same key")
+	}
+}
+
+func TestNewKeyPairUnique(t *testing.T) {
+	a, err := NewKeyPair("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKeyPair("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Private, b.Private) {
+		t.Fatal("two random key pairs are identical")
+	}
+}
+
+func TestPrincipalsSorted(t *testing.T) {
+	ring := NewKeyring()
+	for _, id := range []string{"zoe", "alice", "mid"} {
+		ring.MustRegister(id, DeterministicKeyPair(id, "s").Public)
+	}
+	got := ring.Principals()
+	want := []string{"alice", "mid", "zoe"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("principals = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDigestProperties(t *testing.T) {
+	// Determinism and input sensitivity, property-based.
+	deterministic := func(data []byte) bool {
+		return Digest(data) == Digest(data)
+	}
+	if err := quick.Check(deterministic, nil); err != nil {
+		t.Error(err)
+	}
+	sensitive := func(data []byte) bool {
+		altered := append(append([]byte(nil), data...), 0x01)
+		return Digest(data) != Digest(altered)
+	}
+	if err := quick.Check(sensitive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignVerifyPropertyAnyPayload(t *testing.T) {
+	key := DeterministicKeyPair("p", "s")
+	ring := NewKeyring()
+	ring.MustRegister("p", key.Public)
+	prop := func(data []byte) bool {
+		sig := key.Sign(data, nil)
+		return ring.Verify("p", data, sig, nil) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomBytesLengthAndVariety(t *testing.T) {
+	a, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("lengths %d/%d, want 32", len(a), len(b))
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two random draws identical")
+	}
+}
+
+func TestDigestHexLength(t *testing.T) {
+	if got := DigestHex([]byte("x")); len(got) != 64 {
+		t.Fatalf("hex digest length = %d, want 64", len(got))
+	}
+}

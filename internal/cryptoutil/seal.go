@@ -1,0 +1,83 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"securestore/internal/metrics"
+)
+
+// ErrSealTooShort reports a ciphertext shorter than its nonce prefix.
+var ErrSealTooShort = errors.New("cryptoutil: sealed value too short")
+
+// DataKey is a 256-bit symmetric key used for client-side confidentiality.
+// Servers never see data keys (paper Section 5.2): owners encrypt values
+// before writing and share the key out of band with authorized readers.
+type DataKey [32]byte
+
+// NewDataKey generates a random data key.
+func NewDataKey() (DataKey, error) {
+	var k DataKey
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return DataKey{}, fmt.Errorf("generate data key: %w", err)
+	}
+	return k, nil
+}
+
+// DeriveDataKey derives a data key from a passphrase and context label.
+// Intended for tests and examples; production users should prefer
+// NewDataKey plus a real key-distribution mechanism (see internal/keydist).
+func DeriveDataKey(passphrase, label string) DataKey {
+	return DataKey(sha256.Sum256([]byte("securestore-datakey:" + label + ":" + passphrase)))
+}
+
+// Seal encrypts plaintext under the key with AES-256-GCM, binding the
+// additional authenticated data aad (typically the item uid, so a sealed
+// value cannot be replayed under a different item). The nonce is prepended
+// to the ciphertext.
+func (k DataKey) Seal(plaintext, aad []byte, m *metrics.Counters) ([]byte, error) {
+	gcm, err := k.aead()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("generate nonce: %w", err)
+	}
+	m.AddEncryption()
+	return gcm.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// Open decrypts a value produced by Seal, checking integrity and the aad.
+func (k DataKey) Open(sealed, aad []byte, m *metrics.Counters) ([]byte, error) {
+	gcm, err := k.aead()
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, ErrSealTooShort
+	}
+	m.AddDecryption()
+	plaintext, err := gcm.Open(nil, sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():], aad)
+	if err != nil {
+		return nil, fmt.Errorf("open sealed value: %w", err)
+	}
+	return plaintext, nil
+}
+
+func (k DataKey) aead() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("new cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("new gcm: %w", err)
+	}
+	return gcm, nil
+}

@@ -1,0 +1,128 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"securestore/internal/metrics"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := DeriveDataKey("pass", "label")
+	m := &metrics.Counters{}
+	sealed, err := key.Seal([]byte("secret"), []byte("item"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := key.Open(sealed, []byte("item"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, []byte("secret")) {
+		t.Fatalf("open = %q, want secret", plain)
+	}
+	snap := m.Snapshot()
+	if snap.Encryptions != 1 || snap.Decryptions != 1 {
+		t.Fatalf("metrics enc=%d dec=%d, want 1/1", snap.Encryptions, snap.Decryptions)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	a := DeriveDataKey("pass-a", "l")
+	b := DeriveDataKey("pass-b", "l")
+	sealed, err := a.Seal([]byte("secret"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(sealed, nil, nil); err == nil {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestOpenRejectsWrongAAD(t *testing.T) {
+	key := DeriveDataKey("pass", "l")
+	sealed, err := key.Seal([]byte("secret"), []byte("item-a"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying a ciphertext under a different item must fail.
+	if _, err := key.Open(sealed, []byte("item-b"), nil); err == nil {
+		t.Fatal("cross-item replay decrypted successfully")
+	}
+}
+
+func TestOpenRejectsTamperedCiphertext(t *testing.T) {
+	key := DeriveDataKey("pass", "l")
+	sealed, err := key.Seal([]byte("secret"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[len(sealed)-1] ^= 0xff
+	if _, err := key.Open(sealed, nil, nil); err == nil {
+		t.Fatal("tampered ciphertext decrypted successfully")
+	}
+}
+
+func TestOpenTooShort(t *testing.T) {
+	key := DeriveDataKey("pass", "l")
+	if _, err := key.Open([]byte{1, 2, 3}, nil, nil); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestSealNondeterministic(t *testing.T) {
+	key := DeriveDataKey("pass", "l")
+	a, err := key.Seal([]byte("secret"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := key.Seal([]byte("secret"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext are identical (nonce reuse?)")
+	}
+}
+
+func TestSealOpenPropertyAnyPlaintext(t *testing.T) {
+	key := DeriveDataKey("pass", "l")
+	prop := func(plaintext, aad []byte) bool {
+		sealed, err := key.Seal(plaintext, aad, nil)
+		if err != nil {
+			return false
+		}
+		got, err := key.Open(sealed, aad, nil)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, plaintext)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewDataKeyUnique(t *testing.T) {
+	a, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDataKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two random data keys identical")
+	}
+}
+
+func TestDeriveDataKeyStable(t *testing.T) {
+	if DeriveDataKey("p", "l") != DeriveDataKey("p", "l") {
+		t.Fatal("derivation not deterministic")
+	}
+	if DeriveDataKey("p", "l") == DeriveDataKey("p", "l2") {
+		t.Fatal("different labels produced the same key")
+	}
+}

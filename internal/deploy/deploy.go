@@ -1,0 +1,217 @@
+// Package deploy assembles secure-store processes (replicas and clients)
+// over real TCP from a shared JSON deployment config. It is the glue used
+// by cmd/securestored and cmd/securestore; tests and experiments use the
+// in-memory core.Cluster instead.
+//
+// Keys for every principal are derived deterministically from the config
+// seed, standing in for the paper's assumption of well-known public keys;
+// a production deployment would exchange real public keys.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/client"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/gossip"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/storage"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// GroupConfig declares one related item group.
+type GroupConfig struct {
+	Name        string `json:"name"`
+	Consistency string `json:"consistency"` // "MRC" or "CC"
+	MultiWriter bool   `json:"multiWriter"`
+}
+
+// Config is the shared deployment description.
+type Config struct {
+	Seed    string            `json:"seed"`
+	B       int               `json:"b"`
+	Servers map[string]string `json:"servers"` // name -> host:port
+	Groups  []GroupConfig     `json:"groups"`
+	Clients []string          `json:"clients"`
+	// GossipIntervalMillis tunes dissemination (default 200).
+	GossipIntervalMillis int `json:"gossipIntervalMillis,omitempty"`
+}
+
+// Load reads and validates a config file.
+func Load(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read config: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parse config %s: %w", path, err)
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = "deploy"
+	}
+	if len(cfg.Servers) < 3*cfg.B+1 {
+		return nil, fmt.Errorf("config: %d servers cannot tolerate b=%d (need 3b+1)", len(cfg.Servers), cfg.B)
+	}
+	return &cfg, nil
+}
+
+// ServerNames returns the sorted replica names.
+func (c *Config) ServerNames() []string {
+	names := make([]string, 0, len(c.Servers))
+	for name := range c.Servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ring derives the deployment's shared key ring: servers, clients, and
+// the authorization authority.
+func (c *Config) Ring() *cryptoutil.Keyring {
+	ring := cryptoutil.NewKeyring()
+	for name := range c.Servers {
+		kp := cryptoutil.DeterministicKeyPair(name, c.Seed)
+		ring.MustRegister(kp.ID, kp.Public)
+	}
+	for _, name := range c.Clients {
+		kp := cryptoutil.DeterministicKeyPair(name, c.Seed)
+		ring.MustRegister(kp.ID, kp.Public)
+	}
+	auth := cryptoutil.DeterministicKeyPair("authority", c.Seed)
+	ring.MustRegister(auth.ID, auth.Public)
+	return ring
+}
+
+// Authority reconstructs the deployment's token authority.
+func (c *Config) Authority() *accessctl.Authority {
+	return accessctl.NewAuthority(cryptoutil.DeterministicKeyPair("authority", c.Seed))
+}
+
+// GroupSpecOf resolves a group's declared policy.
+func (c *Config) GroupSpecOf(name string) (GroupConfig, error) {
+	for _, g := range c.Groups {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return GroupConfig{}, fmt.Errorf("group %q not in config", name)
+}
+
+// consistencyOf parses the config's consistency string.
+func consistencyOf(g GroupConfig) (wire.Consistency, error) {
+	switch strings.ToUpper(g.Consistency) {
+	case "MRC", "":
+		return wire.MRC, nil
+	case "CC":
+		return wire.CC, nil
+	default:
+		return 0, fmt.Errorf("group %q: unknown consistency %q", g.Name, g.Consistency)
+	}
+}
+
+// BuildServer constructs the named replica and its gossip engine (not yet
+// started), wired to its peers over TCP. A non-empty dataDir enables
+// durable state: the replica logs accepted writes and contexts under
+// dataDir/<name>.log and recovers them on start.
+func BuildServer(cfg *Config, name, dataDir string) (*server.Server, *gossip.Engine, error) {
+	if _, ok := cfg.Servers[name]; !ok {
+		return nil, nil, fmt.Errorf("server %q not in config", name)
+	}
+	ring := cfg.Ring()
+	var persist *storage.Log
+	if dataDir != "" {
+		log, err := storage.Open(filepath.Join(dataDir, name+".log"))
+		if err != nil {
+			return nil, nil, err
+		}
+		persist = log
+	}
+	srv := server.New(server.Config{
+		ID:          name,
+		Ring:        ring,
+		AuthorityID: "authority",
+		Metrics:     &metrics.Counters{},
+		Persist:     persist,
+	})
+	for _, g := range cfg.Groups {
+		consistency, err := consistencyOf(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv.RegisterGroup(g.Name, server.Policy{Consistency: consistency, MultiWriter: g.MultiWriter})
+	}
+
+	peers := make([]string, 0, len(cfg.Servers)-1)
+	addrs := make(map[string]string, len(cfg.Servers))
+	for peer, addr := range cfg.Servers {
+		addrs[peer] = addr
+		if peer != name {
+			peers = append(peers, peer)
+		}
+	}
+	sort.Strings(peers)
+	interval := time.Duration(cfg.GossipIntervalMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	if persist != nil {
+		if err := srv.Recover(); err != nil {
+			return nil, nil, fmt.Errorf("recover %s: %w", name, err)
+		}
+	}
+	caller := transport.NewTCPCaller(name, addrs, &metrics.Counters{})
+	engine := gossip.New(srv, caller, peers, gossip.WithInterval(interval))
+	return srv, engine, nil
+}
+
+// BuildClient constructs a TCP-backed client session for one group.
+func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
+	g, err := cfg.GroupSpecOf(group)
+	if err != nil {
+		return nil, err
+	}
+	consistency, err := consistencyOf(g)
+	if err != nil {
+		return nil, err
+	}
+	known := false
+	for _, c := range cfg.Clients {
+		if c == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("client %q not in config (servers only trust configured principals)", id)
+	}
+
+	addrs := make(map[string]string, len(cfg.Servers))
+	for peer, addr := range cfg.Servers {
+		addrs[peer] = addr
+	}
+	m := &metrics.Counters{}
+	token := cfg.Authority().Issue(id, group, accessctl.ReadWrite, m)
+	return client.New(client.Config{
+		ID:          id,
+		Key:         cryptoutil.DeterministicKeyPair(id, cfg.Seed),
+		Ring:        cfg.Ring(),
+		Servers:     cfg.ServerNames(),
+		B:           cfg.B,
+		Group:       group,
+		Consistency: consistency,
+		MultiWriter: g.MultiWriter,
+		Caller:      transport.NewTCPCaller(id, addrs, m),
+		Token:       token,
+		Metrics:     m,
+	})
+}

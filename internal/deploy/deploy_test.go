@@ -1,0 +1,300 @@
+package deploy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// freePorts grabs n distinct ephemeral ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+func writeConfig(t *testing.T, cfg *Config) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deploy.json")
+	raw := []byte(fmt.Sprintf(`{
+		"seed": %q, "b": %d,
+		"servers": {"s00": %q, "s01": %q, "s02": %q, "s03": %q},
+		"groups": [{"name": "notes", "consistency": "MRC"}],
+		"clients": ["alice", "bob"],
+		"gossipIntervalMillis": 20
+	}`, cfg.Seed, cfg.B,
+		cfg.Servers["s00"], cfg.Servers["s01"], cfg.Servers["s02"], cfg.Servers["s03"]))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTCPEndToEnd boots a full four-replica deployment over real sockets
+// and runs a session through it.
+func TestTCPEndToEnd(t *testing.T) {
+	wire.RegisterGob()
+	ports := freePorts(t, 4)
+	cfg := &Config{
+		Seed: "tcptest",
+		B:    1,
+		Servers: map[string]string{
+			"s00": ports[0], "s01": ports[1], "s02": ports[2], "s03": ports[3],
+		},
+	}
+	path := writeConfig(t, cfg)
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot all four replicas.
+	for _, name := range loaded.ServerNames() {
+		srv, engine, err := BuildServer(loaded, name, "")
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		tcp := transport.NewTCPServer(srv)
+		if _, err := tcp.Serve(loaded.Servers[name]); err != nil {
+			t.Fatalf("serve %s: %v", name, err)
+		}
+		engine.Start()
+		t.Cleanup(func() {
+			engine.Stop()
+			tcp.Close()
+		})
+	}
+
+	cl, err := BuildClient(loaded, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if _, err := cl.Write(ctx, "memo", []byte("over tcp")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, _, err := cl.Read(ctx, "memo")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("over tcp")) {
+		t.Fatalf("read = %q, want 'over tcp'", got)
+	}
+	if err := cl.Disconnect(ctx); err != nil {
+		t.Fatalf("disconnect: %v", err)
+	}
+
+	// A second session restores the context.
+	cl2, err := BuildClient(loaded, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if cl2.ContextSeq() != 1 {
+		t.Fatalf("restored seq = %d, want 1", cl2.ContextSeq())
+	}
+	// Dissemination over TCP: eventually all servers have the write, so a
+	// different reader succeeds even querying other replicas.
+	bob, err := BuildClient(loaded, "bob", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _, err := bob.Read(ctx, "memo")
+		if err == nil && bytes.Equal(got, []byte("over tcp")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bob never saw the write: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestLoadRejectsInfeasibleConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	raw := []byte(`{"seed":"x","b":2,"servers":{"a":"1","b":"2","c":"3","d":"4"}}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted 4 servers with b=2")
+	}
+}
+
+func TestBuildClientRejectsUnknownPrincipal(t *testing.T) {
+	cfg := &Config{
+		Seed:    "x",
+		B:       1,
+		Servers: map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"},
+		Groups:  []GroupConfig{{Name: "g", Consistency: "MRC"}},
+		Clients: []string{"alice"},
+	}
+	if _, err := BuildClient(cfg, "mallory", "g"); err == nil {
+		t.Fatal("BuildClient accepted a principal missing from the config")
+	}
+}
+
+// TestPersistentRestart reboots a replica from its data directory and
+// checks its state survives.
+func TestPersistentRestart(t *testing.T) {
+	wire.RegisterGob()
+	ports := freePorts(t, 4)
+	cfg := &Config{
+		Seed: "persisttest",
+		B:    1,
+		Servers: map[string]string{
+			"s00": ports[0], "s01": ports[1], "s02": ports[2], "s03": ports[3],
+		},
+	}
+	path := writeConfig(t, cfg)
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+
+	type proc struct {
+		tcp    *transport.TCPServer
+		engine interface{ Stop() }
+	}
+	procs := make(map[string]*proc)
+	boot := func(name string) {
+		srv, engine, err := BuildServer(loaded, name, dataDir)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		tcp := transport.NewTCPServer(srv)
+		if _, err := tcp.Serve(loaded.Servers[name]); err != nil {
+			t.Fatalf("serve %s: %v", name, err)
+		}
+		procs[name] = &proc{tcp: tcp, engine: engine}
+	}
+	for _, name := range loaded.ServerNames() {
+		boot(name)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.tcp.Close()
+		}
+	})
+
+	cl, err := BuildClient(loaded, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Write(ctx, "memo", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart every replica from disk. The write reached b+1 = 2 of them;
+	// after recovery a fresh session must still find it.
+	for name, p := range procs {
+		p.tcp.Close()
+		delete(procs, name)
+	}
+	for _, name := range loaded.ServerNames() {
+		boot(name)
+	}
+
+	cl2, err := BuildClient(loaded, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Connect(ctx); err != nil {
+		t.Fatalf("connect after restart: %v", err)
+	}
+	if cl2.ContextSeq() != 1 {
+		t.Fatalf("context seq after restart = %d, want 1", cl2.ContextSeq())
+	}
+	got, _, err := cl2.Read(ctx, "memo")
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("read = %q, want durable", got)
+	}
+}
+
+func TestConfigAccessorsAndErrors(t *testing.T) {
+	cfg := &Config{
+		Seed:    "x",
+		B:       1,
+		Servers: map[string]string{"d": "4", "a": "1", "c": "3", "b": "2"},
+		Groups: []GroupConfig{
+			{Name: "g", Consistency: "MRC"},
+			{Name: "weird", Consistency: "LINEARIZABLE"},
+		},
+		Clients: []string{"alice"},
+	}
+
+	names := cfg.ServerNames()
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("server names = %v, want sorted %v", names, want)
+		}
+	}
+
+	if _, err := cfg.GroupSpecOf("missing"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := BuildClient(cfg, "alice", "weird"); err == nil {
+		t.Fatal("unknown consistency accepted")
+	}
+	if _, _, err := BuildServer(cfg, "ghost", ""); err == nil {
+		t.Fatal("unknown server name accepted")
+	}
+	if _, _, err := BuildServer(cfg, "a", ""); err == nil {
+		t.Fatal("group with unknown consistency accepted at server build")
+	}
+
+	// The ring covers servers, clients and the authority.
+	ring := cfg.Ring()
+	for _, id := range []string{"a", "b", "c", "d", "alice", "authority"} {
+		if _, err := ring.Lookup(id); err != nil {
+			t.Fatalf("ring missing %s: %v", id, err)
+		}
+	}
+	if cfg.Authority().ID() != "authority" {
+		t.Fatal("authority id wrong")
+	}
+}

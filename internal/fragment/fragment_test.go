@@ -1,0 +1,259 @@
+package fragment
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGF256FieldAxioms(t *testing.T) {
+	// Multiplicative inverse: a * inv(a) == 1 for all non-zero a.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	// Commutativity and distributivity, property-based.
+	commutative := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	distributive := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Error(err)
+	}
+	// Division inverts multiplication.
+	division := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return gfDiv(gfMul(a, b), b) == a
+	}
+	if err := quick.Check(division, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	if gfPow(0, 0) != 1 || gfPow(5, 0) != 1 {
+		t.Fatal("x^0 != 1")
+	}
+	if gfPow(0, 3) != 0 {
+		t.Fatal("0^3 != 0")
+	}
+	for a := 1; a < 20; a++ {
+		want := byte(1)
+		for e := 0; e < 10; e++ {
+			if got := gfPow(byte(a), e); got != want {
+				t.Fatalf("gfPow(%d,%d) = %d, want %d", a, e, got, want)
+			}
+			want = gfMul(want, byte(a))
+		}
+	}
+}
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	frags, err := Split(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 5 {
+		t.Fatalf("fragments = %d, want 5", len(frags))
+	}
+	got, err := Reconstruct(frags[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reconstruct = %q", got)
+	}
+}
+
+func TestReconstructFromAnySubset(t *testing.T) {
+	data := []byte("secret payload with some length to it 12345")
+	frags, err := Split(data, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 3-subset of 6 fragments must reconstruct.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			for k := j + 1; k < 6; k++ {
+				got, err := Reconstruct([]Fragment{frags[i], frags[j], frags[k]})
+				if err != nil {
+					t.Fatalf("subset (%d,%d,%d): %v", i, j, k, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("subset (%d,%d,%d) reconstructed wrong data", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructInsufficient(t *testing.T) {
+	frags, err := Split([]byte("data"), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct(frags[:2]); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	if _, err := Reconstruct(nil); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("nil err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestReconstructDuplicateIndex(t *testing.T) {
+	frags, err := Split([]byte("data"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reconstruct([]Fragment{frags[0], frags[0]}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSplitParamValidation(t *testing.T) {
+	cases := [][2]int{{0, 5}, {3, 2}, {1, 300}, {-1, 4}}
+	for _, c := range cases {
+		if _, err := Split([]byte("x"), c[0], c[1]); !errors.Is(err, ErrParams) {
+			t.Errorf("Split(k=%d,n=%d) err = %v, want ErrParams", c[0], c[1], err)
+		}
+	}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	// Empty payload.
+	frags, err := Split(nil, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(frags[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty roundtrip = %q", got)
+	}
+	// k == 1 degenerates to replication.
+	frags, err = Split([]byte("solo"), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Reconstruct(frags[2:3])
+	if err != nil || !bytes.Equal(got, []byte("solo")) {
+		t.Fatalf("k=1 roundtrip = %q, %v", got, err)
+	}
+	// k == n (no redundancy).
+	frags, err = Split([]byte("exact"), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Reconstruct(frags)
+	if err != nil || !bytes.Equal(got, []byte("exact")) {
+		t.Fatalf("k=n roundtrip = %q, %v", got, err)
+	}
+}
+
+func TestFragmentSizeOptimality(t *testing.T) {
+	// Each fragment is ~|data|/k: the n/k blowup that beats replication.
+	data := make([]byte, 9000)
+	frags, err := Split(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFrag := len(frags[0].Data)
+	if perFrag > (len(data)+8)/3+3 {
+		t.Fatalf("fragment size %d, want ~%d", perFrag, len(data)/3)
+	}
+}
+
+func TestSplitReconstructProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(raw []byte, kRaw, extraRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		n := k + int(extraRaw%5)
+		if n > 255 {
+			return true
+		}
+		frags, err := Split(raw, k, n)
+		if err != nil {
+			return false
+		}
+		// Random k-subset.
+		idx := rng.Perm(n)[:k]
+		subset := make([]Fragment, 0, k)
+		for _, i := range idx {
+			subset = append(subset, frags[i])
+		}
+		got, err := Reconstruct(subset)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructDetectsCorruptLength(t *testing.T) {
+	frags, err := Split([]byte("data"), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt all fragments' first byte (the length header region).
+	for i := range frags {
+		frags[i].Data[0] = 0xff
+	}
+	if _, err := Reconstruct(frags[:2]); !errors.Is(err, ErrCorruptLength) {
+		t.Fatalf("err = %v, want ErrCorruptLength", err)
+	}
+}
+
+func TestXORSplitCombine(t *testing.T) {
+	data := []byte("top secret")
+	rng := rand.New(rand.NewSource(1))
+	random := func(b []byte) error { _, err := rng.Read(b); return err }
+
+	shares, err := XORSplit(data, 4, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 4 {
+		t.Fatalf("shares = %d", len(shares))
+	}
+	got, err := XORCombine(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("combine = %q", got)
+	}
+	// Any n-1 shares reveal nothing: combining them must NOT yield data.
+	partial, err := XORCombine(shares[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(partial, data) {
+		t.Fatal("n-1 shares reconstructed the secret")
+	}
+}
+
+func TestXORSplitValidation(t *testing.T) {
+	if _, err := XORSplit([]byte("x"), 1, nil); !errors.Is(err, ErrParams) {
+		t.Fatalf("n=1 err = %v", err)
+	}
+	if _, err := XORCombine([][]byte{{1}}); !errors.Is(err, ErrParams) {
+		t.Fatalf("single share err = %v", err)
+	}
+	if _, err := XORCombine([][]byte{{1, 2}, {3}}); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("ragged shares err = %v", err)
+	}
+}

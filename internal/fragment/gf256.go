@@ -1,0 +1,79 @@
+// Package fragment implements information dispersal for the secure store.
+// The paper's related work (Section 3, refs [14,15,18]) identifies
+// fragmentation–scattering as a complementary technique: split a data item
+// into n fragments stored at different servers such that any k reconstruct
+// it but fewer than k reveal nothing useful and survive n-k losses. This
+// package provides Rabin's information dispersal algorithm (IDA) over
+// GF(2^8) — space-optimal n/k blowup — plus an XOR-based n-of-n secret
+// split for the strict-confidentiality case.
+package fragment
+
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+// using log/antilog tables built from generator 0x03.
+
+var (
+	gfExp [512]byte
+	gfLog [256]int
+)
+
+func init() { // table construction is deterministic, side-effect free
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = i
+		// multiply x by the generator 0x03 = x * 2 + x
+		x = mulNoTable(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// mulNoTable is carry-less multiplication used only to build the tables.
+func mulNoTable(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a & 0x80
+		a <<= 1
+		if carry != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfInv returns the multiplicative inverse (a must be non-zero).
+func gfInv(a byte) byte {
+	return gfExp[255-gfLog[a]]
+}
+
+// gfDiv divides a by b (b non-zero).
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfPow raises a to the e-th power.
+func gfPow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(gfLog[a]*e)%255]
+}

@@ -1,0 +1,206 @@
+package fragment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by dispersal and reconstruction.
+var (
+	ErrParams        = errors.New("fragment: invalid parameters")
+	ErrInsufficient  = errors.New("fragment: not enough fragments to reconstruct")
+	ErrInconsistent  = errors.New("fragment: fragments disagree on geometry")
+	ErrSingular      = errors.New("fragment: fragment indices not independent")
+	ErrCorruptLength = errors.New("fragment: corrupt length header")
+)
+
+// Fragment is one dispersed share of a data item.
+type Fragment struct {
+	// Index identifies the share (0-based row of the dispersal matrix).
+	Index int
+	// K is the reconstruction threshold baked into the share.
+	K int
+	// Data is the share payload.
+	Data []byte
+}
+
+// Split disperses data into n fragments, any k of which reconstruct it
+// (Rabin IDA). Each fragment is ~len(data)/k bytes, so total storage is
+// n/k times the original — the space optimality that distinguishes IDA
+// from plain replication. n is limited to 255 by the field size.
+func Split(data []byte, k, n int) ([]Fragment, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrParams, k, n)
+	}
+
+	// Prefix the payload with its length so padding can be stripped.
+	payload := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(payload, uint64(len(data)))
+	copy(payload[8:], data)
+	// Pad to a multiple of k.
+	for len(payload)%k != 0 {
+		payload = append(payload, 0)
+	}
+	cols := len(payload) / k
+
+	frags := make([]Fragment, n)
+	for i := range frags {
+		frags[i] = Fragment{Index: i, K: k, Data: make([]byte, cols)}
+	}
+	// Row i of the Vandermonde matrix is [1, x_i, x_i^2, ..., x_i^(k-1)]
+	// with x_i = i+1 (non-zero, distinct). Fragment i holds row_i * column
+	// for every column of the k×cols payload matrix.
+	for c := 0; c < cols; c++ {
+		for i := 0; i < n; i++ {
+			x := byte(i + 1)
+			var acc byte
+			for j := 0; j < k; j++ {
+				acc ^= gfMul(gfPow(x, j), payload[j*cols+c])
+			}
+			frags[i].Data[c] = acc
+		}
+	}
+	return frags, nil
+}
+
+// Reconstruct recovers the original data from any k distinct fragments.
+func Reconstruct(frags []Fragment) ([]byte, error) {
+	if len(frags) == 0 {
+		return nil, ErrInsufficient
+	}
+	k := frags[0].K
+	if len(frags) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, len(frags), k)
+	}
+	use := frags[:k]
+	cols := len(use[0].Data)
+	seen := make(map[int]bool, k)
+	for _, f := range use {
+		if f.K != k || len(f.Data) != cols {
+			return nil, ErrInconsistent
+		}
+		if f.Index < 0 || f.Index > 254 || seen[f.Index] {
+			return nil, fmt.Errorf("%w: duplicate or invalid index %d", ErrSingular, f.Index)
+		}
+		seen[f.Index] = true
+	}
+
+	// Invert the k×k Vandermonde submatrix for the chosen indices.
+	m := make([][]byte, k)
+	inv := make([][]byte, k)
+	for i, f := range use {
+		x := byte(f.Index + 1)
+		m[i] = make([]byte, k)
+		inv[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			m[i][j] = gfPow(x, j)
+		}
+		inv[i][i] = 1
+	}
+	if err := gaussInvert(m, inv); err != nil {
+		return nil, err
+	}
+
+	// payload row j, column c = sum_i inv[j][i] * use[i].Data[c].
+	payload := make([]byte, k*cols)
+	for j := 0; j < k; j++ {
+		for c := 0; c < cols; c++ {
+			var acc byte
+			for i := 0; i < k; i++ {
+				acc ^= gfMul(inv[j][i], use[i].Data[c])
+			}
+			payload[j*cols+c] = acc
+		}
+	}
+
+	if len(payload) < 8 {
+		return nil, ErrCorruptLength
+	}
+	length := binary.BigEndian.Uint64(payload)
+	if length > uint64(len(payload)-8) {
+		return nil, fmt.Errorf("%w: claims %d bytes, payload %d", ErrCorruptLength, length, len(payload)-8)
+	}
+	return payload[8 : 8+length], nil
+}
+
+// gaussInvert performs in-place Gauss–Jordan elimination over GF(2^8),
+// turning m into the identity and inv into m^-1.
+func gaussInvert(m, inv [][]byte) error {
+	k := len(m)
+	for col := 0; col < k; col++ {
+		// Find pivot.
+		pivot := -1
+		for row := col; row < k; row++ {
+			if m[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+
+		// Normalize the pivot row.
+		p := m[col][col]
+		for j := 0; j < k; j++ {
+			m[col][j] = gfDiv(m[col][j], p)
+			inv[col][j] = gfDiv(inv[col][j], p)
+		}
+		// Eliminate the column elsewhere.
+		for row := 0; row < k; row++ {
+			if row == col || m[row][col] == 0 {
+				continue
+			}
+			factor := m[row][col]
+			for j := 0; j < k; j++ {
+				m[row][j] ^= gfMul(factor, m[col][j])
+				inv[row][j] ^= gfMul(factor, inv[col][j])
+			}
+		}
+	}
+	return nil
+}
+
+// XORSplit splits data into n shares that must ALL be combined to recover
+// it: n-1 random pads plus the running XOR. Unlike IDA, fewer than n
+// shares are information-theoretically useless — the Fray et al. [18]
+// style of fragmentation for strictly confidential items.
+func XORSplit(data []byte, n int, random func([]byte) error) ([][]byte, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrParams, n)
+	}
+	shares := make([][]byte, n)
+	acc := append([]byte(nil), data...)
+	for i := 0; i < n-1; i++ {
+		share := make([]byte, len(data))
+		if err := random(share); err != nil {
+			return nil, fmt.Errorf("fragment: random share: %w", err)
+		}
+		for j := range acc {
+			acc[j] ^= share[j]
+		}
+		shares[i] = share
+	}
+	shares[n-1] = acc
+	return shares, nil
+}
+
+// XORCombine recovers data from all n XOR shares.
+func XORCombine(shares [][]byte) ([]byte, error) {
+	if len(shares) < 2 {
+		return nil, fmt.Errorf("%w: need >=2 shares", ErrParams)
+	}
+	out := make([]byte, len(shares[0]))
+	for _, s := range shares {
+		if len(s) != len(out) {
+			return nil, ErrInconsistent
+		}
+		for j := range out {
+			out[j] ^= s[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package fragstore layers fragmentation–scattering over the secure
+// store's replicas: each value is dispersed with Rabin's IDA into n
+// fragments, one per server, such that any k reconstruct it and fewer
+// than k reveal nothing useful. The paper cites this line of work (Fray
+// et al. [18], Rabin [14], Alon et al. [15]) as a complementary technique
+// the store "could benefit from": with k >= b+1, even all b compromised
+// servers pooling their fragments cannot reconstruct a confidential item,
+// without any encryption key to manage, and any n-b healthy servers
+// suffice to read.
+//
+// Fragments are carried in ordinary SignedWrites (one per server, same
+// item and stamp, fragment index inside the signed payload), so all of
+// the store's integrity machinery applies unchanged. Fragment writes are
+// deliberately delivered point-to-point: dissemination ignores them
+// because equal stamps never overwrite, so honest servers hold at most
+// one fragment per item version.
+package fragstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/fragment"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Errors returned by the fragmented store.
+var (
+	ErrNotEnoughFragments = errors.New("fragstore: not enough fragments to reconstruct")
+	ErrInfeasible         = errors.New("fragstore: infeasible configuration")
+)
+
+// Config assembles a fragmented store client.
+type Config struct {
+	// ID and Key identify and sign for the client.
+	ID  string
+	Key cryptoutil.KeyPair
+	// Ring holds all well-known public keys.
+	Ring *cryptoutil.Keyring
+	// Servers lists the replicas; one fragment goes to each.
+	Servers []string
+	// B is the fault bound.
+	B int
+	// K is the reconstruction threshold. It must satisfy b < K <= n-b:
+	// the lower bound keeps b colluding servers from reconstructing, the
+	// upper keeps reads live with b unavailable. Default b+1.
+	K int
+	// Group names the related item group at the servers.
+	Group string
+	// Caller is the client's transport.
+	Caller transport.Caller
+	// Token authorizes access (may be nil without an authority).
+	Token *accessctl.Token
+	// Metrics receives cost accounting.
+	Metrics *metrics.Counters
+	// CallTimeout bounds each scatter/gather (default 2s).
+	CallTimeout time.Duration
+}
+
+// Store is a fragmented-store client session.
+type Store struct {
+	cfg   Config
+	n     int
+	clock timestamp.Clock
+}
+
+// payload is the signed fragment envelope carried in SignedWrite.Value.
+type payload struct {
+	Index int    `json:"index"`
+	K     int    `json:"k"`
+	Data  []byte `json:"data"`
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Store, error) {
+	n := len(cfg.Servers)
+	if cfg.K == 0 {
+		cfg.K = cfg.B + 1
+	}
+	if cfg.K <= cfg.B || cfg.K > n-cfg.B {
+		return nil, fmt.Errorf("%w: need b < k <= n-b, have n=%d b=%d k=%d", ErrInfeasible, n, cfg.B, cfg.K)
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.Caller == nil {
+		return nil, errors.New("fragstore: caller required")
+	}
+	return &Store{cfg: cfg, n: n}, nil
+}
+
+// K returns the reconstruction threshold in use.
+func (s *Store) K() int { return s.cfg.K }
+
+// Write disperses value into n fragments and stores one at each server.
+// It succeeds once k+b servers hold their fragment, which guarantees that
+// a later read reaching all-but-b servers finds at least k.
+func (s *Store) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
+	frags, err := fragment.Split(value, s.cfg.K, s.n)
+	if err != nil {
+		return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
+	}
+	stamp := timestamp.Stamp{Time: s.clock.Next(0)}
+
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
+	defer cancel()
+
+	// One distinct signed write per server: the fragment index is inside
+	// the signed payload, so a faulty server cannot pass off another
+	// server's fragment as its own index.
+	writes := make(map[string]*wire.SignedWrite, s.n)
+	for i, srv := range s.cfg.Servers {
+		raw, err := json.Marshal(payload{Index: frags[i].Index, K: frags[i].K, Data: frags[i].Data})
+		if err != nil {
+			return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
+		}
+		w := &wire.SignedWrite{Group: s.cfg.Group, Item: item, Stamp: stamp, Value: raw}
+		w.Sign(s.cfg.Key, s.cfg.Metrics)
+		writes[srv] = w
+	}
+
+	need := s.cfg.K + s.cfg.B
+	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, s.cfg.Servers, func(srv string) wire.Request {
+		return wire.WriteReq{Write: writes[srv], Token: s.cfg.Token}
+	}, need)
+	if err != nil {
+		return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
+	}
+	if len(quorum.Successes(replies)) < need {
+		return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, quorum.ErrInsufficient)
+	}
+	return stamp, nil
+}
+
+// Read gathers fragments from the servers and reconstructs the newest
+// version for which k verifiable fragments with distinct indices exist.
+func (s *Store) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
+	defer cancel()
+
+	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, s.cfg.Servers, func(string) wire.Request {
+		return wire.ValueReq{Client: s.cfg.ID, Group: s.cfg.Group, Item: item, Token: s.cfg.Token}
+	}, s.n-s.cfg.B)
+	if err != nil {
+		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, err)
+	}
+
+	// Bucket verified fragments by stamp, keyed by fragment index so a
+	// replayed duplicate cannot count twice.
+	byStamp := make(map[timestamp.Stamp]map[int]fragment.Fragment)
+	for _, r := range quorum.Successes(replies) {
+		vr, ok := r.Resp.(wire.ValueResp)
+		if !ok || vr.Write == nil || vr.Write.Item != item || vr.Write.Group != s.cfg.Group {
+			continue
+		}
+		if err := vr.Write.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
+			continue // tampered fragment: drop
+		}
+		var p payload
+		if err := json.Unmarshal(vr.Write.Value, &p); err != nil || p.K != s.cfg.K {
+			continue
+		}
+		set, ok := byStamp[vr.Write.Stamp]
+		if !ok {
+			set = make(map[int]fragment.Fragment)
+			byStamp[vr.Write.Stamp] = set
+		}
+		set[p.Index] = fragment.Fragment{Index: p.Index, K: p.K, Data: p.Data}
+	}
+
+	// Newest stamp with at least k distinct fragments wins.
+	var (
+		best      timestamp.Stamp
+		bestFrags []fragment.Fragment
+	)
+	for stamp, set := range byStamp {
+		if len(set) < s.cfg.K {
+			continue
+		}
+		if bestFrags == nil || best.Less(stamp) {
+			best = stamp
+			bestFrags = bestFrags[:0]
+			for _, f := range set {
+				bestFrags = append(bestFrags, f)
+			}
+		}
+	}
+	if bestFrags == nil {
+		return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrNotEnoughFragments, item)
+	}
+
+	value, err := fragment.Reconstruct(bestFrags[:s.cfg.K])
+	if err != nil {
+		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, err)
+	}
+	return value, best, nil
+}

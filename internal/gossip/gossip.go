@@ -1,0 +1,288 @@
+// Package gossip implements the dissemination component of the secure
+// store (Section 4): "servers keep themselves informed about updates in
+// which they do not directly participate via a gossip or dissemination
+// protocol". The paper deliberately leaves the mechanism open, requiring
+// only that non-faulty servers eventually exchange signed updates; this
+// implementation offers push anti-entropy (each round, a server forwards
+// entire signed write messages its peer has not acknowledged to a random
+// subset of peers), pull anti-entropy (a server fetches what it missed —
+// how a rejoining replica catches up), and the classic push-pull
+// combination, with the round period and fanout as the tuning knobs whose
+// effect experiment E4 measures.
+package gossip
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"securestore/internal/server"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Mode selects the anti-entropy direction(s) an engine uses each round.
+type Mode int
+
+// Gossip modes. Push spreads fresh writes fastest; pull lets a lagging or
+// rejoining replica catch up at its own initiative; PushPull does both —
+// the classic epidemic combination (ref [7]).
+const (
+	Push Mode = iota + 1
+	Pull
+	PushPull
+)
+
+// Engine runs dissemination for one replica.
+type Engine struct {
+	srv    *server.Server
+	caller transport.Caller
+	peers  []string
+
+	interval time.Duration
+	fanout   int
+	timeout  time.Duration
+	mode     Mode
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	acked  map[string]uint64 // per-peer high-water: what we pushed to them
+	pulled map[string]uint64 // per-peer high-water: what we pulled from them
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Option configures an Engine.
+type Option interface{ apply(*Engine) }
+
+type optionFunc func(*Engine)
+
+func (f optionFunc) apply(e *Engine) { f(e) }
+
+// WithInterval sets the gossip round period (default 50ms).
+func WithInterval(d time.Duration) Option {
+	return optionFunc(func(e *Engine) { e.interval = d })
+}
+
+// WithFanout sets how many peers are pushed to per round (default 2).
+func WithFanout(k int) Option {
+	return optionFunc(func(e *Engine) { e.fanout = k })
+}
+
+// WithTimeout sets the per-push call timeout (default 2s).
+func WithTimeout(d time.Duration) Option {
+	return optionFunc(func(e *Engine) { e.timeout = d })
+}
+
+// WithSeed seeds peer selection for reproducible experiments.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(e *Engine) { e.rng = rand.New(rand.NewSource(seed)) })
+}
+
+// WithMode selects push, pull, or push-pull anti-entropy (default Push).
+func WithMode(m Mode) Option {
+	return optionFunc(func(e *Engine) { e.mode = m })
+}
+
+// New creates a gossip engine for srv, pushing through caller to peers
+// (the other servers' names).
+func New(srv *server.Server, caller transport.Caller, peers []string, opts ...Option) *Engine {
+	e := &Engine{
+		srv:      srv,
+		caller:   caller,
+		peers:    append([]string(nil), peers...),
+		interval: 50 * time.Millisecond,
+		fanout:   2,
+		timeout:  2 * time.Second,
+		mode:     Push,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		acked:    make(map[string]uint64),
+		pulled:   make(map[string]uint64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt.apply(e)
+	}
+	if e.fanout > len(e.peers) {
+		e.fanout = len(e.peers)
+	}
+	return e
+}
+
+// Start launches the background gossip loop. Calling Start more than once
+// is a no-op.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+	go e.loop()
+}
+
+// Stop terminates the loop and waits for it to exit. Stopping a never
+// started engine returns immediately.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		<-e.done
+	}
+}
+
+func (e *Engine) loop() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.Round()
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// Round performs one gossip round against fanout randomly chosen peers,
+// in the configured mode. It returns the total number of writes exchanged
+// (applied remotely by pushes plus applied locally by pulls). Exposed so
+// tests and experiments can drive gossip deterministically.
+func (e *Engine) Round() int {
+	peers := e.pickPeers()
+	applied := 0
+	for _, peer := range peers {
+		if e.mode == Push || e.mode == PushPull {
+			applied += e.pushTo(peer)
+		}
+		if e.mode == Pull || e.mode == PushPull {
+			applied += e.pullFrom(peer)
+		}
+	}
+	return applied
+}
+
+// PushAll pushes pending updates to every peer once (used by convergence
+// helpers).
+func (e *Engine) PushAll() int {
+	applied := 0
+	for _, peer := range e.peers {
+		applied += e.pushTo(peer)
+	}
+	return applied
+}
+
+// PullAll pulls pending updates from every peer once.
+func (e *Engine) PullAll() int {
+	applied := 0
+	for _, peer := range e.peers {
+		applied += e.pullFrom(peer)
+	}
+	return applied
+}
+
+func (e *Engine) pickPeers() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fanout >= len(e.peers) {
+		return append([]string(nil), e.peers...)
+	}
+	idx := e.rng.Perm(len(e.peers))[:e.fanout]
+	out := make([]string, 0, e.fanout)
+	for _, i := range idx {
+		out = append(out, e.peers[i])
+	}
+	return out
+}
+
+func (e *Engine) pushTo(peer string) int {
+	// A crashed or mute replica sends nothing; other fault modes may keep
+	// gossiping (their pushes are self-verifying signed writes anyway).
+	if f := e.srv.Fault(); f == server.Crash || f == server.Mute {
+		return 0
+	}
+	e.mu.Lock()
+	after := e.acked[peer]
+	e.mu.Unlock()
+
+	writes, seq := e.srv.UpdatesSince(after)
+	if len(writes) == 0 {
+		return 0
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	defer cancel()
+	resp, err := e.caller.Call(ctx, peer, wire.GossipPushReq{From: e.srv.ID(), Writes: writes})
+	if err != nil {
+		return 0
+	}
+	e.mu.Lock()
+	if seq > e.acked[peer] {
+		e.acked[peer] = seq
+	}
+	e.mu.Unlock()
+	if ack, ok := resp.(wire.GossipPushResp); ok {
+		return ack.Applied
+	}
+	return 0
+}
+
+// pullFrom fetches the peer's updates past our high-water mark and
+// applies them locally through full validation.
+func (e *Engine) pullFrom(peer string) int {
+	if f := e.srv.Fault(); f == server.Crash || f == server.Mute {
+		return 0
+	}
+	e.mu.Lock()
+	after := e.pulled[peer]
+	e.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	defer cancel()
+	resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after})
+	if err != nil {
+		return 0
+	}
+	pr, ok := resp.(wire.GossipPullResp)
+	if !ok {
+		return 0
+	}
+	applied := 0
+	for _, w := range pr.Writes {
+		if e.srv.ApplyDisseminated(w) {
+			applied++
+		}
+	}
+	e.mu.Lock()
+	if pr.Seq > e.pulled[peer] {
+		e.pulled[peer] = pr.Seq
+	}
+	e.mu.Unlock()
+	return applied
+}
+
+// Converge drives rounds across all engines until a full sweep applies no
+// new writes anywhere (or maxSweeps is hit). It returns the number of
+// sweeps performed. Used by tests and experiments that need the store fully
+// disseminated before measuring.
+func Converge(engines []*Engine, maxSweeps int) int {
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		applied := 0
+		for _, e := range engines {
+			applied += e.PushAll()
+		}
+		if applied == 0 {
+			return sweep
+		}
+	}
+	return maxSweeps
+}

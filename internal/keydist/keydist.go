@@ -1,0 +1,308 @@
+// Package keydist implements group key distribution for the secure store's
+// confidentiality scheme. The paper (Section 5.2) requires that the key
+// used to encrypt shared data values "be distributed to readers" and that,
+// when membership changes, "key distribution and management schemes
+// similar to those discussed in secure multicast communication [16] have
+// to be employed" — reference [16] being Wong/Gouda/Lam key graphs. This
+// package implements the standard logical key hierarchy (LKH) from that
+// line of work: a binary tree of keys whose root is the group data key;
+// each member holds the keys on its leaf-to-root path, so a membership
+// change re-keys only O(log n) nodes, and a departed member — or a server,
+// which never receives any of these keys — cannot learn the new group key.
+package keydist
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+)
+
+// Errors returned by this package.
+var (
+	ErrFull          = errors.New("keydist: group at capacity")
+	ErrUnknownMember = errors.New("keydist: unknown member")
+	ErrNotMember     = errors.New("keydist: not a member")
+)
+
+// RekeyEntry delivers one new node key encrypted under a key the intended
+// receivers already hold.
+type RekeyEntry struct {
+	// NodeID names the tree node whose key is being replaced.
+	NodeID int
+	// UnderKeyID names the key the payload is sealed with: "node:<id>" for
+	// a tree key, "member:<name>" for a member's personal key.
+	UnderKeyID string
+	// Sealed is the new key, AES-GCM sealed under the named key.
+	Sealed []byte
+}
+
+// Rekey is a broadcast of key changes after one membership event.
+type Rekey struct {
+	Entries []RekeyEntry
+}
+
+// Manager is the group owner's side of LKH. It assigns members to leaves
+// of a complete binary tree of the given depth (capacity 2^depth members)
+// and issues Rekey broadcasts on join and leave.
+type Manager struct {
+	depth   int
+	keys    map[int]cryptoutil.DataKey // node id (heap layout, root=1) -> key
+	leafOf  map[string]int             // member -> leaf node id
+	member  map[int]string             // leaf node id -> member
+	persKey map[string]cryptoutil.DataKey
+	metrics *metrics.Counters
+	newKey  func() (cryptoutil.DataKey, error)
+}
+
+// NewManager creates a group with capacity 2^depth members.
+func NewManager(depth int, m *metrics.Counters) (*Manager, error) {
+	if depth < 1 || depth > 20 {
+		return nil, fmt.Errorf("keydist: depth %d out of range [1,20]", depth)
+	}
+	mgr := &Manager{
+		depth:   depth,
+		keys:    make(map[int]cryptoutil.DataKey),
+		leafOf:  make(map[string]int),
+		member:  make(map[int]string),
+		persKey: make(map[string]cryptoutil.DataKey),
+		metrics: m,
+		newKey:  cryptoutil.NewDataKey,
+	}
+	// Initialize every internal node key lazily; the root exists upfront.
+	root, err := mgr.newKey()
+	if err != nil {
+		return nil, err
+	}
+	mgr.keys[1] = root
+	return mgr, nil
+}
+
+// GroupKey returns the current group (root) key — the data key clients use
+// with client.Config.DataKey.
+func (g *Manager) GroupKey() cryptoutil.DataKey { return g.keys[1] }
+
+// Members returns the current member count.
+func (g *Manager) Members() int { return len(g.leafOf) }
+
+// Capacity returns the maximum member count.
+func (g *Manager) Capacity() int { return 1 << g.depth }
+
+// Join adds a member whose personal key is persKey. It returns the joining
+// member's initial key set (their full path, sealed under their personal
+// key) and the Rekey broadcast for existing members. Path keys are changed
+// on join so the newcomer cannot decrypt data sealed before it joined
+// (backward secrecy).
+func (g *Manager) Join(member string, persKey cryptoutil.DataKey) (welcome Rekey, broadcast Rekey, err error) {
+	if _, ok := g.leafOf[member]; ok {
+		return Rekey{}, Rekey{}, fmt.Errorf("keydist: member %q already joined", member)
+	}
+	leaf := g.freeLeaf()
+	if leaf < 0 {
+		return Rekey{}, Rekey{}, ErrFull
+	}
+	g.leafOf[member] = leaf
+	g.member[leaf] = member
+	g.persKey[member] = persKey
+
+	welcome, broadcast, err = g.rekeyPath(leaf)
+	if err != nil {
+		return Rekey{}, Rekey{}, err
+	}
+	return welcome, broadcast, nil
+}
+
+// Leave removes a member and re-keys its path so the departed member (and
+// anyone holding its keys) cannot learn future group keys (forward
+// secrecy). The returned broadcast is decryptable only by remaining
+// members.
+func (g *Manager) Leave(member string) (Rekey, error) {
+	leaf, ok := g.leafOf[member]
+	if !ok {
+		return Rekey{}, fmt.Errorf("%w: %q", ErrUnknownMember, member)
+	}
+	delete(g.leafOf, member)
+	delete(g.member, leaf)
+	delete(g.persKey, member)
+	delete(g.keys, leaf)
+
+	_, broadcast, err := g.rekeyPath(leaf)
+	if err != nil {
+		return Rekey{}, err
+	}
+	return broadcast, nil
+}
+
+// rekeyPath regenerates every key from leaf to root. For each regenerated
+// node it seals the new key under each child subtree that contains
+// members (or the member's personal key at the leaf), producing the
+// O(log n) broadcast characteristic of LKH.
+func (g *Manager) rekeyPath(leaf int) (welcome Rekey, broadcast Rekey, err error) {
+	// Regenerate bottom-up.
+	for node := leaf; node >= 1; node /= 2 {
+		if node == leaf {
+			if _, occupied := g.member[leaf]; !occupied {
+				continue // leaf vacated by Leave: no leaf key anymore
+			}
+		}
+		fresh, kerr := g.newKey()
+		if kerr != nil {
+			return Rekey{}, Rekey{}, kerr
+		}
+		g.keys[node] = fresh
+	}
+
+	// Welcome package: the joiner's full path under its personal key.
+	if member, ok := g.member[leaf]; ok {
+		pers := g.persKey[member]
+		for node := leaf; node >= 1; node /= 2 {
+			nodeKey := g.keys[node]
+			sealed, serr := pers.Seal(nodeKey[:], aad(node), g.metrics)
+			if serr != nil {
+				return Rekey{}, Rekey{}, serr
+			}
+			welcome.Entries = append(welcome.Entries, RekeyEntry{
+				NodeID:     node,
+				UnderKeyID: "member:" + member,
+				Sealed:     sealed,
+			})
+		}
+	}
+
+	// Broadcast: each changed internal node key sealed under each child
+	// key whose subtree has members. Children off the changed path kept
+	// their old keys, so their members can decrypt; children on the path
+	// were just re-keyed bottom-up, so the order of entries lets members
+	// unwrap cascading changes.
+	for node := leaf / 2; node >= 1; node /= 2 {
+		for _, child := range []int{2 * node, 2*node + 1} {
+			if !g.subtreeOccupied(child) {
+				continue
+			}
+			childKey, ok := g.childSealingKey(child)
+			if !ok {
+				continue
+			}
+			nodeKey := g.keys[node]
+			sealed, serr := childKey.key.Seal(nodeKey[:], aad(node), g.metrics)
+			if serr != nil {
+				return Rekey{}, Rekey{}, serr
+			}
+			broadcast.Entries = append(broadcast.Entries, RekeyEntry{
+				NodeID:     node,
+				UnderKeyID: childKey.id,
+				Sealed:     sealed,
+			})
+		}
+	}
+	return welcome, broadcast, nil
+}
+
+type sealingKey struct {
+	id  string
+	key cryptoutil.DataKey
+}
+
+// childSealingKey returns the key identifying a child subtree: the child
+// node's own key when it exists, or the occupying member's leaf key.
+func (g *Manager) childSealingKey(child int) (sealingKey, bool) {
+	if k, ok := g.keys[child]; ok {
+		return sealingKey{id: "node:" + strconv.Itoa(child), key: k}, true
+	}
+	return sealingKey{}, false
+}
+
+// subtreeOccupied reports whether any member's leaf lies under node.
+func (g *Manager) subtreeOccupied(node int) bool {
+	lo, hi := node, node
+	for hi < 1<<g.depth { // descend to leaf level
+		lo, hi = 2*lo, 2*hi+1
+	}
+	for _, leaf := range g.leafOf {
+		if leaf >= lo && leaf <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// freeLeaf returns the lowest unoccupied leaf id, or -1 when full.
+func (g *Manager) freeLeaf() int {
+	base := 1 << g.depth
+	for i := 0; i < base; i++ {
+		if _, taken := g.member[base+i]; !taken {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// Member is one group participant's key state.
+type Member struct {
+	id      string
+	pers    cryptoutil.DataKey
+	keys    map[int]cryptoutil.DataKey
+	metrics *metrics.Counters
+}
+
+// NewMember creates a member with its personal key (shared out of band
+// with the manager).
+func NewMember(id string, pers cryptoutil.DataKey, m *metrics.Counters) *Member {
+	return &Member{id: id, pers: pers, keys: make(map[int]cryptoutil.DataKey), metrics: m}
+}
+
+// Apply installs every entry the member can decrypt. Entries are processed
+// repeatedly until a pass makes no progress, handling in-broadcast key
+// cascades regardless of entry order.
+func (mem *Member) Apply(rk Rekey) int {
+	installed := 0
+	for {
+		progressed := false
+		for _, e := range rk.Entries {
+			var (
+				key cryptoutil.DataKey
+				ok  bool
+			)
+			switch {
+			case e.UnderKeyID == "member:"+mem.id:
+				key, ok = mem.pers, true
+			case len(e.UnderKeyID) > 5 && e.UnderKeyID[:5] == "node:":
+				if id, err := strconv.Atoi(e.UnderKeyID[5:]); err == nil {
+					key, ok = mem.keys[id]
+				}
+			}
+			if !ok {
+				continue
+			}
+			plain, err := key.Open(e.Sealed, aad(e.NodeID), mem.metrics)
+			if err != nil || len(plain) != 32 {
+				continue
+			}
+			var fresh cryptoutil.DataKey
+			copy(fresh[:], plain)
+			if mem.keys[e.NodeID] != fresh {
+				mem.keys[e.NodeID] = fresh
+				installed++
+				progressed = true
+			}
+		}
+		if !progressed {
+			return installed
+		}
+	}
+}
+
+// GroupKey returns the member's view of the group key.
+func (mem *Member) GroupKey() (cryptoutil.DataKey, error) {
+	k, ok := mem.keys[1]
+	if !ok {
+		return cryptoutil.DataKey{}, ErrNotMember
+	}
+	return k, nil
+}
+
+func aad(node int) []byte {
+	return []byte("lkh-node:" + strconv.Itoa(node))
+}

@@ -1,0 +1,208 @@
+package keydist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+)
+
+// group bundles a manager with live member states for tests.
+type group struct {
+	mgr     *Manager
+	members map[string]*Member
+}
+
+func newGroup(t *testing.T, depth int) *group {
+	t.Helper()
+	mgr, err := NewManager(depth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &group{mgr: mgr, members: make(map[string]*Member)}
+}
+
+func (g *group) join(t *testing.T, name string) {
+	t.Helper()
+	pers := cryptoutil.DeriveDataKey(name, "personal")
+	m := NewMember(name, pers, nil)
+	welcome, broadcast, err := g.mgr.Join(name, pers)
+	if err != nil {
+		t.Fatalf("join %s: %v", name, err)
+	}
+	m.Apply(welcome)
+	for _, other := range g.members {
+		other.Apply(broadcast)
+	}
+	g.members[name] = m
+}
+
+func (g *group) leave(t *testing.T, name string) {
+	t.Helper()
+	broadcast, err := g.mgr.Leave(name)
+	if err != nil {
+		t.Fatalf("leave %s: %v", name, err)
+	}
+	delete(g.members, name)
+	for _, other := range g.members {
+		other.Apply(broadcast)
+	}
+}
+
+func (g *group) checkConsistent(t *testing.T) {
+	t.Helper()
+	want := g.mgr.GroupKey()
+	for name, m := range g.members {
+		got, err := m.GroupKey()
+		if err != nil {
+			t.Fatalf("member %s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("member %s has stale group key", name)
+		}
+	}
+}
+
+func TestJoinEstablishesSharedKey(t *testing.T) {
+	g := newGroup(t, 3)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		g.join(t, name)
+		g.checkConsistent(t)
+	}
+	if g.mgr.Members() != 5 {
+		t.Fatalf("members = %d", g.mgr.Members())
+	}
+}
+
+func TestJoinChangesGroupKeyBackwardSecrecy(t *testing.T) {
+	g := newGroup(t, 2)
+	g.join(t, "a")
+	before := g.mgr.GroupKey()
+	g.join(t, "b")
+	if g.mgr.GroupKey() == before {
+		t.Fatal("group key unchanged on join: newcomer could read old data")
+	}
+	g.checkConsistent(t)
+}
+
+func TestLeaveForwardSecrecy(t *testing.T) {
+	g := newGroup(t, 2)
+	g.join(t, "a")
+	g.join(t, "b")
+	g.join(t, "c")
+	departed := g.members["b"]
+	g.leave(t, "b")
+	g.checkConsistent(t)
+
+	// The departed member's view must be stale.
+	old, err := departed.GroupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old == g.mgr.GroupKey() {
+		t.Fatal("departed member holds the new group key")
+	}
+}
+
+func TestLeaveBroadcastUselessToDeparted(t *testing.T) {
+	g := newGroup(t, 2)
+	g.join(t, "a")
+	g.join(t, "b")
+	departed := g.members["b"]
+	broadcast, err := g.mgr.Leave("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even applying the broadcast, the departed member cannot learn the
+	// new root: every entry is sealed under keys on paths it no longer
+	// shares... apply and check.
+	departed.Apply(broadcast)
+	got, err := departed.GroupKey()
+	if err == nil && got == g.mgr.GroupKey() {
+		t.Fatal("departed member decrypted the rekey broadcast")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	g := newGroup(t, 1) // capacity 2
+	g.join(t, "a")
+	g.join(t, "b")
+	_, _, err := g.mgr.Join("c", cryptoutil.DeriveDataKey("c", "p"))
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity join = %v, want ErrFull", err)
+	}
+	if g.mgr.Capacity() != 2 {
+		t.Fatalf("capacity = %d", g.mgr.Capacity())
+	}
+}
+
+func TestLeaveUnknown(t *testing.T) {
+	g := newGroup(t, 2)
+	if _, err := g.mgr.Leave("ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("err = %v, want ErrUnknownMember", err)
+	}
+}
+
+func TestDoubleJoinRejected(t *testing.T) {
+	g := newGroup(t, 2)
+	g.join(t, "a")
+	if _, _, err := g.mgr.Join("a", cryptoutil.DeriveDataKey("a", "p")); err == nil {
+		t.Fatal("double join accepted")
+	}
+}
+
+func TestNonMemberHasNoKey(t *testing.T) {
+	m := NewMember("stranger", cryptoutil.DeriveDataKey("s", "p"), nil)
+	if _, err := m.GroupKey(); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("err = %v, want ErrNotMember", err)
+	}
+}
+
+func TestRekeyBroadcastLogarithmic(t *testing.T) {
+	// With 2^depth capacity, a leave should rekey O(depth) nodes, each
+	// sealed under at most 2 children: entries <= 2*depth.
+	depth := 4
+	g := newGroup(t, depth)
+	for i := 0; i < 16; i++ {
+		g.join(t, fmt.Sprintf("m%02d", i))
+	}
+	broadcast, err := g.mgr.Leave("m07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broadcast.Entries) > 2*depth {
+		t.Fatalf("broadcast entries = %d, want <= %d (O(log n))", len(broadcast.Entries), 2*depth)
+	}
+	delete(g.members, "m07")
+	for _, m := range g.members {
+		m.Apply(broadcast)
+	}
+	g.checkConsistent(t)
+}
+
+func TestChurn(t *testing.T) {
+	g := newGroup(t, 3)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		g.join(t, n)
+	}
+	g.leave(t, "c")
+	g.join(t, "g")
+	g.leave(t, "a")
+	g.leave(t, "f")
+	g.join(t, "h")
+	g.checkConsistent(t)
+	if g.mgr.Members() != 5 {
+		t.Fatalf("members = %d, want 5", g.mgr.Members())
+	}
+}
+
+func TestManagerDepthValidation(t *testing.T) {
+	if _, err := NewManager(0, nil); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := NewManager(21, nil); err == nil {
+		t.Fatal("depth 21 accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package metrics provides lightweight instrumentation counters used to
+// account for the message and cryptographic costs that the paper's
+// performance analysis (Section 6) reasons about. Counters are safe for
+// concurrent use and cheap enough to leave enabled in benchmarks.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters accumulates protocol cost metrics. The zero value is ready to use.
+// A nil *Counters is also valid: all methods are no-ops, which lets hot paths
+// record unconditionally.
+type Counters struct {
+	messagesSent  atomic.Int64
+	bytesSent     atomic.Int64
+	signatures    atomic.Int64
+	verifications atomic.Int64
+	encryptions   atomic.Int64
+	decryptions   atomic.Int64
+
+	mu     sync.Mutex
+	custom map[string]int64
+}
+
+// Snapshot is a point-in-time copy of a Counters.
+type Snapshot struct {
+	MessagesSent  int64            `json:"messagesSent"`
+	BytesSent     int64            `json:"bytesSent"`
+	Signatures    int64            `json:"signatures"`
+	Verifications int64            `json:"verifications"`
+	Encryptions   int64            `json:"encryptions"`
+	Decryptions   int64            `json:"decryptions"`
+	Custom        map[string]int64 `json:"custom,omitempty"`
+}
+
+// AddMessage records a protocol message of the given size in bytes.
+func (c *Counters) AddMessage(bytes int) {
+	if c == nil {
+		return
+	}
+	c.messagesSent.Add(1)
+	c.bytesSent.Add(int64(bytes))
+}
+
+// AddSignature records one digital signature generation.
+func (c *Counters) AddSignature() {
+	if c == nil {
+		return
+	}
+	c.signatures.Add(1)
+}
+
+// AddVerification records one digital signature verification.
+func (c *Counters) AddVerification() {
+	if c == nil {
+		return
+	}
+	c.verifications.Add(1)
+}
+
+// AddEncryption records one symmetric encryption operation.
+func (c *Counters) AddEncryption() {
+	if c == nil {
+		return
+	}
+	c.encryptions.Add(1)
+}
+
+// AddDecryption records one symmetric decryption operation.
+func (c *Counters) AddDecryption() {
+	if c == nil {
+		return
+	}
+	c.decryptions.Add(1)
+}
+
+// AddCustom increments a named counter by delta. Named counters are used for
+// experiment-specific accounting (e.g. "read.retries").
+func (c *Counters) AddCustom(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.custom == nil {
+		c.custom = make(map[string]int64)
+	}
+	c.custom[name] += delta
+}
+
+// Custom returns the value of a named counter.
+func (c *Counters) Custom(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.custom[name]
+}
+
+// MessagesSent returns the number of protocol messages recorded.
+func (c *Counters) MessagesSent() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.messagesSent.Load()
+}
+
+// Signatures returns the number of signature generations recorded.
+func (c *Counters) Signatures() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.signatures.Load()
+}
+
+// Verifications returns the number of signature verifications recorded.
+func (c *Counters) Verifications() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.verifications.Load()
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	custom := make(map[string]int64, len(c.custom))
+	for k, v := range c.custom {
+		custom[k] = v
+	}
+	c.mu.Unlock()
+	return Snapshot{
+		MessagesSent:  c.messagesSent.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		Signatures:    c.signatures.Load(),
+		Verifications: c.verifications.Load(),
+		Encryptions:   c.encryptions.Load(),
+		Decryptions:   c.decryptions.Load(),
+		Custom:        custom,
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.messagesSent.Store(0)
+	c.bytesSent.Store(0)
+	c.signatures.Store(0)
+	c.verifications.Store(0)
+	c.encryptions.Store(0)
+	c.decryptions.Store(0)
+	c.mu.Lock()
+	c.custom = nil
+	c.mu.Unlock()
+}
+
+// Diff returns a snapshot containing after-minus-before for every field.
+func Diff(before, after Snapshot) Snapshot {
+	custom := make(map[string]int64)
+	for k, v := range after.Custom {
+		custom[k] = v - before.Custom[k]
+	}
+	return Snapshot{
+		MessagesSent:  after.MessagesSent - before.MessagesSent,
+		BytesSent:     after.BytesSent - before.BytesSent,
+		Signatures:    after.Signatures - before.Signatures,
+		Verifications: after.Verifications - before.Verifications,
+		Encryptions:   after.Encryptions - before.Encryptions,
+		Decryptions:   after.Decryptions - before.Decryptions,
+		Custom:        custom,
+	}
+}
+
+// String renders the snapshot compactly for logs and experiment tables.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("msgs=%d bytes=%d sig=%d verify=%d enc=%d dec=%d",
+		s.MessagesSent, s.BytesSent, s.Signatures, s.Verifications, s.Encryptions, s.Decryptions)
+	if len(s.Custom) > 0 {
+		keys := make([]string, 0, len(s.Custom))
+		for k := range s.Custom {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out += fmt.Sprintf(" %s=%d", k, s.Custom[k])
+		}
+	}
+	return out
+}
+
+// LatencyRecorder accumulates operation latencies and reports simple order
+// statistics. It is safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one latency sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples = append(l.samples, d)
+}
+
+// Count returns the number of recorded samples.
+func (l *LatencyRecorder) Count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the arithmetic mean of the samples, or zero when empty.
+func (l *LatencyRecorder) Mean() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the samples.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Reset discards all samples.
+func (l *LatencyRecorder) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples = nil
+}

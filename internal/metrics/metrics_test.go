@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasics(t *testing.T) {
+	var c Counters
+	c.AddMessage(100)
+	c.AddMessage(50)
+	c.AddSignature()
+	c.AddVerification()
+	c.AddVerification()
+	c.AddEncryption()
+	c.AddDecryption()
+	c.AddCustom("retries", 3)
+
+	snap := c.Snapshot()
+	if snap.MessagesSent != 2 || snap.BytesSent != 150 {
+		t.Fatalf("messages/bytes = %d/%d", snap.MessagesSent, snap.BytesSent)
+	}
+	if snap.Signatures != 1 || snap.Verifications != 2 {
+		t.Fatalf("sig/verify = %d/%d", snap.Signatures, snap.Verifications)
+	}
+	if snap.Encryptions != 1 || snap.Decryptions != 1 {
+		t.Fatalf("enc/dec = %d/%d", snap.Encryptions, snap.Decryptions)
+	}
+	if snap.Custom["retries"] != 3 || c.Custom("retries") != 3 {
+		t.Fatalf("custom = %v", snap.Custom)
+	}
+}
+
+func TestNilCountersNoops(t *testing.T) {
+	var c *Counters
+	c.AddMessage(1)
+	c.AddSignature()
+	c.AddVerification()
+	c.AddEncryption()
+	c.AddDecryption()
+	c.AddCustom("x", 1)
+	c.Reset()
+	if c.MessagesSent() != 0 || c.Signatures() != 0 || c.Verifications() != 0 || c.Custom("x") != 0 {
+		t.Fatal("nil counters returned non-zero")
+	}
+	if s := c.Snapshot(); s.MessagesSent != 0 {
+		t.Fatal("nil snapshot non-zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddMessage(1)
+	c.AddCustom("x", 5)
+	c.Reset()
+	snap := c.Snapshot()
+	if snap.MessagesSent != 0 || len(snap.Custom) != 0 {
+		t.Fatalf("after reset: %+v", snap)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var c Counters
+	c.AddMessage(1)
+	before := c.Snapshot()
+	c.AddMessage(1)
+	c.AddSignature()
+	c.AddCustom("x", 2)
+	after := c.Snapshot()
+
+	d := Diff(before, after)
+	if d.MessagesSent != 1 || d.Signatures != 1 || d.Custom["x"] != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.AddMessage(10)
+	c.AddCustom("zz", 1)
+	c.AddCustom("aa", 2)
+	s := c.Snapshot().String()
+	if !strings.Contains(s, "msgs=1") || !strings.Contains(s, "aa=2") {
+		t.Fatalf("string = %q", s)
+	}
+	// Custom keys sorted.
+	if strings.Index(s, "aa=") > strings.Index(s, "zz=") {
+		t.Fatalf("custom keys unsorted: %q", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddMessage(1)
+				c.AddCustom("k", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.MessagesSent() != 8000 || c.Custom("k") != 8000 {
+		t.Fatalf("concurrent totals = %d/%d", c.MessagesSent(), c.Custom("k"))
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if l.Mean() != 0 || l.Percentile(50) != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder non-zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if mean := l.Mean(); mean != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", mean)
+	}
+	if p50 := l.Percentile(50); p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := l.Percentile(99); p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if p100 := l.Percentile(100); p100 != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", p100)
+	}
+	l.Reset()
+	if l.Count() != 0 {
+		t.Fatal("reset did not clear samples")
+	}
+}
+
+func TestLatencyRecorderNil(t *testing.T) {
+	var l *LatencyRecorder
+	l.Record(time.Second)
+	if l.Mean() != 0 || l.Count() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("nil recorder returned non-zero")
+	}
+	l.Reset()
+}

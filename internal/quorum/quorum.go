@@ -1,0 +1,195 @@
+// Package quorum provides the quorum arithmetic of the paper and a
+// scatter–gather engine for executing quorum operations against replica
+// servers.
+//
+// Sizes (n servers, at most b faulty):
+//
+//   - context read/write quorum: ⌈(n+b+1)/2⌉ — two such quorums intersect in
+//     at least b+1 servers, so at least one non-faulty server that holds the
+//     latest stored context participates in every context read (Section 5.1).
+//     Smaller than a masking quorum because contexts are self-verifying
+//     (signed by their single writer): the client can pick the latest valid
+//     context from a single server's reply.
+//   - masking quorum (baseline, Phalanx/Fleet style): ⌈(n+2b+1)/2⌉, whose
+//     pairwise intersections have at least 2b+1 servers so that b+1 correct
+//     servers vouch for any accepted value (Section 3).
+//   - data write set: b+1 servers, guaranteeing at least one non-faulty
+//     server stores each write (Section 5.2).
+//   - multi-writer read set: 2b+1 servers with b+1 matching replies
+//     (Section 5.3).
+package quorum
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// ErrInsufficient reports that a quorum operation could not collect enough
+// successful replies.
+var ErrInsufficient = errors.New("quorum: insufficient replies")
+
+// ErrInfeasible reports an (n, b) combination for which the required quorum
+// cannot be guaranteed available with b faulty servers.
+var ErrInfeasible = errors.New("quorum: infeasible configuration")
+
+// ceilDiv returns ⌈a/d⌉ for non-negative a and positive d.
+func ceilDiv(a, d int) int { return (a + d - 1) / d }
+
+// ContextQuorum returns ⌈(n+b+1)/2⌉, the context read/write quorum size.
+func ContextQuorum(n, b int) int { return ceilDiv(n+b+1, 2) }
+
+// MaskingQuorum returns ⌈(n+2b+1)/2⌉, the Byzantine masking quorum size
+// used by the strong-consistency baseline.
+func MaskingQuorum(n, b int) int { return ceilDiv(n+2*b+1, 2) }
+
+// WriteSet returns b+1, the number of servers a data write must reach.
+func WriteSet(b int) int { return b + 1 }
+
+// MultiReadSet returns 2b+1, the number of servers queried by a
+// multi-writer read.
+func MultiReadSet(b int) int { return 2*b + 1 }
+
+// MatchThreshold returns b+1, the number of identical replies a
+// multi-writer read requires before accepting a value.
+func MatchThreshold(b int) int { return b + 1 }
+
+// PBFTReplicas returns 3f+1, the replica count of the state-machine
+// baseline tolerating f Byzantine faults.
+func PBFTReplicas(f int) int { return 3*f + 1 }
+
+// Validate checks that with n servers of which b may be faulty, every
+// quorum the secure store uses is guaranteed to be available (reachable
+// using only non-faulty servers): n-b ≥ ⌈(n+b+1)/2⌉, which simplifies to
+// n ≥ 3b+1, and n-b ≥ 2b+1 for multi-writer reads (same bound).
+func Validate(n, b int) error {
+	if b < 0 || n <= 0 {
+		return fmt.Errorf("%w: n=%d b=%d", ErrInfeasible, n, b)
+	}
+	if n-b < ContextQuorum(n, b) || n-b < MultiReadSet(b) {
+		return fmt.Errorf("%w: n=%d b=%d (need n >= 3b+1)", ErrInfeasible, n, b)
+	}
+	return nil
+}
+
+// Reply is one server's answer to a scattered request.
+type Reply struct {
+	Server string
+	Resp   wire.Response
+	Err    error
+}
+
+// Successes filters the replies that carry a response.
+func Successes(replies []Reply) []Reply {
+	var ok []Reply
+	for _, r := range replies {
+		if r.Err == nil {
+			ok = append(ok, r)
+		}
+	}
+	return ok
+}
+
+// GatherAll sends the request to every listed server concurrently and
+// returns as soon as need servers replied successfully (or all servers have
+// answered or failed, or ctx expired). All replies collected so far are
+// returned; outstanding calls are cancelled. This is the pattern of the
+// context protocols: "request ... from all servers; wait for at least
+// ⌈(n+b+1)/2⌉ responses" (Figure 1).
+func GatherAll(ctx context.Context, caller transport.Caller, servers []string, build func(server string) wire.Request, need int) ([]Reply, error) {
+	if need > len(servers) {
+		return nil, fmt.Errorf("%w: need %d of %d servers", ErrInsufficient, need, len(servers))
+	}
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	replies := make(chan Reply, len(servers))
+	var wg sync.WaitGroup
+	for _, srv := range servers {
+		wg.Add(1)
+		go func(srv string) {
+			defer wg.Done()
+			resp, err := caller.Call(callCtx, srv, build(srv))
+			replies <- Reply{Server: srv, Resp: resp, Err: err}
+		}(srv)
+	}
+	go func() {
+		wg.Wait()
+		close(replies)
+	}()
+
+	var collected []Reply
+	successes := 0
+	for r := range replies {
+		collected = append(collected, r)
+		if r.Err == nil {
+			successes++
+			if successes >= need {
+				return collected, nil
+			}
+		}
+	}
+	return collected, fmt.Errorf("%w: got %d of %d needed replies from %d servers",
+		ErrInsufficient, successes, need, len(servers))
+}
+
+// GatherStaged contacts exactly need servers first and expands to
+// additional servers one at a time as calls fail, stopping when need
+// successes are in hand or the server list is exhausted. This is the data
+// read/write pattern: "send ... to b+1 or more servers", contacting
+// additional servers only when necessary (Figure 2, Section 6).
+func GatherStaged(ctx context.Context, caller transport.Caller, servers []string, build func(server string) wire.Request, need int) ([]Reply, error) {
+	if need > len(servers) {
+		return nil, fmt.Errorf("%w: need %d of %d servers", ErrInsufficient, need, len(servers))
+	}
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	replies := make(chan Reply, len(servers))
+	var wg sync.WaitGroup
+	launch := func(srv string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := caller.Call(callCtx, srv, build(srv))
+			replies <- Reply{Server: srv, Resp: resp, Err: err}
+		}()
+	}
+
+	next := 0
+	for ; next < need; next++ {
+		launch(servers[next])
+	}
+
+	var collected []Reply
+	successes, inFlight := 0, need
+	for inFlight > 0 {
+		select {
+		case r := <-replies:
+			inFlight--
+			collected = append(collected, r)
+			if r.Err == nil {
+				successes++
+				if successes >= need {
+					// Drain happens via cancel; remaining goroutines exit.
+					go func() { wg.Wait(); close(replies) }()
+					return collected, nil
+				}
+			} else if next < len(servers) {
+				launch(servers[next])
+				next++
+				inFlight++
+			}
+		case <-ctx.Done():
+			go func() { wg.Wait(); close(replies) }()
+			return collected, fmt.Errorf("%w: %v", ErrInsufficient, ctx.Err())
+		}
+	}
+	go func() { wg.Wait(); close(replies) }()
+	return collected, fmt.Errorf("%w: got %d of %d needed replies from %d servers",
+		ErrInsufficient, successes, need, len(servers))
+}

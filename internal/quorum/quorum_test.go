@@ -1,0 +1,239 @@
+package quorum
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+func TestQuorumSizes(t *testing.T) {
+	tests := []struct {
+		n, b                 int
+		wantCtx, wantMasking int
+	}{
+		{4, 1, 3, 4},
+		{7, 2, 5, 6},
+		{10, 3, 7, 9},
+		{13, 4, 9, 11},
+		{5, 1, 4, 4},
+	}
+	for _, tt := range tests {
+		if got := ContextQuorum(tt.n, tt.b); got != tt.wantCtx {
+			t.Errorf("ContextQuorum(%d,%d) = %d, want %d", tt.n, tt.b, got, tt.wantCtx)
+		}
+		if got := MaskingQuorum(tt.n, tt.b); got != tt.wantMasking {
+			t.Errorf("MaskingQuorum(%d,%d) = %d, want %d", tt.n, tt.b, got, tt.wantMasking)
+		}
+	}
+	if WriteSet(3) != 4 || MultiReadSet(3) != 7 || MatchThreshold(3) != 4 || PBFTReplicas(3) != 10 {
+		t.Fatal("derived set sizes wrong")
+	}
+}
+
+func TestContextQuorumIntersection(t *testing.T) {
+	// Property (Section 5.1): two context quorums intersect in >= b+1
+	// servers, so at least one non-faulty holder of the latest context
+	// participates in every read.
+	prop := func(nRaw, bRaw uint8) bool {
+		b := int(bRaw%5) + 1
+		n := 3*b + 1 + int(nRaw%10)
+		q := ContextQuorum(n, b)
+		// Worst-case intersection of two size-q subsets of n elements.
+		intersection := 2*q - n
+		return intersection >= b+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskingQuorumIntersection(t *testing.T) {
+	// Masking quorums intersect in >= 2b+1 (Section 3).
+	prop := func(nRaw, bRaw uint8) bool {
+		b := int(bRaw%4) + 1
+		n := 4*b + 1 + int(nRaw%10)
+		q := MaskingQuorum(n, b)
+		return 2*q-n >= 2*b+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := [][2]int{{4, 1}, {7, 2}, {10, 3}, {4, 0}, {1, 0}}
+	for _, nb := range valid {
+		if err := Validate(nb[0], nb[1]); err != nil {
+			t.Errorf("Validate(%d,%d) = %v, want nil", nb[0], nb[1], err)
+		}
+	}
+	invalid := [][2]int{{3, 1}, {6, 2}, {0, 0}, {4, -1}, {2, 1}}
+	for _, nb := range invalid {
+		if err := Validate(nb[0], nb[1]); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("Validate(%d,%d) = %v, want ErrInfeasible", nb[0], nb[1], err)
+		}
+	}
+}
+
+// fakeServer counts calls and fails when told to.
+type fakeServer struct {
+	fail  bool
+	slow  bool
+	calls atomic.Int64
+}
+
+func (f *fakeServer) ServeRequest(ctx context.Context, _ string, _ wire.Request) (wire.Response, error) {
+	f.calls.Add(1)
+	if f.slow {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+		}
+	}
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	return wire.Ack{}, nil
+}
+
+func setup(t *testing.T, servers map[string]*fakeServer) (transport.Caller, []string) {
+	t.Helper()
+	bus := transport.NewBus(nil)
+	var names []string
+	for name, srv := range servers {
+		bus.Register(name, srv)
+		names = append(names, name)
+	}
+	// Deterministic order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return bus.Caller("client", &metrics.Counters{}), names
+}
+
+func buildReq(string) wire.Request { return wire.MetaReq{} }
+
+func TestGatherAllCollectsNeeded(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {}, "b": {}, "c": {}, "d": {},
+	}
+	caller, names := setup(t, servers)
+	replies, err := GatherAll(context.Background(), caller, names, buildReq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Successes(replies)); got < 3 {
+		t.Fatalf("successes = %d, want >= 3", got)
+	}
+}
+
+func TestGatherAllInsufficient(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {}, "b": {fail: true}, "c": {fail: true}, "d": {fail: true},
+	}
+	caller, names := setup(t, servers)
+	_, err := GatherAll(context.Background(), caller, names, buildReq, 3)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestGatherAllNeedExceedsServers(t *testing.T) {
+	caller, names := setup(t, map[string]*fakeServer{"a": {}})
+	if _, err := GatherAll(context.Background(), caller, names, buildReq, 2); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestGatherStagedContactsMinimum(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {}, "b": {}, "c": {}, "d": {},
+	}
+	caller, names := setup(t, servers)
+	replies, err := GatherStaged(context.Background(), caller, names, buildReq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Successes(replies)) != 2 {
+		t.Fatalf("successes = %d, want exactly 2", len(Successes(replies)))
+	}
+	var total int64
+	for _, s := range servers {
+		total += s.calls.Load()
+	}
+	if total != 2 {
+		t.Fatalf("servers contacted = %d, want exactly 2 (staged contact)", total)
+	}
+}
+
+func TestGatherStagedExpandsOnFailure(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {fail: true}, "b": {}, "c": {}, "d": {},
+	}
+	caller, names := setup(t, servers)
+	replies, err := GatherStaged(context.Background(), caller, names, buildReq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Successes(replies)) != 2 {
+		t.Fatalf("successes = %d, want 2", len(Successes(replies)))
+	}
+	if servers["c"].calls.Load() != 1 {
+		t.Fatal("expansion server c was not contacted after a's failure")
+	}
+}
+
+func TestGatherStagedExhaustsServers(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {fail: true}, "b": {fail: true}, "c": {}, "d": {fail: true},
+	}
+	caller, names := setup(t, servers)
+	_, err := GatherStaged(context.Background(), caller, names, buildReq, 2)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	for name, s := range servers {
+		if s.calls.Load() != 1 {
+			t.Fatalf("server %s called %d times, want 1", name, s.calls.Load())
+		}
+	}
+}
+
+func TestGatherStagedTimeoutOnSlowServers(t *testing.T) {
+	servers := map[string]*fakeServer{
+		"a": {slow: true}, "b": {slow: true}, "c": {}, "d": {},
+	}
+	caller, names := setup(t, servers)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := GatherStaged(ctx, caller, names, buildReq, 3)
+	if err == nil {
+		t.Fatal("gather succeeded with only 2 responsive servers reachable in stage")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("gather did not respect the context deadline")
+	}
+}
+
+func TestSuccessesFilters(t *testing.T) {
+	replies := []Reply{
+		{Server: "a"},
+		{Server: "b", Err: errors.New("x")},
+		{Server: "c"},
+	}
+	ok := Successes(replies)
+	if len(ok) != 2 || ok[0].Server != "a" || ok[1].Server != "c" {
+		t.Fatalf("successes = %v", ok)
+	}
+}

@@ -1,0 +1,478 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// All handlers run with s.mu held (dispatched from ServeRequest).
+
+// handleContextRead returns the caller's stored signed context for a group.
+// Faulty behaviours: Stale/Equivocate serve the first context version ever
+// stored — the strongest undetectable lie available, since contexts are
+// signed (Section 5.1: "faulty servers can only misbehave by either not
+// responding or sending an old value of the context").
+func (s *Server) handleContextRead(from string, r wire.ContextReadReq) (wire.Response, error) {
+	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
+		return nil, err
+	}
+	st, ok := s.contexts[ctxKey{owner: r.Client, group: r.Group}]
+	if !ok {
+		return wire.ContextReadResp{}, nil
+	}
+	switch s.fault {
+	case Stale:
+		return wire.ContextReadResp{Ctx: st.first.Clone()}, nil
+	case Equivocate:
+		if callerParity(from) {
+			return wire.ContextReadResp{Ctx: st.first.Clone()}, nil
+		}
+	}
+	return wire.ContextReadResp{Ctx: st.cur.Clone()}, nil
+}
+
+// handleContextWrite stores a newer signed context. The server verifies the
+// owner's signature so that it never overwrites its copy with spurious
+// information (Section 6: "non-faulty servers need to verify the signature
+// to ensure that they do not overwrite their context data").
+func (s *Server) handleContextWrite(from string, r wire.ContextWriteReq) (wire.Response, error) {
+	if r.Ctx == nil {
+		return nil, fmt.Errorf("context write from %q: missing context", from)
+	}
+	if err := s.authorize(from, r.Ctx.Group, r.Token, accessctl.WriteOnly); err != nil {
+		return nil, err
+	}
+	if r.Ctx.Owner != from {
+		return nil, fmt.Errorf("context write: owner %q does not match sender %q", r.Ctx.Owner, from)
+	}
+	if err := r.Ctx.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
+		return nil, err
+	}
+	if s.fault == Stale {
+		// A stale server acks but drops the update.
+		return wire.Ack{}, nil
+	}
+	key := ctxKey{owner: r.Ctx.Owner, group: r.Ctx.Group}
+	st, ok := s.contexts[key]
+	switch {
+	case !ok:
+		clone := r.Ctx.Clone()
+		s.contexts[key] = &ctxState{cur: clone, first: clone}
+	case r.Ctx.Newer(st.cur):
+		st.cur = r.Ctx.Clone()
+	default:
+		return wire.Ack{}, nil // old version: nothing to store or persist
+	}
+	if err := s.persistContextLocked(r.Ctx); err != nil {
+		return nil, fmt.Errorf("persist context: %w", err)
+	}
+	return wire.Ack{}, nil
+}
+
+// handleMeta answers phase one of the read protocol with the stamp of the
+// server's current copy.
+func (s *Server) handleMeta(from string, r wire.MetaReq) (wire.Response, error) {
+	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
+		return nil, err
+	}
+	st, ok := s.items[itemKey{group: r.Group, item: r.Item}]
+	if !ok || st.head == nil {
+		return wire.MetaResp{}, nil
+	}
+	stamp := st.head.Stamp
+	switch s.fault {
+	case Stale:
+		stamp = stampOf(st.first)
+	case CorruptMeta:
+		// Advertise a timestamp for a write that does not exist, luring the
+		// client into choosing this server in phase two.
+		stamp.Time += 1_000_000
+	case Equivocate:
+		if callerParity(from) {
+			stamp = stampOf(st.first)
+		}
+	}
+	return wire.MetaResp{Has: true, Stamp: stamp}, nil
+}
+
+// handleValue answers phase two of the read protocol with the full signed
+// write. A CorruptValue server tampers with the value; the client's
+// signature check exposes it.
+func (s *Server) handleValue(from string, r wire.ValueReq) (wire.Response, error) {
+	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
+		return nil, err
+	}
+	st, ok := s.items[itemKey{group: r.Group, item: r.Item}]
+	if !ok || st.head == nil {
+		// An empty response (rather than an error) lets context
+		// reconstruction count servers that simply hold no copy as
+		// responsive, which matters because only faulty servers may be
+		// treated as non-responding (Section 5.1).
+		return wire.ValueResp{}, nil
+	}
+	w := st.head
+	switch s.fault {
+	case Stale:
+		w = st.first
+	case Equivocate:
+		if callerParity(from) {
+			w = st.first
+		}
+	case CorruptValue:
+		corrupt := w.Clone()
+		if len(corrupt.Value) > 0 {
+			corrupt.Value[0] ^= 0xff
+		} else {
+			corrupt.Value = []byte{0xff}
+		}
+		return wire.ValueResp{Write: corrupt}, nil
+	case CorruptMeta:
+		// The server advertised a non-existent stamp; all it can produce is
+		// its real copy (it cannot forge a signature), which the client will
+		// reject as older than requested.
+	}
+	return wire.ValueResp{Write: w.Clone()}, nil
+}
+
+// handleWrite validates and stores a client write. For single-writer groups
+// the sender must be the signer; disseminated writes arrive through
+// handleGossipPush instead, so every direct write is first-hand.
+func (s *Server) handleWrite(from string, r wire.WriteReq) (wire.Response, error) {
+	w := r.Write
+	if w == nil {
+		return nil, wire.ErrBadWrite
+	}
+	if err := s.authorize(from, w.Group, r.Token, accessctl.WriteOnly); err != nil {
+		return nil, err
+	}
+	if w.Writer != from {
+		return nil, fmt.Errorf("%w: write signed by %q, sent by %q", ErrNotWriter, w.Writer, from)
+	}
+	if err := s.acceptWrite(w); err != nil {
+		return nil, err
+	}
+	return wire.Ack{}, nil
+}
+
+// handleLog serves the multi-writer read protocol: the list of latest
+// validated writes for an item, newest first. Healthy servers report only
+// writes whose causal predecessors have arrived; a PrematureReport server
+// also leaks gated pending writes (the attack readers mask with b+1
+// matching replies).
+func (s *Server) handleLog(from string, r wire.LogReq) (wire.Response, error) {
+	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
+		return nil, err
+	}
+	key := itemKey{group: r.Group, item: r.Item}
+	st, ok := s.items[key]
+	var writes []*wire.SignedWrite
+	if ok {
+		if s.fault == Stale && st.first != nil {
+			writes = append(writes, st.first.Clone())
+		} else {
+			for _, w := range st.log {
+				writes = append(writes, w.Clone())
+			}
+			if len(writes) == 0 && st.head != nil {
+				writes = append(writes, st.head.Clone())
+			}
+		}
+	}
+	if s.fault == PrematureReport {
+		for _, w := range s.pending {
+			if w.Group == r.Group && w.Item == r.Item {
+				writes = append([]*wire.SignedWrite{w.Clone()}, writes...)
+			}
+		}
+	}
+	return wire.LogResp{Writes: writes}, nil
+}
+
+// handleGossipPush applies disseminated writes from a peer server. Each
+// write carries its original client signature; forged or altered writes are
+// rejected, so "a faulty server cannot propagate a non-existent or forged
+// write" (Section 4).
+func (s *Server) handleGossipPush(from string, r wire.GossipPushReq) (wire.Response, error) {
+	if s.fault == Stale {
+		// Acks but ignores the updates, staying behind.
+		return wire.GossipPushResp{}, nil
+	}
+	applied := 0
+	for _, w := range r.Writes {
+		if err := s.acceptWrite(w); err == nil {
+			applied++
+		}
+	}
+	_ = from // the push sender's identity does not matter: writes are self-verifying
+	return wire.GossipPushResp{Applied: applied}, nil
+}
+
+// handleGossipPull serves a peer's pull request with the updates
+// accepted after the peer's high-water mark. Like pushes, the returned
+// writes are self-verifying, so a faulty server answering a pull can at
+// worst withhold updates.
+func (s *Server) handleGossipPull(from string, r wire.GossipPullReq) (wire.Response, error) {
+	_ = from // pulls are served to any peer; writes are self-verifying
+	if s.fault == Stale {
+		return wire.GossipPullResp{Seq: r.After}, nil // pretends to have nothing new
+	}
+	writes, seq := s.updatesSinceLocked(r.After)
+	return wire.GossipPullResp{Writes: writes, Seq: seq}, nil
+}
+
+// ApplyDisseminated validates and integrates one pulled write, reporting
+// whether it changed local state. The write is self-verifying, exactly as
+// in a push.
+func (s *Server) ApplyDisseminated(w *wire.SignedWrite) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault == Stale {
+		return false
+	}
+	pol := s.policyLocked(w.Group)
+	fresh := s.freshLocked(w, pol)
+	if err := s.acceptWrite(w); err != nil {
+		return false
+	}
+	return fresh
+}
+
+// acceptWrite validates a signed write and integrates it into local state:
+// verify signature (and multi-writer stamp discipline), update the per-item
+// head/log, apply causal gating, and append to the dissemination log.
+func (s *Server) acceptWrite(w *wire.SignedWrite) error {
+	if err := w.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
+		return err
+	}
+	pol := s.policyLocked(w.Group)
+	if pol.MultiWriter && w.Stamp.Writer == "" {
+		return fmt.Errorf("%w: multi-writer group %q requires augmented timestamps", wire.ErrBadWrite, w.Group)
+	}
+
+	if s.fault == Stale {
+		// Keeps only the very first version it sees.
+		key := itemKey{group: w.Group, item: w.Item}
+		if _, ok := s.items[key]; !ok {
+			clone := w.Clone()
+			s.items[key] = &itemState{head: clone, first: clone}
+		}
+		return nil
+	}
+
+	if pol.MultiWriter && pol.Consistency == wire.CC && !s.cfg.DisableCausalGating && !s.predecessorsArrivedLocked(w) {
+		// Causal gating (Section 5.3): hold the write until the causally
+		// preceding writes named in its context arrive. The write is
+		// accepted (acked, retained) but not reported to readers.
+		if !s.pendingContainsLocked(w) {
+			if err := s.persistWriteLocked(w); err != nil {
+				return fmt.Errorf("persist gated write: %w", err)
+			}
+			s.pending = append(s.pending, w.Clone())
+		}
+		return nil
+	}
+
+	if s.freshLocked(w, pol) {
+		// Acknowledge only once durable: a crashed-and-recovered replica
+		// must still hold everything it acked (Section 4 safe keeping).
+		if err := s.persistWriteLocked(w); err != nil {
+			return fmt.Errorf("persist write: %w", err)
+		}
+	}
+	s.integrateLocked(w, pol)
+	s.promotePendingLocked(pol)
+	return nil
+}
+
+// freshLocked reports whether the validated write would change local
+// state (and therefore deserves a persistence record).
+func (s *Server) freshLocked(w *wire.SignedWrite, pol Policy) bool {
+	st, ok := s.items[itemKey{group: w.Group, item: w.Item}]
+	if !ok || st.head == nil || st.head.Stamp.Less(w.Stamp) {
+		return true
+	}
+	if !pol.MultiWriter {
+		return false
+	}
+	for _, existing := range st.log {
+		if existing.Stamp == w.Stamp {
+			return false
+		}
+	}
+	return true
+}
+
+// integrateLocked installs a validated, gating-cleared write.
+func (s *Server) integrateLocked(w *wire.SignedWrite, pol Policy) {
+	key := itemKey{group: w.Group, item: w.Item}
+	st, ok := s.items[key]
+	if !ok {
+		st = &itemState{}
+		s.items[key] = st
+	}
+	clone := w.Clone()
+	if st.first == nil {
+		st.first = clone
+	}
+
+	newer := st.head == nil || st.head.Stamp.Less(w.Stamp)
+	if newer {
+		st.head = clone
+	}
+
+	if pol.MultiWriter {
+		s.logInsertLocked(st, clone)
+	}
+
+	if newer {
+		// Only new heads are worth disseminating.
+		s.updates = append(s.updates, clone)
+		s.seq++
+		if len(s.updates) > s.cfg.MaxUpdateLog {
+			// Trim the oldest entries; peers that were behind the trimmed
+			// tail get a state transfer from updatesSinceLocked.
+			drop := len(s.updates) - s.cfg.MaxUpdateLog
+			s.updates = append(s.updates[:0:0], s.updates[drop:]...)
+		}
+	}
+}
+
+// logInsertLocked inserts a write into the item's bounded log (newest
+// first, deduplicated by stamp).
+func (s *Server) logInsertLocked(st *itemState, w *wire.SignedWrite) {
+	for _, existing := range st.log {
+		if existing.Stamp == w.Stamp {
+			return
+		}
+	}
+	st.log = append(st.log, w)
+	sort.Slice(st.log, func(i, j int) bool { return st.log[j].Stamp.Less(st.log[i].Stamp) })
+	if len(st.log) > s.cfg.LogDepth {
+		st.log = st.log[:s.cfg.LogDepth]
+	}
+}
+
+// predecessorsArrivedLocked reports whether every causally preceding write
+// named in w's writer context (other than w's own item entry) is already
+// reflected in local heads or the pending set's own item stamps.
+func (s *Server) predecessorsArrivedLocked(w *wire.SignedWrite) bool {
+	for item, ts := range w.WriterCtx {
+		if item == w.Item {
+			continue
+		}
+		st, ok := s.items[itemKey{group: w.Group, item: item}]
+		if !ok || st.head == nil || st.head.Stamp.Less(ts) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) pendingContainsLocked(w *wire.SignedWrite) bool {
+	for _, p := range s.pending {
+		if p.Group == w.Group && p.Item == w.Item && p.Stamp == w.Stamp {
+			return true
+		}
+	}
+	return false
+}
+
+// promotePendingLocked repeatedly integrates pending writes whose
+// predecessors have now arrived.
+func (s *Server) promotePendingLocked(pol Policy) {
+	for {
+		progressed := false
+		remaining := s.pending[:0]
+		for _, w := range s.pending {
+			if s.predecessorsArrivedLocked(w) {
+				s.integrateLocked(w, pol)
+				progressed = true
+			} else {
+				remaining = append(remaining, w)
+			}
+		}
+		s.pending = remaining
+		if !progressed {
+			return
+		}
+	}
+}
+
+// UpdatesSince returns dissemination-log entries with sequence numbers in
+// (after, current], plus the current sequence number. The gossip engine
+// tracks a per-peer high-water mark with this.
+func (s *Server) UpdatesSince(after uint64) ([]*wire.SignedWrite, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updatesSinceLocked(after)
+}
+
+func (s *Server) updatesSinceLocked(after uint64) ([]*wire.SignedWrite, uint64) {
+	if after >= s.seq {
+		return nil, s.seq
+	}
+	first := s.seq - uint64(len(s.updates)) + 1
+	if after+1 < first {
+		// The peer is behind the retained tail: state transfer. All
+		// current heads carry everything the trimmed entries established
+		// (each trimmed entry was superseded by, or is, some item's head).
+		out := make([]*wire.SignedWrite, 0, len(s.items))
+		for _, st := range s.items {
+			if st.head != nil {
+				out = append(out, st.head.Clone())
+			}
+		}
+		return out, s.seq
+	}
+	start := int(after - first + 1)
+	out := make([]*wire.SignedWrite, 0, len(s.updates)-start)
+	for _, w := range s.updates[start:] {
+		out = append(out, w.Clone())
+	}
+	return out, s.seq
+}
+
+// Head returns the server's current head write for an item (testing and
+// experiment instrumentation).
+func (s *Server) Head(group, item string) *wire.SignedWrite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.items[itemKey{group: group, item: item}]
+	if !ok || st.head == nil {
+		return nil
+	}
+	return st.head.Clone()
+}
+
+// StoredContext returns the server's current stored context for an owner
+// and group (testing).
+func (s *Server) StoredContext(owner, group string) *sessionctx.Signed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.contexts[ctxKey{owner: owner, group: group}]
+	if !ok {
+		return nil
+	}
+	return st.cur.Clone()
+}
+
+// HeadStamp returns the stamp of the head write, zero when absent.
+func (s *Server) HeadStamp(group, item string) timestamp.Stamp {
+	if w := s.Head(group, item); w != nil {
+		return w.Stamp
+	}
+	return timestamp.Stamp{}
+}
+
+// callerParity buckets caller names for Equivocate mode.
+func callerParity(from string) bool {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(from))
+	return h.Sum32()%2 == 0
+}

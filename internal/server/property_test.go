@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// TestHeadConvergenceOrderIndependent is the property dissemination
+// relies on: applying the same set of signed writes to two replicas in
+// different orders yields identical heads (per-item join semilattice).
+func TestHeadConvergenceOrderIndependent(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+
+	mkWrites := func(times []uint8) []*wire.SignedWrite {
+		items := []string{"x", "y", "z"}
+		out := make([]*wire.SignedWrite, 0, len(times))
+		for i, tm := range times {
+			w := &wire.SignedWrite{
+				Group: "g",
+				Item:  items[i%len(items)],
+				Stamp: timestamp.Stamp{Time: uint64(tm) + 1},
+				Value: []byte{byte(i), tm},
+			}
+			w.Sign(writer, nil)
+			out = append(out, w)
+		}
+		return out
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	prop := func(times []uint8) bool {
+		if len(times) == 0 {
+			return true
+		}
+		writes := mkWrites(times)
+
+		mkServer := func() *Server {
+			srv := New(Config{ID: "s", Ring: ring})
+			srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+			return srv
+		}
+		a, b := mkServer(), mkServer()
+		for _, w := range writes {
+			if _, err := a.ServeRequest(context.Background(), "writer", wire.WriteReq{Write: w}); err != nil {
+				return false
+			}
+		}
+		perm := rng.Perm(len(writes))
+		for _, i := range perm {
+			if _, err := b.ServeRequest(context.Background(), "writer", wire.WriteReq{Write: writes[i]}); err != nil {
+				return false
+			}
+		}
+		for _, item := range []string{"x", "y", "z"} {
+			ha, hb := a.Head("g", item), b.Head("g", item)
+			switch {
+			case ha == nil && hb == nil:
+				continue
+			case ha == nil || hb == nil:
+				return false
+			case ha.Stamp != hb.Stamp:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiWriterLogConvergence: the bounded multi-writer logs converge to
+// the same newest-first contents regardless of delivery order.
+func TestMultiWriterLogConvergence(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	keys := map[string]cryptoutil.KeyPair{}
+	for _, id := range []string{"a", "b"} {
+		kp := cryptoutil.DeterministicKeyPair(id, "s")
+		ring.MustRegister(id, kp.Public)
+		keys[id] = kp
+	}
+	mk := func(writer string, tm uint64, value byte) *wire.SignedWrite {
+		v := []byte{value}
+		st := timestamp.Stamp{Time: tm, Writer: writer, Digest: cryptoutil.Digest(v)}
+		w := &wire.SignedWrite{Group: "g", Item: "x", Stamp: st, Value: v,
+			WriterCtx: map[string]timestamp.Stamp{"x": st}}
+		w.Sign(keys[writer], nil)
+		return w
+	}
+
+	writes := []*wire.SignedWrite{
+		mk("a", 1, 10), mk("b", 1, 11), mk("a", 2, 12),
+		mk("b", 3, 13), mk("a", 4, 14), mk("b", 5, 15),
+	}
+	rng := rand.New(rand.NewSource(6))
+
+	logsOf := func(order []int) []timestamp.Stamp {
+		srv := New(Config{ID: "s", Ring: ring, LogDepth: 4})
+		srv.RegisterGroup("g", Policy{Consistency: wire.CC, MultiWriter: true})
+		for _, i := range order {
+			if _, err := srv.ServeRequest(context.Background(), writes[i].Writer, wire.WriteReq{Write: writes[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp, err := srv.ServeRequest(context.Background(), "a", wire.LogReq{Group: "g", Item: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stamps []timestamp.Stamp
+		for _, w := range resp.(wire.LogResp).Writes {
+			stamps = append(stamps, w.Stamp)
+		}
+		return stamps
+	}
+
+	base := logsOf([]int{0, 1, 2, 3, 4, 5})
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(writes))
+		got := logsOf(perm)
+		if len(got) != len(base) {
+			t.Fatalf("trial %d: log lengths %d vs %d", trial, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("trial %d: log[%d] = %v, want %v (order dependence)", trial, i, got[i], base[i])
+			}
+		}
+	}
+}

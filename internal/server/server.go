@@ -1,0 +1,381 @@
+// Package server implements a secure-store replica. Per the paper's design
+// (Section 4), servers are passive repositories of signed data: they store
+// whatever validly signed writes reach them, answer meta-data and value
+// queries, store client contexts, and exchange signed updates with peers
+// through the dissemination protocol. Consistency is enforced by clients;
+// the server's job is safe-keeping plus — in the multi-writer case
+// (Section 5.3) — causal gating and bounded write logs that blunt attacks
+// by malicious clients and servers.
+//
+// Every Byzantine failure mode studied in the experiments is implemented
+// here behind FaultMode, so the same code path serves both correct and
+// compromised replicas.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/sessionctx"
+	"securestore/internal/storage"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Errors returned by replica handlers.
+var (
+	ErrCrashed     = errors.New("server: crashed")
+	ErrUnknownType = errors.New("server: unknown request type")
+	ErrNotWriter   = errors.New("server: request sender is not the write's signer")
+)
+
+// FaultMode selects the behaviour of a replica. All modes other than
+// Healthy model a compromised or failed server (Section 4: failures may be
+// crash or Byzantine, and faulty servers can behave arbitrarily).
+type FaultMode int
+
+// Fault modes.
+const (
+	// Healthy follows the protocol.
+	Healthy FaultMode = iota + 1
+	// Crash fails every request immediately (connection refused).
+	Crash
+	// Mute accepts requests but never replies (caller times out).
+	Mute
+	// Stale serves the oldest value/context it ever stored and silently
+	// drops new writes — the "respond with old data" behaviour the paper
+	// notes is all a malicious server can do undetectably.
+	Stale
+	// CorruptValue flips bits in returned values; clients detect this via
+	// signature verification.
+	CorruptValue
+	// CorruptMeta advertises inflated timestamps in meta-data replies,
+	// luring clients into fetching values it cannot actually produce.
+	CorruptMeta
+	// Equivocate answers different clients with different (old vs new)
+	// values.
+	Equivocate
+	// PrematureReport ignores causal gating in the multi-writer protocol
+	// and reports writes whose causal predecessors have not arrived —
+	// exactly the attack that the 2b+1-read/b+1-match rule masks.
+	PrematureReport
+)
+
+// String renders the fault mode.
+func (f FaultMode) String() string {
+	switch f {
+	case Healthy:
+		return "healthy"
+	case Crash:
+		return "crash"
+	case Mute:
+		return "mute"
+	case Stale:
+		return "stale"
+	case CorruptValue:
+		return "corrupt-value"
+	case CorruptMeta:
+		return "corrupt-meta"
+	case Equivocate:
+		return "equivocate"
+	case PrematureReport:
+		return "premature-report"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Policy describes how a related group of data items is accessed. The
+// consistency level and sharing pattern are fixed when the group is created
+// (Section 5.2).
+type Policy struct {
+	Consistency wire.Consistency
+	// MultiWriter enables the Section 5.3 protocol: augmented timestamps,
+	// causal gating and write logs.
+	MultiWriter bool
+}
+
+// Config configures a replica.
+type Config struct {
+	// ID is the server's principal name.
+	ID string
+	// Ring holds the well-known public keys of all principals.
+	Ring *cryptoutil.Keyring
+	// AuthorityID names the authorization service whose tokens are
+	// accepted. Empty disables authorization checks (trusted testbeds).
+	AuthorityID string
+	// LogDepth bounds the multi-writer per-item write log. The paper keeps
+	// "a history of a limited number of writes for each data item"; depth 4
+	// is the default.
+	LogDepth int
+	// MaxUpdateLog bounds the dissemination log (default 1024 entries).
+	// Peers that fall further behind than the retained tail receive a
+	// state transfer (a snapshot of all current heads) instead — the
+	// paper's observation that old log entries can be erased once newer
+	// values are widely held, applied to the dissemination path.
+	MaxUpdateLog int
+	// DefaultPolicy applies to groups not explicitly registered.
+	DefaultPolicy Policy
+	// DisableCausalGating turns off the Section 5.3 rule that a write is
+	// reported only after its causal predecessors arrive. Ablation A1 uses
+	// this to demonstrate the spurious-context denial-of-service the rule
+	// prevents; never disable it in real deployments.
+	DisableCausalGating bool
+	// Metrics receives the server's verification counts.
+	Metrics *metrics.Counters
+	// Persist, when non-nil, makes accepted writes and stored contexts
+	// durable in a write-ahead log; call Recover after New to reload
+	// state. Replayed records still carry their client signatures and are
+	// re-verified, so log tampering is detected like message tampering.
+	Persist *storage.Log
+}
+
+// Server is one secure-store replica.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	fault      FaultMode
+	policies   map[string]Policy
+	items      map[itemKey]*itemState
+	contexts   map[ctxKey]*ctxState
+	pending    []*wire.SignedWrite // multi-writer writes awaiting causal predecessors
+	updates    []*wire.SignedWrite // dissemination log, in acceptance order
+	seq        uint64              // first update in updates has sequence seq-len(updates)+1
+	recovering bool                // true while replaying the persistence log
+}
+
+type itemKey struct{ group, item string }
+
+type ctxKey struct{ owner, group string }
+
+type itemState struct {
+	head  *wire.SignedWrite   // newest validated write
+	first *wire.SignedWrite   // oldest write ever seen (for Stale/Equivocate faults)
+	log   []*wire.SignedWrite // multi-writer: recent reported writes, newest first
+}
+
+type ctxState struct {
+	cur   *sessionctx.Signed
+	first *sessionctx.Signed
+}
+
+var _ transport.Handler = (*Server)(nil)
+
+// New creates a healthy replica.
+func New(cfg Config) *Server {
+	if cfg.LogDepth <= 0 {
+		cfg.LogDepth = 4
+	}
+	if cfg.MaxUpdateLog <= 0 {
+		cfg.MaxUpdateLog = 1024
+	}
+	if cfg.DefaultPolicy.Consistency == 0 {
+		cfg.DefaultPolicy = Policy{Consistency: wire.MRC}
+	}
+	return &Server{
+		cfg:      cfg,
+		fault:    Healthy,
+		policies: make(map[string]Policy),
+		items:    make(map[itemKey]*itemState),
+		contexts: make(map[ctxKey]*ctxState),
+	}
+}
+
+// ID returns the server's principal name.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// SetFault switches the replica's behaviour (used by fault-injection
+// experiments; takes effect for subsequent requests).
+func (s *Server) SetFault(f FaultMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// Fault returns the current fault mode.
+func (s *Server) Fault() FaultMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fault
+}
+
+// RegisterGroup declares the access policy for a related group of items.
+func (s *Server) RegisterGroup(group string, p Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies[group] = p
+}
+
+// policy returns the group's policy (caller holds s.mu).
+func (s *Server) policyLocked(group string) Policy {
+	if p, ok := s.policies[group]; ok {
+		return p
+	}
+	return s.cfg.DefaultPolicy
+}
+
+// ServeRequest dispatches one request. It implements transport.Handler.
+func (s *Server) ServeRequest(_ context.Context, from string, req wire.Request) (wire.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	switch s.fault {
+	case Crash:
+		return nil, ErrCrashed
+	case Mute:
+		return nil, transport.ErrNoReply
+	}
+
+	switch r := req.(type) {
+	case wire.ContextReadReq:
+		return s.handleContextRead(from, r)
+	case wire.ContextWriteReq:
+		return s.handleContextWrite(from, r)
+	case wire.MetaReq:
+		return s.handleMeta(from, r)
+	case wire.ValueReq:
+		return s.handleValue(from, r)
+	case wire.WriteReq:
+		return s.handleWrite(from, r)
+	case wire.LogReq:
+		return s.handleLog(from, r)
+	case wire.GossipPushReq:
+		return s.handleGossipPush(from, r)
+	case wire.GossipPullReq:
+		return s.handleGossipPull(from, r)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, req)
+	}
+}
+
+// authorize validates the caller's capability token when an authority is
+// configured. Non-faulty servers reject unauthorized requests (Section 4).
+func (s *Server) authorize(from, group string, tok *accessctl.Token, need accessctl.Rights) error {
+	if s.cfg.AuthorityID == "" {
+		return nil
+	}
+	if tok != nil && tok.Issuer != s.cfg.AuthorityID {
+		return fmt.Errorf("%w: token issuer %q not trusted", accessctl.ErrUnauthorized, tok.Issuer)
+	}
+	return tok.Verify(s.cfg.Ring, from, group, need, s.cfg.Metrics)
+}
+
+// Stats reports coarse state sizes for experiments (items stored, pending
+// gated writes, total log entries).
+func (s *Server) Stats() (items, pending, logEntries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.items {
+		logEntries += len(st.log)
+	}
+	return len(s.items), len(s.pending), logEntries
+}
+
+// stampOf returns the stamp of a write, or the zero stamp for nil.
+func stampOf(w *wire.SignedWrite) timestamp.Stamp {
+	if w == nil {
+		return timestamp.Stamp{}
+	}
+	return w.Stamp
+}
+
+// Recover replays the configured persistence log into server state. Call
+// once, after New and RegisterGroup and before serving requests. Replayed
+// writes go through full validation (signature, stamp discipline, causal
+// gating), so corrupt or forged log entries are skipped rather than
+// trusted.
+func (s *Server) Recover() error {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recovering = true
+	defer func() { s.recovering = false }()
+
+	return s.cfg.Persist.Replay(func(rec storage.Record) error {
+		switch rec.Kind {
+		case storage.KindWrite:
+			if rec.Write != nil {
+				_ = s.acceptWrite(rec.Write) // invalid records are skipped
+			}
+		case storage.KindContext:
+			if rec.Ctx == nil {
+				return nil
+			}
+			if err := rec.Ctx.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
+				return nil
+			}
+			key := ctxKey{owner: rec.Ctx.Owner, group: rec.Ctx.Group}
+			st, ok := s.contexts[key]
+			if !ok {
+				clone := rec.Ctx.Clone()
+				s.contexts[key] = &ctxState{cur: clone, first: clone}
+			} else if rec.Ctx.Newer(st.cur) {
+				st.cur = rec.Ctx.Clone()
+			}
+		}
+		return nil
+	})
+}
+
+// persistWriteLocked appends an accepted write to the log (no-op while
+// recovering or without persistence). Persistence failures are surfaced to
+// the client: a write is only acknowledged once durable.
+func (s *Server) persistWriteLocked(w *wire.SignedWrite) error {
+	if s.cfg.Persist == nil || s.recovering {
+		return nil
+	}
+	if err := s.cfg.Persist.Append(storage.Record{Kind: storage.KindWrite, Write: w}); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// persistContextLocked appends a stored context to the log.
+func (s *Server) persistContextLocked(ctx *sessionctx.Signed) error {
+	if s.cfg.Persist == nil || s.recovering {
+		return nil
+	}
+	if err := s.cfg.Persist.Append(storage.Record{Kind: storage.KindContext, Ctx: ctx}); err != nil {
+		return err
+	}
+	s.maybeCompactLocked()
+	return nil
+}
+
+// maybeCompactLocked rewrites the log with only live state when dead
+// records dominate.
+func (s *Server) maybeCompactLocked() {
+	if !s.cfg.Persist.NeedsCompaction() {
+		return
+	}
+	var live []storage.Record
+	for _, st := range s.items {
+		if st.head != nil {
+			live = append(live, storage.Record{Kind: storage.KindWrite, Write: st.head})
+		}
+		for _, w := range st.log {
+			if st.head == nil || w.Stamp != st.head.Stamp {
+				live = append(live, storage.Record{Kind: storage.KindWrite, Write: w})
+			}
+		}
+	}
+	for _, w := range s.pending {
+		live = append(live, storage.Record{Kind: storage.KindWrite, Write: w})
+	}
+	for _, st := range s.contexts {
+		live = append(live, storage.Record{Kind: storage.KindContext, Ctx: st.cur})
+	}
+	// Compaction failure is non-fatal: the log keeps growing and the next
+	// append retries.
+	_ = s.cfg.Persist.Compact(live)
+}

@@ -1,0 +1,603 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// fixture bundles a server with signing identities.
+type fixture struct {
+	srv    *Server
+	ring   *cryptoutil.Keyring
+	writer cryptoutil.KeyPair
+	other  cryptoutil.KeyPair
+}
+
+func newFixture(t *testing.T, policy Policy) *fixture {
+	t.Helper()
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	other := cryptoutil.DeterministicKeyPair("other", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+	ring.MustRegister(other.ID, other.Public)
+	srv := New(Config{ID: "s00", Ring: ring})
+	srv.RegisterGroup("g", policy)
+	return &fixture{srv: srv, ring: ring, writer: writer, other: other}
+}
+
+func (f *fixture) write(t *testing.T, item string, value []byte, ts timestamp.Stamp, ctxVec sessionctx.Vector) *wire.SignedWrite {
+	t.Helper()
+	w := &wire.SignedWrite{Group: "g", Item: item, Stamp: ts, Value: value, WriterCtx: ctxVec}
+	w.Sign(f.writer, nil)
+	return w
+}
+
+func (f *fixture) mwWrite(t *testing.T, key cryptoutil.KeyPair, item string, value []byte, tm uint64, ctxVec sessionctx.Vector) *wire.SignedWrite {
+	t.Helper()
+	st := timestamp.Stamp{Time: tm, Writer: key.ID, Digest: cryptoutil.Digest(value)}
+	if ctxVec == nil {
+		ctxVec = sessionctx.Vector{}
+	}
+	ctxVec[item] = st
+	w := &wire.SignedWrite{Group: "g", Item: item, Stamp: st, Value: value, WriterCtx: ctxVec}
+	w.Sign(key, nil)
+	return w
+}
+
+func (f *fixture) serve(t *testing.T, from string, req wire.Request) (wire.Response, error) {
+	t.Helper()
+	return f.srv.ServeRequest(context.Background(), from, req)
+}
+
+func TestWriteThenReadBack(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	w := f.write(t, "x", []byte("v1"), timestamp.Stamp{Time: 1}, nil)
+
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := f.serve(t, "writer", wire.MetaReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, ok := resp.(wire.MetaResp)
+	if !ok || !meta.Has || meta.Stamp.Time != 1 {
+		t.Fatalf("meta = %+v", resp)
+	}
+	resp, err = f.serve(t, "writer", wire.ValueReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, ok := resp.(wire.ValueResp)
+	if !ok || string(vr.Write.Value) != "v1" {
+		t.Fatalf("value = %+v", resp)
+	}
+}
+
+func TestWriteOlderStampIgnoredForHead(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: f.write(t, "x", []byte("v5"), timestamp.Stamp{Time: 5}, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: f.write(t, "x", []byte("v3"), timestamp.Stamp{Time: 3}, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if head := f.srv.Head("g", "x"); string(head.Value) != "v5" {
+		t.Fatalf("head = %q, want v5", head.Value)
+	}
+}
+
+func TestWriteRejectsSenderMismatch(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	w := f.write(t, "x", []byte("v"), timestamp.Stamp{Time: 1}, nil)
+	if _, err := f.serve(t, "other", wire.WriteReq{Write: w}); !errors.Is(err, ErrNotWriter) {
+		t.Fatalf("err = %v, want ErrNotWriter", err)
+	}
+}
+
+func TestWriteRejectsBadSignature(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	w := f.write(t, "x", []byte("v"), timestamp.Stamp{Time: 1}, nil)
+	w.Value = []byte("tampered")
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err == nil {
+		t.Fatal("tampered write accepted")
+	}
+	if f.srv.Head("g", "x") != nil {
+		t.Fatal("tampered write stored")
+	}
+}
+
+func TestMultiWriterRequiresAugmentedStamp(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.CC, MultiWriter: true})
+	w := f.write(t, "x", []byte("v"), timestamp.Stamp{Time: 1}, nil) // scalar stamp
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); !errors.Is(err, wire.ErrBadWrite) {
+		t.Fatalf("err = %v, want ErrBadWrite", err)
+	}
+}
+
+func TestCausalGatingHoldsAndPromotes(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.CC, MultiWriter: true})
+
+	// w2 depends on dep@5 which has not arrived: gated.
+	dep := f.mwWrite(t, f.writer, "dep", []byte("d"), 5, nil)
+	w2 := f.mwWrite(t, f.writer, "x", []byte("v"), 6, sessionctx.Vector{"dep": dep.Stamp})
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w2}); err != nil {
+		t.Fatalf("gated write rejected: %v", err)
+	}
+	if f.srv.Head("g", "x") != nil {
+		t.Fatal("gated write became head before predecessors arrived")
+	}
+	if _, pending, _ := f.srv.Stats(); pending != 1 {
+		t.Fatalf("pending = %d, want 1", pending)
+	}
+
+	// Log read must not report it either.
+	resp, err := f.serve(t, "other", wire.LogReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := resp.(wire.LogResp); len(lr.Writes) != 0 {
+		t.Fatalf("gated write reported: %v", lr.Writes)
+	}
+
+	// The predecessor arrives: the gated write is promoted.
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: dep}); err != nil {
+		t.Fatal(err)
+	}
+	if head := f.srv.Head("g", "x"); head == nil || string(head.Value) != "v" {
+		t.Fatalf("gated write not promoted, head = %v", head)
+	}
+	if _, pending, _ := f.srv.Stats(); pending != 0 {
+		t.Fatalf("pending = %d after promotion", pending)
+	}
+}
+
+func TestCausalGatingChainPromotion(t *testing.T) {
+	// A chain of gated writes must all promote when the root arrives.
+	f := newFixture(t, Policy{Consistency: wire.CC, MultiWriter: true})
+	a := f.mwWrite(t, f.writer, "a", []byte("va"), 1, nil)
+	b := f.mwWrite(t, f.writer, "b", []byte("vb"), 2, sessionctx.Vector{"a": a.Stamp})
+	c := f.mwWrite(t, f.writer, "c", []byte("vc"), 3, sessionctx.Vector{"a": a.Stamp, "b": b.Stamp})
+
+	// Deliver in reverse causal order.
+	for _, w := range []*wire.SignedWrite{c, b} {
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, pending, _ := f.srv.Stats(); pending != 2 {
+		t.Fatalf("pending = %d, want 2", pending)
+	}
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: a}); err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{"a", "b", "c"} {
+		if f.srv.Head("g", item) == nil {
+			t.Fatalf("item %s not promoted", item)
+		}
+	}
+}
+
+func TestGossipPushAppliesValidRejectsForged(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	good := f.write(t, "x", []byte("v1"), timestamp.Stamp{Time: 1}, nil)
+	forged := f.write(t, "y", []byte("v2"), timestamp.Stamp{Time: 1}, nil)
+	forged.Value = []byte("altered in flight")
+
+	resp, err := f.serve(t, "peer", wire.GossipPushReq{From: "peer", Writes: []*wire.SignedWrite{good, forged}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := resp.(wire.GossipPushResp)
+	if ack.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", ack.Applied)
+	}
+	if f.srv.Head("g", "x") == nil {
+		t.Fatal("valid gossip write not applied")
+	}
+	if f.srv.Head("g", "y") != nil {
+		t.Fatal("forged gossip write applied")
+	}
+}
+
+func TestContextStoreAndRead(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	signed := &sessionctx.Signed{
+		Owner: "writer", Group: "g", Seq: 1,
+		Vector: sessionctx.Vector{"x": {Time: 3}},
+	}
+	signed.Sign(f.writer, nil)
+
+	if _, err := f.serve(t, "writer", wire.ContextWriteReq{Ctx: signed}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.serve(t, "writer", wire.ContextReadReq{Client: "writer", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resp.(wire.ContextReadResp)
+	if got.Ctx == nil || got.Ctx.Seq != 1 {
+		t.Fatalf("context = %+v", got.Ctx)
+	}
+
+	// Older sequence numbers never overwrite.
+	newer := &sessionctx.Signed{Owner: "writer", Group: "g", Seq: 5, Vector: sessionctx.NewVector()}
+	newer.Sign(f.writer, nil)
+	if _, err := f.serve(t, "writer", wire.ContextWriteReq{Ctx: newer}); err != nil {
+		t.Fatal(err)
+	}
+	older := &sessionctx.Signed{Owner: "writer", Group: "g", Seq: 2, Vector: sessionctx.NewVector()}
+	older.Sign(f.writer, nil)
+	if _, err := f.serve(t, "writer", wire.ContextWriteReq{Ctx: older}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.srv.StoredContext("writer", "g"); got.Seq != 5 {
+		t.Fatalf("stored seq = %d, want 5", got.Seq)
+	}
+}
+
+func TestContextWriteRejectsForgery(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	// "other" submits a context claiming to be writer's.
+	forged := &sessionctx.Signed{Owner: "writer", Group: "g", Seq: 9, Vector: sessionctx.NewVector()}
+	forged.Sign(f.other, nil)
+	forged.Owner = "writer"
+	if _, err := f.serve(t, "writer", wire.ContextWriteReq{Ctx: forged}); err == nil {
+		t.Fatal("forged context accepted")
+	}
+	// Sender mismatch.
+	genuine := &sessionctx.Signed{Owner: "writer", Group: "g", Seq: 1, Vector: sessionctx.NewVector()}
+	genuine.Sign(f.writer, nil)
+	if _, err := f.serve(t, "other", wire.ContextWriteReq{Ctx: genuine}); err == nil {
+		t.Fatal("relayed context accepted from wrong sender")
+	}
+}
+
+func TestLogDepthBounded(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+	srv := New(Config{ID: "s", Ring: ring, LogDepth: 3})
+	srv.RegisterGroup("g", Policy{Consistency: wire.CC, MultiWriter: true})
+	f := &fixture{srv: srv, ring: ring, writer: writer}
+
+	for i := 1; i <= 10; i++ {
+		w := f.mwWrite(t, writer, "x", []byte{byte(i)}, uint64(i), nil)
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, logEntries := srv.Stats()
+	if logEntries != 3 {
+		t.Fatalf("log entries = %d, want 3", logEntries)
+	}
+	// The log keeps the newest entries.
+	resp, err := f.serve(t, "writer", wire.LogReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := resp.(wire.LogResp)
+	if lr.Writes[0].Stamp.Time != 10 {
+		t.Fatalf("newest log stamp = %d, want 10", lr.Writes[0].Stamp.Time)
+	}
+}
+
+func TestAuthorizationEnforced(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	authKey := cryptoutil.DeterministicKeyPair("auth", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+	ring.MustRegister(authKey.ID, authKey.Public)
+	authority := accessctl.NewAuthority(authKey)
+
+	srv := New(Config{ID: "s", Ring: ring, AuthorityID: "auth"})
+	srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+	f := &fixture{srv: srv, ring: ring, writer: writer}
+
+	w := f.write(t, "x", []byte("v"), timestamp.Stamp{Time: 1}, nil)
+	// No token.
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); !errors.Is(err, accessctl.ErrUnauthorized) {
+		t.Fatalf("no-token write = %v, want ErrUnauthorized", err)
+	}
+	// Read-only token.
+	ro := authority.Issue("writer", "g", accessctl.ReadOnly, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w, Token: ro}); !errors.Is(err, accessctl.ErrUnauthorized) {
+		t.Fatalf("ro-token write = %v, want ErrUnauthorized", err)
+	}
+	// Proper token.
+	rw := authority.Issue("writer", "g", accessctl.ReadWrite, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w, Token: rw}); err != nil {
+		t.Fatalf("rw-token write: %v", err)
+	}
+	// Token from an untrusted issuer.
+	evilAuth := accessctl.NewAuthority(cryptoutil.DeterministicKeyPair("evil-auth", "s"))
+	ring.MustRegister("evil-auth", evilAuth.PublicKey())
+	fake := evilAuth.Issue("writer", "g", accessctl.ReadWrite, nil)
+	if _, err := f.serve(t, "writer", wire.MetaReq{Group: "g", Item: "x", Token: fake}); !errors.Is(err, accessctl.ErrUnauthorized) {
+		t.Fatalf("untrusted-issuer token = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestFaultModesObservable(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	w1 := f.write(t, "x", []byte("v1"), timestamp.Stamp{Time: 1}, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w1}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := f.write(t, "x", []byte("v2"), timestamp.Stamp{Time: 2}, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale: serves the first version.
+	f.srv.SetFault(Stale)
+	resp, err := f.serve(t, "writer", wire.ValueReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(wire.ValueResp).Write; string(got.Value) != "v1" {
+		t.Fatalf("stale served %q, want v1", got.Value)
+	}
+
+	// CorruptValue: the returned write fails verification.
+	f.srv.SetFault(CorruptValue)
+	resp, err = f.serve(t, "writer", wire.ValueReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.(wire.ValueResp).Write.Verify(f.ring, nil); err == nil {
+		t.Fatal("corrupted value verified")
+	}
+
+	// CorruptMeta: advertises inflated stamp.
+	f.srv.SetFault(CorruptMeta)
+	resp, err = f.serve(t, "writer", wire.MetaReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(wire.MetaResp).Stamp.Time; got <= 2 {
+		t.Fatalf("corrupt-meta stamp = %d, want inflated", got)
+	}
+
+	// Crash: errors.
+	f.srv.SetFault(Crash)
+	if _, err := f.serve(t, "writer", wire.MetaReq{Group: "g", Item: "x"}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash = %v, want ErrCrashed", err)
+	}
+
+	// Mute: ErrNoReply for the transport to translate.
+	f.srv.SetFault(Mute)
+	if _, err := f.serve(t, "writer", wire.MetaReq{Group: "g", Item: "x"}); !errors.Is(err, transport.ErrNoReply) {
+		t.Fatalf("mute = %v, want ErrNoReply", err)
+	}
+
+	// Fault mode strings exist for diagnostics.
+	for _, m := range []FaultMode{Healthy, Crash, Mute, Stale, CorruptValue, CorruptMeta, Equivocate, PrematureReport} {
+		if m.String() == "" {
+			t.Fatal("empty fault mode string")
+		}
+	}
+}
+
+func TestUpdatesSince(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	for i := 1; i <= 3; i++ {
+		w := f.write(t, "x", []byte{byte(i)}, timestamp.Stamp{Time: uint64(i)}, nil)
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, seq := f.srv.UpdatesSince(0)
+	if len(all) != 3 || seq != 3 {
+		t.Fatalf("updates = %d seq = %d, want 3/3", len(all), seq)
+	}
+	tail, _ := f.srv.UpdatesSince(2)
+	if len(tail) != 1 || tail[0].Stamp.Time != 3 {
+		t.Fatalf("tail = %v", tail)
+	}
+	none, _ := f.srv.UpdatesSince(3)
+	if len(none) != 0 {
+		t.Fatalf("none = %v", none)
+	}
+}
+
+func TestValueReqNotFound(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	resp, err := f.serve(t, "writer", wire.ValueReq{Group: "g", Item: "ghost"})
+	if err != nil {
+		t.Fatalf("missing item errored: %v", err)
+	}
+	if vr := resp.(wire.ValueResp); vr.Write != nil {
+		t.Fatalf("missing item returned a write: %v", vr.Write)
+	}
+}
+
+func TestUnknownRequestType(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	if _, err := f.serve(t, "writer", bogusReq{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+type bogusReq struct{}
+
+func (bogusReq) WireRequest() {}
+
+func TestUpdateLogBoundedWithStateTransfer(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+	srv := New(Config{ID: "s", Ring: ring, MaxUpdateLog: 8})
+	srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+	f := &fixture{srv: srv, ring: ring, writer: writer}
+
+	// 30 writes across 3 items: the update log keeps only the last 8.
+	items := []string{"a", "b", "c"}
+	for i := 1; i <= 30; i++ {
+		w := f.write(t, items[i%3], []byte{byte(i)}, timestamp.Stamp{Time: uint64(i)}, nil)
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A peer that saw everything: incremental tail.
+	tail, seq := srv.UpdatesSince(28)
+	if seq != 30 || len(tail) != 2 {
+		t.Fatalf("tail = %d entries seq %d, want 2/30", len(tail), seq)
+	}
+
+	// A peer from before the retained window: state transfer of all heads.
+	snapshot, seq := srv.UpdatesSince(3)
+	if seq != 30 {
+		t.Fatalf("seq = %d", seq)
+	}
+	if len(snapshot) != len(items) {
+		t.Fatalf("state transfer = %d writes, want one head per item (%d)", len(snapshot), len(items))
+	}
+	byItem := make(map[string]uint64)
+	for _, w := range snapshot {
+		byItem[w.Item] = w.Stamp.Time
+	}
+	// Each head is the newest write of its item: 28/29/30 in some mapping.
+	for _, item := range items {
+		if byItem[item] < 28 {
+			t.Fatalf("state transfer head for %s = %d, want newest", item, byItem[item])
+		}
+	}
+}
+
+func TestStateTransferHealsFarBehindPeer(t *testing.T) {
+	// End-to-end: a peer that missed far more updates than the retained
+	// log still converges via gossip (push uses the same state transfer).
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+
+	mkServer := func(id string) *Server {
+		srv := New(Config{ID: id, Ring: ring, MaxUpdateLog: 4})
+		srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+		return srv
+	}
+	ahead, behind := mkServer("ahead"), mkServer("behind")
+	f := &fixture{srv: ahead, ring: ring, writer: writer}
+	for i := 1; i <= 20; i++ {
+		w := f.write(t, "x", []byte{byte(i)}, timestamp.Stamp{Time: uint64(i)}, nil)
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The behind server pulls from sequence 0: it gets the head snapshot.
+	writes, _ := ahead.UpdatesSince(0)
+	for _, w := range writes {
+		behind.ApplyDisseminated(w)
+	}
+	head := behind.Head("g", "x")
+	if head == nil || head.Stamp.Time != 20 {
+		t.Fatalf("behind head = %v, want stamp 20", head)
+	}
+}
+
+func TestGossipPullHandler(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	for i := 1; i <= 3; i++ {
+		w := f.write(t, "x", []byte{byte(i)}, timestamp.Stamp{Time: uint64(i)}, nil)
+		if _, err := f.serve(t, "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := f.serve(t, "peer", wire.GossipPullReq{From: "peer", After: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := resp.(wire.GossipPullResp)
+	if pr.Seq != 3 || len(pr.Writes) != 2 {
+		t.Fatalf("pull = %d writes seq %d, want 2/3", len(pr.Writes), pr.Seq)
+	}
+
+	// A stale server pretends to have nothing new.
+	f.srv.SetFault(Stale)
+	resp, err = f.serve(t, "peer", wire.GossipPullReq{From: "peer", After: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(wire.GossipPullResp); len(pr.Writes) != 0 {
+		t.Fatalf("stale server served %d pulled writes", len(pr.Writes))
+	}
+}
+
+func TestEquivocateServesDifferentClients(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	w1 := f.write(t, "x", []byte("v1"), timestamp.Stamp{Time: 1}, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w1}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := f.write(t, "x", []byte("v2"), timestamp.Stamp{Time: 2}, nil)
+	if _, err := f.serve(t, "writer", wire.WriteReq{Write: w2}); err != nil {
+		t.Fatal(err)
+	}
+	f.srv.SetFault(Equivocate)
+
+	// Find two caller names in different parity buckets.
+	var oldSide, newSide string
+	for _, name := range []string{"c0", "c1", "c2", "c3", "c4", "c5"} {
+		if callerParity(name) {
+			oldSide = name
+		} else {
+			newSide = name
+		}
+		if oldSide != "" && newSide != "" {
+			break
+		}
+	}
+	respOld, err := f.serve(t, oldSide, wire.ValueReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respNew, err := f.serve(t, newSide, wire.ValueReq{Group: "g", Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOld := respOld.(wire.ValueResp).Write
+	gotNew := respNew.(wire.ValueResp).Write
+	if string(gotOld.Value) != "v1" || string(gotNew.Value) != "v2" {
+		t.Fatalf("equivocation = %q / %q, want v1 / v2", gotOld.Value, gotNew.Value)
+	}
+	// Both answers are old-but-genuine: signatures verify on each.
+	if err := gotOld.Verify(f.ring, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := gotNew.Verify(f.ring, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextReadFaultBranches(t *testing.T) {
+	f := newFixture(t, Policy{Consistency: wire.MRC})
+	mk := func(seq uint64) *sessionctx.Signed {
+		s := &sessionctx.Signed{Owner: "writer", Group: "g", Seq: seq, Vector: sessionctx.NewVector()}
+		s.Sign(f.writer, nil)
+		return s
+	}
+	for _, seq := range []uint64{1, 2, 3} {
+		if _, err := f.serve(t, "writer", wire.ContextWriteReq{Ctx: mk(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.srv.SetFault(Stale)
+	resp, err := f.serve(t, "writer", wire.ContextReadReq{Client: "writer", Group: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.(wire.ContextReadResp).Ctx; got.Seq != 1 {
+		t.Fatalf("stale context seq = %d, want the first (1)", got.Seq)
+	}
+}

@@ -1,0 +1,117 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayWithinProfile(t *testing.T) {
+	p := Profile{Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	n := New(p, 1)
+	for i := 0; i < 200; i++ {
+		d, err := n.Delay("a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < p.Base || d > p.Base+p.Jitter {
+			t.Fatalf("delay %v outside [%v, %v]", d, p.Base, p.Base+p.Jitter)
+		}
+	}
+}
+
+func TestInstantProfile(t *testing.T) {
+	n := New(Instant, 1)
+	d, err := n.Delay("a", "b")
+	if err != nil || d != 0 {
+		t.Fatalf("instant delay = %v, %v", d, err)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := Profile{Base: time.Millisecond, Jitter: time.Millisecond}
+	a := New(p, 42)
+	b := New(p, 42)
+	for i := 0; i < 50; i++ {
+		da, _ := a.Delay("x", "y")
+		db, _ := b.Delay("x", "y")
+		if da != db {
+			t.Fatalf("iteration %d: %v != %v with equal seeds", i, da, db)
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Profile{DropRate: 0.5}, 7)
+	dropped := 0
+	const total = 1000
+	for i := 0; i < total; i++ {
+		if _, err := n.Delay("a", "b"); errors.Is(err, ErrDropped) {
+			dropped++
+		}
+	}
+	if dropped < total/4 || dropped > 3*total/4 {
+		t.Fatalf("dropped %d of %d with rate 0.5", dropped, total)
+	}
+	sent, lost := n.Stats()
+	if sent != total || lost != int64(dropped) {
+		t.Fatalf("stats = %d/%d, want %d/%d", sent, lost, total, dropped)
+	}
+}
+
+func TestPerLinkOverride(t *testing.T) {
+	n := New(Instant, 1)
+	n.SetLink("a", "b", Profile{Base: 10 * time.Millisecond})
+	d, err := n.Delay("a", "b")
+	if err != nil || d != 10*time.Millisecond {
+		t.Fatalf("a->b = %v, %v", d, err)
+	}
+	// Reverse direction keeps the default.
+	d, err = n.Delay("b", "a")
+	if err != nil || d != 0 {
+		t.Fatalf("b->a = %v, %v", d, err)
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	n := New(Instant, 1)
+	n.Partition(1, "a", "b")
+	n.Partition(2, "c")
+
+	// Across non-zero partitions: blocked.
+	if _, err := n.Delay("a", "c"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("a->c = %v, want ErrPartitioned", err)
+	}
+	// Within a partition: fine.
+	if _, err := n.Delay("a", "b"); err != nil {
+		t.Fatalf("a->b = %v", err)
+	}
+	// Partition 0 talks to everyone.
+	if _, err := n.Delay("d", "a"); err != nil {
+		t.Fatalf("d->a = %v", err)
+	}
+
+	n.Heal()
+	if _, err := n.Delay("a", "c"); err != nil {
+		t.Fatalf("after heal a->c = %v", err)
+	}
+}
+
+func TestSetDefault(t *testing.T) {
+	n := New(Instant, 1)
+	n.SetDefault(Profile{Base: 3 * time.Millisecond})
+	d, err := n.Delay("a", "b")
+	if err != nil || d != 3*time.Millisecond {
+		t.Fatalf("delay = %v, %v", d, err)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New(Instant, 1)
+	_, _ = n.Delay("a", "b")
+	n.ResetStats()
+	sent, dropped := n.Stats()
+	if sent != 0 || dropped != 0 {
+		t.Fatalf("stats after reset = %d/%d", sent, dropped)
+	}
+}

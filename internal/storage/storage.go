@@ -1,0 +1,294 @@
+// Package storage gives replicas durable state: an append-only,
+// JSON-lines write-ahead log holding every accepted signed write and
+// stored client context, with compaction once dead records dominate. The
+// paper positions the secure store as the *long-term* home of application
+// state ("primarily responsible for safe keeping of data written to it"),
+// so a replica must be able to crash and rejoin without losing what it
+// acknowledged; recovery is replay, and every replayed record still
+// carries its original client signature, so a tampered log is detected
+// exactly like a tampered message.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"securestore/internal/sessionctx"
+	"securestore/internal/wire"
+)
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("storage: log closed")
+
+// RecordKind discriminates log records.
+type RecordKind string
+
+// Record kinds.
+const (
+	KindWrite   RecordKind = "write"
+	KindContext RecordKind = "context"
+)
+
+// Record is one durable entry.
+type Record struct {
+	Kind RecordKind `json:"kind"`
+	// Write is set for KindWrite records.
+	Write *wire.SignedWrite `json:"write,omitempty"`
+	// Ctx is set for KindContext records.
+	Ctx *sessionctx.Signed `json:"ctx,omitempty"`
+}
+
+// key identifies the live-state slot a record occupies (newest wins).
+func (r Record) key() (string, bool) {
+	switch r.Kind {
+	case KindWrite:
+		if r.Write == nil {
+			return "", false
+		}
+		return "w/" + r.Write.Group + "/" + r.Write.Item, true
+	case KindContext:
+		if r.Ctx == nil {
+			return "", false
+		}
+		return "c/" + r.Ctx.Group + "/" + r.Ctx.Owner, true
+	default:
+		return "", false
+	}
+}
+
+// Log is a durable append-only record log. Safe for concurrent use.
+type Log struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	closed  bool
+	records int // records in the file
+	live    map[string]int
+	// CompactThreshold triggers compaction when records exceed live
+	// slots by this factor (default 4; minimum spacing of 64 records).
+	CompactThreshold int
+}
+
+// Open opens (or creates) the log at path.
+func Open(path string) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir: %w", err)
+	}
+	l := &Log{path: path, live: make(map[string]int), CompactThreshold: 4}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// scan counts records and live slots without retaining contents.
+func (l *Log) scan() error {
+	f, err := os.Open(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: scan %s: %w", l.path, err)
+	}
+	defer f.Close()
+
+	seen := make(map[string]int)
+	records := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line from a crash mid-append is tolerated;
+			// anything after it is discarded on the next compaction.
+			continue
+		}
+		records++
+		if k, ok := rec.key(); ok {
+			seen[k]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("storage: scan %s: %w", l.path, err)
+	}
+	l.records = records
+	for k := range seen {
+		l.live[k] = 1
+	}
+	return nil
+}
+
+// Append durably adds a record.
+func (l *Log) Append(rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("storage: marshal record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.w.Write(raw); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	l.records++
+	if k, ok := rec.key(); ok {
+		l.live[k] = 1
+	}
+	return nil
+}
+
+// Replay streams every decodable record to fn in append order.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	path := l.path
+	l.mu.Unlock()
+
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: replay open: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn tail line
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("storage: replay: %w", err)
+	}
+	return nil
+}
+
+// NeedsCompaction reports whether dead records dominate the log.
+func (l *Log) NeedsCompaction() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	threshold := l.CompactThreshold
+	if threshold < 2 {
+		threshold = 2
+	}
+	return l.records >= 64 && l.records > threshold*len(l.live)
+}
+
+// Compact rewrites the log atomically with only the supplied records —
+// the caller's current live state.
+func (l *Log) Compact(liveRecords []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	tmp := l.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact open: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	live := make(map[string]int)
+	for _, rec := range liveRecords {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("storage: compact marshal: %w", err)
+		}
+		if _, err := w.Write(append(raw, '\n')); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("storage: compact write: %w", err)
+		}
+		if k, ok := rec.key(); ok {
+			live[k] = 1
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("storage: compact flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("storage: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: compact close: %w", err)
+	}
+
+	// Swap in the compacted file and reopen the append handle.
+	_ = l.w.Flush()
+	_ = l.f.Close()
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("storage: compact rename: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.records = len(liveRecords)
+	l.live = live
+	return nil
+}
+
+// Stats returns (total records, live slots).
+func (l *Log) Stats() (records, live int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records, len(l.live)
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		_ = l.f.Close()
+		return fmt.Errorf("storage: close flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return fmt.Errorf("storage: close sync: %w", err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+func tempLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "replica.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func sampleWrite(item string, ts uint64) *wire.SignedWrite {
+	return &wire.SignedWrite{
+		Group: "g", Item: item,
+		Stamp: timestamp.Stamp{Time: ts},
+		Value: []byte("value"),
+		Sig:   []byte("sig"),
+	}
+}
+
+func sampleCtx(owner string, seq uint64) *sessionctx.Signed {
+	return &sessionctx.Signed{
+		Owner: owner, Group: "g", Seq: seq,
+		Vector: sessionctx.Vector{"x": {Time: seq}},
+		Sig:    []byte("sig"),
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, path := tempLog(t)
+	recs := []Record{
+		{Kind: KindWrite, Write: sampleWrite("x", 1)},
+		{Kind: KindContext, Ctx: sampleCtx("alice", 1)},
+		{Kind: KindWrite, Write: sampleWrite("y", 2)},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	var got []Record
+	if err := reopened.Replay(func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	if got[0].Write.Item != "x" || got[1].Ctx.Owner != "alice" || got[2].Write.Stamp.Time != 2 {
+		t.Fatalf("replayed records wrong: %+v", got)
+	}
+}
+
+func TestReplayEmptyAndMissing(t *testing.T) {
+	l, _ := tempLog(t)
+	defer l.Close()
+	calls := 0
+	if err := l.Replay(func(Record) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("replayed %d records from empty log", calls)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	l, path := tempLog(t)
+	if err := l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage partial line at the end.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"write","wri`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer reopened.Close()
+	count := 0
+	if err := reopened.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("replayed %d records, want 1 (torn line skipped)", count)
+	}
+	// The log remains appendable after the torn tail.
+	if err := reopened.Append(Record{Kind: KindWrite, Write: sampleWrite("y", 2)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, _ := tempLog(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestNeedsCompactionAndCompact(t *testing.T) {
+	l, path := tempLog(t)
+	// 200 overwrites of one item: 200 records, 1 live slot.
+	for i := 1; i <= 200; i++ {
+		if err := l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", uint64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.NeedsCompaction() {
+		t.Fatal("200 records / 1 live slot does not need compaction")
+	}
+	if err := l.Compact([]Record{{Kind: KindWrite, Write: sampleWrite("x", 200)}}); err != nil {
+		t.Fatal(err)
+	}
+	records, live := l.Stats()
+	if records != 1 || live != 1 {
+		t.Fatalf("after compact: records=%d live=%d", records, live)
+	}
+	if l.NeedsCompaction() {
+		t.Fatal("compacted log still needs compaction")
+	}
+
+	// Appends after compaction land in the new file.
+	if err := l.Append(Record{Kind: KindWrite, Write: sampleWrite("y", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	count := 0
+	latest := uint64(0)
+	if err := reopened.Replay(func(r Record) error {
+		count++
+		if r.Write != nil && r.Write.Item == "x" {
+			latest = r.Write.Stamp.Time
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 || latest != 200 {
+		t.Fatalf("after compact+append: count=%d latest=%d", count, latest)
+	}
+}
+
+func TestScanCountsLiveSlots(t *testing.T) {
+	l, path := tempLog(t)
+	_ = l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", 1)})
+	_ = l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", 2)})
+	_ = l.Append(Record{Kind: KindWrite, Write: sampleWrite("y", 1)})
+	_ = l.Append(Record{Kind: KindContext, Ctx: sampleCtx("alice", 1)})
+	_ = l.Close()
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	records, live := reopened.Stats()
+	if records != 4 || live != 3 {
+		t.Fatalf("records=%d live=%d, want 4/3", records, live)
+	}
+}
+
+func TestRecordKeyUnset(t *testing.T) {
+	if _, ok := (Record{Kind: KindWrite}).key(); ok {
+		t.Fatal("write record without payload has a key")
+	}
+	if _, ok := (Record{Kind: "bogus"}).key(); ok {
+		t.Fatal("bogus record has a key")
+	}
+}
+
+// TestServerRecoveryEndToEnd is in internal/server (persist_test.go); this
+// package only covers the log itself. The signature fields above are
+// placeholders — recovery re-verification is exercised there with real
+// signatures.
+var _ = cryptoutil.Digest
+
+func TestConcurrentAppends(t *testing.T) {
+	l, path := tempLog(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec := Record{Kind: KindWrite, Write: sampleWrite(
+					"item-"+strconv.Itoa(g), uint64(i+1))}
+				if err := l.Append(rec); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	count := 0
+	if err := reopened.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 400 {
+		t.Fatalf("replayed %d records, want 400 (lost or torn writes)", count)
+	}
+}
+
+func TestReplayPropagatesCallbackError(t *testing.T) {
+	l, _ := tempLog(t)
+	defer l.Close()
+	if err := l.Append(Record{Kind: KindWrite, Write: sampleWrite("x", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop")
+	if err := l.Replay(func(Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("replay error = %v, want sentinel", err)
+	}
+}
+
+func TestCompactAfterClose(t *testing.T) {
+	l, _ := tempLog(t)
+	_ = l.Close()
+	if err := l.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,194 @@
+package timestamp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessOrdering(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Stamp
+		want bool
+	}{
+		{"by time", Stamp{Time: 1}, Stamp{Time: 2}, true},
+		{"equal times not less", Stamp{Time: 2}, Stamp{Time: 2}, false},
+		{"time beats writer", Stamp{Time: 1, Writer: "z"}, Stamp{Time: 2, Writer: "a"}, true},
+		{"writer breaks tie", Stamp{Time: 2, Writer: "a"}, Stamp{Time: 2, Writer: "b"}, true},
+		{"reverse writer tie", Stamp{Time: 2, Writer: "b"}, Stamp{Time: 2, Writer: "a"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Fatalf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareDetectsEquivocation(t *testing.T) {
+	a := Stamp{Time: 5, Writer: "w", Digest: [32]byte{1}}
+	b := Stamp{Time: 5, Writer: "w", Digest: [32]byte{2}}
+	if _, err := Compare(a, b); !errors.Is(err, ErrEquivocation) {
+		t.Fatalf("Compare = %v, want ErrEquivocation", err)
+	}
+	// Same everything: equal, no error.
+	if c, err := Compare(a, a); err != nil || c != 0 {
+		t.Fatalf("Compare(a,a) = %d, %v; want 0, nil", c, err)
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	prop := func(t1, t2 uint64, w1, w2 string) bool {
+		a := Stamp{Time: t1, Writer: w1}
+		b := Stamp{Time: t2, Writer: w2}
+		c, err := Compare(a, b)
+		if err != nil {
+			return false
+		}
+		switch {
+		case c < 0:
+			return a.Less(b) && !b.Less(a)
+		case c > 0:
+			return b.Less(a) && !a.Less(b)
+		default:
+			return !a.Less(b) && !b.Less(a)
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	prop := func(t1, t2 uint64, w1, w2 string) bool {
+		a := Stamp{Time: t1, Writer: w1}
+		b := Stamp{Time: t2, Writer: w2}
+		ab, err1 := Compare(a, b)
+		ba, err2 := Compare(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := Stamp{Time: 1}
+	b := Stamp{Time: 2}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatal("Max not commutative or wrong")
+	}
+	if Max(a, a) != a {
+		t.Fatal("Max(a,a) != a")
+	}
+}
+
+func TestZero(t *testing.T) {
+	var s Stamp
+	if !s.Zero() {
+		t.Fatal("zero stamp not Zero()")
+	}
+	if (Stamp{Time: 1}).Zero() {
+		t.Fatal("non-zero stamp reported Zero()")
+	}
+	if (Stamp{Writer: "w"}).Zero() {
+		t.Fatal("writer-only stamp reported Zero()")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		next := c.Next(0)
+		if next <= prev {
+			t.Fatalf("clock went backwards: %d after %d", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestClockRespectsFloor(t *testing.T) {
+	var c Clock
+	got := c.Next(100)
+	if got <= 100 {
+		t.Fatalf("Next(100) = %d, want > 100", got)
+	}
+	// A floor below the current value must not rewind.
+	got2 := c.Next(5)
+	if got2 <= got {
+		t.Fatalf("Next(5) = %d after %d: rewound", got2, got)
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	var c Clock
+	c.Observe(50)
+	if got := c.Next(0); got <= 50 {
+		t.Fatalf("Next after Observe(50) = %d, want > 50", got)
+	}
+	c.Observe(10) // lower observation must not rewind
+	if got := c.Now(); got <= 50 {
+		t.Fatalf("Now = %d, want > 50", got)
+	}
+}
+
+func TestClockObfuscatedStillMonotonic(t *testing.T) {
+	c := Clock{Obfuscate: true}
+	prev := uint64(0)
+	sawBigStep := false
+	for i := 0; i < 200; i++ {
+		next := c.Next(0)
+		if next <= prev {
+			t.Fatalf("obfuscated clock went backwards: %d after %d", next, prev)
+		}
+		if next-prev > 1 {
+			sawBigStep = true
+		}
+		prev = next
+	}
+	if !sawBigStep {
+		t.Fatal("obfuscated clock never took a random step > 1")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := c.Next(0)
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate clock value %d", v)
+					mu.Unlock()
+					return
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStringFormats(t *testing.T) {
+	if got := (Stamp{Time: 3}).String(); got != "v3" {
+		t.Fatalf("single-writer String = %q", got)
+	}
+	multi := Stamp{Time: 3, Writer: "w", Digest: [32]byte{0xde, 0xad}}
+	if got := multi.String(); got == "v3" || got == "" {
+		t.Fatalf("multi-writer String = %q, want writer and digest rendered", got)
+	}
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"securestore/internal/metrics"
+	"securestore/internal/wire"
+)
+
+// envelope frames one request on the wire.
+type envelope struct {
+	From string
+	Req  wire.Request
+}
+
+// replyEnvelope frames one response. Err carries an application-level
+// failure as text (the caller reconstructs it as an opaque error).
+type replyEnvelope struct {
+	Resp wire.Response
+	Err  string
+}
+
+// TCPServer serves a Handler over a TCP listener using gob-encoded frames.
+// One goroutine per connection; requests on a connection are processed
+// sequentially.
+type TCPServer struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewTCPServer wraps handler for serving. Call Serve to start.
+func NewTCPServer(handler Handler) *TCPServer {
+	return &TCPServer{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve listens on addr ("host:port", port 0 for ephemeral) and begins
+// accepting connections in the background. It returns the bound address.
+func (s *TCPServer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("transport: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // connection closed or corrupt
+		}
+		resp, err := s.handler.ServeRequest(context.Background(), env.From, env.Req)
+		if errors.Is(err, ErrNoReply) {
+			// Mute server: swallow the request, send nothing.
+			continue
+		}
+		var reply replyEnvelope
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.Resp = resp
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and closes every open connection, waiting for
+// connection goroutines to exit.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// TCPCaller issues requests to TCP servers. It maintains one persistent
+// connection per destination, serializing calls on each.
+type TCPCaller struct {
+	origin  string
+	metrics *metrics.Counters
+
+	mu    sync.Mutex
+	addrs map[string]string // server name -> address
+	conns map[string]*tcpConn
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ Caller = (*TCPCaller)(nil)
+
+// NewTCPCaller creates a caller for the origin principal. addrs maps server
+// names to their TCP addresses.
+func NewTCPCaller(origin string, addrs map[string]string, m *metrics.Counters) *TCPCaller {
+	copied := make(map[string]string, len(addrs))
+	for k, v := range addrs {
+		copied[k] = v
+	}
+	return &TCPCaller{origin: origin, metrics: m, addrs: copied, conns: make(map[string]*tcpConn)}
+}
+
+// Origin returns the caller's principal name.
+func (c *TCPCaller) Origin() string { return c.origin }
+
+// Call implements Caller over TCP.
+func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
+	tc, err := c.conn(to)
+	if err != nil {
+		return nil, err
+	}
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = tc.conn.SetDeadline(deadline)
+	}
+	c.metrics.AddMessage(0)
+	if err := tc.enc.Encode(&envelope{From: c.origin, Req: req}); err != nil {
+		c.drop(to)
+		return nil, fmt.Errorf("send to %s: %w", to, err)
+	}
+	var reply replyEnvelope
+	if err := tc.dec.Decode(&reply); err != nil {
+		c.drop(to)
+		return nil, fmt.Errorf("receive from %s: %w", to, err)
+	}
+	c.metrics.AddMessage(0)
+	if reply.Err != "" {
+		return nil, fmt.Errorf("call %s: %s", to, reply.Err)
+	}
+	return reply.Resp, nil
+}
+
+// Close closes all cached connections.
+func (c *TCPCaller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, tc := range c.conns {
+		_ = tc.conn.Close()
+		delete(c.conns, name)
+	}
+}
+
+func (c *TCPCaller) conn(to string) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[to]; ok {
+		return tc, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s (%s): %w", to, addr, err)
+	}
+	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c.conns[to] = tc
+	return tc, nil
+}
+
+func (c *TCPCaller) drop(to string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.conns[to]; ok {
+		_ = tc.conn.Close()
+		delete(c.conns, to)
+	}
+}

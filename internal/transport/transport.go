@@ -1,0 +1,174 @@
+// Package transport moves wire messages between principals. Two
+// implementations are provided: an in-memory transport routed through a
+// simulated network (internal/simnet) for tests, experiments and examples,
+// and a TCP transport (tcp.go) for running real server processes.
+//
+// Both implementations expose the same Caller interface, so every protocol
+// above this package is transport-agnostic.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/simnet"
+	"securestore/internal/wire"
+)
+
+// Errors returned by transports.
+var (
+	// ErrNoReply is returned by a handler that deliberately does not answer
+	// (a mute/crashed server). The transport converts it into a blocked call
+	// that fails only when the caller's context expires, faithfully
+	// modelling a server that silently drops requests.
+	ErrNoReply = errors.New("transport: no reply")
+	// ErrUnknownServer reports a call to an unregistered destination.
+	ErrUnknownServer = errors.New("transport: unknown server")
+)
+
+// Handler is implemented by servers: it processes one request from the
+// named principal and produces a response or an error.
+type Handler interface {
+	ServeRequest(ctx context.Context, from string, req wire.Request) (wire.Response, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, from string, req wire.Request) (wire.Response, error)
+
+// ServeRequest calls f.
+func (f HandlerFunc) ServeRequest(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+	return f(ctx, from, req)
+}
+
+// Caller issues requests to servers on behalf of one origin principal.
+type Caller interface {
+	// Call sends req to the named server and waits for its response. An
+	// application-level failure from the server is returned as err with a
+	// nil response.
+	Call(ctx context.Context, to string, req wire.Request) (wire.Response, error)
+	// Origin returns the principal this caller sends as.
+	Origin() string
+}
+
+// Bus is an in-memory message bus connecting handlers through a simulated
+// network. It is safe for concurrent use.
+type Bus struct {
+	mu       sync.RWMutex
+	net      *simnet.Network
+	handlers map[string]Handler
+}
+
+// NewBus creates a bus over the given simulated network. A nil network
+// delivers every message instantly and reliably.
+func NewBus(net *simnet.Network) *Bus {
+	return &Bus{net: net, handlers: make(map[string]Handler)}
+}
+
+// Register installs the handler for a server name, replacing any previous
+// registration (used when restarting a server in fault experiments).
+func (b *Bus) Register(name string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[name] = h
+}
+
+// Deregister removes a server from the bus (a crashed server).
+func (b *Bus) Deregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.handlers, name)
+}
+
+// Network returns the underlying simulated network (nil when instant).
+func (b *Bus) Network() *simnet.Network { return b.net }
+
+// handler looks up a destination.
+func (b *Bus) handler(name string) (Handler, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	h, ok := b.handlers[name]
+	return h, ok
+}
+
+// Caller returns a Caller bound to the given origin principal. Message
+// counts are recorded on m (one per request sent plus one per response
+// received), which is how experiments account per-operation message costs.
+func (b *Bus) Caller(origin string, m *metrics.Counters) Caller {
+	return &busCaller{bus: b, origin: origin, metrics: m}
+}
+
+type busCaller struct {
+	bus     *Bus
+	origin  string
+	metrics *metrics.Counters
+}
+
+var _ Caller = (*busCaller)(nil)
+
+func (c *busCaller) Origin() string { return c.origin }
+
+func (c *busCaller) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
+	h, ok := c.bus.handler(to)
+	if !ok {
+		// An unregistered server behaves like a crashed one: the request is
+		// counted (it was sent into the network) but never answered.
+		c.metrics.AddMessage(0)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, to)
+	}
+
+	// Outbound leg.
+	c.metrics.AddMessage(0)
+	if err := c.sleepLeg(ctx, c.origin, to); err != nil {
+		return nil, err
+	}
+
+	resp, err := h.ServeRequest(ctx, c.origin, req)
+	if err != nil {
+		if errors.Is(err, ErrNoReply) {
+			// A mute server: the caller blocks until its deadline.
+			<-ctx.Done()
+			return nil, fmt.Errorf("call %s: %w", to, ctx.Err())
+		}
+		return nil, fmt.Errorf("call %s: %w", to, err)
+	}
+
+	// Return leg.
+	c.metrics.AddMessage(0)
+	if err := c.sleepLeg(ctx, to, c.origin); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// sleepLeg applies the simulated one-way delay (or loss) for one message
+// leg. Lost messages surface as a blocked call that fails at the deadline,
+// as real datagram loss with no retransmit would; partitions fail fast,
+// like "no route to host".
+func (c *busCaller) sleepLeg(ctx context.Context, from, to string) error {
+	if c.bus.net == nil {
+		return nil
+	}
+	d, err := c.bus.net.Delay(from, to)
+	if errors.Is(err, simnet.ErrPartitioned) {
+		return fmt.Errorf("leg %s->%s: %w", from, to, err)
+	}
+	if err != nil {
+		<-ctx.Done()
+		return fmt.Errorf("leg %s->%s: %w (%v)", from, to, ctx.Err(), err)
+	}
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/simnet"
+	"securestore/internal/wire"
+)
+
+type echoHandler struct {
+	mu       sync.Mutex
+	lastFrom string
+	mute     bool
+	fail     bool
+}
+
+func (h *echoHandler) ServeRequest(_ context.Context, from string, _ wire.Request) (wire.Response, error) {
+	h.mu.Lock()
+	h.lastFrom = from
+	mute, fail := h.mute, h.fail
+	h.mu.Unlock()
+	if mute {
+		return nil, ErrNoReply
+	}
+	if fail {
+		return nil, errors.New("handler failure")
+	}
+	return wire.Ack{}, nil
+}
+
+func (h *echoHandler) from() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastFrom
+}
+
+func TestBusCallDeliversOrigin(t *testing.T) {
+	bus := NewBus(nil)
+	h := &echoHandler{}
+	bus.Register("srv", h)
+	caller := bus.Caller("alice", &metrics.Counters{})
+
+	resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(wire.Ack); !ok {
+		t.Fatalf("resp = %T, want Ack", resp)
+	}
+	if h.from() != "alice" {
+		t.Fatalf("handler saw origin %q, want alice", h.from())
+	}
+	if caller.Origin() != "alice" {
+		t.Fatalf("Origin = %q", caller.Origin())
+	}
+}
+
+func TestBusCallCountsMessages(t *testing.T) {
+	bus := NewBus(nil)
+	bus.Register("srv", &echoHandler{})
+	m := &metrics.Counters{}
+	caller := bus.Caller("alice", m)
+
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MessagesSent(); got != 2 {
+		t.Fatalf("messages = %d, want 2 (request + response)", got)
+	}
+}
+
+func TestBusCallUnknownServer(t *testing.T) {
+	bus := NewBus(nil)
+	caller := bus.Caller("alice", &metrics.Counters{})
+	if _, err := caller.Call(context.Background(), "ghost", wire.MetaReq{}); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("err = %v, want ErrUnknownServer", err)
+	}
+}
+
+func TestBusCallHandlerError(t *testing.T) {
+	bus := NewBus(nil)
+	bus.Register("srv", &echoHandler{fail: true})
+	m := &metrics.Counters{}
+	caller := bus.Caller("alice", m)
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err == nil {
+		t.Fatal("handler error not propagated")
+	}
+	// Only the request leg is counted: the error reply is an application
+	// error carried back, but a failed op doesn't count a response message.
+	if got := m.MessagesSent(); got != 1 {
+		t.Fatalf("messages = %d, want 1", got)
+	}
+}
+
+func TestBusMuteServerBlocksUntilDeadline(t *testing.T) {
+	bus := NewBus(nil)
+	bus.Register("srv", &echoHandler{mute: true})
+	caller := bus.Caller("alice", &metrics.Counters{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := caller.Call(ctx, "srv", wire.MetaReq{})
+	if err == nil {
+		t.Fatal("mute server produced a response")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("mute call returned after %v, want to block until deadline", elapsed)
+	}
+}
+
+func TestBusDeregister(t *testing.T) {
+	bus := NewBus(nil)
+	bus.Register("srv", &echoHandler{})
+	bus.Deregister("srv")
+	caller := bus.Caller("alice", &metrics.Counters{})
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("err = %v, want ErrUnknownServer after deregister", err)
+	}
+}
+
+func TestBusAppliesSimnetDelay(t *testing.T) {
+	net := simnet.New(simnet.Profile{Base: 20 * time.Millisecond}, 1)
+	bus := NewBus(net)
+	bus.Register("srv", &echoHandler{})
+	caller := bus.Caller("alice", &metrics.Counters{})
+
+	start := time.Now()
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 40ms (two 20ms legs)", elapsed)
+	}
+}
+
+func TestBusPartitionBlocksCall(t *testing.T) {
+	net := simnet.New(simnet.Instant, 1)
+	bus := NewBus(net)
+	bus.Register("srv", &echoHandler{})
+	net.Partition(1, "alice")
+	net.Partition(2, "srv")
+	caller := bus.Caller("alice", &metrics.Counters{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := caller.Call(ctx, "srv", wire.MetaReq{}); err == nil {
+		t.Fatal("partitioned call succeeded")
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	called := false
+	h := HandlerFunc(func(context.Context, string, wire.Request) (wire.Response, error) {
+		called = true
+		return wire.Ack{}, nil
+	})
+	if _, err := h.ServeRequest(context.Background(), "x", wire.MetaReq{}); err != nil || !called {
+		t.Fatal("HandlerFunc did not dispatch")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	wire.RegisterGob()
+	h := &echoHandler{}
+	srv := NewTCPServer(h)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	m := &metrics.Counters{}
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, m)
+	t.Cleanup(caller.Close)
+
+	resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(wire.Ack); !ok {
+		t.Fatalf("resp = %T", resp)
+	}
+	if h.from() != "alice" {
+		t.Fatalf("server saw origin %q", h.from())
+	}
+	if m.MessagesSent() != 2 {
+		t.Fatalf("messages = %d, want 2", m.MessagesSent())
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	wire.RegisterGob()
+	srv := NewTCPServer(&echoHandler{fail: true})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err == nil {
+		t.Fatal("handler error not propagated over TCP")
+	}
+}
+
+func TestTCPMuteServerTimesOut(t *testing.T) {
+	wire.RegisterGob()
+	srv := NewTCPServer(&echoHandler{mute: true})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := caller.Call(ctx, "srv", wire.MetaReq{}); err == nil {
+		t.Fatal("mute server produced a TCP response")
+	}
+}
+
+func TestTCPUnknownDestination(t *testing.T) {
+	caller := NewTCPCaller("alice", nil, &metrics.Counters{})
+	if _, err := caller.Call(context.Background(), "ghost", wire.MetaReq{}); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("err = %v, want ErrUnknownServer", err)
+	}
+}
+
+func TestTCPConcurrentCallers(t *testing.T) {
+	wire.RegisterGob()
+	srv := NewTCPServer(&echoHandler{})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	wire.RegisterGob()
+	srv := NewTCPServer(&echoHandler{})
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := caller.Call(ctx, "srv", wire.MetaReq{}); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}

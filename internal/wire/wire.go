@@ -1,0 +1,307 @@
+// Package wire defines the messages exchanged between secure-store clients
+// and servers, and between servers during dissemination. The central type
+// is SignedWrite, the paper's write-message {"write", uid(x_j), X_i (or
+// t_j), v, {...}_{K_i^-1}} (Figure 2): because every stored value carries
+// its writer's signature over value *and* meta-data, servers act as passive
+// repositories — a malicious server can withhold or serve stale data but
+// cannot forge or undetectably alter it.
+package wire
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+// Errors shared across protocol layers.
+var (
+	ErrBadWrite  = errors.New("wire: invalid signed write")
+	ErrDigest    = errors.New("wire: value digest mismatch")
+	ErrWriterUID = errors.New("wire: stamp writer does not match signer")
+	ErrNotFound  = errors.New("wire: item not found")
+)
+
+// Consistency selects the consistency level a group of data items was
+// created with (Section 4.2). Per the paper, the level is fixed at item
+// creation: "the same data item cannot be accessed with MRC consistency
+// requirement at one time and CC consistency at another time."
+type Consistency int
+
+// Consistency levels.
+const (
+	// MRC is Monotonic Read Consistency: per-item reads never go backwards.
+	MRC Consistency = iota + 1
+	// CC is Causal Consistency: reads respect causal dependencies across a
+	// related group of items, carried in writer contexts.
+	CC
+)
+
+// String renders the consistency level.
+func (c Consistency) String() string {
+	switch c {
+	case MRC:
+		return "MRC"
+	case CC:
+		return "CC"
+	default:
+		return fmt.Sprintf("consistency(%d)", int(c))
+	}
+}
+
+// SignedWrite is a complete, self-verifying write: the item, its new value,
+// the timestamp, the writer's context at write time (CC only), and the
+// writer's signature over all of it. Non-faulty servers store and forward
+// SignedWrites verbatim; dissemination cannot inject spurious writes
+// because receivers re-verify the signature.
+type SignedWrite struct {
+	Group string `json:"group"`
+	Item  string `json:"item"`
+	// Stamp orders this write. Single-writer protocols use only Stamp.Time;
+	// multi-writer protocols fill Writer and Digest too (Section 5.3).
+	Stamp timestamp.Stamp `json:"stamp"`
+	// WriterCtx is X_writer: the writer's context when the value was
+	// written. Present only under CC; nil under MRC.
+	WriterCtx sessionctx.Vector `json:"writerCtx,omitempty"`
+	Value     []byte            `json:"value"`
+	Writer    string            `json:"writer"`
+	Sig       []byte            `json:"sig"`
+}
+
+// signing payload with deterministic field ordering.
+type writeCanonical struct {
+	Group  string          `json:"group"`
+	Item   string          `json:"item"`
+	Stamp  timestamp.Stamp `json:"stamp"`
+	Ctx    []ctxEntry      `json:"ctx,omitempty"`
+	Digest [32]byte        `json:"digest"`
+	Writer string          `json:"writer"`
+}
+
+type ctxEntry struct {
+	Item  string          `json:"item"`
+	Stamp timestamp.Stamp `json:"stamp"`
+}
+
+// SigningBytes returns the canonical bytes the writer signs. The value
+// itself is represented by its digest so that signing cost is independent
+// of value size, matching the paper's "signed digest" construction.
+func (w *SignedWrite) SigningBytes() []byte {
+	c := writeCanonical{
+		Group:  w.Group,
+		Item:   w.Item,
+		Stamp:  w.Stamp,
+		Digest: cryptoutil.Digest(w.Value),
+		Writer: w.Writer,
+	}
+	for _, item := range w.WriterCtx.Items() {
+		c.Ctx = append(c.Ctx, ctxEntry{Item: item, Stamp: w.WriterCtx[item]})
+	}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshal write canonical: %v", err))
+	}
+	return raw
+}
+
+// Sign signs the write with the writer's key.
+func (w *SignedWrite) Sign(key cryptoutil.KeyPair, m *metrics.Counters) {
+	w.Writer = key.ID
+	w.Sig = key.Sign(w.SigningBytes(), m)
+}
+
+// Verify checks the write's signature, and — when the stamp carries a
+// writer uid/digest (multi-writer mode) — that the stamp's writer matches
+// the signer and the stamp's digest matches the value. These checks
+// implement the paper's rules that "a malicious client cannot use the
+// timestamp of a different client" and cannot reuse one timestamp for two
+// values.
+func (w *SignedWrite) Verify(ring *cryptoutil.Keyring, m *metrics.Counters) error {
+	if w == nil {
+		return ErrBadWrite
+	}
+	if w.Stamp.Writer != "" && w.Stamp.Writer != w.Writer {
+		return fmt.Errorf("%w: stamp names %q, signed by %q", ErrWriterUID, w.Stamp.Writer, w.Writer)
+	}
+	if w.Stamp.Writer != "" && w.Stamp.Digest != cryptoutil.Digest(w.Value) {
+		return fmt.Errorf("%w: item %s stamp %s", ErrDigest, w.Item, w.Stamp)
+	}
+	if err := ring.Verify(w.Writer, w.SigningBytes(), w.Sig, m); err != nil {
+		return fmt.Errorf("%w: item %s: %v", ErrBadWrite, w.Item, err)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the write.
+func (w *SignedWrite) Clone() *SignedWrite {
+	if w == nil {
+		return nil
+	}
+	out := *w
+	out.WriterCtx = w.WriterCtx.Clone()
+	out.Value = append([]byte(nil), w.Value...)
+	out.Sig = append([]byte(nil), w.Sig...)
+	return &out
+}
+
+// Request is implemented by every client→server and server→server request.
+// The exported marker lets other packages (the strong-consistency baselines)
+// route their own message types through the same transports.
+type Request interface{ WireRequest() }
+
+// Response is implemented by every reply type.
+type Response interface{ WireResponse() }
+
+// ContextReadReq asks for the caller's stored signed context for a group
+// (session initiation, Figure 1).
+type ContextReadReq struct {
+	Client string
+	Group  string
+	Token  *accessctl.Token
+}
+
+// ContextReadResp returns the stored context, or nil when the server has
+// none for this client/group.
+type ContextReadResp struct {
+	Ctx *sessionctx.Signed
+}
+
+// ContextWriteReq stores the caller's signed context (session termination).
+type ContextWriteReq struct {
+	Ctx   *sessionctx.Signed
+	Token *accessctl.Token
+}
+
+// MetaReq asks for the timestamp (meta-data only) of an item — phase one of
+// the read protocol in Figure 2, and the bulk query used for context
+// reconstruction (Section 5.1).
+type MetaReq struct {
+	Client string
+	Group  string
+	Item   string
+	Token  *accessctl.Token
+}
+
+// MetaResp carries the stamp of the server's current copy. Has is false
+// when the server stores no copy of the item.
+type MetaResp struct {
+	Has   bool
+	Stamp timestamp.Stamp
+}
+
+// ValueReq fetches the full signed write for an item from a chosen server —
+// phase two of the read protocol.
+type ValueReq struct {
+	Client string
+	Group  string
+	Item   string
+	// Stamp is the stamp the client selected in phase one; the server
+	// returns its current copy, which may be even newer.
+	Stamp timestamp.Stamp
+	Token *accessctl.Token
+}
+
+// ValueResp returns the stored signed write.
+type ValueResp struct {
+	Write *SignedWrite
+}
+
+// WriteReq stores a signed write at a server.
+type WriteReq struct {
+	Write *SignedWrite
+	Token *accessctl.Token
+}
+
+// Ack is the generic success reply.
+type Ack struct{}
+
+// LogReq asks a server for its list of latest writes for an item — the
+// multi-writer read protocol (Section 5.3), where a client queries 2b+1
+// servers and accepts a value reported identically by b+1 of them.
+type LogReq struct {
+	Client string
+	Group  string
+	Item   string
+	Token  *accessctl.Token
+}
+
+// LogResp carries the server's log of recent validated writes for the
+// item, newest first.
+type LogResp struct {
+	Writes []*SignedWrite
+}
+
+// GossipPushReq carries signed writes from one server to another during
+// anti-entropy (Section 4: "servers keep themselves informed about updates
+// in which they do not directly participate via a gossip protocol").
+type GossipPushReq struct {
+	From   string
+	Writes []*SignedWrite
+}
+
+// GossipPushResp acknowledges a push and reports how many writes the
+// receiver applied (fresh, valid, and newer than its copies).
+type GossipPushResp struct {
+	Applied int
+}
+
+// GossipPullReq asks a peer for the updates it accepted after the
+// caller's high-water mark into the peer's update log — pull
+// anti-entropy, the complement of push in epidemic replication (the
+// paper's ref [7]). Pull lets a rejoining or partitioned-away replica
+// catch up at its own initiative.
+type GossipPullReq struct {
+	From string
+	// After is the caller's last seen sequence number in the peer's log.
+	After uint64
+}
+
+// GossipPullResp returns the requested updates and the peer's current
+// sequence number (the caller's next high-water mark).
+type GossipPullResp struct {
+	Writes []*SignedWrite
+	Seq    uint64
+}
+
+func (ContextReadReq) WireRequest()   {}
+func (ContextWriteReq) WireRequest()  {}
+func (MetaReq) WireRequest()          {}
+func (ValueReq) WireRequest()         {}
+func (WriteReq) WireRequest()         {}
+func (LogReq) WireRequest()           {}
+func (GossipPushReq) WireRequest()    {}
+func (GossipPullReq) WireRequest()    {}
+func (ContextReadResp) WireResponse() {}
+func (Ack) WireResponse()             {}
+func (MetaResp) WireResponse()        {}
+func (ValueResp) WireResponse()       {}
+func (LogResp) WireResponse()         {}
+func (GossipPushResp) WireResponse()  {}
+func (GossipPullResp) WireResponse()  {}
+
+// RegisterGob registers every request and response type with encoding/gob
+// so the TCP transport can encode them behind the Request/Response
+// interfaces. Call once at process start.
+func RegisterGob() {
+	gob.Register(ContextReadReq{})
+	gob.Register(ContextReadResp{})
+	gob.Register(ContextWriteReq{})
+	gob.Register(MetaReq{})
+	gob.Register(MetaResp{})
+	gob.Register(ValueReq{})
+	gob.Register(ValueResp{})
+	gob.Register(WriteReq{})
+	gob.Register(Ack{})
+	gob.Register(LogReq{})
+	gob.Register(LogResp{})
+	gob.Register(GossipPushReq{})
+	gob.Register(GossipPushResp{})
+	gob.Register(GossipPullReq{})
+	gob.Register(GossipPullResp{})
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+func signedWrite(t *testing.T, key cryptoutil.KeyPair, multi bool) *SignedWrite {
+	t.Helper()
+	value := []byte("the value")
+	w := &SignedWrite{
+		Group: "g",
+		Item:  "x",
+		Stamp: timestamp.Stamp{Time: 7},
+		Value: value,
+		WriterCtx: sessionctx.Vector{
+			"x": {Time: 7},
+			"y": {Time: 3},
+		},
+	}
+	if multi {
+		w.Stamp.Writer = key.ID
+		w.Stamp.Digest = cryptoutil.Digest(value)
+		w.WriterCtx["x"] = w.Stamp
+	}
+	w.Sign(key, nil)
+	return w
+}
+
+func testRing(t *testing.T) (cryptoutil.KeyPair, *cryptoutil.Keyring) {
+	t.Helper()
+	key := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring := cryptoutil.NewKeyring()
+	ring.MustRegister(key.ID, key.Public)
+	return key, ring
+}
+
+func TestSignedWriteRoundTrip(t *testing.T) {
+	key, ring := testRing(t)
+	for _, multi := range []bool{false, true} {
+		w := signedWrite(t, key, multi)
+		if err := w.Verify(ring, nil); err != nil {
+			t.Fatalf("multi=%v verify: %v", multi, err)
+		}
+	}
+}
+
+func TestVerifyRejectsValueTampering(t *testing.T) {
+	key, ring := testRing(t)
+	w := signedWrite(t, key, false)
+	w.Value[0] ^= 0xff
+	if err := w.Verify(ring, nil); !errors.Is(err, ErrBadWrite) {
+		t.Fatalf("verify tampered value = %v, want ErrBadWrite", err)
+	}
+}
+
+func TestVerifyRejectsMetaTampering(t *testing.T) {
+	key, ring := testRing(t)
+
+	tests := []struct {
+		name   string
+		mutate func(*SignedWrite)
+	}{
+		{"stamp", func(w *SignedWrite) { w.Stamp.Time++ }},
+		{"item", func(w *SignedWrite) { w.Item = "other" }},
+		{"group", func(w *SignedWrite) { w.Group = "other" }},
+		{"context", func(w *SignedWrite) { w.WriterCtx["y"] = timestamp.Stamp{Time: 999} }},
+		{"context-added", func(w *SignedWrite) { w.WriterCtx["z"] = timestamp.Stamp{Time: 1} }},
+		{"context-dropped", func(w *SignedWrite) { delete(w.WriterCtx, "y") }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			w := signedWrite(t, key, false)
+			tt.mutate(w)
+			if err := w.Verify(ring, nil); err == nil {
+				t.Fatalf("tampered %s verified", tt.name)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsStolenTimestamp(t *testing.T) {
+	// A malicious client cannot use another client's uid in its stamp:
+	// the signature key must match the uid (Section 5.3).
+	key, ring := testRing(t)
+	mallory := cryptoutil.DeterministicKeyPair("mallory", "s")
+	ring.MustRegister(mallory.ID, mallory.Public)
+
+	w := signedWrite(t, key, true)
+	stolen := w.Clone()
+	stolen.Sign(mallory, nil) // mallory signs, but the stamp still names "writer"
+	if err := stolen.Verify(ring, nil); !errors.Is(err, ErrWriterUID) {
+		t.Fatalf("stolen-uid verify = %v, want ErrWriterUID", err)
+	}
+}
+
+func TestVerifyRejectsDigestMismatch(t *testing.T) {
+	// One timestamp cannot cover two values: the digest in the stamp must
+	// match the value.
+	key, ring := testRing(t)
+	w := signedWrite(t, key, true)
+	w.Value = []byte("a different value")
+	// Re-sign so the signature itself is valid; only the stamp digest lies.
+	w.Sign(key, nil)
+	if err := w.Verify(ring, nil); !errors.Is(err, ErrDigest) {
+		t.Fatalf("digest-mismatch verify = %v, want ErrDigest", err)
+	}
+}
+
+func TestSigningBytesIndependentOfMapOrder(t *testing.T) {
+	key, _ := testRing(t)
+	w1 := signedWrite(t, key, false)
+	// Build the same write with the context populated in reverse order.
+	w2 := &SignedWrite{
+		Group: w1.Group, Item: w1.Item, Stamp: w1.Stamp, Value: w1.Value,
+		WriterCtx: sessionctx.Vector{},
+		Writer:    w1.Writer,
+	}
+	for _, item := range []string{"y", "x"} {
+		w2.WriterCtx[item] = w1.WriterCtx[item]
+	}
+	if !bytes.Equal(w1.SigningBytes(), w2.SigningBytes()) {
+		t.Fatal("signing bytes depend on context insertion order")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	key, _ := testRing(t)
+	w := signedWrite(t, key, false)
+	c := w.Clone()
+	c.Value[0] ^= 0xff
+	c.WriterCtx["x"] = timestamp.Stamp{Time: 999}
+	c.Sig[0] ^= 0xff
+	if w.Value[0] == c.Value[0] || w.WriterCtx["x"].Time == 999 || w.Sig[0] == c.Sig[0] {
+		t.Fatal("clone shares storage")
+	}
+	var nilW *SignedWrite
+	if nilW.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestVerifyNil(t *testing.T) {
+	_, ring := testRing(t)
+	var w *SignedWrite
+	if err := w.Verify(ring, nil); !errors.Is(err, ErrBadWrite) {
+		t.Fatalf("nil verify = %v, want ErrBadWrite", err)
+	}
+}
+
+func TestGobRoundTripAllMessages(t *testing.T) {
+	RegisterGob()
+	key, _ := testRing(t)
+	w := signedWrite(t, key, true)
+
+	msgs := []any{
+		Request(ContextReadReq{Client: "c", Group: "g"}),
+		Request(MetaReq{Client: "c", Group: "g", Item: "x"}),
+		Request(ValueReq{Client: "c", Group: "g", Item: "x", Stamp: w.Stamp}),
+		Request(WriteReq{Write: w}),
+		Request(LogReq{Client: "c", Group: "g", Item: "x"}),
+		Request(GossipPushReq{From: "s", Writes: []*SignedWrite{w}}),
+		Request(GossipPullReq{From: "s", After: 7}),
+		Response(Ack{}),
+		Response(MetaResp{Has: true, Stamp: w.Stamp}),
+		Response(ValueResp{Write: w}),
+		Response(LogResp{Writes: []*SignedWrite{w}}),
+		Response(GossipPushResp{Applied: 3}),
+		Response(GossipPullResp{Writes: []*SignedWrite{w}, Seq: 9}),
+	}
+	for _, msg := range msgs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&msg); err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		var decoded any
+		if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+	}
+}
+
+func TestGobPreservesSignedWrite(t *testing.T) {
+	RegisterGob()
+	key, ring := testRing(t)
+	w := signedWrite(t, key, true)
+
+	var buf bytes.Buffer
+	req := Request(WriteReq{Write: w})
+	if err := gob.NewEncoder(&buf).Encode(&req); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Request
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	wr, ok := decoded.(WriteReq)
+	if !ok {
+		t.Fatalf("decoded %T, want WriteReq", decoded)
+	}
+	// The signature must survive transport byte-for-byte.
+	if err := wr.Write.Verify(ring, nil); err != nil {
+		t.Fatalf("verify after gob: %v", err)
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if MRC.String() != "MRC" || CC.String() != "CC" {
+		t.Fatal("consistency labels wrong")
+	}
+	if Consistency(42).String() == "" {
+		t.Fatal("unknown consistency renders empty")
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := New(Config{Seed: 7, Items: 8, ReadFraction: 0.5})
+	b := New(Config{Seed: 7, Items: 8, ReadFraction: 0.5})
+	for i := 0; i < 100; i++ {
+		opA, opB := a.Next(), b.Next()
+		if opA.IsRead != opB.IsRead || opA.Item != opB.Item || string(opA.Value) != string(opB.Value) {
+			t.Fatalf("iteration %d diverged: %+v vs %+v", i, opA, opB)
+		}
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	g := New(Config{Seed: 1, Items: 4, ReadFraction: 0.7})
+	reads := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if g.Next().IsRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / total
+	if frac < 0.6 || frac > 0.8 {
+		t.Fatalf("read fraction = %.2f, want ~0.7", frac)
+	}
+}
+
+func TestAllReadsAllWrites(t *testing.T) {
+	reads := New(Config{Seed: 1, Items: 2, ReadFraction: 1})
+	for i := 0; i < 50; i++ {
+		if !reads.Next().IsRead {
+			t.Fatal("ReadFraction=1 produced a write")
+		}
+	}
+	writes := New(Config{Seed: 1, Items: 2, ReadFraction: 0})
+	for i := 0; i < 50; i++ {
+		op := writes.Next()
+		if op.IsRead {
+			t.Fatal("ReadFraction=0 produced a read")
+		}
+		if len(op.Value) == 0 {
+			t.Fatal("write op has empty value")
+		}
+	}
+}
+
+func TestForcedOps(t *testing.T) {
+	g := New(Config{Seed: 1, Items: 2, ReadFraction: 0.5})
+	if op := g.NextRead(); !op.IsRead {
+		t.Fatal("NextRead produced a write")
+	}
+	if op := g.NextWrite(); op.IsRead || len(op.Value) == 0 {
+		t.Fatal("NextWrite produced a read or empty value")
+	}
+}
+
+func TestItemsNamedAndBounded(t *testing.T) {
+	g := New(Config{Seed: 1, Items: 5, ItemPrefix: "doc"})
+	items := g.Items()
+	if len(items) != 5 {
+		t.Fatalf("items = %d", len(items))
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		op := g.Next()
+		if !strings.HasPrefix(op.Item, "doc") {
+			t.Fatalf("item %q missing prefix", op.Item)
+		}
+		seen[op.Item] = true
+	}
+	if len(seen) > 5 {
+		t.Fatalf("saw %d distinct items, want <= 5", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{Seed: 3, Items: 32, ZipfSkew: 1.5, ReadFraction: 1})
+	counts := make(map[string]int)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		counts[g.Next().Item]++
+	}
+	// The most popular item should dominate under heavy skew.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < total/4 {
+		t.Fatalf("hottest item = %d of %d; zipf skew not in effect", max, total)
+	}
+}
+
+func TestValueSizeAndUniqueness(t *testing.T) {
+	g := New(Config{Seed: 1, Items: 2, ValueSize: 64})
+	a, b := g.NextWrite(), g.NextWrite()
+	if len(a.Value) != 64 || len(b.Value) != 64 {
+		t.Fatalf("value sizes = %d/%d", len(a.Value), len(b.Value))
+	}
+	if string(a.Value) == string(b.Value) {
+		t.Fatal("successive writes produced identical values")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{})
+	if len(g.Items()) == 0 {
+		t.Fatal("default generator has no items")
+	}
+	op := g.NextWrite()
+	if op.Item == "" || len(op.Value) == 0 {
+		t.Fatalf("default op = %+v", op)
+	}
+}
