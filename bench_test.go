@@ -8,6 +8,7 @@ package securestore_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -308,6 +309,101 @@ func BenchmarkA3ContextReconstruct(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkT1ConcurrentSessions measures end-to-end write throughput of
+// concurrent sessions over real loopback TCP, serialized (one in-flight
+// request per connection, the pre-multiplexing wire protocol) vs
+// multiplexed. Run with -cpu to vary the degree of concurrency.
+func BenchmarkT1ConcurrentSessions(b *testing.B) {
+	wire.RegisterGob()
+	for _, mode := range []struct {
+		name string
+		opts []transport.CallerOption
+	}{
+		{"Serialized", []transport.CallerOption{transport.Serialized()}},
+		{"Multiplexed", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			const n, bb = 4, 1
+			ring := cryptoutil.NewKeyring()
+			names := make([]string, 0, n)
+			addrs := make(map[string]string, n)
+			for i := 0; i < n; i++ {
+				name := fmt.Sprintf("s%02d", i)
+				srv := server.New(server.Config{ID: name, Ring: ring, Metrics: &metrics.Counters{}})
+				srv.RegisterGroup("g", server.Policy{Consistency: wire.MRC})
+				tcp := transport.NewTCPServer(srv)
+				addr, err := tcp.Serve("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(tcp.Close)
+				names = append(names, name)
+				addrs[name] = addr
+			}
+			key := cryptoutil.DeterministicKeyPair("bench", "t1")
+			ring.MustRegister(key.ID, key.Public)
+			m := &metrics.Counters{}
+			caller := transport.NewTCPCaller(key.ID, addrs, m, mode.opts...)
+			b.Cleanup(caller.Close)
+			cl, err := client.New(client.Config{
+				ID: key.ID, Key: key, Ring: ring, Servers: names, B: bb,
+				Group: "g", Consistency: wire.MRC, Caller: caller, Metrics: m,
+				CallTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := cl.Connect(ctx); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			val := []byte("benchmark value")
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					item := fmt.Sprintf("x%d", seq.Add(1)%64)
+					if _, err := cl.Write(ctx, item, val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkVerifyCache isolates the verified-signature cache: a cache hit
+// replaces an Ed25519 verification (~tens of µs) with a map lookup.
+func BenchmarkVerifyCache(b *testing.B) {
+	key := cryptoutil.DeterministicKeyPair("signer", "bench")
+	data := make([]byte, 1024)
+	sig := key.Sign(data, nil)
+
+	b.Run("Uncached", func(b *testing.B) {
+		ring := cryptoutil.NewKeyring()
+		ring.MustRegister(key.ID, key.Public)
+		for i := 0; i < b.N; i++ {
+			if err := ring.Verify(key.ID, data, sig, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CachedHit", func(b *testing.B) {
+		ring := cryptoutil.NewKeyring()
+		ring.MustRegister(key.ID, key.Public)
+		ring.EnableVerifyCache(16)
+		if err := ring.Verify(key.ID, data, sig, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ring.Verify(key.ID, data, sig, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Micro-benchmarks for the substrates.

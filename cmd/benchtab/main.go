@@ -8,9 +8,11 @@
 //	benchtab -quick          # reduced sweeps, seconds instead of minutes
 //	benchtab -exp e5,e8      # only the named experiments
 //	benchtab -list           # list experiment ids
+//	benchtab -json           # emit the tables as a JSON array instead of text
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +32,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced sweeps for a fast run")
-		exps  = fs.String("exp", "", "comma-separated experiment ids (default: all)")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
-		seed  = fs.String("seed", "benchtab", "seed for reproducible runs")
+		quick  = fs.Bool("quick", false, "reduced sweeps for a fast run")
+		exps   = fs.String("exp", "", "comma-separated experiment ids (default: all)")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		seed   = fs.String("seed", "benchtab", "seed for reproducible runs")
+		asJSON = fs.Bool("json", false, "emit result tables as a JSON array on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +58,7 @@ func run(args []string) error {
 	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed}
-	ran := 0
+	var tables []*bench.Table
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
@@ -65,12 +68,19 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
-		fmt.Println(table.Format())
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		ran++
+		tables = append(tables, table)
+		if !*asJSON {
+			fmt.Println(table.Format())
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
-	if ran == 0 {
+	if len(tables) == 0 {
 		return fmt.Errorf("no experiments matched %q (try -list)", *exps)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
 	}
 	return nil
 }

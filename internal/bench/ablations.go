@@ -306,6 +306,8 @@ func All() []Experiment {
 		{"a4", "ablation: eager single-round reads", A4EagerRead},
 		{"a5", "ablation: gossip modes (push/pull/push-pull)", A5GossipModes},
 		{"a6", "ablation: write-ahead-log durability cost", A6Persistence},
+		{"t1", "transport: multiplexed vs serialized concurrency", T1TransportConcurrency},
+		{"t2", "transport: verified-signature cache savings", T2VerifyCache},
 	}
 }
 
@@ -331,7 +333,7 @@ func A4EagerRead(opts Options) (*Table, error) {
 	}{{"LAN", simnet.LAN}, {"WAN", simnet.WAN}} {
 		for _, eager := range []bool{false, true} {
 			cluster, err := core.NewCluster(core.ClusterConfig{
-				N: 4, B: 1, Seed: opts.seed(), NetProfile: prof.p, DisableAuth: true,
+				N: 4, B: 1, Seed: opts.seed(), NetProfile: prof.p, DisableAuth: true, DisableVerifyCache: true,
 			})
 			if err != nil {
 				return nil, err
@@ -402,7 +404,7 @@ func A5GossipModes(opts Options) (*Table, error) {
 	for _, n := range sizes {
 		for _, mode := range []gossip.Mode{gossip.Push, gossip.Pull, gossip.PushPull} {
 			cluster, err := core.NewCluster(core.ClusterConfig{
-				N: n, B: 1, Seed: opts.seed(), DisableAuth: true,
+				N: n, B: 1, Seed: opts.seed(), DisableAuth: true, DisableVerifyCache: true,
 				GossipMode: mode, GossipFanout: 1,
 			})
 			if err != nil {
@@ -479,7 +481,7 @@ func A6Persistence(opts Options) (*Table, error) {
 			dataDir = dir
 		}
 		cluster, err := core.NewCluster(core.ClusterConfig{
-			N: 4, B: 1, Seed: opts.seed(), DisableAuth: true,
+			N: 4, B: 1, Seed: opts.seed(), DisableAuth: true, DisableVerifyCache: true,
 			DataDir: dataDir, Principals: []string{"alice"},
 		})
 		if err != nil {
@@ -511,7 +513,7 @@ func A6Persistence(opts Options) (*Table, error) {
 		if durable {
 			start = time.Now()
 			c2, err := core.NewCluster(core.ClusterConfig{
-				N: 4, B: 1, Seed: opts.seed(), DisableAuth: true,
+				N: 4, B: 1, Seed: opts.seed(), DisableAuth: true, DisableVerifyCache: true,
 				DataDir: dataDir, Principals: []string{"alice"},
 			})
 			if err != nil {

@@ -52,10 +52,12 @@ type storeEnv struct {
 // newStoreEnv builds a cluster, declares the group, and connects one
 // client whose costs are recorded on M. Auth is disabled so measurements
 // isolate protocol costs (tokens add one verification per request
-// uniformly).
+// uniformly), and the verified-signature cache is disabled so the tables
+// report the paper's inherent per-operation crypto counts — what the cache
+// saves is measured separately by the transport-concurrency experiment.
 func newStoreEnv(n, b int, profile simnet.Profile, group core.GroupSpec, clientID, seed string) (*storeEnv, error) {
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true,
+		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true, DisableVerifyCache: true,
 	})
 	if err != nil {
 		return nil, err
@@ -85,7 +87,7 @@ func newStoreEnv(n, b int, profile simnet.Profile, group core.GroupSpec, clientI
 // engines are created but only run after Cluster.StartGossip).
 func newStoreEnvGossip(n, b int, profile simnet.Profile, group core.GroupSpec, clientID, seed string, gossipInterval time.Duration) (*storeEnv, error) {
 	cluster, err := core.NewCluster(core.ClusterConfig{
-		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true,
+		N: n, B: b, Seed: seed, NetProfile: profile, DisableAuth: true, DisableVerifyCache: true,
 		GossipInterval: gossipInterval, GossipFanout: n - 1,
 	})
 	if err != nil {

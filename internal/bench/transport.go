@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"securestore/internal/client"
+	"securestore/internal/core"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// delayedHandler adds a fixed service delay in front of a real replica,
+// modelling WAN round trips / disk service time deterministically. The
+// sleep happens outside the server's own mutex, so with a multiplexed
+// transport many requests wait it out concurrently.
+type delayedHandler struct {
+	inner transport.Handler
+	delay time.Duration
+}
+
+func (h delayedHandler) ServeRequest(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+	if h.delay > 0 {
+		time.Sleep(h.delay)
+	}
+	return h.inner.ServeRequest(ctx, from, req)
+}
+
+// tcpStoreEnv is a real-socket deployment: n replicas each behind a
+// TCPServer on a loopback port, one client session over a TCPCaller.
+type tcpStoreEnv struct {
+	tcpServers []*transport.TCPServer
+	caller     *transport.TCPCaller
+	Client     *client.Client
+	M          *metrics.Counters
+}
+
+func (e *tcpStoreEnv) Close() {
+	e.caller.Close()
+	for _, s := range e.tcpServers {
+		s.Close()
+	}
+}
+
+// newTCPStoreEnv assembles n=4, b=1 replicas over loopback TCP with the
+// given per-request service delay, and connects one client whose caller is
+// built with callerOpts (e.g. transport.Serialized() for the baseline).
+func newTCPStoreEnv(seed string, delay time.Duration, callerOpts ...transport.CallerOption) (*tcpStoreEnv, error) {
+	wire.RegisterGob()
+	const n, b = 4, 1
+	ring := cryptoutil.NewKeyring()
+	env := &tcpStoreEnv{M: &metrics.Counters{}}
+	names := make([]string, 0, n)
+	addrs := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%02d", i)
+		srv := server.New(server.Config{ID: name, Ring: ring, Metrics: &metrics.Counters{}})
+		srv.RegisterGroup("bench", server.Policy{Consistency: wire.MRC})
+		tcp := transport.NewTCPServer(delayedHandler{inner: srv, delay: delay})
+		addr, err := tcp.Serve("127.0.0.1:0")
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.tcpServers = append(env.tcpServers, tcp)
+		names = append(names, name)
+		addrs[name] = addr
+	}
+	key := cryptoutil.DeterministicKeyPair("t1client", seed)
+	ring.MustRegister(key.ID, key.Public)
+	env.caller = transport.NewTCPCaller(key.ID, addrs, env.M, callerOpts...)
+	cl, err := client.New(client.Config{
+		ID: key.ID, Key: key, Ring: ring, Servers: names, B: b,
+		Group: "bench", Consistency: wire.MRC,
+		Caller: env.caller, Metrics: env.M,
+		CallTimeout: 10 * time.Second, ReadRetries: 1, RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Client = cl
+	return env, nil
+}
+
+// runTCPSessions drives `sessions` concurrent worker sessions, each doing
+// `opsEach` write+read pairs on its own items through the shared
+// connection pool, and returns ops/sec.
+func runTCPSessions(env *tcpStoreEnv, sessions, opsEach int) (float64, error) {
+	ctx := context.Background()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < opsEach; j++ {
+				item := fmt.Sprintf("item-%d-%d", g, j)
+				if _, err := env.Client.Write(ctx, item, []byte("benchmark value")); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if _, _, err := env.Client.Read(ctx, item); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	elapsed := time.Since(start)
+	ops := 2 * sessions * opsEach
+	return float64(ops) / elapsed.Seconds(), nil
+}
+
+// T1TransportConcurrency measures what multiplexing the TCP transport buys
+// under concurrent sessions: with the serialized baseline every request to
+// a replica holds that replica's connection for a full round trip, so
+// concurrent sessions queue; with per-frame IDs they pipeline. The service
+// delay rows model a network/disk where a round trip is not free — the
+// regime the paper's deployment (LAN of workstations) actually runs in.
+func T1TransportConcurrency(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "T1",
+		Title:  "serialized vs multiplexed TCP transport: concurrent-session throughput (n=4, b=1, loopback sockets)",
+		Header: []string{"service delay", "sessions", "serialized ops/s", "multiplexed ops/s", "speedup"},
+		Notes: []string{
+			"each session performs write+read pairs on private items; ops/s counts both",
+			"serialized = one in-flight request per connection (pre-multiplexing wire protocol)",
+			"service delay is added server-side per request, outside the replica lock",
+		},
+	}
+	delays := []time.Duration{0, 2 * time.Millisecond}
+	sessionCounts := pick(opts, []int{1, 4, 8}, []int{1, 4})
+	opsEach := pick(opts, 20, 6)
+
+	run := func(delay time.Duration, sessions int, copts ...transport.CallerOption) (float64, error) {
+		env, err := newTCPStoreEnv(opts.seed(), delay, copts...)
+		if err != nil {
+			return 0, err
+		}
+		defer env.Close()
+		return runTCPSessions(env, sessions, opsEach)
+	}
+
+	for _, delay := range delays {
+		for _, sessions := range sessionCounts {
+			serialized, err := run(delay, sessions, transport.Serialized())
+			if err != nil {
+				return nil, err
+			}
+			multiplexed, err := run(delay, sessions)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				delay.String(),
+				sessions,
+				fmt.Sprintf("%.0f", serialized),
+				fmt.Sprintf("%.0f", multiplexed),
+				fmt.Sprintf("%.2fx", multiplexed/serialized),
+			)
+		}
+	}
+	return t, nil
+}
+
+// T2VerifyCache measures the verified-signature cache: how many real
+// Ed25519 verifications a workload costs with and without it. The same
+// signed write is verified repeatedly across a deployment — once per
+// write-set replica at write time, once per replica on gossip delivery,
+// once per reader — and all but the first are cache hits.
+func T2VerifyCache(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "T2",
+		Title:  "verified-signature cache: Ed25519 verifications per op (n=4, b=1, writes + gossip + far-side reads)",
+		Header: []string{"verify cache", "ops", "server verifies/op", "client verifies/op", "cache hits", "hit rate"},
+		Notes: []string{
+			"workload: writes, anti-entropy convergence, then reads from a far-side client",
+			"cache key binds (digest(data), signer, digest(sig)): a hit can never accept a forgery",
+		},
+	}
+	ctx := context.Background()
+	writes := pick(opts, 32, 8)
+	reads := pick(opts, 32, 8)
+
+	for _, cached := range []bool{false, true} {
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: 4, B: 1, Seed: opts.seed(), DisableAuth: true, DisableVerifyCache: !cached,
+		})
+		if err != nil {
+			return nil, err
+		}
+		group := mrcGroup()
+		cluster.RegisterGroup(group)
+		m := &metrics.Counters{}
+		writer, err := cluster.NewClient(core.ClientSpec{
+			ID: "writer", Group: group.Name, Metrics: m,
+			CallTimeout: 2 * time.Second, ReadRetries: 3, RetryBackoff: 10 * time.Millisecond,
+		}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := writer.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		for i := 0; i < writes; i++ {
+			if _, err := writer.Write(ctx, fmt.Sprintf("item%02d", i%8), []byte("v")); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+		}
+		cluster.Converge()
+
+		readerM := &metrics.Counters{}
+		names := cluster.ServerNames
+		order := make([]string, len(names))
+		for i, name := range names {
+			order[len(names)-1-i] = name
+		}
+		reader, err := cluster.NewClient(core.ClientSpec{
+			ID: "reader", Group: group.Name, Metrics: readerM, ServerOrder: order,
+			CallTimeout: 2 * time.Second, ReadRetries: 3, RetryBackoff: 10 * time.Millisecond,
+		}, group)
+		if err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if err := reader.Connect(ctx); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		for i := 0; i < reads; i++ {
+			if _, _, err := reader.Read(ctx, fmt.Sprintf("item%02d", i%8)); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+		}
+
+		ops := writes + reads
+		serverVerifies := cluster.ServerMetrics.Verifications()
+		clientVerifies := m.Verifications() + readerM.Verifications()
+		hits := cluster.ServerMetrics.VerifyCacheHits() + m.VerifyCacheHits() + readerM.VerifyCacheHits()
+		misses := cluster.ServerMetrics.VerifyCacheMisses() + m.VerifyCacheMisses() + readerM.VerifyCacheMisses()
+		mode := "off"
+		hitRate := "n/a"
+		if cached {
+			mode = "on"
+			if hits+misses > 0 {
+				hitRate = fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
+			}
+		}
+		t.AddRow(mode, ops, perOp(serverVerifies, ops), perOp(clientVerifies, ops), hits, hitRate)
+		cluster.Close()
+	}
+	return t, nil
+}

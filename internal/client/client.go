@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"securestore/internal/accessctl"
@@ -73,11 +74,17 @@ type Config struct {
 	// CallTimeout bounds each quorum operation (default 2s).
 	CallTimeout time.Duration
 	// ReadRetries is how many times a read re-polls for a fresh enough
-	// value before returning ErrStale (default 3).
+	// value before returning ErrStale (default 3). Set to a negative value
+	// to disable retries entirely (a read makes exactly one attempt).
 	ReadRetries int
 	// RetryBackoff is the pause between read retries (default 20ms),
-	// giving dissemination time to deliver the missing write.
+	// giving dissemination time to deliver the missing write. Set to a
+	// negative value for no pause between retries.
 	RetryBackoff time.Duration
+	// ItemParallelism bounds the worker pool used by multi-item
+	// operations (ReconstructContext, RotateDataKey), which fan items out
+	// concurrently instead of one quorum round at a time (default 8).
+	ItemParallelism int
 	// DataKey, when non-nil, encrypts values client-side; servers store
 	// only ciphertext (Section 5.2 confidentiality).
 	DataKey *cryptoutil.DataKey
@@ -98,11 +105,22 @@ func (c *Config) withDefaults() Config {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	if cfg.ReadRetries <= 0 {
+	// Negative values are the explicit "disabled" sentinel; only the zero
+	// value (left unset) restores the default.
+	switch {
+	case cfg.ReadRetries < 0:
+		cfg.ReadRetries = 0
+	case cfg.ReadRetries == 0:
 		cfg.ReadRetries = 3
 	}
-	if cfg.RetryBackoff <= 0 {
+	switch {
+	case cfg.RetryBackoff < 0:
+		cfg.RetryBackoff = 0
+	case cfg.RetryBackoff == 0:
 		cfg.RetryBackoff = 20 * time.Millisecond
+	}
+	if cfg.ItemParallelism <= 0 {
+		cfg.ItemParallelism = 8
 	}
 	if cfg.Consistency == 0 {
 		cfg.Consistency = wire.MRC
@@ -110,12 +128,17 @@ func (c *Config) withDefaults() Config {
 	return cfg
 }
 
-// Client is one client session with the secure store. Not safe for
-// concurrent use: a session is a single principal's thread of interaction,
-// and its context evolves sequentially (as in the paper).
+// Client is one client session with the secure store. A session is a
+// single principal's thread of interaction and its context evolves
+// sequentially (as in the paper), but the client's mutable state is
+// mutex-guarded: multi-item operations fan out internally across a worker
+// pool, and their concurrent context updates (all monotone merges) are
+// race-free.
 type Client struct {
-	cfg       Config
-	n         int
+	cfg Config
+	n   int
+
+	mu        sync.Mutex // guards ctxVec, seq, clock, connected, cfg.DataKey
 	ctxVec    sessionctx.Vector
 	seq       uint64
 	clock     timestamp.Clock
@@ -144,13 +167,25 @@ func New(cfg Config) (*Client, error) {
 func (c *Client) ID() string { return c.cfg.ID }
 
 // Context returns a copy of the client's current context vector.
-func (c *Client) Context() sessionctx.Vector { return c.ctxVec.Clone() }
+func (c *Client) Context() sessionctx.Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctxVec.Clone()
+}
 
 // ContextSeq returns the sequence number of the last stored context.
-func (c *Client) ContextSeq() uint64 { return c.seq }
+func (c *Client) ContextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
 
 // Connected reports whether a session is active.
-func (c *Client) Connected() bool { return c.connected }
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connected
+}
 
 // Connect initiates a session: it collects the client's stored context
 // from at least ⌈(n+b+1)/2⌉ servers, verifies signatures, and adopts the
@@ -198,13 +233,15 @@ func (c *Client) Connect(ctx context.Context) error {
 		}
 	}
 
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.ctxVec = sessionctx.NewVector()
 	c.seq = 0
 	if best != nil {
 		c.ctxVec = best.Vector.Clone()
 		c.seq = best.Seq
 	}
-	c.observeContextClock()
+	c.observeContextClockLocked()
 	c.connected = true
 	return nil
 }
@@ -213,19 +250,22 @@ func (c *Client) Connect(ctx context.Context) error {
 // (with an incremented sequence number) and stores it at ⌈(n+b+1)/2⌉
 // servers (Figure 1).
 func (c *Client) Disconnect(ctx context.Context) error {
+	c.mu.Lock()
 	if !c.connected {
+		c.mu.Unlock()
 		return ErrNotConnected
 	}
-	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-	defer cancel()
-
 	signed := &sessionctx.Signed{
 		Owner:  c.cfg.ID,
 		Group:  c.cfg.Group,
 		Seq:    c.seq + 1,
 		Vector: c.ctxVec.Clone(),
 	}
+	c.mu.Unlock()
 	signed.Sign(c.cfg.Key, c.cfg.Metrics)
+
+	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
 
 	need := quorum.ContextQuorum(c.n, c.cfg.B)
 	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
@@ -233,8 +273,10 @@ func (c *Client) Disconnect(ctx context.Context) error {
 	}, need); err != nil {
 		return fmt.Errorf("disconnect: %w", err)
 	}
+	c.mu.Lock()
 	c.seq = signed.Seq
 	c.connected = false
+	c.mu.Unlock()
 	return nil
 }
 
@@ -242,15 +284,20 @@ func (c *Client) Disconnect(ctx context.Context) error {
 // ended without Disconnect (Section 5.1): it reads the named items from
 // *all* servers, verifies each returned signed write, and adopts the
 // latest valid stamp per item. Expensive by design — "a more expensive
-// protocol is used to reconstruct the context".
+// protocol is used to reconstruct the context" — so the items are fanned
+// out across a bounded worker pool (Config.ItemParallelism) instead of one
+// quorum round at a time.
 func (c *Client) ReconstructContext(ctx context.Context, items []string) error {
-	vec := sessionctx.NewVector()
-	for _, item := range items {
+	var (
+		vecMu sync.Mutex
+		vec   = sessionctx.NewVector()
+	)
+	err := c.forEachItem(ctx, items, func(ctx context.Context, item string) error {
 		opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		defer cancel()
 		replies, err := quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
 			return wire.ValueReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
 		}, c.n-c.cfg.B)
-		cancel()
 		if err != nil {
 			return fmt.Errorf("reconstruct context: item %s: %w", item, err)
 		}
@@ -265,21 +312,72 @@ func (c *Client) ReconstructContext(ctx context.Context, items []string) error {
 			if err := resp.Write.Verify(c.cfg.Ring, c.cfg.Metrics); err != nil {
 				continue
 			}
+			vecMu.Lock()
 			vec.Update(item, resp.Write.Stamp)
+			vecMu.Unlock()
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.ctxVec = vec
-	c.observeContextClock()
+	c.observeContextClockLocked()
 	c.connected = true
 	return nil
 }
 
-// observeContextClock raises the write clock above every stamp in the
-// context so a reconnecting writer never reuses a timestamp.
-func (c *Client) observeContextClock() {
+// observeContextClockLocked raises the write clock above every stamp in
+// the context so a reconnecting writer never reuses a timestamp. Caller
+// holds c.mu.
+func (c *Client) observeContextClockLocked() {
 	for _, ts := range c.ctxVec {
 		c.clock.Observe(ts.Time)
 	}
+}
+
+// forEachItem runs fn for every item on a pool of at most
+// Config.ItemParallelism workers. The first error cancels the remaining
+// work and is returned.
+func (c *Client) forEachItem(ctx context.Context, items []string, fn func(ctx context.Context, item string) error) error {
+	if len(items) == 0 {
+		return nil
+	}
+	workers := c.cfg.ItemParallelism
+	if workers > len(items) {
+		workers = len(items)
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	work := make(chan string)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				if poolCtx.Err() != nil {
+					continue // drain: another worker already failed
+				}
+				if err := fn(poolCtx, item); err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+				}
+			}
+		}()
+	}
+	for _, item := range items {
+		work <- item
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
 }
 
 // SetDataKey rotates the client-side encryption key. The paper's owner
@@ -287,16 +385,26 @@ func (c *Client) observeContextClock() {
 // re-encrypt and write the items back; subsequent writes seal under the
 // new key. Passing nil disables encryption.
 func (c *Client) SetDataKey(key *cryptoutil.DataKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.cfg.DataKey = key
+}
+
+// dataKey returns the current encryption key (nil when disabled).
+func (c *Client) dataKey() *cryptoutil.DataKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.DataKey
 }
 
 // seal encrypts the value when a data key is configured, binding it to the
 // item so ciphertexts cannot be replayed across items.
 func (c *Client) seal(item string, value []byte) ([]byte, error) {
-	if c.cfg.DataKey == nil {
+	key := c.dataKey()
+	if key == nil {
 		return value, nil
 	}
-	sealed, err := c.cfg.DataKey.Seal(value, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
+	sealed, err := key.Seal(value, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("seal %s: %w", item, err)
 	}
@@ -305,10 +413,11 @@ func (c *Client) seal(item string, value []byte) ([]byte, error) {
 
 // open decrypts a stored value when a data key is configured.
 func (c *Client) open(item string, stored []byte) ([]byte, error) {
-	if c.cfg.DataKey == nil {
+	key := c.dataKey()
+	if key == nil {
 		return stored, nil
 	}
-	plain, err := c.cfg.DataKey.Open(stored, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
+	plain, err := key.Open(stored, []byte(c.cfg.Group+"/"+item), c.cfg.Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("open %s: %w", item, err)
 	}
@@ -322,26 +431,43 @@ func (c *Client) open(item string, stored []byte) ([]byte, error) {
 // re-sealed and written back under fresh timestamps. Items that fail to
 // read as absent are skipped; any other failure aborts before the key is
 // switched, leaving the session fully on the old key.
+// Both phases fan out across the item worker pool: all reads proceed
+// concurrently under the old key, then — only after every read finished —
+// the key switches and the rewrites proceed concurrently under the new
+// one.
 func (c *Client) RotateDataKey(ctx context.Context, items []string, newKey *cryptoutil.DataKey) error {
-	if !c.connected {
+	if !c.Connected() {
 		return ErrNotConnected
 	}
-	plaintexts := make(map[string][]byte, len(items))
-	for _, item := range items {
+	var (
+		ptMu       sync.Mutex
+		plaintexts = make(map[string][]byte, len(items))
+	)
+	err := c.forEachItem(ctx, items, func(ctx context.Context, item string) error {
 		value, _, err := c.Read(ctx, item)
 		if err != nil {
 			if errors.Is(err, ErrStale) {
-				continue // never written (or unreachable as absent): nothing to re-encrypt
+				return nil // never written (or unreachable as absent): nothing to re-encrypt
 			}
 			return fmt.Errorf("rotate key: read %s: %w", item, err)
 		}
+		ptMu.Lock()
 		plaintexts[item] = value
+		ptMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	c.SetDataKey(newKey)
-	for item, value := range plaintexts {
-		if _, err := c.Write(ctx, item, value); err != nil {
+	rewrite := make([]string, 0, len(plaintexts))
+	for item := range plaintexts {
+		rewrite = append(rewrite, item)
+	}
+	return c.forEachItem(ctx, rewrite, func(ctx context.Context, item string) error {
+		if _, err := c.Write(ctx, item, plaintexts[item]); err != nil {
 			return fmt.Errorf("rotate key: rewrite %s: %w", item, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }

@@ -1,0 +1,263 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+)
+
+// TestWithDefaultsSentinels pins the -1 convention: zero means "use the
+// default", negative means "explicitly off". Before the sentinel existed,
+// ReadRetries: 0 silently became 3 and there was no way to disable the
+// retry loop at all.
+func TestWithDefaultsSentinels(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          Config
+		wantRetries int
+		wantBackoff time.Duration
+		wantWorkers int
+	}{
+		{"zero values take defaults", Config{}, 3, 20 * time.Millisecond, 8},
+		{"negative disables", Config{ReadRetries: -1, RetryBackoff: -1}, 0, 0, 8},
+		{"positive preserved", Config{ReadRetries: 7, RetryBackoff: time.Second, ItemParallelism: 2}, 7, time.Second, 2},
+	}
+	for _, tc := range cases {
+		got := tc.in.withDefaults()
+		if got.ReadRetries != tc.wantRetries {
+			t.Errorf("%s: ReadRetries = %d, want %d", tc.name, got.ReadRetries, tc.wantRetries)
+		}
+		if got.RetryBackoff != tc.wantBackoff {
+			t.Errorf("%s: RetryBackoff = %v, want %v", tc.name, got.RetryBackoff, tc.wantBackoff)
+		}
+		if got.ItemParallelism != tc.wantWorkers {
+			t.Errorf("%s: ItemParallelism = %d, want %d", tc.name, got.ItemParallelism, tc.wantWorkers)
+		}
+	}
+}
+
+// TestSentinelDisablesRetryLoop checks the behavioral half: with
+// ReadRetries: -1 a read that cannot be satisfied fails in a single
+// attempt instead of sleeping through the retry schedule.
+func TestSentinelDisablesRetryLoop(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "writer", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stamp, err := writer.Write(ctx, "x", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &metrics.Counters{}
+	reader := r.client(t, "reader", 1, func(cfg *Config) {
+		cfg.Metrics = m
+		cfg.ReadRetries = -1
+		cfg.RetryBackoff = 500 * time.Millisecond // would dominate if the loop ran
+	})
+	if err := reader.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Demand the fresh stamp while the servers holding it are down: the
+	// read can never succeed, and with retries disabled it must say so
+	// immediately.
+	reader.ctxVec.Update("x", stamp)
+	for _, srv := range r.servers {
+		srv.SetFault(server.Crash)
+	}
+	start := time.Now()
+	_, _, err = reader.Read(ctx, "x")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("read succeeded against an all-crashed cluster")
+	}
+	if got := m.Custom("read.retries"); got != 0 {
+		t.Fatalf("%d retries recorded with ReadRetries: -1", got)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("single-attempt read took %v; retry backoff appears active", elapsed)
+	}
+}
+
+// TestForEachItemRunsWorkersConcurrently proves the pool is actually
+// parallel: with parallelism 4, four items block on a shared barrier that
+// only opens once all four workers have arrived. A serialized loop would
+// deadlock here (guarded by the test timeout below).
+func TestForEachItemRunsWorkersConcurrently(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) { cfg.ItemParallelism = 4 })
+
+	const workers = 4
+	var arrived atomic.Int64
+	barrier := make(chan struct{})
+	items := []string{"a", "b", "c", "d"}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.forEachItem(context.Background(), items, func(_ context.Context, _ string) error {
+			if arrived.Add(1) == workers {
+				close(barrier)
+			}
+			select {
+			case <-barrier:
+				return nil
+			case <-time.After(5 * time.Second):
+				return errors.New("barrier never opened: workers not concurrent")
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("forEachItem hung")
+	}
+	if n := arrived.Load(); n != workers {
+		t.Fatalf("fn ran %d times, want %d", n, workers)
+	}
+}
+
+// TestForEachItemFirstErrorCancelsRest: one failing item must cancel the
+// remaining work (workers see a dead context) and surface as the returned
+// error.
+func TestForEachItemFirstErrorCancelsRest(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) { cfg.ItemParallelism = 2 })
+
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	items := make([]string, 64)
+	for i := range items {
+		items[i] = fmt.Sprintf("item%d", i)
+	}
+	err := c.forEachItem(context.Background(), items, func(ctx context.Context, item string) error {
+		ran.Add(1)
+		if item == "item0" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Fatalf("all %d items ran despite early error; cancellation not propagating", n)
+	}
+}
+
+// TestReconstructContextParallelMatchesStamps runs the post-crash context
+// reconstruction over many items through a small worker pool and checks the
+// rebuilt context holds exactly the latest stamp of every item — the
+// parallel fan-out must not mix up items or drop updates.
+func TestReconstructContextParallelMatchesStamps(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	writer := r.client(t, "alice", 1, nil)
+	ctx := context.Background()
+	if err := writer.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const items = 24
+	want := make(map[string]uint64, items)
+	for i := 0; i < items; i++ {
+		item := fmt.Sprintf("item%02d", i)
+		// Two writes per item: reconstruction must adopt the second stamp.
+		if _, err := writer.Write(ctx, item, []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		stamp, err := writer.Write(ctx, item, []byte(fmt.Sprintf("new%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[item] = stamp.Time
+	}
+
+	// A fresh client for the same principal, as after a crash: no
+	// Disconnect happened, so the stored context is stale and the session
+	// rebuilds from the servers.
+	revived := r.client(t, "alice", 1, func(cfg *Config) { cfg.ItemParallelism = 3 })
+	names := make([]string, 0, items)
+	for item := range want {
+		names = append(names, item)
+	}
+	if err := revived.ReconstructContext(ctx, names); err != nil {
+		t.Fatal(err)
+	}
+	vec := revived.Context()
+	for item, wantTime := range want {
+		got := vec.Get(item)
+		if got.Time != wantTime {
+			t.Fatalf("%s: context stamp %d, want %d", item, got.Time, wantTime)
+		}
+	}
+	// And the revived session reads its own (pre-crash) writes.
+	got, _, err := revived.Read(ctx, "item07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("new7")) {
+		t.Fatalf("post-reconstruction read = %q", got)
+	}
+}
+
+// TestRotateDataKeyParallelManyItems exercises the rotation's two parallel
+// phases (bulk read, bulk rewrite) over enough items to keep the pool busy,
+// including one item written before encryption was enabled.
+func TestRotateDataKeyParallelManyItems(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) { cfg.ItemParallelism = 4 })
+	ctx := context.Background()
+	if err := c.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oldKey := cryptoutil.DeriveDataKey("old", "g")
+	c.SetDataKey(&oldKey)
+	const items = 16
+	var names []string
+	var wg sync.WaitGroup
+	for i := 0; i < items; i++ {
+		names = append(names, fmt.Sprintf("doc%02d", i))
+	}
+	for _, item := range names {
+		if _, err := c.Write(ctx, item, []byte("secret-"+item)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newKey := cryptoutil.DeriveDataKey("new", "g")
+	if err := c.RotateDataKey(ctx, names, &newKey); err != nil {
+		t.Fatal(err)
+	}
+	// All items readable under the new key, concurrently.
+	errs := make(chan error, items)
+	for _, item := range names {
+		wg.Add(1)
+		go func(item string) {
+			defer wg.Done()
+			got, _, err := c.Read(ctx, item)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", item, err)
+				return
+			}
+			if !bytes.Equal(got, []byte("secret-"+item)) {
+				errs <- fmt.Errorf("%s: read %q", item, got)
+			}
+		}(item)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

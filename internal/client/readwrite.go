@@ -19,7 +19,7 @@ import (
 // In multi-writer mode the timestamp is the augmented 3-tuple
 // (time, uid, digest) of Section 5.3.
 func (c *Client) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
-	if !c.connected {
+	if !c.Connected() {
 		return timestamp.Stamp{}, ErrNotConnected
 	}
 	stored, err := c.seal(item, value)
@@ -27,6 +27,7 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 		return timestamp.Stamp{}, err
 	}
 
+	c.mu.Lock()
 	stamp := timestamp.Stamp{Time: c.clock.Next(c.ctxVec.Get(item).Time)}
 	if c.cfg.MultiWriter {
 		stamp.Writer = c.cfg.ID
@@ -46,6 +47,7 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 		vec.Update(item, stamp)
 		w.WriterCtx = vec
 	}
+	c.mu.Unlock()
 	w.Sign(c.cfg.Key, c.cfg.Metrics)
 
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
@@ -57,7 +59,9 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 		return timestamp.Stamp{}, fmt.Errorf("write %s: %w", item, err)
 	}
 
+	c.mu.Lock()
 	c.ctxVec.Update(item, stamp)
+	c.mu.Unlock()
 	return stamp, nil
 }
 
@@ -69,7 +73,7 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 // additional servers, then retries after a backoff — the paper's two
 // remedies — before giving up with ErrStale.
 func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
-	if !c.connected {
+	if !c.Connected() {
 		return nil, timestamp.Stamp{}, ErrNotConnected
 	}
 	var (
@@ -102,11 +106,13 @@ func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp
 	}
 
 	// Update the context per the consistency level (Figure 2).
+	c.mu.Lock()
 	if c.cfg.Consistency == wire.CC && write.WriterCtx != nil {
 		c.ctxVec.Merge(write.WriterCtx)
 	}
 	c.ctxVec.Update(item, write.Stamp)
 	c.clock.Observe(write.Stamp.Time)
+	c.mu.Unlock()
 
 	value, err := c.open(item, write.Value)
 	if err != nil {
@@ -121,7 +127,9 @@ func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp
 // write from servers advertising fresh copies (best first) and accept the
 // first one whose signature checks out and whose stamp is fresh enough.
 func (c *Client) readSingleWriter(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	c.mu.Lock()
 	floor := c.ctxVec.Get(item)
+	c.mu.Unlock()
 
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
@@ -181,7 +189,9 @@ func (c *Client) readSingleWriter(ctx context.Context, item string) (*wire.Signe
 // that verifies and satisfies the context floor. Falls back to the
 // two-phase widened read when the first quorum has nothing fresh enough.
 func (c *Client) readEager(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	c.mu.Lock()
 	floor := c.ctxVec.Get(item)
+	c.mu.Unlock()
 
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
@@ -252,7 +262,9 @@ func freshCandidates(replies []quorum.Reply, floor timestamp.Stamp) []candidate 
 // The client performs no signature verification here — validation happened
 // at the servers (Section 6).
 func (c *Client) readMultiWriter(ctx context.Context, item string) (*wire.SignedWrite, error) {
+	c.mu.Lock()
 	floor := c.ctxVec.Get(item)
+	c.mu.Unlock()
 
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()

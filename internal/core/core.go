@@ -48,6 +48,12 @@ type ClusterConfig struct {
 	// DisableAuth omits the authorization service (micro-benchmarks that
 	// isolate protocol costs from token verification).
 	DisableAuth bool
+	// DisableVerifyCache turns off the keyring's verified-signature cache
+	// (enabled by default; see cryptoutil.VerifyCache). Used by ablations
+	// that measure what the cache saves.
+	DisableVerifyCache bool
+	// VerifyCacheSize bounds the verified-signature cache (default 4096).
+	VerifyCacheSize int
 	// DisableCausalGating turns off server-side causal gating (ablation
 	// A1 only).
 	DisableCausalGating bool
@@ -135,6 +141,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Ring:          cryptoutil.NewKeyring(),
 		Net:           simnet.New(cfg.NetProfile, seedInt(cfg.Seed)),
 		ServerMetrics: &metrics.Counters{},
+	}
+	if !cfg.DisableVerifyCache {
+		size := cfg.VerifyCacheSize
+		if size <= 0 {
+			size = 4096
+		}
+		c.Ring.EnableVerifyCache(size)
 	}
 	c.Bus = transport.NewBus(c.Net)
 

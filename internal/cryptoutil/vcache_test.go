@@ -1,0 +1,138 @@
+package cryptoutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"securestore/internal/metrics"
+)
+
+func cachedRing(t *testing.T, capacity int) (*Keyring, KeyPair) {
+	t.Helper()
+	ring := NewKeyring()
+	ring.EnableVerifyCache(capacity)
+	key := DeterministicKeyPair("alice", "vcache")
+	ring.MustRegister(key.ID, key.Public)
+	return ring, key
+}
+
+func TestVerifyCacheHitSkipsVerification(t *testing.T) {
+	ring, key := cachedRing(t, 8)
+	m := &metrics.Counters{}
+	data := []byte("payload")
+	sig := key.Sign(data, m)
+
+	if err := ring.Verify(key.ID, data, sig, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Verify(key.ID, data, sig, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Verifications(); got != 1 {
+		t.Fatalf("real verifications = %d, want 1 (second call should hit the cache)", got)
+	}
+	if hits, misses := m.VerifyCacheHits(), m.VerifyCacheMisses(); hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+// TestVerifyCacheRejectsForgeries is the safety property of DESIGN.md
+// §7.2: the cache key binds (digest(data), signer, digest(sig)), so a
+// message differing in any of the three can never ride a cached success.
+func TestVerifyCacheRejectsForgeries(t *testing.T) {
+	ring, key := cachedRing(t, 8)
+	mallory := DeterministicKeyPair("mallory", "vcache")
+	ring.MustRegister(mallory.ID, mallory.Public)
+	m := &metrics.Counters{}
+	data := []byte("payload")
+	sig := key.Sign(data, m)
+	// Warm the cache with the genuine triple.
+	if err := ring.Verify(key.ID, data, sig, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Altered data under the cached signature.
+	if err := ring.Verify(key.ID, []byte("payloae"), sig, m); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered data = %v, want ErrBadSignature", err)
+	}
+	// Same data and signature claimed by a different (registered) signer.
+	if err := ring.Verify(mallory.ID, data, sig, m); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong signer = %v, want ErrBadSignature", err)
+	}
+	// Flipped signature bit over the cached data.
+	badSig := append([]byte(nil), sig...)
+	badSig[0] ^= 1
+	if err := ring.Verify(key.ID, data, badSig, m); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered signature = %v, want ErrBadSignature", err)
+	}
+	// Failures must not be cached: the same forgery fails again.
+	if err := ring.Verify(key.ID, data, badSig, m); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("repeated forgery = %v, want ErrBadSignature", err)
+	}
+	// And the genuine triple still hits.
+	hitsBefore := m.VerifyCacheHits()
+	if err := ring.Verify(key.ID, data, sig, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.VerifyCacheHits() != hitsBefore+1 {
+		t.Fatal("genuine triple no longer hits after forgery attempts")
+	}
+}
+
+func TestVerifyCacheEvictsLRU(t *testing.T) {
+	ring, key := cachedRing(t, 4)
+	m := &metrics.Counters{}
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("payload-%d", i)) }
+	sigs := make(map[int][]byte)
+	for i := 0; i < 6; i++ {
+		sigs[i] = key.Sign(payload(i), m)
+		if err := ring.Verify(key.ID, payload(i), sigs[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ring.verifyCache().Len(); n != 4 {
+		t.Fatalf("cache holds %d entries, want capacity 4", n)
+	}
+	// 0 and 1 were evicted: verifying them again is a miss (a real
+	// verification), not a hit.
+	verifs := m.Verifications()
+	if err := ring.Verify(key.ID, payload(0), sigs[0], m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Verifications() != verifs+1 {
+		t.Fatal("evicted entry still hit the cache")
+	}
+	// 5 is fresh: still a hit.
+	verifs = m.Verifications()
+	if err := ring.Verify(key.ID, payload(5), sigs[5], m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Verifications() != verifs {
+		t.Fatal("recent entry missed the cache")
+	}
+}
+
+func TestVerifyCacheConcurrentUse(t *testing.T) {
+	ring, key := cachedRing(t, 32)
+	data := []byte("shared")
+	sig := key.Sign(data, nil)
+	done := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			m := &metrics.Counters{}
+			for i := 0; i < 100; i++ {
+				if err := ring.Verify(key.ID, data, sig, m); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,8 @@ type Counters struct {
 	bytesSent     atomic.Int64
 	signatures    atomic.Int64
 	verifications atomic.Int64
+	vcacheHits    atomic.Int64
+	vcacheMisses  atomic.Int64
 	encryptions   atomic.Int64
 	decryptions   atomic.Int64
 
@@ -33,6 +35,8 @@ type Snapshot struct {
 	BytesSent     int64            `json:"bytesSent"`
 	Signatures    int64            `json:"signatures"`
 	Verifications int64            `json:"verifications"`
+	VCacheHits    int64            `json:"vcacheHits"`
+	VCacheMisses  int64            `json:"vcacheMisses"`
 	Encryptions   int64            `json:"encryptions"`
 	Decryptions   int64            `json:"decryptions"`
 	Custom        map[string]int64 `json:"custom,omitempty"`
@@ -61,6 +65,24 @@ func (c *Counters) AddVerification() {
 		return
 	}
 	c.verifications.Add(1)
+}
+
+// AddVerifyCacheHit records one signature verification avoided because the
+// exact (data, signer, signature) triple was already verified.
+func (c *Counters) AddVerifyCacheHit() {
+	if c == nil {
+		return
+	}
+	c.vcacheHits.Add(1)
+}
+
+// AddVerifyCacheMiss records one verification-cache lookup that fell
+// through to a real Ed25519 verification.
+func (c *Counters) AddVerifyCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.vcacheMisses.Add(1)
 }
 
 // AddEncryption records one symmetric encryption operation.
@@ -127,6 +149,22 @@ func (c *Counters) Verifications() int64 {
 	return c.verifications.Load()
 }
 
+// VerifyCacheHits returns the number of cache-satisfied verifications.
+func (c *Counters) VerifyCacheHits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.vcacheHits.Load()
+}
+
+// VerifyCacheMisses returns the number of verification-cache misses.
+func (c *Counters) VerifyCacheMisses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.vcacheMisses.Load()
+}
+
 // Snapshot copies the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	if c == nil {
@@ -143,6 +181,8 @@ func (c *Counters) Snapshot() Snapshot {
 		BytesSent:     c.bytesSent.Load(),
 		Signatures:    c.signatures.Load(),
 		Verifications: c.verifications.Load(),
+		VCacheHits:    c.vcacheHits.Load(),
+		VCacheMisses:  c.vcacheMisses.Load(),
 		Encryptions:   c.encryptions.Load(),
 		Decryptions:   c.decryptions.Load(),
 		Custom:        custom,
@@ -158,6 +198,8 @@ func (c *Counters) Reset() {
 	c.bytesSent.Store(0)
 	c.signatures.Store(0)
 	c.verifications.Store(0)
+	c.vcacheHits.Store(0)
+	c.vcacheMisses.Store(0)
 	c.encryptions.Store(0)
 	c.decryptions.Store(0)
 	c.mu.Lock()
@@ -176,6 +218,8 @@ func Diff(before, after Snapshot) Snapshot {
 		BytesSent:     after.BytesSent - before.BytesSent,
 		Signatures:    after.Signatures - before.Signatures,
 		Verifications: after.Verifications - before.Verifications,
+		VCacheHits:    after.VCacheHits - before.VCacheHits,
+		VCacheMisses:  after.VCacheMisses - before.VCacheMisses,
 		Encryptions:   after.Encryptions - before.Encryptions,
 		Decryptions:   after.Decryptions - before.Decryptions,
 		Custom:        custom,
@@ -186,6 +230,9 @@ func Diff(before, after Snapshot) Snapshot {
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("msgs=%d bytes=%d sig=%d verify=%d enc=%d dec=%d",
 		s.MessagesSent, s.BytesSent, s.Signatures, s.Verifications, s.Encryptions, s.Decryptions)
+	if s.VCacheHits != 0 || s.VCacheMisses != 0 {
+		out += fmt.Sprintf(" vcache=%d/%d", s.VCacheHits, s.VCacheHits+s.VCacheMisses)
+	}
 	if len(s.Custom) > 0 {
 		keys := make([]string, 0, len(s.Custom))
 		for k := range s.Custom {

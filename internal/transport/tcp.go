@@ -12,8 +12,12 @@ import (
 	"securestore/internal/wire"
 )
 
-// envelope frames one request on the wire.
+// envelope frames one request on the wire. ID is the caller-chosen frame
+// identifier echoed in the reply, which lets many requests share one
+// connection (pipelining): the caller's demux loop routes each reply back
+// to the Call that sent the matching request.
 type envelope struct {
+	ID   uint64
 	From string
 	Req  wire.Request
 }
@@ -21,13 +25,19 @@ type envelope struct {
 // replyEnvelope frames one response. Err carries an application-level
 // failure as text (the caller reconstructs it as an opaque error).
 type replyEnvelope struct {
+	ID   uint64
 	Resp wire.Response
 	Err  string
 }
 
+// maxInflightPerConn bounds concurrent handler goroutines per server
+// connection so a flooding client cannot exhaust server memory.
+const maxInflightPerConn = 256
+
 // TCPServer serves a Handler over a TCP listener using gob-encoded frames.
-// One goroutine per connection; requests on a connection are processed
-// sequentially.
+// One goroutine per connection reads frames; each request is handled in its
+// own goroutine (bounded per connection) so slow requests do not block the
+// pipeline, and responses are written back matched by frame ID.
 type TCPServer struct {
 	handler Handler
 
@@ -87,7 +97,13 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+
+	var (
+		handlers sync.WaitGroup
+		writeMu  sync.Mutex // serializes interleaved response frames
+	)
 	defer func() {
+		handlers.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -96,25 +112,36 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return // connection closed or corrupt
 		}
-		resp, err := s.handler.ServeRequest(context.Background(), env.From, env.Req)
-		if errors.Is(err, ErrNoReply) {
-			// Mute server: swallow the request, send nothing.
-			continue
-		}
-		var reply replyEnvelope
-		if err != nil {
-			reply.Err = err.Error()
-		} else {
-			reply.Resp = resp
-		}
-		if err := enc.Encode(&reply); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(env envelope) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp, err := s.handler.ServeRequest(context.Background(), env.From, env.Req)
+			if errors.Is(err, ErrNoReply) {
+				// Mute server: swallow the request, send nothing. Only this
+				// frame stays unanswered; the connection keeps serving.
+				return
+			}
+			reply := replyEnvelope{ID: env.ID}
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Resp = resp
+			}
+			writeMu.Lock()
+			err = enc.Encode(&reply)
+			writeMu.Unlock()
+			if err != nil {
+				_ = conn.Close() // encoder is poisoned; drop the connection
+			}
+		}(env)
 	}
 }
 
@@ -133,67 +160,116 @@ func (s *TCPServer) Close() {
 	s.wg.Wait()
 }
 
+// CallerOption configures a TCPCaller.
+type CallerOption func(*TCPCaller)
+
+// Serialized restores the pre-multiplexing behaviour: at most one request
+// in flight per connection, later calls queueing behind earlier ones. It
+// exists so benchmarks and experiments can measure what pipelining buys;
+// real deployments should never use it.
+func Serialized() CallerOption {
+	return func(c *TCPCaller) { c.serialized = true }
+}
+
 // TCPCaller issues requests to TCP servers. It maintains one persistent
-// connection per destination, serializing calls on each.
+// connection per destination and pipelines concurrent calls over it: each
+// request carries a frame ID, a per-connection demux goroutine routes
+// replies back to their callers, and every call honours its own context —
+// a cancelled call releases immediately without disturbing the connection
+// or the other in-flight requests.
 type TCPCaller struct {
-	origin  string
-	metrics *metrics.Counters
+	origin     string
+	metrics    *metrics.Counters
+	serialized bool
 
 	mu    sync.Mutex
 	addrs map[string]string // server name -> address
 	conns map[string]*tcpConn
 }
 
+// tcpConn is one multiplexed connection: a shared encoder guarded by encMu
+// and a demux reader that completes pending calls by frame ID.
 type tcpConn struct {
-	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+
+	callMu sync.Mutex // held across the whole call in Serialized mode only
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan replyEnvelope
+	broken  error // set once the demux loop dies; conn is unusable
 }
 
 var _ Caller = (*TCPCaller)(nil)
 
 // NewTCPCaller creates a caller for the origin principal. addrs maps server
 // names to their TCP addresses.
-func NewTCPCaller(origin string, addrs map[string]string, m *metrics.Counters) *TCPCaller {
+func NewTCPCaller(origin string, addrs map[string]string, m *metrics.Counters, opts ...CallerOption) *TCPCaller {
 	copied := make(map[string]string, len(addrs))
 	for k, v := range addrs {
 		copied[k] = v
 	}
-	return &TCPCaller{origin: origin, metrics: m, addrs: copied, conns: make(map[string]*tcpConn)}
+	c := &TCPCaller{origin: origin, metrics: m, addrs: copied, conns: make(map[string]*tcpConn)}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Origin returns the caller's principal name.
 func (c *TCPCaller) Origin() string { return c.origin }
 
-// Call implements Caller over TCP.
+// Call implements Caller over TCP. Concurrent calls to the same server are
+// pipelined over one connection; each call waits only for its own reply or
+// its own context, whichever comes first.
 func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
-	tc, err := c.conn(to)
+	tc, err := c.conn(ctx, to)
 	if err != nil {
 		return nil, err
 	}
-
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = tc.conn.SetDeadline(deadline)
+	if c.serialized {
+		tc.callMu.Lock()
+		defer tc.callMu.Unlock()
 	}
-	c.metrics.AddMessage(0)
-	if err := tc.enc.Encode(&envelope{From: c.origin, Req: req}); err != nil {
-		c.drop(to)
+
+	id, ch, err := tc.register()
+	if err != nil {
+		c.drop(to, tc)
 		return nil, fmt.Errorf("send to %s: %w", to, err)
 	}
-	var reply replyEnvelope
-	if err := tc.dec.Decode(&reply); err != nil {
-		c.drop(to)
-		return nil, fmt.Errorf("receive from %s: %w", to, err)
-	}
+
 	c.metrics.AddMessage(0)
-	if reply.Err != "" {
-		return nil, fmt.Errorf("call %s: %s", to, reply.Err)
+	tc.encMu.Lock()
+	err = tc.enc.Encode(&envelope{ID: id, From: c.origin, Req: req})
+	tc.encMu.Unlock()
+	if err != nil {
+		tc.unregister(id)
+		c.drop(to, tc)
+		return nil, fmt.Errorf("send to %s: %w", to, err)
 	}
-	return reply.Resp, nil
+
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			// Demux loop died: connection lost mid-call.
+			c.drop(to, tc)
+			return nil, fmt.Errorf("receive from %s: %w", to, tc.brokenErr())
+		}
+		c.metrics.AddMessage(0)
+		if reply.Err != "" {
+			return nil, fmt.Errorf("call %s: %s", to, reply.Err)
+		}
+		return reply.Resp, nil
+	case <-ctx.Done():
+		// Abandon only this frame: the connection and the other in-flight
+		// calls stay healthy. A reply arriving later is discarded by the
+		// demux loop.
+		tc.unregister(id)
+		return nil, fmt.Errorf("call %s: %w", to, ctx.Err())
+	}
 }
 
 // Close closes all cached connections.
@@ -206,7 +282,7 @@ func (c *TCPCaller) Close() {
 	}
 }
 
-func (c *TCPCaller) conn(to string) (*tcpConn, error) {
+func (c *TCPCaller) conn(ctx context.Context, to string) (*tcpConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if tc, ok := c.conns[to]; ok {
@@ -216,20 +292,87 @@ func (c *TCPCaller) conn(to string) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownServer, to)
 	}
-	conn, err := net.Dial("tcp", addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s (%s): %w", to, addr, err)
 	}
-	tc := &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	tc := &tcpConn{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan replyEnvelope),
+	}
+	go tc.demux(gob.NewDecoder(conn))
 	c.conns[to] = tc
 	return tc, nil
 }
 
-func (c *TCPCaller) drop(to string) {
+// drop discards tc from the connection cache (unless a fresh connection
+// already replaced it) so the next call redials.
+func (c *TCPCaller) drop(to string, tc *tcpConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if tc, ok := c.conns[to]; ok {
-		_ = tc.conn.Close()
+	if cur, ok := c.conns[to]; ok && cur == tc {
+		_ = cur.conn.Close()
 		delete(c.conns, to)
+	}
+}
+
+// register allocates a frame ID and its reply channel.
+func (tc *tcpConn) register() (uint64, chan replyEnvelope, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.broken != nil {
+		return 0, nil, tc.broken
+	}
+	tc.nextID++
+	id := tc.nextID
+	ch := make(chan replyEnvelope, 1)
+	tc.pending[id] = ch
+	return id, ch, nil
+}
+
+// unregister abandons a frame (cancelled or failed-to-send call).
+func (tc *tcpConn) unregister(id uint64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	delete(tc.pending, id)
+}
+
+func (tc *tcpConn) brokenErr() error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.broken != nil {
+		return tc.broken
+	}
+	return errors.New("connection lost")
+}
+
+// demux routes reply frames to their pending calls until the connection
+// dies, then fails every still-pending call by closing its channel.
+func (tc *tcpConn) demux(dec *gob.Decoder) {
+	for {
+		var reply replyEnvelope
+		if err := dec.Decode(&reply); err != nil {
+			tc.mu.Lock()
+			tc.broken = fmt.Errorf("connection lost: %v", err)
+			for id, ch := range tc.pending {
+				close(ch)
+				delete(tc.pending, id)
+			}
+			tc.mu.Unlock()
+			_ = tc.conn.Close()
+			return
+		}
+		tc.mu.Lock()
+		ch, ok := tc.pending[reply.ID]
+		if ok {
+			delete(tc.pending, reply.ID)
+		}
+		tc.mu.Unlock()
+		if ok {
+			ch <- reply // buffered; never blocks
+		}
+		// Unknown IDs are replies to cancelled calls: dropped silently.
 	}
 }

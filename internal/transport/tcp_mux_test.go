@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// muxHandler answers MetaReq with a stamp echoing the numeric item name,
+// optionally delaying or muting specific items to force interleaving.
+type muxHandler struct {
+	mu    sync.Mutex
+	delay map[string]time.Duration // item -> handling delay
+	mute  map[string]bool          // item -> never answer
+}
+
+func (h *muxHandler) ServeRequest(_ context.Context, _ string, req wire.Request) (wire.Response, error) {
+	r, ok := req.(wire.MetaReq)
+	if !ok {
+		return wire.Ack{}, nil
+	}
+	h.mu.Lock()
+	d := h.delay[r.Item]
+	muted := h.mute[r.Item]
+	h.mu.Unlock()
+	if muted {
+		return nil, ErrNoReply
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	n, _ := strconv.Atoi(r.Item)
+	return wire.MetaResp{Has: true, Stamp: timestamp.Stamp{Time: uint64(n)}}, nil
+}
+
+func newMuxServer(t *testing.T, h Handler) (string, *TCPServer) {
+	t.Helper()
+	wire.RegisterGob()
+	srv := NewTCPServer(h)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr, srv
+}
+
+// TestTCPCancelledCallReleasesPromptly is the regression test for the
+// serialized transport's worst failure mode: a call whose context is
+// cancelled must return immediately — not when the server eventually
+// answers — and the connection must remain usable for subsequent and
+// concurrent calls.
+func TestTCPCancelledCallReleasesPromptly(t *testing.T) {
+	h := &muxHandler{delay: map[string]time.Duration{"7": 2 * time.Second}}
+	addr, _ := newMuxServer(t, h)
+
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := caller.Call(ctx, "srv", wire.MetaReq{Item: "7"})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled call took %v, want prompt release", elapsed)
+	}
+
+	// The connection must still work: the slow handler is still running
+	// server-side, but a fresh call on the same connection completes.
+	resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: "42"})
+	if err != nil {
+		t.Fatalf("call after cancellation: %v", err)
+	}
+	if mr := resp.(wire.MetaResp); mr.Stamp.Time != 42 {
+		t.Fatalf("resp stamp = %d, want 42", mr.Stamp.Time)
+	}
+}
+
+// TestTCPMutedFrameDoesNotBlockPipeline: one unanswered request (a mute
+// server swallowing a frame) must not stall other in-flight calls on the
+// same connection.
+func TestTCPMutedFrameDoesNotBlockPipeline(t *testing.T) {
+	h := &muxHandler{mute: map[string]bool{"0": true}}
+	addr, _ := newMuxServer(t, h)
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+
+	muteCtx, cancelMute := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancelMute()
+	done := make(chan error, 1)
+	go func() {
+		_, err := caller.Call(muteCtx, "srv", wire.MetaReq{Item: "0"})
+		done <- err
+	}()
+
+	// While the muted call is pending, other calls must flow freely.
+	for i := 1; i <= 10; i++ {
+		resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: strconv.Itoa(i)})
+		if err != nil {
+			t.Fatalf("call %d during mute: %v", i, err)
+		}
+		if mr := resp.(wire.MetaResp); mr.Stamp.Time != uint64(i) {
+			t.Fatalf("call %d: stamp %d", i, mr.Stamp.Time)
+		}
+	}
+	if err := <-done; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("muted call err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestTCPConcurrentDemux hammers one connection from many goroutines with
+// randomized handler delays so replies come back out of order, and checks
+// every reply is routed to the call that sent the matching request.
+func TestTCPConcurrentDemux(t *testing.T) {
+	h := &muxHandler{delay: map[string]time.Duration{}}
+	for i := 0; i < 64; i++ {
+		// Earlier requests get longer delays: guarantees out-of-order replies.
+		h.delay[strconv.Itoa(i)] = time.Duration(64-i) * time.Millisecond / 8
+	}
+	addr, _ := newMuxServer(t, h)
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				item := (g*16 + j) % 64
+				resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: strconv.Itoa(item)})
+				if err != nil {
+					t.Errorf("call %d: %v", item, err)
+					return
+				}
+				if mr := resp.(wire.MetaResp); mr.Stamp.Time != uint64(item) {
+					mismatches.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := mismatches.Load(); n > 0 {
+		t.Fatalf("%d replies demuxed to the wrong caller", n)
+	}
+}
+
+// TestTCPDroppedConnectionRecovery kills the server while a pipeline of
+// calls is in flight: every pending call must fail (not hang), and once a
+// server is listening again the caller must redial transparently.
+func TestTCPDroppedConnectionRecovery(t *testing.T) {
+	wire.RegisterGob()
+	h := &muxHandler{delay: map[string]time.Duration{"1": time.Second, "2": time.Second, "3": time.Second}}
+	srv := NewTCPServer(h)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{})
+	t.Cleanup(caller.Close)
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: "0"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three slow calls in flight, then the server dies under them.
+	errs := make(chan error, 3)
+	for i := 1; i <= 3; i++ {
+		go func(i int) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := caller.Call(ctx, "srv", wire.MetaReq{Item: strconv.Itoa(i)})
+			errs <- err
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the requests hit the wire
+	srv.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("call survived server shutdown")
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("pending call hung after connection drop")
+		}
+	}
+
+	// A replacement server on the same address: the caller redials.
+	srv2 := NewTCPServer(&muxHandler{})
+	if _, err := srv2.Serve(addr); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	t.Cleanup(srv2.Close)
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: "9"})
+		if err == nil {
+			if mr := resp.(wire.MetaResp); mr.Stamp.Time != 9 {
+				t.Fatalf("post-recovery stamp = %d", mr.Stamp.Time)
+			}
+			return
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("caller never recovered after server restart: %v", lastErr)
+}
+
+// TestTCPSerializedOptionStillCorrect: the Serialized baseline mode must
+// remain functionally correct under concurrency (it only changes how many
+// requests share the wire at once).
+func TestTCPSerializedOptionStillCorrect(t *testing.T) {
+	addr, _ := newMuxServer(t, &muxHandler{})
+	caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{}, Serialized())
+	t.Cleanup(caller.Close)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				item := g*10 + j
+				resp, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: strconv.Itoa(item)})
+				if err != nil {
+					t.Errorf("serialized call: %v", err)
+					return
+				}
+				if mr := resp.(wire.MetaResp); mr.Stamp.Time != uint64(item) {
+					t.Errorf("serialized demux mismatch: got %d want %d", mr.Stamp.Time, item)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestTCPPipeliningBeatsSerialized is the load-bearing perf property: with
+// a fixed per-request server delay, N concurrent sessions through the
+// multiplexed transport must complete far faster than through the
+// serialized baseline, because their requests share the connection instead
+// of queueing. Uses generous margins so it cannot flake under CI load.
+func TestTCPPipeliningBeatsSerialized(t *testing.T) {
+	const perReq = 20 * time.Millisecond
+	const calls = 8
+	h := &muxHandler{delay: map[string]time.Duration{}}
+	for i := 0; i < calls; i++ {
+		h.delay[strconv.Itoa(i)] = perReq
+	}
+	addr, _ := newMuxServer(t, h)
+
+	run := func(opts ...CallerOption) time.Duration {
+		caller := NewTCPCaller("alice", map[string]string{"srv": addr}, &metrics.Counters{}, opts...)
+		defer caller.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < calls; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: strconv.Itoa(i)}); err != nil {
+					t.Errorf("call: %v", err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	serial := run(Serialized())
+	mux := run()
+	// Serialized: 8 calls x 20ms queue to >=160ms. Multiplexed: all share
+	// the wire, bounded by the slowest single call (~20ms). Require 2x.
+	if mux*2 > serial {
+		t.Fatalf("multiplexed %v not ≥2x faster than serialized %v", mux, serial)
+	}
+	t.Logf("serialized=%v multiplexed=%v (%.1fx)", serial, mux, float64(serial)/float64(mux))
+}
+
