@@ -1,0 +1,558 @@
+// Package chaos is a deterministic, seed-driven soak harness for the
+// secure store's failure paths. One Run builds a cluster over the
+// simulated network, drives a seeded workload through real clients, and —
+// on a schedule derived only from the seed — composes the faults the
+// paper's threat model admits: Byzantine replica fault modes rotating
+// across at most b servers, network partitions isolating a minority,
+// lossy phases, gossip stalls, a process crash with write-ahead-log
+// recovery, and a read-only (malicious) client attempting writes. Every
+// completed operation is recorded into an internal/checker History; a run
+// "passes" when the checker finds zero integrity, MRC, CC or RYW
+// violations despite everything the schedule threw at the cluster.
+//
+// Determinism is the harness's core property: every schedule decision is
+// drawn from the seeded generator and depends only on the operation
+// index, never on an operation's outcome — so the same seed replays the
+// same fault schedule and the same operation stream, and a violating seed
+// is a reproducible bug report. (Outcome counts — how many operations
+// happened to fail under faults — may vary with timing; the schedule and
+// the safety verdict are what a seed pins down.)
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/checker"
+	"securestore/internal/client"
+	"securestore/internal/core"
+	"securestore/internal/gossip"
+	"securestore/internal/server"
+	"securestore/internal/wire"
+	"securestore/internal/workload"
+)
+
+// Config parameterizes one soak run. The zero value of most fields
+// selects a sensible default; only Seed is meaningfully distinct per run.
+type Config struct {
+	// Seed drives the workload and the entire fault schedule.
+	Seed int64
+	// N replicas with at most B faulty (defaults 4 and 1).
+	N, B int
+	// Ops is the number of workload operations in the chaos phase
+	// (default 500).
+	Ops int
+	// Clients is the number of honest clients (default 3).
+	Clients int
+	// Items is the related group's size (default 8); ValueSize the
+	// synthetic payload length (default 64).
+	Items     int
+	ValueSize int
+	// ReadFraction is the read probability for the writing client
+	// (default 0.6). In single-writer groups only client 0 writes; the
+	// others issue reads exclusively.
+	ReadFraction float64
+	// Consistency (default MRC) and MultiWriter select the group flavor.
+	Consistency wire.Consistency
+	MultiWriter bool
+	// GossipMode selects the anti-entropy direction (default push-pull,
+	// so a restarted replica can catch up on its own initiative).
+	GossipMode gossip.Mode
+	// DataDir, when non-empty, backs replicas with write-ahead logs;
+	// required for CrashRestart.
+	DataDir string
+	// CrashRestart schedules one process crash at ~40% of the run and a
+	// WAL recovery at ~70%. Requires DataDir.
+	CrashRestart bool
+	// Mallory adds a read-only client that periodically attempts writes;
+	// any write that succeeds is reported as an access breach.
+	Mallory bool
+	// CallTimeout bounds each client operation (default 50ms — small, so
+	// mute replicas cost milliseconds, not seconds). ReadRetries and
+	// RetryBackoff tune the read retry loop (defaults 2 and 1ms).
+	CallTimeout  time.Duration
+	ReadRetries  int
+	RetryBackoff time.Duration
+	// FaultEvery, PartitionEvery, LossEvery, GossipEvery, StallEvery are
+	// the schedule periods in operations (defaults 60, 90, 75, 5, 100).
+	FaultEvery     int
+	PartitionEvery int
+	LossEvery      int
+	GossipEvery    int
+	StallEvery     int
+}
+
+// Report summarizes one run.
+type Report struct {
+	Seed int64
+	// Attempted operation counts (chaos phase).
+	Ops, Writes, Reads int
+	// Failures under faults — expected to be nonzero and harmless; the
+	// checker decides whether anything unsafe happened.
+	WriteFailures, ReadFailures int
+	// FinalReadFailures counts reads that still failed after every fault
+	// was healed and the cluster converged; any nonzero value is a
+	// liveness bug. FinalReadErrors carries their messages (diagnostics;
+	// not part of the deterministic Trace).
+	FinalReadFailures int
+	FinalReadErrors   []string
+	// AccessBreaches counts writes by the read-only client that the
+	// cluster accepted (must be zero).
+	AccessBreaches int
+	// Schedule counters.
+	FaultRotations, Partitions, LossPhases, Restarts, GossipRounds int
+	// Trace is the deterministic schedule-and-operation log: identical
+	// across runs with the same Config.
+	Trace []string
+	// Violations is the checker's verdict over the recorded history.
+	Violations []checker.Violation
+}
+
+// withDefaults fills zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.B == 0 {
+		cfg.B = 1
+	}
+	if cfg.Ops == 0 {
+		cfg.Ops = 500
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 8
+	}
+	if cfg.ValueSize == 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.ReadFraction == 0 {
+		cfg.ReadFraction = 0.6
+	}
+	if cfg.Consistency == 0 {
+		cfg.Consistency = wire.MRC
+	}
+	if cfg.GossipMode == 0 {
+		cfg.GossipMode = gossip.PushPull
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 50 * time.Millisecond
+	}
+	if cfg.ReadRetries == 0 {
+		cfg.ReadRetries = 2
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	if cfg.FaultEvery == 0 {
+		cfg.FaultEvery = 60
+	}
+	if cfg.PartitionEvery == 0 {
+		cfg.PartitionEvery = 90
+	}
+	if cfg.LossEvery == 0 {
+		cfg.LossEvery = 75
+	}
+	if cfg.GossipEvery == 0 {
+		cfg.GossipEvery = 5
+	}
+	if cfg.StallEvery == 0 {
+		cfg.StallEvery = 100
+	}
+	return cfg
+}
+
+// faultPool are the Byzantine modes the rotation draws from. Healthy is
+// included so rotations sometimes leave a slot benign.
+var faultPool = []server.FaultMode{
+	server.Stale, server.CorruptValue, server.CorruptMeta, server.Mute,
+	server.Crash, server.Equivocate, server.PrematureReport, server.Healthy,
+}
+
+// run carries one execution's state.
+type run struct {
+	cfg     Config
+	rng     *rand.Rand
+	cluster *core.Cluster
+	clients []*client.Client
+	gens    []*workload.Generator
+	mallory *client.Client
+	malGen  *workload.Generator
+	history *checker.History
+	report  *Report
+
+	faulty     map[int]server.FaultMode // replica index -> injected mode
+	crashedIdx int                      // scheduled crash target (-1 when none)
+	crashed    bool
+	crashAt    int
+	restartAt  int
+
+	partitionUntil int // op index at which the active partition heals (0 = none)
+	lossUntil      int
+	stallUntil     int
+}
+
+// Run executes one soak. The returned error covers setup problems (an
+// invalid cluster size, an unrecoverable WAL); consistency verdicts are
+// in Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CrashRestart && cfg.DataDir == "" {
+		return nil, fmt.Errorf("chaos: CrashRestart requires DataDir")
+	}
+
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N:              cfg.N,
+		B:              cfg.B,
+		Seed:           fmt.Sprintf("chaos-%d", cfg.Seed),
+		GossipMode:     cfg.GossipMode,
+		GossipTimeout:  cfg.CallTimeout,
+		DataDir:        cfg.DataDir,
+		Principals:     principals(cfg),
+		GossipInterval: time.Hour, // rounds are driven, never background
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	r := &run{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cluster:    cluster,
+		history:    checker.New(),
+		report:     &Report{Seed: cfg.Seed},
+		faulty:     make(map[int]server.FaultMode),
+		crashedIdx: -1,
+	}
+	if cfg.CrashRestart {
+		r.crashAt = cfg.Ops * 2 / 5
+		r.restartAt = cfg.Ops * 7 / 10
+		r.crashedIdx = r.rng.Intn(cfg.N)
+	}
+
+	group := core.GroupSpec{Name: "chaos", Consistency: cfg.Consistency, MultiWriter: cfg.MultiWriter}
+	cluster.RegisterGroup(group)
+	if err := r.mintClients(group); err != nil {
+		return nil, err
+	}
+	if err := r.seed(); err != nil {
+		return nil, err
+	}
+	r.soak()
+	r.finale()
+	r.report.Ops = r.report.Writes + r.report.Reads
+	r.report.Violations = append(r.report.Violations, r.history.Check()...)
+	return r.report, nil
+}
+
+// principals pre-registers the client keys so WAL recovery can re-verify
+// records written before a crash.
+func principals(cfg Config) []string {
+	var ids []string
+	for i := 0; i < cfg.Clients; i++ {
+		ids = append(ids, fmt.Sprintf("c%d", i))
+	}
+	if cfg.Mallory {
+		ids = append(ids, "mallory")
+	}
+	return ids
+}
+
+func (r *run) mintClients(group core.GroupSpec) error {
+	names := r.cluster.ServerNames
+	for i := 0; i < r.cfg.Clients; i++ {
+		// Rotate each client's contact order so the fault schedule hits
+		// different first-contact replicas per client.
+		order := append(append([]string(nil), names[i%len(names):]...), names[:i%len(names)]...)
+		cl, err := r.cluster.NewClient(core.ClientSpec{
+			ID:           fmt.Sprintf("c%d", i),
+			Group:        group.Name,
+			CallTimeout:  r.cfg.CallTimeout,
+			ReadRetries:  r.cfg.ReadRetries,
+			RetryBackoff: r.cfg.RetryBackoff,
+			ServerOrder:  order,
+		}, group)
+		if err != nil {
+			return err
+		}
+		if err := cl.Connect(context.Background()); err != nil {
+			return fmt.Errorf("connect %s: %w", cl.ID(), err)
+		}
+		r.clients = append(r.clients, cl)
+		readFraction := r.cfg.ReadFraction
+		if !r.cfg.MultiWriter && i != 0 {
+			readFraction = 1 // single-writer group: only client 0 writes
+		}
+		r.gens = append(r.gens, workload.New(workload.Config{
+			Seed:         r.cfg.Seed*31 + int64(i),
+			Items:        r.cfg.Items,
+			ReadFraction: readFraction,
+			ValueSize:    r.cfg.ValueSize,
+		}))
+	}
+	if r.cfg.Mallory {
+		cl, err := r.cluster.NewClient(core.ClientSpec{
+			ID:          "mallory",
+			Group:       group.Name,
+			Rights:      accessctl.ReadOnly,
+			CallTimeout: r.cfg.CallTimeout,
+		}, group)
+		if err != nil {
+			return err
+		}
+		if err := cl.Connect(context.Background()); err != nil {
+			return fmt.Errorf("connect mallory: %w", err)
+		}
+		r.mallory = cl
+		r.malGen = workload.New(workload.Config{
+			Seed:      r.cfg.Seed * 37,
+			Items:     r.cfg.Items,
+			ValueSize: r.cfg.ValueSize,
+		})
+	}
+	return nil
+}
+
+// seed writes every item once on a healthy cluster and converges, so the
+// chaos phase starts from a fully replicated state and reads of
+// never-written items do not pollute the failure counts.
+func (r *run) seed() error {
+	writer := r.clients[0]
+	for _, item := range r.gens[0].Items() {
+		value := []byte(fmt.Sprintf("seed|%s|%d", item, r.cfg.Seed))
+		stamp, err := writer.Write(context.Background(), item, value)
+		if err != nil {
+			return fmt.Errorf("seed write %s: %w", item, err)
+		}
+		r.history.RecordWrite(writer.ID(), item, stamp, value, writer.Context())
+	}
+	r.cluster.Converge()
+	r.trace("seeded %d items", r.cfg.Items)
+	return nil
+}
+
+// soak is the chaos phase: Ops operations interleaved with the fault
+// schedule. Every rng draw below happens at an op index determined only
+// by the configuration and earlier draws — never by operation outcomes —
+// which is what makes a seed replayable.
+func (r *run) soak() {
+	for op := 0; op < r.cfg.Ops; op++ {
+		r.scheduleAt(op)
+
+		// Gossip tick (skipped during a scheduled stall).
+		if op%r.cfg.GossipEvery == 0 && op >= r.stallUntil {
+			engine := r.rng.Intn(len(r.cluster.Engines))
+			r.cluster.Engines[engine].Round()
+			r.report.GossipRounds++
+		}
+
+		// Mallory's forbidden write rides a fixed cadence.
+		if r.mallory != nil && op%50 == 25 {
+			r.malloryWrite(op)
+		}
+
+		ci := r.rng.Intn(len(r.clients))
+		r.doOp(op, r.clients[ci], r.gens[ci])
+	}
+}
+
+// scheduleAt fires every schedule event due at op. Draw order is fixed:
+// crash, restart, fault rotation, partition, loss — so traces align
+// across runs.
+func (r *run) scheduleAt(op int) {
+	if r.cfg.CrashRestart && op == r.crashAt {
+		r.healFaults()
+		r.cluster.CrashServer(r.crashedIdx)
+		r.crashed = true
+		r.trace("op %d: crash %s", op, r.cluster.ServerNames[r.crashedIdx])
+	}
+	if r.cfg.CrashRestart && op == r.restartAt {
+		if err := r.cluster.RestartServer(r.crashedIdx); err != nil {
+			// WAL recovery failing is itself a violation-grade finding.
+			r.report.Violations = append(r.report.Violations, checker.Violation{
+				Kind: "integrity", Item: r.cluster.ServerNames[r.crashedIdx],
+				Detail: fmt.Sprintf("restart failed: %v", err),
+			})
+			return
+		}
+		r.crashed = false
+		r.report.Restarts++
+		r.trace("op %d: restart %s", op, r.cluster.ServerNames[r.crashedIdx])
+	}
+	if op > 0 && op%r.cfg.FaultEvery == 0 {
+		r.rotateFaults(op)
+	}
+	if op > 0 && op%r.cfg.PartitionEvery == 0 && op >= r.partitionUntil {
+		r.startPartition(op)
+	}
+	if r.partitionUntil > 0 && op == r.partitionUntil {
+		r.cluster.Net.Heal()
+		r.partitionUntil = 0
+		r.trace("op %d: partition healed", op)
+	}
+	if op > 0 && op%r.cfg.LossEvery == 0 && op >= r.lossUntil {
+		r.lossUntil = op + 5 + r.rng.Intn(15)
+		r.cluster.Net.SetDropRate(0.02)
+		r.report.LossPhases++
+		r.trace("op %d: loss 2%% until op %d", op, r.lossUntil)
+	}
+	if r.lossUntil > 0 && op == r.lossUntil {
+		r.cluster.Net.SetDropRate(0)
+		r.lossUntil = 0
+		r.trace("op %d: loss off", op)
+	}
+	if op > 0 && op%r.cfg.StallEvery == 0 {
+		r.stallUntil = op + 10 + r.rng.Intn(20)
+		r.trace("op %d: gossip stalled until op %d", op, r.stallUntil)
+	}
+}
+
+// rotateFaults re-draws the faulty set: heal the previous set, then
+// inject fresh modes into at most B replicas (one slot is consumed by a
+// scheduled crash while it is in effect).
+func (r *run) rotateFaults(op int) {
+	r.healFaults()
+	budget := r.cfg.B
+	if r.crashed {
+		budget--
+	}
+	for n := 0; n < budget; n++ {
+		idx := r.rng.Intn(r.cfg.N)
+		mode := faultPool[r.rng.Intn(len(faultPool))]
+		if idx == r.crashedIdx && r.crashed {
+			continue // slot wasted this rotation; keeps draws deterministic
+		}
+		if _, dup := r.faulty[idx]; dup {
+			continue
+		}
+		r.faulty[idx] = mode
+		r.cluster.Servers[idx].SetFault(mode)
+		r.trace("op %d: fault %s=%v", op, r.cluster.ServerNames[idx], mode)
+	}
+	r.report.FaultRotations++
+}
+
+// healFaults returns every rotation-faulted replica to Healthy (never the
+// scheduled crash victim — only RestartServer revives that one).
+func (r *run) healFaults() {
+	for idx := range r.faulty {
+		if idx == r.crashedIdx && r.crashed {
+			continue
+		}
+		r.cluster.Servers[idx].SetFault(server.Healthy)
+	}
+	r.faulty = make(map[int]server.FaultMode)
+}
+
+// startPartition isolates a minority of at most B replicas (partition 1)
+// from everyone else — the remaining replicas and all clients join
+// partition 2, so client quorums stay reachable on the majority side.
+func (r *run) startPartition(op int) {
+	size := 1 + r.rng.Intn(r.cfg.B)
+	r.partitionUntil = op + 10 + r.rng.Intn(20)
+	minority := make(map[int]bool, size)
+	for len(minority) < size {
+		minority[r.rng.Intn(r.cfg.N)] = true
+	}
+	var isolated, rest []string
+	for i, name := range r.cluster.ServerNames {
+		if minority[i] {
+			isolated = append(isolated, name)
+		} else {
+			rest = append(rest, name)
+		}
+	}
+	for _, cl := range r.clients {
+		rest = append(rest, cl.ID())
+	}
+	if r.mallory != nil {
+		rest = append(rest, r.mallory.ID())
+	}
+	r.cluster.Net.Partition(1, isolated...)
+	r.cluster.Net.Partition(2, rest...)
+	r.report.Partitions++
+	r.trace("op %d: partition %v until op %d", op, isolated, r.partitionUntil)
+}
+
+// doOp issues one workload operation and records its outcome.
+func (r *run) doOp(op int, cl *client.Client, gen *workload.Generator) {
+	w := gen.Next()
+	if w.IsRead {
+		r.trace("op %d: %s read %s", op, cl.ID(), w.Item)
+		r.report.Reads++
+		value, stamp, err := cl.Read(context.Background(), w.Item)
+		if err != nil {
+			r.report.ReadFailures++
+			return
+		}
+		r.history.RecordRead(cl.ID(), w.Item, stamp, value)
+		return
+	}
+	r.trace("op %d: %s write %s", op, cl.ID(), w.Item)
+	r.report.Writes++
+	stamp, err := cl.Write(context.Background(), w.Item, w.Value)
+	if err != nil {
+		r.report.WriteFailures++
+		// The write missed its quorum but may have landed on some
+		// servers; record it so a later read returning its stamp is not a
+		// false integrity alarm. The context it would carry embeds the
+		// write's own stamp (see client.Write).
+		ctx := cl.Context()
+		ctx.Update(w.Item, stamp)
+		r.history.RecordFailedWrite(cl.ID(), w.Item, stamp, w.Value, ctx)
+		return
+	}
+	r.history.RecordWrite(cl.ID(), w.Item, stamp, w.Value, cl.Context())
+}
+
+// malloryWrite attempts a write with a read-only token; the cluster must
+// refuse it.
+func (r *run) malloryWrite(op int) {
+	w := r.malGen.NextWrite()
+	r.trace("op %d: mallory write %s", op, w.Item)
+	stamp, err := r.mallory.Write(context.Background(), w.Item, w.Value)
+	if err == nil {
+		r.report.AccessBreaches++
+		// Record it anyway so the checker judges the history, not the gap.
+		r.history.RecordWrite(r.mallory.ID(), w.Item, stamp, w.Value, r.mallory.Context())
+	}
+}
+
+// finale heals everything, converges, and has every client read every
+// item — all recorded, so the checker also covers the recovered state.
+func (r *run) finale() {
+	r.healFaults()
+	if r.crashed {
+		if err := r.cluster.RestartServer(r.crashedIdx); err == nil {
+			r.crashed = false
+			r.report.Restarts++
+		}
+	}
+	r.cluster.HealAll()
+	r.cluster.Net.Heal()
+	r.cluster.Net.SetDropRate(0)
+	r.cluster.Converge()
+	r.trace("healed and converged")
+	for _, cl := range r.clients {
+		for _, item := range r.gens[0].Items() {
+			value, stamp, err := cl.Read(context.Background(), item)
+			if err != nil {
+				r.report.FinalReadFailures++
+				r.report.FinalReadErrors = append(r.report.FinalReadErrors,
+					fmt.Sprintf("%s %s: %v (floor %s)", cl.ID(), item, err, cl.Context().Get(item)))
+				continue
+			}
+			r.history.RecordRead(cl.ID(), item, stamp, value)
+		}
+	}
+}
+
+func (r *run) trace(format string, args ...any) {
+	r.report.Trace = append(r.report.Trace, fmt.Sprintf(format, args...))
+}

@@ -11,7 +11,17 @@
 //   - CC: if a client read a write w of item x, then any of the client's
 //     subsequent reads of an item y listed in w's writer context returns a
 //     stamp at least as new as the context entry (the causal-floor rule
-//     that "no read operation returns a causally overwritten value").
+//     that "no read operation returns a causally overwritten value");
+//   - RYW (read-your-writes): a client's read of an item it previously
+//     wrote returns a stamp at least as new as its own last acknowledged
+//     write — the session guarantee implied by the client updating its
+//     context with every completed write.
+//
+// Failed writes can be recorded too (RecordFailedWrite): a write that
+// missed its quorum may still have landed on some servers, so a later
+// read returning its stamp is legitimate — the integrity and CC checks
+// index such writes, but they raise no RYW floor (the client holds no
+// acknowledgement).
 //
 // The checker is deliberately independent of the protocol code: it sees
 // only the observable history, so a protocol bug cannot hide inside it.
@@ -36,6 +46,10 @@ type WriteEvent struct {
 	Digest [32]byte
 	// Ctx is the writer's context embedded in the write (CC only).
 	Ctx sessionctx.Vector
+	// Acked reports whether the write completed (reached its quorum).
+	// Unacknowledged writes participate in integrity and CC checking —
+	// they may surface in reads — but raise no read-your-writes floor.
+	Acked bool
 }
 
 // ReadEvent records one completed read.
@@ -48,7 +62,7 @@ type ReadEvent struct {
 
 // Violation is one detected consistency breach.
 type Violation struct {
-	Kind   string // "integrity", "mrc", "cc"
+	Kind   string // "integrity", "mrc", "cc", "ryw"
 	Client string
 	Item   string
 	Detail string
@@ -68,15 +82,43 @@ type History struct {
 	// sequential, so per-client order is well defined even when clients
 	// record concurrently).
 	reads map[string][]ReadEvent
+	// ops interleaves each client's acknowledged writes and reads in
+	// session order, which the read-your-writes check needs (the global
+	// writes slice does not order a client's writes against its reads).
+	ops map[string][]opEvent
+}
+
+// opEvent is one entry of a client's sequential session history.
+type opEvent struct {
+	read  bool
+	item  string
+	stamp timestamp.Stamp
 }
 
 // New creates an empty history.
 func New() *History {
-	return &History{reads: make(map[string][]ReadEvent)}
+	return &History{reads: make(map[string][]ReadEvent), ops: make(map[string][]opEvent)}
 }
 
-// RecordWrite logs a completed write.
+// RecordWrite logs a completed (quorum-acknowledged) write.
 func (h *History) RecordWrite(client, item string, stamp timestamp.Stamp, value []byte, ctx sessionctx.Vector) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.writes = append(h.writes, WriteEvent{
+		Client: client, Item: item, Stamp: stamp,
+		Digest: cryptoutil.Digest(value), Ctx: ctx.Clone(), Acked: true,
+	})
+	h.ops[client] = append(h.ops[client], opEvent{item: item, stamp: stamp})
+}
+
+// RecordFailedWrite logs a write attempt that did not reach its quorum.
+// The write may nevertheless have landed on some servers, so recording it
+// keeps the integrity check sound when a later read returns its stamp;
+// it raises no read-your-writes floor.
+func (h *History) RecordFailedWrite(client, item string, stamp timestamp.Stamp, value []byte, ctx sessionctx.Vector) {
+	if stamp.Zero() {
+		return // the attempt never produced a signed write
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.writes = append(h.writes, WriteEvent{
@@ -92,6 +134,7 @@ func (h *History) RecordRead(client, item string, stamp timestamp.Stamp, value [
 	h.reads[client] = append(h.reads[client], ReadEvent{
 		Client: client, Item: item, Stamp: stamp, Digest: cryptoutil.Digest(value),
 	})
+	h.ops[client] = append(h.ops[client], opEvent{read: true, item: item, stamp: stamp})
 }
 
 // Stats returns (writes, reads) recorded.
@@ -113,6 +156,7 @@ func (h *History) Check() []Violation {
 	out = append(out, h.checkIntegrityLocked()...)
 	out = append(out, h.checkMRCLocked()...)
 	out = append(out, h.checkCCLocked()...)
+	out = append(out, h.checkRYWLocked()...)
 	return out
 }
 
@@ -169,6 +213,32 @@ func (h *History) checkMRCLocked() []Violation {
 				})
 			}
 			last[r.Item] = r.Stamp
+		}
+	}
+	return out
+}
+
+// checkRYWLocked: a client's read of an item returns a stamp at least as
+// new as the client's own last acknowledged write to that item (the
+// read-your-writes session guarantee). Only acknowledged writes raise the
+// floor — a failed write gives the client no such expectation.
+func (h *History) checkRYWLocked() []Violation {
+	var out []Violation
+	for client, ops := range h.ops {
+		floor := make(map[string]timestamp.Stamp)
+		for i, op := range ops {
+			if !op.read {
+				if cur, ok := floor[op.item]; !ok || cur.Less(op.stamp) {
+					floor[op.item] = op.stamp
+				}
+				continue
+			}
+			if f, ok := floor[op.item]; ok && op.stamp.Less(f) {
+				out = append(out, Violation{
+					Kind: "ryw", Client: client, Item: op.item,
+					Detail: fmt.Sprintf("op %d read %s below own-write floor %s", i, op.stamp, f),
+				})
+			}
 		}
 	}
 	return out

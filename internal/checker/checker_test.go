@@ -160,3 +160,71 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("violations = %v", v)
 	}
 }
+
+func TestDetectsRYWViolation(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	h.RecordWrite("w", "x", st(5), []byte("v5"), nil)
+	// The writer reads back something older than its own acked write.
+	h.RecordRead("w", "x", st(1), []byte("v1"))
+	v := h.Check()
+	if len(v) != 1 || v[0].Kind != "ryw" {
+		t.Fatalf("violations = %v, want one ryw", v)
+	}
+}
+
+func TestRYWOnlyBindsTheWriter(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	h.RecordWrite("w", "x", st(5), []byte("v5"), nil)
+	// Another client reading the older write is fine (MRC permits it).
+	h.RecordRead("r", "x", st(1), []byte("v1"))
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestFailedWriteRaisesNoRYWFloor(t *testing.T) {
+	h := New()
+	h.RecordWrite("w", "x", st(1), []byte("v1"), nil)
+	// A quorum-failed attempt at stamp 5: the client holds no ack, so its
+	// later read of stamp 1 is legitimate...
+	h.RecordFailedWrite("w", "x", st(5), []byte("v5"), nil)
+	h.RecordRead("w", "x", st(1), []byte("v1"))
+	// ...and another client reading stamp 5 is not a fabrication — the
+	// partial write may have landed on some servers.
+	h.RecordRead("r", "x", st(5), []byte("v5"))
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestFailedWriteWithZeroStampIgnored(t *testing.T) {
+	h := New()
+	h.RecordFailedWrite("w", "x", timestamp.Stamp{}, []byte("v"), nil)
+	if writes, _ := h.Stats(); writes != 0 {
+		t.Fatalf("zero-stamp failed write recorded: %d writes", writes)
+	}
+}
+
+func TestRYWFloorAlsoRaisedByReads(t *testing.T) {
+	// The per-client op walk must treat an acked write as a floor even
+	// when reads interleave: write(3), read(4) [someone else's], then a
+	// read of 2 violates — it is below the writer's own write.
+	h := New()
+	h.RecordWrite("a", "x", st(2), []byte("v2"), nil)
+	h.RecordWrite("a", "x", st(4), []byte("v4"), nil)
+	h.RecordWrite("w", "x", st(3), []byte("v3"), nil)
+	h.RecordRead("w", "x", st(4), []byte("v4"))
+	h.RecordRead("w", "x", st(2), []byte("v2"))
+	v := h.Check()
+	// The read of stamp 2 is below w's own write (3): ryw. It is also an
+	// MRC regression (4 then 2).
+	kinds := map[string]int{}
+	for _, violation := range v {
+		kinds[violation.Kind]++
+	}
+	if kinds["ryw"] != 1 || kinds["mrc"] != 1 {
+		t.Fatalf("violations = %v, want one ryw and one mrc", v)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -77,10 +78,15 @@ type Config struct {
 	// value before returning ErrStale (default 3). Set to a negative value
 	// to disable retries entirely (a read makes exactly one attempt).
 	ReadRetries int
-	// RetryBackoff is the pause between read retries (default 20ms),
-	// giving dissemination time to deliver the missing write. Set to a
-	// negative value for no pause between retries.
+	// RetryBackoff is the pause before the first read retry (default
+	// 20ms), giving dissemination time to deliver the missing write.
+	// Subsequent retries back off exponentially (with jitter) up to
+	// RetryBackoffMax. Set to a negative value for no pause between
+	// retries.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential read-retry backoff (default
+	// 10× RetryBackoff).
+	RetryBackoffMax time.Duration
 	// ItemParallelism bounds the worker pool used by multi-item
 	// operations (ReconstructContext, RotateDataKey), which fan items out
 	// concurrently instead of one quorum round at a time (default 8).
@@ -119,6 +125,12 @@ func (c *Config) withDefaults() Config {
 	case cfg.RetryBackoff == 0:
 		cfg.RetryBackoff = 20 * time.Millisecond
 	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 10 * cfg.RetryBackoff
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = cfg.RetryBackoff
+	}
 	if cfg.ItemParallelism <= 0 {
 		cfg.ItemParallelism = 8
 	}
@@ -143,6 +155,9 @@ type Client struct {
 	seq       uint64
 	clock     timestamp.Clock
 	connected bool
+
+	rngMu sync.Mutex // guards rng (retry-backoff jitter)
+	rng   *rand.Rand
 }
 
 // New validates the configuration and creates a (not yet connected)
@@ -160,6 +175,7 @@ func New(cfg Config) (*Client, error) {
 		n:      len(c.Servers),
 		ctxVec: sessionctx.NewVector(),
 		clock:  timestamp.Clock{Obfuscate: c.ObfuscateTimestamps},
+		rng:    newRetryRNG(c.ID),
 	}, nil
 }
 

@@ -1,0 +1,74 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/quorum"
+)
+
+// Error classification: a failed read attempt is either *retryable* — a
+// later attempt can succeed once dissemination delivers the missing write
+// or a transient outage heals (ErrStale, timeouts, unreachable quorums) —
+// or *permanent* — no amount of retrying helps, so the client must fail
+// fast instead of burning ReadRetries × backoff per doomed call:
+//
+//   - authorization rejection: tokens do not change between attempts, and
+//     a rejection is attributed to the client only when more than b
+//     servers report it (at least one of them is honest); b or fewer
+//     rejections could all be Byzantine lies and stay retryable;
+//   - signature failure on the client's own material (a corrupt data key
+//     or ring entry): deterministic, retries reproduce it;
+//   - proven writer equivocation: the cryptographic proof does not expire,
+//     and the paper's remedy is informing the client, not retrying.
+
+// permanentReadError reports whether err can never be fixed by retrying.
+func (c *Client) permanentReadError(err error) bool {
+	if errors.Is(err, ErrEquivocation) || errors.Is(err, cryptoutil.ErrBadSignature) {
+		return true
+	}
+	var ge *quorum.GatherError
+	if errors.As(err, &ge) {
+		// Attribute the rejection to the client only when more than b
+		// servers agree: with at most b faulty servers, b+1 matching
+		// rejections include at least one honest server's verdict.
+		return ge.CountCause(accessctl.ErrUnauthorized) > c.cfg.B
+	}
+	return errors.Is(err, accessctl.ErrUnauthorized)
+}
+
+// retryDelay computes the pause before retry number attempt (0-based):
+// exponential backoff doubling from RetryBackoff up to RetryBackoffMax,
+// with jitter drawn uniformly from [delay/2, delay) so synchronized
+// clients do not re-poll in lockstep. A non-positive base disables the
+// pause entirely (the explicit -1 sentinel).
+func (c *Client) retryDelay(attempt int) time.Duration {
+	base, max := c.cfg.RetryBackoff, c.cfg.RetryBackoffMax
+	if base <= 0 {
+		return 0
+	}
+	delay := base
+	for i := 0; i < attempt && delay < max; i++ {
+		delay *= 2
+	}
+	if delay > max {
+		delay = max
+	}
+	c.rngMu.Lock()
+	jittered := delay/2 + time.Duration(c.rng.Int63n(int64(delay/2)+1))
+	c.rngMu.Unlock()
+	return jittered
+}
+
+// newRetryRNG seeds the jitter source deterministically from the client
+// id, keeping seeded experiment runs reproducible.
+func newRetryRNG(id string) *rand.Rand {
+	var seed int64
+	for _, b := range []byte(id) {
+		seed = seed*131 + int64(b)
+	}
+	return rand.New(rand.NewSource(seed ^ 0x5eed5eed))
+}

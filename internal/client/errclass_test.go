@@ -1,0 +1,130 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+	"securestore/internal/server"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// authRig is a rig whose servers enforce token authorization.
+func authRig(t *testing.T, n int) (*rig, *accessctl.Authority) {
+	t.Helper()
+	r := &rig{
+		bus:  transport.NewBus(nil),
+		ring: cryptoutil.NewKeyring(),
+	}
+	authKey := cryptoutil.DeterministicKeyPair("authority", "s")
+	authority := accessctl.NewAuthority(authKey)
+	r.ring.MustRegister(authKey.ID, authKey.Public)
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		srv := server.New(server.Config{ID: name, Ring: r.ring, AuthorityID: authority.ID()})
+		srv.RegisterGroup("g", server.Policy{Consistency: wire.MRC})
+		r.bus.Register(name, srv)
+		r.servers = append(r.servers, srv)
+		r.names = append(r.names, name)
+	}
+	return r, authority
+}
+
+// TestReadFailsFastOnUnauthorized is the regression test for retrying
+// permanent errors: every server rejects the reader's write-only token,
+// which is attributed to the client (more than b matching rejections) and
+// must surface immediately — zero retries, no backoff sleeps.
+func TestReadFailsFastOnUnauthorized(t *testing.T) {
+	r, authority := authRig(t, 4)
+	m := &metrics.Counters{}
+	c := r.client(t, "wo", 1, func(cfg *Config) {
+		cfg.Metrics = m
+		cfg.Token = authority.Issue("wo", "g", accessctl.WriteOnly, nil)
+		cfg.ReadRetries = 5
+		cfg.RetryBackoff = 50 * time.Millisecond
+	})
+	// Session initiation also needs read rights; bypass it — the test
+	// targets the read path's classification.
+	c.mu.Lock()
+	c.connected = true
+	c.mu.Unlock()
+
+	start := time.Now()
+	_, _, err := c.Read(context.Background(), "x")
+	elapsed := time.Since(start)
+	if !errors.Is(err, accessctl.ErrUnauthorized) {
+		t.Fatalf("read error = %v, want ErrUnauthorized", err)
+	}
+	if n := m.Custom("read.retries"); n != 0 {
+		t.Fatalf("recorded %d retries for a permanent error", n)
+	}
+	if m.Custom("read.permanent") != 1 {
+		t.Fatal("permanent classification not recorded")
+	}
+	if elapsed > 40*time.Millisecond {
+		t.Fatalf("fail-fast took %v — the backoff slept anyway", elapsed)
+	}
+}
+
+// TestUnauthorizedMinorityStaysRetryable: b or fewer rejections could all
+// be Byzantine lies, so they must not be attributed to the client.
+func TestUnauthorizedMinorityStaysRetryable(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, nil)
+
+	one := &quorum.GatherError{Need: 2, Successes: 1, Servers: 4,
+		Errs: []error{accessctl.ErrUnauthorized, context.DeadlineExceeded}}
+	if c.permanentReadError(one) {
+		t.Fatal("a single (possibly Byzantine) rejection classified as permanent")
+	}
+	two := &quorum.GatherError{Need: 2, Successes: 1, Servers: 4,
+		Errs: []error{accessctl.ErrUnauthorized, accessctl.ErrUnauthorized}}
+	if !c.permanentReadError(two) {
+		t.Fatal("b+1 matching rejections not classified as permanent")
+	}
+	if c.permanentReadError(ErrStale) {
+		t.Fatal("ErrStale classified as permanent")
+	}
+	if !c.permanentReadError(ErrEquivocation) {
+		t.Fatal("proven equivocation classified as retryable")
+	}
+}
+
+// TestRetryDelayBounds: doubling from RetryBackoff, capped at
+// RetryBackoffMax, jittered within [delay/2, delay].
+func TestRetryDelayBounds(t *testing.T) {
+	r := newRig(t, 4, server.Policy{Consistency: wire.MRC})
+	c := r.client(t, "alice", 1, func(cfg *Config) {
+		cfg.RetryBackoff = 10 * time.Millisecond
+		cfg.RetryBackoffMax = 80 * time.Millisecond
+	})
+	cases := []struct {
+		attempt int
+		lo, hi  time.Duration
+	}{
+		{0, 5 * time.Millisecond, 10 * time.Millisecond},
+		{1, 10 * time.Millisecond, 20 * time.Millisecond},
+		{3, 40 * time.Millisecond, 80 * time.Millisecond},
+		{20, 40 * time.Millisecond, 80 * time.Millisecond}, // capped
+	}
+	for _, tc := range cases {
+		for i := 0; i < 50; i++ {
+			d := c.retryDelay(tc.attempt)
+			if d < tc.lo || d > tc.hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", tc.attempt, d, tc.lo, tc.hi)
+			}
+		}
+	}
+
+	// A non-positive base disables the pause.
+	off := r.client(t, "bob", 1, func(cfg *Config) { cfg.RetryBackoff = -1 })
+	if d := off.retryDelay(3); d != 0 {
+		t.Fatalf("disabled backoff returned %v", d)
+	}
+}

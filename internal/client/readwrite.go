@@ -56,7 +56,11 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
 		return wire.WriteReq{Write: w, Token: c.cfg.Token}
 	}, need); err != nil {
-		return timestamp.Stamp{}, fmt.Errorf("write %s: %w", item, err)
+		// The attempted stamp is returned alongside the error: the write
+		// may have landed on some servers before the quorum failed, and a
+		// history recorder (internal/chaos) must know which stamp a later
+		// read of that partial write would carry.
+		return stamp, fmt.Errorf("write %s: %w", item, err)
 	}
 
 	c.mu.Lock()
@@ -70,8 +74,11 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 // under CC, not causally overwritten by anything the client has seen
 // (Figure 2 for single-writer groups; Section 5.3 for multi-writer). When
 // the first quorum cannot supply a fresh-enough value, the client contacts
-// additional servers, then retries after a backoff — the paper's two
-// remedies — before giving up with ErrStale.
+// additional servers, then retries after an exponentially growing jittered
+// backoff — the paper's two remedies — before giving up with ErrStale.
+// Permanent failures (authorization rejection by more than b servers,
+// signature failure, proven equivocation) are returned immediately: see
+// errclass.go.
 func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
 	if !c.Connected() {
 		return nil, timestamp.Stamp{}, ErrNotConnected
@@ -92,16 +99,22 @@ func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp
 		if err == nil {
 			break
 		}
+		if c.permanentReadError(err) {
+			c.cfg.Metrics.AddCustom("read.permanent", 1)
+			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
+		}
 		if attempt >= c.cfg.ReadRetries || ctx.Err() != nil {
 			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
 		}
 		c.cfg.Metrics.AddCustom("read.retries", 1)
-		timer := time.NewTimer(c.cfg.RetryBackoff)
-		select {
-		case <-timer.C:
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, timestamp.Stamp{}, ctx.Err()
+		if delay := c.retryDelay(attempt); delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, timestamp.Stamp{}, ctx.Err()
+			}
 		}
 	}
 

@@ -43,6 +43,10 @@ type ClusterConfig struct {
 	// GossipMode selects push, pull or push-pull anti-entropy (default
 	// push).
 	GossipMode gossip.Mode
+	// GossipTimeout bounds each gossip exchange (default 2s). Fault
+	// harnesses lower it so a mute peer cannot stall a driven round for
+	// the full default.
+	GossipTimeout time.Duration
 	// LogDepth bounds the multi-writer per-item write logs.
 	LogDepth int
 	// DisableAuth omits the authorization service (micro-benchmarks that
@@ -200,12 +204,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		if mode == 0 {
 			mode = gossip.Push
 		}
-		eng := gossip.New(srv, c.Bus.Caller(srv.ID(), c.ServerMetrics), peers,
+		opts := []gossip.Option{
 			gossip.WithInterval(cfg.GossipInterval),
 			gossip.WithFanout(cfg.GossipFanout),
-			gossip.WithSeed(seedInt(cfg.Seed)+int64(i)),
+			gossip.WithSeed(seedInt(cfg.Seed) + int64(i)),
 			gossip.WithMode(mode),
-		)
+		}
+		if cfg.GossipTimeout > 0 {
+			opts = append(opts, gossip.WithTimeout(cfg.GossipTimeout))
+		}
+		eng := gossip.New(srv, c.Bus.Caller(srv.ID(), c.ServerMetrics), peers, opts...)
 		c.Engines = append(c.Engines, eng)
 	}
 	for _, id := range cfg.Principals {
@@ -277,6 +285,27 @@ func (c *Cluster) InjectFaults(mode server.FaultMode, count int) []string {
 		names = append(names, c.Servers[i].ID())
 	}
 	return names
+}
+
+// CrashServer simulates a process crash of server i: the replica stops
+// answering (Crash fault mode) but its write-ahead log, if any, survives.
+// Pair with RestartServer to model a crash-recovery cycle.
+func (c *Cluster) CrashServer(i int) {
+	c.Servers[i].SetFault(server.Crash)
+}
+
+// RestartServer restarts a crashed server i: its volatile state is
+// discarded and rebuilt from its write-ahead log (nothing, when the
+// cluster runs without DataDir — a restart then loses all state and the
+// replica must catch up entirely via gossip), and the replica resumes
+// answering. The server's gossip epoch changes so peers resynchronize
+// their high-water marks.
+func (c *Cluster) RestartServer(i int) error {
+	if err := c.Servers[i].Restart(); err != nil {
+		return fmt.Errorf("restart %s: %w", c.Servers[i].ID(), err)
+	}
+	c.Servers[i].SetFault(server.Healthy)
+	return nil
 }
 
 // HealAll returns every server to healthy behaviour.

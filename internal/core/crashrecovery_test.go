@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"securestore/internal/checker"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/gossip"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// TestCrashDuringGossipRecoversFromWAL kills a replica between gossip
+// rounds, keeps writing, restarts it from its write-ahead log and lets
+// pull anti-entropy close the gap — then checks the full history for
+// consistency violations.
+func TestCrashDuringGossipRecoversFromWAL(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 4, B: 1,
+		DataDir:    t.TempDir(),
+		GossipMode: gossip.Pull,
+		Principals: []string{"w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	c.RegisterGroup(group)
+	cl, err := c.NewClient(ClientSpec{ID: "w", Group: "g"}, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	hist := checker.New()
+	ctx := context.Background()
+	write := func(item, val string) {
+		t.Helper()
+		stamp, err := cl.Write(ctx, item, []byte(val))
+		if err != nil {
+			t.Fatalf("write %s: %v", item, err)
+		}
+		hist.RecordWrite("w", item, stamp, []byte(val), cl.Context())
+	}
+
+	// Phase 1: writes disseminate; victim participates in gossip.
+	write("a", "a1")
+	write("b", "b1")
+	c.Converge()
+
+	// The victim crashes mid-gossip; the cluster keeps accepting writes.
+	victim := 3
+	c.CrashServer(victim)
+	write("a", "a2")
+	write("c", "c1")
+	c.Converge() // victim unreachable; the others converge around it
+
+	// Restart from the WAL: pre-crash state must survive, and pull
+	// anti-entropy must fetch what the victim missed.
+	if err := c.RestartServer(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.Converge()
+
+	for _, item := range []string{"a", "b", "c"} {
+		want := c.Servers[0].Head("g", item)
+		got := c.Servers[victim].Head("g", item)
+		if want == nil || got == nil || got.Stamp != want.Stamp {
+			t.Fatalf("item %s: restarted replica head %v, cluster head %v", item, got, want)
+		}
+	}
+
+	for _, item := range []string{"a", "b", "c"} {
+		val, stamp, err := cl.Read(ctx, item)
+		if err != nil {
+			t.Fatalf("read %s: %v", item, err)
+		}
+		hist.RecordRead("w", item, stamp, val)
+	}
+	for _, v := range hist.Check() {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestRestartedReplicaResyncsRenumberedLog forces the sequence-regression
+// case the pull epoch exists for: a replica accumulates a long update log,
+// its peers pull all of it, then it crashes and recovers from a compacted
+// WAL — renumbering its log far below the peers' high-water marks. A
+// write that lands only on the restarted replica must still disseminate:
+// without the epoch reset the peers would pull past it forever.
+func TestRestartedReplicaResyncsRenumberedLog(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		N: 4, B: 1,
+		DataDir:     t.TempDir(),
+		GossipMode:  gossip.Pull,
+		DisableAuth: true,
+		Principals:  []string{"w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	group := GroupSpec{Name: "g", Consistency: wire.MRC}
+	c.RegisterGroup(group)
+
+	// 70 overwrites of one item through s00: enough records for its WAL to
+	// compact (the log keeps one live head), so recovery renumbers its
+	// update log from ~70 down to a handful.
+	key := cryptoutil.DeterministicKeyPair("w", "seed")
+	c.Ring.MustRegister("w", key.Public)
+	put := func(srv int, ts uint64, val string) {
+		t.Helper()
+		w := &wire.SignedWrite{Group: "g", Item: "x", Stamp: timestamp.Stamp{Time: ts}, Value: []byte(val)}
+		w.Sign(key, nil)
+		if _, err := c.Servers[srv].ServeRequest(context.Background(), "w", wire.WriteReq{Write: w}); err != nil {
+			t.Fatalf("direct write to %s: %v", c.Servers[srv].ID(), err)
+		}
+	}
+	for i := 1; i <= 70; i++ {
+		put(0, uint64(i), fmt.Sprintf("v%d", i))
+	}
+	c.Converge() // every peer's pull mark on s00 is now ~70
+
+	c.CrashServer(0)
+	if err := c.RestartServer(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh write lands only on the restarted replica, whose renumbered
+	// log assigns it a sequence number far below the peers' old marks.
+	put(0, 1000, "post-restart")
+	c.Converge()
+	for i, srv := range c.Servers {
+		head := srv.Head("g", "x")
+		if head == nil || head.Stamp.Time != 1000 {
+			t.Fatalf("server %d head %v: peers skipped the restarted replica's renumbered updates", i, head)
+		}
+	}
+}

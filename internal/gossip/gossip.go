@@ -45,16 +45,25 @@ type Engine struct {
 	timeout  time.Duration
 	mode     Mode
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	acked  map[string]uint64 // per-peer high-water: what we pushed to them
-	pulled map[string]uint64 // per-peer high-water: what we pulled from them
+	mu        sync.Mutex
+	rng       *rand.Rand
+	acked     map[string]uint64 // per-peer high-water: what we pushed to them
+	pulled    map[string]uint64 // per-peer high-water: what we pulled from them
+	peerEpoch map[string]uint64 // last epoch seen in a peer's pull reply
+	selfEpoch uint64            // our server's epoch when acked was last valid
+	round     int               // Round() invocations, for failure backoff
+	fails     map[string]int    // consecutive failed exchanges per peer
+	nextTry   map[string]int    // round before which a failing peer is skipped
 
 	started  bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
 }
+
+// maxPeerBackoff caps the per-peer failure backoff at this many rounds, so
+// a recovered peer is re-probed within a bounded delay.
+const maxPeerBackoff = 32
 
 // Option configures an Engine.
 type Option interface{ apply(*Engine) }
@@ -92,18 +101,22 @@ func WithMode(m Mode) Option {
 // (the other servers' names).
 func New(srv *server.Server, caller transport.Caller, peers []string, opts ...Option) *Engine {
 	e := &Engine{
-		srv:      srv,
-		caller:   caller,
-		peers:    append([]string(nil), peers...),
-		interval: 50 * time.Millisecond,
-		fanout:   2,
-		timeout:  2 * time.Second,
-		mode:     Push,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
-		acked:    make(map[string]uint64),
-		pulled:   make(map[string]uint64),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		srv:       srv,
+		caller:    caller,
+		peers:     append([]string(nil), peers...),
+		interval:  50 * time.Millisecond,
+		fanout:    2,
+		timeout:   2 * time.Second,
+		mode:      Push,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		acked:     make(map[string]uint64),
+		pulled:    make(map[string]uint64),
+		peerEpoch: make(map[string]uint64),
+		selfEpoch: srv.Epoch(),
+		fails:     make(map[string]int),
+		nextTry:   make(map[string]int),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt.apply(e)
@@ -154,10 +167,18 @@ func (e *Engine) loop() {
 }
 
 // Round performs one gossip round against fanout randomly chosen peers,
-// in the configured mode. It returns the total number of writes exchanged
-// (applied remotely by pushes plus applied locally by pulls). Exposed so
-// tests and experiments can drive gossip deterministically.
+// in the configured mode. Peers whose recent exchanges failed are skipped
+// for an exponentially growing number of rounds (capped at
+// maxPeerBackoff), so a crashed or partitioned-away peer does not consume
+// the round's fanout — and its timeout budget — every period. Round
+// returns the total number of writes exchanged (applied remotely by
+// pushes plus applied locally by pulls). Exposed so tests and experiments
+// can drive gossip deterministically.
 func (e *Engine) Round() int {
+	e.mu.Lock()
+	e.round++
+	e.mu.Unlock()
+	e.resyncEpoch()
 	peers := e.pickPeers()
 	applied := 0
 	for _, peer := range peers {
@@ -172,8 +193,10 @@ func (e *Engine) Round() int {
 }
 
 // PushAll pushes pending updates to every peer once (used by convergence
-// helpers).
+// helpers). It ignores the failure backoff: convergence helpers want a
+// deterministic full sweep.
 func (e *Engine) PushAll() int {
+	e.resyncEpoch()
 	applied := 0
 	for _, peer := range e.peers {
 		applied += e.pushTo(peer)
@@ -181,7 +204,8 @@ func (e *Engine) PushAll() int {
 	return applied
 }
 
-// PullAll pulls pending updates from every peer once.
+// PullAll pulls pending updates from every peer once, ignoring the
+// failure backoff.
 func (e *Engine) PullAll() int {
 	applied := 0
 	for _, peer := range e.peers {
@@ -190,18 +214,58 @@ func (e *Engine) PullAll() int {
 	return applied
 }
 
+// resyncEpoch detects that our own server restarted (its epoch changed):
+// the rebuilt update log renumbers entries, so every push high-water mark
+// is stale and pushing must restart from zero. Writes are self-verifying
+// and deduplicated by receivers, so over-pushing is safe; skipping is not.
+func (e *Engine) resyncEpoch() {
+	epoch := e.srv.Epoch()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if epoch != e.selfEpoch {
+		e.selfEpoch = epoch
+		e.acked = make(map[string]uint64)
+	}
+}
+
+// pickPeers selects up to fanout peers that are not in failure backoff.
 func (e *Engine) pickPeers() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.fanout >= len(e.peers) {
-		return append([]string(nil), e.peers...)
+	eligible := make([]string, 0, len(e.peers))
+	for _, p := range e.peers {
+		if e.round >= e.nextTry[p] {
+			eligible = append(eligible, p)
+		}
 	}
-	idx := e.rng.Perm(len(e.peers))[:e.fanout]
+	if e.fanout >= len(eligible) {
+		return eligible
+	}
+	idx := e.rng.Perm(len(eligible))[:e.fanout]
 	out := make([]string, 0, e.fanout)
 	for _, i := range idx {
-		out = append(out, e.peers[i])
+		out = append(out, eligible[i])
 	}
 	return out
+}
+
+// recordExchange tracks per-peer success/failure for the backoff: each
+// consecutive failure doubles the number of rounds the peer is skipped,
+// up to maxPeerBackoff; any success resets it.
+func (e *Engine) recordExchange(peer string, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ok {
+		delete(e.fails, peer)
+		delete(e.nextTry, peer)
+		return
+	}
+	e.fails[peer]++
+	backoff := 1 << min(e.fails[peer], 10)
+	if backoff > maxPeerBackoff {
+		backoff = maxPeerBackoff
+	}
+	e.nextTry[peer] = e.round + backoff
 }
 
 func (e *Engine) pushTo(peer string) int {
@@ -223,62 +287,104 @@ func (e *Engine) pushTo(peer string) int {
 	defer cancel()
 	resp, err := e.caller.Call(ctx, peer, wire.GossipPushReq{From: e.srv.ID(), Writes: writes})
 	if err != nil {
+		e.recordExchange(peer, false)
 		return 0
 	}
+	ack, ok := resp.(wire.GossipPushResp)
+	if !ok {
+		// A Byzantine peer answering with a malformed ack must not count
+		// as delivery: advancing the high-water mark here would make this
+		// pusher permanently skip these writes for that peer.
+		e.recordExchange(peer, false)
+		return 0
+	}
+	e.recordExchange(peer, true)
 	e.mu.Lock()
 	if seq > e.acked[peer] {
 		e.acked[peer] = seq
 	}
 	e.mu.Unlock()
-	if ack, ok := resp.(wire.GossipPushResp); ok {
-		return ack.Applied
-	}
-	return 0
+	return ack.Applied
 }
 
 // pullFrom fetches the peer's updates past our high-water mark and
 // applies them locally through full validation.
 func (e *Engine) pullFrom(peer string) int {
-	if f := e.srv.Fault(); f == server.Crash || f == server.Mute {
-		return 0
-	}
-	e.mu.Lock()
-	after := e.pulled[peer]
-	e.mu.Unlock()
-
-	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
-	defer cancel()
-	resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after})
-	if err != nil {
-		return 0
-	}
-	pr, ok := resp.(wire.GossipPullResp)
-	if !ok {
+	// A stale replica discards fresh updates (it serves only its oldest
+	// state), so pulling while stale would advance the high-water mark
+	// over writes that were never integrated — leaving a permanent gap
+	// once the replica heals. Skip, and catch up after healing.
+	if f := e.srv.Fault(); f == server.Crash || f == server.Mute || f == server.Stale {
 		return 0
 	}
 	applied := 0
-	for _, w := range pr.Writes {
-		if e.srv.ApplyDisseminated(w) {
-			applied++
+	for attempt := 0; attempt < 2; attempt++ {
+		e.mu.Lock()
+		after := e.pulled[peer]
+		e.mu.Unlock()
+
+		ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+		resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after})
+		cancel()
+		if err != nil {
+			e.recordExchange(peer, false)
+			return applied
+		}
+		pr, ok := resp.(wire.GossipPullResp)
+		if !ok {
+			e.recordExchange(peer, false)
+			return applied
+		}
+		e.recordExchange(peer, true)
+		for _, w := range pr.Writes {
+			if e.srv.ApplyDisseminated(w) {
+				applied++
+			}
+		}
+		e.mu.Lock()
+		prev, seen := e.peerEpoch[peer]
+		e.peerEpoch[peer] = pr.Epoch
+		restarted := seen && prev != pr.Epoch
+		if restarted {
+			// The peer restarted: its rebuilt update log renumbers entries,
+			// so our mark may point past (or into the middle of) a log that
+			// no longer matches it. Resynchronize from zero and re-pull in
+			// the same exchange — a convergence sweep must observe any
+			// renumbered updates now, not a sweep later (receivers
+			// deduplicate, so over-fetching is safe).
+			e.pulled[peer] = 0
+		} else if pr.Seq > e.pulled[peer] {
+			e.pulled[peer] = pr.Seq
+		}
+		e.mu.Unlock()
+		if !restarted {
+			break
 		}
 	}
-	e.mu.Lock()
-	if pr.Seq > e.pulled[peer] {
-		e.pulled[peer] = pr.Seq
-	}
-	e.mu.Unlock()
 	return applied
 }
 
-// Converge drives rounds across all engines until a full sweep applies no
-// new writes anywhere (or maxSweeps is hit). It returns the number of
-// sweeps performed. Used by tests and experiments that need the store fully
+// Converge drives full sweeps across all engines until a sweep applies no
+// new writes anywhere (or maxSweeps is hit), respecting each engine's
+// configured mode: a pull-only engine converges by pulling and a
+// push-pull engine does both — previously Converge drove PushAll on every
+// engine, so pull-only ablations (A5) quietly converged via the pushes
+// they claimed to disable. The pull direction also matters for recovery:
+// pushers skip updates a peer already (possibly falsely) acknowledged, so
+// a replica that lied while Byzantine — or was wiped by a crash — closes
+// its gaps only by pulling them itself. It returns the number of sweeps
+// performed. Used by tests and experiments that need the store fully
 // disseminated before measuring.
 func Converge(engines []*Engine, maxSweeps int) int {
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		applied := 0
 		for _, e := range engines {
-			applied += e.PushAll()
+			if e.mode == Pull || e.mode == PushPull {
+				applied += e.PullAll()
+			}
+			if e.mode == Push || e.mode == PushPull {
+				applied += e.PushAll()
+			}
 		}
 		if applied == 0 {
 			return sweep

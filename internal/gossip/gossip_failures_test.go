@@ -1,0 +1,186 @@
+package gossip
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securestore/internal/server"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// TestMalformedPushAckDoesNotAdvance is the regression test for the
+// high-water-mark bug: a Byzantine peer acknowledging a push with a
+// malformed reply must not count as delivery. Before the fix, pushTo
+// advanced acked[peer] before checking the reply's type, so the peer was
+// permanently skipped over those writes.
+func TestMalformedPushAckDoesNotAdvance(t *testing.T) {
+	m := newMesh(t, 2)
+	honest := m.servers[1]
+
+	// An equivocating peer: accepts the push but answers with a reply of
+	// the wrong type, swallowing the writes it claims to acknowledge.
+	m.bus.Register("b", transport.HandlerFunc(
+		func(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+			if _, ok := req.(wire.GossipPushReq); ok {
+				return wire.Ack{}, nil // well-received, wrongly acked, never applied
+			}
+			return honest.ServeRequest(ctx, from, req)
+		}))
+
+	m.writeTo(t, 0, "x", []byte("v"), 1)
+	if applied := m.engines[0].PushAll(); applied != 0 {
+		t.Fatalf("malformed ack counted as %d applied writes", applied)
+	}
+	if honest.Head("g", "x") != nil {
+		t.Fatal("test setup: the equivocating handler should have swallowed the write")
+	}
+
+	// The peer stops equivocating: the very next push must retry the same
+	// writes — they were never acknowledged properly.
+	m.bus.Register("b", honest)
+	if applied := m.engines[0].PushAll(); applied != 1 {
+		t.Fatalf("retry after honest ack applied %d writes, want 1", applied)
+	}
+	if honest.Head("g", "x") == nil {
+		t.Fatal("peer never received the write after the malformed ack")
+	}
+}
+
+// TestConvergeRespectsPullMode is the regression test for Converge
+// driving PushAll on every engine regardless of mode: a pull-only
+// deployment must converge through GossipPullReq traffic only.
+func TestConvergeRespectsPullMode(t *testing.T) {
+	m := newMesh(t, 3, WithMode(Pull))
+	var pushes atomic.Int64
+	for i, name := range []string{"a", "b", "c"} {
+		srv := m.servers[i]
+		m.bus.Register(name, transport.HandlerFunc(
+			func(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+				if _, ok := req.(wire.GossipPushReq); ok {
+					pushes.Add(1)
+				}
+				return srv.ServeRequest(ctx, from, req)
+			}))
+	}
+
+	m.writeTo(t, 0, "x", []byte("v"), 1)
+	Converge(m.engines, 20)
+	for i, srv := range m.servers {
+		if srv.Head("g", "x") == nil {
+			t.Fatalf("server %d did not converge by pulling", i)
+		}
+	}
+	if n := pushes.Load(); n != 0 {
+		t.Fatalf("pull-only convergence sent %d pushes, want 0", n)
+	}
+}
+
+// TestPushPullConvergeUsesBothDirections: a push-pull engine converges
+// even when its peer lied to pushes while Byzantine — the pull direction
+// closes the gap the lying acknowledgements opened.
+func TestPushPullConvergeUsesBothDirections(t *testing.T) {
+	m := newMesh(t, 2, WithMode(PushPull))
+	// Peer b goes stale: it acks pushes without applying them.
+	m.servers[1].SetFault(server.Stale)
+	m.writeTo(t, 0, "x", []byte("v"), 1)
+	m.engines[0].PushAll() // acked[b] advances over the lie
+	m.servers[1].SetFault(server.Healthy)
+
+	Converge(m.engines, 20)
+	if m.servers[1].Head("g", "x") == nil {
+		t.Fatal("push-pull convergence never closed the gap a lying ack opened")
+	}
+}
+
+// TestPerPeerFailureBackoff: a dead peer is probed ever more rarely
+// instead of consuming fanout and timeout budget every round, and is
+// caught up promptly once it heals.
+func TestPerPeerFailureBackoff(t *testing.T) {
+	m := newMesh(t, 3, WithTimeout(50*time.Millisecond))
+	dead := m.servers[1]
+	var calls atomic.Int64
+	m.bus.Register("b", transport.HandlerFunc(
+		func(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+			calls.Add(1)
+			return dead.ServeRequest(ctx, from, req)
+		}))
+	dead.SetFault(server.Crash)
+
+	// Fresh write every round, so every round wants to push to b.
+	rounds := 40
+	for i := 1; i <= rounds; i++ {
+		m.writeTo(t, 0, "x", []byte{byte(i)}, uint64(i))
+		m.engines[0].Round()
+	}
+	if n := calls.Load(); n >= int64(rounds) || n == 0 {
+		t.Fatalf("dead peer probed %d times over %d rounds, want a backed-off handful", n, rounds)
+	}
+	// The healthy peer was never starved.
+	if m.servers[2].Head("g", "x") == nil {
+		t.Fatal("healthy peer starved while the dead peer backed off")
+	}
+
+	// Heal: within maxPeerBackoff rounds the peer is probed again and
+	// catches up.
+	dead.SetFault(server.Healthy)
+	for i := 0; i < maxPeerBackoff+1; i++ {
+		m.engines[0].Round()
+	}
+	if dead.Head("g", "x") == nil {
+		t.Fatal("healed peer never caught up after backoff")
+	}
+}
+
+// TestPullResyncsAfterPeerRestart: a restarted peer renumbers its update
+// log, so a puller holding a pre-crash high-water mark would silently
+// skip everything the peer accepts after the restart. The epoch in pull
+// replies forces the mark back to zero.
+func TestPullResyncsAfterPeerRestart(t *testing.T) {
+	m := newMesh(t, 2, WithMode(Pull))
+	for i := 1; i <= 5; i++ {
+		m.writeTo(t, 0, "x", []byte{byte(i)}, uint64(i))
+	}
+	if applied := m.engines[1].PullAll(); applied == 0 {
+		t.Fatal("initial pull applied nothing")
+	}
+
+	// Peer a restarts with no WAL: its state and update log are empty and
+	// its sequence numbers restart from zero — far below b's mark of 5.
+	if err := m.servers[0].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	m.writeTo(t, 0, "y", []byte("post"), 1)
+
+	// First pull observes the epoch change and resets the mark; the next
+	// one fetches the renumbered log from the start.
+	m.engines[1].PullAll()
+	m.engines[1].PullAll()
+	if m.servers[1].Head("g", "y") == nil {
+		t.Fatal("puller skipped the restarted peer's renumbered updates")
+	}
+}
+
+// TestStaleEngineDoesNotBurnPullMarks: while a replica is stale it
+// discards fresh updates, so its engine must not pull (advancing the
+// high-water mark over writes that were never integrated would leave a
+// permanent gap after healing).
+func TestStaleEngineDoesNotBurnPullMarks(t *testing.T) {
+	m := newMesh(t, 2, WithMode(Pull))
+	m.servers[1].SetFault(server.Stale)
+	for i := 1; i <= 3; i++ {
+		m.writeTo(t, 0, "x", []byte{byte(i)}, uint64(i))
+	}
+	if applied := m.engines[1].PullAll(); applied != 0 {
+		t.Fatalf("stale engine pulled %d writes", applied)
+	}
+	m.servers[1].SetFault(server.Healthy)
+	if applied := m.engines[1].PullAll(); applied == 0 {
+		t.Fatal("healed replica pulled nothing — its mark was burnt while stale")
+	}
+	if head := m.servers[1].Head("g", "x"); head == nil || head.Stamp.Time != 3 {
+		t.Fatalf("healed replica head = %v, want stamp 3", head)
+	}
+}

@@ -76,6 +76,65 @@ func Validate(n, b int) error {
 	return nil
 }
 
+// GatherError reports a failed quorum operation together with every
+// per-server failure observed, so callers can classify the overall
+// failure: a read that found only timeouts is worth retrying, while one
+// rejected as unauthorized by more than b servers is doomed (at least one
+// honest server rejected it) and should fail fast.
+type GatherError struct {
+	// Need is the number of successful replies required; Successes how
+	// many arrived before the operation gave up; Servers the size of the
+	// contacted server set.
+	Need, Successes, Servers int
+	// Errs holds the per-server (or context) errors observed.
+	Errs []error
+}
+
+// Error renders the failure.
+func (e *GatherError) Error() string {
+	return fmt.Sprintf("quorum: insufficient replies: got %d of %d needed replies from %d servers",
+		e.Successes, e.Need, e.Servers)
+}
+
+// Unwrap exposes ErrInsufficient plus every per-server error, so both
+// errors.Is(err, ErrInsufficient) and errors.Is(err, <server cause>)
+// hold.
+func (e *GatherError) Unwrap() []error {
+	return append([]error{ErrInsufficient}, e.Errs...)
+}
+
+// CountCause returns how many per-server errors match target under
+// errors.Is. Callers use it to decide whether a failure is attributable
+// to more than b servers (and therefore to at least one honest one).
+func (e *GatherError) CountCause(target error) int {
+	n := 0
+	for _, err := range e.Errs {
+		if errors.Is(err, target) {
+			n++
+		}
+	}
+	return n
+}
+
+// gatherError assembles a GatherError from collected replies plus any
+// extra errors (e.g. a context cancellation).
+func gatherError(need, servers int, collected []Reply, extra ...error) *GatherError {
+	ge := &GatherError{Need: need, Servers: servers}
+	for _, r := range collected {
+		if r.Err != nil {
+			ge.Errs = append(ge.Errs, r.Err)
+		} else {
+			ge.Successes++
+		}
+	}
+	for _, err := range extra {
+		if err != nil {
+			ge.Errs = append(ge.Errs, err)
+		}
+	}
+	return ge
+}
+
 // Reply is one server's answer to a scattered request.
 type Reply struct {
 	Server string
@@ -133,8 +192,7 @@ func GatherAll(ctx context.Context, caller transport.Caller, servers []string, b
 			}
 		}
 	}
-	return collected, fmt.Errorf("%w: got %d of %d needed replies from %d servers",
-		ErrInsufficient, successes, need, len(servers))
+	return collected, gatherError(need, len(servers), collected)
 }
 
 // GatherStaged contacts exactly need servers first and expands to
@@ -186,10 +244,9 @@ func GatherStaged(ctx context.Context, caller transport.Caller, servers []string
 			}
 		case <-ctx.Done():
 			go func() { wg.Wait(); close(replies) }()
-			return collected, fmt.Errorf("%w: %v", ErrInsufficient, ctx.Err())
+			return collected, gatherError(need, len(servers), collected, ctx.Err())
 		}
 	}
 	go func() { wg.Wait(); close(replies) }()
-	return collected, fmt.Errorf("%w: got %d of %d needed replies from %d servers",
-		ErrInsufficient, successes, need, len(servers))
+	return collected, gatherError(need, len(servers), collected)
 }

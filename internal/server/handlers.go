@@ -220,10 +220,12 @@ func (s *Server) handleGossipPush(from string, r wire.GossipPushReq) (wire.Respo
 func (s *Server) handleGossipPull(from string, r wire.GossipPullReq) (wire.Response, error) {
 	_ = from // pulls are served to any peer; writes are self-verifying
 	if s.fault == Stale {
-		return wire.GossipPullResp{Seq: r.After}, nil // pretends to have nothing new
+		// Pretends to have nothing new (and echoes a stable epoch so the
+		// puller never resets its mark over the lie).
+		return wire.GossipPullResp{Seq: r.After, Epoch: s.epoch}, nil
 	}
 	writes, seq := s.updatesSinceLocked(r.After)
-	return wire.GossipPullResp{Writes: writes, Seq: seq}, nil
+	return wire.GossipPullResp{Writes: writes, Seq: seq, Epoch: s.epoch}, nil
 }
 
 // ApplyDisseminated validates and integrates one pulled write, reporting

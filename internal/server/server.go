@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"securestore/internal/accessctl"
 	"securestore/internal/cryptoutil"
@@ -148,8 +149,14 @@ type Server struct {
 	pending    []*wire.SignedWrite // multi-writer writes awaiting causal predecessors
 	updates    []*wire.SignedWrite // dissemination log, in acceptance order
 	seq        uint64              // first update in updates has sequence seq-len(updates)+1
+	epoch      uint64              // in-memory incarnation; changes on Restart
 	recovering bool                // true while replaying the persistence log
 }
+
+// epochCounter hands out process-unique epochs so that any two server
+// incarnations — a Restart of one server, or a fresh Server object taking
+// over a crashed one's name — are distinguishable by gossip peers.
+var epochCounter atomic.Uint64
 
 type itemKey struct{ group, item string }
 
@@ -185,6 +192,7 @@ func New(cfg Config) *Server {
 		policies: make(map[string]Policy),
 		items:    make(map[itemKey]*itemState),
 		contexts: make(map[ctxKey]*ctxState),
+		epoch:    epochCounter.Add(1),
 	}
 }
 
@@ -291,12 +299,50 @@ func stampOf(w *wire.SignedWrite) timestamp.Stamp {
 // writes go through full validation (signature, stamp discipline, causal
 // gating), so corrupt or forged log entries are skipped rather than
 // trusted.
+//
+// Recover holds the server mutex for the whole replay, so requests —
+// including gossip pushes and pulls from peers — that arrive while
+// recovery runs simply queue behind it and are served against the fully
+// recovered state; recovery and gossip catch-up cannot interleave
+// half-replayed state.
 func (s *Server) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverLocked()
+}
+
+// Restart models a process crash and reboot in place: all volatile state
+// is discarded, the write-ahead log is replayed, and the server's gossip
+// epoch changes so peers discard their pull high-water marks (the rebuilt
+// dissemination log generally renumbers updates — without the epoch
+// change a peer whose mark exceeds the rebuilt log's length would skip
+// every update until the log grew past its stale mark). The caller is
+// responsible for the fault mode: a typical crash sequence is
+// SetFault(Crash), later Restart() then SetFault(Healthy).
+func (s *Server) Restart() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[itemKey]*itemState)
+	s.contexts = make(map[ctxKey]*ctxState)
+	s.pending = nil
+	s.updates = nil
+	s.seq = 0
+	s.epoch = epochCounter.Add(1)
+	return s.recoverLocked()
+}
+
+// Epoch returns the server's current in-memory incarnation (see Restart).
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// recoverLocked replays the persistence log; caller holds s.mu.
+func (s *Server) recoverLocked() error {
 	if s.cfg.Persist == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.recovering = true
 	defer func() { s.recovering = false }()
 

@@ -85,6 +85,15 @@ func (n *Network) SetDefault(p Profile) {
 	n.defaultP = p
 }
 
+// SetDropRate changes only the loss probability of the default profile,
+// keeping its delays — the knob fault-injection harnesses turn for lossy
+// phases without disturbing the latency model.
+func (n *Network) SetDropRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultP.DropRate = rate
+}
+
 // Partition places the named nodes in the numbered partition (id > 0).
 // Nodes in different non-zero partitions cannot exchange messages; nodes in
 // partition 0 (the default) can talk to everyone.

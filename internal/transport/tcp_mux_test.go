@@ -294,4 +294,3 @@ func TestTCPPipeliningBeatsSerialized(t *testing.T) {
 	}
 	t.Logf("serialized=%v multiplexed=%v (%.1fx)", serial, mux, float64(serial)/float64(mux))
 }
-

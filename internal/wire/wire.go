@@ -267,6 +267,12 @@ type GossipPullReq struct {
 type GossipPullResp struct {
 	Writes []*SignedWrite
 	Seq    uint64
+	// Epoch identifies the server's in-memory incarnation. A crashed and
+	// restarted replica rebuilds its update log from its WAL, so its
+	// sequence numbers no longer align with what peers pulled before the
+	// crash; a changed epoch tells the puller to discard its high-water
+	// mark and resynchronize from zero.
+	Epoch uint64
 }
 
 func (ContextReadReq) WireRequest()   {}
