@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench tables tables-quick examples cover
+.PHONY: all build test race bench tables tables-quick examples cover docs
 
 all: build test
 
@@ -29,3 +29,10 @@ examples:
 cover:
 	go test -coverprofile=cover.out ./internal/...
 	go tool cover -func=cover.out | tail -1
+
+# The CI docs gate: formatting, vet, markdown link integrity, and
+# doc-comment coverage for the observability packages.
+docs:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	go run ./cmd/doccheck

@@ -1,0 +1,213 @@
+// Command doccheck is the repo's documentation gate, run by the CI docs
+// job (and `make docs`). It enforces two properties that rot silently:
+//
+//  1. Markdown link integrity: every relative link or image target in the
+//     repo's *.md files must exist on disk (anchors and external URLs are
+//     not checked — no network in CI).
+//  2. Doc-comment coverage: every exported identifier in the packages
+//     listed in docPackages (the observability layer, whose godoc is the
+//     operator-facing API reference) must carry a doc comment.
+//
+// Usage:
+//
+//	doccheck [-root DIR]
+//
+// Exits non-zero listing every violation; prints "doccheck ok" otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// docPackages are the directories whose exported identifiers must all be
+// documented. The observability packages are held to this bar because
+// OPERATIONS.md points operators at their godoc.
+var docPackages = []string{"internal/trace", "internal/metrics"}
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	mdProblems, err := checkMarkdownLinks(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, mdProblems...)
+
+	for _, pkg := range docPackages {
+		pkgProblems, err := checkDocComments(filepath.Join(*root, pkg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, pkgProblems...)
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck ok")
+}
+
+// mdLink matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style definitions ([id]: target) are rare in
+// this repo and skipped.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks verifies that every relative link target in the
+// repo's markdown files points at an existing file or directory.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and build/data output directories.
+			switch d.Name() {
+			case ".git", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLinkTarget(target) {
+					continue
+				}
+				// Strip any #anchor; an empty remainder means a
+				// same-file anchor, already skipped above.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken relative link %q", path, lineNo+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// skipLinkTarget reports whether a link target is outside this checker's
+// scope: absolute URLs, mailto, and in-page anchors.
+func skipLinkTarget(target string) bool {
+	if target == "" || strings.HasPrefix(target, "#") {
+		return true
+	}
+	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+		return true // http:, https:, mailto:, ...
+	}
+	return false
+}
+
+// checkDocComments parses one package directory (tests excluded) and
+// reports every exported top-level identifier lacking a doc comment.
+// Fields and methods of documented types are not required to be
+// individually documented — the type's comment may cover them — but
+// exported methods with no comment at all are flagged.
+func checkDocComments(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	flag := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					kind := "function"
+					name := d.Name.Name
+					if d.Recv != nil {
+						kind = "method"
+						name = recvName(d.Recv) + "." + name
+					}
+					flag(d.Pos(), kind, name)
+				case *ast.GenDecl:
+					// A doc comment on the grouped declaration covers all
+					// its specs (the common `var ( ... )` idiom).
+					groupDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+								flag(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if groupDoc || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									flag(s.Pos(), "value", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// recvName renders a method receiver's type name for a diagnostic.
+func recvName(fl *ast.FieldList) string {
+	if len(fl.List) == 0 {
+		return "?"
+	}
+	t := fl.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}

@@ -45,7 +45,7 @@ func bootDeployment(t *testing.T) string {
 		t.Fatal(err)
 	}
 	for _, name := range cfg.ServerNames() {
-		srv, engine, err := deploy.BuildServer(cfg, name, "")
+		srv, engine, err := deploy.BuildServer(cfg, name, "", nil)
 		if err != nil {
 			t.Fatal(err)
 		}

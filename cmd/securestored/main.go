@@ -26,16 +26,27 @@
 // Usage:
 //
 //	securestored -config demo.json -name s00
+//
+// With -debug-addr the replica additionally serves its live observability
+// state over HTTP: /metrics (Prometheus text format, or JSON with
+// ?format=json), /traces (recent operation spans), and /healthz. With
+// -trace-log every completed span is appended to a JSON-lines file. See
+// OPERATIONS.md for the full reference.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"securestore/internal/debughttp"
 	"securestore/internal/deploy"
+	"securestore/internal/server"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -53,6 +64,8 @@ func run(args []string) error {
 		configPath = fs.String("config", "", "path to the deployment config (required)")
 		name       = fs.String("name", "", "this replica's name from the config (required)")
 		dataDir    = fs.String("data", "", "directory for durable replica state (empty: in-memory only)")
+		debugAddr  = fs.String("debug-addr", "", "HTTP address for /metrics, /traces and /healthz (empty: disabled)")
+		traceLog   = fs.String("trace-log", "", "append completed spans to this JSON-lines file (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,11 +74,14 @@ func run(args []string) error {
 		return fmt.Errorf("-config and -name are required")
 	}
 
-	bound, shutdown, err := startReplica(*configPath, *name, *dataDir)
+	bound, debugBound, shutdown, err := startReplica(*configPath, *name, *dataDir, *debugAddr, *traceLog)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("securestored %s listening on %s\n", *name, bound)
+	if debugBound != "" {
+		fmt.Printf("securestored %s debug endpoint on http://%s\n", *name, debugBound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -78,31 +94,88 @@ func run(args []string) error {
 
 // startReplica boots one replica process: load config, build the server
 // (recovering durable state when dataDir is set), serve TCP, start
-// gossip. It returns the bound address and a shutdown function.
-func startReplica(configPath, name, dataDir string) (string, func(), error) {
+// gossip, and — when debugAddr is non-empty — serve the debug HTTP
+// endpoint. It returns the bound replica address, the bound debug address
+// (empty when disabled), and a shutdown function.
+func startReplica(configPath, name, dataDir, debugAddr, traceLog string) (string, string, func(), error) {
 	cfg, err := deploy.Load(configPath)
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	addr, ok := cfg.Servers[name]
 	if !ok {
-		return "", nil, fmt.Errorf("server %q not in config", name)
+		return "", "", nil, fmt.Errorf("server %q not in config", name)
 	}
 
+	// The replica is always instrumented: tracing costs well under 3% of
+	// the hot path (EXPERIMENTS.md O1) and keeps the debug endpoint and
+	// span log ready without a restart.
+	var traceOpts []trace.Option
+	var traceFile *os.File
+	if traceLog != "" {
+		traceFile, err = os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return "", "", nil, fmt.Errorf("open trace log: %w", err)
+		}
+		traceOpts = append(traceOpts, trace.WithSink(traceFile))
+	}
+	obs := deploy.NewObs(traceOpts...)
+
 	wire.RegisterGob()
-	srv, engine, err := deploy.BuildServer(cfg, name, dataDir)
+	srv, engine, err := deploy.BuildServer(cfg, name, dataDir, obs)
 	if err != nil {
-		return "", nil, err
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		return "", "", nil, err
 	}
 
 	tcp := transport.NewTCPServer(srv)
 	bound, err := tcp.Serve(addr)
 	if err != nil {
-		return "", nil, err
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		return "", "", nil, err
 	}
+
+	debugBound := ""
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		handler := debughttp.Handler(debughttp.State{
+			Counters:  obs.Counters,
+			Latencies: obs.Latencies,
+			Tracer:    obs.Tracer,
+			Health: func() error {
+				if f := srv.Fault(); f != server.Healthy {
+					return fmt.Errorf("replica %s is %s", name, f)
+				}
+				return nil
+			},
+			Info: map[string]string{"server": name, "addr": bound},
+		})
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			tcp.Close()
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return "", "", nil, fmt.Errorf("debug listen: %w", err)
+		}
+		debugBound = ln.Addr().String()
+		debugSrv = &http.Server{Handler: handler}
+		go debugSrv.Serve(ln)
+	}
+
 	engine.Start()
-	return bound, func() {
+	return bound, debugBound, func() {
 		engine.Stop()
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		tcp.Close()
+		if traceFile != nil {
+			traceFile.Close()
+		}
 	}, nil
 }

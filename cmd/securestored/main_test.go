@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,14 +49,19 @@ func TestStartReplicaServesAndShutsDown(t *testing.T) {
 	}
 
 	var shutdowns []func()
+	var debugBounds []string
 	for _, name := range cfg.ServerNames() {
-		bound, shutdown, err := startReplica(config, name, "")
+		bound, debugBound, shutdown, err := startReplica(config, name, "", "127.0.0.1:0", "")
 		if err != nil {
 			t.Fatalf("start %s: %v", name, err)
 		}
 		if bound == "" {
 			t.Fatalf("start %s: empty bound address", name)
 		}
+		if debugBound == "" {
+			t.Fatalf("start %s: empty debug address despite -debug-addr", name)
+		}
+		debugBounds = append(debugBounds, debugBound)
 		shutdowns = append(shutdowns, shutdown)
 	}
 
@@ -76,6 +85,23 @@ func TestStartReplicaServesAndShutsDown(t *testing.T) {
 		t.Fatalf("read = %q", got)
 	}
 
+	// The debug endpoint serves all three routes, and /metrics reflects
+	// the traffic the replica just handled.
+	for _, path := range []string{"/healthz", "/metrics", "/metrics?format=json", "/traces"} {
+		resp, err := http.Get("http://" + debugBounds[0] + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "securestore_op_latency_seconds") {
+			t.Fatalf("/metrics missing latency histograms:\n%s", body)
+		}
+	}
+
 	for _, shutdown := range shutdowns {
 		shutdown()
 	}
@@ -93,11 +119,71 @@ func TestStartReplicaServesAndShutsDown(t *testing.T) {
 
 func TestStartReplicaValidation(t *testing.T) {
 	config := writeTestConfig(t)
-	if _, _, err := startReplica(config, "ghost", ""); err == nil {
+	if _, _, _, err := startReplica(config, "ghost", "", "", ""); err == nil {
 		t.Fatal("unknown replica name accepted")
 	}
-	if _, _, err := startReplica(filepath.Join(t.TempDir(), "missing.json"), "s00", ""); err == nil {
+	if _, _, _, err := startReplica(filepath.Join(t.TempDir(), "missing.json"), "s00", "", "", ""); err == nil {
 		t.Fatal("missing config accepted")
+	}
+	if _, _, _, err := startReplica(config, "s00", "", "256.0.0.1:bogus", ""); err == nil {
+		t.Fatal("invalid debug address accepted")
+	}
+}
+
+func TestStartReplicaTraceLog(t *testing.T) {
+	config := writeTestConfig(t)
+	cfg, err := deploy.Load(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "spans.jsonl")
+	var shutdowns []func()
+	for _, name := range cfg.ServerNames() {
+		tl := ""
+		if name == "s00" {
+			tl = logPath
+		}
+		_, _, shutdown, err := startReplica(config, name, "", "", tl)
+		if err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		shutdowns = append(shutdowns, shutdown)
+	}
+	defer func() {
+		for _, shutdown := range shutdowns {
+			shutdown()
+		}
+	}()
+
+	cl, err := deploy.BuildClient(cfg, "alice", "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if _, err := cl.Write(ctx, "memo", []byte("span log check")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("trace log is empty after served requests")
+	}
+	var span struct {
+		Op string `json:"op"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("trace log line not JSON: %v (%q)", err, lines[0])
+	}
+	if !strings.HasPrefix(span.Op, "server.") {
+		t.Fatalf("span op = %q, want server.*", span.Op)
 	}
 }
 

@@ -1,0 +1,20 @@
+// Package pbftsm implements the strong-consistency state-machine baseline
+// the paper compares against (Castro & Liskov's practical BFT, Sections 3
+// and 6): 3f+1 replicas run a three-phase agreement protocol
+// (pre-prepare, prepare, commit) authenticated with MACs instead of
+// signatures, giving linearizable operations at O(n²) message cost per
+// request — cheap cryptographically, expensive in messages, which is
+// exactly the trade-off the paper's Section 6 discussion rests on.
+//
+// Simplifications relative to the full protocol, documented in DESIGN.md:
+// the view never changes (a stable, correct primary is assumed — the
+// baseline measures failure-free performance, as the paper's comparison
+// does), there are no checkpoints, and the replicated state machine is a
+// string key-value store.
+//
+// Layout: messages.go defines the protocol messages and MAC
+// authenticators, replica.go the per-replica agreement state machine, and
+// client.go the quorum-of-f+1-replies client. EXPERIMENTS.md E5/E8
+// measure this baseline against the secure store and the masking-quorum
+// baseline.
+package pbftsm

@@ -1,0 +1,17 @@
+// Package bench runs the experiments of EXPERIMENTS.md: the measured
+// reproduction of every performance claim in the paper's Section 6, the
+// ablations called out in DESIGN.md, and the engineering-extension tables
+// (transport T1/T2, chaos soak, observability O1). Each experiment is a
+// func(Options) (*Table, error) registered in All() (ablations.go);
+// cmd/benchtab prints the tables, and the root-level Go benchmarks run
+// the same registry in quick mode so `go test` exercises every
+// experiment end to end.
+//
+// Options carries the seed and the quick/full switch — pick(opts, full,
+// quick) is the single idiom deciding sweep sizes, so a quick run touches
+// every code path in seconds while the full run produces the committed
+// numbers. Experiments build clusters either on the simulated network
+// (experiments.go, experiments2.go — message counts and latency shapes)
+// or over real loopback TCP (transport.go, observability.go — wall-clock
+// throughput), and report costs via metrics.Snapshot deltas.
+package bench

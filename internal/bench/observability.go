@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/trace"
+)
+
+// benchObs is the observability bundle an instrumented benchmark run
+// carries. The wiring mirrors a real deployment: every process owns its
+// own tracer and histogram set (sharing one tracer across five logical
+// processes would serialize them on a single ring mutex no deployment
+// has), and the client's histogram set also receives the TCP caller's
+// transport.rpc round trips, exactly as securestored wires it. A nil
+// *benchObs leaves the environment uninstrumented.
+type benchObs struct {
+	tracer *trace.Tracer         // the measured client's tracer
+	hist   *metrics.HistogramSet // the measured client's histograms
+}
+
+func newBenchObs() *benchObs {
+	hist := &metrics.HistogramSet{}
+	return &benchObs{tracer: trace.New(0, trace.WithHistograms(hist)), hist: hist}
+}
+
+// serverTracer mints a fresh per-replica tracer (with its own histogram
+// set, like a separate securestored process), nil when uninstrumented.
+func (o *benchObs) serverTracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return trace.New(0, trace.WithHistograms(&metrics.HistogramSet{}))
+}
+
+// clientTracer returns the measured client's tracer, nil when
+// uninstrumented.
+func (o *benchObs) clientTracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// msHist renders a histogram duration in milliseconds for a table cell.
+func msHist(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// O1ObsOverhead measures what the always-on instrumentation costs on the
+// store's hottest real path — the T1 loopback-TCP deployment — and shows
+// the latency percentiles that instrumentation buys. Each configuration
+// runs the same write+read workload with tracing fully off (nil tracers,
+// no histograms: the pre-observability build) and fully on (client, server
+// and gossip-free transport wiring identical to securestored's), reporting
+// the throughput delta. The claim defended in EXPERIMENTS.md O1 is that
+// the overhead stays under 3%, which is why securestored leaves
+// instrumentation permanently enabled instead of gating it behind a flag.
+func O1ObsOverhead(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "O1",
+		Title: "observability: instrumentation overhead + latency percentiles (n=4, b=1, loopback TCP)",
+		Header: []string{"sessions", "plain ops/s", "instrumented ops/s", "overhead",
+			"msgs/op", "read p50 ms", "read p95 ms", "read p99 ms"},
+		Notes: []string{
+			"instrumented = client+server span tracing, span-fed histograms, transport round-trip histograms (securestored's wiring)",
+			"configs alternate in ~100ms windows; every instrumented window is sandwiched between two plain ones and overhead = median of 1 - instr/mean(flanking plains), which cancels linear machine drift; ops/s = per-config medians",
+			"percentiles come from the instrumented run's data.read histogram (full two-phase client read)",
+			"msgs/op uses metrics.Snapshot.Delta over the run window",
+		},
+	}
+	sessionCounts := pick(opts, []int{1, 8}, []int{2})
+	// Many short interleaved pairs beat few long ones on a shared machine:
+	// slowdowns (noisy neighbors, cgroup throttling, GC cycles) drift on a
+	// multi-second timescale, so a ~100ms pair sees the same conditions in
+	// both halves and its ratio cancels them, while the per-pair noise
+	// that remains is near-independent across pairs and the median over
+	// dozens of pairs converges to well under the effect being measured.
+	reps := pick(opts, 60, 1)
+
+	for _, sessions := range sessionCounts {
+		// Keep total operations per measurement constant across session
+		// counts so every sample covers a comparable wall-clock window
+		// (~100ms, see the rep-count comment above).
+		opsEach := pick(opts, 512, 8) / (2 * sessions)
+		totalOps := 2 * sessions * opsEach
+
+		// Both configurations run against long-lived deployments, like
+		// securestored: connection pools and trace rings are warm, and
+		// measurement windows contain only steady-state work.
+		plainEnv, err := newTCPStoreEnv(opts.seed(), 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		obs := newBenchObs()
+		instrEnv, err := newTCPStoreEnv(opts.seed(), 0, obs)
+		if err != nil {
+			plainEnv.Close()
+			return nil, err
+		}
+
+		runOnce := func(env *tcpStoreEnv) (float64, metrics.Snapshot, error) {
+			before := env.M.Snapshot()
+			ops, err := runTCPSessions(env, sessions, opsEach)
+			return ops, env.M.Snapshot().Delta(before), err
+		}
+
+		var plains, instrs, ratios []float64
+		msgsPerOp := "n/a"
+
+		// Measure in a continuously alternating plain/instrumented sequence
+		// and sandwich every instrumented window between two plain ones:
+		// ratio_r = instr_r / mean(plain_r, plain_r+1). Machine drift
+		// (thermal, neighbors, GC warmup) moves on a multi-second timescale,
+		// so across one ~300ms sandwich it is close to linear — and a
+		// linear trend cancels exactly in the two-sided mean, where a
+		// simple adjacent pair would alias half of it into the ratio. One
+		// window of each configuration runs first as warmup and is
+		// discarded.
+		var prevPlain float64
+		warmup := func() error {
+			// One discarded window per environment (connection setup, ring
+			// and allocator warmup), then the opening plain flank.
+			if _, _, err := runOnce(instrEnv); err != nil {
+				return err
+			}
+			if _, _, err := runOnce(plainEnv); err != nil {
+				return err
+			}
+			var err error
+			prevPlain, _, err = runOnce(plainEnv)
+			return err
+		}
+		if err := warmup(); err != nil {
+			plainEnv.Close()
+			instrEnv.Close()
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			instrumented, delta, err := runOnce(instrEnv)
+			var plain float64
+			if err == nil {
+				plain, _, err = runOnce(plainEnv)
+			}
+			if err != nil {
+				plainEnv.Close()
+				instrEnv.Close()
+				return nil, err
+			}
+			plains = append(plains, plain)
+			instrs = append(instrs, instrumented)
+			ratios = append(ratios, instrumented*2/(prevPlain+plain))
+			prevPlain = plain
+			msgsPerOp = perOp(delta.MessagesSent, totalOps)
+		}
+		readSnap := obs.hist.Get("data.read").Snapshot()
+		plainEnv.Close()
+		instrEnv.Close()
+
+		overhead := fmt.Sprintf("%+.1f%%", 100*(1-median(ratios)))
+		t.AddRow(sessions, fmt.Sprintf("%.0f", median(plains)), fmt.Sprintf("%.0f", median(instrs)),
+			overhead, msgsPerOp, msHist(readSnap.P50), msHist(readSnap.P95), msHist(readSnap.P99))
+	}
+	return t, nil
+}
+
+// median returns the middle value of xs (mean of the middle two for even
+// lengths), zero for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// BenchmarkTCPPlain and BenchmarkTCPInstrumented are the raw A/B pair
+// behind experiment O1: the T1 loopback-TCP deployment driven by 8
+// concurrent sessions with observability off and on. Compare ns/op
+// directly (e.g. with benchstat) when touching the trace or metrics hot
+// paths; the O1 table in EXPERIMENTS.md is the curated version.
+
+func BenchmarkTCPPlain(b *testing.B) {
+	env, err := newTCPStoreEnv("prof", 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	if _, err := runTCPSessions(env, 8, b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTCPInstrumented(b *testing.B) {
+	obs := newBenchObs()
+	env, err := newTCPStoreEnv("prof", 0, obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	if _, err := runTCPSessions(env, 8, b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,8 +1,7 @@
-// Package bench runs the experiments of EXPERIMENTS.md: the measured
-// reproduction of every performance claim in the paper's Section 6, plus
-// the ablations called out in DESIGN.md. Each experiment returns a Table
-// that cmd/benchtab prints and that the root-level Go benchmarks exercise.
 package bench
+
+// table.go implements the Table type experiments return and its text/JSON
+// rendering (see doc.go for the package overview).
 
 import (
 	"fmt"

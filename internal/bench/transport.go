@@ -50,7 +50,10 @@ func (e *tcpStoreEnv) Close() {
 // newTCPStoreEnv assembles n=4, b=1 replicas over loopback TCP with the
 // given per-request service delay, and connects one client whose caller is
 // built with callerOpts (e.g. transport.Serialized() for the baseline).
-func newTCPStoreEnv(seed string, delay time.Duration, callerOpts ...transport.CallerOption) (*tcpStoreEnv, error) {
+// A non-nil obs turns on the full observability wiring that securestored
+// runs with: client+server span tracing, span-fed latency histograms, and
+// transport round-trip histograms.
+func newTCPStoreEnv(seed string, delay time.Duration, obs *benchObs, callerOpts ...transport.CallerOption) (*tcpStoreEnv, error) {
 	wire.RegisterGob()
 	const n, b = 4, 1
 	ring := cryptoutil.NewKeyring()
@@ -59,7 +62,7 @@ func newTCPStoreEnv(seed string, delay time.Duration, callerOpts ...transport.Ca
 	addrs := make(map[string]string, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("s%02d", i)
-		srv := server.New(server.Config{ID: name, Ring: ring, Metrics: &metrics.Counters{}})
+		srv := server.New(server.Config{ID: name, Ring: ring, Metrics: &metrics.Counters{}, Tracer: obs.serverTracer()})
 		srv.RegisterGroup("bench", server.Policy{Consistency: wire.MRC})
 		tcp := transport.NewTCPServer(delayedHandler{inner: srv, delay: delay})
 		addr, err := tcp.Serve("127.0.0.1:0")
@@ -73,11 +76,14 @@ func newTCPStoreEnv(seed string, delay time.Duration, callerOpts ...transport.Ca
 	}
 	key := cryptoutil.DeterministicKeyPair("t1client", seed)
 	ring.MustRegister(key.ID, key.Public)
+	if obs != nil {
+		callerOpts = append(callerOpts, transport.WithLatencies(obs.hist))
+	}
 	env.caller = transport.NewTCPCaller(key.ID, addrs, env.M, callerOpts...)
 	cl, err := client.New(client.Config{
 		ID: key.ID, Key: key, Ring: ring, Servers: names, B: b,
 		Group: "bench", Consistency: wire.MRC,
-		Caller: env.caller, Metrics: env.M,
+		Caller: env.caller, Metrics: env.M, Tracer: obs.clientTracer(),
 		CallTimeout: 10 * time.Second, ReadRetries: 1, RetryBackoff: 5 * time.Millisecond,
 	})
 	if err != nil {
@@ -159,7 +165,7 @@ func T1TransportConcurrency(opts Options) (*Table, error) {
 	opsEach := pick(opts, 20, 6)
 
 	run := func(delay time.Duration, sessions int, copts ...transport.CallerOption) (float64, error) {
-		env, err := newTCPStoreEnv(opts.seed(), delay, copts...)
+		env, err := newTCPStoreEnv(opts.seed(), delay, nil, copts...)
 		if err != nil {
 			return 0, err
 		}

@@ -29,6 +29,7 @@ import (
 	"securestore/internal/quorum"
 	"securestore/internal/sessionctx"
 	"securestore/internal/timestamp"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	Token *accessctl.Token
 	// Metrics receives cost accounting. May be nil.
 	Metrics *metrics.Counters
+	// Tracer records per-operation spans (and, through its histogram set,
+	// latency percentiles). May be nil: tracing then costs one pointer
+	// check per operation.
+	Tracer *trace.Tracer
 	// CallTimeout bounds each quorum operation (default 2s).
 	CallTimeout time.Duration
 	// ReadRetries is how many times a read re-polls for a fresh enough
@@ -209,7 +214,9 @@ func (c *Client) Connected() bool {
 // fresh. Contact is staged — exactly the quorum first, expanding past
 // failures — which realizes Section 6's cost of 2·⌈(n+b+1)/2⌉ messages in
 // the failure-free case.
-func (c *Client) Connect(ctx context.Context) error {
+func (c *Client) Connect(ctx context.Context) (err error) {
+	ctx, sp := c.startSpan(ctx, "ctx.read")
+	defer func() { sp.SetError(err); sp.End() }()
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 
@@ -265,7 +272,9 @@ func (c *Client) Connect(ctx context.Context) error {
 // Disconnect terminates the session: the client signs its current context
 // (with an incremented sequence number) and stores it at ⌈(n+b+1)/2⌉
 // servers (Figure 1).
-func (c *Client) Disconnect(ctx context.Context) error {
+func (c *Client) Disconnect(ctx context.Context) (err error) {
+	ctx, sp := c.startSpan(ctx, "ctx.write")
+	defer func() { sp.SetError(err); sp.End() }()
 	c.mu.Lock()
 	if !c.connected {
 		c.mu.Unlock()
@@ -303,12 +312,15 @@ func (c *Client) Disconnect(ctx context.Context) error {
 // protocol is used to reconstruct the context" — so the items are fanned
 // out across a bounded worker pool (Config.ItemParallelism) instead of one
 // quorum round at a time.
-func (c *Client) ReconstructContext(ctx context.Context, items []string) error {
+func (c *Client) ReconstructContext(ctx context.Context, items []string) (err error) {
+	ctx, sp := c.startSpan(ctx, "ctx.reconstruct")
+	sp.SetAttr("items", fmt.Sprint(len(items)))
+	defer func() { sp.SetError(err); sp.End() }()
 	var (
 		vecMu sync.Mutex
 		vec   = sessionctx.NewVector()
 	)
-	err := c.forEachItem(ctx, items, func(ctx context.Context, item string) error {
+	err = c.forEachItem(ctx, items, func(ctx context.Context, item string) error {
 		opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 		defer cancel()
 		replies, err := quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
@@ -343,6 +355,14 @@ func (c *Client) ReconstructContext(ctx context.Context, items []string) error {
 	c.observeContextClockLocked()
 	c.connected = true
 	return nil
+}
+
+// startSpan opens a span for one client operation under the client's
+// tracer (or the caller's, when ctx already carries one; a no-op when
+// neither is set). Child spans — the per-replica RPCs issued by the
+// quorum engine — attach automatically through the returned context.
+func (c *Client) startSpan(ctx context.Context, op string) (context.Context, *trace.Span) {
+	return trace.StartRoot(ctx, c.cfg.Tracer, op)
 }
 
 // observeContextClockLocked raises the write clock above every stamp in

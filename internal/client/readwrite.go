@@ -9,6 +9,7 @@ import (
 	"securestore/internal/cryptoutil"
 	"securestore/internal/quorum"
 	"securestore/internal/timestamp"
+	"securestore/internal/trace"
 	"securestore/internal/wire"
 )
 
@@ -18,7 +19,10 @@ import (
 // past failures), guaranteeing at least one non-faulty server stores it.
 // In multi-writer mode the timestamp is the augmented 3-tuple
 // (time, uid, digest) of Section 5.3.
-func (c *Client) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
+func (c *Client) Write(ctx context.Context, item string, value []byte) (_ timestamp.Stamp, err error) {
+	ctx, sp := c.startSpan(ctx, "data.write")
+	sp.SetAttr("item", item)
+	defer func() { sp.SetError(err); sp.End() }()
 	if !c.Connected() {
 		return timestamp.Stamp{}, ErrNotConnected
 	}
@@ -79,7 +83,10 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (timestam
 // Permanent failures (authorization rejection by more than b servers,
 // signature failure, proven equivocation) are returned immediately: see
 // errclass.go.
-func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+func (c *Client) Read(ctx context.Context, item string) (_ []byte, _ timestamp.Stamp, rerr error) {
+	ctx, sp := c.startSpan(ctx, "data.read")
+	sp.SetAttr("item", item)
+	defer func() { sp.SetError(rerr); sp.End() }()
 	if !c.Connected() {
 		return nil, timestamp.Stamp{}, ErrNotConnected
 	}
@@ -97,6 +104,9 @@ func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp
 			write, err = c.readSingleWriter(ctx, item)
 		}
 		if err == nil {
+			if attempt > 0 {
+				sp.SetAttr("attempts", fmt.Sprint(attempt+1))
+			}
 			break
 		}
 		if c.permanentReadError(err) {
@@ -104,15 +114,22 @@ func (c *Client) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp
 			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
 		}
 		if attempt >= c.cfg.ReadRetries || ctx.Err() != nil {
+			sp.SetAttr("attempts", fmt.Sprint(attempt+1))
 			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
 		}
 		c.cfg.Metrics.AddCustom("read.retries", 1)
 		if delay := c.retryDelay(attempt); delay > 0 {
+			// The wait is its own span so a trace distinguishes time spent
+			// talking to servers from time spent backing off.
+			waitSp := trace.Leaf(ctx, "read.backoff")
 			timer := time.NewTimer(delay)
 			select {
 			case <-timer.C:
+				waitSp.End()
 			case <-ctx.Done():
 				timer.Stop()
+				waitSp.SetError(ctx.Err())
+				waitSp.End()
 				return nil, timestamp.Stamp{}, ctx.Err()
 			}
 		}
@@ -175,9 +192,14 @@ func (c *Client) readSingleWriter(ctx context.Context, item string) (*wire.Signe
 	// when a server cannot substantiate its advertised timestamp (e.g. the
 	// CorruptMeta fault) or serves a corrupt value.
 	for _, cand := range candidates {
+		csp := trace.Leaf(opCtx, "rpc")
+		csp.SetAttr("server", cand.server)
+		csp.SetAttr("req", "value")
 		resp, err := c.cfg.Caller.Call(opCtx, cand.server, wire.ValueReq{
 			Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Stamp: cand.stamp, Token: c.cfg.Token,
 		})
+		csp.SetError(err)
+		csp.End()
 		if err != nil {
 			continue
 		}

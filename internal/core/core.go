@@ -20,6 +20,7 @@ import (
 	"securestore/internal/server"
 	"securestore/internal/simnet"
 	"securestore/internal/storage"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -72,6 +73,10 @@ type ClusterConfig struct {
 	// a TCP deployment lists clients in its config. Clients minted later
 	// with NewClient are added to the ring as usual.
 	Principals []string
+	// Tracer, when non-nil, records server-side spans (request handling
+	// and gossip rounds) for every replica in the cluster. Client-side
+	// tracing is configured per client via ClientSpec.Tracer.
+	Tracer *trace.Tracer
 }
 
 // Cluster is a running secure-store deployment over the in-memory
@@ -106,6 +111,8 @@ type ClientSpec struct {
 	Rights accessctl.Rights
 	// Metrics receives this client's cost accounting (may be nil).
 	Metrics *metrics.Counters
+	// Tracer records this client's operation spans (may be nil).
+	Tracer *trace.Tracer
 	// DataKey enables client-side encryption.
 	DataKey *cryptoutil.DataKey
 	// ObfuscateTimestamps randomizes timestamp increments.
@@ -185,6 +192,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			AuthorityID:         authorityID,
 			LogDepth:            cfg.LogDepth,
 			Metrics:             c.ServerMetrics,
+			Tracer:              cfg.Tracer,
 			DisableCausalGating: cfg.DisableCausalGating,
 			Persist:             persist,
 		})
@@ -212,6 +220,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		if cfg.GossipTimeout > 0 {
 			opts = append(opts, gossip.WithTimeout(cfg.GossipTimeout))
+		}
+		if cfg.Tracer != nil {
+			opts = append(opts, gossip.WithTracer(cfg.Tracer))
 		}
 		eng := gossip.New(srv, c.Bus.Caller(srv.ID(), c.ServerMetrics), peers, opts...)
 		c.Engines = append(c.Engines, eng)
@@ -354,6 +365,7 @@ func (c *Cluster) clientConfig(spec ClientSpec, consistency wire.Consistency, mu
 		Caller:              c.Bus.Caller(spec.ID, spec.Metrics),
 		Token:               token,
 		Metrics:             spec.Metrics,
+		Tracer:              spec.Tracer,
 		CallTimeout:         spec.CallTimeout,
 		ReadRetries:         spec.ReadRetries,
 		RetryBackoff:        spec.RetryBackoff,

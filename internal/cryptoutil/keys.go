@@ -1,14 +1,7 @@
-// Package cryptoutil supplies the cryptographic substrate the secure store
-// assumes to exist (paper Section 4): every client and server owns a private
-// key whose public key is well known, writes are accompanied by signed
-// digests, and data values may be kept confidential with symmetric
-// encryption that the servers never hold keys for.
-//
-// Primitive choices: Ed25519 signatures over SHA-256 digests, and
-// AES-256-GCM for confidentiality. The 2001 paper leaves the algorithms
-// abstract ("some agreed-upon digest algorithm"); these modern stdlib
-// primitives provide the same abstract properties.
 package cryptoutil
+
+// keys.go derives deterministic keyrings and implements signing and
+// verification (see doc.go for the package overview).
 
 import (
 	"bytes"

@@ -1,0 +1,210 @@
+// Package debughttp serves a replica's (or client's) live observability
+// state over HTTP: counters and latency histograms at /metrics (Prometheus
+// text exposition format by default, JSON with ?format=json), recent trace
+// spans at /traces, and a liveness probe at /healthz. It is the read side
+// of the instrumentation recorded by internal/metrics and internal/trace;
+// cmd/securestored mounts it behind the -debug-addr flag.
+//
+// The handler is read-only and allocation-light: every request snapshots
+// the shared atomics, so serving /metrics never blocks the store's hot
+// path. OPERATIONS.md documents each exported series and field.
+package debughttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"securestore/internal/metrics"
+	"securestore/internal/trace"
+)
+
+// State bundles the observable pieces one process exposes. Any field may
+// be nil (or zero): the corresponding sections are simply omitted.
+type State struct {
+	// Counters is the process's protocol cost accounting.
+	Counters *metrics.Counters
+	// Latencies holds the per-operation latency histograms (usually the
+	// tracer's histogram set, but a standalone set works too).
+	Latencies *metrics.HistogramSet
+	// Tracer supplies recent spans for /traces.
+	Tracer *trace.Tracer
+	// Health reports process health for /healthz; nil means always
+	// healthy. A non-nil error yields 503 with the error text.
+	Health func() error
+	// Info holds static identity labels (server name, version, ...) that
+	// are exported as a securestore_info gauge and echoed in the JSON
+	// document.
+	Info map[string]string
+}
+
+// Handler returns the debug mux serving /metrics, /traces and /healthz
+// over s.
+func Handler(s State) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			serveMetricsJSON(w, s)
+			return
+		}
+		serveMetricsProm(w, s)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(w, r, s)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Health != nil {
+			if err := s.Health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err.Error())
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// counterSeries maps the fixed Snapshot fields to Prometheus series names,
+// in export order.
+var counterSeries = []struct {
+	name, help string
+	value      func(metrics.Snapshot) int64
+}{
+	{"securestore_messages_sent_total", "Protocol messages sent.", func(s metrics.Snapshot) int64 { return s.MessagesSent }},
+	{"securestore_bytes_sent_total", "Payload bytes of recorded messages.", func(s metrics.Snapshot) int64 { return s.BytesSent }},
+	{"securestore_signatures_total", "Digital signature generations.", func(s metrics.Snapshot) int64 { return s.Signatures }},
+	{"securestore_verifications_total", "Digital signature verifications.", func(s metrics.Snapshot) int64 { return s.Verifications }},
+	{"securestore_vcache_hits_total", "Verifications avoided by the verified-signature cache.", func(s metrics.Snapshot) int64 { return s.VCacheHits }},
+	{"securestore_vcache_misses_total", "Verification-cache lookups that fell through.", func(s metrics.Snapshot) int64 { return s.VCacheMisses }},
+	{"securestore_encryptions_total", "Symmetric encryption operations.", func(s metrics.Snapshot) int64 { return s.Encryptions }},
+	{"securestore_decryptions_total", "Symmetric decryption operations.", func(s metrics.Snapshot) int64 { return s.Decryptions }},
+}
+
+// serveMetricsProm renders the Prometheus text exposition format, version
+// 0.0.4: HELP/TYPE comments, counters, then one classic cumulative
+// histogram per traced operation.
+func serveMetricsProm(w http.ResponseWriter, s State) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	if len(s.Info) > 0 {
+		keys := make([]string, 0, len(s.Info))
+		for k := range s.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP securestore_info Static process labels.\n# TYPE securestore_info gauge\nsecurestore_info{")
+		for i, k := range keys {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", k, s.Info[k])
+		}
+		fmt.Fprint(w, "} 1\n")
+	}
+
+	if s.Counters != nil {
+		snap := s.Counters.Snapshot()
+		for _, cs := range counterSeries {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", cs.name, cs.help, cs.name, cs.name, cs.value(snap))
+		}
+		if len(snap.Custom) > 0 {
+			names := make([]string, 0, len(snap.Custom))
+			for name := range snap.Custom {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprint(w, "# HELP securestore_custom_total Named experiment-specific counters.\n# TYPE securestore_custom_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "securestore_custom_total{name=%q} %d\n", name, snap.Custom[name])
+			}
+		}
+	}
+
+	if s.Latencies != nil {
+		names := s.Latencies.Names()
+		if len(names) > 0 {
+			bounds := metrics.BucketBounds()
+			fmt.Fprint(w, "# HELP securestore_op_latency_seconds Operation latency by traced operation.\n# TYPE securestore_op_latency_seconds histogram\n")
+			for _, name := range names {
+				snap := s.Latencies.Get(name).Snapshot()
+				// Prometheus buckets are cumulative: each le bound counts
+				// every sample at or below it, ending with le="+Inf".
+				var cum uint64
+				for i, c := range snap.Counts {
+					cum += c
+					if i < len(bounds) {
+						le := strconv.FormatFloat(bounds[i].Seconds(), 'g', -1, 64)
+						fmt.Fprintf(w, "securestore_op_latency_seconds_bucket{op=%q,le=%q} %d\n", name, le, cum)
+					} else {
+						fmt.Fprintf(w, "securestore_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", name, cum)
+					}
+				}
+				fmt.Fprintf(w, "securestore_op_latency_seconds_sum{op=%q} %g\n", name, snap.Sum.Seconds())
+				fmt.Fprintf(w, "securestore_op_latency_seconds_count{op=%q} %d\n", name, snap.Count)
+			}
+		}
+	}
+}
+
+// metricsDoc is the JSON shape of /metrics?format=json.
+type metricsDoc struct {
+	// Info echoes State.Info.
+	Info map[string]string `json:"info,omitempty"`
+	// Counters is the counter snapshot (absent when no Counters are wired).
+	Counters *metrics.Snapshot `json:"counters,omitempty"`
+	// Histograms maps each traced operation to its latency snapshot,
+	// percentiles included.
+	Histograms map[string]metrics.HistSnapshot `json:"histograms,omitempty"`
+	// SpansTotal and SpansRetained describe the trace ring.
+	SpansTotal    uint64 `json:"spansTotal,omitempty"`
+	SpansRetained int    `json:"spansRetained,omitempty"`
+}
+
+func serveMetricsJSON(w http.ResponseWriter, s State) {
+	doc := metricsDoc{Info: s.Info}
+	if s.Counters != nil {
+		snap := s.Counters.Snapshot()
+		doc.Counters = &snap
+	}
+	if s.Latencies != nil {
+		doc.Histograms = s.Latencies.SnapshotAll()
+	}
+	if s.Tracer != nil {
+		doc.SpansTotal = s.Tracer.Total()
+		doc.SpansRetained = len(s.Tracer.Recent(0))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// defaultTraceLimit bounds /traces responses unless ?n= asks for more.
+const defaultTraceLimit = 256
+
+func serveTraces(w http.ResponseWriter, r *http.Request, s State) {
+	n := defaultTraceLimit
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 0 {
+			http.Error(w, "invalid n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	var spans []trace.Span
+	if s.Tracer != nil {
+		spans = s.Tracer.Recent(n)
+	}
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(spans)
+}

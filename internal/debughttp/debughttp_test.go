@@ -1,0 +1,178 @@
+package debughttp
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/trace"
+)
+
+// fixedState builds a deterministic State: counters with known values, a
+// tracer on a fixed clock feeding a histogram set with two data.read
+// samples (1ms and 4ms).
+func fixedState() State {
+	counters := &metrics.Counters{}
+	counters.AddMessage(100)
+	counters.AddMessage(50)
+	counters.AddSignature()
+	counters.AddCustom("read.retries", 3)
+
+	hist := &metrics.HistogramSet{}
+	now := time.Unix(1700000000, 0)
+	tr := trace.New(8, trace.WithHistograms(hist), trace.WithClock(func() time.Time { return now }))
+	ctx := trace.WithTracer(context.Background(), tr)
+	for _, d := range []time.Duration{time.Millisecond, 4 * time.Millisecond} {
+		_, sp := trace.Start(ctx, "data.read")
+		sp.SetAttr("item", "x")
+		now = now.Add(d)
+		sp.End()
+	}
+	return State{
+		Counters:  counters,
+		Latencies: hist,
+		Tracer:    tr,
+		Info:      map[string]string{"server": "s00"},
+	}
+}
+
+func get(t *testing.T, s State, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	Handler(s).ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+	return rec
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	rec := get(t, fixedState(), "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	// Golden lines: fixed counters, custom counter, info gauge, and the
+	// histogram's cumulative buckets around the two samples (1ms lands in
+	// the 1.024ms bucket, 4ms in the 4.096ms bucket).
+	for _, line := range []string{
+		`securestore_info{server="s00"} 1`,
+		"securestore_messages_sent_total 2",
+		"securestore_bytes_sent_total 150",
+		"securestore_signatures_total 1",
+		"securestore_verifications_total 0",
+		`securestore_custom_total{name="read.retries"} 3`,
+		"# TYPE securestore_op_latency_seconds histogram",
+		`securestore_op_latency_seconds_bucket{op="data.read",le="0.000512"} 0`,
+		`securestore_op_latency_seconds_bucket{op="data.read",le="0.001024"} 1`,
+		`securestore_op_latency_seconds_bucket{op="data.read",le="0.002048"} 1`,
+		`securestore_op_latency_seconds_bucket{op="data.read",le="0.004096"} 2`,
+		`securestore_op_latency_seconds_bucket{op="data.read",le="+Inf"} 2`,
+		`securestore_op_latency_seconds_sum{op="data.read"} 0.005`,
+		`securestore_op_latency_seconds_count{op="data.read"} 2`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Fatalf("missing line %q in:\n%s", line, body)
+		}
+	}
+}
+
+func TestMetricsJSON(t *testing.T) {
+	rec := get(t, fixedState(), "/metrics?format=json")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var doc struct {
+		Info       map[string]string               `json:"info"`
+		Counters   *metrics.Snapshot               `json:"counters"`
+		Histograms map[string]metrics.HistSnapshot `json:"histograms"`
+		SpansTotal uint64                          `json:"spansTotal"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if doc.Info["server"] != "s00" {
+		t.Fatalf("info = %v", doc.Info)
+	}
+	if doc.Counters == nil || doc.Counters.MessagesSent != 2 || doc.Counters.Custom["read.retries"] != 3 {
+		t.Fatalf("counters = %+v", doc.Counters)
+	}
+	h, ok := doc.Histograms["data.read"]
+	if !ok || h.Count != 2 || h.Max != 4*time.Millisecond {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+	if h.P50 == 0 || h.P99 == 0 {
+		t.Fatalf("percentiles missing: %+v", h)
+	}
+	if doc.SpansTotal != 2 {
+		t.Fatalf("spansTotal = %d", doc.SpansTotal)
+	}
+}
+
+func TestTraces(t *testing.T) {
+	rec := get(t, fixedState(), "/traces")
+	var spans []trace.Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Op != "data.read" || spans[0].Duration != time.Millisecond {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	if spans[1].Duration != 4*time.Millisecond {
+		t.Fatalf("second span = %+v", spans[1])
+	}
+	if len(spans[0].Attrs) != 1 || spans[0].Attrs[0].Key != "item" {
+		t.Fatalf("attrs = %v", spans[0].Attrs)
+	}
+
+	// ?n=1 returns only the newest span.
+	rec = get(t, fixedState(), "/traces?n=1")
+	spans = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Duration != 4*time.Millisecond {
+		t.Fatalf("limited spans = %+v", spans)
+	}
+
+	// Bad n is a 400.
+	if rec := get(t, fixedState(), "/traces?n=bogus"); rec.Code != 400 {
+		t.Fatalf("bad n status = %d", rec.Code)
+	}
+
+	// No tracer: empty array, not null.
+	rec = get(t, State{}, "/traces")
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("tracerless body = %q", rec.Body.String())
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	rec := get(t, State{}, "/healthz")
+	if rec.Code != 200 || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	sick := State{Health: func() error { return errors.New("replica crashed") }}
+	rec = get(t, sick, "/healthz")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "replica crashed") {
+		t.Fatalf("sick healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsEmptyState(t *testing.T) {
+	rec := get(t, State{}, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "securestore_") {
+		t.Fatalf("empty state exported series:\n%s", body)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"securestore/internal/metrics"
 	"securestore/internal/server"
 	"securestore/internal/storage"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -119,11 +120,58 @@ func consistencyOf(g GroupConfig) (wire.Consistency, error) {
 	}
 }
 
+// Obs bundles one process's observability state: the counters, latency
+// histograms, and tracer that debughttp serves and the daemons write
+// into. A nil *Obs disables instrumentation everywhere it is accepted.
+type Obs struct {
+	// Counters is the process's cost accounting, shared by the replica and
+	// its gossip caller.
+	Counters *metrics.Counters
+	// Latencies receives per-operation latency (fed by Tracer's spans plus
+	// the TCP caller's "transport.rpc" round trips).
+	Latencies *metrics.HistogramSet
+	// Tracer records spans into its in-memory ring (and the optional
+	// JSON-lines sink it was created with).
+	Tracer *trace.Tracer
+}
+
+// NewObs creates a fully wired observability bundle: a tracer whose spans
+// feed the histogram set, plus fresh counters. traceOpts are appended to
+// the tracer's configuration (e.g. trace.WithSink for a span log file).
+func NewObs(traceOpts ...trace.Option) *Obs {
+	hist := &metrics.HistogramSet{}
+	opts := append([]trace.Option{trace.WithHistograms(hist)}, traceOpts...)
+	return &Obs{
+		Counters:  &metrics.Counters{},
+		Latencies: hist,
+		Tracer:    trace.New(0, opts...),
+	}
+}
+
+// counters returns the bundle's counters, nil for a nil bundle.
+func (o *Obs) counters() *metrics.Counters {
+	if o == nil {
+		return nil
+	}
+	return o.Counters
+}
+
+// tracer returns the bundle's tracer, nil for a nil bundle.
+func (o *Obs) tracer() *trace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
 // BuildServer constructs the named replica and its gossip engine (not yet
 // started), wired to its peers over TCP. A non-empty dataDir enables
 // durable state: the replica logs accepted writes and contexts under
-// dataDir/<name>.log and recovers them on start.
-func BuildServer(cfg *Config, name, dataDir string) (*server.Server, *gossip.Engine, error) {
+// dataDir/<name>.log and recovers them on start. obs, when non-nil,
+// instruments the replica, its gossip engine, and its outbound TCP caller;
+// nil builds an uninstrumented replica with private counters (the
+// pre-observability behaviour).
+func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *gossip.Engine, error) {
 	if _, ok := cfg.Servers[name]; !ok {
 		return nil, nil, fmt.Errorf("server %q not in config", name)
 	}
@@ -136,11 +184,16 @@ func BuildServer(cfg *Config, name, dataDir string) (*server.Server, *gossip.Eng
 		}
 		persist = log
 	}
+	srvMetrics := obs.counters()
+	if srvMetrics == nil {
+		srvMetrics = &metrics.Counters{}
+	}
 	srv := server.New(server.Config{
 		ID:          name,
 		Ring:        ring,
 		AuthorityID: "authority",
-		Metrics:     &metrics.Counters{},
+		Metrics:     srvMetrics,
+		Tracer:      obs.tracer(),
 		Persist:     persist,
 	})
 	for _, g := range cfg.Groups {
@@ -169,8 +222,16 @@ func BuildServer(cfg *Config, name, dataDir string) (*server.Server, *gossip.Eng
 			return nil, nil, fmt.Errorf("recover %s: %w", name, err)
 		}
 	}
-	caller := transport.NewTCPCaller(name, addrs, &metrics.Counters{})
-	engine := gossip.New(srv, caller, peers, gossip.WithInterval(interval))
+	var callerOpts []transport.CallerOption
+	if obs != nil && obs.Latencies != nil {
+		callerOpts = append(callerOpts, transport.WithLatencies(obs.Latencies))
+	}
+	caller := transport.NewTCPCaller(name, addrs, srvMetrics, callerOpts...)
+	engineOpts := []gossip.Option{gossip.WithInterval(interval)}
+	if t := obs.tracer(); t != nil {
+		engineOpts = append(engineOpts, gossip.WithTracer(t))
+	}
+	engine := gossip.New(srv, caller, peers, engineOpts...)
 	return srv, engine, nil
 }
 

@@ -70,7 +70,7 @@ func TestTCPEndToEnd(t *testing.T) {
 
 	// Boot all four replicas.
 	for _, name := range loaded.ServerNames() {
-		srv, engine, err := BuildServer(loaded, name, "")
+		srv, engine, err := BuildServer(loaded, name, "", nil)
 		if err != nil {
 			t.Fatalf("build %s: %v", name, err)
 		}
@@ -190,7 +190,7 @@ func TestPersistentRestart(t *testing.T) {
 	}
 	procs := make(map[string]*proc)
 	boot := func(name string) {
-		srv, engine, err := BuildServer(loaded, name, dataDir)
+		srv, engine, err := BuildServer(loaded, name, dataDir, nil)
 		if err != nil {
 			t.Fatalf("build %s: %v", name, err)
 		}
@@ -280,10 +280,10 @@ func TestConfigAccessorsAndErrors(t *testing.T) {
 	if _, err := BuildClient(cfg, "alice", "weird"); err == nil {
 		t.Fatal("unknown consistency accepted")
 	}
-	if _, _, err := BuildServer(cfg, "ghost", ""); err == nil {
+	if _, _, err := BuildServer(cfg, "ghost", "", nil); err == nil {
 		t.Fatal("unknown server name accepted")
 	}
-	if _, _, err := BuildServer(cfg, "a", ""); err == nil {
+	if _, _, err := BuildServer(cfg, "a", "", nil); err == nil {
 		t.Fatal("group with unknown consistency accepted at server build")
 	}
 

@@ -1,0 +1,15 @@
+// Package fragment implements information dispersal for the secure store.
+// The paper's related work (Section 3, refs [14,15,18]) identifies
+// fragmentation–scattering as a complementary technique: split a data item
+// into n fragments stored at different servers such that any k reconstruct
+// it but fewer than k reveal nothing useful and survive n-k losses. This
+// package provides Rabin's information dispersal algorithm (IDA) over
+// GF(2^8) — space-optimal n/k blowup — plus an XOR-based n-of-n secret
+// split for the strict-confidentiality case.
+//
+// Layout: gf256.go holds the finite-field arithmetic (log/antilog
+// tables), and ida.go the Split/Reconstruct pair built on a Vandermonde
+// matrix (any k rows invertible) plus the XORSplit/XORCombine secret
+// split. internal/fragstore integrates the dispersal with the store's
+// replicas and signing; see DESIGN.md §2 (#17, #21).
+package fragment

@@ -1,11 +1,3 @@
-// Package fragment implements information dispersal for the secure store.
-// The paper's related work (Section 3, refs [14,15,18]) identifies
-// fragmentation–scattering as a complementary technique: split a data item
-// into n fragments stored at different servers such that any k reconstruct
-// it but fewer than k reveal nothing useful and survive n-k losses. This
-// package provides Rabin's information dispersal algorithm (IDA) over
-// GF(2^8) — space-optimal n/k blowup — plus an XOR-based n-of-n secret
-// split for the strict-confidentiality case.
 package fragment
 
 // GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),

@@ -13,11 +13,13 @@ package gossip
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"securestore/internal/server"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -44,6 +46,7 @@ type Engine struct {
 	fanout   int
 	timeout  time.Duration
 	mode     Mode
+	tracer   *trace.Tracer
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -90,6 +93,12 @@ func WithTimeout(d time.Duration) Option {
 // WithSeed seeds peer selection for reproducible experiments.
 func WithSeed(seed int64) Option {
 	return optionFunc(func(e *Engine) { e.rng = rand.New(rand.NewSource(seed)) })
+}
+
+// WithTracer records each gossip round — and its per-peer push/pull
+// exchanges — as spans on t. Nil disables tracing (the default).
+func WithTracer(t *trace.Tracer) Option {
+	return optionFunc(func(e *Engine) { e.tracer = t })
 }
 
 // WithMode selects push, pull, or push-pull anti-entropy (default Push).
@@ -178,17 +187,21 @@ func (e *Engine) Round() int {
 	e.mu.Lock()
 	e.round++
 	e.mu.Unlock()
+	ctx, sp := trace.StartRoot(context.Background(), e.tracer, "gossip.round")
 	e.resyncEpoch()
 	peers := e.pickPeers()
 	applied := 0
 	for _, peer := range peers {
 		if e.mode == Push || e.mode == PushPull {
-			applied += e.pushTo(peer)
+			applied += e.pushTo(ctx, peer)
 		}
 		if e.mode == Pull || e.mode == PushPull {
-			applied += e.pullFrom(peer)
+			applied += e.pullFrom(ctx, peer)
 		}
 	}
+	sp.SetAttr("peers", fmt.Sprint(len(peers)))
+	sp.SetAttr("applied", fmt.Sprint(applied))
+	sp.End()
 	return applied
 }
 
@@ -196,10 +209,11 @@ func (e *Engine) Round() int {
 // helpers). It ignores the failure backoff: convergence helpers want a
 // deterministic full sweep.
 func (e *Engine) PushAll() int {
+	ctx := trace.WithTracer(context.Background(), e.tracer)
 	e.resyncEpoch()
 	applied := 0
 	for _, peer := range e.peers {
-		applied += e.pushTo(peer)
+		applied += e.pushTo(ctx, peer)
 	}
 	return applied
 }
@@ -207,9 +221,10 @@ func (e *Engine) PushAll() int {
 // PullAll pulls pending updates from every peer once, ignoring the
 // failure backoff.
 func (e *Engine) PullAll() int {
+	ctx := trace.WithTracer(context.Background(), e.tracer)
 	applied := 0
 	for _, peer := range e.peers {
-		applied += e.pullFrom(peer)
+		applied += e.pullFrom(ctx, peer)
 	}
 	return applied
 }
@@ -268,7 +283,7 @@ func (e *Engine) recordExchange(peer string, ok bool) {
 	e.nextTry[peer] = e.round + backoff
 }
 
-func (e *Engine) pushTo(peer string) int {
+func (e *Engine) pushTo(parent context.Context, peer string) int {
 	// A crashed or mute replica sends nothing; other fault modes may keep
 	// gossiping (their pushes are self-verifying signed writes anyway).
 	if f := e.srv.Fault(); f == server.Crash || f == server.Mute {
@@ -283,9 +298,14 @@ func (e *Engine) pushTo(peer string) int {
 		return 0
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+	sp := trace.Leaf(parent, "gossip.push")
+	sp.SetAttr("peer", peer)
+	sp.SetAttr("writes", fmt.Sprint(len(writes)))
+	defer sp.End()
+	ctx, cancel := context.WithTimeout(parent, e.timeout)
 	defer cancel()
 	resp, err := e.caller.Call(ctx, peer, wire.GossipPushReq{From: e.srv.ID(), Writes: writes})
+	sp.SetError(err)
 	if err != nil {
 		e.recordExchange(peer, false)
 		return 0
@@ -309,7 +329,7 @@ func (e *Engine) pushTo(peer string) int {
 
 // pullFrom fetches the peer's updates past our high-water mark and
 // applies them locally through full validation.
-func (e *Engine) pullFrom(peer string) int {
+func (e *Engine) pullFrom(parent context.Context, peer string) int {
 	// A stale replica discards fresh updates (it serves only its oldest
 	// state), so pulling while stale would advance the high-water mark
 	// over writes that were never integrated — leaving a permanent gap
@@ -317,16 +337,20 @@ func (e *Engine) pullFrom(peer string) int {
 	if f := e.srv.Fault(); f == server.Crash || f == server.Mute || f == server.Stale {
 		return 0
 	}
+	sp := trace.Leaf(parent, "gossip.pull")
+	sp.SetAttr("peer", peer)
+	defer sp.End()
 	applied := 0
 	for attempt := 0; attempt < 2; attempt++ {
 		e.mu.Lock()
 		after := e.pulled[peer]
 		e.mu.Unlock()
 
-		ctx, cancel := context.WithTimeout(context.Background(), e.timeout)
+		ctx, cancel := context.WithTimeout(parent, e.timeout)
 		resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after})
 		cancel()
 		if err != nil {
+			sp.SetError(err)
 			e.recordExchange(peer, false)
 			return applied
 		}

@@ -1,0 +1,21 @@
+// Package metrics provides the numeric half of the store's
+// instrumentation: cost counters and latency histograms. The paper's
+// performance analysis (Section 6) reasons about messages, signatures,
+// verifications and encryptions per operation — Counters accounts for
+// exactly those, while HistogramSet records where the wall-clock time
+// goes, with interpolated p50/p95/p99 percentiles in every snapshot.
+//
+// Counters (metrics.go) are independent atomics plus a lock-free map of
+// named custom counters; Snapshot is safe to take from any context,
+// including hooks running inside an AddCustom caller, and
+// Snapshot.Delta(prev) yields the cost of one measured window.
+// Histograms (histogram.go) use fixed power-of-two buckets from 1 µs to
+// ~134 s, so recording is one bit-length computation and an atomic
+// increment — no allocation, no lock.
+//
+// Everything follows the repo's nil-safe convention: a nil *Counters,
+// *Histogram or *HistogramSet no-ops, so hot paths record
+// unconditionally. The enabled cost of the full instrumentation stack is
+// measured by experiment O1 in EXPERIMENTS.md; the exported series are
+// documented for operators in OPERATIONS.md.
+package metrics

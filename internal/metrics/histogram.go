@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram.go implements fixed-bucket latency histograms: the aggregation
+// layer between raw per-operation spans (internal/trace) and the
+// percentile columns reported by benchtab and the /metrics endpoint.
+// Buckets are fixed at construction (no per-sample allocation, no
+// resizing), so recording is a single atomic increment and histograms are
+// cheap enough to leave enabled on the hot path — experiment O1 in
+// EXPERIMENTS.md quantifies the cost.
+
+// bucketBounds are the upper bounds (inclusive) of the histogram buckets:
+// 28 exponentially doubling bounds from 1µs to ~134s. Latencies in this
+// system span from sub-millisecond in-memory quorum calls to multi-second
+// retry loops, so a doubling scheme keeps relative error under 50% at
+// every scale while the bucket count stays constant. One final overflow
+// bucket catches anything slower.
+const numBounds = 28
+
+var bucketBounds = func() []time.Duration {
+	bounds := make([]time.Duration, numBounds)
+	d := time.Microsecond
+	for i := range bounds {
+		bounds[i] = d
+		d *= 2
+	}
+	return bounds
+}()
+
+// BucketBounds returns a copy of the fixed upper bucket bounds shared by
+// every Histogram. Exposed so the /metrics exporter and tests agree with
+// the recorder about boundaries.
+func BucketBounds() []time.Duration {
+	return append([]time.Duration(nil), bucketBounds...)
+}
+
+// Histogram accumulates duration samples into fixed exponential buckets.
+// The zero value is ready to use; a nil *Histogram no-ops, so hot paths
+// record unconditionally. All methods are safe for concurrent use.
+type Histogram struct {
+	// counts[i] tallies samples <= bucketBounds[i]; the final slot is the
+	// overflow bucket.
+	counts [numBounds + 1]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration sample. Negative samples count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	// The bounds double from 1µs, so the bucket index is the bit length of
+	// the duration in (rounded-up) microseconds — branch-free where a
+	// binary search would cost several predicted branches per sample.
+	idx := 0
+	if d > time.Microsecond {
+		idx = bits.Len64(uint64((d - 1) / time.Microsecond))
+		if idx > numBounds {
+			idx = numBounds // overflow bucket
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram state and precomputes the headline
+// percentiles. The copy is not atomic across buckets — concurrent
+// Observes may straddle it — but every count read is itself consistent,
+// which is all a monitoring read needs.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	s.P50 = s.Percentile(50)
+	s.P95 = s.Percentile(95)
+	s.P99 = s.Percentile(99)
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	// Count is the total number of samples recorded.
+	Count uint64 `json:"count"`
+	// Sum is the total of all samples.
+	Sum time.Duration `json:"sumNanos"`
+	// Max is the largest sample seen.
+	Max time.Duration `json:"maxNanos"`
+	// Counts holds the per-bucket tallies, parallel to BucketBounds plus a
+	// final overflow bucket.
+	Counts []uint64 `json:"counts,omitempty"`
+	// P50, P95 and P99 are the interpolated percentiles at snapshot time.
+	P50 time.Duration `json:"p50Nanos"`
+	P95 time.Duration `json:"p95Nanos"`
+	P99 time.Duration `json:"p99Nanos"`
+}
+
+// Mean returns the arithmetic mean of the samples, or zero when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Percentile estimates the p-th percentile (0 < p <= 100) by linear
+// interpolation within the bucket holding the target rank: the samples in
+// a bucket are assumed uniformly spread between its bounds. The overflow
+// bucket interpolates toward Max, and every estimate is clamped to Max,
+// so the error is bounded by the bucket width (at most 2x, by the
+// doubling scheme). Returns zero when the snapshot is empty.
+func (s HistSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := p / 100 * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		var lower, upper time.Duration
+		if i > 0 {
+			lower = bucketBounds[i-1]
+		}
+		if i < len(bucketBounds) {
+			upper = bucketBounds[i]
+		} else {
+			upper = s.Max // overflow bucket: interpolate toward the max seen
+		}
+		if upper < lower {
+			upper = lower
+		}
+		frac := (target - prev) / float64(c)
+		est := lower + time.Duration(frac*float64(upper-lower))
+		if s.Max > 0 && est > s.Max {
+			est = s.Max
+		}
+		return est
+	}
+	return s.Max
+}
+
+// HistogramSet is a concurrent map of named histograms — one per traced
+// operation kind (e.g. "data.read", "server.write", "gossip.round"). The
+// zero value is ready to use and a nil *HistogramSet no-ops, mirroring
+// Counters.
+type HistogramSet struct {
+	m sync.Map // string -> *Histogram
+}
+
+// Observe records one sample under the named histogram, creating it on
+// first use.
+func (s *HistogramSet) Observe(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	h, ok := s.m.Load(name)
+	if !ok {
+		h, _ = s.m.LoadOrStore(name, &Histogram{})
+	}
+	h.(*Histogram).Observe(d)
+}
+
+// Get returns the named histogram, or nil when nothing was recorded under
+// that name yet.
+func (s *HistogramSet) Get(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	h, ok := s.m.Load(name)
+	if !ok {
+		return nil
+	}
+	return h.(*Histogram)
+}
+
+// Names returns the sorted names of all histograms in the set.
+func (s *HistogramSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	var names []string
+	s.m.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// SnapshotAll copies every histogram in the set, keyed by name.
+func (s *HistogramSet) SnapshotAll() map[string]HistSnapshot {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]HistSnapshot)
+	s.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}

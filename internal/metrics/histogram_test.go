@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundsShape(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != 28 {
+		t.Fatalf("len(bounds) = %d, want 28", len(bounds))
+	}
+	if bounds[0] != time.Microsecond {
+		t.Fatalf("bounds[0] = %v, want 1µs", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds[%d] = %v, want double of %v", i, bounds[i], bounds[i-1])
+		}
+	}
+	// Returned slice is a copy: mutating it must not corrupt the package.
+	bounds[0] = time.Hour
+	if BucketBounds()[0] != time.Microsecond {
+		t.Fatal("BucketBounds returned the internal slice")
+	}
+}
+
+func TestObserveBucketBoundaries(t *testing.T) {
+	bounds := BucketBounds()
+	h := &Histogram{}
+	// A sample exactly on a bound lands in that bucket (bounds inclusive);
+	// one nanosecond above lands in the next.
+	h.Observe(bounds[3])                           // 8µs -> bucket 3
+	h.Observe(bounds[3] + 1)                       // -> bucket 4
+	h.Observe(0)                                   // -> bucket 0
+	h.Observe(-5)                                  // negative clamps to zero -> bucket 0
+	h.Observe(bounds[len(bounds)-1] + time.Second) // -> overflow bucket
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	want := map[int]uint64{0: 2, 3: 1, 4: 1, len(bounds): 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Max != bounds[len(bounds)-1]+time.Second {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Sum != bounds[3]+(bounds[3]+1)+bounds[len(bounds)-1]+time.Second {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+	var set *HistogramSet
+	set.Observe("x", time.Second)
+	if set.Get("x") != nil || set.Names() != nil || set.SnapshotAll() != nil {
+		t.Fatal("nil HistogramSet must no-op")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	// 100 samples uniformly at 1ms..100ms. 1ms is bucket bound index 9
+	// (1024µs ≈ 1.05ms): samples spread over buckets ~9..16.
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// With doubling buckets the interpolation error is bounded by the width
+	// of the bucket holding the rank, i.e. at most 2x. Check the estimates
+	// are in the right ballpark and ordered.
+	checks := []struct {
+		p     float64
+		exact time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := s.Percentile(c.p)
+		if got < c.exact/2 || got > 2*c.exact {
+			t.Fatalf("p%.0f = %v, exact %v: outside the 2x bucket-error bound", c.p, got, c.exact)
+		}
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > s.Max {
+		t.Fatalf("p99 %v exceeds max %v", s.P99, s.Max)
+	}
+}
+
+func TestPercentileSingleBucket(t *testing.T) {
+	// All samples identical at 3ms: every estimate must stay within the
+	// holding bucket's error bound and never exceed Max; p100 interpolates
+	// to the bucket's upper bound and clamps exactly to Max.
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{1, 50, 99, 100} {
+		got := s.Percentile(p)
+		if got > 3*time.Millisecond || got < 3*time.Millisecond/2 {
+			t.Fatalf("p%v = %v, outside [1.5ms, 3ms] for identical 3ms samples", p, got)
+		}
+	}
+	if got := s.Percentile(100); got != 3*time.Millisecond {
+		t.Fatalf("p100 = %v, want exact max 3ms", got)
+	}
+	if s.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+func TestPercentileOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	top := BucketBounds()[len(BucketBounds())-1]
+	h.Observe(top + time.Minute)
+	s := h.Snapshot()
+	if got := s.Percentile(99); got != top+time.Minute {
+		t.Fatalf("overflow p99 = %v, want clamp to max %v", got, top+time.Minute)
+	}
+}
+
+func TestPercentileEmptyAndBounds(t *testing.T) {
+	var s HistSnapshot
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty snapshot percentile must be zero")
+	}
+	h := &Histogram{}
+	h.Observe(time.Millisecond)
+	snap := h.Snapshot()
+	// Out-of-range p clamps rather than panicking.
+	if snap.Percentile(-5) == 0 || snap.Percentile(200) == 0 {
+		t.Fatal("clamped percentiles of a non-empty snapshot must be non-zero")
+	}
+}
+
+func TestHistogramSet(t *testing.T) {
+	set := &HistogramSet{}
+	set.Observe("data.read", time.Millisecond)
+	set.Observe("data.read", 2*time.Millisecond)
+	set.Observe("rpc", time.Microsecond)
+	names := set.Names()
+	if len(names) != 2 || names[0] != "data.read" || names[1] != "rpc" {
+		t.Fatalf("names = %v", names)
+	}
+	all := set.SnapshotAll()
+	if all["data.read"].Count != 2 || all["rpc"].Count != 1 {
+		t.Fatalf("snapshots = %+v", all)
+	}
+	if set.Get("missing") != nil {
+		t.Fatal("Get of unknown name must be nil")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := &Histogram{}
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count, workers*each)
+	}
+	if s.Max != time.Duration(workers)*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+}

@@ -1,8 +1,7 @@
-// Package metrics provides lightweight instrumentation counters used to
-// account for the message and cryptographic costs that the paper's
-// performance analysis (Section 6) reasons about. Counters are safe for
-// concurrent use and cheap enough to leave enabled in benchmarks.
 package metrics
+
+// metrics.go implements the protocol cost counters (see doc.go for the
+// package overview); histogram.go implements the latency histograms.
 
 import (
 	"fmt"
@@ -25,21 +24,35 @@ type Counters struct {
 	encryptions   atomic.Int64
 	decryptions   atomic.Int64
 
-	mu     sync.Mutex
-	custom map[string]int64
+	// custom maps counter names to *atomic.Int64. A lock-free map (rather
+	// than a mutex-guarded plain map) means Snapshot never contends with —
+	// or deadlocks against — AddCustom calls made from hooks that run while
+	// a snapshot is being taken.
+	custom sync.Map
 }
 
 // Snapshot is a point-in-time copy of a Counters.
 type Snapshot struct {
-	MessagesSent  int64            `json:"messagesSent"`
-	BytesSent     int64            `json:"bytesSent"`
-	Signatures    int64            `json:"signatures"`
-	Verifications int64            `json:"verifications"`
-	VCacheHits    int64            `json:"vcacheHits"`
-	VCacheMisses  int64            `json:"vcacheMisses"`
-	Encryptions   int64            `json:"encryptions"`
-	Decryptions   int64            `json:"decryptions"`
-	Custom        map[string]int64 `json:"custom,omitempty"`
+	// MessagesSent counts protocol messages; BytesSent their payload bytes.
+	MessagesSent int64 `json:"messagesSent"`
+	// BytesSent is the total payload bytes of recorded messages.
+	BytesSent int64 `json:"bytesSent"`
+	// Signatures counts digital signature generations.
+	Signatures int64 `json:"signatures"`
+	// Verifications counts real digital signature verifications.
+	Verifications int64 `json:"verifications"`
+	// VCacheHits counts verifications avoided by the verified-signature
+	// cache; VCacheMisses counts cache lookups that fell through.
+	VCacheHits int64 `json:"vcacheHits"`
+	// VCacheMisses counts verification-cache lookups that fell through to a
+	// real verification.
+	VCacheMisses int64 `json:"vcacheMisses"`
+	// Encryptions and Decryptions count symmetric cipher operations.
+	Encryptions int64 `json:"encryptions"`
+	// Decryptions counts symmetric decryption operations.
+	Decryptions int64 `json:"decryptions"`
+	// Custom holds the named experiment-specific counters.
+	Custom map[string]int64 `json:"custom,omitempty"`
 }
 
 // AddMessage records a protocol message of the given size in bytes.
@@ -107,12 +120,11 @@ func (c *Counters) AddCustom(name string, delta int64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.custom == nil {
-		c.custom = make(map[string]int64)
+	v, ok := c.custom.Load(name)
+	if !ok {
+		v, _ = c.custom.LoadOrStore(name, new(atomic.Int64))
 	}
-	c.custom[name] += delta
+	v.(*atomic.Int64).Add(delta)
 }
 
 // Custom returns the value of a named counter.
@@ -120,9 +132,11 @@ func (c *Counters) Custom(name string) int64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.custom[name]
+	v, ok := c.custom.Load(name)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
 }
 
 // MessagesSent returns the number of protocol messages recorded.
@@ -165,17 +179,19 @@ func (c *Counters) VerifyCacheMisses() int64 {
 	return c.vcacheMisses.Load()
 }
 
-// Snapshot copies the current counter values.
+// Snapshot copies the current counter values. It takes no locks: custom
+// counters live in a lock-free map, so a snapshot can safely be taken
+// from any context — including hooks that are themselves inside an
+// AddCustom caller.
 func (c *Counters) Snapshot() Snapshot {
 	if c == nil {
 		return Snapshot{}
 	}
-	c.mu.Lock()
-	custom := make(map[string]int64, len(c.custom))
-	for k, v := range c.custom {
-		custom[k] = v
-	}
-	c.mu.Unlock()
+	custom := make(map[string]int64)
+	c.custom.Range(func(k, v any) bool {
+		custom[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return Snapshot{
 		MessagesSent:  c.messagesSent.Load(),
 		BytesSent:     c.bytesSent.Load(),
@@ -202,9 +218,19 @@ func (c *Counters) Reset() {
 	c.vcacheMisses.Store(0)
 	c.encryptions.Store(0)
 	c.decryptions.Store(0)
-	c.mu.Lock()
-	c.custom = nil
-	c.mu.Unlock()
+	c.custom.Range(func(k, _ any) bool {
+		c.custom.Delete(k)
+		return true
+	})
+}
+
+// Delta returns this snapshot minus prev, field by field: the cost of
+// whatever ran between the two snapshots. It replaces the Reset-then-read
+// pattern for callers that cannot reset a shared Counters (resetting
+// clobbers concurrent accounting) and the hand-diffing benchtab used to
+// do.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	return Diff(prev, s)
 }
 
 // Diff returns a snapshot containing after-minus-before for every field.

@@ -76,6 +76,64 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+func TestDelta(t *testing.T) {
+	var c Counters
+	c.AddMessage(4)
+	c.AddCustom("read.retries", 1)
+	before := c.Snapshot()
+	c.AddMessage(2)
+	c.AddVerification()
+	c.AddCustom("read.retries", 2)
+	after := c.Snapshot()
+
+	d := after.Delta(before)
+	if d.MessagesSent != 1 || d.BytesSent != 2 || d.Verifications != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Custom["read.retries"] != 2 {
+		t.Fatalf("delta custom = %v", d.Custom)
+	}
+}
+
+// TestSnapshotDuringAddCustom is the regression test for the old
+// mutex-guarded custom map: taking a snapshot while other goroutines hammer
+// AddCustom must neither block nor race (run with -race).
+func TestSnapshotDuringAddCustom(t *testing.T) {
+	var c Counters
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := strings.Repeat("k", i+1)
+			c.AddCustom(name, 1) // ensure every counter exists even on a slow scheduler
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.AddCustom(name, 1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		snap := c.Snapshot()
+		for name, v := range snap.Custom {
+			if v < 0 {
+				t.Fatalf("counter %q went negative: %d", name, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := c.Snapshot()
+	if len(final.Custom) != 4 {
+		t.Fatalf("custom counters = %v", final.Custom)
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	var c Counters
 	c.AddMessage(10)

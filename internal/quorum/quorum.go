@@ -25,9 +25,22 @@ import (
 	"fmt"
 	"sync"
 
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
+
+// call performs one per-server RPC under an "rpc" span (a no-op when ctx
+// carries no tracer), annotated with the target server and request kind.
+func call(ctx context.Context, caller transport.Caller, srv string, req wire.Request) (wire.Response, error) {
+	sp := trace.Leaf(ctx, "rpc")
+	sp.SetAttr("server", srv)
+	sp.SetAttr("req", wire.RequestName(req))
+	resp, err := caller.Call(ctx, srv, req)
+	sp.SetError(err)
+	sp.End()
+	return resp, err
+}
 
 // ErrInsufficient reports that a quorum operation could not collect enough
 // successful replies.
@@ -172,7 +185,7 @@ func GatherAll(ctx context.Context, caller transport.Caller, servers []string, b
 		wg.Add(1)
 		go func(srv string) {
 			defer wg.Done()
-			resp, err := caller.Call(callCtx, srv, build(srv))
+			resp, err := call(callCtx, caller, srv, build(srv))
 			replies <- Reply{Server: srv, Resp: resp, Err: err}
 		}(srv)
 	}
@@ -213,7 +226,7 @@ func GatherStaged(ctx context.Context, caller transport.Caller, servers []string
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := caller.Call(callCtx, srv, build(srv))
+			resp, err := call(callCtx, caller, srv, build(srv))
 			replies <- Reply{Server: srv, Resp: resp, Err: err}
 		}()
 	}

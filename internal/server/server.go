@@ -25,6 +25,7 @@ import (
 	"securestore/internal/sessionctx"
 	"securestore/internal/storage"
 	"securestore/internal/timestamp"
+	"securestore/internal/trace"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
 )
@@ -130,6 +131,9 @@ type Config struct {
 	DisableCausalGating bool
 	// Metrics receives the server's verification counts.
 	Metrics *metrics.Counters
+	// Tracer records one "server.<req>" span per handled request (and,
+	// through its histogram set, per-handler latency). May be nil.
+	Tracer *trace.Tracer
 	// Persist, when non-nil, makes accepted writes and stored contexts
 	// durable in a write-ahead log; call Recover after New to reload
 	// state. Replayed records still carry their client signatures and are
@@ -230,7 +234,23 @@ func (s *Server) policyLocked(group string) Policy {
 }
 
 // ServeRequest dispatches one request. It implements transport.Handler.
-func (s *Server) ServeRequest(_ context.Context, from string, req wire.Request) (wire.Response, error) {
+// When a Tracer is configured each request is recorded as a
+// "server.<kind>" span annotated with the caller, which is where a
+// replica's per-handler latency histograms come from.
+func (s *Server) ServeRequest(ctx context.Context, from string, req wire.Request) (wire.Response, error) {
+	if s.cfg.Tracer == nil {
+		return s.serve(from, req)
+	}
+	sp := s.cfg.Tracer.Root(wire.ServerOpName(req))
+	sp.SetAttr("from", from)
+	resp, err := s.serve(from, req)
+	sp.SetError(err)
+	sp.End()
+	return resp, err
+}
+
+// serve is ServeRequest without instrumentation.
+func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 

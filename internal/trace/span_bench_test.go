@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"context"
+	"testing"
+
+	"securestore/internal/metrics"
+)
+
+func BenchmarkSpanLeaf(b *testing.B) {
+	hist := &metrics.HistogramSet{}
+	tr := New(0, WithHistograms(hist))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "data.read")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := Leaf(ctx, "rpc")
+		sp.SetAttr("server", "s00")
+		sp.SetAttr("req", "meta")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanRoot(b *testing.B) {
+	hist := &metrics.HistogramSet{}
+	tr := New(0, WithHistograms(hist))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Root("server.write")
+		sp.SetAttr("from", "alice")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanStartTree(b *testing.B) {
+	hist := &metrics.HistogramSet{}
+	tr := New(0, WithHistograms(hist))
+	base := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := Start(base, "data.read")
+		sp := Leaf(ctx, "rpc")
+		sp.End()
+		root.End()
+	}
+}

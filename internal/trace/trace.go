@@ -1,0 +1,409 @@
+// Package trace provides per-operation structured tracing for the secure
+// store: where the counters of internal/metrics say *how much* a protocol
+// run cost, spans say *where the time went* — context quorum vs. data
+// fetch vs. retry backoff, per-replica RPC attempt by attempt.
+//
+// The model is deliberately small. A Span is one timed interval with an
+// operation name ("data.read", "rpc", "gossip.round", ...), string
+// attributes, an optional error, and parent/trace identifiers that stitch
+// spans into a tree: the client op is the root, each quorum RPC a child.
+// Spans travel through context.Context — Start looks up the ambient
+// Tracer and active parent, so instrumented layers compose without
+// plumbing tracer arguments through every call.
+//
+// The API is tiered by allocation cost. Start (and StartRoot, which also
+// injects a component's own tracer) derives a child context and is for
+// spans that will have children; Leaf opens a childless span under the
+// ambient parent with no context derivation; Tracer.Root opens a
+// standalone root with no context at all (a replica serving one inbound
+// request). Leaf and Root spans are pooled and allocation-free; they must
+// not be touched after End.
+//
+// Completed spans land in a bounded in-memory ring (newest overwrite
+// oldest), can be streamed to an optional JSON-lines sink, and feed their
+// durations into a metrics.HistogramSet keyed by operation name — which
+// is how the p50/p95/p99 columns of benchtab and the /metrics endpoint
+// are produced from a single instrumentation point.
+//
+// Everything is nil-safe in the package's usual style: a nil *Tracer, a
+// context without a tracer, or a nil *Span all no-op, so hot paths are
+// instrumented unconditionally and pay roughly a pointer lookup when
+// tracing is off. Experiment O1 (EXPERIMENTS.md) measures the enabled
+// cost at under 3% of the TCP hot path.
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securestore/internal/metrics"
+)
+
+// DefaultCapacity is the ring size used when New is given a non-positive
+// capacity: enough for several thousand recent operations while bounding
+// memory to a few MB at typical span sizes.
+const DefaultCapacity = 4096
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	// Key names the attribute (e.g. "server", "item", "attempts").
+	Key string `json:"k"`
+	// Value is the attribute's rendered value.
+	Value string `json:"v"`
+}
+
+// Span is one timed operation. A live span is mutated by exactly one
+// goroutine (the one that Started it) until End, after which an immutable
+// copy is recorded; this is the usual tracing contract and keeps spans
+// lock-free.
+type Span struct {
+	// TraceID groups every span of one client-visible operation; it equals
+	// the root span's SpanID.
+	TraceID uint64 `json:"trace"`
+	// SpanID uniquely identifies this span within its tracer's lifetime.
+	SpanID uint64 `json:"span"`
+	// ParentID is the enclosing span's SpanID, zero for roots.
+	ParentID uint64 `json:"parent,omitempty"`
+	// Op names the operation, e.g. "data.read" or "rpc".
+	Op string `json:"op"`
+	// Start is when the span began.
+	Start time.Time `json:"start"`
+	// Duration is how long the span ran (set by End).
+	Duration time.Duration `json:"durNanos"`
+	// Attrs holds the span's annotations in SetAttr order.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Err is the operation's error text, empty on success.
+	Err string `json:"err,omitempty"`
+
+	tracer *Tracer
+	ended  bool
+	// noPool marks spans that escaped into a context (Start): stragglers
+	// holding the derived context may still read the span's identifiers
+	// after End, so only context-free Leaf and Root spans are recycled.
+	noPool bool
+	// attrBuf backs Attrs for the first few SetAttr calls so the common
+	// span (a handful of short annotations) allocates nothing beyond the
+	// span itself.
+	attrBuf [4]Attr
+}
+
+// spanPool recycles Leaf and Root spans: End returns them after recording,
+// which keeps steady-state tracing free of per-span heap allocation. The
+// corollary is the usual tracing contract with teeth: a span must not be
+// touched after End.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// SetAttr annotates the span. Nil-safe; later values for the same key are
+// appended, not replaced (attribute lists are short and append order is
+// itself informative, e.g. one "server" attr per staged contact).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = s.attrBuf[:0]
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetError records err's text on the span. A nil err clears nothing and
+// records nothing, so it can be called unconditionally on the way out.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+}
+
+// End completes the span: its duration is fixed and an immutable copy is
+// recorded into the tracer's ring, sink and histograms. Calling End more
+// than once, or on a nil span, is a no-op. The span must not be touched
+// after End — Leaf and Root spans are recycled.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Duration = s.tracer.since(s.Start)
+	s.tracer.record(s)
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithSink streams every completed span to w as one JSON object per line.
+// Writes happen under a dedicated mutex outside the ring lock; a write
+// error silently disables the sink (tracing must never take down the
+// store).
+func WithSink(w io.Writer) Option {
+	return func(t *Tracer) { t.sink = w }
+}
+
+// WithHistograms feeds every completed span's duration into h, keyed by
+// the span's Op. This is the single wiring point behind all latency
+// percentiles: any instrumented operation gets a histogram for free.
+func WithHistograms(h *metrics.HistogramSet) Option {
+	return func(t *Tracer) { t.hist = h }
+}
+
+// WithClock substitutes the tracer's time source (tests; the default is
+// time.Now).
+func WithClock(now func() time.Time) Option {
+	return func(t *Tracer) {
+		t.now = now
+		t.since = func(t0 time.Time) time.Duration { return now().Sub(t0) }
+	}
+}
+
+// Tracer records completed spans into a bounded ring. Safe for concurrent
+// use; a nil *Tracer no-ops everywhere.
+type Tracer struct {
+	capacity int
+	sink     io.Writer
+	hist     *metrics.HistogramSet
+	now      func() time.Time
+	// since measures elapsed time from a span's start. With the default
+	// clock it is time.Since, which reads only the monotonic counter —
+	// measurably cheaper than a second full time.Now per span on the End
+	// path.
+	since func(time.Time) time.Duration
+	ids   atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total uint64
+
+	sinkMu sync.Mutex
+}
+
+// New creates a tracer whose ring retains the most recent capacity spans
+// (DefaultCapacity when capacity <= 0).
+func New(capacity int, opts ...Option) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{capacity: capacity, now: time.Now, since: time.Since}
+	// The full ring is allocated up front: recording never grows it, so
+	// the steady-state hot path is free of append garbage.
+	t.ring = make([]Span, 0, capacity)
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Histograms returns the HistogramSet completed spans feed, nil when none
+// was configured.
+func (t *Tracer) Histograms() *metrics.HistogramSet {
+	if t == nil {
+		return nil
+	}
+	return t.hist
+}
+
+// The context payload is the enclosing *Span itself (a WithTracer
+// sentinel span for tracer-only contexts): child starts read only its
+// tracer and identifiers, all immutable after creation, so no extra
+// bookkeeping object is allocated per span.
+type ctxKey struct{}
+
+// WithTracer returns a context carrying t as the ambient tracer, under
+// which Start creates root spans. A nil tracer returns ctx unchanged, so
+// callers inject unconditionally.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &Span{tracer: t})
+}
+
+// FromContext returns the ambient tracer, nil when the context carries
+// none.
+func FromContext(ctx context.Context) *Tracer {
+	if s, ok := ctx.Value(ctxKey{}).(*Span); ok {
+		return s.tracer
+	}
+	return nil
+}
+
+// Start begins a span under the context's ambient tracer, child of the
+// context's active span if any. It returns a derived context carrying the
+// new span (so nested Starts build a tree) and the span itself. Without
+// an ambient tracer it returns ctx unchanged and a nil span, whose
+// methods all no-op.
+func Start(ctx context.Context, op string) (context.Context, *Span) {
+	s := newSpan(ctx, op)
+	if s == nil {
+		return ctx, nil
+	}
+	s.noPool = true // the derived context may outlive End
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Leaf begins a span that expects no children: the same linkage as Start
+// but without deriving a new context, which saves an allocation per span.
+// It is the right call for per-replica RPC attempts and other innermost
+// operations; use Start when the span should become the parent of nested
+// spans.
+func Leaf(ctx context.Context, op string) *Span {
+	return newSpan(ctx, op)
+}
+
+// StartRoot begins an operation's root span: under the context's ambient
+// tracer when one is present (preserving the caller's trace linkage),
+// otherwise under t. It fuses WithTracer+Start into one context
+// derivation, which is the cheapest way for a component holding its own
+// tracer (client, gossip engine) to open an op. A nil t and a tracerless
+// ctx return ctx unchanged and a nil span.
+func StartRoot(ctx context.Context, t *Tracer, op string) (context.Context, *Span) {
+	var s *Span
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent.tracer != nil {
+		s = parent.tracer.startSpan(parent.TraceID, parent.SpanID, op)
+	} else if t != nil {
+		s = t.startSpan(0, 0, op)
+	} else {
+		return ctx, nil
+	}
+	s.noPool = true // the derived context may outlive End
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// newSpan starts a span under ctx's ambient tracer, nil when the context
+// carries none.
+func newSpan(ctx context.Context, op string) *Span {
+	parent, ok := ctx.Value(ctxKey{}).(*Span)
+	if !ok || parent.tracer == nil {
+		return nil
+	}
+	return parent.tracer.startSpan(parent.TraceID, parent.SpanID, op)
+}
+
+// Root begins a root span directly on the tracer, bypassing context
+// plumbing entirely: for process entry points (e.g. a replica serving one
+// request) where no enclosing span can exist. A nil tracer returns a nil
+// span, whose methods all no-op.
+func (t *Tracer) Root(op string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(0, 0, op)
+}
+
+// startSpan assigns identifiers and recycles a pooled span. A zero
+// traceID starts a new trace rooted at this span.
+func (t *Tracer) startSpan(traceID, parentID uint64, op string) *Span {
+	id := t.ids.Add(1)
+	if traceID == 0 {
+		traceID = id
+	}
+	s := spanPool.Get().(*Span)
+	*s = Span{
+		TraceID:  traceID,
+		SpanID:   id,
+		ParentID: parentID,
+		Op:       op,
+		Start:    t.now(),
+		tracer:   t,
+	}
+	return s
+}
+
+// record stores one completed span and, for pooled span kinds, recycles
+// the allocation.
+func (t *Tracer) record(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	var dst *Span
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, Span{})
+		dst = &t.ring[len(t.ring)-1]
+	} else {
+		dst = &t.ring[t.next]
+	}
+	*dst = *s
+	dst.tracer = nil // recorded copies carry no back-pointer
+	// Short attr lists live in the span's inline buffer; point the ring
+	// copy at its own buffer so it shares no memory with the (possibly
+	// recycled) source span.
+	if n := len(dst.Attrs); n > 0 && n <= len(dst.attrBuf) {
+		dst.Attrs = dst.attrBuf[:n]
+	}
+	t.next = (t.next + 1) % t.capacity
+	t.total++
+	sink := t.sink
+	t.mu.Unlock()
+
+	t.hist.Observe(s.Op, s.Duration)
+	if sink != nil {
+		line, err := json.Marshal(s)
+		if err == nil {
+			line = append(line, '\n')
+			t.sinkMu.Lock()
+			if _, err := sink.Write(line); err != nil {
+				t.mu.Lock()
+				t.sink = nil // sink failed: stop trying, keep tracing
+				t.mu.Unlock()
+			}
+			t.sinkMu.Unlock()
+		}
+	}
+	if !s.noPool {
+		spanPool.Put(s)
+	}
+}
+
+// Recent returns up to max completed spans, oldest first (recording
+// order). max <= 0 returns everything retained.
+func (t *Tracer) Recent(max int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]Span, 0, max)
+	// Oldest retained span sits at t.next once the ring has wrapped.
+	start := 0
+	if n == t.capacity {
+		start = t.next
+	}
+	for i := n - max; i < n; i++ {
+		out = append(out, t.ring[(start+i)%n])
+		// Re-point inline-buffered attrs at the returned copy: the ring
+		// slot's buffer will be overwritten once the slot is reused.
+		c := &out[len(out)-1]
+		if a := len(c.Attrs); a > 0 && a <= len(c.attrBuf) {
+			c.Attrs = c.attrBuf[:a]
+		}
+	}
+	return out
+}
+
+// Total returns how many spans have been recorded over the tracer's
+// lifetime, including those the ring has since overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Capacity returns the ring's bound.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}

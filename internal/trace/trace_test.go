@@ -1,0 +1,291 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"securestore/internal/metrics"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Total() != 0 || tr.Capacity() != 0 || tr.Recent(10) != nil || tr.Histograms() != nil {
+		t.Fatal("nil tracer must no-op")
+	}
+	ctx := WithTracer(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil tracer must not be injected")
+	}
+	ctx2, sp := Start(ctx, "op")
+	if sp != nil {
+		t.Fatal("Start without a tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a tracer must not derive a new context")
+	}
+	// All span methods no-op on nil.
+	sp.SetAttr("k", "v")
+	sp.SetError(errors.New("boom"))
+	sp.End()
+	if Leaf(ctx, "op") != nil {
+		t.Fatal("Leaf without a tracer must return a nil span")
+	}
+	tr.Root("op").End() // nil tracer: Root no-ops too
+}
+
+func TestLeafAndRootSpans(t *testing.T) {
+	tr := New(8)
+	ctx, root := Start(WithTracer(context.Background(), tr), "data.read")
+	leaf := Leaf(ctx, "rpc")
+	if leaf.TraceID != root.TraceID {
+		t.Fatalf("leaf trace = %d, want root's %d", leaf.TraceID, root.TraceID)
+	}
+	if leaf.ParentID != root.SpanID {
+		t.Fatalf("leaf parent = %d, want %d", leaf.ParentID, root.SpanID)
+	}
+	leaf.End()
+	root.End()
+
+	// Root spans stand alone: their own trace, no parent.
+	r := tr.Root("server.write")
+	if r.ParentID != 0 || r.TraceID != r.SpanID || r.TraceID == 0 {
+		t.Fatalf("root span ids = trace %d span %d parent %d", r.TraceID, r.SpanID, r.ParentID)
+	}
+	r.End()
+
+	if got := tr.Total(); got != 3 {
+		t.Fatalf("recorded %d spans, want 3", got)
+	}
+}
+
+func TestStartRoot(t *testing.T) {
+	tr := New(8)
+
+	// No ambient tracer: the supplied tracer opens a fresh root trace.
+	ctx, root := StartRoot(context.Background(), tr, "data.write")
+	if root == nil || root.ParentID != 0 || root.TraceID != root.SpanID {
+		t.Fatalf("root span = %+v", root)
+	}
+	if leaf := Leaf(ctx, "rpc"); leaf.ParentID != root.SpanID {
+		t.Fatalf("leaf under StartRoot: parent = %d, want %d", leaf.ParentID, root.SpanID)
+	}
+
+	// Ambient tracer wins: the caller's trace linkage is preserved and the
+	// component's own tracer (even nil) is ignored.
+	outerCtx, outer := Start(WithTracer(context.Background(), tr), "outer")
+	_, inner := StartRoot(outerCtx, nil, "data.read")
+	if inner == nil || inner.ParentID != outer.SpanID || inner.TraceID != outer.TraceID {
+		t.Fatalf("inner span = %+v, want child of %+v", inner, outer)
+	}
+
+	// Neither: no-op, same context back.
+	plain := context.Background()
+	ctx2, sp := StartRoot(plain, nil, "op")
+	if sp != nil || ctx2 != plain {
+		t.Fatal("StartRoot without any tracer must no-op")
+	}
+}
+
+func TestSpanTreeAndRecording(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	tr := New(16, WithClock(clock))
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "data.read")
+	root.SetAttr("item", "x")
+	childCtx, child := Start(ctx, "rpc")
+	child.SetAttr("server", "s00")
+	now = now.Add(5 * time.Millisecond)
+	child.SetError(errors.New("timeout"))
+	child.End()
+	_ = childCtx
+	now = now.Add(5 * time.Millisecond)
+	root.End()
+
+	spans := tr.Recent(0)
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1] // child ends first
+	if c.Op != "rpc" || r.Op != "data.read" {
+		t.Fatalf("span order = %q, %q", c.Op, r.Op)
+	}
+	if c.TraceID != r.SpanID || c.ParentID != r.SpanID {
+		t.Fatalf("child (trace=%d parent=%d) not linked to root span %d", c.TraceID, c.ParentID, r.SpanID)
+	}
+	if r.ParentID != 0 || r.TraceID != r.SpanID {
+		t.Fatalf("root ids wrong: %+v", r)
+	}
+	if c.Duration != 5*time.Millisecond || r.Duration != 10*time.Millisecond {
+		t.Fatalf("durations = %v, %v", c.Duration, r.Duration)
+	}
+	if c.Err != "timeout" || r.Err != "" {
+		t.Fatalf("errs = %q, %q", c.Err, r.Err)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0] != (Attr{"server", "s00"}) {
+		t.Fatalf("child attrs = %v", c.Attrs)
+	}
+	if tr.Total() != 2 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := New(4)
+	_, sp := Start(WithTracer(context.Background(), tr), "op")
+	sp.End()
+	sp.End()
+	if tr.Total() != 1 {
+		t.Fatalf("double End recorded %d spans", tr.Total())
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	tr := New(4)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, fmt.Sprintf("op%d", i))
+		sp.End()
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want capacity 4", len(spans))
+	}
+	for i, s := range spans {
+		want := fmt.Sprintf("op%d", 6+i)
+		if s.Op != want {
+			t.Fatalf("span %d = %q, want %q (oldest-first, newest retained)", i, s.Op, want)
+		}
+	}
+	// A limited Recent returns the newest suffix.
+	last2 := tr.Recent(2)
+	if len(last2) != 2 || last2[0].Op != "op8" || last2[1].Op != "op9" {
+		t.Fatalf("Recent(2) = %v", last2)
+	}
+}
+
+func TestConcurrentWritersOrderingAndCount(t *testing.T) {
+	const writers, each = 8, 200
+	tr := New(64)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_, sp := Start(ctx, "op")
+				sp.SetAttr("writer", strconv.Itoa(w))
+				sp.SetAttr("seq", strconv.Itoa(i))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := tr.Total(); got != writers*each {
+		t.Fatalf("total = %d, want %d", got, writers*each)
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 64 {
+		t.Fatalf("retained %d spans, want 64", len(spans))
+	}
+	// Per-writer sequence numbers must appear in order: the ring records in
+	// End order under one lock, and each writer ends its spans in sequence.
+	lastSeq := make(map[string]int)
+	for _, s := range spans {
+		var writer string
+		seq := -1
+		for _, a := range s.Attrs {
+			switch a.Key {
+			case "writer":
+				writer = a.Value
+			case "seq":
+				seq, _ = strconv.Atoi(a.Value)
+			}
+		}
+		if prev, ok := lastSeq[writer]; ok && seq <= prev {
+			t.Fatalf("writer %s sequence went %d -> %d: ring order violated", writer, prev, seq)
+		}
+		lastSeq[writer] = seq
+	}
+}
+
+func TestJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Unix(42, 0)
+	tr := New(8, WithSink(&buf), WithClock(func() time.Time { return now }))
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "data.write")
+	sp.SetAttr("item", "todo")
+	now = now.Add(3 * time.Millisecond)
+	sp.End()
+
+	var got Span
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("sink line not JSON: %v (%q)", err, buf.String())
+	}
+	if got.Op != "data.write" || got.Duration != 3*time.Millisecond || len(got.Attrs) != 1 {
+		t.Fatalf("sink span = %+v", got)
+	}
+}
+
+// failingWriter fails after the first write.
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestSinkFailureDisablesSinkNotTracing(t *testing.T) {
+	w := &failingWriter{}
+	tr := New(8, WithSink(w))
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 4; i++ {
+		_, sp := Start(ctx, "op")
+		sp.End()
+	}
+	if tr.Total() != 4 {
+		t.Fatalf("tracing stopped after sink failure: total=%d", tr.Total())
+	}
+	if w.writes != 2 { // one success, one failure, then disabled
+		t.Fatalf("sink written %d times, want 2", w.writes)
+	}
+}
+
+func TestHistogramFeed(t *testing.T) {
+	hist := &metrics.HistogramSet{}
+	now := time.Unix(0, 0)
+	tr := New(8, WithHistograms(hist), WithClock(func() time.Time { return now }))
+	ctx := WithTracer(context.Background(), tr)
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond} {
+		_, sp := Start(ctx, "data.read")
+		now = now.Add(d)
+		sp.End()
+	}
+	snap := hist.Get("data.read").Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("histogram count = %d", snap.Count)
+	}
+	if snap.Max != 4*time.Millisecond {
+		t.Fatalf("histogram max = %v", snap.Max)
+	}
+	if tr.Histograms() != hist {
+		t.Fatal("Histograms accessor")
+	}
+}

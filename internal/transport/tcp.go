@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"securestore/internal/metrics"
 	"securestore/internal/wire"
@@ -171,6 +172,14 @@ func Serialized() CallerOption {
 	return func(c *TCPCaller) { c.serialized = true }
 }
 
+// WithLatencies records every call's wire round-trip time into h under
+// "transport.rpc" — the time from frame encode to reply decode, isolating
+// network plus peer-handler cost from the client-side protocol logic that
+// spans measure.
+func WithLatencies(h *metrics.HistogramSet) CallerOption {
+	return func(c *TCPCaller) { c.latencies = h }
+}
+
 // TCPCaller issues requests to TCP servers. It maintains one persistent
 // connection per destination and pipelines concurrent calls over it: each
 // request carries a frame ID, a per-connection demux goroutine routes
@@ -180,6 +189,7 @@ func Serialized() CallerOption {
 type TCPCaller struct {
 	origin     string
 	metrics    *metrics.Counters
+	latencies  *metrics.HistogramSet
 	serialized bool
 
 	mu    sync.Mutex
@@ -242,6 +252,10 @@ func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire
 	}
 
 	c.metrics.AddMessage(0)
+	var sent time.Time
+	if c.latencies != nil {
+		sent = time.Now()
+	}
 	tc.encMu.Lock()
 	err = tc.enc.Encode(&envelope{ID: id, From: c.origin, Req: req})
 	tc.encMu.Unlock()
@@ -257,6 +271,9 @@ func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire
 			// Demux loop died: connection lost mid-call.
 			c.drop(to, tc)
 			return nil, fmt.Errorf("receive from %s: %w", to, tc.brokenErr())
+		}
+		if c.latencies != nil {
+			c.latencies.Observe("transport.rpc", time.Since(sent))
 		}
 		c.metrics.AddMessage(0)
 		if reply.Err != "" {

@@ -291,6 +291,61 @@ func (LogResp) WireResponse()         {}
 func (GossipPushResp) WireResponse()  {}
 func (GossipPullResp) WireResponse()  {}
 
+// RequestName returns a short dotted label for a request's kind, used as
+// the operation key in traces, latency histograms, and the /metrics
+// exporter ("meta", "value", "gossip.push", ...). Unknown request types
+// (e.g. baseline-specific messages routed through the same transport)
+// report "other".
+func RequestName(req Request) string {
+	switch req.(type) {
+	case ContextReadReq:
+		return "ctx.read"
+	case ContextWriteReq:
+		return "ctx.write"
+	case MetaReq:
+		return "meta"
+	case ValueReq:
+		return "value"
+	case WriteReq:
+		return "write"
+	case LogReq:
+		return "log"
+	case GossipPushReq:
+		return "gossip.push"
+	case GossipPullReq:
+		return "gossip.pull"
+	default:
+		return "other"
+	}
+}
+
+// ServerOpName is RequestName with a "server." prefix, as constants — the
+// span operation a replica records per request. Precomputed because the
+// server opens one such span per inbound request and a runtime concat
+// would allocate on that hot path.
+func ServerOpName(req Request) string {
+	switch req.(type) {
+	case ContextReadReq:
+		return "server.ctx.read"
+	case ContextWriteReq:
+		return "server.ctx.write"
+	case MetaReq:
+		return "server.meta"
+	case ValueReq:
+		return "server.value"
+	case WriteReq:
+		return "server.write"
+	case LogReq:
+		return "server.log"
+	case GossipPushReq:
+		return "server.gossip.push"
+	case GossipPullReq:
+		return "server.gossip.pull"
+	default:
+		return "server.other"
+	}
+}
+
 // RegisterGob registers every request and response type with encoding/gob
 // so the TCP transport can encode them behind the Request/Response
 // interfaces. Call once at process start.

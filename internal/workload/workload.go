@@ -3,6 +3,12 @@
 // items, with uniform or zipfian item popularity and synthetic values of a
 // chosen size. All randomness is seeded so every experiment is exactly
 // reproducible.
+//
+// A Generator yields Op values (read or write of a named item); callers
+// map them onto real client calls. The chaos soak (internal/chaos) drives
+// its entire fault schedule against streams from this package, so the
+// determinism guarantee here is what makes a failing chaos seed replay
+// exactly.
 package workload
 
 import (
