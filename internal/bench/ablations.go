@@ -308,6 +308,7 @@ func All() []Experiment {
 		{"a6", "ablation: write-ahead-log durability cost", A6Persistence},
 		{"t1", "transport: multiplexed vs serialized concurrency", T1TransportConcurrency},
 		{"t2", "transport: verified-signature cache savings", T2VerifyCache},
+		{"t3", "replica concurrency: coarse vs fine-grained locking", T3ReplicaConcurrency},
 		{"obs", "observability: instrumentation overhead + latency percentiles", O1ObsOverhead},
 		{"chaos", "chaos soak: composed faults vs checker verdict", ChaosSoak},
 	}

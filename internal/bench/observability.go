@@ -90,12 +90,12 @@ func O1ObsOverhead(opts Options) (*Table, error) {
 		// Both configurations run against long-lived deployments, like
 		// securestored: connection pools and trace rings are warm, and
 		// measurement windows contain only steady-state work.
-		plainEnv, err := newTCPStoreEnv(opts.seed(), 0, nil)
+		plainEnv, err := newTCPStoreEnv(opts.seed(), 0, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		obs := newBenchObs()
-		instrEnv, err := newTCPStoreEnv(opts.seed(), 0, obs)
+		instrEnv, err := newTCPStoreEnv(opts.seed(), 0, obs, nil)
 		if err != nil {
 			plainEnv.Close()
 			return nil, err

@@ -9,7 +9,7 @@ import "testing"
 // paths; the O1 table in EXPERIMENTS.md is the curated version.
 
 func BenchmarkTCPPlain(b *testing.B) {
-	env, err := newTCPStoreEnv("prof", 0, nil)
+	env, err := newTCPStoreEnv("prof", 0, nil, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func BenchmarkTCPPlain(b *testing.B) {
 
 func BenchmarkTCPInstrumented(b *testing.B) {
 	obs := newBenchObs()
-	env, err := newTCPStoreEnv("prof", 0, obs)
+	env, err := newTCPStoreEnv("prof", 0, obs, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

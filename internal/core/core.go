@@ -183,6 +183,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				c.Close()
 				return nil, err
 			}
+			log.Metrics = c.ServerMetrics
 			c.logs = append(c.logs, log)
 			persist = log
 		}

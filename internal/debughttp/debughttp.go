@@ -82,6 +82,8 @@ var counterSeries = []struct {
 	{"securestore_vcache_misses_total", "Verification-cache lookups that fell through.", func(s metrics.Snapshot) int64 { return s.VCacheMisses }},
 	{"securestore_encryptions_total", "Symmetric encryption operations.", func(s metrics.Snapshot) int64 { return s.Encryptions }},
 	{"securestore_decryptions_total", "Symmetric decryption operations.", func(s metrics.Snapshot) int64 { return s.Decryptions }},
+	{"securestore_stripe_contention_total", "Contended replica stripe-lock acquisitions.", func(s metrics.Snapshot) int64 { return s.StripeWaits }},
+	{"securestore_wal_batches_total", "Write-ahead-log group commits (one write+flush each).", func(s metrics.Snapshot) int64 { return s.WALBatches }},
 }
 
 // serveMetricsProm renders the Prometheus text exposition format, version
@@ -111,6 +113,12 @@ func serveMetricsProm(w http.ResponseWriter, s State) {
 		for _, cs := range counterSeries {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", cs.name, cs.help, cs.name, cs.name, cs.value(snap))
 		}
+		// WAL group-commit batch size as a Prometheus summary: sum is the
+		// records flushed, count the commits, so sum/count is the mean
+		// batch size (securestore_wal_batch_size).
+		fmt.Fprint(w, "# HELP securestore_wal_batch_size Records per write-ahead-log group commit.\n# TYPE securestore_wal_batch_size summary\n")
+		fmt.Fprintf(w, "securestore_wal_batch_size_sum %d\n", snap.WALBatchRecords)
+		fmt.Fprintf(w, "securestore_wal_batch_size_count %d\n", snap.WALBatches)
 		if len(snap.Custom) > 0 {
 			names := make([]string, 0, len(snap.Custom))
 			for name := range snap.Custom {

@@ -188,6 +188,9 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 	if srvMetrics == nil {
 		srvMetrics = &metrics.Counters{}
 	}
+	if persist != nil {
+		persist.Metrics = srvMetrics
+	}
 	srv := server.New(server.Config{
 		ID:          name,
 		Ring:        ring,

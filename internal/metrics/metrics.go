@@ -24,6 +24,14 @@ type Counters struct {
 	encryptions   atomic.Int64
 	decryptions   atomic.Int64
 
+	// Replica concurrency visibility (DESIGN.md §7.6): stripeWaits counts
+	// contended stripe-lock acquisitions; walBatches/walBatchRecords count
+	// write-ahead-log group commits and the records they carried, so
+	// walBatchRecords/walBatches is the mean commit batch size.
+	stripeWaits     atomic.Int64
+	walBatches      atomic.Int64
+	walBatchRecords atomic.Int64
+
 	// custom maps counter names to *atomic.Int64. A lock-free map (rather
 	// than a mutex-guarded plain map) means Snapshot never contends with —
 	// or deadlocks against — AddCustom calls made from hooks that run while
@@ -51,6 +59,13 @@ type Snapshot struct {
 	Encryptions int64 `json:"encryptions"`
 	// Decryptions counts symmetric decryption operations.
 	Decryptions int64 `json:"decryptions"`
+	// StripeWaits counts contended replica stripe-lock acquisitions.
+	StripeWaits int64 `json:"stripeWaits,omitempty"`
+	// WALBatches counts write-ahead-log group commits (one write+flush
+	// each); WALBatchRecords counts the records those commits carried.
+	WALBatches int64 `json:"walBatches,omitempty"`
+	// WALBatchRecords counts records flushed across all WAL group commits.
+	WALBatchRecords int64 `json:"walBatchRecords,omitempty"`
 	// Custom holds the named experiment-specific counters.
 	Custom map[string]int64 `json:"custom,omitempty"`
 }
@@ -112,6 +127,50 @@ func (c *Counters) AddDecryption() {
 		return
 	}
 	c.decryptions.Add(1)
+}
+
+// AddStripeWait records one contended stripe-lock acquisition on a
+// replica (the acquiring request had to wait for the stripe).
+func (c *Counters) AddStripeWait() {
+	if c == nil {
+		return
+	}
+	c.stripeWaits.Add(1)
+}
+
+// AddWALBatch records one write-ahead-log group commit that flushed the
+// given number of records in a single write+flush.
+func (c *Counters) AddWALBatch(records int) {
+	if c == nil {
+		return
+	}
+	c.walBatches.Add(1)
+	c.walBatchRecords.Add(int64(records))
+}
+
+// StripeWaits returns the number of contended stripe-lock acquisitions.
+func (c *Counters) StripeWaits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stripeWaits.Load()
+}
+
+// WALBatches returns the number of WAL group commits recorded.
+func (c *Counters) WALBatches() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.walBatches.Load()
+}
+
+// WALBatchRecords returns the number of records flushed across all WAL
+// group commits.
+func (c *Counters) WALBatchRecords() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.walBatchRecords.Load()
 }
 
 // AddCustom increments a named counter by delta. Named counters are used for
@@ -193,15 +252,18 @@ func (c *Counters) Snapshot() Snapshot {
 		return true
 	})
 	return Snapshot{
-		MessagesSent:  c.messagesSent.Load(),
-		BytesSent:     c.bytesSent.Load(),
-		Signatures:    c.signatures.Load(),
-		Verifications: c.verifications.Load(),
-		VCacheHits:    c.vcacheHits.Load(),
-		VCacheMisses:  c.vcacheMisses.Load(),
-		Encryptions:   c.encryptions.Load(),
-		Decryptions:   c.decryptions.Load(),
-		Custom:        custom,
+		MessagesSent:    c.messagesSent.Load(),
+		BytesSent:       c.bytesSent.Load(),
+		Signatures:      c.signatures.Load(),
+		Verifications:   c.verifications.Load(),
+		VCacheHits:      c.vcacheHits.Load(),
+		VCacheMisses:    c.vcacheMisses.Load(),
+		Encryptions:     c.encryptions.Load(),
+		Decryptions:     c.decryptions.Load(),
+		StripeWaits:     c.stripeWaits.Load(),
+		WALBatches:      c.walBatches.Load(),
+		WALBatchRecords: c.walBatchRecords.Load(),
+		Custom:          custom,
 	}
 }
 
@@ -218,6 +280,9 @@ func (c *Counters) Reset() {
 	c.vcacheMisses.Store(0)
 	c.encryptions.Store(0)
 	c.decryptions.Store(0)
+	c.stripeWaits.Store(0)
+	c.walBatches.Store(0)
+	c.walBatchRecords.Store(0)
 	c.custom.Range(func(k, _ any) bool {
 		c.custom.Delete(k)
 		return true
@@ -240,15 +305,18 @@ func Diff(before, after Snapshot) Snapshot {
 		custom[k] = v - before.Custom[k]
 	}
 	return Snapshot{
-		MessagesSent:  after.MessagesSent - before.MessagesSent,
-		BytesSent:     after.BytesSent - before.BytesSent,
-		Signatures:    after.Signatures - before.Signatures,
-		Verifications: after.Verifications - before.Verifications,
-		VCacheHits:    after.VCacheHits - before.VCacheHits,
-		VCacheMisses:  after.VCacheMisses - before.VCacheMisses,
-		Encryptions:   after.Encryptions - before.Encryptions,
-		Decryptions:   after.Decryptions - before.Decryptions,
-		Custom:        custom,
+		MessagesSent:    after.MessagesSent - before.MessagesSent,
+		BytesSent:       after.BytesSent - before.BytesSent,
+		Signatures:      after.Signatures - before.Signatures,
+		Verifications:   after.Verifications - before.Verifications,
+		VCacheHits:      after.VCacheHits - before.VCacheHits,
+		VCacheMisses:    after.VCacheMisses - before.VCacheMisses,
+		Encryptions:     after.Encryptions - before.Encryptions,
+		Decryptions:     after.Decryptions - before.Decryptions,
+		StripeWaits:     after.StripeWaits - before.StripeWaits,
+		WALBatches:      after.WALBatches - before.WALBatches,
+		WALBatchRecords: after.WALBatchRecords - before.WALBatchRecords,
+		Custom:          custom,
 	}
 }
 

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"securestore/internal/checker"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/storage"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// TestConcurrentRequestsRace hammers one replica with every request type
+// from many goroutines at once — the workload the striped locks exist for —
+// and validates the results with the history checker. Run under -race this
+// pins the lock hierarchy: verification outside locks, striped item and
+// context state, the mw-serialized causal path, and the dissemination log
+// must compose without data races or invariant violations.
+func TestConcurrentRequestsRace(t *testing.T) {
+	const (
+		lanes = 8  // goroutines per request type
+		iters = 30 // operations per goroutine
+	)
+	ring := cryptoutil.NewKeyring()
+	keys := make(map[string]cryptoutil.KeyPair)
+	register := func(name string) cryptoutil.KeyPair {
+		kp := cryptoutil.DeterministicKeyPair(name, "conc")
+		ring.MustRegister(kp.ID, kp.Public)
+		keys[name] = kp
+		return kp
+	}
+	for g := 0; g < lanes; g++ {
+		register(fmt.Sprintf("writer-%d", g))
+		register(fmt.Sprintf("mw-%d", g))
+		register(fmt.Sprintf("ctx-%d", g))
+		register(fmt.Sprintf("gater-%d", g))
+	}
+	srv := New(Config{ID: "s00", Ring: ring})
+	srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+	srv.RegisterGroup("cc", Policy{Consistency: wire.CC, MultiWriter: true})
+
+	h := checker.New()
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// Single-writer MRC writers: each owns its items, stamps ascending.
+	// Recorded in the history before serving so readers can never observe
+	// an unrecorded write.
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("writer-%d", g)
+			for i := 1; i <= iters; i++ {
+				item := fmt.Sprintf("it-%d-%d", g, i%4)
+				w := &wire.SignedWrite{
+					Group: "g", Item: item,
+					Stamp: timestamp.Stamp{Time: uint64(i)},
+					Value: []byte(fmt.Sprintf("v-%d-%d", g, i)),
+				}
+				w.Sign(keys[me], nil)
+				h.RecordWrite(me, item, w.Stamp, w.Value, nil)
+				if _, err := srv.ServeRequest(t.Context(), me, wire.WriteReq{Write: w}); err != nil {
+					fail("write %s/%d: %v", item, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Readers: meta then value on the writers' items; every returned value
+	// is signature-checked and fed to the checker (integrity + per-reader
+	// monotonicity).
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("reader-%d", g)
+			for i := 0; i < iters; i++ {
+				item := fmt.Sprintf("it-%d-%d", (g+i)%lanes, i%4)
+				resp, err := srv.ServeRequest(t.Context(), me, wire.MetaReq{Client: me, Group: "g", Item: item})
+				if err != nil {
+					fail("meta %s: %v", item, err)
+					return
+				}
+				if !resp.(wire.MetaResp).Has {
+					continue
+				}
+				resp, err = srv.ServeRequest(t.Context(), me, wire.ValueReq{Client: me, Group: "g", Item: item})
+				if err != nil {
+					fail("value %s: %v", item, err)
+					return
+				}
+				w := resp.(wire.ValueResp).Write
+				if w == nil {
+					continue
+				}
+				if err := w.Verify(ring, nil); err != nil {
+					fail("read %s returned unverifiable write: %v", item, err)
+					return
+				}
+				h.RecordRead(me, item, w.Stamp, w.Value)
+			}
+		}(g)
+	}
+
+	// Multi-writer CC writers: augmented stamps, own contexts, mw path.
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("mw-%d", g)
+			item := fmt.Sprintf("cc-%d", g)
+			for i := 1; i <= iters; i++ {
+				value := []byte(fmt.Sprintf("cc-%d-%d", g, i))
+				st := timestamp.Stamp{Time: uint64(i), Writer: me, Digest: cryptoutil.Digest(value)}
+				w := &wire.SignedWrite{
+					Group: "cc", Item: item, Stamp: st, Value: value,
+					WriterCtx: sessionctx.Vector{item: st},
+				}
+				w.Sign(keys[me], nil)
+				h.RecordWrite(me, item, st, value, w.WriterCtx)
+				if _, err := srv.ServeRequest(t.Context(), me, wire.WriteReq{Write: w}); err != nil {
+					fail("mw write %s/%d: %v", item, i, err)
+					return
+				}
+			}
+			// The multi-writer read protocol on the finished item.
+			resp, err := srv.ServeRequest(t.Context(), me, wire.LogReq{Client: me, Group: "cc", Item: item})
+			if err != nil {
+				fail("log %s: %v", item, err)
+				return
+			}
+			for _, w := range resp.(wire.LogResp).Writes {
+				if err := w.Verify(ring, nil); err != nil {
+					fail("log %s returned unverifiable write: %v", item, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Context sessions: each owner stores ascending-seq signed contexts and
+	// must read back a context at least as new as its own last store.
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("ctx-%d", g)
+			for i := 1; i <= iters; i++ {
+				signed := &sessionctx.Signed{
+					Owner: me, Group: "cc", Seq: uint64(i),
+					Vector: sessionctx.Vector{"x": {Time: uint64(i)}},
+				}
+				signed.Sign(keys[me], nil)
+				if _, err := srv.ServeRequest(t.Context(), me, wire.ContextWriteReq{Ctx: signed}); err != nil {
+					fail("ctx write %d: %v", i, err)
+					return
+				}
+				resp, err := srv.ServeRequest(t.Context(), me, wire.ContextReadReq{Client: me, Group: "cc"})
+				if err != nil {
+					fail("ctx read %d: %v", i, err)
+					return
+				}
+				got := resp.(wire.ContextReadResp).Ctx
+				if got == nil || got.Seq < uint64(i) {
+					fail("ctx read after seq %d returned %+v", i, got)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Causal gating via gossip push: deliver a dependent write before its
+	// predecessor, then the predecessor; both must eventually integrate
+	// (pending promotion), and the push path runs concurrently with
+	// everything above.
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("gater-%d", g)
+			for i := 1; i <= iters/3; i++ {
+				base := fmt.Sprintf("dep-%d-%d", g, i)
+				v1 := []byte("first")
+				st1 := timestamp.Stamp{Time: 1, Writer: me, Digest: cryptoutil.Digest(v1)}
+				w1 := &wire.SignedWrite{
+					Group: "cc", Item: base + "-a", Stamp: st1, Value: v1,
+					WriterCtx: sessionctx.Vector{base + "-a": st1},
+				}
+				w1.Sign(keys[me], nil)
+				v2 := []byte("second")
+				st2 := timestamp.Stamp{Time: 1, Writer: me, Digest: cryptoutil.Digest(v2)}
+				w2 := &wire.SignedWrite{
+					Group: "cc", Item: base + "-b", Stamp: st2, Value: v2,
+					WriterCtx: sessionctx.Vector{base + "-a": st1, base + "-b": st2},
+				}
+				w2.Sign(keys[me], nil)
+				h.RecordWrite(me, base+"-a", st1, v1, w1.WriterCtx)
+				h.RecordWrite(me, base+"-b", st2, v2, w2.WriterCtx)
+				// Dependent first: gated until w1 arrives.
+				if _, err := srv.ServeRequest(t.Context(), "peer", wire.GossipPushReq{From: "peer", Writes: []*wire.SignedWrite{w2, w1}}); err != nil {
+					fail("gossip push %s: %v", base, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Gossip pulls: high-water marks advance monotonically while the
+	// dissemination log grows under it.
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var after uint64
+			for i := 0; i < iters; i++ {
+				resp, err := srv.ServeRequest(t.Context(), "peer", wire.GossipPullReq{From: "peer", After: after})
+				if err != nil {
+					fail("gossip pull: %v", err)
+					return
+				}
+				pull := resp.(wire.GossipPullResp)
+				if pull.Seq < after {
+					fail("pull seq went backwards: %d < %d", pull.Seq, after)
+					return
+				}
+				for _, w := range pull.Writes {
+					if err := w.Verify(ring, nil); err != nil {
+						fail("pulled unverifiable write: %v", err)
+						return
+					}
+				}
+				after = pull.Seq
+			}
+		}(g)
+	}
+
+	// Metadata pollers: the lock-free and read-locked introspection paths.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = srv.Epoch()
+				_, _, _ = srv.Stats()
+				_ = srv.StripeWaits()
+				_ = srv.Head("g", "it-0-0")
+			}
+		}()
+	}
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every gated dependent write must have been promoted once its
+	// predecessor arrived.
+	for g := 0; g < lanes; g++ {
+		for i := 1; i <= iters/3; i++ {
+			base := fmt.Sprintf("dep-%d-%d", g, i)
+			if srv.Head("cc", base+"-b") == nil {
+				t.Errorf("gated write %s-b never promoted", base)
+			}
+		}
+	}
+	if _, pending, _ := srv.Stats(); pending != 0 {
+		t.Errorf("%d writes still pending after quiesce", pending)
+	}
+	for _, v := range h.Check() {
+		t.Errorf("checker violation: %s", v)
+	}
+}
+
+// TestRestartRecoverUnderTraffic exercises the stop-the-world path against
+// live traffic: Restart (volatile state dropped, WAL replayed, epoch
+// bumped) and Recover run repeatedly while writers and readers keep going.
+// Acknowledged writes must survive every restart because they were group-
+// committed to the WAL before the ack.
+func TestRestartRecoverUnderTraffic(t *testing.T) {
+	dir := t.TempDir()
+	log, err := storage.Open(filepath.Join(dir, "s00.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+
+	ring := cryptoutil.NewKeyring()
+	const lanes = 8
+	keys := make([]cryptoutil.KeyPair, lanes)
+	for g := 0; g < lanes; g++ {
+		keys[g] = cryptoutil.DeterministicKeyPair(fmt.Sprintf("writer-%d", g), "restart")
+		ring.MustRegister(keys[g].ID, keys[g].Public)
+	}
+	srv := New(Config{ID: "s00", Ring: ring, Persist: log})
+	srv.RegisterGroup("g", Policy{Consistency: wire.MRC})
+
+	var wg sync.WaitGroup
+	for g := 0; g < lanes; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			me := fmt.Sprintf("writer-%d", g)
+			for i := 1; i <= 40; i++ {
+				item := fmt.Sprintf("it-%d", g)
+				w := &wire.SignedWrite{
+					Group: "g", Item: item,
+					Stamp: timestamp.Stamp{Time: uint64(i)},
+					Value: []byte(fmt.Sprintf("v%d", i)),
+				}
+				w.Sign(keys[g], nil)
+				if _, err := srv.ServeRequest(t.Context(), me, wire.WriteReq{Write: w}); err != nil {
+					t.Errorf("write %d/%d: %v", g, i, err)
+					return
+				}
+				if _, err := srv.ServeRequest(t.Context(), me, wire.MetaReq{Client: me, Group: "g", Item: item}); err != nil {
+					t.Errorf("meta %d/%d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := srv.Restart(); err != nil {
+				t.Errorf("restart %d: %v", i, err)
+				return
+			}
+			if err := srv.Recover(); err != nil {
+				t.Errorf("recover %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// One final restart with quiesced traffic: every lane's last
+	// acknowledged write must replay from the WAL.
+	if err := srv.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < lanes; g++ {
+		head := srv.Head("g", fmt.Sprintf("it-%d", g))
+		if head == nil {
+			t.Fatalf("lane %d: acknowledged writes lost across restart", g)
+		}
+		if head.Stamp.Time != 40 {
+			t.Fatalf("lane %d: head stamp %d after restart, want 40", g, head.Stamp.Time)
+		}
+	}
+}

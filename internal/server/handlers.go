@@ -11,22 +11,30 @@ import (
 	"securestore/internal/wire"
 )
 
-// All handlers run with s.mu held (dispatched from ServeRequest).
+// All handlers run with s.stw held in read mode (dispatched from serve) and
+// receive the fault mode snapshotted at dispatch, so one request observes
+// one mode even if SetFault races with it. Crypto verification happens
+// before any stripe lock is taken: stored data is self-verifying, so
+// validity does not depend on server state.
 
 // handleContextRead returns the caller's stored signed context for a group.
 // Faulty behaviours: Stale/Equivocate serve the first context version ever
 // stored — the strongest undetectable lie available, since contexts are
 // signed (Section 5.1: "faulty servers can only misbehave by either not
 // responding or sending an old value of the context").
-func (s *Server) handleContextRead(from string, r wire.ContextReadReq) (wire.Response, error) {
+func (s *Server) handleContextRead(from string, r wire.ContextReadReq, fault FaultMode) (wire.Response, error) {
 	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
 		return nil, err
 	}
-	st, ok := s.contexts[ctxKey{owner: r.Client, group: r.Group}]
+	key := ctxKey{owner: r.Client, group: r.Group}
+	sp := s.ctxStripeFor(key)
+	s.rlock(sp)
+	defer sp.mu.RUnlock()
+	st, ok := sp.contexts[key]
 	if !ok {
 		return wire.ContextReadResp{}, nil
 	}
-	switch s.fault {
+	switch fault {
 	case Stale:
 		return wire.ContextReadResp{Ctx: st.first.Clone()}, nil
 	case Equivocate:
@@ -40,8 +48,9 @@ func (s *Server) handleContextRead(from string, r wire.ContextReadReq) (wire.Res
 // handleContextWrite stores a newer signed context. The server verifies the
 // owner's signature so that it never overwrites its copy with spurious
 // information (Section 6: "non-faulty servers need to verify the signature
-// to ensure that they do not overwrite their context data").
-func (s *Server) handleContextWrite(from string, r wire.ContextWriteReq) (wire.Response, error) {
+// to ensure that they do not overwrite their context data"). Verification
+// runs before the stripe lock.
+func (s *Server) handleContextWrite(from string, r wire.ContextWriteReq, fault FaultMode) (wire.Response, error) {
 	if r.Ctx == nil {
 		return nil, fmt.Errorf("context write from %q: missing context", from)
 	}
@@ -54,39 +63,46 @@ func (s *Server) handleContextWrite(from string, r wire.ContextWriteReq) (wire.R
 	if err := r.Ctx.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
 		return nil, err
 	}
-	if s.fault == Stale {
+	if fault == Stale {
 		// A stale server acks but drops the update.
 		return wire.Ack{}, nil
 	}
 	key := ctxKey{owner: r.Ctx.Owner, group: r.Ctx.Group}
-	st, ok := s.contexts[key]
+	sp := s.ctxStripeFor(key)
+	s.lock(sp)
+	defer sp.mu.Unlock()
+	st, ok := sp.contexts[key]
 	switch {
 	case !ok:
 		clone := r.Ctx.Clone()
-		s.contexts[key] = &ctxState{cur: clone, first: clone}
+		sp.contexts[key] = &ctxState{cur: clone, first: clone}
 	case r.Ctx.Newer(st.cur):
 		st.cur = r.Ctx.Clone()
 	default:
 		return wire.Ack{}, nil // old version: nothing to store or persist
 	}
-	if err := s.persistContextLocked(r.Ctx); err != nil {
+	if err := s.persistContext(r.Ctx); err != nil {
 		return nil, fmt.Errorf("persist context: %w", err)
 	}
 	return wire.Ack{}, nil
 }
 
 // handleMeta answers phase one of the read protocol with the stamp of the
-// server's current copy.
-func (s *Server) handleMeta(from string, r wire.MetaReq) (wire.Response, error) {
+// server's current copy. Read-only: shares the item's stripe lock.
+func (s *Server) handleMeta(from string, r wire.MetaReq, fault FaultMode) (wire.Response, error) {
 	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
 		return nil, err
 	}
-	st, ok := s.items[itemKey{group: r.Group, item: r.Item}]
+	key := itemKey{group: r.Group, item: r.Item}
+	sp := s.stripeFor(key)
+	s.rlock(sp)
+	defer sp.mu.RUnlock()
+	st, ok := sp.items[key]
 	if !ok || st.head == nil {
 		return wire.MetaResp{}, nil
 	}
 	stamp := st.head.Stamp
-	switch s.fault {
+	switch fault {
 	case Stale:
 		stamp = stampOf(st.first)
 	case CorruptMeta:
@@ -103,12 +119,16 @@ func (s *Server) handleMeta(from string, r wire.MetaReq) (wire.Response, error) 
 
 // handleValue answers phase two of the read protocol with the full signed
 // write. A CorruptValue server tampers with the value; the client's
-// signature check exposes it.
-func (s *Server) handleValue(from string, r wire.ValueReq) (wire.Response, error) {
+// signature check exposes it. Read-only: shares the item's stripe lock.
+func (s *Server) handleValue(from string, r wire.ValueReq, fault FaultMode) (wire.Response, error) {
 	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
 		return nil, err
 	}
-	st, ok := s.items[itemKey{group: r.Group, item: r.Item}]
+	key := itemKey{group: r.Group, item: r.Item}
+	sp := s.stripeFor(key)
+	s.rlock(sp)
+	defer sp.mu.RUnlock()
+	st, ok := sp.items[key]
 	if !ok || st.head == nil {
 		// An empty response (rather than an error) lets context
 		// reconstruction count servers that simply hold no copy as
@@ -117,7 +137,7 @@ func (s *Server) handleValue(from string, r wire.ValueReq) (wire.Response, error
 		return wire.ValueResp{}, nil
 	}
 	w := st.head
-	switch s.fault {
+	switch fault {
 	case Stale:
 		w = st.first
 	case Equivocate:
@@ -143,7 +163,7 @@ func (s *Server) handleValue(from string, r wire.ValueReq) (wire.Response, error
 // handleWrite validates and stores a client write. For single-writer groups
 // the sender must be the signer; disseminated writes arrive through
 // handleGossipPush instead, so every direct write is first-hand.
-func (s *Server) handleWrite(from string, r wire.WriteReq) (wire.Response, error) {
+func (s *Server) handleWrite(from string, r wire.WriteReq, fault FaultMode) (wire.Response, error) {
 	w := r.Write
 	if w == nil {
 		return nil, wire.ErrBadWrite
@@ -154,7 +174,7 @@ func (s *Server) handleWrite(from string, r wire.WriteReq) (wire.Response, error
 	if w.Writer != from {
 		return nil, fmt.Errorf("%w: write signed by %q, sent by %q", ErrNotWriter, w.Writer, from)
 	}
-	if err := s.acceptWrite(w); err != nil {
+	if _, err := s.acceptWrite(w, fault); err != nil {
 		return nil, err
 	}
 	return wire.Ack{}, nil
@@ -165,15 +185,16 @@ func (s *Server) handleWrite(from string, r wire.WriteReq) (wire.Response, error
 // writes whose causal predecessors have arrived; a PrematureReport server
 // also leaks gated pending writes (the attack readers mask with b+1
 // matching replies).
-func (s *Server) handleLog(from string, r wire.LogReq) (wire.Response, error) {
+func (s *Server) handleLog(from string, r wire.LogReq, fault FaultMode) (wire.Response, error) {
 	if err := s.authorize(from, r.Group, r.Token, accessctl.ReadOnly); err != nil {
 		return nil, err
 	}
 	key := itemKey{group: r.Group, item: r.Item}
-	st, ok := s.items[key]
+	sp := s.stripeFor(key)
 	var writes []*wire.SignedWrite
-	if ok {
-		if s.fault == Stale && st.first != nil {
+	s.rlock(sp)
+	if st, ok := sp.items[key]; ok {
+		if fault == Stale && st.first != nil {
 			writes = append(writes, st.first.Clone())
 		} else {
 			for _, w := range st.log {
@@ -184,12 +205,17 @@ func (s *Server) handleLog(from string, r wire.LogReq) (wire.Response, error) {
 			}
 		}
 	}
-	if s.fault == PrematureReport {
-		for _, w := range s.pending {
+	sp.mu.RUnlock()
+	if fault == PrematureReport {
+		// Stripe lock released first: the pending set lives under mw, and
+		// no path holds a stripe lock while acquiring mw.
+		s.mw.Lock()
+		for _, w := range s.mw.pending {
 			if w.Group == r.Group && w.Item == r.Item {
 				writes = append([]*wire.SignedWrite{w.Clone()}, writes...)
 			}
 		}
+		s.mw.Unlock()
 	}
 	return wire.LogResp{Writes: writes}, nil
 }
@@ -198,14 +224,14 @@ func (s *Server) handleLog(from string, r wire.LogReq) (wire.Response, error) {
 // write carries its original client signature; forged or altered writes are
 // rejected, so "a faulty server cannot propagate a non-existent or forged
 // write" (Section 4).
-func (s *Server) handleGossipPush(from string, r wire.GossipPushReq) (wire.Response, error) {
-	if s.fault == Stale {
+func (s *Server) handleGossipPush(from string, r wire.GossipPushReq, fault FaultMode) (wire.Response, error) {
+	if fault == Stale {
 		// Acks but ignores the updates, staying behind.
 		return wire.GossipPushResp{}, nil
 	}
 	applied := 0
 	for _, w := range r.Writes {
-		if err := s.acceptWrite(w); err == nil {
+		if _, err := s.acceptWrite(w, fault); err == nil {
 			applied++
 		}
 	}
@@ -217,85 +243,125 @@ func (s *Server) handleGossipPush(from string, r wire.GossipPushReq) (wire.Respo
 // accepted after the peer's high-water mark. Like pushes, the returned
 // writes are self-verifying, so a faulty server answering a pull can at
 // worst withhold updates.
-func (s *Server) handleGossipPull(from string, r wire.GossipPullReq) (wire.Response, error) {
+func (s *Server) handleGossipPull(from string, r wire.GossipPullReq, fault FaultMode) (wire.Response, error) {
 	_ = from // pulls are served to any peer; writes are self-verifying
-	if s.fault == Stale {
+	if fault == Stale {
 		// Pretends to have nothing new (and echoes a stable epoch so the
 		// puller never resets its mark over the lie).
-		return wire.GossipPullResp{Seq: r.After, Epoch: s.epoch}, nil
+		return wire.GossipPullResp{Seq: r.After, Epoch: s.epoch.Load()}, nil
 	}
-	writes, seq := s.updatesSinceLocked(r.After)
-	return wire.GossipPullResp{Writes: writes, Seq: seq, Epoch: s.epoch}, nil
+	writes, seq := s.updatesSince(r.After)
+	return wire.GossipPullResp{Writes: writes, Seq: seq, Epoch: s.epoch.Load()}, nil
 }
 
 // ApplyDisseminated validates and integrates one pulled write, reporting
 // whether it changed local state. The write is self-verifying, exactly as
 // in a push.
 func (s *Server) ApplyDisseminated(w *wire.SignedWrite) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.fault == Stale {
+	if s.cfg.Persist != nil && s.cfg.Persist.NeedsCompaction() {
+		s.compact()
+	}
+	s.stw.RLock()
+	defer s.stw.RUnlock()
+	fault := s.Fault()
+	if fault == Stale {
 		return false
 	}
-	pol := s.policyLocked(w.Group)
-	fresh := s.freshLocked(w, pol)
-	if err := s.acceptWrite(w); err != nil {
-		return false
-	}
-	return fresh
+	changed, err := s.acceptWrite(w, fault)
+	return err == nil && changed
 }
 
 // acceptWrite validates a signed write and integrates it into local state:
 // verify signature (and multi-writer stamp discipline), update the per-item
-// head/log, apply causal gating, and append to the dissemination log.
-func (s *Server) acceptWrite(w *wire.SignedWrite) error {
+// head/log, apply causal gating, and append to the dissemination log. It
+// reports whether the write changed local state (a new head, log entry, or
+// newly gated pending write).
+//
+// Verification is pure crypto over the self-verifying write and runs with
+// no state lock held. Multi-writer CC groups then serialize on s.mw
+// (causal gating is a cross-item predicate); everything else goes straight
+// to the item's stripe.
+func (s *Server) acceptWrite(w *wire.SignedWrite, fault FaultMode) (bool, error) {
 	if err := w.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
-		return err
+		return false, err
 	}
-	pol := s.policyLocked(w.Group)
+	pol := s.policy(w.Group)
 	if pol.MultiWriter && w.Stamp.Writer == "" {
-		return fmt.Errorf("%w: multi-writer group %q requires augmented timestamps", wire.ErrBadWrite, w.Group)
+		return false, fmt.Errorf("%w: multi-writer group %q requires augmented timestamps", wire.ErrBadWrite, w.Group)
 	}
 
-	if s.fault == Stale {
+	if fault == Stale {
 		// Keeps only the very first version it sees.
 		key := itemKey{group: w.Group, item: w.Item}
-		if _, ok := s.items[key]; !ok {
+		sp := s.stripeFor(key)
+		s.lock(sp)
+		if _, ok := sp.items[key]; !ok {
 			clone := w.Clone()
-			s.items[key] = &itemState{head: clone, first: clone}
+			sp.items[key] = &itemState{head: clone, first: clone}
 		}
-		return nil
+		sp.mu.Unlock()
+		return false, nil
 	}
 
-	if pol.MultiWriter && pol.Consistency == wire.CC && !s.cfg.DisableCausalGating && !s.predecessorsArrivedLocked(w) {
-		// Causal gating (Section 5.3): hold the write until the causally
-		// preceding writes named in its context arrive. The write is
-		// accepted (acked, retained) but not reported to readers.
-		if !s.pendingContainsLocked(w) {
-			if err := s.persistWriteLocked(w); err != nil {
-				return fmt.Errorf("persist gated write: %w", err)
+	if pol.MultiWriter && pol.Consistency == wire.CC && !s.cfg.DisableCausalGating {
+		// All causally-gated traffic serializes here: the gate check and
+		// the integration it depends on must not interleave, or a write
+		// could be gated on a predecessor that integrates concurrently and
+		// never get promoted.
+		s.mw.Lock()
+		defer s.mw.Unlock()
+		if !s.predecessorsArrived(w) {
+			// Causal gating (Section 5.3): hold the write until the causally
+			// preceding writes named in its context arrive. The write is
+			// accepted (acked, retained) but not reported to readers.
+			if s.pendingContains(w) {
+				return false, nil
 			}
-			s.pending = append(s.pending, w.Clone())
+			if err := s.persistWrite(w); err != nil {
+				return false, fmt.Errorf("persist gated write: %w", err)
+			}
+			s.mw.pending = append(s.mw.pending, w.Clone())
+			return true, nil
 		}
-		return nil
+		changed, err := s.integrateOne(w, pol)
+		if err != nil {
+			return false, err
+		}
+		s.promotePending()
+		return changed, nil
 	}
 
-	if s.freshLocked(w, pol) {
+	return s.integrateOne(w, pol)
+}
+
+// integrateOne persists (if fresh) and integrates one validated,
+// gating-cleared write under its item's stripe lock, reporting freshness.
+// The persistence append happens inside the stripe lock — a write is only
+// acknowledged once durable, and appends for the same item must hit the
+// log in integration order — but appends from different stripes coalesce
+// into shared group commits (storage.Log).
+func (s *Server) integrateOne(w *wire.SignedWrite, pol Policy) (bool, error) {
+	key := itemKey{group: w.Group, item: w.Item}
+	sp := s.stripeFor(key)
+	s.lock(sp)
+	defer sp.mu.Unlock()
+	fresh := freshLocked(sp, key, w, pol)
+	if fresh {
 		// Acknowledge only once durable: a crashed-and-recovered replica
 		// must still hold everything it acked (Section 4 safe keeping).
-		if err := s.persistWriteLocked(w); err != nil {
-			return fmt.Errorf("persist write: %w", err)
+		if err := s.persistWrite(w); err != nil {
+			return false, fmt.Errorf("persist write: %w", err)
 		}
 	}
-	s.integrateLocked(w, pol)
-	s.promotePendingLocked(pol)
-	return nil
+	s.integrateLocked(sp, key, w, pol)
+	return fresh, nil
 }
 
 // freshLocked reports whether the validated write would change local
-// state (and therefore deserves a persistence record).
-func (s *Server) freshLocked(w *wire.SignedWrite, pol Policy) bool {
-	st, ok := s.items[itemKey{group: w.Group, item: w.Item}]
+// state (and therefore deserves a persistence record). Caller holds the
+// key's stripe lock.
+func freshLocked(sp *stripe, key itemKey, w *wire.SignedWrite, pol Policy) bool {
+	st, ok := sp.items[key]
 	if !ok || st.head == nil || st.head.Stamp.Less(w.Stamp) {
 		return true
 	}
@@ -310,13 +376,14 @@ func (s *Server) freshLocked(w *wire.SignedWrite, pol Policy) bool {
 	return true
 }
 
-// integrateLocked installs a validated, gating-cleared write.
-func (s *Server) integrateLocked(w *wire.SignedWrite, pol Policy) {
-	key := itemKey{group: w.Group, item: w.Item}
-	st, ok := s.items[key]
+// integrateLocked installs a validated, gating-cleared write. Caller holds
+// the key's stripe lock; the dissemination log's own mutex nests inside it
+// (stripe → dissem, never the reverse).
+func (s *Server) integrateLocked(sp *stripe, key itemKey, w *wire.SignedWrite, pol Policy) {
+	st, ok := sp.items[key]
 	if !ok {
 		st = &itemState{}
-		s.items[key] = st
+		sp.items[key] = st
 	}
 	clone := w.Clone()
 	if st.first == nil {
@@ -333,20 +400,24 @@ func (s *Server) integrateLocked(w *wire.SignedWrite, pol Policy) {
 	}
 
 	if newer {
-		// Only new heads are worth disseminating.
-		s.updates = append(s.updates, clone)
-		s.seq++
-		if len(s.updates) > s.cfg.MaxUpdateLog {
+		// Only new heads are worth disseminating. Appending while the
+		// stripe lock is held keeps the dissemination log consistent with
+		// head order for this item.
+		s.dissem.Lock()
+		s.dissem.updates = append(s.dissem.updates, clone)
+		s.dissem.seq++
+		if len(s.dissem.updates) > s.cfg.MaxUpdateLog {
 			// Trim the oldest entries; peers that were behind the trimmed
-			// tail get a state transfer from updatesSinceLocked.
-			drop := len(s.updates) - s.cfg.MaxUpdateLog
-			s.updates = append(s.updates[:0:0], s.updates[drop:]...)
+			// tail get a state transfer from updatesSince.
+			drop := len(s.dissem.updates) - s.cfg.MaxUpdateLog
+			s.dissem.updates = append(s.dissem.updates[:0:0], s.dissem.updates[drop:]...)
 		}
+		s.dissem.Unlock()
 	}
 }
 
 // logInsertLocked inserts a write into the item's bounded log (newest
-// first, deduplicated by stamp).
+// first, deduplicated by stamp). Caller holds the item's stripe lock.
 func (s *Server) logInsertLocked(st *itemState, w *wire.SignedWrite) {
 	for _, existing := range st.log {
 		if existing.Stamp == w.Stamp {
@@ -360,24 +431,33 @@ func (s *Server) logInsertLocked(st *itemState, w *wire.SignedWrite) {
 	}
 }
 
-// predecessorsArrivedLocked reports whether every causally preceding write
-// named in w's writer context (other than w's own item entry) is already
-// reflected in local heads or the pending set's own item stamps.
-func (s *Server) predecessorsArrivedLocked(w *wire.SignedWrite) bool {
+// predecessorsArrived reports whether every causally preceding write named
+// in w's writer context (other than w's own item entry) is already
+// reflected in local heads. Caller holds s.mw, which orders this check
+// against every concurrent CC integration; the per-item stripe read locks
+// are only for memory visibility (heads never retreat).
+func (s *Server) predecessorsArrived(w *wire.SignedWrite) bool {
 	for item, ts := range w.WriterCtx {
 		if item == w.Item {
 			continue
 		}
-		st, ok := s.items[itemKey{group: w.Group, item: item}]
-		if !ok || st.head == nil || st.head.Stamp.Less(ts) {
+		key := itemKey{group: w.Group, item: item}
+		sp := s.stripeFor(key)
+		s.rlock(sp)
+		st, ok := sp.items[key]
+		arrived := ok && st.head != nil && !st.head.Stamp.Less(ts)
+		sp.mu.RUnlock()
+		if !arrived {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *Server) pendingContainsLocked(w *wire.SignedWrite) bool {
-	for _, p := range s.pending {
+// pendingContains reports whether the pending set already holds this exact
+// write. Caller holds s.mw.
+func (s *Server) pendingContains(w *wire.SignedWrite) bool {
+	for _, p := range s.mw.pending {
 		if p.Group == w.Group && p.Item == w.Item && p.Stamp == w.Stamp {
 			return true
 		}
@@ -385,21 +465,27 @@ func (s *Server) pendingContainsLocked(w *wire.SignedWrite) bool {
 	return false
 }
 
-// promotePendingLocked repeatedly integrates pending writes whose
-// predecessors have now arrived.
-func (s *Server) promotePendingLocked(pol Policy) {
+// promotePending repeatedly integrates pending writes whose predecessors
+// have now arrived. Caller holds s.mw. Pending writes were persisted when
+// gated, so promotion integrates without a second log append; each write
+// integrates under its own group's policy.
+func (s *Server) promotePending() {
 	for {
 		progressed := false
-		remaining := s.pending[:0]
-		for _, w := range s.pending {
-			if s.predecessorsArrivedLocked(w) {
-				s.integrateLocked(w, pol)
+		remaining := s.mw.pending[:0]
+		for _, w := range s.mw.pending {
+			if s.predecessorsArrived(w) {
+				key := itemKey{group: w.Group, item: w.Item}
+				sp := s.stripeFor(key)
+				s.lock(sp)
+				s.integrateLocked(sp, key, w, s.policy(w.Group))
+				sp.mu.Unlock()
 				progressed = true
 			} else {
 				remaining = append(remaining, w)
 			}
 		}
-		s.pending = remaining
+		s.mw.pending = remaining
 		if !progressed {
 			return
 		}
@@ -410,42 +496,60 @@ func (s *Server) promotePendingLocked(pol Policy) {
 // (after, current], plus the current sequence number. The gossip engine
 // tracks a per-peer high-water mark with this.
 func (s *Server) UpdatesSince(after uint64) ([]*wire.SignedWrite, uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.updatesSinceLocked(after)
+	s.stw.RLock()
+	defer s.stw.RUnlock()
+	return s.updatesSince(after)
 }
 
-func (s *Server) updatesSinceLocked(after uint64) ([]*wire.SignedWrite, uint64) {
-	if after >= s.seq {
-		return nil, s.seq
+// updatesSince is UpdatesSince under an already-held stw read lock.
+func (s *Server) updatesSince(after uint64) ([]*wire.SignedWrite, uint64) {
+	s.dissem.Lock()
+	seq := s.dissem.seq
+	if after >= seq {
+		s.dissem.Unlock()
+		return nil, seq
 	}
-	first := s.seq - uint64(len(s.updates)) + 1
-	if after+1 < first {
-		// The peer is behind the retained tail: state transfer. All
-		// current heads carry everything the trimmed entries established
-		// (each trimmed entry was superseded by, or is, some item's head).
-		out := make([]*wire.SignedWrite, 0, len(s.items))
-		for _, st := range s.items {
+	first := seq - uint64(len(s.dissem.updates)) + 1
+	if after+1 >= first {
+		start := int(after - first + 1)
+		out := make([]*wire.SignedWrite, 0, len(s.dissem.updates)-start)
+		for _, w := range s.dissem.updates[start:] {
+			out = append(out, w.Clone())
+		}
+		s.dissem.Unlock()
+		return out, seq
+	}
+	s.dissem.Unlock()
+	// The peer is behind the retained tail: state transfer. All current
+	// heads carry everything the trimmed entries established (each trimmed
+	// entry was superseded by, or is, some item's head). The dissemination
+	// mutex is released before the stripe sweep — heads only advance, so
+	// every head as of seq is covered, and any head that advances during
+	// the sweep is a write the peer would have to fetch anyway.
+	var out []*wire.SignedWrite
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		s.rlock(sp)
+		for _, st := range sp.items {
 			if st.head != nil {
 				out = append(out, st.head.Clone())
 			}
 		}
-		return out, s.seq
+		sp.mu.RUnlock()
 	}
-	start := int(after - first + 1)
-	out := make([]*wire.SignedWrite, 0, len(s.updates)-start)
-	for _, w := range s.updates[start:] {
-		out = append(out, w.Clone())
-	}
-	return out, s.seq
+	return out, seq
 }
 
 // Head returns the server's current head write for an item (testing and
 // experiment instrumentation).
 func (s *Server) Head(group, item string) *wire.SignedWrite {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.items[itemKey{group: group, item: item}]
+	s.stw.RLock()
+	defer s.stw.RUnlock()
+	key := itemKey{group: group, item: item}
+	sp := s.stripeFor(key)
+	s.rlock(sp)
+	defer sp.mu.RUnlock()
+	st, ok := sp.items[key]
 	if !ok || st.head == nil {
 		return nil
 	}
@@ -455,9 +559,13 @@ func (s *Server) Head(group, item string) *wire.SignedWrite {
 // StoredContext returns the server's current stored context for an owner
 // and group (testing).
 func (s *Server) StoredContext(owner, group string) *sessionctx.Signed {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.contexts[ctxKey{owner: owner, group: group}]
+	s.stw.RLock()
+	defer s.stw.RUnlock()
+	key := ctxKey{owner: owner, group: group}
+	sp := s.ctxStripeFor(key)
+	s.rlock(sp)
+	defer sp.mu.RUnlock()
+	st, ok := sp.contexts[key]
 	if !ok {
 		return nil
 	}

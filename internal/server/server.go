@@ -10,12 +10,37 @@
 // Every Byzantine failure mode studied in the experiments is implemented
 // here behind FaultMode, so the same code path serves both correct and
 // compromised replicas.
+//
+// # Concurrency model
+//
+// Because replicas are passive and every stored object is self-verifying,
+// nothing in the protocol requires a replica to process requests one at a
+// time. The server is therefore internally concurrent (DESIGN.md §7.6):
+//
+//   - stw is a stop-the-world RWMutex: every request holds it in read
+//     mode for its whole duration; Recover, Restart and log compaction
+//     hold it in write mode, so replay never interleaves with requests.
+//   - All signature and token verification happens before any exclusive
+//     lock is taken — crypto never serializes requests.
+//   - Item and context state is striped: hash(key) selects one of
+//     Config.Stripes RWMutex-guarded shards, so writes to different items
+//     proceed in parallel and reads share their stripe's lock.
+//   - A small core RWMutex guards the fault mode and group policies; the
+//     dissemination log has its own mutex (a leaf: it is only taken while
+//     holding a stripe lock, never the other way around); the multi-writer
+//     causal-gating machinery (the pending set and the arrived-check over
+//     a whole group) serializes on its own mutex, since gating is by
+//     definition a cross-item predicate.
+//
+// Lock order: stw(R) → mw → stripe → dissem, with core taken only for
+// isolated reads. No path holds two stripe locks at once.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -122,6 +147,16 @@ type Config struct {
 	// paper's observation that old log entries can be erased once newer
 	// values are widely held, applied to the dissemination path.
 	MaxUpdateLog int
+	// Stripes is the number of lock stripes item and context state is
+	// sharded over (rounded up to a power of two; default 16). More
+	// stripes admit more concurrent writers at the cost of a longer
+	// stop-the-world sweep in Stats and compaction.
+	Stripes int
+	// Serialized restores the pre-striping behaviour: one global mutex
+	// around every request, signature verification included. It exists
+	// only as the baseline for the T3 scaling experiment and should never
+	// be set in real deployments.
+	Serialized bool
 	// DefaultPolicy applies to groups not explicitly registered.
 	DefaultPolicy Policy
 	// DisableCausalGating turns off the Section 5.3 rule that a write is
@@ -129,7 +164,8 @@ type Config struct {
 	// this to demonstrate the spurious-context denial-of-service the rule
 	// prevents; never disable it in real deployments.
 	DisableCausalGating bool
-	// Metrics receives the server's verification counts.
+	// Metrics receives the server's verification counts and lock/commit
+	// visibility counters (stripe contention, see metrics.AddStripeWait).
 	Metrics *metrics.Counters
 	// Tracer records one "server.<req>" span per handled request (and,
 	// through its histogram set, per-handler latency). May be nil.
@@ -145,16 +181,61 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	mu         sync.Mutex
-	fault      FaultMode
-	policies   map[string]Policy
-	items      map[itemKey]*itemState
-	contexts   map[ctxKey]*ctxState
-	pending    []*wire.SignedWrite // multi-writer writes awaiting causal predecessors
-	updates    []*wire.SignedWrite // dissemination log, in acceptance order
-	seq        uint64              // first update in updates has sequence seq-len(updates)+1
-	epoch      uint64              // in-memory incarnation; changes on Restart
-	recovering bool                // true while replaying the persistence log
+	// stw is the stop-the-world lock: every request (and every public
+	// accessor) holds it in read mode; Recover, Restart and compaction
+	// hold it in write mode. Go's RWMutex blocks new readers once a
+	// writer waits, so replay cannot be starved.
+	stw sync.RWMutex
+
+	// serial is the coarse global lock used only under cfg.Serialized.
+	serial sync.Mutex
+
+	// core guards the fault mode and group policies — tiny reads on every
+	// request, exclusive only in SetFault/RegisterGroup.
+	core struct {
+		sync.RWMutex
+		fault    FaultMode
+		policies map[string]Policy
+	}
+
+	// epoch is the in-memory incarnation; changes on Restart. Atomic so
+	// gossip engines can poll it without touching any data-path lock.
+	epoch atomic.Uint64
+
+	// stripes shard item and context state by key hash. stripeMask is
+	// len(stripes)-1 (stripe count is a power of two).
+	stripes    []stripe
+	stripeMask uint32
+
+	// mw serializes the multi-writer causal-gating machinery: the pending
+	// set, and the fresh→persist→integrate sequence for gated groups
+	// (gating is a cross-item predicate, so per-item stripes cannot
+	// order it).
+	mw struct {
+		sync.Mutex
+		pending []*wire.SignedWrite // writes awaiting causal predecessors
+	}
+
+	// dissem guards the dissemination log. Leaf lock: taken while holding
+	// a stripe lock (integrate) but never held while acquiring one.
+	dissem struct {
+		sync.Mutex
+		updates []*wire.SignedWrite // in acceptance order
+		seq     uint64              // first update has sequence seq-len(updates)+1
+	}
+
+	// recovering is true while replaying the persistence log. Written
+	// only under stw (write mode), read under stw (read mode), so the
+	// RWMutex orders all accesses.
+	recovering bool
+}
+
+// stripe is one shard of item and context state.
+type stripe struct {
+	mu       sync.RWMutex
+	waits    atomic.Int64 // contended acquisitions (see StripeWaits)
+	items    map[itemKey]*itemState
+	contexts map[ctxKey]*ctxState
 }
 
 // epochCounter hands out process-unique epochs so that any two server
@@ -187,47 +268,116 @@ func New(cfg Config) *Server {
 	if cfg.MaxUpdateLog <= 0 {
 		cfg.MaxUpdateLog = 1024
 	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 16
+	}
+	n := 1
+	for n < cfg.Stripes {
+		n <<= 1
+	}
+	cfg.Stripes = n
 	if cfg.DefaultPolicy.Consistency == 0 {
 		cfg.DefaultPolicy = Policy{Consistency: wire.MRC}
 	}
-	return &Server{
-		cfg:      cfg,
-		fault:    Healthy,
-		policies: make(map[string]Policy),
-		items:    make(map[itemKey]*itemState),
-		contexts: make(map[ctxKey]*ctxState),
-		epoch:    epochCounter.Add(1),
+	s := &Server{cfg: cfg}
+	s.core.fault = Healthy
+	s.core.policies = make(map[string]Policy)
+	s.stripes = make([]stripe, n)
+	s.stripeMask = uint32(n - 1)
+	s.initStripes()
+	s.epoch.Store(epochCounter.Add(1))
+	return s
+}
+
+// initStripes (re)allocates every stripe's maps. Callers hold stw
+// exclusively or own the server (New).
+func (s *Server) initStripes() {
+	for i := range s.stripes {
+		s.stripes[i].items = make(map[itemKey]*itemState)
+		s.stripes[i].contexts = make(map[ctxKey]*ctxState)
 	}
+}
+
+// stripeFor selects the stripe for an item key.
+func (s *Server) stripeFor(k itemKey) *stripe {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k.group))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(k.item))
+	return &s.stripes[h.Sum32()&s.stripeMask]
+}
+
+// ctxStripeFor selects the stripe for a context key.
+func (s *Server) ctxStripeFor(k ctxKey) *stripe {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k.owner))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(k.group))
+	return &s.stripes[h.Sum32()&s.stripeMask]
+}
+
+// lock acquires the stripe exclusively, counting contended acquisitions.
+func (s *Server) lock(st *stripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	st.waits.Add(1)
+	s.cfg.Metrics.AddStripeWait()
+	st.mu.Lock()
+}
+
+// rlock acquires the stripe shared, counting contended acquisitions.
+func (s *Server) rlock(st *stripe) {
+	if st.mu.TryRLock() {
+		return
+	}
+	st.waits.Add(1)
+	s.cfg.Metrics.AddStripeWait()
+	st.mu.RLock()
+}
+
+// StripeWaits returns the per-stripe contended-acquisition counts, in
+// stripe order. The sum is also available as the stripe-contention
+// counter in Config.Metrics.
+func (s *Server) StripeWaits() []int64 {
+	out := make([]int64, len(s.stripes))
+	for i := range s.stripes {
+		out[i] = s.stripes[i].waits.Load()
+	}
+	return out
 }
 
 // ID returns the server's principal name.
 func (s *Server) ID() string { return s.cfg.ID }
 
 // SetFault switches the replica's behaviour (used by fault-injection
-// experiments; takes effect for subsequent requests).
+// experiments; takes effect for subsequent requests — a request already in
+// flight completes under the mode it started with).
 func (s *Server) SetFault(f FaultMode) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fault = f
+	s.core.Lock()
+	defer s.core.Unlock()
+	s.core.fault = f
 }
 
 // Fault returns the current fault mode.
 func (s *Server) Fault() FaultMode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fault
+	s.core.RLock()
+	defer s.core.RUnlock()
+	return s.core.fault
 }
 
 // RegisterGroup declares the access policy for a related group of items.
 func (s *Server) RegisterGroup(group string, p Policy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.policies[group] = p
+	s.core.Lock()
+	defer s.core.Unlock()
+	s.core.policies[group] = p
 }
 
-// policy returns the group's policy (caller holds s.mu).
-func (s *Server) policyLocked(group string) Policy {
-	if p, ok := s.policies[group]; ok {
+// policy returns the group's policy.
+func (s *Server) policy(group string) Policy {
+	s.core.RLock()
+	defer s.core.RUnlock()
+	if p, ok := s.core.policies[group]; ok {
 		return p
 	}
 	return s.cfg.DefaultPolicy
@@ -249,12 +399,35 @@ func (s *Server) ServeRequest(ctx context.Context, from string, req wire.Request
 	return resp, err
 }
 
+// mutates reports whether a request kind can append to the persistence
+// log (and therefore should check the compaction trigger first).
+func mutates(req wire.Request) bool {
+	switch req.(type) {
+	case wire.WriteReq, wire.ContextWriteReq, wire.GossipPushReq:
+		return true
+	default:
+		return false
+	}
+}
+
 // serve is ServeRequest without instrumentation.
 func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Compaction runs stop-the-world, so it must be triggered before this
+	// request takes its shared stw lock (RWMutexes do not upgrade).
+	if s.cfg.Persist != nil && mutates(req) && s.cfg.Persist.NeedsCompaction() {
+		s.compact()
+	}
+	if s.cfg.Serialized {
+		s.serial.Lock()
+		defer s.serial.Unlock()
+	}
+	s.stw.RLock()
+	defer s.stw.RUnlock()
 
-	switch s.fault {
+	// One fault-mode read per request: the whole request is served under
+	// the mode it started with, exactly as under the former global lock.
+	fault := s.Fault()
+	switch fault {
 	case Crash:
 		return nil, ErrCrashed
 	case Mute:
@@ -263,21 +436,21 @@ func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
 
 	switch r := req.(type) {
 	case wire.ContextReadReq:
-		return s.handleContextRead(from, r)
+		return s.handleContextRead(from, r, fault)
 	case wire.ContextWriteReq:
-		return s.handleContextWrite(from, r)
+		return s.handleContextWrite(from, r, fault)
 	case wire.MetaReq:
-		return s.handleMeta(from, r)
+		return s.handleMeta(from, r, fault)
 	case wire.ValueReq:
-		return s.handleValue(from, r)
+		return s.handleValue(from, r, fault)
 	case wire.WriteReq:
-		return s.handleWrite(from, r)
+		return s.handleWrite(from, r, fault)
 	case wire.LogReq:
-		return s.handleLog(from, r)
+		return s.handleLog(from, r, fault)
 	case wire.GossipPushReq:
-		return s.handleGossipPush(from, r)
+		return s.handleGossipPush(from, r, fault)
 	case wire.GossipPullReq:
-		return s.handleGossipPull(from, r)
+		return s.handleGossipPull(from, r, fault)
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownType, req)
 	}
@@ -285,6 +458,8 @@ func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
 
 // authorize validates the caller's capability token when an authority is
 // configured. Non-faulty servers reject unauthorized requests (Section 4).
+// Token verification is pure crypto over shared-safe state and runs
+// before any stripe lock is taken.
 func (s *Server) authorize(from, group string, tok *accessctl.Token, need accessctl.Rights) error {
 	if s.cfg.AuthorityID == "" {
 		return nil
@@ -296,14 +471,24 @@ func (s *Server) authorize(from, group string, tok *accessctl.Token, need access
 }
 
 // Stats reports coarse state sizes for experiments (items stored, pending
-// gated writes, total log entries).
+// gated writes, total log entries). It takes only shared locks, so
+// observability polling never blocks the data path.
 func (s *Server) Stats() (items, pending, logEntries int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.items {
-		logEntries += len(st.log)
+	s.stw.RLock()
+	defer s.stw.RUnlock()
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		s.rlock(st)
+		items += len(st.items)
+		for _, is := range st.items {
+			logEntries += len(is.log)
+		}
+		st.mu.RUnlock()
 	}
-	return len(s.items), len(s.pending), logEntries
+	s.mw.Lock()
+	pending = len(s.mw.pending)
+	s.mw.Unlock()
+	return items, pending, logEntries
 }
 
 // stampOf returns the stamp of a write, or the zero stamp for nil.
@@ -320,14 +505,14 @@ func stampOf(w *wire.SignedWrite) timestamp.Stamp {
 // gating), so corrupt or forged log entries are skipped rather than
 // trusted.
 //
-// Recover holds the server mutex for the whole replay, so requests —
-// including gossip pushes and pulls from peers — that arrive while
+// Recover holds the stop-the-world lock for the whole replay, so requests
+// — including gossip pushes and pulls from peers — that arrive while
 // recovery runs simply queue behind it and are served against the fully
 // recovered state; recovery and gossip catch-up cannot interleave
 // half-replayed state.
 func (s *Server) Recover() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stw.Lock()
+	defer s.stw.Unlock()
 	return s.recoverLocked()
 }
 
@@ -340,37 +525,40 @@ func (s *Server) Recover() error {
 // responsible for the fault mode: a typical crash sequence is
 // SetFault(Crash), later Restart() then SetFault(Healthy).
 func (s *Server) Restart() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = make(map[itemKey]*itemState)
-	s.contexts = make(map[ctxKey]*ctxState)
-	s.pending = nil
-	s.updates = nil
-	s.seq = 0
-	s.epoch = epochCounter.Add(1)
+	s.stw.Lock()
+	defer s.stw.Unlock()
+	s.initStripes()
+	s.mw.Lock()
+	s.mw.pending = nil
+	s.mw.Unlock()
+	s.dissem.Lock()
+	s.dissem.updates = nil
+	s.dissem.seq = 0
+	s.dissem.Unlock()
+	s.epoch.Store(epochCounter.Add(1))
 	return s.recoverLocked()
 }
 
 // Epoch returns the server's current in-memory incarnation (see Restart).
+// Lock-free, so gossip engines can poll it from any goroutine.
 func (s *Server) Epoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
+	return s.epoch.Load()
 }
 
-// recoverLocked replays the persistence log; caller holds s.mu.
+// recoverLocked replays the persistence log; caller holds stw exclusively.
 func (s *Server) recoverLocked() error {
 	if s.cfg.Persist == nil {
 		return nil
 	}
 	s.recovering = true
 	defer func() { s.recovering = false }()
+	fault := s.Fault()
 
 	return s.cfg.Persist.Replay(func(rec storage.Record) error {
 		switch rec.Kind {
 		case storage.KindWrite:
 			if rec.Write != nil {
-				_ = s.acceptWrite(rec.Write) // invalid records are skipped
+				_, _ = s.acceptWrite(rec.Write, fault) // invalid records are skipped
 			}
 		case storage.KindContext:
 			if rec.Ctx == nil {
@@ -380,68 +568,71 @@ func (s *Server) recoverLocked() error {
 				return nil
 			}
 			key := ctxKey{owner: rec.Ctx.Owner, group: rec.Ctx.Group}
-			st, ok := s.contexts[key]
+			st := s.ctxStripeFor(key)
+			s.lock(st)
+			cs, ok := st.contexts[key]
 			if !ok {
 				clone := rec.Ctx.Clone()
-				s.contexts[key] = &ctxState{cur: clone, first: clone}
-			} else if rec.Ctx.Newer(st.cur) {
-				st.cur = rec.Ctx.Clone()
+				st.contexts[key] = &ctxState{cur: clone, first: clone}
+			} else if rec.Ctx.Newer(cs.cur) {
+				cs.cur = rec.Ctx.Clone()
 			}
+			st.mu.Unlock()
 		}
 		return nil
 	})
 }
 
-// persistWriteLocked appends an accepted write to the log (no-op while
+// persistWrite appends an accepted write to the log (no-op while
 // recovering or without persistence). Persistence failures are surfaced to
-// the client: a write is only acknowledged once durable.
-func (s *Server) persistWriteLocked(w *wire.SignedWrite) error {
+// the client: a write is only acknowledged once durable. Concurrent
+// appends coalesce into one group commit (storage.Log.Append).
+func (s *Server) persistWrite(w *wire.SignedWrite) error {
 	if s.cfg.Persist == nil || s.recovering {
 		return nil
 	}
-	if err := s.cfg.Persist.Append(storage.Record{Kind: storage.KindWrite, Write: w}); err != nil {
-		return err
-	}
-	s.maybeCompactLocked()
-	return nil
+	return s.cfg.Persist.Append(storage.Record{Kind: storage.KindWrite, Write: w})
 }
 
-// persistContextLocked appends a stored context to the log.
-func (s *Server) persistContextLocked(ctx *sessionctx.Signed) error {
+// persistContext appends a stored context to the log.
+func (s *Server) persistContext(ctx *sessionctx.Signed) error {
 	if s.cfg.Persist == nil || s.recovering {
 		return nil
 	}
-	if err := s.cfg.Persist.Append(storage.Record{Kind: storage.KindContext, Ctx: ctx}); err != nil {
-		return err
-	}
-	s.maybeCompactLocked()
-	return nil
+	return s.cfg.Persist.Append(storage.Record{Kind: storage.KindContext, Ctx: ctx})
 }
 
-// maybeCompactLocked rewrites the log with only live state when dead
-// records dominate.
-func (s *Server) maybeCompactLocked() {
-	if !s.cfg.Persist.NeedsCompaction() {
+// compact rewrites the log with only live state when dead records
+// dominate. It runs stop-the-world (before the triggering request takes
+// its shared lock), so the gathered snapshot is consistent and no append
+// can interleave with the rewrite.
+func (s *Server) compact() {
+	s.stw.Lock()
+	defer s.stw.Unlock()
+	if !s.cfg.Persist.NeedsCompaction() { // recheck: another request may have compacted
 		return
 	}
 	var live []storage.Record
-	for _, st := range s.items {
-		if st.head != nil {
-			live = append(live, storage.Record{Kind: storage.KindWrite, Write: st.head})
-		}
-		for _, w := range st.log {
-			if st.head == nil || w.Stamp != st.head.Stamp {
-				live = append(live, storage.Record{Kind: storage.KindWrite, Write: w})
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		for _, is := range st.items {
+			if is.head != nil {
+				live = append(live, storage.Record{Kind: storage.KindWrite, Write: is.head})
+			}
+			for _, w := range is.log {
+				if is.head == nil || w.Stamp != is.head.Stamp {
+					live = append(live, storage.Record{Kind: storage.KindWrite, Write: w})
+				}
 			}
 		}
+		for _, cs := range st.contexts {
+			live = append(live, storage.Record{Kind: storage.KindContext, Ctx: cs.cur})
+		}
 	}
-	for _, w := range s.pending {
+	for _, w := range s.mw.pending {
 		live = append(live, storage.Record{Kind: storage.KindWrite, Write: w})
 	}
-	for _, st := range s.contexts {
-		live = append(live, storage.Record{Kind: storage.KindContext, Ctx: st.cur})
-	}
 	// Compaction failure is non-fatal: the log keeps growing and the next
-	// append retries.
+	// trigger retries.
 	_ = s.cfg.Persist.Compact(live)
 }

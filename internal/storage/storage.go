@@ -14,10 +14,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"securestore/internal/metrics"
 	"securestore/internal/sessionctx"
 	"securestore/internal/wire"
 )
@@ -62,18 +65,49 @@ func (r Record) key() (string, bool) {
 }
 
 // Log is a durable append-only record log. Safe for concurrent use.
+//
+// Concurrent Appends group-commit: callers enqueue their marshaled record
+// and the first enqueuer of a batch becomes the leader, writing and
+// flushing every queued record in one I/O while the followers wait on
+// their result channels. Durability cost therefore amortizes across
+// however many writers are in flight (leader-flushes pattern).
 type Log struct {
 	path string
 
+	// Metrics, when non-nil, receives group-commit accounting
+	// (AddWALBatch). Set it before the first Append.
+	Metrics *metrics.Counters
+
+	// CompactThreshold triggers compaction when records exceed live
+	// slots by this factor (default 4; minimum spacing of 64 records).
+	// Set it before the log is used concurrently.
+	CompactThreshold int
+
+	// qmu guards the group-commit queue. Never held across I/O.
+	qmu   sync.Mutex
+	queue []*appendWaiter
+
+	// mu guards the file handle and record accounting; the batch leader
+	// holds it for the whole batch write+flush.
 	mu      sync.Mutex
 	f       *os.File
 	w       *bufio.Writer
 	closed  bool
 	records int // records in the file
 	live    map[string]int
-	// CompactThreshold triggers compaction when records exceed live
-	// slots by this factor (default 4; minimum spacing of 64 records).
-	CompactThreshold int
+
+	// Lock-free mirrors of records/len(live) so NeedsCompaction (polled
+	// on every mutating request) never waits behind an in-flight flush.
+	recordsApprox atomic.Int64
+	liveApprox    atomic.Int64
+}
+
+// appendWaiter is one queued record awaiting a group commit.
+type appendWaiter struct {
+	raw    []byte
+	key    string
+	hasKey bool
+	done   chan error
 }
 
 // Open opens (or creates) the log at path.
@@ -94,7 +128,14 @@ func Open(path string) (*Log, error) {
 	return l, nil
 }
 
-// scan counts records and live slots without retaining contents.
+// scan counts records and live slots without retaining contents, and
+// truncates a torn tail. A crash mid group-commit can persist any prefix
+// of the batch's single buffered write, leaving a final record with no
+// terminating newline; every *acknowledged* record has its newline (the
+// flush that made it durable wrote it), so cutting the file back to the
+// last newline drops only unacknowledged bytes — and keeps the append
+// handle on a record boundary instead of concatenating the next record
+// onto the torn fragment.
 func (l *Log) scan() error {
 	f, err := os.Open(l.path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -107,58 +148,117 @@ func (l *Log) scan() error {
 
 	seen := make(map[string]int)
 	records := 0
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	r := bufio.NewReaderSize(f, 1<<16)
+	var validEnd int64 // offset just past the last newline-terminated line
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			validEnd += int64(len(line))
+			trimmed := line[:len(line)-1]
+			if len(trimmed) > 0 {
+				var rec Record
+				// A complete line that fails to decode is kept but not
+				// counted: crashes only tear the file's suffix, so mid-log
+				// damage is tampering, surfaced by signature checks at
+				// replay rather than silently dropped here.
+				if err := json.Unmarshal(trimmed, &rec); err == nil {
+					records++
+					if k, ok := rec.key(); ok {
+						seen[k]++
+					}
+				}
+			}
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final line from a crash mid-append is tolerated;
-			// anything after it is discarded on the next compaction.
-			continue
-		}
-		records++
-		if k, ok := rec.key(); ok {
-			seen[k]++
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return fmt.Errorf("storage: scan %s: %w", l.path, rerr)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("storage: scan %s: %w", l.path, err)
+	if info, err := f.Stat(); err == nil && info.Size() > validEnd {
+		if err := os.Truncate(l.path, validEnd); err != nil {
+			return fmt.Errorf("storage: truncate torn tail %s: %w", l.path, err)
+		}
 	}
 	l.records = records
 	for k := range seen {
 		l.live[k] = 1
 	}
+	l.recordsApprox.Store(int64(l.records))
+	l.liveApprox.Store(int64(len(l.live)))
 	return nil
 }
 
-// Append durably adds a record.
+// Append durably adds a record. The record is marshaled by the caller's
+// goroutine (outside every lock), then group-committed: whoever finds the
+// queue empty becomes the batch leader and flushes every record queued by
+// the time it holds the file lock, so concurrent appends share one
+// write+flush. Append returns only once the record is durable (or the
+// batch failed).
 func (l *Log) Append(rec Record) error {
 	raw, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("storage: marshal record: %w", err)
 	}
+	k, hasKey := rec.key()
+	wtr := &appendWaiter{raw: raw, key: k, hasKey: hasKey, done: make(chan error, 1)}
+
+	l.qmu.Lock()
+	l.queue = append(l.queue, wtr)
+	leader := len(l.queue) == 1
+	l.qmu.Unlock()
+
+	if !leader {
+		return <-wtr.done
+	}
+
+	// Leader: take the file lock (possibly waiting out a previous batch's
+	// flush, during which more followers pile into the queue), drain the
+	// whole queue, and commit it in one write+flush. The drained batch
+	// always starts with this leader's own record — followers only ever
+	// join a non-empty queue.
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.qmu.Lock()
+	batch := l.queue
+	l.queue = nil
+	l.qmu.Unlock()
+	err = l.commitLocked(batch)
+	l.mu.Unlock()
+
+	for _, follower := range batch[1:] {
+		follower.done <- err
+	}
+	return err
+}
+
+// commitLocked writes and flushes a drained batch; caller holds l.mu.
+// The batch succeeds or fails as a unit: on error, nothing in it may be
+// treated as durable (a torn tail is skipped at replay).
+func (l *Log) commitLocked(batch []*appendWaiter) error {
 	if l.closed {
 		return ErrClosed
 	}
-	if _, err := l.w.Write(raw); err != nil {
-		return fmt.Errorf("storage: append: %w", err)
-	}
-	if err := l.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("storage: append: %w", err)
+	for _, wtr := range batch {
+		if _, err := l.w.Write(wtr.raw); err != nil {
+			return fmt.Errorf("storage: append: %w", err)
+		}
+		if err := l.w.WriteByte('\n'); err != nil {
+			return fmt.Errorf("storage: append: %w", err)
+		}
 	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("storage: flush: %w", err)
 	}
-	l.records++
-	if k, ok := rec.key(); ok {
-		l.live[k] = 1
+	l.records += len(batch)
+	for _, wtr := range batch {
+		if wtr.hasKey {
+			l.live[wtr.key] = 1
+		}
 	}
+	l.recordsApprox.Store(int64(l.records))
+	l.liveApprox.Store(int64(len(l.live)))
+	l.Metrics.AddWALBatch(len(batch))
 	return nil
 }
 
@@ -198,15 +298,17 @@ func (l *Log) Replay(fn func(Record) error) error {
 	return nil
 }
 
-// NeedsCompaction reports whether dead records dominate the log.
+// NeedsCompaction reports whether dead records dominate the log. It is
+// lock-free (reading mirrors of the record/live counts) so hot paths can
+// poll it without queueing behind an in-flight group commit.
 func (l *Log) NeedsCompaction() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	threshold := l.CompactThreshold
 	if threshold < 2 {
 		threshold = 2
 	}
-	return l.records >= 64 && l.records > threshold*len(l.live)
+	records := l.recordsApprox.Load()
+	live := l.liveApprox.Load()
+	return records >= 64 && records > int64(threshold)*live
 }
 
 // Compact rewrites the log atomically with only the supplied records —
@@ -264,6 +366,8 @@ func (l *Log) Compact(liveRecords []Record) error {
 	l.w = bufio.NewWriter(nf)
 	l.records = len(liveRecords)
 	l.live = live
+	l.recordsApprox.Store(int64(l.records))
+	l.liveApprox.Store(int64(len(l.live)))
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securestore/internal/metrics"
@@ -34,6 +36,50 @@ type replyEnvelope struct {
 // maxInflightPerConn bounds concurrent handler goroutines per server
 // connection so a flooding client cannot exhaust server memory.
 const maxInflightPerConn = 256
+
+// frameWriter batches frame writes on a shared connection: encoders write
+// into a bufio.Writer under mu, and the last writer out flushes (the same
+// leader/last-flusher idea as the WAL group commit). Under concurrency,
+// frames queued while another frame is being encoded share one flush —
+// and therefore one write syscall, and typically one read syscall on the
+// peer. A frame is never stranded: every goroutine that announces itself
+// (enter) proceeds to encode and, if it is last, flush.
+type frameWriter struct {
+	waiters atomic.Int64
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *gob.Encoder
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	bw := bufio.NewWriter(conn)
+	return &frameWriter{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+// encode writes one frame, flushing unless another writer is already
+// waiting to append to the batch.
+func (fw *frameWriter) encode(frame any) error {
+	fw.waiters.Add(1)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	err := fw.enc.Encode(frame)
+	if fw.waiters.Add(-1) > 0 && err == nil {
+		return nil // a waiting writer inherits the flush
+	}
+	if ferr := fw.bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// setNoDelay disables Nagle's algorithm where applicable; batching is done
+// explicitly by frameWriter, so holding small frames back only adds
+// latency.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
 
 // TCPServer serves a Handler over a TCP listener using gob-encoded frames.
 // One goroutine per connection reads frames; each request is handled in its
@@ -99,10 +145,7 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 
-	var (
-		handlers sync.WaitGroup
-		writeMu  sync.Mutex // serializes interleaved response frames
-	)
+	var handlers sync.WaitGroup
 	defer func() {
 		handlers.Wait()
 		s.mu.Lock()
@@ -111,8 +154,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
+	setNoDelay(conn)
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	fw := newFrameWriter(conn) // batches interleaved response frames
 	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		var env envelope
@@ -136,10 +180,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			} else {
 				reply.Resp = resp
 			}
-			writeMu.Lock()
-			err = enc.Encode(&reply)
-			writeMu.Unlock()
-			if err != nil {
+			if err := fw.encode(&reply); err != nil {
 				_ = conn.Close() // encoder is poisoned; drop the connection
 			}
 		}(env)
@@ -197,13 +238,11 @@ type TCPCaller struct {
 	conns map[string]*tcpConn
 }
 
-// tcpConn is one multiplexed connection: a shared encoder guarded by encMu
+// tcpConn is one multiplexed connection: a shared batching frame writer
 // and a demux reader that completes pending calls by frame ID.
 type tcpConn struct {
 	conn net.Conn
-
-	encMu sync.Mutex
-	enc   *gob.Encoder
+	fw   *frameWriter
 
 	callMu sync.Mutex // held across the whole call in Serialized mode only
 
@@ -256,9 +295,7 @@ func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire
 	if c.latencies != nil {
 		sent = time.Now()
 	}
-	tc.encMu.Lock()
-	err = tc.enc.Encode(&envelope{ID: id, From: c.origin, Req: req})
-	tc.encMu.Unlock()
+	err = tc.fw.encode(&envelope{ID: id, From: c.origin, Req: req})
 	if err != nil {
 		tc.unregister(id)
 		c.drop(to, tc)
@@ -314,9 +351,10 @@ func (c *TCPCaller) conn(ctx context.Context, to string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial %s (%s): %w", to, addr, err)
 	}
+	setNoDelay(conn)
 	tc := &tcpConn{
 		conn:    conn,
-		enc:     gob.NewEncoder(conn),
+		fw:      newFrameWriter(conn),
 		pending: make(map[uint64]chan replyEnvelope),
 	}
 	go tc.demux(gob.NewDecoder(conn))

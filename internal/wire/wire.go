@@ -8,10 +8,11 @@
 package wire
 
 import (
+	"encoding/binary"
 	"encoding/gob"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"securestore/internal/accessctl"
 	"securestore/internal/cryptoutil"
@@ -72,41 +73,99 @@ type SignedWrite struct {
 	Value     []byte            `json:"value"`
 	Writer    string            `json:"writer"`
 	Sig       []byte            `json:"sig"`
+
+	// memo caches the canonical signing bytes together with the exact
+	// field values they were computed from. It is invisible to json and
+	// gob (unexported), shared across Clone, and safe for concurrent use.
+	// Every read revalidates the snapshot against the current fields, so
+	// mutating a write after signing (tampering, fault injection) can
+	// never be masked by a stale cache entry.
+	memo atomic.Pointer[signingMemo]
 }
 
-// signing payload with deterministic field ordering.
-type writeCanonical struct {
-	Group  string          `json:"group"`
-	Item   string          `json:"item"`
-	Stamp  timestamp.Stamp `json:"stamp"`
-	Ctx    []ctxEntry      `json:"ctx,omitempty"`
-	Digest [32]byte        `json:"digest"`
-	Writer string          `json:"writer"`
+// signingMemo is one computed canonical encoding plus the field snapshot
+// it encodes. raw is immutable once stored.
+type signingMemo struct {
+	raw         []byte
+	group       string
+	item        string
+	writer      string
+	stamp       timestamp.Stamp
+	valueDigest [32]byte
+	ctx         sessionctx.Vector
 }
 
-type ctxEntry struct {
-	Item  string          `json:"item"`
-	Stamp timestamp.Stamp `json:"stamp"`
+// matches reports whether the memo still describes the write's current
+// field values (valueDigest is the digest of the write's current Value,
+// computed by the caller).
+func (m *signingMemo) matches(w *SignedWrite, valueDigest [32]byte) bool {
+	return m.group == w.Group && m.item == w.Item && m.writer == w.Writer &&
+		m.stamp == w.Stamp && m.valueDigest == valueDigest && m.ctx.Equal(w.WriterCtx)
+}
+
+// signingMagic versions the canonical signing encoding. A signature is
+// over (magic, group, item, stamp, sorted writer context, value digest,
+// writer) in a length-prefixed binary layout: every variable-length field
+// is preceded by its uvarint length, so no two distinct field tuples can
+// produce the same byte string.
+const signingMagic = "securestore-write-v1\x00"
+
+// appendLenPrefixed appends s preceded by its uvarint length.
+func appendLenPrefixed(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendStamp appends a stamp's (time, writer, digest) triple.
+func appendStamp(b []byte, s timestamp.Stamp) []byte {
+	b = binary.AppendUvarint(b, s.Time)
+	b = appendLenPrefixed(b, s.Writer)
+	return append(b, s.Digest[:]...)
 }
 
 // SigningBytes returns the canonical bytes the writer signs. The value
 // itself is represented by its digest so that signing cost is independent
 // of value size, matching the paper's "signed digest" construction.
+//
+// The canonical encoding is computed once per message and cached: repeat
+// calls (a replica verifying, then persisting, then disseminating the same
+// write; gossip re-delivery over an in-process transport) reuse the cached
+// bytes after revalidating that every signed field still holds the value
+// it was computed from.
 func (w *SignedWrite) SigningBytes() []byte {
-	c := writeCanonical{
-		Group:  w.Group,
-		Item:   w.Item,
-		Stamp:  w.Stamp,
-		Digest: cryptoutil.Digest(w.Value),
-		Writer: w.Writer,
+	return w.signingBytes(cryptoutil.Digest(w.Value))
+}
+
+// signingBytes is SigningBytes for callers that already computed the
+// value digest (Verify needs it for the multi-writer stamp check too).
+func (w *SignedWrite) signingBytes(valueDigest [32]byte) []byte {
+	if m := w.memo.Load(); m != nil && m.matches(w, valueDigest) {
+		return m.raw
 	}
-	for _, item := range w.WriterCtx.Items() {
-		c.Ctx = append(c.Ctx, ctxEntry{Item: item, Stamp: w.WriterCtx[item]})
+	items := w.WriterCtx.Items() // sorted, so the encoding is deterministic
+	size := len(signingMagic) + len(w.Group) + len(w.Item) + len(w.Writer) +
+		len(w.Stamp.Writer) + 96 + len(items)*64
+	raw := make([]byte, 0, size)
+	raw = append(raw, signingMagic...)
+	raw = appendLenPrefixed(raw, w.Group)
+	raw = appendLenPrefixed(raw, w.Item)
+	raw = appendStamp(raw, w.Stamp)
+	raw = binary.AppendUvarint(raw, uint64(len(items)))
+	for _, item := range items {
+		raw = appendLenPrefixed(raw, item)
+		raw = appendStamp(raw, w.WriterCtx[item])
 	}
-	raw, err := json.Marshal(c)
-	if err != nil {
-		panic(fmt.Sprintf("wire: marshal write canonical: %v", err))
-	}
+	raw = append(raw, valueDigest[:]...)
+	raw = appendLenPrefixed(raw, w.Writer)
+	w.memo.Store(&signingMemo{
+		raw:         raw,
+		group:       w.Group,
+		item:        w.Item,
+		writer:      w.Writer,
+		stamp:       w.Stamp,
+		valueDigest: valueDigest,
+		ctx:         w.WriterCtx.Clone(),
+	})
 	return raw
 }
 
@@ -126,28 +185,39 @@ func (w *SignedWrite) Verify(ring *cryptoutil.Keyring, m *metrics.Counters) erro
 	if w == nil {
 		return ErrBadWrite
 	}
+	// One digest of the value serves both the multi-writer stamp check and
+	// the canonical signing bytes.
+	valueDigest := cryptoutil.Digest(w.Value)
 	if w.Stamp.Writer != "" && w.Stamp.Writer != w.Writer {
 		return fmt.Errorf("%w: stamp names %q, signed by %q", ErrWriterUID, w.Stamp.Writer, w.Writer)
 	}
-	if w.Stamp.Writer != "" && w.Stamp.Digest != cryptoutil.Digest(w.Value) {
+	if w.Stamp.Writer != "" && w.Stamp.Digest != valueDigest {
 		return fmt.Errorf("%w: item %s stamp %s", ErrDigest, w.Item, w.Stamp)
 	}
-	if err := ring.Verify(w.Writer, w.SigningBytes(), w.Sig, m); err != nil {
+	if err := ring.Verify(w.Writer, w.signingBytes(valueDigest), w.Sig, m); err != nil {
 		return fmt.Errorf("%w: item %s: %v", ErrBadWrite, w.Item, err)
 	}
 	return nil
 }
 
-// Clone returns a deep copy of the write.
+// Clone returns a deep copy of the write. The cached canonical encoding
+// is shared with the original: it is immutable, and both copies revalidate
+// it against their own fields before every use.
 func (w *SignedWrite) Clone() *SignedWrite {
 	if w == nil {
 		return nil
 	}
-	out := *w
-	out.WriterCtx = w.WriterCtx.Clone()
-	out.Value = append([]byte(nil), w.Value...)
-	out.Sig = append([]byte(nil), w.Sig...)
-	return &out
+	out := &SignedWrite{
+		Group:     w.Group,
+		Item:      w.Item,
+		Stamp:     w.Stamp,
+		WriterCtx: w.WriterCtx.Clone(),
+		Value:     append([]byte(nil), w.Value...),
+		Writer:    w.Writer,
+		Sig:       append([]byte(nil), w.Sig...),
+	}
+	out.memo.Store(w.memo.Load())
+	return out
 }
 
 // Request is implemented by every client→server and server→server request.
