@@ -130,7 +130,7 @@ func startReplica(configPath, name, dataDir, debugAddr, traceLog string) (string
 		return "", "", nil, err
 	}
 
-	tcp := transport.NewTCPServer(srv)
+	tcp := transport.NewTCPServer(srv, transport.WithServerCounters(obs.Counters))
 	bound, err := tcp.Serve(addr)
 	if err != nil {
 		if traceFile != nil {

@@ -309,6 +309,7 @@ func All() []Experiment {
 		{"t1", "transport: multiplexed vs serialized concurrency", T1TransportConcurrency},
 		{"t2", "transport: verified-signature cache savings", T2VerifyCache},
 		{"t3", "replica concurrency: coarse vs fine-grained locking", T3ReplicaConcurrency},
+		{"t4", "wire codec: binary vs gob round trips + saturation", T4CodecComparison},
 		{"obs", "observability: instrumentation overhead + latency percentiles", O1ObsOverhead},
 		{"chaos", "chaos soak: composed faults vs checker verdict", ChaosSoak},
 	}

@@ -71,6 +71,9 @@ type envParams struct {
 	// the configuration earlier benchmark tables (T1/T2) measured — every
 	// replica re-runs Ed25519 on every signed write it receives.
 	noVerifyCache bool
+	// gob runs every replica and the client over gob-encoded frames
+	// (transport.WithGobCodec) — the pre-codec-PR wire protocol baseline.
+	gob bool
 }
 
 func (p *envParams) get() envParams {
@@ -120,7 +123,11 @@ func newTCPStoreEnv(seed string, delay time.Duration, obs *benchObs, params *env
 			Serialized: p.serialized, Persist: persist,
 		})
 		srv.RegisterGroup("bench", server.Policy{Consistency: wire.MRC})
-		tcp := transport.NewTCPServer(delayedHandler{inner: srv, delay: delay})
+		srvOpts := []transport.ServerOption{transport.WithServerCounters(env.SrvM)}
+		if p.gob {
+			srvOpts = append(srvOpts, transport.WithGobCodec())
+		}
+		tcp := transport.NewTCPServer(delayedHandler{inner: srv, delay: delay}, srvOpts...)
 		addr, err := tcp.Serve("127.0.0.1:0")
 		if err != nil {
 			env.Close()
@@ -134,6 +141,9 @@ func newTCPStoreEnv(seed string, delay time.Duration, obs *benchObs, params *env
 	ring.MustRegister(key.ID, key.Public)
 	if obs != nil {
 		callerOpts = append(callerOpts, transport.WithLatencies(obs.hist))
+	}
+	if p.gob {
+		callerOpts = append(callerOpts, transport.WithGobCodec())
 	}
 	env.caller = transport.NewTCPCaller(key.ID, addrs, env.M, callerOpts...)
 	cl, err := client.New(client.Config{

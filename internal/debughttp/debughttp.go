@@ -86,6 +86,24 @@ var counterSeries = []struct {
 	{"securestore_wal_batches_total", "Write-ahead-log group commits (one write+flush each).", func(s metrics.Snapshot) int64 { return s.WALBatches }},
 }
 
+// writeLabeledBytes renders one per-operation byte counter family in
+// label order. Empty families are omitted entirely (a process that never
+// touched the TCP transport exports no byte series).
+func writeLabeledBytes(w http.ResponseWriter, name, help string, byOp map[string]int64) {
+	if len(byOp) == 0 {
+		return
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, op := range ops {
+		fmt.Fprintf(w, "%s{op=%q} %d\n", name, op, byOp[op])
+	}
+}
+
 // serveMetricsProm renders the Prometheus text exposition format, version
 // 0.0.4: HELP/TYPE comments, counters, then one classic cumulative
 // histogram per traced operation.
@@ -119,6 +137,8 @@ func serveMetricsProm(w http.ResponseWriter, s State) {
 		fmt.Fprint(w, "# HELP securestore_wal_batch_size Records per write-ahead-log group commit.\n# TYPE securestore_wal_batch_size summary\n")
 		fmt.Fprintf(w, "securestore_wal_batch_size_sum %d\n", snap.WALBatchRecords)
 		fmt.Fprintf(w, "securestore_wal_batch_size_count %d\n", snap.WALBatches)
+		writeLabeledBytes(w, "securestore_tx_bytes_total", "Wire bytes sent, by operation.", snap.TxBytes)
+		writeLabeledBytes(w, "securestore_rx_bytes_total", "Wire bytes received, by operation.", snap.RxBytes)
 		if len(snap.Custom) > 0 {
 			names := make([]string, 0, len(snap.Custom))
 			for name := range snap.Custom {

@@ -46,6 +46,7 @@ type Engine struct {
 	fanout   int
 	timeout  time.Duration
 	mode     Mode
+	batch    int
 	tracer   *trace.Tracer
 
 	mu        sync.Mutex
@@ -67,6 +68,12 @@ type Engine struct {
 // maxPeerBackoff caps the per-peer failure backoff at this many rounds, so
 // a recovered peer is re-probed within a bounded delay.
 const maxPeerBackoff = 32
+
+// maxPullPages bounds how many reply pages one pullFrom exchange will
+// follow. A Byzantine peer answering More=true forever must not pin the
+// puller in an endless loop; the cap is generous enough (batch×pages
+// writes) that an honest catch-up never hits it.
+const maxPullPages = 1024
 
 // Option configures an Engine.
 type Option interface{ apply(*Engine) }
@@ -106,6 +113,18 @@ func WithMode(m Mode) Option {
 	return optionFunc(func(e *Engine) { e.mode = m })
 }
 
+// WithBatchSize caps the writes carried per gossip frame (default
+// wire.DefaultGossipBatch). Pushes chunk their backlog into batches of n,
+// and pulls ask peers for pages of at most n, so no single frame ever
+// materializes an unbounded write slice. Non-positive n keeps the default.
+func WithBatchSize(n int) Option {
+	return optionFunc(func(e *Engine) {
+		if n > 0 {
+			e.batch = n
+		}
+	})
+}
+
 // New creates a gossip engine for srv, pushing through caller to peers
 // (the other servers' names).
 func New(srv *server.Server, caller transport.Caller, peers []string, opts ...Option) *Engine {
@@ -117,6 +136,7 @@ func New(srv *server.Server, caller transport.Caller, peers []string, opts ...Op
 		fanout:    2,
 		timeout:   2 * time.Second,
 		mode:      Push,
+		batch:     wire.DefaultGossipBatch,
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 		acked:     make(map[string]uint64),
 		pulled:    make(map[string]uint64),
@@ -301,22 +321,32 @@ func (e *Engine) pushTo(parent context.Context, peer string) int {
 	sp := trace.Leaf(parent, "gossip.push")
 	sp.SetAttr("peer", peer)
 	sp.SetAttr("writes", fmt.Sprint(len(writes)))
+	sp.SetAttr("frames", fmt.Sprint((len(writes)+e.batch-1)/e.batch))
 	defer sp.End()
-	ctx, cancel := context.WithTimeout(parent, e.timeout)
-	defer cancel()
-	resp, err := e.caller.Call(ctx, peer, wire.GossipPushReq{From: e.srv.ID(), Writes: writes})
-	sp.SetError(err)
-	if err != nil {
-		e.recordExchange(peer, false)
-		return 0
-	}
-	ack, ok := resp.(wire.GossipPushResp)
-	if !ok {
-		// A Byzantine peer answering with a malformed ack must not count
-		// as delivery: advancing the high-water mark here would make this
-		// pusher permanently skip these writes for that peer.
-		e.recordExchange(peer, false)
-		return 0
+	// The backlog ships in bounded chunks (batch writes per frame). The
+	// high-water mark advances only after every chunk is acknowledged: a
+	// mid-backlog failure re-pushes from the start next round, which is
+	// safe (receivers deduplicate) where skipping would not be.
+	applied := 0
+	for start := 0; start < len(writes); start += e.batch {
+		chunk := writes[start:min(start+e.batch, len(writes))]
+		ctx, cancel := context.WithTimeout(parent, e.timeout)
+		resp, err := e.caller.Call(ctx, peer, wire.GossipPushReq{From: e.srv.ID(), Writes: chunk})
+		cancel()
+		if err != nil {
+			sp.SetError(err)
+			e.recordExchange(peer, false)
+			return applied
+		}
+		ack, ok := resp.(wire.GossipPushResp)
+		if !ok {
+			// A Byzantine peer answering with a malformed ack must not count
+			// as delivery: advancing the high-water mark here would make this
+			// pusher permanently skip these writes for that peer.
+			e.recordExchange(peer, false)
+			return applied
+		}
+		applied += ack.Applied
 	}
 	e.recordExchange(peer, true)
 	e.mu.Lock()
@@ -324,7 +354,7 @@ func (e *Engine) pushTo(parent context.Context, peer string) int {
 		e.acked[peer] = seq
 	}
 	e.mu.Unlock()
-	return ack.Applied
+	return applied
 }
 
 // pullFrom fetches the peer's updates past our high-water mark and
@@ -341,51 +371,106 @@ func (e *Engine) pullFrom(parent context.Context, peer string) int {
 	sp.SetAttr("peer", peer)
 	defer sp.End()
 	applied := 0
+	pages := 0
 	for attempt := 0; attempt < 2; attempt++ {
 		e.mu.Lock()
 		after := e.pulled[peer]
 		e.mu.Unlock()
 
-		ctx, cancel := context.WithTimeout(parent, e.timeout)
-		resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after})
-		cancel()
-		if err != nil {
-			sp.SetError(err)
-			e.recordExchange(peer, false)
-			return applied
-		}
-		pr, ok := resp.(wire.GossipPullResp)
-		if !ok {
-			e.recordExchange(peer, false)
-			return applied
-		}
-		e.recordExchange(peer, true)
-		for _, w := range pr.Writes {
-			if e.srv.ApplyDisseminated(w) {
-				applied++
+		// One exchange may span several bounded pages. In-window pages
+		// advance After (each page's Seq is its last entry) and are adopted
+		// immediately; state-transfer pages keep After fixed and walk the
+		// peer's item keys via Cursor, adopting the first page's Seq
+		// snapshot only when the transfer completes — a write the peer
+		// accepts mid-transfer has a higher sequence number than that
+		// snapshot, so the next in-window pull fetches it even if its item
+		// key was already swept past.
+		cursor := ""
+		var transferSeq uint64
+		transferring := false
+		restarted := false
+		for {
+			pages++
+			if pages > maxPullPages {
+				// A Byzantine peer can answer More=true forever; bound the
+				// work per exchange and leave the mark wherever honest pages
+				// legitimately advanced it.
+				e.recordExchange(peer, false)
+				return applied
 			}
+			ctx, cancel := context.WithTimeout(parent, e.timeout)
+			resp, err := e.caller.Call(ctx, peer, wire.GossipPullReq{From: e.srv.ID(), After: after, Limit: e.batch, Cursor: cursor})
+			cancel()
+			if err != nil {
+				sp.SetError(err)
+				e.recordExchange(peer, false)
+				return applied
+			}
+			pr, ok := resp.(wire.GossipPullResp)
+			if !ok {
+				e.recordExchange(peer, false)
+				return applied
+			}
+			for _, w := range pr.Writes {
+				if e.srv.ApplyDisseminated(w) {
+					applied++
+				}
+			}
+			e.mu.Lock()
+			prev, seen := e.peerEpoch[peer]
+			e.peerEpoch[peer] = pr.Epoch
+			restarted = seen && prev != pr.Epoch
+			if restarted {
+				// The peer restarted: its rebuilt update log renumbers
+				// entries, so our mark may point past (or into the middle
+				// of) a log that no longer matches it. Resynchronize from
+				// zero and re-pull in the same exchange — a convergence
+				// sweep must observe any renumbered updates now, not a
+				// sweep later (receivers deduplicate, so over-fetching is
+				// safe).
+				e.pulled[peer] = 0
+			}
+			e.mu.Unlock()
+			if restarted {
+				break // abandon this exchange's pages; re-pull from zero
+			}
+			if pr.More && pr.Cursor != "" {
+				// State transfer continues: hold After, follow the cursor.
+				if !transferring {
+					transferring, transferSeq = true, pr.Seq
+				}
+				cursor = pr.Cursor
+				continue
+			}
+			if pr.More {
+				// In-window page: Seq is the last entry returned, safe to
+				// adopt now and continue from there.
+				e.advancePulled(peer, pr.Seq)
+				after, cursor = pr.Seq, ""
+				continue
+			}
+			final := pr.Seq
+			if transferring {
+				final = transferSeq
+			}
+			e.advancePulled(peer, final)
+			e.recordExchange(peer, true)
+			break
 		}
-		e.mu.Lock()
-		prev, seen := e.peerEpoch[peer]
-		e.peerEpoch[peer] = pr.Epoch
-		restarted := seen && prev != pr.Epoch
-		if restarted {
-			// The peer restarted: its rebuilt update log renumbers entries,
-			// so our mark may point past (or into the middle of) a log that
-			// no longer matches it. Resynchronize from zero and re-pull in
-			// the same exchange — a convergence sweep must observe any
-			// renumbered updates now, not a sweep later (receivers
-			// deduplicate, so over-fetching is safe).
-			e.pulled[peer] = 0
-		} else if pr.Seq > e.pulled[peer] {
-			e.pulled[peer] = pr.Seq
-		}
-		e.mu.Unlock()
 		if !restarted {
 			break
 		}
 	}
 	return applied
+}
+
+// advancePulled raises (never lowers) the per-peer pull high-water mark.
+func (e *Engine) advancePulled(peer string, seq uint64) {
+	e.mu.Lock()
+	if seq > e.pulled[peer] {
+		e.pulled[peer] = seq
+	}
+	e.mu.Unlock()
 }
 
 // Converge drives full sweeps across all engines until a sweep applies no

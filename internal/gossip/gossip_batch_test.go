@@ -1,0 +1,241 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/timestamp"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// frameInspector wraps a Caller and records the gossip batch carried by
+// every push request and pull reply, so tests can assert frames stay
+// bounded.
+type frameInspector struct {
+	inner transport.Caller
+
+	mu        sync.Mutex
+	pushSizes []int
+	pullSizes []int
+}
+
+func (c *frameInspector) Origin() string { return c.inner.Origin() }
+
+func (c *frameInspector) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
+	if push, ok := req.(wire.GossipPushReq); ok {
+		c.mu.Lock()
+		c.pushSizes = append(c.pushSizes, len(push.Writes))
+		c.mu.Unlock()
+	}
+	resp, err := c.inner.Call(ctx, to, req)
+	if pull, ok := resp.(wire.GossipPullResp); ok {
+		c.mu.Lock()
+		c.pullSizes = append(c.pullSizes, len(pull.Writes))
+		c.mu.Unlock()
+	}
+	return resp, err
+}
+
+func (c *frameInspector) sizes() (push, pull []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.pushSizes...), append([]int(nil), c.pullSizes...)
+}
+
+// batchPair builds two servers on a bus: a hot one holding `writes`
+// disseminated updates and a cold one knowing none of them. maxLog caps
+// the hot server's retained dissemination log (0 keeps the default).
+func batchPair(t *testing.T, writes, maxLog int) (hot, cold *server.Server, bus *transport.Bus) {
+	t.Helper()
+	ring := cryptoutil.NewKeyring()
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	ring.MustRegister(writer.ID, writer.Public)
+	bus = transport.NewBus(nil)
+
+	hotCfg := server.Config{ID: "hot", Ring: ring}
+	if maxLog > 0 {
+		hotCfg.MaxUpdateLog = maxLog
+	}
+	hot = server.New(hotCfg)
+	cold = server.New(server.Config{ID: "cold", Ring: ring})
+	for _, s := range []*server.Server{hot, cold} {
+		s.RegisterGroup("g", server.Policy{Consistency: wire.MRC})
+		bus.Register(s.ID(), s)
+	}
+
+	for i := 0; i < writes; i++ {
+		w := &wire.SignedWrite{Group: "g", Item: fmt.Sprintf("item-%04d", i), Stamp: timestamp.Stamp{Time: 1}, Value: []byte("v")}
+		w.Sign(writer, nil)
+		if _, err := hot.ServeRequest(context.Background(), "writer", wire.WriteReq{Write: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hot, cold, bus
+}
+
+func assertCaughtUp(t *testing.T, cold *server.Server, writes int) {
+	t.Helper()
+	for i := 0; i < writes; i++ {
+		item := fmt.Sprintf("item-%04d", i)
+		if cold.Head("g", item) == nil {
+			t.Fatalf("cold replica missing %s after catch-up", item)
+		}
+	}
+}
+
+// TestPushChunksLargeBacklog drives a push of a backlog much larger than
+// the batch size: every frame must carry at most `batch` writes and the
+// full backlog must arrive.
+func TestPushChunksLargeBacklog(t *testing.T) {
+	const writes, batch = 100, 16
+	hot, cold, bus := batchPair(t, writes, 0)
+	insp := &frameInspector{inner: bus.Caller("hot", &metrics.Counters{})}
+	e := New(hot, insp, []string{"cold"}, WithBatchSize(batch))
+
+	if applied := e.PushAll(); applied != writes {
+		t.Fatalf("push applied %d, want %d", applied, writes)
+	}
+	assertCaughtUp(t, cold, writes)
+
+	push, _ := insp.sizes()
+	if len(push) < writes/batch {
+		t.Fatalf("backlog of %d shipped in %d frames; want >= %d bounded frames", writes, len(push), writes/batch)
+	}
+	total := 0
+	for _, n := range push {
+		if n > batch {
+			t.Fatalf("push frame carried %d writes, cap is %d", n, batch)
+		}
+		total += n
+	}
+	if total != writes {
+		t.Fatalf("frames carried %d writes total, want %d", total, writes)
+	}
+
+	// Nothing left: the mark advanced past the whole backlog only after
+	// every chunk was acked.
+	if applied := e.PushAll(); applied != 0 {
+		t.Fatalf("second push applied %d, want 0", applied)
+	}
+}
+
+// TestColdReplicaPullsInBoundedFrames is the satellite's required test: a
+// cold replica catching up on a large in-window log must converge through
+// multiple bounded pull frames.
+func TestColdReplicaPullsInBoundedFrames(t *testing.T) {
+	const writes, batch = 120, 25
+	_, cold, bus := batchPair(t, writes, 0)
+	insp := &frameInspector{inner: bus.Caller("cold", &metrics.Counters{})}
+	e := New(cold, insp, []string{"hot"}, WithBatchSize(batch), WithMode(Pull))
+
+	if applied := e.PullAll(); applied != writes {
+		t.Fatalf("pull applied %d, want %d", applied, writes)
+	}
+	assertCaughtUp(t, cold, writes)
+
+	_, pull := insp.sizes()
+	if len(pull) < writes/batch {
+		t.Fatalf("catch-up used %d pull frames; want >= %d bounded frames", len(pull), writes/batch)
+	}
+	for _, n := range pull {
+		if n > batch {
+			t.Fatalf("pull frame carried %d writes, cap is %d", n, batch)
+		}
+	}
+
+	// The mark must have adopted the hot server's head seq: a second pull
+	// is one empty page.
+	insp.mu.Lock()
+	insp.pullSizes = nil
+	insp.mu.Unlock()
+	if applied := e.PullAll(); applied != 0 {
+		t.Fatalf("second pull applied %d, want 0", applied)
+	}
+	_, pull = insp.sizes()
+	if len(pull) != 1 || pull[0] != 0 {
+		t.Fatalf("second pull frames = %v, want one empty page", pull)
+	}
+}
+
+// TestColdReplicaStateTransferPaged trims the hot server's dissemination
+// log below the backlog, forcing the cursor-paged state transfer: the
+// cold replica must still converge through bounded frames and adopt a
+// mark that makes the next pull incremental.
+func TestColdReplicaStateTransferPaged(t *testing.T) {
+	const writes, maxLog, batch = 200, 40, 32
+	_, cold, bus := batchPair(t, writes, maxLog)
+	insp := &frameInspector{inner: bus.Caller("cold", &metrics.Counters{})}
+	e := New(cold, insp, []string{"hot"}, WithBatchSize(batch), WithMode(Pull))
+
+	if applied := e.PullAll(); applied != writes {
+		t.Fatalf("state transfer applied %d, want %d", applied, writes)
+	}
+	assertCaughtUp(t, cold, writes)
+
+	_, pull := insp.sizes()
+	if len(pull) < writes/batch {
+		t.Fatalf("state transfer used %d pull frames; want >= %d", len(pull), writes/batch)
+	}
+	for _, n := range pull {
+		if n > batch {
+			t.Fatalf("state-transfer frame carried %d writes, cap is %d", n, batch)
+		}
+	}
+
+	if applied := e.PullAll(); applied != 0 {
+		t.Fatalf("pull after state transfer applied %d, want 0", applied)
+	}
+}
+
+// TestStateTransferAdoptsSnapshotNotTail checks the transfer-completion
+// rule: a write accepted by the peer mid-transfer (higher seq than the
+// first page's snapshot) is fetched by the next incremental pull — the
+// cold replica must not adopt a mark that skips it.
+func TestStateTransferAdoptsSnapshotNotTail(t *testing.T) {
+	const writes, maxLog, batch = 100, 20, 16
+	hot, cold, bus := batchPair(t, writes, maxLog)
+
+	// Interleave: after the first page is served, land one more write on
+	// the hot server whose item key sorts BEFORE the already-swept range.
+	writer := cryptoutil.DeterministicKeyPair("writer", "s")
+	var once sync.Once
+	interceptor := &hookCaller{inner: bus.Caller("cold", &metrics.Counters{}), after: func() {
+		once.Do(func() {
+			w := &wire.SignedWrite{Group: "g", Item: "item-0000", Stamp: timestamp.Stamp{Time: 9}, Value: []byte("late")}
+			w.Sign(writer, nil)
+			if _, err := hot.ServeRequest(context.Background(), "writer", wire.WriteReq{Write: w}); err != nil {
+				panic(err)
+			}
+		})
+	}}
+	e := New(cold, interceptor, []string{"hot"}, WithBatchSize(batch), WithMode(Pull))
+
+	e.PullAll() // transfer, with the late write landing mid-way
+	e.PullAll() // incremental pull picks up anything past the snapshot
+
+	head := cold.Head("g", "item-0000")
+	if head == nil || head.Stamp.Time != 9 {
+		t.Fatalf("cold replica missed the mid-transfer write (head=%v)", head)
+	}
+}
+
+// hookCaller invokes after() once each Call returns (before the engine
+// sees the response).
+type hookCaller struct {
+	inner transport.Caller
+	after func()
+}
+
+func (c *hookCaller) Origin() string { return c.inner.Origin() }
+
+func (c *hookCaller) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
+	resp, err := c.inner.Call(ctx, to, req)
+	c.after()
+	return resp, err
+}

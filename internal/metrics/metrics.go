@@ -37,6 +37,15 @@ type Counters struct {
 	// or deadlocks against — AddCustom calls made from hooks that run while
 	// a snapshot is being taken.
 	custom sync.Map
+
+	// txBytes/rxBytes map operation labels ("write", "gossip.push", ...)
+	// to *atomic.Int64 wire byte totals, recorded by the TCP transport per
+	// encoded/decoded frame. They expose the codec's on-wire cost directly
+	// (securestore_tx_bytes_total / securestore_rx_bytes_total on
+	// /metrics), so a codec change's byte savings are observable without a
+	// packet capture.
+	txBytes sync.Map
+	rxBytes sync.Map
 }
 
 // Snapshot is a point-in-time copy of a Counters.
@@ -68,6 +77,11 @@ type Snapshot struct {
 	WALBatchRecords int64 `json:"walBatchRecords,omitempty"`
 	// Custom holds the named experiment-specific counters.
 	Custom map[string]int64 `json:"custom,omitempty"`
+	// TxBytes and RxBytes hold wire bytes sent/received per operation
+	// label, as recorded by the TCP transport's frame codec.
+	TxBytes map[string]int64 `json:"txBytes,omitempty"`
+	// RxBytes holds wire bytes received per operation label.
+	RxBytes map[string]int64 `json:"rxBytes,omitempty"`
 }
 
 // AddMessage records a protocol message of the given size in bytes.
@@ -186,6 +200,70 @@ func (c *Counters) AddCustom(name string, delta int64) {
 	v.(*atomic.Int64).Add(delta)
 }
 
+// addLabeled increments a labeled counter in m.
+func addLabeled(m *sync.Map, label string, delta int64) {
+	v, ok := m.Load(label)
+	if !ok {
+		v, _ = m.LoadOrStore(label, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(delta)
+}
+
+// snapshotLabeled copies a labeled counter map (nil when empty).
+func snapshotLabeled(m *sync.Map) map[string]int64 {
+	var out map[string]int64
+	m.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// sumLabeled totals a labeled counter map.
+func sumLabeled(m *sync.Map) int64 {
+	var total int64
+	m.Range(func(_, v any) bool {
+		total += v.(*atomic.Int64).Load()
+		return true
+	})
+	return total
+}
+
+// AddTxBytes records n wire bytes sent for the labeled operation.
+func (c *Counters) AddTxBytes(op string, n int) {
+	if c == nil {
+		return
+	}
+	addLabeled(&c.txBytes, op, int64(n))
+}
+
+// AddRxBytes records n wire bytes received for the labeled operation.
+func (c *Counters) AddRxBytes(op string, n int) {
+	if c == nil {
+		return
+	}
+	addLabeled(&c.rxBytes, op, int64(n))
+}
+
+// TxBytesTotal returns total wire bytes sent across all operations.
+func (c *Counters) TxBytesTotal() int64 {
+	if c == nil {
+		return 0
+	}
+	return sumLabeled(&c.txBytes)
+}
+
+// RxBytesTotal returns total wire bytes received across all operations.
+func (c *Counters) RxBytesTotal() int64 {
+	if c == nil {
+		return 0
+	}
+	return sumLabeled(&c.rxBytes)
+}
+
 // Custom returns the value of a named counter.
 func (c *Counters) Custom(name string) int64 {
 	if c == nil {
@@ -264,6 +342,8 @@ func (c *Counters) Snapshot() Snapshot {
 		WALBatches:      c.walBatches.Load(),
 		WALBatchRecords: c.walBatchRecords.Load(),
 		Custom:          custom,
+		TxBytes:         snapshotLabeled(&c.txBytes),
+		RxBytes:         snapshotLabeled(&c.rxBytes),
 	}
 }
 
@@ -287,6 +367,14 @@ func (c *Counters) Reset() {
 		c.custom.Delete(k)
 		return true
 	})
+	c.txBytes.Range(func(k, _ any) bool {
+		c.txBytes.Delete(k)
+		return true
+	})
+	c.rxBytes.Range(func(k, _ any) bool {
+		c.rxBytes.Delete(k)
+		return true
+	})
 }
 
 // Delta returns this snapshot minus prev, field by field: the cost of
@@ -296,6 +384,18 @@ func (c *Counters) Reset() {
 // do.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	return Diff(prev, s)
+}
+
+// diffLabeled subtracts before from after key-wise (nil when after is).
+func diffLabeled(before, after map[string]int64) map[string]int64 {
+	if after == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
 }
 
 // Diff returns a snapshot containing after-minus-before for every field.
@@ -317,6 +417,8 @@ func Diff(before, after Snapshot) Snapshot {
 		WALBatches:      after.WALBatches - before.WALBatches,
 		WALBatchRecords: after.WALBatchRecords - before.WALBatchRecords,
 		Custom:          custom,
+		TxBytes:         diffLabeled(before.TxBytes, after.TxBytes),
+		RxBytes:         diffLabeled(before.RxBytes, after.RxBytes),
 	}
 }
 

@@ -242,7 +242,11 @@ func (s *Server) handleGossipPush(from string, r wire.GossipPushReq, fault Fault
 // handleGossipPull serves a peer's pull request with the updates
 // accepted after the peer's high-water mark. Like pushes, the returned
 // writes are self-verifying, so a faulty server answering a pull can at
-// worst withhold updates.
+// worst withhold updates. Replies are paged: at most Limit writes per
+// frame (wire.DefaultGossipBatch when the puller names no limit), with
+// More/Cursor telling the puller how to fetch the rest — a cold replica
+// catching up on a large log can never force this server to materialize,
+// encode, or ship the whole backlog in one frame.
 func (s *Server) handleGossipPull(from string, r wire.GossipPullReq, fault FaultMode) (wire.Response, error) {
 	_ = from // pulls are served to any peer; writes are self-verifying
 	if fault == Stale {
@@ -250,8 +254,12 @@ func (s *Server) handleGossipPull(from string, r wire.GossipPullReq, fault Fault
 		// puller never resets its mark over the lie).
 		return wire.GossipPullResp{Seq: r.After, Epoch: s.epoch.Load()}, nil
 	}
-	writes, seq := s.updatesSince(r.After)
-	return wire.GossipPullResp{Writes: writes, Seq: seq, Epoch: s.epoch.Load()}, nil
+	limit := r.Limit
+	if limit <= 0 {
+		limit = wire.DefaultGossipBatch
+	}
+	writes, seq, more, cursor := s.updatesPage(r.After, limit, r.Cursor)
+	return wire.GossipPullResp{Writes: writes, Seq: seq, Epoch: s.epoch.Load(), More: more, Cursor: cursor}, nil
 }
 
 // ApplyDisseminated validates and integrates one pulled write, reporting
@@ -538,6 +546,74 @@ func (s *Server) updatesSince(after uint64) ([]*wire.SignedWrite, uint64) {
 		sp.mu.RUnlock()
 	}
 	return out, seq
+}
+
+// updatesPage is the paged form of updatesSince backing handleGossipPull
+// (caller holds the stw read lock). In-window backlogs return at most
+// limit entries with Seq set to the last returned entry's sequence number,
+// so the puller continues with After = Seq. A peer behind the retained
+// tail gets a paged state transfer of item heads instead, ordered by a
+// stable group/item key: each page returns the heads after cursor, and
+// Seq carries the current log position — which the puller must adopt only
+// once the transfer completes (any write accepted mid-transfer has a
+// higher sequence number than the first page's snapshot, so it is caught
+// by the next in-window pull).
+func (s *Server) updatesPage(after uint64, limit int, cursor string) (writes []*wire.SignedWrite, seq uint64, more bool, next string) {
+	s.dissem.Lock()
+	seq = s.dissem.seq
+	if cursor == "" && after >= seq {
+		s.dissem.Unlock()
+		return nil, seq, false, ""
+	}
+	first := seq - uint64(len(s.dissem.updates)) + 1
+	if cursor == "" && after+1 >= first {
+		start := int(after - first + 1)
+		window := s.dissem.updates[start:]
+		n := len(window)
+		if n > limit {
+			n, more = limit, true
+		}
+		writes = make([]*wire.SignedWrite, 0, n)
+		for _, w := range window[:n] {
+			writes = append(writes, w.Clone())
+		}
+		s.dissem.Unlock()
+		if more {
+			seq = first + uint64(start+n) - 1
+		}
+		return writes, seq, more, ""
+	}
+	s.dissem.Unlock()
+	// State transfer (see updatesSince for why heads cover the trimmed
+	// tail), paged by item key so each page is a bounded frame.
+	type headEntry struct {
+		key string
+		w   *wire.SignedWrite
+	}
+	var heads []headEntry
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		s.rlock(sp)
+		for k, st := range sp.items {
+			if st.head == nil {
+				continue
+			}
+			if key := k.group + "\x00" + k.item; key > cursor {
+				heads = append(heads, headEntry{key, st.head.Clone()})
+			}
+		}
+		sp.mu.RUnlock()
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i].key < heads[j].key })
+	if len(heads) > limit {
+		heads = heads[:limit]
+		more, next = true, heads[limit-1].key
+	}
+	writes = make([]*wire.SignedWrite, 0, len(heads))
+	for _, h := range heads {
+		writes = append(writes, h.w)
+	}
+	return writes, seq, more, next
 }
 
 // Head returns the server's current head write for an item (testing and

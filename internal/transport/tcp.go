@@ -3,9 +3,11 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -31,11 +33,350 @@ type replyEnvelope struct {
 	ID   uint64
 	Resp wire.Response
 	Err  string
+
+	// size is the decoded frame's wire size, filled in by the demux loop
+	// for byte accounting. Unexported: never encoded.
+	size int
 }
 
 // maxInflightPerConn bounds concurrent handler goroutines per server
 // connection so a flooding client cannot exhaust server memory.
 const maxInflightPerConn = 256
+
+// maxFramePayload bounds one binary frame's payload so a malformed or
+// hostile length prefix can never trigger an unbounded allocation. Gossip
+// batches are chunked well below this (wire.DefaultGossipBatch writes per
+// frame), so legitimate frames stay far under the cap.
+const maxFramePayload = 64 << 20
+
+// handshakeMagic starts every binary-codec connection, followed by the
+// frame version byte. Both sides send it eagerly and validate the peer's
+// before decoding any frame, so a version-mismatched (or gob-speaking)
+// peer is refused at connect with a loud error instead of mis-decoding.
+var handshakeMagic = [4]byte{'s', 's', 'w', 'p'}
+
+// handshakeLen is magic plus the one-byte frame version.
+const handshakeLen = 5
+
+func handshakeBytes() [handshakeLen]byte {
+	var hs [handshakeLen]byte
+	copy(hs[:], handshakeMagic[:])
+	hs[4] = wire.FrameVersion
+	return hs
+}
+
+// checkHandshake validates a received connection preamble.
+func checkHandshake(hs [handshakeLen]byte) error {
+	if [4]byte(hs[:4]) != handshakeMagic {
+		return errors.New("transport: peer is not a binary-codec securestore endpoint (magic mismatch; gob peer?)")
+	}
+	if hs[4] != wire.FrameVersion {
+		return fmt.Errorf("transport: peer speaks frame version %d, want %d", hs[4], wire.FrameVersion)
+	}
+	return nil
+}
+
+// wireCodec is one frame-encoding strategy for TCP connections. The
+// default is the hand-rolled binary codec (internal/wire codec.go): no
+// reflection, no per-stream type state, pooled buffers, and exact frame
+// sizes for byte accounting. The gob codec is retained as the
+// pre-codec-PR baseline behind WithGobCodec.
+type wireCodec interface {
+	name() string
+	// handshake reports whether connections exchange the version preamble.
+	handshake() bool
+	newEncoder(bw *bufio.Writer) frameEncoder
+	newDecoder(br *bufio.Reader) frameDecoder
+}
+
+// frameEncoder writes frames into the connection's buffered writer and
+// reports each frame's exact wire size.
+type frameEncoder interface {
+	writeEnvelope(env *envelope) (int, error)
+	writeReply(rep *replyEnvelope) (int, error)
+}
+
+// frameDecoder reads frames and reports each frame's exact wire size.
+type frameDecoder interface {
+	readEnvelope(env *envelope) (int, error)
+	readReply(rep *replyEnvelope) (int, error)
+}
+
+// --- binary codec ---
+
+type binaryCodec struct{}
+
+func (binaryCodec) name() string    { return "binary" }
+func (binaryCodec) handshake() bool { return true }
+func (binaryCodec) newEncoder(bw *bufio.Writer) frameEncoder {
+	return &binaryEncoder{bw: bw}
+}
+func (binaryCodec) newDecoder(br *bufio.Reader) frameDecoder {
+	return &binaryDecoder{br: br}
+}
+
+// binaryEncoder writes [version][uvarint len][payload] frames. The payload
+// is assembled in a pooled buffer, so steady-state encoding allocates only
+// what the message encoding itself copies.
+type binaryEncoder struct {
+	bw *bufio.Writer
+}
+
+// writeFrame emits the version byte, payload length, and payload.
+func (e *binaryEncoder) writeFrame(payload []byte) (int, error) {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = wire.FrameVersion
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := e.bw.Write(hdr[:1+n]); err != nil {
+		return 0, err
+	}
+	if _, err := e.bw.Write(payload); err != nil {
+		return 0, err
+	}
+	return 1 + n + len(payload), nil
+}
+
+func (e *binaryEncoder) writeEnvelope(env *envelope) (int, error) {
+	buf := wire.NewBuffer()
+	defer buf.Release()
+	b := binary.AppendUvarint(buf.B, env.ID)
+	b = binary.AppendUvarint(b, uint64(len(env.From)))
+	b = append(b, env.From...)
+	b, err := wire.AppendRequest(b, env.Req)
+	buf.B = b
+	if err != nil {
+		return 0, err
+	}
+	return e.writeFrame(b)
+}
+
+// Reply payload status bytes.
+const (
+	replyOK  byte = 0
+	replyErr byte = 1
+)
+
+func (e *binaryEncoder) writeReply(rep *replyEnvelope) (int, error) {
+	buf := wire.NewBuffer()
+	defer buf.Release()
+	b := binary.AppendUvarint(buf.B, rep.ID)
+	var err error
+	if rep.Err != "" {
+		b = append(b, replyErr)
+		b = binary.AppendUvarint(b, uint64(len(rep.Err)))
+		b = append(b, rep.Err...)
+	} else {
+		b = append(b, replyOK)
+		b, err = wire.AppendResponse(b, rep.Resp)
+	}
+	buf.B = b
+	if err != nil {
+		return 0, err
+	}
+	return e.writeFrame(b)
+}
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+type binaryDecoder struct {
+	br *bufio.Reader
+}
+
+// readFrame reads one frame payload into a pooled buffer. The caller must
+// finish decoding (copying what it keeps) before releasing buf.
+func (d *binaryDecoder) readFrame() (*wire.Buffer, int, error) {
+	ver, err := d.br.ReadByte()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ver != wire.FrameVersion {
+		return nil, 0, fmt.Errorf("transport: frame version %d, want %d", ver, wire.FrameVersion)
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("transport: frame length: %w", err)
+	}
+	if n > maxFramePayload {
+		return nil, 0, fmt.Errorf("transport: frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	buf := wire.NewBuffer()
+	buf.Grow(int(n))
+	if _, err := io.ReadFull(d.br, buf.B); err != nil {
+		buf.Release()
+		return nil, 0, fmt.Errorf("transport: short frame: %w", err)
+	}
+	return buf, 1 + uvarintLen(n) + int(n), nil
+}
+
+// payloadUvarint decodes a uvarint at off, returning the value and the
+// new offset (-1 on malformed input).
+func payloadUvarint(p []byte, off int) (uint64, int) {
+	v, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return v, off + n
+}
+
+// payloadString decodes a length-prefixed string at off.
+func payloadString(p []byte, off int) (string, int) {
+	n, off := payloadUvarint(p, off)
+	if off < 0 || n > uint64(len(p)-off) {
+		return "", -1
+	}
+	return string(p[off : off+int(n)]), off + int(n)
+}
+
+var errMalformedFrame = errors.New("transport: malformed frame")
+
+func (d *binaryDecoder) readEnvelope(env *envelope) (int, error) {
+	buf, size, err := d.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	defer buf.Release()
+	p := buf.B
+	id, off := payloadUvarint(p, 0)
+	if off < 0 {
+		return 0, errMalformedFrame
+	}
+	from, off := payloadString(p, off)
+	if off < 0 {
+		return 0, errMalformedFrame
+	}
+	req, err := wire.DecodeRequest(p[off:])
+	if err != nil {
+		return 0, err
+	}
+	env.ID, env.From, env.Req = id, from, req
+	return size, nil
+}
+
+func (d *binaryDecoder) readReply(rep *replyEnvelope) (int, error) {
+	buf, size, err := d.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	defer buf.Release()
+	p := buf.B
+	id, off := payloadUvarint(p, 0)
+	if off < 0 || off >= len(p) {
+		return 0, errMalformedFrame
+	}
+	status := p[off]
+	off++
+	rep.ID, rep.Resp, rep.Err = id, nil, ""
+	switch status {
+	case replyOK:
+		resp, err := wire.DecodeResponse(p[off:])
+		if err != nil {
+			return 0, err
+		}
+		rep.Resp = resp
+	case replyErr:
+		msg, off := payloadString(p, off)
+		if off != len(p) {
+			return 0, errMalformedFrame
+		}
+		rep.Err = msg
+	default:
+		return 0, errMalformedFrame
+	}
+	return size, nil
+}
+
+// --- gob codec (baseline) ---
+
+type gobCodec struct{}
+
+func (gobCodec) name() string    { return "gob" }
+func (gobCodec) handshake() bool { return false }
+func (gobCodec) newEncoder(bw *bufio.Writer) frameEncoder {
+	e := &gobEncoder{}
+	e.enc = gob.NewEncoder(io.MultiWriter(bw, &e.count))
+	return e
+}
+func (gobCodec) newDecoder(br *bufio.Reader) frameDecoder {
+	d := &gobDecoder{count: countReader{r: br}}
+	d.dec = gob.NewDecoder(&d.count)
+	return d
+}
+
+// countWriter tallies bytes the gob encoder produces; encode calls run
+// under the frame writer's mutex, so a before/after delta is one frame's
+// exact size.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+type gobEncoder struct {
+	enc   *gob.Encoder
+	count countWriter
+}
+
+func (e *gobEncoder) writeEnvelope(env *envelope) (int, error) {
+	start := e.count.n
+	err := e.enc.Encode(env)
+	return int(e.count.n - start), err
+}
+
+func (e *gobEncoder) writeReply(rep *replyEnvelope) (int, error) {
+	start := e.count.n
+	err := e.enc.Encode(rep)
+	return int(e.count.n - start), err
+}
+
+// countReader tallies bytes the gob decoder consumes. It implements
+// io.ByteReader so gob adds no internal buffering of its own (which would
+// skew per-frame attribution by reading ahead).
+type countReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+type gobDecoder struct {
+	dec   *gob.Decoder
+	count countReader
+}
+
+func (d *gobDecoder) readEnvelope(env *envelope) (int, error) {
+	start := d.count.n
+	err := d.dec.Decode(env)
+	return int(d.count.n - start), err
+}
+
+func (d *gobDecoder) readReply(rep *replyEnvelope) (int, error) {
+	start := d.count.n
+	err := d.dec.Decode(rep)
+	return int(d.count.n - start), err
+}
+
+// --- frame writer ---
 
 // frameWriter batches frame writes on a shared connection: encoders write
 // into a bufio.Writer under mu, and the last writer out flushes (the same
@@ -43,33 +384,67 @@ const maxInflightPerConn = 256
 // frames queued while another frame is being encoded share one flush —
 // and therefore one write syscall, and typically one read syscall on the
 // peer. A frame is never stranded: every goroutine that announces itself
-// (enter) proceeds to encode and, if it is last, flush.
+// proceeds to encode and, if it is last, flush.
 type frameWriter struct {
 	waiters atomic.Int64
 	mu      sync.Mutex
 	bw      *bufio.Writer
-	enc     *gob.Encoder
+	enc     frameEncoder
 }
 
-func newFrameWriter(conn net.Conn) *frameWriter {
+func newFrameWriter(conn net.Conn, c wireCodec) *frameWriter {
 	bw := bufio.NewWriter(conn)
-	return &frameWriter{bw: bw, enc: gob.NewEncoder(bw)}
+	return &frameWriter{bw: bw, enc: c.newEncoder(bw)}
 }
 
-// encode writes one frame, flushing unless another writer is already
-// waiting to append to the batch.
-func (fw *frameWriter) encode(frame any) error {
-	fw.waiters.Add(1)
+// bufferHandshake queues the connection preamble without flushing (it
+// rides out with the first frame, or an explicit flush).
+func (fw *frameWriter) bufferHandshake() error {
+	hs := handshakeBytes()
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	err := fw.enc.Encode(frame)
+	_, err := fw.bw.Write(hs[:])
+	return err
+}
+
+// flush forces buffered bytes out (used to push the server-side
+// handshake before any reply exists).
+func (fw *frameWriter) flush() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.bw.Flush()
+}
+
+// finishLocked applies the group-flush rule after one frame was encoded.
+// Caller holds fw.mu.
+func (fw *frameWriter) finishLocked(n int, err error) (int, error) {
 	if fw.waiters.Add(-1) > 0 && err == nil {
-		return nil // a waiting writer inherits the flush
+		return n, nil // a waiting writer inherits the flush
 	}
 	if ferr := fw.bw.Flush(); err == nil {
 		err = ferr
 	}
-	return err
+	return n, err
+}
+
+// sendEnvelope writes one request frame, flushing unless another writer
+// is already waiting to append to the batch. It returns the frame's wire
+// size.
+func (fw *frameWriter) sendEnvelope(env *envelope) (int, error) {
+	fw.waiters.Add(1)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	n, err := fw.enc.writeEnvelope(env)
+	return fw.finishLocked(n, err)
+}
+
+// sendReply writes one reply frame under the same group-flush rule.
+func (fw *frameWriter) sendReply(rep *replyEnvelope) (int, error) {
+	fw.waiters.Add(1)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	n, err := fw.enc.writeReply(rep)
+	return fw.finishLocked(n, err)
 }
 
 // setNoDelay disables Nagle's algorithm where applicable; batching is done
@@ -81,12 +456,74 @@ func setNoDelay(conn net.Conn) {
 	}
 }
 
-// TCPServer serves a Handler over a TCP listener using gob-encoded frames.
-// One goroutine per connection reads frames; each request is handled in its
-// own goroutine (bounded per connection) so slow requests do not block the
-// pipeline, and responses are written back matched by frame ID.
+// --- options ---
+
+// CallerOption configures a TCPCaller.
+type CallerOption interface{ applyCaller(*TCPCaller) }
+
+// ServerOption configures a TCPServer.
+type ServerOption interface{ applyServer(*TCPServer) }
+
+// Option configures either side of the TCP transport (codec selection).
+type Option interface {
+	CallerOption
+	ServerOption
+}
+
+type callerOptionFunc func(*TCPCaller)
+
+func (f callerOptionFunc) applyCaller(c *TCPCaller) { f(c) }
+
+type serverOptionFunc func(*TCPServer)
+
+func (f serverOptionFunc) applyServer(s *TCPServer) { f(s) }
+
+// Serialized restores the pre-multiplexing behaviour: at most one request
+// in flight per connection, later calls queueing behind earlier ones. It
+// exists so benchmarks and experiments can measure what pipelining buys;
+// real deployments should never use it.
+func Serialized() CallerOption {
+	return callerOptionFunc(func(c *TCPCaller) { c.serialized = true })
+}
+
+// WithLatencies records every call's wire round-trip time into h under
+// "transport.rpc" — the time from frame encode to reply decode, isolating
+// network plus peer-handler cost from the client-side protocol logic that
+// spans measure.
+func WithLatencies(h *metrics.HistogramSet) CallerOption {
+	return callerOptionFunc(func(c *TCPCaller) { c.latencies = h })
+}
+
+// WithServerCounters records the server side's wire byte accounting
+// (rx/tx bytes per operation) on m.
+func WithServerCounters(m *metrics.Counters) ServerOption {
+	return serverOptionFunc(func(s *TCPServer) { s.metrics = m })
+}
+
+type codecOption struct{ c wireCodec }
+
+func (o codecOption) applyCaller(c *TCPCaller) { c.codec = o.c }
+func (o codecOption) applyServer(s *TCPServer) { s.codec = o.c }
+
+// WithGobCodec switches a caller or server back to gob-encoded frames —
+// the pre-binary-codec wire protocol, kept as the benchmark baseline
+// (mirroring Serialized for the mux work). Both endpoints must agree:
+// binary peers refuse gob peers at connect and vice versa. Requires
+// wire.RegisterGob at process start. Real deployments should use the
+// default binary codec.
+func WithGobCodec() Option { return codecOption{gobCodec{}} }
+
+// --- server ---
+
+// TCPServer serves a Handler over a TCP listener. One goroutine per
+// connection reads frames (binary codec by default); each request is
+// handled in its own goroutine (bounded per connection) so slow requests
+// do not block the pipeline, and responses are written back matched by
+// frame ID.
 type TCPServer struct {
 	handler Handler
+	codec   wireCodec
+	metrics *metrics.Counters
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -96,8 +533,12 @@ type TCPServer struct {
 }
 
 // NewTCPServer wraps handler for serving. Call Serve to start.
-func NewTCPServer(handler Handler) *TCPServer {
-	return &TCPServer{handler: handler, conns: make(map[net.Conn]struct{})}
+func NewTCPServer(handler Handler, opts ...ServerOption) *TCPServer {
+	s := &TCPServer{handler: handler, codec: binaryCodec{}, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt.applyServer(s)
+	}
+	return s
 }
 
 // Serve listens on addr ("host:port", port 0 for ephemeral) and begins
@@ -155,17 +596,39 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}()
 
 	setNoDelay(conn)
-	dec := gob.NewDecoder(conn)
-	fw := newFrameWriter(conn) // batches interleaved response frames
+	br := bufio.NewReader(conn)
+	fw := newFrameWriter(conn, s.codec)
+	if s.codec.handshake() {
+		// Announce our frame version immediately (the client demux blocks
+		// on it), then require the client's before decoding anything: a
+		// mismatched peer is refused here, at connect.
+		if err := fw.bufferHandshake(); err != nil {
+			return
+		}
+		if err := fw.flush(); err != nil {
+			return
+		}
+		var hs [handshakeLen]byte
+		if _, err := io.ReadFull(br, hs[:]); err != nil {
+			return
+		}
+		if err := checkHandshake(hs); err != nil {
+			return // refused: close without serving a single frame
+		}
+	}
+	dec := s.codec.newDecoder(br)
 	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			return // connection closed or corrupt
+		n, err := dec.readEnvelope(&env)
+		if err != nil {
+			return // connection closed, version-mismatched, or corrupt
 		}
+		op := wire.RequestName(env.Req)
+		s.metrics.AddRxBytes(op, n)
 		sem <- struct{}{}
 		handlers.Add(1)
-		go func(env envelope) {
+		go func(env envelope, op string) {
 			defer handlers.Done()
 			defer func() { <-sem }()
 			resp, err := s.handler.ServeRequest(context.Background(), env.From, env.Req)
@@ -180,10 +643,20 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			} else {
 				reply.Resp = resp
 			}
-			if err := fw.encode(&reply); err != nil {
-				_ = conn.Close() // encoder is poisoned; drop the connection
+			wn, err := fw.sendReply(&reply)
+			if err != nil && errors.Is(err, wire.ErrUnknownType) {
+				// The handler produced a type the binary codec cannot carry
+				// (nothing was written): report it to the caller instead of
+				// dropping the connection.
+				fallback := replyEnvelope{ID: env.ID, Err: err.Error()}
+				wn, err = fw.sendReply(&fallback)
 			}
-		}(env)
+			if err != nil {
+				_ = conn.Close() // writer is poisoned; drop the connection
+				return
+			}
+			s.metrics.AddTxBytes(op, wn)
+		}(env, op)
 	}
 }
 
@@ -202,24 +675,7 @@ func (s *TCPServer) Close() {
 	s.wg.Wait()
 }
 
-// CallerOption configures a TCPCaller.
-type CallerOption func(*TCPCaller)
-
-// Serialized restores the pre-multiplexing behaviour: at most one request
-// in flight per connection, later calls queueing behind earlier ones. It
-// exists so benchmarks and experiments can measure what pipelining buys;
-// real deployments should never use it.
-func Serialized() CallerOption {
-	return func(c *TCPCaller) { c.serialized = true }
-}
-
-// WithLatencies records every call's wire round-trip time into h under
-// "transport.rpc" — the time from frame encode to reply decode, isolating
-// network plus peer-handler cost from the client-side protocol logic that
-// spans measure.
-func WithLatencies(h *metrics.HistogramSet) CallerOption {
-	return func(c *TCPCaller) { c.latencies = h }
-}
+// --- caller ---
 
 // TCPCaller issues requests to TCP servers. It maintains one persistent
 // connection per destination and pipelines concurrent calls over it: each
@@ -232,6 +688,7 @@ type TCPCaller struct {
 	metrics    *metrics.Counters
 	latencies  *metrics.HistogramSet
 	serialized bool
+	codec      wireCodec
 
 	mu    sync.Mutex
 	addrs map[string]string // server name -> address
@@ -261,9 +718,9 @@ func NewTCPCaller(origin string, addrs map[string]string, m *metrics.Counters, o
 	for k, v := range addrs {
 		copied[k] = v
 	}
-	c := &TCPCaller{origin: origin, metrics: m, addrs: copied, conns: make(map[string]*tcpConn)}
+	c := &TCPCaller{origin: origin, metrics: m, codec: binaryCodec{}, addrs: copied, conns: make(map[string]*tcpConn)}
 	for _, opt := range opts {
-		opt(c)
+		opt.applyCaller(c)
 	}
 	return c
 }
@@ -290,17 +747,23 @@ func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire
 		return nil, fmt.Errorf("send to %s: %w", to, err)
 	}
 
-	c.metrics.AddMessage(0)
+	op := wire.RequestName(req)
 	var sent time.Time
 	if c.latencies != nil {
 		sent = time.Now()
 	}
-	err = tc.fw.encode(&envelope{ID: id, From: c.origin, Req: req})
+	n, err := tc.fw.sendEnvelope(&envelope{ID: id, From: c.origin, Req: req})
 	if err != nil {
 		tc.unregister(id)
+		if errors.Is(err, wire.ErrUnknownType) {
+			// Nothing hit the wire: the connection stays healthy.
+			return nil, fmt.Errorf("send to %s: %w", to, err)
+		}
 		c.drop(to, tc)
 		return nil, fmt.Errorf("send to %s: %w", to, err)
 	}
+	c.metrics.AddMessage(n)
+	c.metrics.AddTxBytes(op, n)
 
 	select {
 	case reply, ok := <-ch:
@@ -312,7 +775,8 @@ func (c *TCPCaller) Call(ctx context.Context, to string, req wire.Request) (wire
 		if c.latencies != nil {
 			c.latencies.Observe("transport.rpc", time.Since(sent))
 		}
-		c.metrics.AddMessage(0)
+		c.metrics.AddMessage(reply.size)
+		c.metrics.AddRxBytes(op, reply.size)
 		if reply.Err != "" {
 			return nil, fmt.Errorf("call %s: %s", to, reply.Err)
 		}
@@ -354,10 +818,18 @@ func (c *TCPCaller) conn(ctx context.Context, to string) (*tcpConn, error) {
 	setNoDelay(conn)
 	tc := &tcpConn{
 		conn:    conn,
-		fw:      newFrameWriter(conn),
+		fw:      newFrameWriter(conn, c.codec),
 		pending: make(map[uint64]chan replyEnvelope),
 	}
-	go tc.demux(gob.NewDecoder(conn))
+	if c.codec.handshake() {
+		// Our preamble is buffered (it ships with the first frame); the
+		// server's is validated by the demux loop before any reply.
+		if err := tc.fw.bufferHandshake(); err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("dial %s (%s): %w", to, addr, err)
+		}
+	}
+	go tc.demux(c.codec, bufio.NewReader(conn))
 	c.conns[to] = tc
 	return tc, nil
 }
@@ -403,22 +875,44 @@ func (tc *tcpConn) brokenErr() error {
 	return errors.New("connection lost")
 }
 
+// fail marks the connection broken and fails every pending call.
+func (tc *tcpConn) fail(err error) {
+	tc.mu.Lock()
+	tc.broken = err
+	for id, ch := range tc.pending {
+		close(ch)
+		delete(tc.pending, id)
+	}
+	tc.mu.Unlock()
+	_ = tc.conn.Close()
+}
+
 // demux routes reply frames to their pending calls until the connection
-// dies, then fails every still-pending call by closing its channel.
-func (tc *tcpConn) demux(dec *gob.Decoder) {
-	for {
-		var reply replyEnvelope
-		if err := dec.Decode(&reply); err != nil {
-			tc.mu.Lock()
-			tc.broken = fmt.Errorf("connection lost: %v", err)
-			for id, ch := range tc.pending {
-				close(ch)
-				delete(tc.pending, id)
-			}
-			tc.mu.Unlock()
-			_ = tc.conn.Close()
+// dies, then fails every still-pending call by closing its channel. With
+// the binary codec it first validates the server's connection preamble,
+// so a version-mismatched peer fails every call with a version error
+// rather than a decode mystery.
+func (tc *tcpConn) demux(codec wireCodec, br *bufio.Reader) {
+	if codec.handshake() {
+		var hs [handshakeLen]byte
+		if _, err := io.ReadFull(br, hs[:]); err != nil {
+			tc.fail(fmt.Errorf("connection lost before handshake: %v", err))
 			return
 		}
+		if err := checkHandshake(hs); err != nil {
+			tc.fail(err)
+			return
+		}
+	}
+	dec := codec.newDecoder(br)
+	for {
+		var reply replyEnvelope
+		n, err := dec.readReply(&reply)
+		if err != nil {
+			tc.fail(fmt.Errorf("connection lost: %v", err))
+			return
+		}
+		reply.size = n
 		tc.mu.Lock()
 		ch, ok := tc.pending[reply.ID]
 		if ok {

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// startTCP boots a server with opts and returns its address plus a cleanup.
+func startTCP(t *testing.T, h Handler, opts ...ServerOption) string {
+	t.Helper()
+	srv := NewTCPServer(h, opts...)
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+func codecTestWrite(t *testing.T) (*wire.SignedWrite, *cryptoutil.Keyring) {
+	t.Helper()
+	key := cryptoutil.DeterministicKeyPair("writer", "codec")
+	ring := cryptoutil.NewKeyring()
+	ring.MustRegister(key.ID, key.Public)
+	value := []byte("value over tcp")
+	w := &wire.SignedWrite{
+		Group: "g", Item: "x",
+		Stamp:     timestamp.Stamp{Time: 7, Writer: key.ID, Digest: cryptoutil.Digest(value)},
+		Value:     value,
+		WriterCtx: sessionctx.Vector{"x": {Time: 7, Writer: key.ID, Digest: cryptoutil.Digest(value)}},
+	}
+	w.Sign(key, nil)
+	return w, ring
+}
+
+// verifyHandler verifies every pushed write it receives, proving the
+// signature survives the binary wire format end to end.
+type verifyHandler struct {
+	ring *cryptoutil.Keyring
+}
+
+func (h *verifyHandler) ServeRequest(_ context.Context, _ string, req wire.Request) (wire.Response, error) {
+	switch r := req.(type) {
+	case wire.WriteReq:
+		if err := r.Write.Verify(h.ring, nil); err != nil {
+			return nil, err
+		}
+		return wire.Ack{}, nil
+	default:
+		return wire.Ack{}, nil
+	}
+}
+
+func TestTCPBinarySignedWriteVerifies(t *testing.T) {
+	w, ring := codecTestWrite(t)
+	addr := startTCP(t, &verifyHandler{ring: ring})
+	caller := NewTCPCaller("c", map[string]string{"srv": addr}, &metrics.Counters{})
+	defer caller.Close()
+
+	resp, err := caller.Call(context.Background(), "srv", wire.WriteReq{Write: w})
+	if err != nil {
+		t.Fatalf("signed write over binary codec: %v", err)
+	}
+	if _, ok := resp.(wire.Ack); !ok {
+		t.Fatalf("resp = %T, want Ack", resp)
+	}
+}
+
+// TestTCPGobCodecStillWorks exercises the WithGobCodec escape hatch on
+// both ends: the pre-codec wire protocol must keep working as the
+// benchmark baseline.
+func TestTCPGobCodecStillWorks(t *testing.T) {
+	wire.RegisterGob()
+	w, ring := codecTestWrite(t)
+	addr := startTCP(t, &verifyHandler{ring: ring}, WithGobCodec())
+	caller := NewTCPCaller("c", map[string]string{"srv": addr}, &metrics.Counters{}, WithGobCodec())
+	defer caller.Close()
+
+	if _, err := caller.Call(context.Background(), "srv", wire.WriteReq{Write: w}); err != nil {
+		t.Fatalf("signed write over gob codec: %v", err)
+	}
+}
+
+// TestTCPCodecMismatchRefusedAtConnect pairs a binary caller with a gob
+// server and vice versa: both must fail the first call with a loud error
+// instead of mis-decoding.
+func TestTCPCodecMismatchRefusedAtConnect(t *testing.T) {
+	wire.RegisterGob()
+	h := &echoHandler{}
+
+	t.Run("binary caller, gob server", func(t *testing.T) {
+		addr := startTCP(t, h, WithGobCodec())
+		caller := NewTCPCaller("c", map[string]string{"srv": addr}, &metrics.Counters{})
+		defer caller.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := caller.Call(ctx, "srv", wire.MetaReq{}); err == nil {
+			t.Fatal("binary caller got a reply from a gob server")
+		}
+	})
+
+	t.Run("gob caller, binary server", func(t *testing.T) {
+		addr := startTCP(t, h)
+		caller := NewTCPCaller("c", map[string]string{"srv": addr}, &metrics.Counters{}, WithGobCodec())
+		defer caller.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := caller.Call(ctx, "srv", wire.MetaReq{}); err == nil {
+			t.Fatal("gob caller got a reply from a binary server")
+		}
+	})
+}
+
+// TestTCPVersionMismatchRefused handshakes with a wrong frame version and
+// expects the server to refuse the connection (close without serving).
+func TestTCPVersionMismatchRefused(t *testing.T) {
+	addr := startTCP(t, &echoHandler{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Read the server's preamble — it must announce the real version.
+	var hs [handshakeLen]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		t.Fatalf("read server handshake: %v", err)
+	}
+	if err := checkHandshake(hs); err != nil {
+		t.Fatalf("server handshake invalid: %v", err)
+	}
+
+	// Offer a future frame version; the server must close on us.
+	bad := handshakeBytes()
+	bad[4] = wire.FrameVersion + 1
+	if _, err := conn.Write(bad[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after bad version = %v, want EOF (refused)", err)
+	}
+}
+
+// TestTCPVersionMismatchCallerError dials a fake server announcing a
+// future frame version; the caller must surface a version error, not hang
+// or mis-decode.
+func TestTCPVersionMismatchCallerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		hs := handshakeBytes()
+		hs[4] = wire.FrameVersion + 1
+		conn.Write(hs[:])
+		// Leave the conn open: the caller must fail from the handshake
+		// alone, not from EOF.
+		time.Sleep(2 * time.Second)
+		conn.Close()
+	}()
+
+	caller := NewTCPCaller("c", map[string]string{"srv": ln.Addr().String()}, &metrics.Counters{})
+	defer caller.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err = caller.Call(ctx, "srv", wire.MetaReq{})
+	if err == nil {
+		t.Fatal("call to version-mismatched server succeeded")
+	}
+	if !strings.Contains(err.Error(), "frame version") {
+		t.Fatalf("error %q does not name the frame version", err)
+	}
+}
+
+// TestTCPMalformedFramesRejected throws corrupt frames at a server; it
+// must drop the connection (an error, never a panic) and keep serving
+// healthy clients.
+func TestTCPMalformedFramesRejected(t *testing.T) {
+	addr := startTCP(t, &echoHandler{})
+
+	send := func(t *testing.T, frame []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		var hs [handshakeLen]byte
+		if _, err := io.ReadFull(br, hs[:]); err != nil {
+			t.Fatal(err)
+		}
+		good := handshakeBytes()
+		if _, err := conn.Write(good[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return // server may already have hung up; that's a rejection too
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := br.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("read after malformed frame = %v, want EOF", err)
+		}
+	}
+
+	t.Run("bad frame version byte", func(t *testing.T) {
+		send(t, []byte{wire.FrameVersion + 9, 1, 0})
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		frame := []byte{wire.FrameVersion}
+		frame = binary.AppendUvarint(frame, uint64(maxFramePayload)+1)
+		send(t, frame)
+	})
+	t.Run("garbage payload", func(t *testing.T) {
+		frame := []byte{wire.FrameVersion}
+		frame = binary.AppendUvarint(frame, 4)
+		send(t, append(frame, 0xde, 0xad, 0xbe, 0xef))
+	})
+	t.Run("truncated envelope", func(t *testing.T) {
+		frame := []byte{wire.FrameVersion}
+		frame = binary.AppendUvarint(frame, 2)
+		send(t, append(frame, 1, 0)) // ID then half an envelope
+	})
+
+	// The server must still serve a healthy client afterwards.
+	caller := NewTCPCaller("c", map[string]string{"srv": addr}, &metrics.Counters{})
+	defer caller.Close()
+	if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{}); err != nil {
+		t.Fatalf("healthy call after malformed peers: %v", err)
+	}
+}
+
+// TestTCPByteCounters checks the per-op tx/rx byte accounting on both
+// sides of a call.
+func TestTCPByteCounters(t *testing.T) {
+	srvM := &metrics.Counters{}
+	addr := startTCP(t, &echoHandler{}, WithServerCounters(srvM))
+	m := &metrics.Counters{}
+	caller := NewTCPCaller("c", map[string]string{"srv": addr}, m)
+	defer caller.Close()
+
+	const calls = 3
+	for i := 0; i < calls; i++ {
+		if _, err := caller.Call(context.Background(), "srv", wire.MetaReq{Item: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs := m.Snapshot()
+	if cs.TxBytes["meta"] <= 0 || cs.RxBytes["meta"] <= 0 {
+		t.Fatalf("caller byte counters not recorded: %+v / %+v", cs.TxBytes, cs.RxBytes)
+	}
+	ss := srvM.Snapshot()
+	if ss.RxBytes["meta"] != cs.TxBytes["meta"] {
+		t.Fatalf("server rx %d != caller tx %d", ss.RxBytes["meta"], cs.TxBytes["meta"])
+	}
+	if ss.TxBytes["meta"] != cs.RxBytes["meta"] {
+		t.Fatalf("server tx %d != caller rx %d", ss.TxBytes["meta"], cs.RxBytes["meta"])
+	}
+	if cs.BytesSent != cs.TxBytes["meta"]+cs.RxBytes["meta"] {
+		t.Fatalf("BytesSent %d != tx+rx %d", cs.BytesSent, cs.TxBytes["meta"]+cs.RxBytes["meta"])
+	}
+}

@@ -1,0 +1,653 @@
+package wire
+
+// codec.go is the hand-rolled binary wire codec: the length-prefixed
+// binary encoding that signing already used (signingBytes) promoted to the
+// single on-wire format. Every message type gets an explicit append-style
+// encoder and a bounds-checked decoder over a pooled []byte — no
+// reflection, no per-connection stream state, and no second marshal of a
+// SignedWrite: the write's canonical signing core travels verbatim inside
+// its wire encoding, so a receiver verifies the signature from the exact
+// bytes it decoded instead of re-deriving them.
+//
+// Layout conventions (DESIGN.md §7.7):
+//   - uvarint for lengths, counts and unsigned scalars
+//   - every variable-length field is preceded by its uvarint length
+//   - pointers carry a 1-byte presence flag (0 = nil, 1 = present)
+//   - a message is a 1-byte kind tag followed by its fields; decoders
+//     reject trailing bytes, unknown tags, and any truncation with
+//     ErrCodec — never a panic
+//
+// The transport prefixes each frame with FrameVersion so peers speaking a
+// different frame layout fail loudly instead of mis-decoding.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+// FrameVersion is the one-byte version tag of the binary frame layout.
+// Bump it whenever any encoding below changes shape; peers with a
+// different version refuse each other at connect instead of mis-decoding.
+const FrameVersion byte = 1
+
+// ErrCodec reports a malformed binary frame (truncated, trailing bytes,
+// unknown message kind, or an inconsistent signing core).
+var ErrCodec = errors.New("wire: malformed frame")
+
+// ErrUnknownType reports a message the binary codec has no encoding for
+// (e.g. a baseline-specific type that only the in-memory bus carries).
+var ErrUnknownType = errors.New("wire: no binary encoding for message type")
+
+// Message kind tags. The tag space is shared between requests and
+// responses so a frame mis-routed across directions still fails loudly.
+const (
+	kindContextReadReq byte = iota + 1
+	kindContextWriteReq
+	kindMetaReq
+	kindValueReq
+	kindWriteReq
+	kindLogReq
+	kindGossipPushReq
+	kindGossipPullReq
+	kindContextReadResp
+	kindAck
+	kindMetaResp
+	kindValueResp
+	kindLogResp
+	kindGossipPushResp
+	kindGossipPullResp
+)
+
+// Buffer is a pooled frame buffer. Encoders append into B; Release
+// returns the backing array to the pool. The wrapper (rather than a bare
+// []byte) keeps Get/Release allocation-free.
+type Buffer struct{ B []byte }
+
+// maxPooledBuf caps the capacity of buffers returned to the pool so one
+// giant state-transfer frame does not pin memory forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// NewBuffer returns an empty pooled buffer.
+func NewBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. The caller must not retain
+// views into b.B afterwards.
+func (b *Buffer) Release() {
+	if cap(b.B) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// Grow ensures b.B has length n (for io.ReadFull into it).
+func (b *Buffer) Grow(n int) {
+	if cap(b.B) < n {
+		b.B = make([]byte, n)
+		return
+	}
+	b.B = b.B[:n]
+}
+
+// AppendRequest appends req's binary encoding (kind tag + fields) to b.
+func AppendRequest(b []byte, req Request) ([]byte, error) {
+	switch r := req.(type) {
+	case ContextReadReq:
+		b = append(b, kindContextReadReq)
+		b = appendString(b, r.Client)
+		b = appendString(b, r.Group)
+		return appendToken(b, r.Token), nil
+	case ContextWriteReq:
+		b = append(b, kindContextWriteReq)
+		b = appendSignedCtx(b, r.Ctx)
+		return appendToken(b, r.Token), nil
+	case MetaReq:
+		b = append(b, kindMetaReq)
+		b = appendString(b, r.Client)
+		b = appendString(b, r.Group)
+		b = appendString(b, r.Item)
+		return appendToken(b, r.Token), nil
+	case ValueReq:
+		b = append(b, kindValueReq)
+		b = appendString(b, r.Client)
+		b = appendString(b, r.Group)
+		b = appendString(b, r.Item)
+		b = appendStamp(b, r.Stamp)
+		return appendToken(b, r.Token), nil
+	case WriteReq:
+		b = append(b, kindWriteReq)
+		b = appendWrite(b, r.Write)
+		return appendToken(b, r.Token), nil
+	case LogReq:
+		b = append(b, kindLogReq)
+		b = appendString(b, r.Client)
+		b = appendString(b, r.Group)
+		b = appendString(b, r.Item)
+		return appendToken(b, r.Token), nil
+	case GossipPushReq:
+		b = append(b, kindGossipPushReq)
+		b = appendString(b, r.From)
+		return appendWrites(b, r.Writes), nil
+	case GossipPullReq:
+		b = append(b, kindGossipPullReq)
+		b = appendString(b, r.From)
+		b = binary.AppendUvarint(b, r.After)
+		limit := r.Limit
+		if limit < 0 {
+			limit = 0
+		}
+		b = binary.AppendUvarint(b, uint64(limit))
+		return appendString(b, r.Cursor), nil
+	default:
+		return b, fmt.Errorf("%w: %T", ErrUnknownType, req)
+	}
+}
+
+// AppendResponse appends resp's binary encoding to b.
+func AppendResponse(b []byte, resp Response) ([]byte, error) {
+	switch r := resp.(type) {
+	case ContextReadResp:
+		b = append(b, kindContextReadResp)
+		return appendSignedCtx(b, r.Ctx), nil
+	case Ack:
+		return append(b, kindAck), nil
+	case MetaResp:
+		b = append(b, kindMetaResp)
+		b = appendBool(b, r.Has)
+		return appendStamp(b, r.Stamp), nil
+	case ValueResp:
+		b = append(b, kindValueResp)
+		return appendWrite(b, r.Write), nil
+	case LogResp:
+		b = append(b, kindLogResp)
+		return appendWrites(b, r.Writes), nil
+	case GossipPushResp:
+		b = append(b, kindGossipPushResp)
+		applied := r.Applied
+		if applied < 0 {
+			applied = 0
+		}
+		return binary.AppendUvarint(b, uint64(applied)), nil
+	case GossipPullResp:
+		b = append(b, kindGossipPullResp)
+		b = appendWrites(b, r.Writes)
+		b = binary.AppendUvarint(b, r.Seq)
+		b = binary.AppendUvarint(b, r.Epoch)
+		b = appendBool(b, r.More)
+		return appendString(b, r.Cursor), nil
+	default:
+		return b, fmt.Errorf("%w: %T", ErrUnknownType, resp)
+	}
+}
+
+// DecodeRequest parses one request from data. The whole slice must be
+// consumed; decoded messages share no memory with data.
+func DecodeRequest(data []byte) (Request, error) {
+	r := &bufReader{data: data}
+	kind, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	switch kind {
+	case kindContextReadReq:
+		var m ContextReadReq
+		m.Client = r.str()
+		m.Group = r.str()
+		m.Token = r.token()
+		req = m
+	case kindContextWriteReq:
+		var m ContextWriteReq
+		m.Ctx = r.signedCtx()
+		m.Token = r.token()
+		req = m
+	case kindMetaReq:
+		var m MetaReq
+		m.Client = r.str()
+		m.Group = r.str()
+		m.Item = r.str()
+		m.Token = r.token()
+		req = m
+	case kindValueReq:
+		var m ValueReq
+		m.Client = r.str()
+		m.Group = r.str()
+		m.Item = r.str()
+		m.Stamp = r.stamp()
+		m.Token = r.token()
+		req = m
+	case kindWriteReq:
+		var m WriteReq
+		m.Write = r.signedWrite()
+		m.Token = r.token()
+		req = m
+	case kindLogReq:
+		var m LogReq
+		m.Client = r.str()
+		m.Group = r.str()
+		m.Item = r.str()
+		m.Token = r.token()
+		req = m
+	case kindGossipPushReq:
+		var m GossipPushReq
+		m.From = r.str()
+		m.Writes = r.writes()
+		req = m
+	case kindGossipPullReq:
+		var m GossipPullReq
+		m.From = r.str()
+		m.After = r.uvarint()
+		m.Limit = int(r.uvarint())
+		m.Cursor = r.str()
+		req = m
+	default:
+		return nil, fmt.Errorf("%w: unknown request kind %d", ErrCodec, kind)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DecodeResponse parses one response from data.
+func DecodeResponse(data []byte) (Response, error) {
+	r := &bufReader{data: data}
+	kind, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	switch kind {
+	case kindContextReadResp:
+		var m ContextReadResp
+		m.Ctx = r.signedCtx()
+		resp = m
+	case kindAck:
+		resp = Ack{}
+	case kindMetaResp:
+		var m MetaResp
+		m.Has = r.bool()
+		m.Stamp = r.stamp()
+		resp = m
+	case kindValueResp:
+		var m ValueResp
+		m.Write = r.signedWrite()
+		resp = m
+	case kindLogResp:
+		var m LogResp
+		m.Writes = r.writes()
+		resp = m
+	case kindGossipPushResp:
+		var m GossipPushResp
+		m.Applied = int(r.uvarint())
+		resp = m
+	case kindGossipPullResp:
+		var m GossipPullResp
+		m.Writes = r.writes()
+		m.Seq = r.uvarint()
+		m.Epoch = r.uvarint()
+		m.More = r.bool()
+		m.Cursor = r.str()
+		resp = m
+	default:
+		return nil, fmt.Errorf("%w: unknown response kind %d", ErrCodec, kind)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- field encoders ---
+
+// appendString appends a uvarint length followed by the string bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendByteSlice appends a uvarint length followed by the raw bytes.
+func appendByteSlice(b, s []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBool appends one byte, 1 for true.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendToken appends an access token behind a presence flag.
+func appendToken(b []byte, t *accessctl.Token) []byte {
+	if t == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, t.Issuer)
+	b = appendString(b, t.Client)
+	b = appendString(b, t.Group)
+	b = binary.AppendUvarint(b, uint64(t.Rights))
+	b = binary.AppendUvarint(b, t.Serial)
+	return appendByteSlice(b, t.Sig)
+}
+
+// appendVector appends a context vector as a sorted (item, stamp) list.
+func appendVector(b []byte, v sessionctx.Vector) []byte {
+	items := v.Items()
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, item := range items {
+		b = appendString(b, item)
+		b = appendStamp(b, v[item])
+	}
+	return b
+}
+
+// appendSignedCtx appends a signed session context behind a presence flag.
+func appendSignedCtx(b []byte, c *sessionctx.Signed) []byte {
+	if c == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, c.Owner)
+	b = appendString(b, c.Group)
+	b = binary.AppendUvarint(b, c.Seq)
+	b = appendVector(b, c.Vector)
+	return appendByteSlice(b, c.Sig)
+}
+
+// appendWrite appends a signed write behind a presence flag. The encoding
+// embeds the write's canonical signing core verbatim — the exact bytes the
+// writer signed — followed by the full value and the signature, so the
+// receiver can verify the signature against the very bytes it decoded.
+func appendWrite(b []byte, w *SignedWrite) []byte {
+	if w == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	core := w.SigningBytes()
+	b = appendByteSlice(b, core)
+	b = appendByteSlice(b, w.Value)
+	return appendByteSlice(b, w.Sig)
+}
+
+// appendWrites appends a counted list of signed writes.
+func appendWrites(b []byte, ws []*SignedWrite) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ws)))
+	for _, w := range ws {
+		b = appendWrite(b, w)
+	}
+	return b
+}
+
+// --- bounds-checked decoding ---
+
+// bufReader walks a frame with a sticky error: after the first failure
+// every accessor returns a zero value, and finish() reports the error (or
+// complains about trailing bytes). Length fields are implicitly bounded by
+// the slice, so a hostile length can never trigger a huge allocation.
+type bufReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *bufReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCodec, fmt.Sprintf(format, args...))
+	}
+}
+
+// finish reports the sticky error, or trailing garbage.
+func (r *bufReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.data)-r.off)
+	}
+	return nil
+}
+
+// take returns an n-byte view of the frame (no copy).
+func (r *bufReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.data)-r.off < n {
+		r.fail("truncated: need %d bytes at offset %d", n, r.off)
+		return nil
+	}
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *bufReader) byteVal() (byte, error) {
+	v := r.take(1)
+	if r.err != nil {
+		return 0, r.err
+	}
+	return v[0], nil
+}
+
+func (r *bufReader) bool() bool {
+	v := r.take(1)
+	if r.err != nil {
+		return false
+	}
+	switch v[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool byte %d", v[0])
+		return false
+	}
+}
+
+func (r *bufReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// view returns a length-prefixed field as a view into the frame.
+func (r *bufReader) view() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("length %d exceeds remaining %d", n, len(r.data)-r.off)
+		return nil
+	}
+	return r.take(int(n))
+}
+
+// str decodes a length-prefixed string (copies).
+func (r *bufReader) str() string {
+	return string(r.view())
+}
+
+// byteSlice decodes a length-prefixed byte field (copies; empty decodes
+// to nil).
+func (r *bufReader) byteSlice() []byte {
+	v := r.view()
+	if len(v) == 0 {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+func (r *bufReader) stamp() timestamp.Stamp {
+	var s timestamp.Stamp
+	s.Time = r.uvarint()
+	s.Writer = r.str()
+	copy(s.Digest[:], r.take(32))
+	return s
+}
+
+func (r *bufReader) present() bool {
+	v := r.take(1)
+	if r.err != nil {
+		return false
+	}
+	switch v[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad presence flag %d", v[0])
+		return false
+	}
+}
+
+func (r *bufReader) token() *accessctl.Token {
+	if !r.present() {
+		return nil
+	}
+	t := &accessctl.Token{}
+	t.Issuer = r.str()
+	t.Client = r.str()
+	t.Group = r.str()
+	t.Rights = accessctl.Rights(r.uvarint())
+	t.Serial = r.uvarint()
+	t.Sig = r.byteSlice()
+	if r.err != nil {
+		return nil
+	}
+	return t
+}
+
+func (r *bufReader) vector() sessionctx.Vector {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make(sessionctx.Vector, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		item := r.str()
+		stamp := r.stamp()
+		if r.err != nil {
+			return nil
+		}
+		v[item] = stamp
+	}
+	return v
+}
+
+func (r *bufReader) signedCtx() *sessionctx.Signed {
+	if !r.present() {
+		return nil
+	}
+	c := &sessionctx.Signed{}
+	c.Owner = r.str()
+	c.Group = r.str()
+	c.Seq = r.uvarint()
+	c.Vector = r.vector()
+	c.Sig = r.byteSlice()
+	if r.err != nil {
+		return nil
+	}
+	if c.Vector == nil {
+		c.Vector = sessionctx.NewVector()
+	}
+	return c
+}
+
+// signedWrite decodes a write and primes its signing-bytes memo from the
+// received signing core: the verifier then checks the signature against
+// the exact bytes that crossed the wire, with no re-derivation. The core
+// must parse completely and consistently (magic prefix, no trailing
+// bytes), so a tampered core can never masquerade as a canonical one.
+func (r *bufReader) signedWrite() *SignedWrite {
+	if !r.present() {
+		return nil
+	}
+	core := r.view()
+	value := r.byteSlice()
+	sig := r.byteSlice()
+	if r.err != nil {
+		return nil
+	}
+
+	c := &bufReader{data: core}
+	if !bytes.HasPrefix(core, []byte(signingMagic)) {
+		r.fail("signing core lacks magic prefix")
+		return nil
+	}
+	c.off = len(signingMagic)
+	w := &SignedWrite{Value: value, Sig: sig}
+	w.Group = c.str()
+	w.Item = c.str()
+	w.Stamp = c.stamp()
+	w.WriterCtx = c.vector()
+	var digest [32]byte
+	copy(digest[:], c.take(32))
+	w.Writer = c.str()
+	if err := c.finish(); err != nil {
+		r.fail("signing core: %v", err)
+		return nil
+	}
+
+	var memoCtx sessionctx.Vector
+	if w.WriterCtx != nil {
+		memoCtx = w.WriterCtx.Clone()
+	}
+	w.memo.Store(&signingMemo{
+		raw:         append([]byte(nil), core...),
+		group:       w.Group,
+		item:        w.Item,
+		writer:      w.Writer,
+		stamp:       w.Stamp,
+		valueDigest: digest,
+		ctx:         memoCtx,
+	})
+	return w
+}
+
+func (r *bufReader) writes() []*SignedWrite {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Preallocate conservatively: each write costs at least a presence
+	// byte, so n can never honestly exceed the remaining frame bytes.
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("write count %d exceeds remaining %d bytes", n, len(r.data)-r.off)
+		return nil
+	}
+	out := make([]*SignedWrite, 0, n)
+	for i := uint64(0); i < n; i++ {
+		w := r.signedWrite()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, w)
+	}
+	return out
+}

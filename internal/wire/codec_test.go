@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"securestore/internal/accessctl"
+	"securestore/internal/cryptoutil"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+)
+
+func testToken() *accessctl.Token {
+	return &accessctl.Token{
+		Issuer: "authority", Client: "c", Group: "g",
+		Rights: accessctl.ReadWrite, Serial: 42, Sig: []byte("tok-sig"),
+	}
+}
+
+func testSignedCtx() *sessionctx.Signed {
+	return &sessionctx.Signed{
+		Owner: "c", Group: "g", Seq: 9,
+		Vector: sessionctx.Vector{
+			"x": {Time: 7, Writer: "w"},
+			"y": {Time: 3},
+		},
+		Sig: []byte("ctx-sig"),
+	}
+}
+
+// allRequests returns one populated instance of every request type.
+func allRequests(t *testing.T) []Request {
+	t.Helper()
+	key, _ := testRing(t)
+	w := signedWrite(t, key, true)
+	return []Request{
+		ContextReadReq{Client: "c", Group: "g", Token: testToken()},
+		ContextReadReq{Client: "c", Group: "g"},
+		ContextWriteReq{Ctx: testSignedCtx(), Token: testToken()},
+		ContextWriteReq{},
+		MetaReq{Client: "c", Group: "g", Item: "x", Token: testToken()},
+		ValueReq{Client: "c", Group: "g", Item: "x", Stamp: w.Stamp, Token: testToken()},
+		WriteReq{Write: w, Token: testToken()},
+		WriteReq{},
+		LogReq{Client: "c", Group: "g", Item: "x", Token: testToken()},
+		GossipPushReq{From: "s00", Writes: []*SignedWrite{w, w}},
+		GossipPushReq{From: "s00"},
+		GossipPullReq{From: "s01", After: 77, Limit: 256, Cursor: "g\x00item"},
+		GossipPullReq{From: "s01"},
+	}
+}
+
+// allResponses returns one populated instance of every response type.
+func allResponses(t *testing.T) []Response {
+	t.Helper()
+	key, _ := testRing(t)
+	w := signedWrite(t, key, true)
+	return []Response{
+		ContextReadResp{Ctx: testSignedCtx()},
+		ContextReadResp{},
+		Ack{},
+		MetaResp{Has: true, Stamp: w.Stamp},
+		MetaResp{},
+		ValueResp{Write: w},
+		ValueResp{},
+		LogResp{Writes: []*SignedWrite{w}},
+		LogResp{},
+		GossipPushResp{Applied: 3},
+		GossipPullResp{Writes: []*SignedWrite{w}, Seq: 9, Epoch: 2, More: true, Cursor: "g\x00item"},
+		GossipPullResp{},
+	}
+}
+
+// TestBinaryRoundTripAllMessages re-encodes every decoded message and
+// requires byte identity: the encoding is canonical, so a second pass over
+// a decoded value must reproduce the frame exactly.
+func TestBinaryRoundTripAllMessages(t *testing.T) {
+	for _, req := range allRequests(t) {
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("encode %T: %v", req, err)
+		}
+		dec, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("decode %T: %v", req, err)
+		}
+		enc2, err := AppendRequest(nil, dec)
+		if err != nil {
+			t.Fatalf("re-encode %T: %v", dec, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%T: decode/encode not canonical\n first: %x\nsecond: %x", req, enc, enc2)
+		}
+	}
+	for _, resp := range allResponses(t) {
+		enc, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("encode %T: %v", resp, err)
+		}
+		dec, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("decode %T: %v", resp, err)
+		}
+		enc2, err := AppendResponse(nil, dec)
+		if err != nil {
+			t.Fatalf("re-encode %T: %v", dec, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("%T: decode/encode not canonical", resp)
+		}
+	}
+}
+
+// TestBinaryPreservesSignedWrite checks the tentpole property end to end:
+// a decoded write verifies against the received bytes (the memo is primed
+// from the wire's signing core, no re-derivation), and tampering with any
+// part of the frame still fails verification.
+func TestBinaryPreservesSignedWrite(t *testing.T) {
+	key, ring := testRing(t)
+	for _, multi := range []bool{false, true} {
+		w := signedWrite(t, key, multi)
+		enc, err := AppendRequest(nil, WriteReq{Write: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, ok := dec.(WriteReq)
+		if !ok {
+			t.Fatalf("decoded %T, want WriteReq", dec)
+		}
+		if err := wr.Write.Verify(ring, nil); err != nil {
+			t.Fatalf("multi=%v verify after binary decode: %v", multi, err)
+		}
+		if !bytes.Equal(wr.Write.Value, w.Value) || wr.Write.Item != w.Item || wr.Write.Stamp != w.Stamp {
+			t.Fatal("decoded write fields differ")
+		}
+		if multi && !wr.Write.WriterCtx.Equal(w.WriterCtx) {
+			t.Fatal("decoded writer context differs")
+		}
+	}
+}
+
+// TestBinaryRejectsTamperedWrite flips each byte of an encoded WriteReq in
+// turn; no mutation that changes what the write SAYS (group, item, stamp,
+// context, value, writer) may decode and still verify — priming the
+// signing memo from wire bytes must never let a tampered write pass. Flips
+// that leave every semantic field intact (e.g. in the core's redundant
+// value-digest, which Verify recomputes from the value anyway) may verify:
+// the accepted write is identical to what was signed.
+func TestBinaryRejectsTamperedWrite(t *testing.T) {
+	key, ring := testRing(t)
+	w := signedWrite(t, key, true)
+	enc, err := AppendRequest(nil, WriteReq{Write: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(g *SignedWrite) bool {
+		return g.Group == w.Group && g.Item == w.Item && g.Writer == w.Writer &&
+			g.Stamp == w.Stamp && bytes.Equal(g.Value, w.Value) && g.WriterCtx.Equal(w.WriterCtx)
+	}
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xff
+		dec, err := DecodeRequest(mut)
+		if err != nil {
+			continue // malformed: rejected at decode, fine
+		}
+		wr, ok := dec.(WriteReq)
+		if !ok || wr.Write == nil {
+			continue // mutated into a different (valid) shape, fine
+		}
+		if err := wr.Write.Verify(ring, nil); err == nil && !same(wr.Write) {
+			t.Fatalf("byte %d flipped: semantically tampered write decoded AND verified", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	key, _ := testRing(t)
+	w := signedWrite(t, key, true)
+	valid, err := AppendRequest(nil, WriteReq{Write: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown kind":   {0xee, 1, 2, 3},
+		"trailing bytes": append(append([]byte(nil), valid...), 0x00),
+		"truncated":      valid[:len(valid)/2],
+		"bad presence":   {kindWriteReq, 7},
+	}
+	for name, frame := range cases {
+		if _, err := DecodeRequest(frame); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: DecodeRequest = %v, want ErrCodec", name, err)
+		}
+	}
+	if _, err := DecodeResponse([]byte{0xee}); !errors.Is(err, ErrCodec) {
+		t.Errorf("unknown response kind: %v, want ErrCodec", err)
+	}
+}
+
+// TestDecodeEveryTruncation checks that no prefix of a valid frame decodes
+// (the format is self-delimiting) and none panics.
+func TestDecodeEveryTruncation(t *testing.T) {
+	key, _ := testRing(t)
+	w := signedWrite(t, key, true)
+	for _, req := range []Request{
+		WriteReq{Write: w, Token: testToken()},
+		GossipPushReq{From: "s", Writes: []*SignedWrite{w}},
+		ContextWriteReq{Ctx: testSignedCtx()},
+	} {
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(enc); n++ {
+			if _, err := DecodeRequest(enc[:n]); err == nil {
+				t.Fatalf("%T: %d-byte prefix of %d-byte frame decoded", req, n, len(enc))
+			}
+		}
+	}
+}
+
+// TestAppendRejectsUnknownType covers the baseline message types that only
+// the in-memory bus carries: the binary codec must refuse them loudly.
+func TestAppendRejectsUnknownType(t *testing.T) {
+	type fakeReq struct{ Request }
+	type fakeResp struct{ Response }
+	if _, err := AppendRequest(nil, fakeReq{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("AppendRequest(unknown) = %v, want ErrUnknownType", err)
+	}
+	if _, err := AppendResponse(nil, fakeResp{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("AppendResponse(unknown) = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestBufferPool(t *testing.T) {
+	b := NewBuffer()
+	if len(b.B) != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	b.B = append(b.B, make([]byte, 100)...)
+	b.Release()
+	b2 := NewBuffer()
+	if len(b2.B) != 0 {
+		t.Fatal("recycled buffer not reset")
+	}
+	b2.Grow(64)
+	if len(b2.B) != 64 {
+		t.Fatal("Grow did not size the buffer")
+	}
+	b2.Release()
+}
+
+// corpusFrames builds the fuzz seed corpus: valid frames for every
+// message type plus systematically damaged variants.
+func corpusFrames(t interface{ Helper() }) [][]byte {
+	key := cryptoutil.DeterministicKeyPair("writer", "s")
+	value := []byte("the value")
+	w := &SignedWrite{
+		Group: "g", Item: "x",
+		Stamp: timestamp.Stamp{Time: 7, Writer: key.ID, Digest: cryptoutil.Digest(value)},
+		Value: value,
+		WriterCtx: sessionctx.Vector{
+			"x": {Time: 7, Writer: key.ID, Digest: cryptoutil.Digest(value)},
+			"y": {Time: 3},
+		},
+	}
+	w.Sign(key, nil)
+
+	var frames [][]byte
+	add := func(b []byte, err error) {
+		if err == nil {
+			frames = append(frames, b)
+		}
+	}
+	add(AppendRequest(nil, ContextReadReq{Client: "c", Group: "g", Token: testToken()}))
+	add(AppendRequest(nil, ContextWriteReq{Ctx: testSignedCtx()}))
+	add(AppendRequest(nil, MetaReq{Client: "c", Group: "g", Item: "x"}))
+	add(AppendRequest(nil, ValueReq{Client: "c", Group: "g", Item: "x", Stamp: w.Stamp}))
+	add(AppendRequest(nil, WriteReq{Write: w}))
+	add(AppendRequest(nil, LogReq{Client: "c", Group: "g", Item: "x"}))
+	add(AppendRequest(nil, GossipPushReq{From: "s", Writes: []*SignedWrite{w}}))
+	add(AppendRequest(nil, GossipPullReq{From: "s", After: 7, Limit: 256, Cursor: "g\x00x"}))
+	add(AppendResponse(nil, ContextReadResp{Ctx: testSignedCtx()}))
+	add(AppendResponse(nil, Ack{}))
+	add(AppendResponse(nil, MetaResp{Has: true, Stamp: w.Stamp}))
+	add(AppendResponse(nil, ValueResp{Write: w}))
+	add(AppendResponse(nil, LogResp{Writes: []*SignedWrite{w}}))
+	add(AppendResponse(nil, GossipPushResp{Applied: 3}))
+	add(AppendResponse(nil, GossipPullResp{Writes: []*SignedWrite{w}, Seq: 9, More: true, Cursor: "g\x00x"}))
+
+	damaged := make([][]byte, 0, 4*len(frames))
+	for _, f := range frames {
+		damaged = append(damaged, f[:len(f)/2]) // truncated
+		flip := append([]byte(nil), f...)
+		flip[len(flip)/3] ^= 0x40 // bit-flipped
+		damaged = append(damaged, flip)
+		damaged = append(damaged, append(append([]byte(nil), f...), 0xff)) // trailing byte
+	}
+	damaged = append(damaged,
+		[]byte{},
+		[]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // huge uvarint
+	)
+	return append(frames, damaged...)
+}
+
+// FuzzDecodeRequest asserts decode never panics, and that anything that
+// does decode normalizes: its re-encoding must decode again and re-encode
+// to identical bytes. (Byte identity with the input is NOT required —
+// e.g. non-minimal uvarints decode to values that re-encode minimally.)
+func FuzzDecodeRequest(f *testing.F) {
+	for _, frame := range corpusFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", req, err)
+		}
+		req2, err := DecodeRequest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", req, err)
+		}
+		enc2, err := AppendRequest(nil, req2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode/encode not idempotent for %T (err %v)", req, err)
+		}
+	})
+}
+
+// FuzzDecodeResponse is FuzzDecodeRequest for the response direction.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, frame := range corpusFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendResponse(nil, resp)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", resp, err)
+		}
+		resp2, err := DecodeResponse(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", resp, err)
+		}
+		enc2, err := AppendResponse(nil, resp2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("decode/encode not idempotent for %T (err %v)", resp, err)
+		}
+	})
+}

@@ -321,6 +321,13 @@ type GossipPushResp struct {
 	Applied int
 }
 
+// DefaultGossipBatch is the default cap on signed writes per gossip
+// frame: pushes are chunked and pull replies paged to at most this many
+// writes, so a cold replica catching up on a large backlog exchanges a
+// sequence of bounded frames instead of materializing the whole log in
+// one.
+const DefaultGossipBatch = 256
+
 // GossipPullReq asks a peer for the updates it accepted after the
 // caller's high-water mark into the peer's update log — pull
 // anti-entropy, the complement of push in epidemic replication (the
@@ -330,19 +337,40 @@ type GossipPullReq struct {
 	From string
 	// After is the caller's last seen sequence number in the peer's log.
 	After uint64
+	// Limit caps the number of writes in the reply (0 means the server's
+	// default, DefaultGossipBatch). The server may return fewer and sets
+	// More when updates remain past the reply.
+	Limit int
+	// Cursor resumes a paged state transfer: when the caller is behind
+	// the peer's retained log tail, the peer sends its item heads in
+	// pages keyed by an opaque cursor the caller echoes back verbatim.
+	// Empty starts from the beginning.
+	Cursor string
 }
 
 // GossipPullResp returns the requested updates and the peer's current
 // sequence number (the caller's next high-water mark).
 type GossipPullResp struct {
 	Writes []*SignedWrite
-	Seq    uint64
+	// Seq is the sequence mark this reply covers. For an in-window page it
+	// is the sequence of the last returned entry (the caller's next After);
+	// for a state-transfer page it is the peer's head sequence when the
+	// page was cut, which the caller adopts only once the transfer
+	// completes.
+	Seq uint64
 	// Epoch identifies the server's in-memory incarnation. A crashed and
 	// restarted replica rebuilds its update log from its WAL, so its
 	// sequence numbers no longer align with what peers pulled before the
 	// crash; a changed epoch tells the puller to discard its high-water
 	// mark and resynchronize from zero.
 	Epoch uint64
+	// More reports that updates remain past this page; the caller should
+	// pull again (echoing Cursor when set) before trusting Seq as caught
+	// up.
+	More bool
+	// Cursor, when non-empty, continues a paged state transfer: echo it in
+	// the next request's Cursor field.
+	Cursor string
 }
 
 func (ContextReadReq) WireRequest()   {}
