@@ -1,0 +1,119 @@
+// Command benchcat concatenates the per-PR benchmark recordings
+// (BENCH_PR<k>.json, each a JSON array of benchtab tables) into one
+// trajectory document, so the repository's performance history reads as a
+// single artifact instead of a pile of files. Entries are ordered by PR
+// number; each carries its source file and the tables it recorded.
+//
+// Usage:
+//
+//	benchcat [-o trajectory.json] [file ...]
+//
+// With no file arguments, benchcat globs BENCH_*.json in the current
+// directory. With -o empty (the default) the trajectory is written to
+// stdout. scripts/bench_trajectory.sh wraps this for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"securestore/internal/bench"
+)
+
+// entry is one recording in the trajectory.
+type entry struct {
+	// Source is the file the tables came from (basename).
+	Source string `json:"source"`
+	// PR is the PR number parsed from the filename (0 when unparseable;
+	// such entries sort after numbered ones, in name order).
+	PR int `json:"pr,omitempty"`
+	// Tables are the file's benchtab tables, verbatim.
+	Tables []bench.Table `json:"tables"`
+}
+
+// trajectory is the combined output document.
+type trajectory struct {
+	// Experiments lists every distinct table ID seen, sorted.
+	Experiments []string `json:"experiments"`
+	Entries     []entry  `json:"entries"`
+}
+
+var prPattern = regexp.MustCompile(`(?i)PR(\d+)`)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchcat", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (empty: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json files found (pass files explicitly)")
+	}
+
+	var traj trajectory
+	seen := make(map[string]bool)
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var tables []bench.Table
+		if err := json.Unmarshal(raw, &tables); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		e := entry{Source: filepath.Base(path), Tables: tables}
+		if m := prPattern.FindStringSubmatch(e.Source); m != nil {
+			e.PR, _ = strconv.Atoi(m[1])
+		}
+		for _, t := range tables {
+			if !seen[t.ID] {
+				seen[t.ID] = true
+				traj.Experiments = append(traj.Experiments, t.ID)
+			}
+		}
+		traj.Entries = append(traj.Entries, e)
+	}
+	sort.Strings(traj.Experiments)
+	sort.SliceStable(traj.Entries, func(i, j int) bool {
+		a, b := traj.Entries[i], traj.Entries[j]
+		if (a.PR == 0) != (b.PR == 0) {
+			return b.PR == 0
+		}
+		if a.PR != b.PR {
+			return a.PR < b.PR
+		}
+		return a.Source < b.Source
+	})
+
+	enc, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}

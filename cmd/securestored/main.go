@@ -66,6 +66,7 @@ func run(args []string) error {
 		dataDir    = fs.String("data", "", "directory for durable replica state (empty: in-memory only)")
 		debugAddr  = fs.String("debug-addr", "", "HTTP address for /metrics, /traces and /healthz (empty: disabled)")
 		traceLog   = fs.String("trace-log", "", "append completed spans to this JSON-lines file (empty: disabled)")
+		shardTable = fs.String("shard-table", "", "JSON shard-table file overriding the config's \"shards\" field (empty: use the config)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +75,7 @@ func run(args []string) error {
 		return fmt.Errorf("-config and -name are required")
 	}
 
-	bound, debugBound, shutdown, err := startReplica(*configPath, *name, *dataDir, *debugAddr, *traceLog)
+	bound, debugBound, shutdown, err := startReplica(*configPath, *name, *dataDir, *debugAddr, *traceLog, *shardTable)
 	if err != nil {
 		return err
 	}
@@ -97,14 +98,29 @@ func run(args []string) error {
 // gossip, and — when debugAddr is non-empty — serve the debug HTTP
 // endpoint. It returns the bound replica address, the bound debug address
 // (empty when disabled), and a shutdown function.
-func startReplica(configPath, name, dataDir, debugAddr, traceLog string) (string, string, func(), error) {
+func startReplica(configPath, name, dataDir, debugAddr, traceLog, shardTable string) (string, string, func(), error) {
 	cfg, err := deploy.Load(configPath)
 	if err != nil {
 		return "", "", nil, err
 	}
+	if shardTable != "" {
+		if err := cfg.OverlayShards(shardTable); err != nil {
+			return "", "", nil, err
+		}
+	}
 	addr, ok := cfg.Servers[name]
 	if !ok {
 		return "", "", nil, fmt.Errorf("server %q not in config", name)
+	}
+	// The shard label rides on securestore_info so an operator can tell at
+	// a glance which replica group a scraped process belongs to.
+	shardLabel := ""
+	if table := cfg.Table(nil); table != nil {
+		idx, err := table.ShardOfServer(name)
+		if err != nil {
+			return "", "", nil, err
+		}
+		shardLabel = table.Shards[idx].Name
 	}
 
 	// The replica is always instrumented: tracing costs well under 3% of
@@ -152,7 +168,13 @@ func startReplica(configPath, name, dataDir, debugAddr, traceLog string) (string
 				}
 				return nil
 			},
-			Info: map[string]string{"server": name, "addr": bound},
+			Info: func() map[string]string {
+				info := map[string]string{"server": name, "addr": bound}
+				if shardLabel != "" {
+					info["shard"] = shardLabel
+				}
+				return info
+			}(),
 		})
 		ln, err := net.Listen("tcp", debugAddr)
 		if err != nil {

@@ -51,7 +51,7 @@ func TestStartReplicaServesAndShutsDown(t *testing.T) {
 	var shutdowns []func()
 	var debugBounds []string
 	for _, name := range cfg.ServerNames() {
-		bound, debugBound, shutdown, err := startReplica(config, name, "", "127.0.0.1:0", "")
+		bound, debugBound, shutdown, err := startReplica(config, name, "", "127.0.0.1:0", "", "")
 		if err != nil {
 			t.Fatalf("start %s: %v", name, err)
 		}
@@ -119,13 +119,13 @@ func TestStartReplicaServesAndShutsDown(t *testing.T) {
 
 func TestStartReplicaValidation(t *testing.T) {
 	config := writeTestConfig(t)
-	if _, _, _, err := startReplica(config, "ghost", "", "", ""); err == nil {
+	if _, _, _, err := startReplica(config, "ghost", "", "", "", ""); err == nil {
 		t.Fatal("unknown replica name accepted")
 	}
-	if _, _, _, err := startReplica(filepath.Join(t.TempDir(), "missing.json"), "s00", "", "", ""); err == nil {
+	if _, _, _, err := startReplica(filepath.Join(t.TempDir(), "missing.json"), "s00", "", "", "", ""); err == nil {
 		t.Fatal("missing config accepted")
 	}
-	if _, _, _, err := startReplica(config, "s00", "", "256.0.0.1:bogus", ""); err == nil {
+	if _, _, _, err := startReplica(config, "s00", "", "256.0.0.1:bogus", "", ""); err == nil {
 		t.Fatal("invalid debug address accepted")
 	}
 }
@@ -143,7 +143,7 @@ func TestStartReplicaTraceLog(t *testing.T) {
 		if name == "s00" {
 			tl = logPath
 		}
-		_, _, shutdown, err := startReplica(config, name, "", "", tl)
+		_, _, shutdown, err := startReplica(config, name, "", "", tl, "")
 		if err != nil {
 			t.Fatalf("start %s: %v", name, err)
 		}

@@ -310,6 +310,7 @@ func All() []Experiment {
 		{"t2", "transport: verified-signature cache savings", T2VerifyCache},
 		{"t3", "replica concurrency: coarse vs fine-grained locking", T3ReplicaConcurrency},
 		{"t4", "wire codec: binary vs gob round trips + saturation", T4CodecComparison},
+		{"t5", "sharding: multi-group scaling + hot-key skew", T5ShardScaling},
 		{"obs", "observability: instrumentation overhead + latency percentiles", O1ObsOverhead},
 		{"chaos", "chaos soak: composed faults vs checker verdict", ChaosSoak},
 	}

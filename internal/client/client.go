@@ -28,6 +28,7 @@ import (
 	"securestore/internal/metrics"
 	"securestore/internal/quorum"
 	"securestore/internal/sessionctx"
+	"securestore/internal/sharding"
 	"securestore/internal/timestamp"
 	"securestore/internal/trace"
 	"securestore/internal/transport"
@@ -56,10 +57,26 @@ type Config struct {
 	Key cryptoutil.KeyPair
 	// Ring holds all well-known public keys.
 	Ring *cryptoutil.Keyring
-	// Servers lists the replica names S_1..S_n.
+	// Servers lists the replica names S_1..S_n. Ignored when Table is set
+	// (each shard's server list then comes from the table).
 	Servers []string
-	// B is the assumed bound on faulty servers.
+	// B is the assumed bound on faulty servers, per replica group.
 	B int
+	// Table, when non-nil, shards the keyspace across independent replica
+	// groups: every item operation resolves the item to its group through
+	// the placement function and runs the ordinary quorum protocol against
+	// that group's servers only (single-shard operations stay one round
+	// trip). Context operations route by the client's own id, so a
+	// session's stored context has a deterministic home shard across
+	// sessions. The table's signature, when present, is verified against
+	// Ring at construction.
+	Table *sharding.Table
+	// Router overrides the item→shard placement function (e.g. the range
+	// variant, sharding.NewRangeMap). Nil selects the table's default
+	// rendezvous hash. Ignored without Table. The router must agree with
+	// the Owns predicate the servers enforce, or every misrouted request
+	// fails with wire.ErrWrongShard.
+	Router sharding.Map
 	// Group is the related group of data items this session accesses.
 	Group string
 	// Consistency is the group's consistency level (fixed at creation).
@@ -153,7 +170,13 @@ func (c *Config) withDefaults() Config {
 // race-free.
 type Client struct {
 	cfg Config
-	n   int
+
+	// shards holds one quorum view per replica group; router places items
+	// into it. Unsharded clients have exactly one view (cfg.Servers) and a
+	// nil router. home is the view holding this client's session context.
+	shards []shardView
+	router sharding.Map
+	home   shardView
 
 	mu        sync.Mutex // guards ctxVec, seq, clock, connected, cfg.DataKey
 	ctxVec    sessionctx.Vector
@@ -161,27 +184,107 @@ type Client struct {
 	clock     timestamp.Clock
 	connected bool
 
+	// crossMu serializes cross-shard CC writes (see Write): once a CC
+	// session's context spans groups, its writes carry causal
+	// dependencies no single shard can gate, so the client orders them
+	// itself — the client-side analogue of the server's mw gate.
+	crossMu sync.Mutex
+
 	rngMu sync.Mutex // guards rng (retry-backoff jitter)
 	rng   *rand.Rand
+}
+
+// shardView is one replica group as the quorum engines see it.
+type shardView struct {
+	name    string
+	servers []string
+	n       int
 }
 
 // New validates the configuration and creates a (not yet connected)
 // client.
 func New(cfg Config) (*Client, error) {
 	c := cfg.withDefaults()
-	if err := quorum.Validate(len(c.Servers), c.B); err != nil {
-		return nil, err
-	}
 	if c.Caller == nil {
 		return nil, errors.New("client: caller required")
 	}
-	return &Client{
+	cl := &Client{
 		cfg:    c,
-		n:      len(c.Servers),
 		ctxVec: sessionctx.NewVector(),
 		clock:  timestamp.Clock{Obfuscate: c.ObfuscateTimestamps},
 		rng:    newRetryRNG(c.ID),
-	}, nil
+	}
+	if c.Table != nil {
+		if err := c.Table.Validate(c.B); err != nil {
+			return nil, err
+		}
+		// A signed table is verified once here; every subsequent placement
+		// is a pure hash over authenticated topology.
+		if err := c.Table.Verify(c.Ring, c.Metrics); err != nil {
+			return nil, err
+		}
+		cl.router = c.Router
+		if cl.router == nil {
+			cl.router = c.Table
+		}
+		for _, s := range c.Table.Shards {
+			cl.shards = append(cl.shards, shardView{name: s.Name, servers: s.Servers, n: len(s.Servers)})
+		}
+		cl.home = cl.shards[cl.router.Place(c.ID)]
+	} else {
+		if err := quorum.Validate(len(c.Servers), c.B); err != nil {
+			return nil, err
+		}
+		cl.shards = []shardView{{servers: c.Servers, n: len(c.Servers)}}
+		cl.home = cl.shards[0]
+	}
+	return cl, nil
+}
+
+// sharded reports whether the client routes over more than one group.
+func (c *Client) sharded() bool { return c.router != nil }
+
+// shardFor resolves an item to its replica group's quorum view. The
+// per-shard routing counter mirrors the servers' securestore_shard_ops
+// accounting from the client's side of the split.
+func (c *Client) shardFor(item string) shardView {
+	if !c.sharded() {
+		return c.shards[0]
+	}
+	sv := c.shards[c.router.Place(item)]
+	c.cfg.Metrics.AddShardOp(sv.name)
+	return sv
+}
+
+// homeShard returns the quorum view holding the client's stored context,
+// with the same per-shard accounting as shardFor.
+func (c *Client) homeShard() shardView {
+	if c.sharded() {
+		c.cfg.Metrics.AddShardOp(c.home.name)
+	}
+	return c.home
+}
+
+// crossShardWrite reports whether w's embedded context names a causal
+// predecessor living on a shard other than sv — the one case where the
+// target group's servers cannot gate the write's causal order themselves
+// (they never see the foreign item arrive). Write serializes such writes
+// through crossMu.
+func (c *Client) crossShardWrite(sv shardView, w *wire.SignedWrite) bool {
+	if !c.sharded() || w.WriterCtx == nil {
+		return false
+	}
+	for item := range w.WriterCtx {
+		if item == w.Item {
+			continue
+		}
+		// Place directly (no shardFor) so gate checks do not inflate the
+		// per-shard routing counters.
+		if c.shards[c.router.Place(item)].name != sv.name {
+			return true
+		}
+	}
+	return false
 }
 
 // ID returns the client's principal name.
@@ -220,8 +323,9 @@ func (c *Client) Connect(ctx context.Context) (err error) {
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 
-	need := quorum.ContextQuorum(c.n, c.cfg.B)
-	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+	sv := c.homeShard()
+	need := quorum.ContextQuorum(sv.n, c.cfg.B)
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, sv.servers, func(string) wire.Request {
 		return wire.ContextReadReq{Client: c.cfg.ID, Group: c.cfg.Group, Token: c.cfg.Token}
 	}, need)
 	if err != nil {
@@ -292,8 +396,9 @@ func (c *Client) Disconnect(ctx context.Context) (err error) {
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 
-	need := quorum.ContextQuorum(c.n, c.cfg.B)
-	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+	sv := c.homeShard()
+	need := quorum.ContextQuorum(sv.n, c.cfg.B)
+	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, sv.servers, func(string) wire.Request {
 		return wire.ContextWriteReq{Ctx: signed, Token: c.cfg.Token}
 	}, need); err != nil {
 		return fmt.Errorf("disconnect: %w", err)
@@ -323,9 +428,12 @@ func (c *Client) ReconstructContext(ctx context.Context, items []string) (err er
 	err = c.forEachItem(ctx, items, func(ctx context.Context, item string) error {
 		opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 		defer cancel()
-		replies, err := quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+		// Each item is reconstructed from all servers of its own shard:
+		// "all" in the paper's n-server sense is per replica group here.
+		sv := c.shardFor(item)
+		replies, err := quorum.GatherAll(opCtx, c.cfg.Caller, sv.servers, func(string) wire.Request {
 			return wire.ValueReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
-		}, c.n-c.cfg.B)
+		}, sv.n-c.cfg.B)
 		if err != nil {
 			return fmt.Errorf("reconstruct context: item %s: %w", item, err)
 		}

@@ -8,6 +8,7 @@ import (
 	"securestore/internal/accessctl"
 	"securestore/internal/cryptoutil"
 	"securestore/internal/quorum"
+	"securestore/internal/wire"
 )
 
 // Error classification: a failed read attempt is either *retryable* — a
@@ -24,10 +25,17 @@ import (
 //     or ring entry): deterministic, retries reproduce it;
 //   - proven writer equivocation: the cryptographic proof does not expire,
 //     and the paper's remedy is informing the client, not retrying.
+//   - wrong-shard rejection by more than b servers of one group: topology
+//     is static for the life of the client's table, so a misrouted item
+//     (a stale or mismatched shard table, or a Router that disagrees with
+//     the servers' Owns predicate) stays misrouted on every retry.
 
 // permanentReadError reports whether err can never be fixed by retrying.
 func (c *Client) permanentReadError(err error) bool {
 	if errors.Is(err, ErrEquivocation) || errors.Is(err, cryptoutil.ErrBadSignature) {
+		return true
+	}
+	if c.wrongShard(err) {
 		return true
 	}
 	var ge *quorum.GatherError
@@ -38,6 +46,30 @@ func (c *Client) permanentReadError(err error) bool {
 		return ge.CountCause(accessctl.ErrUnauthorized) > c.cfg.B
 	}
 	return errors.Is(err, accessctl.ErrUnauthorized)
+}
+
+// wrongShard reports whether err proves the request reached a replica
+// group that does not own the item. Over the TCP transport server errors
+// arrive flattened to strings, so detection goes through
+// wire.IsWrongShard (which matches the in-band [EWRONGSHARD] token as
+// well as the typed error). Inside a quorum gather the rejection is
+// trusted only when more than b servers report it — b or fewer could all
+// be Byzantine lies; a bare (non-gather) error is taken at face value.
+func (c *Client) wrongShard(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ge *quorum.GatherError
+	if errors.As(err, &ge) {
+		rejections := 0
+		for _, e := range ge.Errs {
+			if wire.IsWrongShard(e) {
+				rejections++
+			}
+		}
+		return rejections > c.cfg.B
+	}
+	return wire.IsWrongShard(err)
 }
 
 // retryDelay computes the pause before retry number attempt (0-based):

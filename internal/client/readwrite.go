@@ -54,12 +54,30 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (_ timest
 	c.mu.Unlock()
 	w.Sign(c.cfg.Key, c.cfg.Metrics)
 
+	sv := c.shardFor(item)
+	if c.crossShardWrite(sv, w) {
+		// The write's context names predecessors on other shards, which
+		// the target group can never gate on (its servers never see those
+		// items). The client serializes such writes itself — the analogue
+		// of the server-side mw gate — so two cross-shard CC writes from
+		// this session cannot land out of causal order. The gate is held
+		// through the context update below (released by the deferred
+		// unlock), keeping "stamp issued → quorum stored → context raised"
+		// atomic against the session's other cross-shard writes.
+		c.crossMu.Lock()
+		defer c.crossMu.Unlock()
+		c.cfg.Metrics.AddCustom("write.crossshard.gated", 1)
+	}
+
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 	need := quorum.WriteSet(c.cfg.B)
-	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+	if _, err := quorum.GatherStaged(opCtx, c.cfg.Caller, sv.servers, func(string) wire.Request {
 		return wire.WriteReq{Write: w, Token: c.cfg.Token}
 	}, need); err != nil {
+		if c.wrongShard(err) {
+			c.cfg.Metrics.AddRoutingMismatch()
+		}
 		// The attempted stamp is returned alongside the error: the write
 		// may have landed on some servers before the quorum failed, and a
 		// history recorder (internal/chaos) must know which stamp a later
@@ -110,6 +128,9 @@ func (c *Client) Read(ctx context.Context, item string) (_ []byte, _ timestamp.S
 			break
 		}
 		if c.permanentReadError(err) {
+			if c.wrongShard(err) {
+				c.cfg.Metrics.AddRoutingMismatch()
+			}
 			c.cfg.Metrics.AddCustom("read.permanent", 1)
 			return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
 		}
@@ -164,21 +185,23 @@ func (c *Client) readSingleWriter(ctx context.Context, item string) (*wire.Signe
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 
+	sv := c.shardFor(item)
 	metaReq := func(string) wire.Request {
 		return wire.MetaReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
 	}
 
 	// Phase one: b+1 servers first.
 	need := c.cfg.B + 1
-	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, metaReq, need)
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, sv.servers, metaReq, need)
 	if err != nil {
 		return nil, err
 	}
 	candidates := freshCandidates(replies, floor)
 	if len(candidates) == 0 {
-		// "contact additional servers": widen phase one to every server.
+		// "contact additional servers": widen phase one to every server of
+		// the item's shard (other groups never hold a copy).
 		c.cfg.Metrics.AddCustom("read.widened", 1)
-		replies, err = quorum.GatherAll(opCtx, c.cfg.Caller, c.cfg.Servers, metaReq, c.n-c.cfg.B)
+		replies, err = quorum.GatherAll(opCtx, c.cfg.Caller, sv.servers, metaReq, sv.n-c.cfg.B)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +254,7 @@ func (c *Client) readEager(ctx context.Context, item string) (*wire.SignedWrite,
 	opCtx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
 
-	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.shardFor(item).servers, func(string) wire.Request {
 		return wire.ValueReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
 	}, c.cfg.B+1)
 	if err != nil {
@@ -305,7 +328,7 @@ func (c *Client) readMultiWriter(ctx context.Context, item string) (*wire.Signed
 	defer cancel()
 
 	need := quorum.MultiReadSet(c.cfg.B)
-	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.cfg.Servers, func(string) wire.Request {
+	replies, err := quorum.GatherStaged(opCtx, c.cfg.Caller, c.shardFor(item).servers, func(string) wire.Request {
 		return wire.LogReq{Client: c.cfg.ID, Group: c.cfg.Group, Item: item, Token: c.cfg.Token}
 	}, need)
 	if err != nil {

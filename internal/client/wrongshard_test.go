@@ -1,0 +1,152 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/server"
+	"securestore/internal/sharding"
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// shardedRig builds groups × n replicas behind one bus, each enforcing
+// ownership from a shared shard table.
+func shardedRig(t *testing.T, groups, n int) (*rig, *sharding.Table) {
+	t.Helper()
+	r := &rig{
+		bus:  transport.NewBus(nil),
+		ring: cryptoutil.NewKeyring(),
+	}
+	table := &sharding.Table{Version: 1}
+	for g := 0; g < groups; g++ {
+		shard := sharding.Shard{Name: fmt.Sprintf("g%02d", g)}
+		for i := 0; i < n; i++ {
+			shard.Servers = append(shard.Servers, fmt.Sprintf("g%02d-s%02d", g, i))
+		}
+		table.Shards = append(table.Shards, shard)
+	}
+	for _, shard := range table.Shards {
+		shardName := shard.Name
+		for _, name := range shard.Servers {
+			key := cryptoutil.DeterministicKeyPair(name, "s")
+			r.ring.MustRegister(name, key.Public)
+			srv := server.New(server.Config{
+				ID: name, Ring: r.ring,
+				Shard: shardName,
+				Owns:  func(item string) bool { return table.Owns(shardName, item) },
+			})
+			srv.RegisterGroup("g", server.Policy{Consistency: wire.MRC})
+			r.bus.Register(name, srv)
+			r.servers = append(r.servers, srv)
+			r.names = append(r.names, name)
+		}
+	}
+	return r, table
+}
+
+// pinAll routes every item to one shard regardless of its rendezvous
+// home — the misconfigured (or stale) routing table of the regression.
+type pinAll int
+
+func (p pinAll) Place(string) int { return int(p) }
+
+// misroutedItem returns an item the table homes on a shard other than
+// wrongShard, so a pinAll(wrongShard) router provably misroutes it.
+func misroutedItem(t *testing.T, table *sharding.Table, wrongShard int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		item := fmt.Sprintf("victim-%04d", i)
+		if table.Place(item) != wrongShard {
+			return item
+		}
+	}
+	t.Fatal("no misrouted item found")
+	return ""
+}
+
+// TestWrongShardIsPermanent is the regression test for burning the retry
+// budget on a misrouted item: a client whose router disagrees with the
+// servers' table sends every request to a group that does not own the
+// item. All n replicas reject with the typed wrong-shard error — far more
+// than b, so the rejection is attributed to the client's own routing, not
+// to Byzantine servers — and both read and write must fail immediately
+// (no backoff sleeps) with an error IsWrongShard recognizes, while the
+// routing-mismatch counter records the event for operators.
+func TestWrongShardIsPermanent(t *testing.T) {
+	r, table := shardedRig(t, 2, 4)
+	m := &metrics.Counters{}
+	c := r.client(t, "lost", 1, func(cfg *Config) {
+		cfg.Servers = nil
+		cfg.Table = table
+		cfg.Router = pinAll(0)
+		cfg.Metrics = m
+		cfg.ReadRetries = 5
+		cfg.RetryBackoff = 100 * time.Millisecond
+	})
+	// Session initiation would also be misrouted; bypass it — the test
+	// targets data-path classification.
+	c.mu.Lock()
+	c.connected = true
+	c.mu.Unlock()
+
+	item := misroutedItem(t, table, 0)
+	ctx := context.Background()
+
+	start := time.Now()
+	if _, err := c.Write(ctx, item, []byte("v")); err == nil {
+		t.Fatal("misrouted write succeeded")
+	} else if !wire.IsWrongShard(err) {
+		t.Fatalf("misrouted write error not classified wrong-shard: %v", err)
+	}
+	if got := m.RoutingMismatches(); got != 1 {
+		t.Fatalf("routing mismatches after write = %d, want 1", got)
+	}
+
+	if _, _, err := c.Read(ctx, item); err == nil {
+		t.Fatal("misrouted read succeeded")
+	} else if !wire.IsWrongShard(err) {
+		t.Fatalf("misrouted read error not classified wrong-shard: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 100*time.Millisecond {
+		t.Fatalf("misrouted ops took %v — the retry/backoff budget was burned on a permanent error", elapsed)
+	}
+	if got := m.RoutingMismatches(); got != 2 {
+		t.Fatalf("routing mismatches after read = %d, want 2", got)
+	}
+	if got := m.Custom("read.retries"); got != 0 {
+		t.Fatalf("read.retries = %d, want 0 (permanent errors must not retry)", got)
+	}
+}
+
+// TestCorrectlyRoutedClientUnaffected is the control: the same rig, a
+// client using the table's own placement, and the same item round-trips
+// with zero mismatches.
+func TestCorrectlyRoutedClientUnaffected(t *testing.T) {
+	r, table := shardedRig(t, 2, 4)
+	m := &metrics.Counters{}
+	c := r.client(t, "found", 1, func(cfg *Config) {
+		cfg.Servers = nil
+		cfg.Table = table
+		cfg.Metrics = m
+	})
+	c.mu.Lock()
+	c.connected = true
+	c.mu.Unlock()
+
+	item := misroutedItem(t, table, 0) // any item; routed correctly here
+	ctx := context.Background()
+	if _, err := c.Write(ctx, item, []byte("v")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := c.Read(ctx, item); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := m.RoutingMismatches(); got != 0 {
+		t.Fatalf("routing mismatches = %d, want 0", got)
+	}
+}

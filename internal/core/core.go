@@ -18,6 +18,7 @@ import (
 	"securestore/internal/metrics"
 	"securestore/internal/quorum"
 	"securestore/internal/server"
+	"securestore/internal/sharding"
 	"securestore/internal/simnet"
 	"securestore/internal/storage"
 	"securestore/internal/trace"
@@ -27,10 +28,18 @@ import (
 
 // ClusterConfig sizes and wires a secure-store deployment.
 type ClusterConfig struct {
-	// N is the number of replica servers; B the bound on faulty ones.
-	// Validity requires N >= 3B+1 (see quorum.Validate).
+	// N is the number of replica servers per group; B the bound on faulty
+	// ones, per group. Validity requires N >= 3B+1 (see quorum.Validate).
 	N int
 	B int
+	// Groups is the number of independent replica groups the keyspace is
+	// sharded across (default 1: the paper's single-group deployment, with
+	// servers named s00..). With Groups > 1 the cluster builds G disjoint
+	// server sets (named g00-s00.., each with its own gossip mesh, quorum
+	// state and write-ahead logs), publishes a shard table signed by the
+	// deterministic "shardadmin" key, and every client minted with
+	// NewClient routes items to their owning group (see internal/sharding).
+	Groups int
 	// Seed derives deterministic keys and network randomness so whole
 	// experiments are reproducible. Empty selects "seed".
 	Seed string
@@ -82,15 +91,22 @@ type ClusterConfig struct {
 // Cluster is a running secure-store deployment over the in-memory
 // transport.
 type Cluster struct {
-	cfg           ClusterConfig
-	Ring          *cryptoutil.Keyring
-	Net           *simnet.Network
-	Bus           *transport.Bus
+	cfg  ClusterConfig
+	Ring *cryptoutil.Keyring
+	Net  *simnet.Network
+	Bus  *transport.Bus
+	// Servers, ServerNames and Engines are flat views over every group in
+	// deployment order (group 0's servers first); fault-injection helpers
+	// and tests index them directly. GroupServers holds the same servers
+	// partitioned by replica group.
 	Servers       []*server.Server
 	ServerNames   []string
 	Engines       []*gossip.Engine
+	GroupServers  [][]*server.Server
 	Authority     *accessctl.Authority
 	ServerMetrics *metrics.Counters
+	// Table is the signed shard table (nil for single-group clusters).
+	Table *sharding.Table
 
 	gossipRunning bool
 	logs          []*storage.Log
@@ -168,45 +184,85 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.Ring.MustRegister(authKey.ID, authKey.Public)
 	}
 
-	for i := 0; i < cfg.N; i++ {
-		name := fmt.Sprintf("s%02d", i)
-		key := cryptoutil.DeterministicKeyPair(name, cfg.Seed)
-		c.Ring.MustRegister(name, key.Public)
-		authorityID := ""
-		if c.Authority != nil {
-			authorityID = c.Authority.ID()
-		}
-		var persist *storage.Log
-		if cfg.DataDir != "" {
-			log, err := storage.Open(filepath.Join(cfg.DataDir, name+".log"))
-			if err != nil {
-				c.Close()
-				return nil, err
+	// A multi-group cluster publishes its topology as a signed shard table:
+	// clients verify the administrator's signature once at construction and
+	// then route against authenticated topology (see internal/sharding).
+	groups := cfg.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if groups > 1 {
+		table := &sharding.Table{Version: 1}
+		for g := 0; g < groups; g++ {
+			shard := sharding.Shard{Name: fmt.Sprintf("g%02d", g)}
+			for i := 0; i < cfg.N; i++ {
+				shard.Servers = append(shard.Servers, serverName(groups, g, i))
 			}
-			log.Metrics = c.ServerMetrics
-			c.logs = append(c.logs, log)
-			persist = log
+			table.Shards = append(table.Shards, shard)
 		}
-		srv := server.New(server.Config{
-			ID:                  name,
-			Ring:                c.Ring,
-			AuthorityID:         authorityID,
-			LogDepth:            cfg.LogDepth,
-			Metrics:             c.ServerMetrics,
-			Tracer:              cfg.Tracer,
-			DisableCausalGating: cfg.DisableCausalGating,
-			Persist:             persist,
-		})
-		c.Servers = append(c.Servers, srv)
-		c.ServerNames = append(c.ServerNames, name)
-		c.Bus.Register(name, srv)
+		admin := cryptoutil.DeterministicKeyPair("shardadmin", cfg.Seed)
+		c.Ring.MustRegister(admin.ID, admin.Public)
+		table.Sign(admin, c.ServerMetrics)
+		c.Table = table
 	}
 
+	for g := 0; g < groups; g++ {
+		var groupServers []*server.Server
+		for i := 0; i < cfg.N; i++ {
+			name := serverName(groups, g, i)
+			key := cryptoutil.DeterministicKeyPair(name, cfg.Seed)
+			c.Ring.MustRegister(name, key.Public)
+			authorityID := ""
+			if c.Authority != nil {
+				authorityID = c.Authority.ID()
+			}
+			var persist *storage.Log
+			if cfg.DataDir != "" {
+				log, err := storage.Open(filepath.Join(cfg.DataDir, name+".log"))
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				log.Metrics = c.ServerMetrics
+				c.logs = append(c.logs, log)
+				persist = log
+			}
+			shardName := ""
+			var owns func(string) bool
+			if c.Table != nil {
+				shardName = c.Table.Shards[g].Name
+				table, shard := c.Table, shardName
+				owns = func(item string) bool { return table.Owns(shard, item) }
+			}
+			srv := server.New(server.Config{
+				ID:                  name,
+				Ring:                c.Ring,
+				AuthorityID:         authorityID,
+				LogDepth:            cfg.LogDepth,
+				Metrics:             c.ServerMetrics,
+				Tracer:              cfg.Tracer,
+				DisableCausalGating: cfg.DisableCausalGating,
+				Persist:             persist,
+				Shard:               shardName,
+				Owns:                owns,
+			})
+			c.Servers = append(c.Servers, srv)
+			c.ServerNames = append(c.ServerNames, name)
+			groupServers = append(groupServers, srv)
+			c.Bus.Register(name, srv)
+		}
+		c.GroupServers = append(c.GroupServers, groupServers)
+	}
+
+	// Gossip meshes are per group: a replica only disseminates to its own
+	// shard's peers (foreign-shard writes would be rejected as wrong-shard
+	// anyway).
 	for i, srv := range c.Servers {
+		g := i / cfg.N
 		peers := make([]string, 0, cfg.N-1)
-		for j, name := range c.ServerNames {
-			if j != i {
-				peers = append(peers, name)
+		for j := 0; j < cfg.N; j++ {
+			if peer := c.ServerNames[g*cfg.N+j]; peer != srv.ID() {
+				peers = append(peers, peer)
 			}
 		}
 		mode := cfg.GossipMode
@@ -243,11 +299,29 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// N returns the cluster's replica count.
+// N returns the cluster's per-group replica count.
 func (c *Cluster) N() int { return c.cfg.N }
 
-// B returns the cluster's fault bound.
+// B returns the cluster's per-group fault bound.
 func (c *Cluster) B() int { return c.cfg.B }
+
+// Groups returns the number of replica groups (1 for unsharded clusters).
+func (c *Cluster) Groups() int {
+	if c.cfg.Groups <= 0 {
+		return 1
+	}
+	return c.cfg.Groups
+}
+
+// serverName names replica i of group g. Single-group clusters keep the
+// historical flat names (s00..) so seeds, write-ahead logs and configs
+// from before sharding stay valid.
+func serverName(groups, g, i int) string {
+	if groups <= 1 {
+		return fmt.Sprintf("s%02d", i)
+	}
+	return fmt.Sprintf("g%02d-s%02d", g, i)
+}
 
 // RegisterGroup declares a related group on every server.
 func (c *Cluster) RegisterGroup(spec GroupSpec) {
@@ -346,19 +420,27 @@ func (c *Cluster) clientConfig(spec ClientSpec, consistency wire.Consistency, mu
 	if c.Authority != nil {
 		token = c.Authority.Issue(spec.ID, spec.Group, rights, spec.Metrics)
 	}
-	servers := append([]string(nil), c.ServerNames...)
-	if len(spec.ServerOrder) > 0 {
-		if len(spec.ServerOrder) != len(c.ServerNames) {
-			return client.Config{}, fmt.Errorf("core: ServerOrder has %d names, cluster has %d",
-				len(spec.ServerOrder), len(c.ServerNames))
+	var servers []string
+	if c.Table == nil {
+		servers = append([]string(nil), c.ServerNames...)
+		if len(spec.ServerOrder) > 0 {
+			if len(spec.ServerOrder) != len(c.ServerNames) {
+				return client.Config{}, fmt.Errorf("core: ServerOrder has %d names, cluster has %d",
+					len(spec.ServerOrder), len(c.ServerNames))
+			}
+			servers = append([]string(nil), spec.ServerOrder...)
 		}
-		servers = append([]string(nil), spec.ServerOrder...)
+	} else if len(spec.ServerOrder) > 0 {
+		// Contact order within a shard comes from the table; reordering a
+		// flat list across groups has no meaning once items route per shard.
+		return client.Config{}, fmt.Errorf("core: ServerOrder is not supported on sharded clusters")
 	}
 	return client.Config{
 		ID:                  spec.ID,
 		Key:                 key,
 		Ring:                c.Ring,
 		Servers:             servers,
+		Table:               c.Table,
 		B:                   c.cfg.B,
 		Group:               spec.Group,
 		Consistency:         consistency,
@@ -413,6 +495,9 @@ func seedInt(seed string) int64 {
 // encryption keys to manage. The group should be registered MRC,
 // single-writer. k = 0 selects the default b+1.
 func (c *Cluster) NewFragStore(spec ClientSpec, group GroupSpec, k int) (*fragstore.Store, error) {
+	if c.Table != nil {
+		return nil, fmt.Errorf("core: fragstore requires a single replica group (fragments span all n servers)")
+	}
 	if spec.Group == "" {
 		spec.Group = group.Name
 	}

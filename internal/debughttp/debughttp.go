@@ -84,6 +84,7 @@ var counterSeries = []struct {
 	{"securestore_decryptions_total", "Symmetric decryption operations.", func(s metrics.Snapshot) int64 { return s.Decryptions }},
 	{"securestore_stripe_contention_total", "Contended replica stripe-lock acquisitions.", func(s metrics.Snapshot) int64 { return s.StripeWaits }},
 	{"securestore_wal_batches_total", "Write-ahead-log group commits (one write+flush each).", func(s metrics.Snapshot) int64 { return s.WALBatches }},
+	{"securestore_shard_routing_mismatch_total", "Requests rejected (or seen rejected) because the item is owned by another shard.", func(s metrics.Snapshot) int64 { return s.RoutingMismatches }},
 }
 
 // writeLabeledBytes renders one per-operation byte counter family in
@@ -139,6 +140,17 @@ func serveMetricsProm(w http.ResponseWriter, s State) {
 		fmt.Fprintf(w, "securestore_wal_batch_size_count %d\n", snap.WALBatches)
 		writeLabeledBytes(w, "securestore_tx_bytes_total", "Wire bytes sent, by operation.", snap.TxBytes)
 		writeLabeledBytes(w, "securestore_rx_bytes_total", "Wire bytes received, by operation.", snap.RxBytes)
+		if len(snap.ShardOps) > 0 {
+			shards := make([]string, 0, len(snap.ShardOps))
+			for shard := range snap.ShardOps {
+				shards = append(shards, shard)
+			}
+			sort.Strings(shards)
+			fmt.Fprint(w, "# HELP securestore_shard_ops_total Requests attributed to each shard (served on a replica, routed on a client).\n# TYPE securestore_shard_ops_total counter\n")
+			for _, shard := range shards {
+				fmt.Fprintf(w, "securestore_shard_ops_total{shard=%q} %d\n", shard, snap.ShardOps[shard])
+			}
+		}
 		if len(snap.Custom) > 0 {
 			names := make([]string, 0, len(snap.Custom))
 			for name := range snap.Custom {

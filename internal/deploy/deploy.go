@@ -23,6 +23,7 @@ import (
 	"securestore/internal/gossip"
 	"securestore/internal/metrics"
 	"securestore/internal/server"
+	"securestore/internal/sharding"
 	"securestore/internal/storage"
 	"securestore/internal/trace"
 	"securestore/internal/transport"
@@ -36,6 +37,14 @@ type GroupConfig struct {
 	MultiWriter bool   `json:"multiWriter"`
 }
 
+// ShardConfig declares one replica group of a sharded deployment: a shard
+// name and the subset of the config's servers forming that group. Every
+// shard independently satisfies n >= 3b+1.
+type ShardConfig struct {
+	Name    string   `json:"name"`
+	Servers []string `json:"servers"`
+}
+
 // Config is the shared deployment description.
 type Config struct {
 	Seed    string            `json:"seed"`
@@ -43,6 +52,13 @@ type Config struct {
 	Servers map[string]string `json:"servers"` // name -> host:port
 	Groups  []GroupConfig     `json:"groups"`
 	Clients []string          `json:"clients"`
+	// Shards, when non-empty, partitions the servers into independent
+	// replica groups: each replica only gossips within (and answers for)
+	// its own shard, and clients route every item to its owning shard
+	// through the table built by Table. Empty keeps the classic
+	// single-group deployment. cmd/securestored can also overlay this
+	// field from a standalone file via -shard-table.
+	Shards []ShardConfig `json:"shards,omitempty"`
 	// GossipIntervalMillis tunes dissemination (default 200).
 	GossipIntervalMillis int `json:"gossipIntervalMillis,omitempty"`
 }
@@ -63,7 +79,79 @@ func Load(path string) (*Config, error) {
 	if len(cfg.Servers) < 3*cfg.B+1 {
 		return nil, fmt.Errorf("config: %d servers cannot tolerate b=%d (need 3b+1)", len(cfg.Servers), cfg.B)
 	}
+	if err := cfg.validateShards(); err != nil {
+		return nil, err
+	}
 	return &cfg, nil
+}
+
+// validateShards checks the shard partition: named shards, every shard
+// server present in the deployment, no server in two shards, and every
+// shard independently large enough for b faults.
+func (c *Config) validateShards() error {
+	if len(c.Shards) == 0 {
+		return nil
+	}
+	owner := make(map[string]string)
+	for _, s := range c.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("config: unnamed shard")
+		}
+		if len(s.Servers) < 3*c.B+1 {
+			return fmt.Errorf("config: shard %q has %d servers, cannot tolerate b=%d (need 3b+1 per shard)",
+				s.Name, len(s.Servers), c.B)
+		}
+		for _, srv := range s.Servers {
+			if _, ok := c.Servers[srv]; !ok {
+				return fmt.Errorf("config: shard %q lists unknown server %q", s.Name, srv)
+			}
+			if prev, dup := owner[srv]; dup {
+				return fmt.Errorf("config: server %q in shards %q and %q (a replica belongs to exactly one group)",
+					srv, prev, s.Name)
+			}
+			owner[srv] = s.Name
+		}
+	}
+	return nil
+}
+
+// OverlayShards replaces the config's shard partition with one loaded
+// from a standalone JSON file (an array of {"name", "servers"} objects —
+// the same shape as the config's "shards" field) and re-validates. This
+// lets an operator keep topology in its own artifact and roll it across a
+// fleet without touching the base deployment config (securestored's
+// -shard-table flag).
+func (c *Config) OverlayShards(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read shard table: %w", err)
+	}
+	var shards []ShardConfig
+	if err := json.Unmarshal(raw, &shards); err != nil {
+		return fmt.Errorf("parse shard table %s: %w", path, err)
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("shard table %s: no shards", path)
+	}
+	c.Shards = shards
+	return c.validateShards()
+}
+
+// Table builds the deployment's signed shard table (nil when the config
+// is unsharded). The table is signed with the deterministic "shardadmin"
+// key — the config seed stands in for a real administrator key exactly as
+// it does for every other principal — so clients verify topology against
+// the ring instead of trusting whoever handed them the table.
+func (c *Config) Table(m *metrics.Counters) *sharding.Table {
+	if len(c.Shards) == 0 {
+		return nil
+	}
+	t := &sharding.Table{Version: 1}
+	for _, s := range c.Shards {
+		t.Shards = append(t.Shards, sharding.Shard{Name: s.Name, Servers: append([]string(nil), s.Servers...)})
+	}
+	t.Sign(cryptoutil.DeterministicKeyPair("shardadmin", c.Seed), m)
+	return t
 }
 
 // ServerNames returns the sorted replica names.
@@ -90,6 +178,10 @@ func (c *Config) Ring() *cryptoutil.Keyring {
 	}
 	auth := cryptoutil.DeterministicKeyPair("authority", c.Seed)
 	ring.MustRegister(auth.ID, auth.Public)
+	if len(c.Shards) > 0 {
+		admin := cryptoutil.DeterministicKeyPair("shardadmin", c.Seed)
+		ring.MustRegister(admin.ID, admin.Public)
+	}
 	return ring
 }
 
@@ -191,6 +283,23 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 	if persist != nil {
 		persist.Metrics = srvMetrics
 	}
+
+	// A sharded deployment narrows this replica to its own group: it
+	// rejects items it does not own (Owns) and gossips only with in-shard
+	// peers — the other groups are independent deployments sharing a ring.
+	shardName := ""
+	var owns func(string) bool
+	var shardServers []string
+	if table := cfg.Table(srvMetrics); table != nil {
+		idx, err := table.ShardOfServer(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		shardName = table.Shards[idx].Name
+		shardServers = table.Shards[idx].Servers
+		owns = func(item string) bool { return table.Owns(shardName, item) }
+	}
+
 	srv := server.New(server.Config{
 		ID:          name,
 		Ring:        ring,
@@ -198,6 +307,8 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 		Metrics:     srvMetrics,
 		Tracer:      obs.tracer(),
 		Persist:     persist,
+		Shard:       shardName,
+		Owns:        owns,
 	})
 	for _, g := range cfg.Groups {
 		consistency, err := consistencyOf(g)
@@ -207,12 +318,22 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 		srv.RegisterGroup(g.Name, server.Policy{Consistency: consistency, MultiWriter: g.MultiWriter})
 	}
 
-	peers := make([]string, 0, len(cfg.Servers)-1)
 	addrs := make(map[string]string, len(cfg.Servers))
 	for peer, addr := range cfg.Servers {
 		addrs[peer] = addr
-		if peer != name {
-			peers = append(peers, peer)
+	}
+	var peers []string
+	if shardServers != nil {
+		for _, peer := range shardServers {
+			if peer != name {
+				peers = append(peers, peer)
+			}
+		}
+	} else {
+		for peer := range cfg.Servers {
+			if peer != name {
+				peers = append(peers, peer)
+			}
 		}
 	}
 	sort.Strings(peers)
@@ -265,7 +386,7 @@ func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
 	}
 	m := &metrics.Counters{}
 	token := cfg.Authority().Issue(id, group, accessctl.ReadWrite, m)
-	return client.New(client.Config{
+	cc := client.Config{
 		ID:          id,
 		Key:         cryptoutil.DeterministicKeyPair(id, cfg.Seed),
 		Ring:        cfg.Ring(),
@@ -277,5 +398,12 @@ func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
 		Caller:      transport.NewTCPCaller(id, addrs, m),
 		Token:       token,
 		Metrics:     m,
-	})
+	}
+	if table := cfg.Table(m); table != nil {
+		// Sharded deployment: items route per shard; the flat server list
+		// is ignored in favour of the signed table.
+		cc.Table = table
+		cc.Servers = nil
+	}
+	return client.New(cc)
 }

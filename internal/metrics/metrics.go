@@ -46,6 +46,15 @@ type Counters struct {
 	// packet capture.
 	txBytes sync.Map
 	rxBytes sync.Map
+
+	// shardOps maps shard names to *atomic.Int64 request totals
+	// (securestore_shard_ops_total on /metrics): on a replica, the
+	// requests its own shard served; on a routing client, the per-shard
+	// fan-out. routingMismatches counts wrong-shard rejections — a
+	// non-zero value means some party routed with a stale or wrong shard
+	// table.
+	shardOps          sync.Map
+	routingMismatches atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of a Counters.
@@ -75,6 +84,10 @@ type Snapshot struct {
 	WALBatches int64 `json:"walBatches,omitempty"`
 	// WALBatchRecords counts records flushed across all WAL group commits.
 	WALBatchRecords int64 `json:"walBatchRecords,omitempty"`
+	// ShardOps holds per-shard request totals (see Counters.AddShardOp).
+	ShardOps map[string]int64 `json:"shardOps,omitempty"`
+	// RoutingMismatches counts wrong-shard rejections observed.
+	RoutingMismatches int64 `json:"routingMismatches,omitempty"`
 	// Custom holds the named experiment-specific counters.
 	Custom map[string]int64 `json:"custom,omitempty"`
 	// TxBytes and RxBytes hold wire bytes sent/received per operation
@@ -232,6 +245,42 @@ func sumLabeled(m *sync.Map) int64 {
 	return total
 }
 
+// AddShardOp records one request attributed to the named shard.
+func (c *Counters) AddShardOp(shard string) {
+	if c == nil {
+		return
+	}
+	addLabeled(&c.shardOps, shard, 1)
+}
+
+// AddRoutingMismatch records one wrong-shard rejection.
+func (c *Counters) AddRoutingMismatch() {
+	if c == nil {
+		return
+	}
+	c.routingMismatches.Add(1)
+}
+
+// ShardOps returns the request total recorded for the named shard.
+func (c *Counters) ShardOps(shard string) int64 {
+	if c == nil {
+		return 0
+	}
+	v, ok := c.shardOps.Load(shard)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+// RoutingMismatches returns the number of wrong-shard rejections recorded.
+func (c *Counters) RoutingMismatches() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.routingMismatches.Load()
+}
+
 // AddTxBytes records n wire bytes sent for the labeled operation.
 func (c *Counters) AddTxBytes(op string, n int) {
 	if c == nil {
@@ -330,20 +379,22 @@ func (c *Counters) Snapshot() Snapshot {
 		return true
 	})
 	return Snapshot{
-		MessagesSent:    c.messagesSent.Load(),
-		BytesSent:       c.bytesSent.Load(),
-		Signatures:      c.signatures.Load(),
-		Verifications:   c.verifications.Load(),
-		VCacheHits:      c.vcacheHits.Load(),
-		VCacheMisses:    c.vcacheMisses.Load(),
-		Encryptions:     c.encryptions.Load(),
-		Decryptions:     c.decryptions.Load(),
-		StripeWaits:     c.stripeWaits.Load(),
-		WALBatches:      c.walBatches.Load(),
-		WALBatchRecords: c.walBatchRecords.Load(),
-		Custom:          custom,
-		TxBytes:         snapshotLabeled(&c.txBytes),
-		RxBytes:         snapshotLabeled(&c.rxBytes),
+		MessagesSent:      c.messagesSent.Load(),
+		BytesSent:         c.bytesSent.Load(),
+		Signatures:        c.signatures.Load(),
+		Verifications:     c.verifications.Load(),
+		VCacheHits:        c.vcacheHits.Load(),
+		VCacheMisses:      c.vcacheMisses.Load(),
+		Encryptions:       c.encryptions.Load(),
+		Decryptions:       c.decryptions.Load(),
+		StripeWaits:       c.stripeWaits.Load(),
+		WALBatches:        c.walBatches.Load(),
+		WALBatchRecords:   c.walBatchRecords.Load(),
+		Custom:            custom,
+		TxBytes:           snapshotLabeled(&c.txBytes),
+		RxBytes:           snapshotLabeled(&c.rxBytes),
+		ShardOps:          snapshotLabeled(&c.shardOps),
+		RoutingMismatches: c.routingMismatches.Load(),
 	}
 }
 
@@ -375,6 +426,11 @@ func (c *Counters) Reset() {
 		c.rxBytes.Delete(k)
 		return true
 	})
+	c.shardOps.Range(func(k, _ any) bool {
+		c.shardOps.Delete(k)
+		return true
+	})
+	c.routingMismatches.Store(0)
 }
 
 // Delta returns this snapshot minus prev, field by field: the cost of
@@ -405,20 +461,22 @@ func Diff(before, after Snapshot) Snapshot {
 		custom[k] = v - before.Custom[k]
 	}
 	return Snapshot{
-		MessagesSent:    after.MessagesSent - before.MessagesSent,
-		BytesSent:       after.BytesSent - before.BytesSent,
-		Signatures:      after.Signatures - before.Signatures,
-		Verifications:   after.Verifications - before.Verifications,
-		VCacheHits:      after.VCacheHits - before.VCacheHits,
-		VCacheMisses:    after.VCacheMisses - before.VCacheMisses,
-		Encryptions:     after.Encryptions - before.Encryptions,
-		Decryptions:     after.Decryptions - before.Decryptions,
-		StripeWaits:     after.StripeWaits - before.StripeWaits,
-		WALBatches:      after.WALBatches - before.WALBatches,
-		WALBatchRecords: after.WALBatchRecords - before.WALBatchRecords,
-		Custom:          custom,
-		TxBytes:         diffLabeled(before.TxBytes, after.TxBytes),
-		RxBytes:         diffLabeled(before.RxBytes, after.RxBytes),
+		MessagesSent:      after.MessagesSent - before.MessagesSent,
+		BytesSent:         after.BytesSent - before.BytesSent,
+		Signatures:        after.Signatures - before.Signatures,
+		Verifications:     after.Verifications - before.Verifications,
+		VCacheHits:        after.VCacheHits - before.VCacheHits,
+		VCacheMisses:      after.VCacheMisses - before.VCacheMisses,
+		Encryptions:       after.Encryptions - before.Encryptions,
+		Decryptions:       after.Decryptions - before.Decryptions,
+		StripeWaits:       after.StripeWaits - before.StripeWaits,
+		WALBatches:        after.WALBatches - before.WALBatches,
+		WALBatchRecords:   after.WALBatchRecords - before.WALBatchRecords,
+		Custom:            custom,
+		TxBytes:           diffLabeled(before.TxBytes, after.TxBytes),
+		RxBytes:           diffLabeled(before.RxBytes, after.RxBytes),
+		ShardOps:          diffLabeled(before.ShardOps, after.ShardOps),
+		RoutingMismatches: after.RoutingMismatches - before.RoutingMismatches,
 	}
 }
 

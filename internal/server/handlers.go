@@ -290,6 +290,15 @@ func (s *Server) ApplyDisseminated(w *wire.SignedWrite) bool {
 // (causal gating is a cross-item predicate); everything else goes straight
 // to the item's stripe.
 func (s *Server) acceptWrite(w *wire.SignedWrite, fault FaultMode) (bool, error) {
+	if s.cfg.Owns != nil && !s.cfg.Owns(w.Item) {
+		// A disseminated (or replayed) write for another shard's item: a
+		// healthy in-group peer never sends one, so this is either a
+		// misconfigured peer or a malicious cross-shard push. Rejecting it
+		// keeps each group's state — and its causal gating — closed over
+		// the items it owns.
+		s.cfg.Metrics.AddRoutingMismatch()
+		return false, fmt.Errorf("server %s: %q: %w", s.cfg.ID, w.Item, wire.ErrWrongShard)
+	}
 	if err := w.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
 		return false, err
 	}
@@ -447,6 +456,16 @@ func (s *Server) logInsertLocked(st *itemState, w *wire.SignedWrite) {
 func (s *Server) predecessorsArrived(w *wire.SignedWrite) bool {
 	for item, ts := range w.WriterCtx {
 		if item == w.Item {
+			continue
+		}
+		if s.cfg.Owns != nil && !s.cfg.Owns(item) {
+			// Cross-shard predecessor: this replica's group never stores
+			// that item, so waiting for it would gate the write forever.
+			// Causal order across shards is carried by the client instead —
+			// its context floor makes any reader of this write demand the
+			// predecessor's freshness from the predecessor's own shard, and
+			// the writing client serializes cross-shard CC writes so they
+			// cannot overtake each other in flight (DESIGN.md §7.8).
 			continue
 		}
 		key := itemKey{group: w.Group, item: item}

@@ -164,6 +164,18 @@ type Config struct {
 	// this to demonstrate the spurious-context denial-of-service the rule
 	// prevents; never disable it in real deployments.
 	DisableCausalGating bool
+	// Shard names the replica group this server belongs to in a sharded
+	// deployment. It only labels the per-shard request counter
+	// (securestore_shard_ops_total); empty disables the label.
+	Shard string
+	// Owns, when non-nil, restricts this replica to its shard of the
+	// keyspace: requests naming an item (or context owner) the predicate
+	// rejects fail with wire.ErrWrongShard instead of being served. The
+	// predicate must be the deployment's shared placement function
+	// (sharding.Table.Owns partially applied), so every replica of every
+	// group independently enforces the same routing. Nil (unsharded
+	// deployments) accepts everything.
+	Owns func(key string) bool
 	// Metrics receives the server's verification counts and lock/commit
 	// visibility counters (stripe contention, see metrics.AddStripeWait).
 	Metrics *metrics.Counters
@@ -434,6 +446,13 @@ func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
 		return nil, transport.ErrNoReply
 	}
 
+	if err := s.checkOwnership(req); err != nil {
+		return nil, err
+	}
+	if s.cfg.Shard != "" {
+		s.cfg.Metrics.AddShardOp(s.cfg.Shard)
+	}
+
 	switch r := req.(type) {
 	case wire.ContextReadReq:
 		return s.handleContextRead(from, r, fault)
@@ -454,6 +473,46 @@ func (s *Server) serve(from string, req wire.Request) (wire.Response, error) {
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownType, req)
 	}
+}
+
+// checkOwnership rejects requests that name a routing key outside this
+// replica's shard with the typed wire.ErrWrongShard, before any handler
+// (or crypto) work. Item requests route by item name; context requests by
+// the context owner's id (clients store their session context on the
+// shard their own id hashes to). Gossip frames are exempt here — each
+// carried write is checked individually in acceptWrite.
+func (s *Server) checkOwnership(req wire.Request) error {
+	if s.cfg.Owns == nil {
+		return nil
+	}
+	var key string
+	switch r := req.(type) {
+	case wire.MetaReq:
+		key = r.Item
+	case wire.ValueReq:
+		key = r.Item
+	case wire.LogReq:
+		key = r.Item
+	case wire.WriteReq:
+		if r.Write == nil {
+			return nil // handler reports the malformed write
+		}
+		key = r.Write.Item
+	case wire.ContextReadReq:
+		key = r.Client
+	case wire.ContextWriteReq:
+		if r.Ctx == nil {
+			return nil
+		}
+		key = r.Ctx.Owner
+	default:
+		return nil
+	}
+	if !s.cfg.Owns(key) {
+		s.cfg.Metrics.AddRoutingMismatch()
+		return fmt.Errorf("server %s: %q: %w", s.cfg.ID, key, wire.ErrWrongShard)
+	}
+	return nil
 }
 
 // authorize validates the caller's capability token when an authority is

@@ -1,0 +1,263 @@
+// Package sharding partitions the keyspace across independent replica
+// groups. The paper's protocols are defined over one group of n servers;
+// horizontal scale comes from running G such groups side by side and
+// routing every item to exactly one of them. Two properties make this
+// safe without any coordination service:
+//
+//   - the item→group map is a pure function of (shard table, item name) —
+//     highest-random-weight (rendezvous) hashing — so every client and
+//     server computes the same placement independently, and adding a
+//     group moves only ~1/G of the keys (each key moves only if the new
+//     group wins its rendezvous draw);
+//   - the shard table itself is a signed artifact: an administrator key
+//     signs the canonical encoding of (version, shards), so replicas and
+//     clients can verify they route against the same authentic topology
+//     and a malicious directory cannot silently redirect items to
+//     servers an attacker controls.
+//
+// The Map interface keeps the placement function pluggable: Table itself
+// is the rendezvous map, and RangeMap is the ordered-boundary variant for
+// deployments that want contiguous key ranges per group.
+package sharding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/quorum"
+)
+
+// Errors returned by shard-table operations.
+var (
+	ErrNoShards   = errors.New("sharding: table has no shards")
+	ErrBadTable   = errors.New("sharding: invalid shard table")
+	ErrNotInTable = errors.New("sharding: server not in any shard")
+)
+
+// Shard is one replica group: a name and the servers that form it. Every
+// shard independently runs the full protocol (its own quorums, gossip
+// mesh and write-ahead logs).
+type Shard struct {
+	Name    string   `json:"name"`
+	Servers []string `json:"servers"`
+}
+
+// Map resolves an item name to a shard index. Implementations must be
+// pure functions of the table: every party — client or server — that
+// holds the same table must compute the same placement.
+type Map interface {
+	// Place returns the index (into the table's Shards) of the shard that
+	// owns the item.
+	Place(item string) int
+}
+
+// Table is the signed shard table: the authoritative description of the
+// deployment's groups. Table implements Map using highest-random-weight
+// hashing over (shard name, item): each shard scores the item and the
+// highest score wins. Removing or adding one shard only re-places keys
+// whose winning shard changed — the rebalance-minimality property the
+// tests pin down.
+type Table struct {
+	// Version orders table revisions; routing peers can detect stale
+	// tables by comparing versions.
+	Version uint64  `json:"version"`
+	Shards  []Shard `json:"shards"`
+	// Signer and Sig authenticate the table (empty when unsigned, e.g. in
+	// tests). The signature covers SigningBytes.
+	Signer string `json:"signer,omitempty"`
+	Sig    []byte `json:"sig,omitempty"`
+}
+
+// Validate checks structural soundness: at least one shard, unique
+// non-empty shard names, and every shard large enough to tolerate b
+// faults (n >= 3b+1, the paper's bound, enforced per group).
+func (t *Table) Validate(b int) error {
+	if t == nil || len(t.Shards) == 0 {
+		return ErrNoShards
+	}
+	seen := make(map[string]bool, len(t.Shards))
+	for _, s := range t.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("%w: unnamed shard", ErrBadTable)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("%w: duplicate shard %q", ErrBadTable, s.Name)
+		}
+		seen[s.Name] = true
+		if err := quorum.Validate(len(s.Servers), b); err != nil {
+			return fmt.Errorf("shard %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Place implements Map by rendezvous hashing: score(item, shard) =
+// mix64(fnv64a(shard name || 0x00 || item)), highest score wins, ties
+// broken by shard order. The hash is not cryptographic — it only spreads
+// load; an adversary influencing placement gains nothing because every
+// shard enforces the full protocol.
+func (t *Table) Place(item string) int {
+	best, bestScore := 0, uint64(0)
+	for i, s := range t.Shards {
+		score := rendezvousScore(s.Name, item)
+		if i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes one (shard, item) pair. Raw FNV-1a has weak
+// trailing-byte avalanche — sequential item names keep their high bits,
+// so shard-score comparisons stay correlated across whole key runs and
+// the placement skews badly. The mix64 finalizer restores full avalanche
+// so each (shard, item) score is effectively independent.
+func rendezvousScore(shard, item string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(shard))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(item))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit finalization mixer from MurmurHash3 (fmix64): a
+// fixed bijection with full avalanche, so every input bit flips each
+// output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ShardFor returns the shard owning the item under the default
+// rendezvous map.
+func (t *Table) ShardFor(item string) Shard {
+	return t.Shards[t.Place(item)]
+}
+
+// Owns reports whether the named shard owns the item under the default
+// rendezvous map.
+func (t *Table) Owns(shard, item string) bool {
+	return t.Shards[t.Place(item)].Name == shard
+}
+
+// ShardOf returns the index of the named shard, or ErrNotInTable.
+func (t *Table) ShardOf(name string) (int, error) {
+	for i, s := range t.Shards {
+		if s.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: shard %q", ErrNotInTable, name)
+}
+
+// ShardOfServer returns the index of the shard containing the named
+// server, or ErrNotInTable. Server names are assumed unique across the
+// deployment (each replica belongs to exactly one group).
+func (t *Table) ShardOfServer(server string) (int, error) {
+	for i, s := range t.Shards {
+		for _, name := range s.Servers {
+			if name == server {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: server %q", ErrNotInTable, server)
+}
+
+// SigningBytes is the canonical encoding the signature covers: version,
+// then each shard as a length-prefixed name and server list, in table
+// order. Length prefixes make the encoding injective, so two different
+// tables can never share signing bytes.
+func (t *Table) SigningBytes() []byte {
+	buf := make([]byte, 0, 64)
+	var tmp [binary.MaxVarintLen64]byte
+	appendUvarint := func(v uint64) {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	appendString := func(s string) {
+		appendUvarint(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf, "securestore-shards-v1\x00"...)
+	appendUvarint(t.Version)
+	appendUvarint(uint64(len(t.Shards)))
+	for _, s := range t.Shards {
+		appendString(s.Name)
+		appendUvarint(uint64(len(s.Servers)))
+		for _, srv := range s.Servers {
+			appendString(srv)
+		}
+	}
+	return buf
+}
+
+// Sign authenticates the table with the administrator's key.
+func (t *Table) Sign(key cryptoutil.KeyPair, m *metrics.Counters) {
+	t.Signer = key.ID
+	t.Sig = key.Sign(t.SigningBytes(), m)
+}
+
+// Verify checks the table's signature against the signer's registered
+// public key. An unsigned table (no Signer) verifies trivially — tests
+// and single-process benchmarks build tables they trust by construction.
+func (t *Table) Verify(ring *cryptoutil.Keyring, m *metrics.Counters) error {
+	if t.Signer == "" {
+		return nil
+	}
+	if err := ring.Verify(t.Signer, t.SigningBytes(), t.Sig, m); err != nil {
+		return fmt.Errorf("shard table v%d: %w", t.Version, err)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	out := &Table{Version: t.Version, Signer: t.Signer, Sig: append([]byte(nil), t.Sig...)}
+	for _, s := range t.Shards {
+		out.Shards = append(out.Shards, Shard{Name: s.Name, Servers: append([]string(nil), s.Servers...)})
+	}
+	return out
+}
+
+// RangeMap is the pluggable ordered variant of the placement function:
+// items are assigned to shards by comparing the item name against sorted
+// boundary keys — shard i owns names in [bounds[i-1], bounds[i]), the
+// first shard owns everything below bounds[0], the last everything from
+// bounds[len-1] on. Contiguous ranges make scans and operator reasoning
+// easy at the cost of manual balance; the rendezvous default needs no
+// tuning. len(bounds) must be len(shards)-1.
+type RangeMap struct {
+	table  *Table
+	bounds []string
+}
+
+// NewRangeMap builds a range placement over the table's shards.
+func NewRangeMap(t *Table, bounds []string) (*RangeMap, error) {
+	if t == nil || len(t.Shards) == 0 {
+		return nil, ErrNoShards
+	}
+	if len(bounds) != len(t.Shards)-1 {
+		return nil, fmt.Errorf("%w: %d bounds for %d shards (need shards-1)", ErrBadTable, len(bounds), len(t.Shards))
+	}
+	if !sort.StringsAreSorted(bounds) {
+		return nil, fmt.Errorf("%w: range bounds not sorted", ErrBadTable)
+	}
+	return &RangeMap{table: t, bounds: append([]string(nil), bounds...)}, nil
+}
+
+// Place implements Map.
+func (r *RangeMap) Place(item string) int {
+	return sort.SearchStrings(r.bounds, item+"\x00")
+}

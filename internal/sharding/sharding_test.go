@@ -1,0 +1,248 @@
+package sharding
+
+import (
+	"fmt"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+)
+
+// testTable builds a table of g shards ("g00".., 4 servers each).
+func testTable(g int) *Table {
+	t := &Table{Version: 1}
+	for i := 0; i < g; i++ {
+		s := Shard{Name: fmt.Sprintf("g%02d", i)}
+		for j := 0; j < 4; j++ {
+			s.Servers = append(s.Servers, fmt.Sprintf("g%02d-s%02d", i, j))
+		}
+		t.Shards = append(t.Shards, s)
+	}
+	return t
+}
+
+// TestPlaceGoldenVectors pins the rendezvous placement to fixed outputs:
+// every client and server computes placement independently, so the
+// function's exact values are a wire-compatibility contract — a change
+// here would silently re-home keys across a live deployment's groups.
+func TestPlaceGoldenVectors(t *testing.T) {
+	four := testTable(4)
+	golden := map[string]int{
+		"item000":    1,
+		"item001":    1,
+		"item002":    2,
+		"alice":      0,
+		"bob":        3,
+		"":           0,
+		"item-17-42": 0,
+	}
+	for item, want := range golden {
+		if got := four.Place(item); got != want {
+			t.Errorf("Place(%q) = %d, want %d (rendezvous function changed: existing deployments would re-home keys)", item, got, want)
+		}
+	}
+}
+
+func TestPlaceDeterministicAndInRange(t *testing.T) {
+	for _, g := range []int{1, 2, 4, 8} {
+		a, b := testTable(g), testTable(g)
+		for i := 0; i < 500; i++ {
+			item := fmt.Sprintf("key%03d", i)
+			pa, pb := a.Place(item), b.Place(item)
+			if pa != pb {
+				t.Fatalf("g=%d: Place(%q) differs across identical tables: %d vs %d", g, item, pa, pb)
+			}
+			if pa < 0 || pa >= g {
+				t.Fatalf("g=%d: Place(%q) = %d out of range", g, item, pa)
+			}
+		}
+	}
+}
+
+// TestPlaceBalance checks the hash spreads keys roughly evenly: no shard
+// of 4 should own more than twice its fair share of 2000 keys.
+func TestPlaceBalance(t *testing.T) {
+	table := testTable(4)
+	counts := make([]int, 4)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[table.Place(fmt.Sprintf("key%04d", i))]++
+	}
+	for i, c := range counts {
+		if c > keys/2 || c < keys/16 {
+			t.Fatalf("shard %d owns %d of %d keys: %v", i, c, keys, counts)
+		}
+	}
+}
+
+// TestRebalanceMinimality is the property that makes rendezvous hashing
+// worth its per-key cost: growing G to G+1 moves only the keys the new
+// shard wins (~1/(G+1) of them), and never moves a key between two
+// pre-existing shards.
+func TestRebalanceMinimality(t *testing.T) {
+	const keys = 4000
+	for _, g := range []int{2, 4, 8} {
+		before, after := testTable(g), testTable(g+1)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			item := fmt.Sprintf("key%04d", i)
+			pb, pa := before.Place(item), after.Place(item)
+			if pb == pa {
+				continue
+			}
+			if pa != g {
+				t.Fatalf("g=%d→%d: %q moved between pre-existing shards (%d→%d)", g, g+1, item, pb, pa)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		want := 1.0 / float64(g+1)
+		if frac < want/2 || frac > want*2 {
+			t.Fatalf("g=%d→%d: %.3f of keys moved, want ~%.3f", g, g+1, frac, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testTable(2).Validate(1); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	var nilTable *Table
+	if err := nilTable.Validate(1); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if err := (&Table{}).Validate(1); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	dup := testTable(2)
+	dup.Shards[1].Name = dup.Shards[0].Name
+	if err := dup.Validate(1); err == nil {
+		t.Fatal("duplicate shard names accepted")
+	}
+	unnamed := testTable(1)
+	unnamed.Shards[0].Name = ""
+	if err := unnamed.Validate(1); err == nil {
+		t.Fatal("unnamed shard accepted")
+	}
+	small := testTable(2)
+	small.Shards[1].Servers = small.Shards[1].Servers[:3] // 3 < 3b+1
+	if err := small.Validate(1); err == nil {
+		t.Fatal("undersized shard accepted (n=3 cannot tolerate b=1)")
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	admin := cryptoutil.DeterministicKeyPair("shardadmin", "test")
+	ring.MustRegister(admin.ID, admin.Public)
+
+	table := testTable(2)
+	if err := table.Verify(ring, nil); err != nil {
+		t.Fatalf("unsigned table must verify trivially: %v", err)
+	}
+	table.Sign(admin, nil)
+	if err := table.Verify(ring, nil); err != nil {
+		t.Fatalf("signed table failed verification: %v", err)
+	}
+
+	// Any topology tamper after signing must be detected: a malicious
+	// directory cannot redirect items to servers it controls.
+	tampered := table.Clone()
+	tampered.Shards[0].Servers[0] = "evil-s00"
+	if err := tampered.Verify(ring, nil); err == nil {
+		t.Fatal("tampered server list verified")
+	}
+	renamed := table.Clone()
+	renamed.Shards[1].Name = "gXX"
+	if err := renamed.Verify(ring, nil); err == nil {
+		t.Fatal("tampered shard name verified")
+	}
+	bumped := table.Clone()
+	bumped.Version = 2
+	if err := bumped.Verify(ring, nil); err == nil {
+		t.Fatal("tampered version verified")
+	}
+}
+
+// TestSigningBytesInjective spot-checks the canonical encoding's length
+// prefixes: shard/server name boundaries cannot be shifted to make two
+// different tables collide.
+func TestSigningBytesInjective(t *testing.T) {
+	a := &Table{Version: 1, Shards: []Shard{{Name: "ab", Servers: []string{"c"}}}}
+	b := &Table{Version: 1, Shards: []Shard{{Name: "a", Servers: []string{"bc"}}}}
+	if string(a.SigningBytes()) == string(b.SigningBytes()) {
+		t.Fatal("distinct tables share signing bytes")
+	}
+}
+
+func TestShardHelpers(t *testing.T) {
+	table := testTable(2)
+	item := "somekey"
+	idx := table.Place(item)
+	if got := table.ShardFor(item).Name; got != table.Shards[idx].Name {
+		t.Fatalf("ShardFor(%q) = %s, want shard %d", item, got, idx)
+	}
+	if !table.Owns(table.Shards[idx].Name, item) {
+		t.Fatal("owning shard reported as not owning")
+	}
+	if table.Owns(table.Shards[1-idx].Name, item) {
+		t.Fatal("non-owning shard reported as owning")
+	}
+	if i, err := table.ShardOf("g01"); err != nil || i != 1 {
+		t.Fatalf("ShardOf(g01) = %d, %v", i, err)
+	}
+	if _, err := table.ShardOf("gXX"); err == nil {
+		t.Fatal("ShardOf accepted unknown shard")
+	}
+	if i, err := table.ShardOfServer("g01-s02"); err != nil || i != 1 {
+		t.Fatalf("ShardOfServer(g01-s02) = %d, %v", i, err)
+	}
+	if _, err := table.ShardOfServer("nobody"); err == nil {
+		t.Fatal("ShardOfServer accepted unknown server")
+	}
+}
+
+func TestRangeMap(t *testing.T) {
+	table := testTable(3)
+	rm, err := NewRangeMap(table, []string{"h", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		"apple":  0,
+		"grape":  0,
+		"h":      1, // boundary items belong to the upper shard: [h, p)
+		"mango":  1,
+		"p":      2,
+		"secret": 2,
+		"zebra":  2,
+	}
+	for item, want := range cases {
+		if got := rm.Place(item); got != want {
+			t.Errorf("RangeMap.Place(%q) = %d, want %d", item, got, want)
+		}
+	}
+	if _, err := NewRangeMap(table, []string{"a"}); err == nil {
+		t.Fatal("wrong bound count accepted")
+	}
+	if _, err := NewRangeMap(table, []string{"p", "h"}); err == nil {
+		t.Fatal("unsorted bounds accepted")
+	}
+	if _, err := NewRangeMap(nil, nil); err == nil {
+		t.Fatal("nil table accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	table := testTable(2)
+	table.Sign(cryptoutil.DeterministicKeyPair("shardadmin", "test"), nil)
+	cp := table.Clone()
+	cp.Shards[0].Servers[0] = "mutated"
+	cp.Sig[0] ^= 0xff
+	if table.Shards[0].Servers[0] == "mutated" || table.Sig[0] == cp.Sig[0] {
+		t.Fatal("Clone shares state with the original")
+	}
+	var nilTable *Table
+	if nilTable.Clone() != nil {
+		t.Fatal("Clone of nil is not nil")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"securestore/internal/accessctl"
@@ -27,7 +28,31 @@ var (
 	ErrDigest    = errors.New("wire: value digest mismatch")
 	ErrWriterUID = errors.New("wire: stamp writer does not match signer")
 	ErrNotFound  = errors.New("wire: item not found")
+	// ErrWrongShard reports that a request named an item (or context
+	// owner) the receiving replica's shard does not own. It is a permanent
+	// routing error: retrying against the same group can never succeed, so
+	// clients fail fast and re-resolve against their shard table instead
+	// of burning their retry budget. The bracketed token is part of the
+	// error contract — see IsWrongShard.
+	ErrWrongShard = errors.New("wire: item not owned by this replica group " + wrongShardToken)
 )
+
+// wrongShardToken is the stable in-band marker for wrong-shard errors.
+// The TCP transport flattens server errors to strings (replyEnvelope.Err
+// carries only err.Error()), so errors.Is alone cannot classify a remote
+// rejection; the token survives the flattening and IsWrongShard matches
+// it on the far side.
+const wrongShardToken = "[EWRONGSHARD]"
+
+// IsWrongShard reports whether err is a wrong-shard rejection, whether it
+// arrived as a live error chain (in-memory transport) or as a
+// reconstructed string error (TCP).
+func IsWrongShard(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrWrongShard) || strings.Contains(err.Error(), wrongShardToken)
+}
 
 // Consistency selects the consistency level a group of data items was
 // created with (Section 4.2). Per the paper, the level is fixed at item

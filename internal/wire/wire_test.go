@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"testing"
 
 	"securestore/internal/cryptoutil"
@@ -216,5 +217,32 @@ func TestConsistencyString(t *testing.T) {
 	}
 	if Consistency(42).String() == "" {
 		t.Fatal("unknown consistency renders empty")
+	}
+}
+
+// TestIsWrongShardSurvivesFlattening pins the in-band token contract:
+// transports that flatten errors to strings (the TCP caller ships remote
+// errors as text) must still let clients recognize a wrong-shard
+// rejection, because the typed error loses its identity at the
+// connection boundary. A wrapped typed error and a fully flattened one
+// must both classify; unrelated errors must not.
+func TestIsWrongShardSurvivesFlattening(t *testing.T) {
+	if !IsWrongShard(ErrWrongShard) {
+		t.Fatal("typed error not recognized")
+	}
+	if !IsWrongShard(fmt.Errorf("reject %q: %w", "item", ErrWrongShard)) {
+		t.Fatal("wrapped typed error not recognized")
+	}
+	// The TCP path: the remote error arrives as a plain string with no
+	// wrapped sentinel — only the token survives.
+	flattened := fmt.Errorf("call g01-s00: %s", ErrWrongShard.Error())
+	if errors.Is(flattened, ErrWrongShard) {
+		t.Fatal("test premise broken: flattening kept the sentinel")
+	}
+	if !IsWrongShard(flattened) {
+		t.Fatal("flattened error not recognized via in-band token")
+	}
+	if IsWrongShard(nil) || IsWrongShard(errors.New("connection refused")) {
+		t.Fatal("unrelated errors misclassified as wrong-shard")
 	}
 }

@@ -31,6 +31,28 @@ type Config struct {
 	// ZipfSkew > 1 selects zipfian item popularity with parameter s;
 	// zero selects uniform.
 	ZipfSkew float64
+	// HotFraction in (0,1], with HotItems > 0, overlays a hot-key mix on
+	// top of the base distribution: each pick lands in the hot set (the
+	// first HotItems items) with probability HotFraction, spread uniformly
+	// inside it, and follows the base (uniform or zipfian) distribution
+	// otherwise. An 0.9/HotItems=1 setting is the classic "90% of traffic
+	// on one key" stress for shard balance. Zero disables the overlay.
+	HotFraction float64
+	// HotItems sizes the hot set (default 1 when HotFraction is set).
+	HotItems int
+	// ValueSizes, when non-empty, draws each written value's length from
+	// this weighted distribution instead of the fixed ValueSize — e.g.
+	// {{64, 9}, {4096, 1}} for a 90/10 small/large mix. Weights are
+	// relative, not percentages.
+	ValueSizes []ValueSize
+}
+
+// ValueSize is one bucket of the value-length distribution.
+type ValueSize struct {
+	// Bytes is the value length drawn for this bucket.
+	Bytes int
+	// Weight is the bucket's relative probability mass (must be > 0).
+	Weight int
 }
 
 // Op is one generated operation.
@@ -42,11 +64,12 @@ type Op struct {
 
 // Generator produces operations.
 type Generator struct {
-	cfg   Config
-	rng   *rand.Rand
-	zipf  *rand.Zipf
-	items []string
-	seq   uint64
+	cfg         Config
+	rng         *rand.Rand
+	zipf        *rand.Zipf
+	items       []string
+	seq         uint64
+	totalWeight int
 }
 
 // New creates a generator.
@@ -60,6 +83,12 @@ func New(cfg Config) *Generator {
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 128
 	}
+	if cfg.HotFraction > 0 && cfg.HotItems <= 0 {
+		cfg.HotItems = 1
+	}
+	if cfg.HotItems > cfg.Items {
+		cfg.HotItems = cfg.Items
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := &Generator{cfg: cfg, rng: rng}
 	for i := 0; i < cfg.Items; i++ {
@@ -67,6 +96,11 @@ func New(cfg Config) *Generator {
 	}
 	if cfg.ZipfSkew > 1 {
 		g.zipf = rand.NewZipf(rng, cfg.ZipfSkew, 1, uint64(cfg.Items-1))
+	}
+	for _, vs := range cfg.ValueSizes {
+		if vs.Weight > 0 && vs.Bytes > 0 {
+			g.totalWeight += vs.Weight
+		}
 	}
 	return g
 }
@@ -102,16 +136,38 @@ func (g *Generator) NextRead() Op {
 }
 
 func (g *Generator) pick() int {
+	if g.cfg.HotFraction > 0 && g.rng.Float64() < g.cfg.HotFraction {
+		return g.rng.Intn(g.cfg.HotItems)
+	}
 	if g.zipf != nil {
 		return int(g.zipf.Uint64())
 	}
 	return g.rng.Intn(len(g.items))
 }
 
+// valueSize draws one value length: the weighted ValueSizes distribution
+// when configured, the fixed ValueSize otherwise.
+func (g *Generator) valueSize() int {
+	if g.totalWeight == 0 {
+		return g.cfg.ValueSize
+	}
+	draw := g.rng.Intn(g.totalWeight)
+	for _, vs := range g.cfg.ValueSizes {
+		if vs.Weight <= 0 || vs.Bytes <= 0 {
+			continue
+		}
+		if draw < vs.Weight {
+			return vs.Bytes
+		}
+		draw -= vs.Weight
+	}
+	return g.cfg.ValueSize // unreachable when totalWeight > 0
+}
+
 // value builds a distinguishable synthetic payload: a header containing
 // the sequence number followed by pseudo-random filler.
 func (g *Generator) value() []byte {
-	v := make([]byte, g.cfg.ValueSize)
+	v := make([]byte, g.valueSize())
 	copy(v, fmt.Sprintf("v%08d|", g.seq))
 	for i := 10; i < len(v); i++ {
 		v[i] = byte('a' + g.rng.Intn(26))

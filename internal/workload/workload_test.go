@@ -109,6 +109,58 @@ func TestValueSizeAndUniqueness(t *testing.T) {
 	}
 }
 
+func TestHotFraction(t *testing.T) {
+	g := New(Config{Seed: 5, Items: 64, ReadFraction: 1, HotFraction: 0.9, HotItems: 2})
+	counts := make(map[string]int)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		counts[g.Next().Item]++
+	}
+	hot := counts["item000"] + counts["item001"]
+	frac := float64(hot) / total
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot-set fraction = %.2f, want ~0.9", frac)
+	}
+	// The cold remainder still spreads over the whole keyspace.
+	if len(counts) < 32 {
+		t.Fatalf("saw only %d distinct items; cold tail not uniform", len(counts))
+	}
+}
+
+func TestHotFractionDefaultsToOneItem(t *testing.T) {
+	g := New(Config{Seed: 5, Items: 16, ReadFraction: 1, HotFraction: 1})
+	for i := 0; i < 100; i++ {
+		if item := g.Next().Item; item != "item000" {
+			t.Fatalf("HotFraction=1 with default hot set picked %q", item)
+		}
+	}
+}
+
+func TestValueSizeDistribution(t *testing.T) {
+	g := New(Config{Seed: 9, Items: 2, ValueSizes: []ValueSize{{Bytes: 64, Weight: 9}, {Bytes: 4096, Weight: 1}}})
+	counts := make(map[int]int)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		counts[len(g.NextWrite().Value)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("value lengths = %v, want exactly {64, 4096}", counts)
+	}
+	small := float64(counts[64]) / total
+	if small < 0.85 || small > 0.95 {
+		t.Fatalf("small-value fraction = %.2f, want ~0.9", small)
+	}
+}
+
+func TestValueSizesIgnoresInvalidBuckets(t *testing.T) {
+	// Zero-weight and zero-byte buckets carry no mass; with no valid
+	// bucket the fixed ValueSize applies.
+	g := New(Config{Seed: 1, Items: 2, ValueSize: 32, ValueSizes: []ValueSize{{Bytes: 0, Weight: 5}, {Bytes: 99, Weight: 0}}})
+	if n := len(g.NextWrite().Value); n != 32 {
+		t.Fatalf("value length = %d, want fixed fallback 32", n)
+	}
+}
+
 func TestDefaults(t *testing.T) {
 	g := New(Config{})
 	if len(g.Items()) == 0 {

@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench_trajectory.sh — concatenate every per-PR benchmark recording
+# (BENCH_PR*.json at the repo root) into one trajectory document.
+#
+# Usage: scripts/bench_trajectory.sh [output]
+#   output defaults to BENCH_TRAJECTORY.json in the repo root.
+#
+# CI runs this on every push so the combined performance history is always
+# available as a build artifact without being committed (the per-PR files
+# stay the source of truth).
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-"$root/BENCH_TRAJECTORY.json"}
+
+cd "$root"
+go run ./cmd/benchcat -o "$out" BENCH_PR*.json
+echo "wrote $out"
