@@ -40,6 +40,8 @@ func run(args []string, in *os.File, out *os.File) error {
 		id         = fs.String("id", "", "client principal name (required)")
 		group      = fs.String("group", "", "related item group (required)")
 		timeout    = fs.Duration("timeout", 5*time.Second, "per-operation timeout")
+		fragThresh = fs.Int("fragment-threshold", -1,
+			"erasure-code values of at least this many bytes across the replica group (0 disables; -1 keeps the config's fragmentThresholdBytes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,9 @@ func run(args []string, in *os.File, out *os.File) error {
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		return err
+	}
+	if *fragThresh >= 0 {
+		cfg.FragmentThresholdBytes = *fragThresh
 	}
 	wire.RegisterGob()
 	cl, err := deploy.BuildClient(cfg, *id, *group)

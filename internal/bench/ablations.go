@@ -311,6 +311,7 @@ func All() []Experiment {
 		{"t3", "replica concurrency: coarse vs fine-grained locking", T3ReplicaConcurrency},
 		{"t4", "wire codec: binary vs gob round trips + saturation", T4CodecComparison},
 		{"t5", "sharding: multi-group scaling + hot-key skew", T5ShardScaling},
+		{"t6", "fragmentation: replicated vs erasure-coded wire bytes", T6Fragmentation},
 		{"obs", "observability: instrumentation overhead + latency percentiles", O1ObsOverhead},
 		{"chaos", "chaos soak: composed faults vs checker verdict", ChaosSoak},
 	}

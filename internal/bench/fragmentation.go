@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+)
+
+// fragPath is one storage-path configuration T6 compares: the replicated
+// baseline (full value to every write-set replica) or an erasure-coded
+// variant (one ~|v|/k fragment per replica).
+type fragPath struct {
+	name string
+	// params configures the client; nil keeps the replicated path.
+	params *envParams
+	// contacted is how many replicas a write sends bytes to: the b+1
+	// write set when replicated, all n when erasure-coded (dispersal
+	// stores fragment i on server i and waits for k+b acks).
+	contacted int
+	// acks is the write quorum: b+1 replicated, k+b erasure-coded.
+	acks int
+}
+
+// T6Fragmentation measures what the erasure-coded data path buys in wire
+// bytes for large values: the replicated path sends the full value to each
+// of the b+1 write-set replicas, while dispersal sends one ~|value|/k
+// fragment (plus the fixed n×32-byte cross-checksum envelope header) to
+// each of the n replicas, waiting for k+b acks. Client egress is read off
+// securestore_tx_bytes_total, so the table reports exactly what the
+// /metrics endpoint reports in production. At n=4, b=1 the feasible
+// thresholds are k=2 (write quorum 3 of 4, one replica of write-time
+// slack) and k=3 (write quorum 4 of 4, maximum space efficiency, no
+// write-time slack) — the per-replica reduction for large values is ~k×.
+func T6Fragmentation(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "T6",
+		Title:  "replicated vs erasure-coded data path: client wire bytes per write (n=4, b=1, loopback sockets)",
+		Header: []string{"value size", "path", "sends (acks)", "tx KB/op", "per-replica KB", "per-replica vs replicated", "MB/s"},
+		Notes: []string{
+			"tx KB/op = securestore_tx_bytes_total delta / writes (includes the read-back requests, which are tiny)",
+			"per-replica KB = tx KB/op divided by replicas sent to: the b+1 write set when replicated, all n for dispersal (fragment i to server i, k+b acks)",
+			"each fragment is ~|value|/k plus the n x 32-byte signed cross-checksum vector",
+			"k=2 keeps one replica of write-time slack (3 of 4 acks); k=3 is the space-efficiency maximum at n=4, b=1 and needs all 4 acks",
+			"MB/s counts value payload through write+read-back pairs (wall clock, loopback)",
+		},
+	}
+	sizes := pick(opts, []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}, []int{64 << 10, 256 << 10})
+	ops := pick(opts, 8, 3)
+	paths := []fragPath{
+		{name: "replicated", params: nil, contacted: 2, acks: 2},
+		{name: "erasure k=2", params: &envParams{fragThreshold: 1}, contacted: 4, acks: 3},
+		{name: "erasure k=3", params: &envParams{fragThreshold: 1, fragK: 3}, contacted: 4, acks: 4},
+	}
+
+	for _, size := range sizes {
+		value := make([]byte, size)
+		for i := range value {
+			value[i] = byte(i * 31)
+		}
+		var replicatedPerReplica float64
+		for _, path := range paths {
+			txPerOp, mbps, err := runFragWorkload(opts.seed(), path.params, value, ops)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", t.ID, path.name, err)
+			}
+			perReplica := txPerOp / float64(path.contacted)
+			reduction := "1.00x"
+			if path.params == nil {
+				replicatedPerReplica = perReplica
+			} else {
+				reduction = fmt.Sprintf("%.2fx", replicatedPerReplica/perReplica)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d KiB", size>>10),
+				path.name,
+				fmt.Sprintf("%d (%d)", path.contacted, path.acks),
+				fmt.Sprintf("%.1f", txPerOp/1024),
+				fmt.Sprintf("%.1f", perReplica/1024),
+				reduction,
+				fmt.Sprintf("%.1f", mbps),
+			)
+		}
+	}
+	return t, nil
+}
+
+// runFragWorkload writes ops copies of value to private items over a fresh
+// loopback deployment, reads each back (verifying the round trip), and
+// returns the client's transmitted wire bytes per write plus the payload
+// throughput of the whole write+read sequence.
+func runFragWorkload(seed string, params *envParams, value []byte, ops int) (txPerOp, mbps float64, err error) {
+	env, err := newTCPStoreEnv(seed, 0, nil, params)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer env.Close()
+	ctx := context.Background()
+	txBefore := env.M.TxBytesTotal()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		item := fmt.Sprintf("blob-%d", i)
+		if _, err := env.Client.Write(ctx, item, value); err != nil {
+			return 0, 0, fmt.Errorf("write %s: %w", item, err)
+		}
+		got, _, err := env.Client.Read(ctx, item)
+		if err != nil {
+			return 0, 0, fmt.Errorf("read %s: %w", item, err)
+		}
+		if !bytes.Equal(got, value) {
+			return 0, 0, fmt.Errorf("read %s: value mismatch (%d bytes, want %d)", item, len(got), len(value))
+		}
+	}
+	elapsed := time.Since(start)
+	txDelta := env.M.TxBytesTotal() - txBefore
+	payload := float64(2*ops) * float64(len(value))
+	return float64(txDelta) / float64(ops), payload / (1 << 20) / elapsed.Seconds(), nil
+}

@@ -74,6 +74,13 @@ type envParams struct {
 	// gob runs every replica and the client over gob-encoded frames
 	// (transport.WithGobCodec) — the pre-codec-PR wire protocol baseline.
 	gob bool
+	// fragThreshold, when positive, makes the client erasure-code values of
+	// at least this many post-encryption bytes instead of replicating them
+	// (client.Config.FragmentThreshold).
+	fragThreshold int
+	// fragK overrides the erasure-coding reconstruction threshold
+	// (default b+1 = 2; at n=4, b=1 the maximum feasible k is 3).
+	fragK int
 }
 
 func (p *envParams) get() envParams {
@@ -150,6 +157,7 @@ func newTCPStoreEnv(seed string, delay time.Duration, obs *benchObs, params *env
 		ID: key.ID, Key: key, Ring: ring, Servers: names, B: b,
 		Group: "bench", Consistency: wire.MRC,
 		Caller: env.caller, Metrics: env.M, Tracer: obs.clientTracer(),
+		FragmentThreshold: p.fragThreshold, FragmentK: p.fragK,
 		CallTimeout: 10 * time.Second, ReadRetries: 1, RetryBackoff: 5 * time.Millisecond,
 	})
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 
 	"securestore/internal/accessctl"
 	"securestore/internal/cryptoutil"
+	"securestore/internal/fragstore"
 	"securestore/internal/metrics"
 	"securestore/internal/quorum"
 	"securestore/internal/sessionctx"
@@ -126,6 +127,25 @@ type Config struct {
 	// b+1 copies of the value and verifying up to b+1 signatures instead
 	// of one. Ablation A4 quantifies the trade. Single-writer groups only.
 	EagerRead bool
+	// FragmentThreshold, when positive, erasure-codes values of at least
+	// this many bytes (post-encryption) instead of replicating them: the
+	// value is dispersed into one IDA fragment per replica of the item's
+	// group (internal/fragstore), cutting per-replica wire and disk bytes
+	// to ~1/k of the value at k+b write acks. Values below the threshold
+	// keep the replicated path. Reads are transparent either way — a read
+	// that finds a fragment envelope reconstructs from the quorum.
+	// Incompatible with MultiWriter (fragment stamps are single-writer).
+	// Fragment writes embed no writer context; under CC the session's own
+	// ordering still holds through the client's context vector, but other
+	// sessions cannot pull this write's causal predecessors from it.
+	FragmentThreshold int
+	// FragmentK overrides the erasure-coding reconstruction threshold
+	// (default b+1). Higher k means smaller fragments (~1/k of the value
+	// per replica) but more servers per operation: writes need k+b acks,
+	// so k = n-b (the maximum) leaves no write-time slack for failures.
+	// All sessions of a deployment must agree on k — readers reject
+	// fragments dispersed under a different threshold.
+	FragmentK int
 }
 
 func (c *Config) withDefaults() Config {
@@ -190,6 +210,12 @@ type Client struct {
 	// itself — the client-side analogue of the server's mw gate.
 	crossMu sync.Mutex
 
+	// frag is the erasure-coding engine behind FragmentThreshold, also
+	// used to reconstruct fragmented items on the read path. Nil in
+	// multi-writer sessions and when the cluster cannot satisfy the
+	// feasibility bound b < k <= n-b.
+	frag *fragstore.Store
+
 	rngMu sync.Mutex // guards rng (retry-backoff jitter)
 	rng   *rand.Rand
 }
@@ -237,6 +263,27 @@ func New(cfg Config) (*Client, error) {
 		}
 		cl.shards = []shardView{{servers: c.Servers, n: len(c.Servers)}}
 		cl.home = cl.shards[0]
+	}
+	if c.FragmentThreshold > 0 && c.MultiWriter {
+		return nil, errors.New("client: FragmentThreshold is incompatible with MultiWriter (fragment stamps are single-writer)")
+	}
+	// Single-writer sessions get the erasure-coding engine whenever the
+	// deployment can satisfy b < k <= n-b (k = b+1): writes use it above
+	// FragmentThreshold, and reads use it to reconstruct fragmented items
+	// regardless of this session's own threshold.
+	if !c.MultiWriter {
+		frag, err := fragstore.New(fragstore.Config{
+			ID: c.ID, Key: c.Key, Ring: c.Ring,
+			Servers: c.Servers, Table: c.Table, B: c.B, K: c.FragmentK,
+			Group: c.Group, Caller: c.Caller, Token: c.Token,
+			Metrics: c.Metrics, CallTimeout: c.CallTimeout,
+		})
+		switch {
+		case err == nil:
+			cl.frag = frag
+		case c.FragmentThreshold > 0 || c.FragmentK > 0:
+			return nil, fmt.Errorf("client: fragmentation requires an erasure-codable cluster: %w", err)
+		}
 	}
 	return cl, nil
 }

@@ -30,6 +30,13 @@ func (c *Client) Write(ctx context.Context, item string, value []byte) (_ timest
 	if err != nil {
 		return timestamp.Stamp{}, err
 	}
+	if c.frag != nil && c.cfg.FragmentThreshold > 0 && len(stored) >= c.cfg.FragmentThreshold {
+		// Large value: disperse it instead of replicating it. Each replica
+		// receives ~1/k of the bytes inside a self-verifying fragment
+		// envelope; the write completes at k+b acks.
+		sp.SetAttr("fragmented", "true")
+		return c.writeFragmented(ctx, item, stored)
+	}
 
 	c.mu.Lock()
 	stamp := timestamp.Stamp{Time: c.clock.Next(c.ctxVec.Get(item).Time)}
@@ -156,6 +163,14 @@ func (c *Client) Read(ctx context.Context, item string) (_ []byte, _ timestamp.S
 		}
 	}
 
+	// A fragment envelope means the item's current version is dispersed:
+	// no single server holds the value, so reconstruct it from the quorum
+	// before touching the session context.
+	if c.frag != nil && wire.IsFragmentEnvelope(write.Value) {
+		sp.SetAttr("fragmented", "true")
+		return c.readFragmented(ctx, item)
+	}
+
 	// Update the context per the consistency level (Figure 2).
 	c.mu.Lock()
 	if c.cfg.Consistency == wire.CC && write.WriterCtx != nil {
@@ -170,6 +185,58 @@ func (c *Client) Read(ctx context.Context, item string) (_ []byte, _ timestamp.S
 		return nil, timestamp.Stamp{}, err
 	}
 	return value, write.Stamp, nil
+}
+
+// writeFragmented stores one sealed value through the erasure-coding
+// engine: Split into n shares, one signature over the cross-checksum, k+b
+// acks. The session context and clock advance exactly as for a
+// replicated write, so a later read of the item cannot go backwards.
+func (c *Client) writeFragmented(ctx context.Context, item string, stored []byte) (timestamp.Stamp, error) {
+	c.mu.Lock()
+	floor := c.ctxVec.Get(item).Time
+	c.mu.Unlock()
+	c.cfg.Metrics.AddCustom("write.fragmented", 1)
+
+	stamp, err := c.frag.WriteAbove(ctx, item, stored, floor)
+	if err != nil {
+		return stamp, fmt.Errorf("write %s: %w", item, err)
+	}
+	c.mu.Lock()
+	c.ctxVec.Update(item, stamp)
+	c.clock.Observe(stamp.Time)
+	c.mu.Unlock()
+	return stamp, nil
+}
+
+// readFragmented reconstructs a dispersed item: gather n-b replies, take
+// the newest stamp with k index-distinct checksum-consistent shares,
+// decode, and only then open (decrypt) — fragmentation wraps the sealed
+// bytes, so confidentiality layering is unchanged.
+func (c *Client) readFragmented(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	c.mu.Lock()
+	floor := c.ctxVec.Get(item)
+	c.mu.Unlock()
+	c.cfg.Metrics.AddCustom("read.fragmented", 1)
+
+	stored, stamp, err := c.frag.Read(ctx, item)
+	if err != nil {
+		return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, err)
+	}
+	if stamp.Less(floor) {
+		// The reconstructible version is older than this session has seen
+		// (e.g. the newest write's shares have not settled yet).
+		return nil, timestamp.Stamp{}, fmt.Errorf("read %s: %w", item, ErrStale)
+	}
+	c.mu.Lock()
+	c.ctxVec.Update(item, stamp)
+	c.clock.Observe(stamp.Time)
+	c.mu.Unlock()
+
+	value, err := c.open(item, stored)
+	if err != nil {
+		return nil, timestamp.Stamp{}, err
+	}
+	return value, stamp, nil
 }
 
 // readSingleWriter is one attempt of the two-phase read of Figure 2:

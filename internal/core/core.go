@@ -489,15 +489,14 @@ func seedInt(seed string) int64 {
 }
 
 // NewFragStore mints a fragmentation–scattering client (internal/fragstore)
-// over this cluster: values are dispersed into one IDA fragment per server
+// over this cluster: values are dispersed into one IDA fragment per replica
 // so that any k reconstruct and fewer reveal nothing — the complementary
 // technique of the paper's Section 3 (refs [14,15,18]) without any
-// encryption keys to manage. The group should be registered MRC,
-// single-writer. k = 0 selects the default b+1.
+// encryption keys to manage. On a sharded cluster each item's fragments
+// are routed to the servers of its owning group under the signed shard
+// table. The group should be registered MRC, single-writer. k = 0 selects
+// the default b+1.
 func (c *Cluster) NewFragStore(spec ClientSpec, group GroupSpec, k int) (*fragstore.Store, error) {
-	if c.Table != nil {
-		return nil, fmt.Errorf("core: fragstore requires a single replica group (fragments span all n servers)")
-	}
 	if spec.Group == "" {
 		spec.Group = group.Name
 	}
@@ -518,6 +517,7 @@ func (c *Cluster) NewFragStore(spec ClientSpec, group GroupSpec, k int) (*fragst
 		Key:         key,
 		Ring:        c.Ring,
 		Servers:     append([]string(nil), c.ServerNames...),
+		Table:       c.Table,
 		B:           c.cfg.B,
 		K:           k,
 		Group:       spec.Group,

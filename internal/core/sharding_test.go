@@ -13,8 +13,9 @@ import (
 
 // TestMultiGroupTopology checks the shape of a sharded cluster: G
 // disjoint replica groups with per-group names, a signed table clients
-// can verify, and the single-group client conveniences (ServerOrder,
-// fragstore) refused rather than silently misrouted.
+// can verify, the single-group client conveniences (ServerOrder) refused
+// rather than silently misrouted, and the fragstore routing each item's
+// fragments to the servers of its owning group.
 func TestMultiGroupTopology(t *testing.T) {
 	cluster, err := NewCluster(ClusterConfig{N: 4, B: 1, Groups: 2, Seed: t.Name()})
 	if err != nil {
@@ -49,8 +50,34 @@ func TestMultiGroupTopology(t *testing.T) {
 	if _, err := cluster.NewClient(spec, group); err == nil {
 		t.Fatal("ServerOrder accepted on a sharded cluster")
 	}
-	if _, err := cluster.NewFragStore(fastSpec("frag", "g"), group, 2); err == nil {
-		t.Fatal("fragstore accepted on a sharded cluster")
+	// The fragstore is shard-aware: each item is dispersed across the
+	// servers of its owning group only, and reconstructs from them.
+	frag, err := cluster.NewFragStore(fastSpec("frag", "g"), group, 2)
+	if err != nil {
+		t.Fatalf("fragstore on a sharded cluster: %v", err)
+	}
+	ctx := context.Background()
+	for shard, item := range itemsPerShard(t, cluster, "frag") {
+		want := []byte("dispersed-on-" + shard)
+		if _, err := frag.Write(ctx, item, want); err != nil {
+			t.Fatalf("frag write %s (shard %s): %v", item, shard, err)
+		}
+		got, _, err := frag.Read(ctx, item)
+		if err != nil {
+			t.Fatalf("frag read %s (shard %s): %v", item, shard, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frag read %s = %q, want %q", item, got, want)
+		}
+		// Fragments must not leak outside the owning group.
+		for gi, servers := range cluster.GroupServers {
+			owns := cluster.Table.Shards[gi].Name == shard
+			for _, srv := range servers {
+				if head := srv.Head("g", item); (head != nil) != owns {
+					t.Fatalf("server %s (owns=%v) head=%v for %s", srv.ID(), owns, head != nil, item)
+				}
+			}
+		}
 	}
 
 	alice, err := cluster.NewClient(fastSpec("alice", "g"), group)
@@ -60,7 +87,7 @@ func TestMultiGroupTopology(t *testing.T) {
 	mustConnect(t, alice)
 
 	// Round-trip one item per shard so both groups serve traffic.
-	ctx := context.Background()
+	ctx = context.Background()
 	byShard := itemsPerShard(t, cluster, "topo")
 	for shard, item := range byShard {
 		want := []byte("owned-by-" + shard)

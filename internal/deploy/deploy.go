@@ -61,6 +61,15 @@ type Config struct {
 	Shards []ShardConfig `json:"shards,omitempty"`
 	// GossipIntervalMillis tunes dissemination (default 200).
 	GossipIntervalMillis int `json:"gossipIntervalMillis,omitempty"`
+	// FragmentThresholdBytes, when positive, makes clients erasure-code
+	// values of at least this many bytes across the item's replica group
+	// (one IDA fragment per server, any k reconstruct) instead of
+	// replicating them. 0 keeps every value on the replicated path.
+	FragmentThresholdBytes int `json:"fragmentThresholdBytes,omitempty"`
+	// FragmentK sets the erasure-coding reconstruction threshold for the
+	// whole deployment (default b+1; must satisfy b < k <= n-b per
+	// group). Every client must use the same k.
+	FragmentK int `json:"fragmentK,omitempty"`
 }
 
 // Load reads and validates a config file.
@@ -398,6 +407,10 @@ func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
 		Caller:      transport.NewTCPCaller(id, addrs, m),
 		Token:       token,
 		Metrics:     m,
+	}
+	if !g.MultiWriter {
+		cc.FragmentThreshold = cfg.FragmentThresholdBytes
+		cc.FragmentK = cfg.FragmentK
 	}
 	if table := cfg.Table(m); table != nil {
 		// Sharded deployment: items route per shard; the flat server list

@@ -1,0 +1,53 @@
+package fragment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReconstruct round-trips Split → Reconstruct over fuzzer-chosen data
+// and geometry: any k of the n shares must decode back to the input, and
+// feeding Reconstruct a mangled share must never panic (it may error or
+// return wrong bytes — integrity is the caller's cross-checksum job, not
+// the code's).
+func FuzzReconstruct(f *testing.F) {
+	f.Add([]byte("secure store"), uint8(2), uint8(4), uint8(0))
+	f.Add([]byte{}, uint8(1), uint8(1), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xA5}, 257), uint8(3), uint8(7), uint8(5))
+	f.Add([]byte("x"), uint8(5), uint8(5), uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, nRaw, skew uint8) {
+		k := int(kRaw%8) + 1
+		n := k + int(nRaw%8)
+		frags, err := Split(data, k, n)
+		if err != nil {
+			t.Fatalf("Split(%d bytes, k=%d, n=%d): %v", len(data), k, n, err)
+		}
+		// Decode from a rotated subset of k shares, exercising non-trivial
+		// index combinations.
+		start := int(skew) % n
+		subset := make([]Fragment, 0, k)
+		for i := 0; i < k; i++ {
+			subset = append(subset, frags[(start+i)%n])
+		}
+		got, err := Reconstruct(subset)
+		if err != nil {
+			t.Fatalf("Reconstruct(k=%d, n=%d, start=%d): %v", k, n, start, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round-trip mismatch: got %d bytes, want %d", len(got), len(data))
+		}
+		// Reconstruct must also stay deterministic: the full share set and
+		// any permutation of it decode via the same lowest-k indices.
+		full, err := Reconstruct(frags)
+		if err != nil || !bytes.Equal(full, data) {
+			t.Fatalf("Reconstruct(all n) mismatch: %v", err)
+		}
+		// Corrupt one share: must not panic (wrong output or error is fine).
+		if len(subset[0].Data) > 0 {
+			mangled := append([]Fragment(nil), subset...)
+			mangled[0].Data = append([]byte(nil), mangled[0].Data...)
+			mangled[0].Data[0] ^= 0xFF
+			_, _ = Reconstruct(mangled)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Errors returned by dispersal and reconstruction.
@@ -34,14 +35,14 @@ func Split(data []byte, k, n int) ([]Fragment, error) {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrParams, k, n)
 	}
 
-	// Prefix the payload with its length so padding can be stripped.
-	payload := make([]byte, 8+len(data))
+	// Prefix the payload with its length so padding can be stripped, and
+	// round the buffer up to a multiple of k in one allocation (the tail
+	// is already zero).
+	total := 8 + len(data)
+	padded := total + (k-total%k)%k
+	payload := make([]byte, padded)
 	binary.BigEndian.PutUint64(payload, uint64(len(data)))
 	copy(payload[8:], data)
-	// Pad to a multiple of k.
-	for len(payload)%k != 0 {
-		payload = append(payload, 0)
-	}
 	cols := len(payload) / k
 
 	frags := make([]Fragment, n)
@@ -65,6 +66,9 @@ func Split(data []byte, k, n int) ([]Fragment, error) {
 }
 
 // Reconstruct recovers the original data from any k distinct fragments.
+// When more than k are supplied it deterministically uses the k with the
+// lowest indices, so repeated reads over the same reply set — however the
+// gather ordered it — decode identically. The input slice is not mutated.
 func Reconstruct(frags []Fragment) ([]byte, error) {
 	if len(frags) == 0 {
 		return nil, ErrInsufficient
@@ -73,7 +77,9 @@ func Reconstruct(frags []Fragment) ([]byte, error) {
 	if len(frags) < k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, len(frags), k)
 	}
-	use := frags[:k]
+	sorted := append([]Fragment(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	use := sorted[:k]
 	cols := len(use[0].Data)
 	seen := make(map[int]bool, k)
 	for _, f := range use {

@@ -8,17 +8,26 @@
 // without any encryption key to manage, and any n-b healthy servers
 // suffice to read.
 //
-// Fragments are carried in ordinary SignedWrites (one per server, same
-// item and stamp, fragment index inside the signed payload), so all of
-// the store's integrity machinery applies unchanged. Fragment writes are
-// deliberately delivered point-to-point: dissemination ignores them
-// because equal stamps never overwrite, so honest servers hold at most
-// one fragment per item version.
+// Fragments travel in ordinary SignedWrites carrying the binary fragment
+// envelope (wire.FragmentEnvelope): the share plus the cross-checksum —
+// the digest vector of all n shares — whose CrossDigest the writer's one
+// signature binds through the stamp. Every fragment therefore
+// self-verifies (digest(share) == cross[index]), all n per-server writes
+// share a single signature and an identical stamp, and dissemination
+// cannot concentrate fragments because equal stamps never overwrite: each
+// honest server keeps exactly the one share addressed to it.
+//
+// Reads gather n-b replies, bucket verified fragments by their full stamp
+// (time, writer, cross-digest), reconstruct the newest bucket holding k
+// index-distinct shares, and then re-disperse the result to confirm it
+// regenerates the signed cross-checksum. That last check is what defeats
+// an equivocating *writer*: a client that signs a checksum vector not
+// produced by any single dispersal could otherwise make two honest
+// readers — reaching different k-subsets — reconstruct different values.
 package fragstore
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -28,6 +37,7 @@ import (
 	"securestore/internal/fragment"
 	"securestore/internal/metrics"
 	"securestore/internal/quorum"
+	"securestore/internal/sharding"
 	"securestore/internal/timestamp"
 	"securestore/internal/transport"
 	"securestore/internal/wire"
@@ -37,6 +47,26 @@ import (
 var (
 	ErrNotEnoughFragments = errors.New("fragstore: not enough fragments to reconstruct")
 	ErrInfeasible         = errors.New("fragstore: infeasible configuration")
+	// ErrEquivocation reports that the only reconstructible version was
+	// poisoned: its signed cross-checksum does not correspond to any
+	// single dispersal, so different reader quorums could decode
+	// different values and the store refuses to return any of them.
+	ErrEquivocation = errors.New("fragstore: writer equivocation detected")
+)
+
+// Metric names counted by reads (exported for tests and the /metrics
+// exporter's custom-counter section).
+const (
+	// MetricKMismatch counts replies whose envelope carried a threshold
+	// k different from the store's — misconfigured or Byzantine servers.
+	MetricKMismatch = "fragstore.read.kmismatch"
+	// MetricBadIndex counts replies whose fragment index or share count
+	// is out of range for the item's replica set.
+	MetricBadIndex = "fragstore.read.badindex"
+	// MetricEquivocation counts detected writer equivocations: either two
+	// distinct cross-checksums under one (time, writer) stamp, or a
+	// reconstruction that fails to regenerate its signed cross-checksum.
+	MetricEquivocation = "fragstore.equivocation.detected"
 )
 
 // Config assembles a fragmented store client.
@@ -46,13 +76,18 @@ type Config struct {
 	Key cryptoutil.KeyPair
 	// Ring holds all well-known public keys.
 	Ring *cryptoutil.Keyring
-	// Servers lists the replicas; one fragment goes to each.
+	// Servers lists the replicas of a single-group deployment; one
+	// fragment goes to each. Ignored when Table is set.
 	Servers []string
+	// Table, when non-nil, routes each item to its owning replica group:
+	// the item's fragments are dispersed across that group's servers.
+	Table *sharding.Table
 	// B is the fault bound.
 	B int
-	// K is the reconstruction threshold. It must satisfy b < K <= n-b:
-	// the lower bound keeps b colluding servers from reconstructing, the
-	// upper keeps reads live with b unavailable. Default b+1.
+	// K is the reconstruction threshold. It must satisfy b < K <= n-b for
+	// every replica group: the lower bound keeps b colluding servers from
+	// reconstructing, the upper keeps reads live with b unavailable.
+	// Default b+1.
 	K int
 	// Group names the related item group at the servers.
 	Group string
@@ -69,67 +104,115 @@ type Config struct {
 // Store is a fragmented-store client session.
 type Store struct {
 	cfg   Config
-	n     int
 	clock timestamp.Clock
 }
 
-// payload is the signed fragment envelope carried in SignedWrite.Value.
-type payload struct {
-	Index int    `json:"index"`
-	K     int    `json:"k"`
-	Data  []byte `json:"data"`
-}
-
-// New validates the configuration.
+// New validates the configuration: the feasibility bound b < k <= n-b
+// must hold for every replica group fragments can land on.
 func New(cfg Config) (*Store, error) {
-	n := len(cfg.Servers)
 	if cfg.K == 0 {
 		cfg.K = cfg.B + 1
-	}
-	if cfg.K <= cfg.B || cfg.K > n-cfg.B {
-		return nil, fmt.Errorf("%w: need b < k <= n-b, have n=%d b=%d k=%d", ErrInfeasible, n, cfg.B, cfg.K)
-	}
-	if cfg.CallTimeout <= 0 {
-		cfg.CallTimeout = 2 * time.Second
 	}
 	if cfg.Caller == nil {
 		return nil, errors.New("fragstore: caller required")
 	}
-	return &Store{cfg: cfg, n: n}, nil
+	check := func(where string, n int) error {
+		if cfg.K <= cfg.B || cfg.K > n-cfg.B {
+			return fmt.Errorf("%w: need b < k <= n-b, have %s n=%d b=%d k=%d", ErrInfeasible, where, n, cfg.B, cfg.K)
+		}
+		return nil
+	}
+	if cfg.Table != nil {
+		for _, shard := range cfg.Table.Shards {
+			if err := check("shard "+shard.Name, len(shard.Servers)); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := check("cluster", len(cfg.Servers)); err != nil {
+		return nil, err
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	return &Store{cfg: cfg}, nil
 }
 
 // K returns the reconstruction threshold in use.
 func (s *Store) K() int { return s.cfg.K }
 
-// Write disperses value into n fragments and stores one at each server.
-// It succeeds once k+b servers hold their fragment, which guarantees that
-// a later read reaching all-but-b servers finds at least k.
+// serversFor resolves the replica set an item's fragments live on: its
+// owning group under the shard table, or the flat server list.
+func (s *Store) serversFor(item string) []string {
+	if s.cfg.Table != nil {
+		return s.cfg.Table.ShardFor(item).Servers
+	}
+	return s.cfg.Servers
+}
+
+// Write disperses value into n fragments and stores one at each of the
+// item's replicas. It succeeds once k+b servers hold their fragment,
+// which guarantees that a later read reaching all-but-b servers finds at
+// least k.
 func (s *Store) Write(ctx context.Context, item string, value []byte) (timestamp.Stamp, error) {
-	frags, err := fragment.Split(value, s.cfg.K, s.n)
+	return s.WriteAbove(ctx, item, value, 0)
+}
+
+// WriteAbove is Write with a timestamp floor: the new version's time
+// exceeds both the store's clock and floor, letting an embedding client
+// keep fragment writes ordered after the session context it has observed.
+func (s *Store) WriteAbove(ctx context.Context, item string, value []byte, floor uint64) (timestamp.Stamp, error) {
+	servers := s.serversFor(item)
+	n := len(servers)
+	frags, err := fragment.Split(value, s.cfg.K, n)
 	if err != nil {
 		return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
 	}
-	stamp := timestamp.Stamp{Time: s.clock.Next(0)}
 
-	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
-	defer cancel()
+	// Cross-checksum: the digest of every share, identical in all n
+	// envelopes. The stamp's digest commits to it (and through it to each
+	// share), so one signature covers the whole dispersal.
+	cross := make([][32]byte, n)
+	for i, f := range frags {
+		cross[i] = cryptoutil.Digest(f.Data)
+	}
+	envs := make([]*wire.FragmentEnvelope, n)
+	for i, f := range frags {
+		envs[i] = &wire.FragmentEnvelope{Index: f.Index, K: s.cfg.K, N: n, Cross: cross, Share: f.Data}
+	}
+	stamp := timestamp.Stamp{
+		Time:   s.clock.Next(floor),
+		Writer: s.cfg.Key.ID,
+		Digest: envs[0].CrossDigest(),
+	}
 
-	// One distinct signed write per server: the fragment index is inside
-	// the signed payload, so a faulty server cannot pass off another
-	// server's fragment as its own index.
-	writes := make(map[string]*wire.SignedWrite, s.n)
-	for i, srv := range s.cfg.Servers {
-		raw, err := json.Marshal(payload{Index: frags[i].Index, K: frags[i].K, Data: frags[i].Data})
+	// One signature for all n writes: the envelopes differ only in index
+	// and share, neither of which the signing bytes cover directly — the
+	// cross-digest in the stamp binds them all. Sign the first write and
+	// share its signature; SignedWrite.Verify accepts each copy because
+	// every envelope reproduces the identical signing core.
+	writes := make(map[string]*wire.SignedWrite, n)
+	var first *wire.SignedWrite
+	for i, srv := range servers {
+		raw, err := envs[i].Encode()
 		if err != nil {
 			return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
 		}
 		w := &wire.SignedWrite{Group: s.cfg.Group, Item: item, Stamp: stamp, Value: raw}
-		w.Sign(s.cfg.Key, s.cfg.Metrics)
+		if first == nil {
+			w.Sign(s.cfg.Key, s.cfg.Metrics)
+			first = w
+		} else {
+			w.Writer = first.Writer
+			w.Sig = first.Sig
+		}
 		writes[srv] = w
 	}
 
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
+	defer cancel()
+
 	need := s.cfg.K + s.cfg.B
-	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, s.cfg.Servers, func(srv string) wire.Request {
+	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, servers, func(srv string) wire.Request {
 		return wire.WriteReq{Write: writes[srv], Token: s.cfg.Token}
 	}, need)
 	if err != nil {
@@ -141,66 +224,149 @@ func (s *Store) Write(ctx context.Context, item string, value []byte) (timestamp
 	return stamp, nil
 }
 
-// Read gathers fragments from the servers and reconstructs the newest
-// version for which k verifiable fragments with distinct indices exist.
+// Read gathers fragments from the item's replicas and reconstructs the
+// newest version for which k verifiable fragments with distinct indices
+// exist — then confirms the result re-disperses to the signed
+// cross-checksum before returning it.
 func (s *Store) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	servers := s.serversFor(item)
+	n := len(servers)
+
 	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
 	defer cancel()
 
-	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, s.cfg.Servers, func(string) wire.Request {
+	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, servers, func(string) wire.Request {
 		return wire.ValueReq{Client: s.cfg.ID, Group: s.cfg.Group, Item: item, Token: s.cfg.Token}
-	}, s.n-s.cfg.B)
+	}, n-s.cfg.B)
 	if err != nil {
 		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, err)
 	}
 
-	// Bucket verified fragments by stamp, keyed by fragment index so a
-	// replayed duplicate cannot count twice.
+	// Bucket verified fragments by their full stamp — (time, writer,
+	// cross-digest). Verify has already pinned each reply to its signer
+	// (stamp.Writer == signature), its cross-checksum (stamp.Digest ==
+	// CrossDigest) and its own share (digest(share) == cross[index]), so
+	// a bucket can only ever mix shares of one writer's one dispersal:
+	// concurrent writers with colliding times land in separate buckets
+	// instead of reconstructing interleaved garbage. Keying by fragment
+	// index keeps a replayed duplicate from counting twice.
+	type versionKey struct {
+		time   uint64
+		writer string
+	}
 	byStamp := make(map[timestamp.Stamp]map[int]fragment.Fragment)
+	// crossByStamp keeps each bucket's full cross-checksum vector for the
+	// post-reconstruction consistency check. All envelopes in one bucket
+	// carry the same vector: the stamp's digest commits to it.
+	crossByStamp := make(map[timestamp.Stamp][][32]byte)
+	crossSeen := make(map[versionKey][32]byte)
+	// poisoned marks (time, writer) pairs under which the writer signed two
+	// different dispersals. Neither may be returned: any two reader quorums
+	// (n-b each) overlap in enough servers that both readers see both
+	// digests, so refusing every bucket of the pair keeps honest readers
+	// consistent with each other — they fall back to the same older version.
+	poisoned := make(map[versionKey]bool)
+	equivocated := false
 	for _, r := range quorum.Successes(replies) {
 		vr, ok := r.Resp.(wire.ValueResp)
 		if !ok || vr.Write == nil || vr.Write.Item != item || vr.Write.Group != s.cfg.Group {
 			continue
 		}
 		if err := vr.Write.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
-			continue // tampered fragment: drop
+			continue // tampered or mislabeled fragment: drop
 		}
-		var p payload
-		if err := json.Unmarshal(vr.Write.Value, &p); err != nil || p.K != s.cfg.K {
+		env, err := wire.DecodeFragmentEnvelope(vr.Write.Value)
+		if err != nil {
+			continue // not a fragment envelope (e.g. a replicated value)
+		}
+		if env.K != s.cfg.K {
+			s.cfg.Metrics.AddCustom(MetricKMismatch, 1)
 			continue
+		}
+		if env.N != n || env.Index < 0 || env.Index >= n {
+			// Geometry from some other replica set: its indices do not
+			// name rows of this item's n-row dispersal matrix, so letting
+			// them into a bucket would corrupt the k-distinct count.
+			s.cfg.Metrics.AddCustom(MetricBadIndex, 1)
+			continue
+		}
+		key := versionKey{time: vr.Write.Stamp.Time, writer: vr.Write.Stamp.Writer}
+		if prev, ok := crossSeen[key]; ok && prev != vr.Write.Stamp.Digest {
+			// Same (time, writer), two cross-checksums: the writer signed
+			// two different dispersals under one version number.
+			if !poisoned[key] {
+				s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
+			}
+			poisoned[key] = true
+			equivocated = true
+		} else {
+			crossSeen[key] = vr.Write.Stamp.Digest
 		}
 		set, ok := byStamp[vr.Write.Stamp]
 		if !ok {
 			set = make(map[int]fragment.Fragment)
 			byStamp[vr.Write.Stamp] = set
+			crossByStamp[vr.Write.Stamp] = env.Cross
 		}
-		set[p.Index] = fragment.Fragment{Index: p.Index, K: p.K, Data: p.Data}
+		set[env.Index] = fragment.Fragment{Index: env.Index, K: env.K, Data: env.Share}
 	}
 
-	// Newest stamp with at least k distinct fragments wins.
-	var (
-		best      timestamp.Stamp
-		bestFrags []fragment.Fragment
-	)
-	for stamp, set := range byStamp {
-		if len(set) < s.cfg.K {
-			continue
-		}
-		if bestFrags == nil || best.Less(stamp) {
-			best = stamp
-			bestFrags = bestFrags[:0]
-			for _, f := range set {
-				bestFrags = append(bestFrags, f)
+	// Walk candidate versions newest-first: reconstruct, then re-disperse
+	// and compare against the signed cross-checksum. A version that fails
+	// the re-check was poisoned by its writer and is skipped (counted),
+	// falling back to the newest honest version below it.
+	for {
+		var (
+			best      timestamp.Stamp
+			bestFrags []fragment.Fragment
+		)
+		for stamp, set := range byStamp {
+			if len(set) < s.cfg.K || poisoned[versionKey{time: stamp.Time, writer: stamp.Writer}] {
+				continue
+			}
+			if bestFrags == nil || best.Less(stamp) {
+				best = stamp
+				bestFrags = bestFrags[:0]
+				for _, f := range set {
+					bestFrags = append(bestFrags, f)
+				}
 			}
 		}
-	}
-	if bestFrags == nil {
-		return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrNotEnoughFragments, item)
-	}
+		if bestFrags == nil {
+			if equivocated {
+				return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrEquivocation, item)
+			}
+			return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrNotEnoughFragments, item)
+		}
 
-	value, err := fragment.Reconstruct(bestFrags[:s.cfg.K])
-	if err != nil {
-		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, err)
+		value, err := fragment.Reconstruct(bestFrags)
+		if err == nil && s.crossConsistent(value, crossByStamp[best]) {
+			return value, best, nil
+		}
+		// Reconstruction failed or did not regenerate the signed
+		// cross-checksum: the dispersal was never consistent, so any
+		// other k-subset could decode differently. Refuse this version.
+		s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
+		equivocated = true
+		delete(byStamp, best)
 	}
-	return value, best, nil
+}
+
+// crossConsistent re-disperses a reconstructed value and checks that ALL
+// n regenerated shares match the cross-checksum the writer signed — not
+// just the k shares this read happened to use, which any reconstruction
+// regenerates trivially. Only a checksum vector produced by one honest
+// Split passes at every index, so two correct readers reaching different
+// k-subsets either both accept the same value or both reject the version.
+func (s *Store) crossConsistent(value []byte, cross [][32]byte) bool {
+	refrags, err := fragment.Split(value, s.cfg.K, len(cross))
+	if err != nil {
+		return false
+	}
+	for i, f := range refrags {
+		if cryptoutil.Digest(f.Data) != cross[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -3,7 +3,6 @@ package fragstore
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -272,13 +271,11 @@ func TestGossipDoesNotConcentrateFragments(t *testing.T) {
 		if head == nil {
 			t.Fatalf("server %s lost its fragment", srv.ID())
 		}
-		var p struct {
-			Index int `json:"index"`
+		env, err := wire.DecodeFragmentEnvelope(head.Value)
+		if err != nil {
+			t.Fatalf("server %s head is not a fragment envelope: %v", srv.ID(), err)
 		}
-		if err := json.Unmarshal(head.Value, &p); err != nil {
-			t.Fatalf("server %s head is not a fragment: %v", srv.ID(), err)
-		}
-		indices[p.Index]++
+		indices[env.Index]++
 	}
 	if len(indices) < s.K() {
 		t.Fatalf("only %d distinct fragment indices survive gossip, need >= k=%d", len(indices), s.K())

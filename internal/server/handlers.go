@@ -302,6 +302,11 @@ func (s *Server) acceptWrite(w *wire.SignedWrite, fault FaultMode) (bool, error)
 	if err := w.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
 		return false, err
 	}
+	if wire.IsFragmentEnvelope(w.Value) {
+		// Count accepted erasure-coded shares so operators can see the
+		// fragmented/replicated traffic split per replica.
+		s.cfg.Metrics.AddCustom("server.write.fragment", 1)
+	}
 	pol := s.policy(w.Group)
 	if pol.MultiWriter && w.Stamp.Writer == "" {
 		return false, fmt.Errorf("%w: multi-writer group %q requires augmented timestamps", wire.ErrBadWrite, w.Group)

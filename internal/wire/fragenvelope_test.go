@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/timestamp"
+)
+
+// testEnvelopes builds the n envelopes of one dispersal over synthetic
+// shares (the codec does not care that they are not real IDA output).
+func testEnvelopes(t *testing.T, k, n int) []*FragmentEnvelope {
+	t.Helper()
+	shares := make([][]byte, n)
+	cross := make([][32]byte, n)
+	for i := range shares {
+		shares[i] = bytes.Repeat([]byte{byte(i + 1)}, 16+i)
+		cross[i] = cryptoutil.Digest(shares[i])
+	}
+	envs := make([]*FragmentEnvelope, n)
+	for i := range envs {
+		envs[i] = &FragmentEnvelope{Index: i, K: k, N: n, Cross: cross, Share: shares[i]}
+	}
+	return envs
+}
+
+func TestFragmentEnvelopeRoundTrip(t *testing.T) {
+	for _, env := range testEnvelopes(t, 2, 4) {
+		raw, err := env.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !IsFragmentEnvelope(raw) {
+			t.Fatal("encoded envelope not recognized")
+		}
+		got, err := DecodeFragmentEnvelope(raw)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Index != env.Index || got.K != env.K || got.N != env.N ||
+			!bytes.Equal(got.Share, env.Share) || len(got.Cross) != len(env.Cross) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", got, env)
+		}
+		if err := got.VerifyShare(); err != nil {
+			t.Fatalf("VerifyShare: %v", err)
+		}
+		if got.CrossDigest() != env.CrossDigest() {
+			t.Fatal("CrossDigest changed across round-trip")
+		}
+	}
+}
+
+func TestFragmentEnvelopeRejectsMalformed(t *testing.T) {
+	env := testEnvelopes(t, 2, 4)[0]
+	raw, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"no magic":      []byte("not an envelope"),
+		"truncated":     raw[:len(raw)-3],
+		"trailing":      append(append([]byte(nil), raw...), 0),
+		"magic only":    []byte(fragMagic),
+		"mangled magic": append([]byte("X"), raw[1:]...),
+	}
+	for name, data := range cases {
+		if _, err := DecodeFragmentEnvelope(data); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+		if IsFragmentEnvelope(data) {
+			t.Errorf("%s: IsFragmentEnvelope true", name)
+		}
+	}
+
+	// Impossible geometry is rejected at encode and decode alike.
+	bad := &FragmentEnvelope{Index: 5, K: 2, N: 4, Cross: env.Cross, Share: env.Share}
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadEnvelope) {
+		t.Errorf("out-of-range index encoded: %v", err)
+	}
+	bad = &FragmentEnvelope{Index: 0, K: 5, N: 4, Cross: env.Cross, Share: env.Share}
+	if _, err := bad.Encode(); !errors.Is(err, ErrBadEnvelope) {
+		t.Errorf("k>n encoded: %v", err)
+	}
+}
+
+func TestFragmentEnvelopeShareMismatch(t *testing.T) {
+	env := testEnvelopes(t, 2, 4)[1]
+	env.Share = append([]byte(nil), env.Share...)
+	env.Share[0] ^= 0xFF
+	if err := env.VerifyShare(); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("corrupted share passed VerifyShare: %v", err)
+	}
+}
+
+// TestEnvelopeSignOnce pins the tentpole property: all n envelopes of one
+// dispersal produce identical signing bytes, so the writer's single
+// signature verifies every per-server write, and a server relabeling a
+// share under a different index is caught by the cross-checksum.
+func TestEnvelopeSignOnce(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	key := cryptoutil.DeterministicKeyPair("writer", "seed")
+	ring.MustRegister(key.ID, key.Public)
+	m := &metrics.Counters{}
+
+	envs := testEnvelopes(t, 2, 4)
+	stamp := timestamp.Stamp{Time: 7, Writer: key.ID, Digest: envs[0].CrossDigest()}
+
+	writes := make([]*SignedWrite, len(envs))
+	for i, env := range envs {
+		raw, err := env.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes[i] = &SignedWrite{Group: "g", Item: "item", Stamp: stamp, Value: raw}
+	}
+	writes[0].Sign(key, m)
+	core := writes[0].SigningBytes()
+	for _, w := range writes[1:] {
+		w.Writer = writes[0].Writer
+		w.Sig = writes[0].Sig
+		if !bytes.Equal(w.SigningBytes(), core) {
+			t.Fatal("envelopes of one dispersal have different signing bytes")
+		}
+	}
+	for i, w := range writes {
+		if err := w.Verify(ring, m); err != nil {
+			t.Fatalf("envelope %d failed verify under shared signature: %v", i, err)
+		}
+	}
+
+	// A server swapping in another index's share under its own index
+	// breaks digest(share)==cross[index] and must fail Verify.
+	forged := writes[2].Clone()
+	env := *envs[2]
+	env.Share = envs[3].Share
+	raw, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged.Value = raw
+	if err := forged.Verify(ring, m); err == nil {
+		t.Fatal("relabeled share passed Verify")
+	}
+
+	// A tampered share fails too, even with the signature untouched.
+	tampered := writes[1].Clone()
+	tampered.Value = append([]byte(nil), tampered.Value...)
+	tampered.Value[len(tampered.Value)-1] ^= 0xFF
+	if err := tampered.Verify(ring, m); err == nil {
+		t.Fatal("tampered share passed Verify")
+	}
+}
+
+// FuzzDecodeFragmentEnvelope asserts envelope decoding never panics and
+// that whatever decodes re-encodes to the identical bytes (the encoding
+// is canonical).
+func FuzzDecodeFragmentEnvelope(f *testing.F) {
+	for _, env := range []*FragmentEnvelope{
+		{Index: 0, K: 1, N: 1, Cross: make([][32]byte, 1), Share: nil},
+		{Index: 3, K: 2, N: 4, Cross: make([][32]byte, 4), Share: []byte("share bytes")},
+	} {
+		raw, err := env.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(fragMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeFragmentEnvelope(data)
+		if err != nil {
+			return
+		}
+		raw, err := env.Encode()
+		if err != nil {
+			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(raw, data) {
+			t.Fatalf("re-encode not canonical: %x vs %x", raw, data)
+		}
+	})
+}

@@ -158,7 +158,22 @@ func appendStamp(b []byte, s timestamp.Stamp) []byte {
 // bytes after revalidating that every signed field still holds the value
 // it was computed from.
 func (w *SignedWrite) SigningBytes() []byte {
-	return w.signingBytes(cryptoutil.Digest(w.Value))
+	digest, _ := w.effectiveDigest()
+	return w.signingBytes(digest)
+}
+
+// effectiveDigest returns the digest the signature binds for this value.
+// For ordinary values that is digest(Value). When Value parses strictly as
+// a fragment envelope the signature instead binds the envelope's
+// CrossDigest, which is identical across all n envelopes of one dispersal:
+// the writer signs once and each share stays bound via the cross-checksum
+// (see fragenvelope.go). The parsed envelope is returned alongside so
+// Verify can check the share without re-parsing.
+func (w *SignedWrite) effectiveDigest() ([32]byte, *FragmentEnvelope) {
+	if env, err := parseFragmentEnvelope(w.Value); err == nil {
+		return env.CrossDigest(), env
+	}
+	return cryptoutil.Digest(w.Value), nil
 }
 
 // signingBytes is SigningBytes for callers that already computed the
@@ -211,8 +226,16 @@ func (w *SignedWrite) Verify(ring *cryptoutil.Keyring, m *metrics.Counters) erro
 		return ErrBadWrite
 	}
 	// One digest of the value serves both the multi-writer stamp check and
-	// the canonical signing bytes.
-	valueDigest := cryptoutil.Digest(w.Value)
+	// the canonical signing bytes. Fragment envelopes substitute their
+	// CrossDigest and additionally prove their own share against the
+	// cross-checksum, so a Byzantine server cannot swap in a mangled share
+	// or relabel another index's share as its own.
+	valueDigest, env := w.effectiveDigest()
+	if env != nil {
+		if err := env.VerifyShare(); err != nil {
+			return fmt.Errorf("%w: item %s: %v", ErrBadWrite, w.Item, err)
+		}
+	}
 	if w.Stamp.Writer != "" && w.Stamp.Writer != w.Writer {
 		return fmt.Errorf("%w: stamp names %q, signed by %q", ErrWriterUID, w.Stamp.Writer, w.Writer)
 	}
