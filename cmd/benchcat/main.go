@@ -1,16 +1,33 @@
-// Command benchcat concatenates the per-PR benchmark recordings
-// (BENCH_PR<k>.json, each a JSON array of benchtab tables) into one
-// trajectory document, so the repository's performance history reads as a
-// single artifact instead of a pile of files. Entries are ordered by PR
-// number; each carries its source file and the tables it recorded.
-//
-// Usage:
+// Command benchcat turns the per-PR benchmark recordings (BENCH_PR<k>.json,
+// each a JSON array of benchtab tables) into the repository's continuous
+// performance trajectory. It has three modes:
 //
 //	benchcat [-o trajectory.json] [file ...]
+//	    Concatenate the recordings into one trajectory document (entries
+//	    ordered by PR number, each carrying its source file and tables).
+//
+//	benchcat -records [-merge records.json] [-commit C] [-date D] [-o out] [file ...]
+//	    Normalize every table into flat (pr, experiment, metric, value)
+//	    records — internal/bench.NormalizeTables — and merge them into an
+//	    existing records file append-only: records already present keep
+//	    their original commit/date stamps. scripts/bench_record.sh wraps
+//	    this with git-derived stamps.
+//
+//	benchcat -check [-tolerance 10%] [-merge records.json] [-waivers W] [file ...]
+//	    The regression gate: build the merged records and fail (exit 1)
+//	    when any gated metric's newest recording is worse than its
+//	    previous one by more than the tolerance. CI runs this on every PR
+//	    so a change that tanks a tracked number fails loudly. A known,
+//	    accepted regression is waived — not silenced — by an entry in the
+//	    waivers file (experiment, metric, pr, reason); waivers are pinned
+//	    to the PR that introduced the regression, so a further drop in a
+//	    later PR trips the gate again.
 //
 // With no file arguments, benchcat globs BENCH_*.json in the current
-// directory. With -o empty (the default) the trajectory is written to
-// stdout. scripts/bench_trajectory.sh wraps this for CI.
+// directory. -lenient skips missing or unparseable files with a warning
+// instead of aborting — partial recordings must not take down the whole
+// trajectory. scripts/bench_trajectory.sh wraps the trajectory mode for
+// CI.
 package main
 
 import (
@@ -22,6 +39,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"securestore/internal/bench"
 )
@@ -55,7 +73,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchcat", flag.ContinueOnError)
-	out := fs.String("o", "", "output file (empty: stdout)")
+	var (
+		out       = fs.String("o", "", "output file (empty: stdout)")
+		records   = fs.Bool("records", false, "emit normalized (pr, experiment, metric, value) records instead of the trajectory")
+		check     = fs.Bool("check", false, "run the regression gate over the merged records")
+		tolerance = fs.String("tolerance", "10%", "allowed regression per gated metric (percent; '%' optional)")
+		mergePath = fs.String("merge", "", "existing records file to merge with (append-only; also the gate's history)")
+		commit    = fs.String("commit", "", "commit stamp for newly normalized records")
+		date      = fs.String("date", "", "date stamp for newly normalized records")
+		waivers   = fs.String("waivers", "", "JSON file of accepted regressions the gate skips")
+		lenient   = fs.Bool("lenient", false, "skip missing or unparseable input files with a warning")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,26 +95,153 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if len(files) == 0 {
-		return fmt.Errorf("no BENCH_*.json files found (pass files explicitly)")
+	entries, err := loadEntries(files, *lenient)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 && *mergePath == "" {
+		return fmt.Errorf("no readable BENCH_*.json files found (pass files explicitly)")
 	}
 
-	var traj trajectory
-	seen := make(map[string]bool)
-	for _, path := range files {
-		raw, err := os.ReadFile(path)
+	if *records || *check {
+		recs, err := loadRecords(*mergePath, *lenient)
 		if err != nil {
 			return err
 		}
+		for _, e := range entries {
+			recs = bench.MergeRecords(recs, bench.NormalizeTables(e.Source, e.PR, *commit, *date, e.Tables))
+		}
+		if *check {
+			tol, err := parseTolerance(*tolerance)
+			if err != nil {
+				return err
+			}
+			regressions, gated := bench.CheckRecords(recs, tol)
+			regressions, err = applyWaivers(regressions, *waivers)
+			if err != nil {
+				return err
+			}
+			if len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+				}
+				return fmt.Errorf("%d metric(s) regressed beyond %.0f%% (of %d gated)", len(regressions), tol, gated)
+			}
+			fmt.Printf("benchcat: no regressions beyond %.0f%% across %d gated metric pair(s), %d record(s)\n",
+				tol, gated, len(recs))
+			return nil
+		}
+		return writeJSON(*out, recs)
+	}
+
+	traj := buildTrajectory(entries)
+	return writeJSON(*out, traj)
+}
+
+// loadEntries reads and parses the recording files. With lenient set,
+// unreadable or unparseable files are skipped with a warning on stderr.
+func loadEntries(files []string, lenient bool) ([]entry, error) {
+	var entries []entry
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if lenient {
+				fmt.Fprintf(os.Stderr, "benchcat: skipping %s: %v\n", path, err)
+				continue
+			}
+			return nil, err
+		}
 		var tables []bench.Table
 		if err := json.Unmarshal(raw, &tables); err != nil {
-			return fmt.Errorf("parse %s: %w", path, err)
+			if lenient {
+				fmt.Fprintf(os.Stderr, "benchcat: skipping %s: parse: %v\n", path, err)
+				continue
+			}
+			return nil, fmt.Errorf("parse %s: %w", path, err)
 		}
 		e := entry{Source: filepath.Base(path), Tables: tables}
 		if m := prPattern.FindStringSubmatch(e.Source); m != nil {
 			e.PR, _ = strconv.Atoi(m[1])
 		}
-		for _, t := range tables {
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// loadRecords reads an existing normalized-records file; a missing file
+// is an empty history (the first run creates it), and with lenient set a
+// corrupt one is too.
+func loadRecords(path string, lenient bool) ([]bench.Record, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []bench.Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		if lenient {
+			fmt.Fprintf(os.Stderr, "benchcat: ignoring corrupt records file %s: %v\n", path, err)
+			return nil, nil
+		}
+		return nil, fmt.Errorf("parse records %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// waiver is one accepted regression the gate skips: pinned to the PR
+// whose recording introduced it, with a human-readable reason.
+type waiver struct {
+	Experiment string `json:"experiment"`
+	Metric     string `json:"metric"`
+	PR         int    `json:"pr"`
+	Reason     string `json:"reason"`
+}
+
+// applyWaivers drops regressions covered by the waivers file (announcing
+// each on stderr so they stay visible); path == "" waives nothing.
+func applyWaivers(regressions []bench.Regression, path string) ([]bench.Regression, error) {
+	if path == "" {
+		return regressions, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return regressions, nil
+		}
+		return nil, err
+	}
+	var waivers []waiver
+	if err := json.Unmarshal(raw, &waivers); err != nil {
+		return nil, fmt.Errorf("parse waivers %s: %w", path, err)
+	}
+	var kept []bench.Regression
+	for _, r := range regressions {
+		waived := false
+		for _, w := range waivers {
+			if w.Experiment == r.Experiment && w.Metric == r.Metric && w.PR == r.LastPR {
+				fmt.Fprintf(os.Stderr, "benchcat: waived %s %s @ PR%d: %s\n", r.Experiment, r.Metric, r.LastPR, w.Reason)
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}
+
+// buildTrajectory assembles the combined document, PR-ordered.
+func buildTrajectory(entries []entry) trajectory {
+	var traj trajectory
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		for _, t := range e.Tables {
 			if !seen[t.ID] {
 				seen[t.ID] = true
 				traj.Experiments = append(traj.Experiments, t.ID)
@@ -105,15 +260,29 @@ func run(args []string) error {
 		}
 		return a.Source < b.Source
 	})
+	return traj
+}
 
-	enc, err := json.MarshalIndent(traj, "", "  ")
+// parseTolerance accepts "10", "10%", or "7.5%".
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad tolerance %q (want a non-negative percentage)", s)
+	}
+	return v, nil
+}
+
+// writeJSON marshals v to the output file, or stdout when path is empty.
+func writeJSON(path string, v any) error {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if path == "" {
 		_, err = os.Stdout.Write(enc)
 		return err
 	}
-	return os.WriteFile(*out, enc, 0o644)
+	return os.WriteFile(path, enc, 0o644)
 }

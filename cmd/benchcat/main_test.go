@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"securestore/internal/bench"
+)
+
+// writeTables writes a BENCH_PR<k>.json-style recording.
+func writeTables(t *testing.T, path string, tables []bench.Table) {
+	t.Helper()
+	raw, err := json.Marshal(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func opsTable(opsPerSec string) []bench.Table {
+	return []bench.Table{{
+		ID:     "T3",
+		Title:  "throughput",
+		Header: []string{"sessions", "ops/s"},
+		Rows:   [][]string{{"8", opsPerSec}},
+	}}
+}
+
+func TestTrajectoryLenientSkipsPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_PR4.json")
+	writeTables(t, good, opsTable("10000"))
+	corrupt := filepath.Join(dir, "BENCH_PR5.json")
+	if err := os.WriteFile(corrupt, []byte(`[{"id": "T3", truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "BENCH_PR6.json")
+
+	out := filepath.Join(dir, "traj.json")
+	// Strict mode must fail on the corrupt file...
+	if err := run([]string{"-o", out, good, corrupt}); err == nil {
+		t.Fatal("strict mode accepted a corrupt recording")
+	}
+	// ...lenient mode must skip corrupt and missing files and still emit
+	// the readable entries.
+	if err := run([]string{"-lenient", "-o", out, good, corrupt, missing}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 1 || traj.Entries[0].PR != 4 {
+		t.Fatalf("want only the PR4 entry, got %+v", traj.Entries)
+	}
+}
+
+func TestRecordsMergeAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	bench4 := filepath.Join(dir, "BENCH_PR4.json")
+	writeTables(t, bench4, opsTable("10000"))
+	records := filepath.Join(dir, "records.json")
+
+	if err := run([]string{"-records", "-merge", records, "-commit", "aaa", "-o", records, bench4}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running with a different commit stamp must not rewrite history.
+	if err := run([]string{"-records", "-merge", records, "-commit", "bbb", "-o", records, bench4}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []bench.Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("want 1 record, got %d: %+v", len(recs), recs)
+	}
+	if recs[0].Commit != "aaa" {
+		t.Fatalf("merge rewrote history: commit = %q", recs[0].Commit)
+	}
+	if recs[0].Metric != "ops/s[8]" || recs[0].Value != 10000 {
+		t.Fatalf("unexpected record %+v", recs[0])
+	}
+}
+
+func TestCheckGateFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	bench4 := filepath.Join(dir, "BENCH_PR4.json")
+	writeTables(t, bench4, opsTable("10000"))
+
+	// A 5% wobble passes the 10% gate.
+	wobble := filepath.Join(dir, "BENCH_PR5.json")
+	writeTables(t, wobble, opsTable("9500"))
+	if err := run([]string{"-check", "-tolerance", "10%", bench4, wobble}); err != nil {
+		t.Fatalf("5%% wobble tripped the 10%% gate: %v", err)
+	}
+
+	// A 20% drop must fail.
+	drop := filepath.Join(dir, "BENCH_PR6.json")
+	writeTables(t, drop, opsTable("8000"))
+	err := run([]string{"-check", "-tolerance", "10%", bench4, drop})
+	if err == nil {
+		t.Fatal("20% regression passed the 10% gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestCheckGateWaivers(t *testing.T) {
+	dir := t.TempDir()
+	bench4 := filepath.Join(dir, "BENCH_PR4.json")
+	writeTables(t, bench4, opsTable("10000"))
+	drop := filepath.Join(dir, "BENCH_PR6.json")
+	writeTables(t, drop, opsTable("8000"))
+
+	waivers := filepath.Join(dir, "waivers.json")
+	if err := os.WriteFile(waivers, []byte(
+		`[{"experiment":"T3","metric":"ops/s[8]","pr":6,"reason":"known"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", "-tolerance", "10%", "-waivers", waivers, bench4, drop}); err != nil {
+		t.Fatalf("waived regression still tripped the gate: %v", err)
+	}
+
+	// A waiver pinned to an earlier PR must not cover a new regression.
+	stale := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(stale, []byte(
+		`[{"experiment":"T3","metric":"ops/s[8]","pr":5,"reason":"old"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", "-tolerance", "10%", "-waivers", stale, bench4, drop}); err == nil {
+		t.Fatal("stale waiver silenced a fresh regression")
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"10", 10, true},
+		{"10%", 10, true},
+		{" 7.5% ", 7.5, true},
+		{"-3", 0, false},
+		{"ten", 0, false},
+	} {
+		got, err := parseTolerance(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("parseTolerance(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

@@ -9,6 +9,19 @@
 //	benchtab -exp e5,e8      # only the named experiments
 //	benchtab -list           # list experiment ids
 //	benchtab -json           # emit the tables as a JSON array instead of text
+//
+// The `remote` subcommand is the open-loop driver (experiment R1): it
+// spawns — or attaches to, via -cluster — a real multi-process cluster
+// over TCP, offers load at fixed arrival rates, and reports
+// coordinated-omission-safe latency-vs-offered-load curves. See remote.go
+// and BENCHMARKS.md:
+//
+//	benchtab remote                          # spawn, default replicated sweep
+//	benchtab remote -profile all -json       # all three workload profiles
+//	benchtab remote -rates 500,1000 -sessions 32 -arrival uniform
+//	benchtab remote -cluster s00=host:7100,s01=host:7101,... -config demo.json
+//
+// (`benchtab _replica` is the hidden mode spawned replicas re-exec into.)
 package main
 
 import (
@@ -30,6 +43,14 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "remote":
+			return runRemote(args[1:])
+		case "_replica":
+			return runReplicaProc(args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	var (
 		quick  = fs.Bool("quick", false, "reduced sweeps for a fast run")

@@ -1,0 +1,388 @@
+package main
+
+// remote.go implements `benchtab remote` (experiment R1): an open-loop
+// benchmark driver against a real multi-process cluster. Unless attached
+// to an already-running deployment with -cluster, it spawns one OS
+// process per replica by re-execing itself into the hidden `_replica`
+// mode (deploy.ServeReplica — the core of securestored), so the measured
+// system pays real process isolation, real TCP, and real gossip, not the
+// in-process loopback shortcuts of the closed-loop T experiments.
+//
+// Requests are issued at a fixed offered rate from -sessions concurrent
+// workers and latency is measured from each operation's *intended* send
+// time (internal/bench.OpenLoop), making the latency-vs-offered-load
+// curves coordinated-omission-safe. See BENCHMARKS.md for methodology and
+// EXPERIMENTS.md R1 for the recorded curves.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"securestore/internal/bench"
+	"securestore/internal/client"
+	"securestore/internal/deploy"
+	"securestore/internal/workload"
+)
+
+// replicaCommand builds the process serving one replica of a spawned
+// cluster. The default re-execs this binary's `_replica` mode; tests
+// override it to re-exec the test binary instead.
+var replicaCommand = func(configPath, name string) *exec.Cmd {
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	return exec.Command(self, "_replica", "-config", configPath, "-name", name)
+}
+
+// runReplicaProc is the hidden `benchtab _replica` mode: serve one
+// replica of the written config until SIGTERM/SIGINT.
+func runReplicaProc(args []string) error {
+	fs := flag.NewFlagSet("benchtab _replica", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "deployment config path (required)")
+		name       = fs.String("name", "", "replica name (required)")
+		dataDir    = fs.String("data", "", "durable state directory (empty: in-memory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" || *name == "" {
+		return fmt.Errorf("_replica: -config and -name are required")
+	}
+	cfg, err := deploy.Load(*configPath)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return deploy.ServeReplica(ctx, cfg, *name, *dataDir)
+}
+
+// remoteProfile bundles one workload shape of the R1 sweep.
+type remoteProfile struct {
+	name          string
+	groups        int   // replica groups (sharded when > 1)
+	valueSize     int   // bytes per written value
+	fragThreshold int   // erasure-code values at or above this size
+	rates         []int // default offered-rate sweep (ops/s)
+}
+
+// remoteProfiles are the three workload shapes the tentpole curves cover:
+// small replicated values on one group, the same spread across shards,
+// and large values on the erasure-coded path.
+var remoteProfiles = []remoteProfile{
+	{name: "replicated", groups: 1, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
+	{name: "sharded", groups: 2, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
+	{name: "fragmented", groups: 1, valueSize: 64 << 10, fragThreshold: 1 << 10, rates: []int{50, 100, 200, 400}},
+}
+
+func profileByName(name string) (remoteProfile, error) {
+	for _, p := range remoteProfiles {
+		if p.name == name {
+			return p, nil
+		}
+	}
+	return remoteProfile{}, fmt.Errorf("unknown profile %q (replicated, sharded, fragmented, or all)", name)
+}
+
+// parseRates parses "-rates 500,1000,2000".
+func parseRates(s string) ([]int, error) {
+	var rates []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.Atoi(part)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q (want positive integers, comma-separated)", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("no rates given")
+	}
+	return rates, nil
+}
+
+// parseClusterAddrs parses "-cluster s00=127.0.0.1:7100,s01=...".
+func parseClusterAddrs(s string) (map[string]string, error) {
+	addrs := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -cluster entry %q (want name=host:port)", pair)
+		}
+		addrs[name] = addr
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-cluster: no addresses")
+	}
+	return addrs, nil
+}
+
+// runRemote is the `benchtab remote` entry point.
+func runRemote(args []string) error {
+	fs := flag.NewFlagSet("benchtab remote", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "deployment config to spawn or attach to (empty: synthesize per -profile)")
+		cluster    = fs.String("cluster", "", "attach to a running cluster: name=host:port pairs, comma-separated (skips spawning)")
+		profile    = fs.String("profile", "replicated", "workload profile: replicated, sharded, fragmented, or all")
+		groups     = fs.Int("groups", 0, "replica-group count for the sharded profile (0: profile default)")
+		b          = fs.Int("b", 1, "fault tolerance per replica group (n = 3b+1 servers each)")
+		ratesFlag  = fs.String("rates", "", "offered-rate sweep, ops/s, comma-separated (empty: profile default)")
+		rateFlag   = fs.Int("rate", 0, "single offered rate, ops/s (overrides -rates)")
+		sessions   = fs.Int("sessions", 16, "concurrent driver sessions (bounds in-flight operations)")
+		duration   = fs.Duration("duration", 5*time.Second, "dispatch window per rate point")
+		arrival    = fs.String("arrival", "poisson", "arrival schedule: poisson or uniform")
+		readFrac   = fs.Float64("read", 0.5, "fraction of operations that are reads")
+		items      = fs.Int("items", 64, "distinct items per run")
+		opTimeout  = fs.Duration("op-timeout", 10*time.Second, "per-operation timeout")
+		seed       = fs.Int64("seed", 1, "schedule/workload seed")
+		asJSON     = fs.Bool("json", false, "emit the result table as a JSON array on stdout")
+		out        = fs.String("o", "", "also write the JSON table array to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arrivalMode, err := bench.ParseArrival(*arrival)
+	if err != nil {
+		return err
+	}
+	var profiles []remoteProfile
+	if *profile == "all" {
+		profiles = remoteProfiles
+	} else {
+		p, err := profileByName(*profile)
+		if err != nil {
+			return err
+		}
+		profiles = []remoteProfile{p}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	table := &bench.Table{
+		ID:     "R1",
+		Title:  fmt.Sprintf("open-loop latency vs offered load: multi-process cluster over TCP (b=%d, %s arrivals, %d sessions, %v per rate)", *b, arrivalMode, *sessions, *duration),
+		Header: []string{"profile", "offered ops/s", "achieved ops/s", "p50 ms", "p95 ms", "p99 ms", "max ms", "errors"},
+		Notes: []string{
+			"latency is measured from each op's intended send time (coordinated-omission-safe): queueing delay behind a saturated cluster is charged to the op",
+			"achieved < offered marks saturation; past it the p99 column shows the unbounded queue, not a service time",
+			fmt.Sprintf("workload: %.0f%% reads over private items, values per profile (replicated/sharded 128 B, fragmented 64 KiB erasure-coded)", *readFrac*100),
+			"each replica is its own OS process (deploy.ServeReplica) with real TCP transport and gossip between processes",
+		},
+	}
+
+	for _, p := range profiles {
+		if *groups > 0 {
+			p.groups = *groups
+		}
+		rates := p.rates
+		if *ratesFlag != "" {
+			if rates, err = parseRates(*ratesFlag); err != nil {
+				return err
+			}
+		}
+		if *rateFlag > 0 {
+			rates = []int{*rateFlag}
+		}
+		if err := runRemoteProfile(ctx, table, p, rates, remoteRunConfig{
+			configPath: *configPath, cluster: *cluster, b: *b,
+			sessions: *sessions, duration: *duration, arrival: arrivalMode,
+			readFrac: *readFrac, items: *items, opTimeout: *opTimeout, seed: *seed,
+			quiet: *asJSON,
+		}); err != nil {
+			return fmt.Errorf("profile %s: %w", p.name, err)
+		}
+	}
+
+	if !*asJSON {
+		fmt.Println(table.Format())
+	}
+	tables := []*bench.Table{table}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		raw, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteRunConfig carries the sweep parameters shared by every profile.
+type remoteRunConfig struct {
+	configPath string
+	cluster    string
+	b          int
+	sessions   int
+	duration   time.Duration
+	arrival    bench.Arrival
+	readFrac   float64
+	items      int
+	opTimeout  time.Duration
+	seed       int64
+	quiet      bool
+}
+
+// runRemoteProfile brings up (or attaches to) one cluster, sweeps the
+// offered rates against it, and appends one table row per rate.
+func runRemoteProfile(ctx context.Context, table *bench.Table, p remoteProfile, rates []int, rc remoteRunConfig) error {
+	var cfg *deploy.Config
+	var err error
+	if rc.configPath != "" {
+		if cfg, err = deploy.Load(rc.configPath); err != nil {
+			return err
+		}
+	} else {
+		fragK := 0
+		if p.fragThreshold > 0 {
+			fragK = rc.b + 1
+		}
+		if cfg, err = deploy.SynthesizeCluster("benchtab-remote", p.groups, rc.b, "bench", p.fragThreshold, fragK); err != nil {
+			return err
+		}
+	}
+
+	attach := rc.cluster != ""
+	if attach {
+		addrs, err := parseClusterAddrs(rc.cluster)
+		if err != nil {
+			return err
+		}
+		cfg.Servers = addrs
+	}
+
+	var spawned *deploy.SpawnedCluster
+	if !attach {
+		dir, err := os.MkdirTemp("", "benchtab-remote-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if !rc.quiet {
+			fmt.Printf("# %s: spawning %d replica processes (%d group(s), b=%d)...\n",
+				p.name, len(cfg.Servers), p.groups, rc.b)
+		}
+		if spawned, err = deploy.Spawn(cfg, dir, deploy.CommandFunc(replicaCommand)); err != nil {
+			return err
+		}
+		defer spawned.Teardown()
+	}
+
+	group := "bench"
+	if len(cfg.Groups) > 0 {
+		group = cfg.Groups[0].Name
+	}
+	// A synthesized cluster always trusts "bench"; a user-supplied config
+	// trusts only its own principals, so borrow the first one.
+	clientID := "bench"
+	if len(cfg.Clients) > 0 {
+		clientID = cfg.Clients[0]
+	}
+	cl, err := deploy.BuildClient(cfg, clientID, group)
+	if err != nil {
+		return err
+	}
+	if err := cl.Connect(ctx); err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+
+	wcfg := workload.Config{
+		Items:        rc.items,
+		ItemPrefix:   p.name + "-",
+		ReadFraction: rc.readFrac,
+		ValueSize:    p.valueSize,
+	}
+	if err := prewrite(ctx, cl, wcfg, rc.opTimeout); err != nil {
+		return fmt.Errorf("prewrite: %w", err)
+	}
+
+	do := func(ctx context.Context, op workload.Op) error {
+		ctx, cancel := context.WithTimeout(ctx, rc.opTimeout)
+		defer cancel()
+		if op.IsRead {
+			_, _, err := cl.Read(ctx, op.Item)
+			return err
+		}
+		_, err := cl.Write(ctx, op.Item, op.Value)
+		return err
+	}
+
+	for _, rate := range rates {
+		run := bench.OpenLoop{
+			Rate:     float64(rate),
+			Duration: rc.duration,
+			Sessions: rc.sessions,
+			Arrival:  rc.arrival,
+			Seed:     rc.seed,
+			Workload: wcfg,
+			// Give a saturated cluster 6x the dispatch window to drain
+			// before the run is cut off — enough to show the overload
+			// tail without hanging the sweep.
+			DrainTimeout: 6 * rc.duration,
+		}
+		res, err := run.Run(ctx, do)
+		if err != nil {
+			return err
+		}
+		table.AddRow(
+			p.name,
+			rate,
+			fmt.Sprintf("%.0f", res.Achieved),
+			ms(res.Latency.P50), ms(res.Latency.P95), ms(res.Latency.P99), ms(res.Latency.Max),
+			res.Errors,
+		)
+		if !rc.quiet {
+			fmt.Printf("# %s @ %d ops/s: achieved %.0f, p50 %s ms, p99 %s ms, %d errors\n",
+				p.name, rate, res.Achieved, ms(res.Latency.P50), ms(res.Latency.P99), res.Errors)
+		}
+	}
+	return nil
+}
+
+// prewrite seeds every workload item with one value so measured reads
+// never race a missing item.
+func prewrite(ctx context.Context, cl *client.Client, wcfg workload.Config, timeout time.Duration) error {
+	gen := workload.New(wcfg)
+	for _, item := range gen.Items() {
+		op := gen.NextWrite()
+		wctx, cancel := context.WithTimeout(ctx, timeout)
+		_, err := cl.Write(wctx, item, op.Value)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("item %s: %w", item, err)
+		}
+	}
+	return nil
+}
+
+// ms renders a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,76 @@
+package main
+
+// remote_test.go exercises `benchtab remote` end to end: the test binary
+// re-execs itself as every replica process (TestMain's env guard), so the
+// spawn → multi-process cluster → open-loop sweep → teardown path runs
+// for real, over real sockets and real OS processes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+
+	"securestore/internal/bench"
+)
+
+func TestMain(m *testing.M) {
+	// A spawned replica: serve until SIGTERM, then exit. Guarded by env so
+	// normal `go test` runs are unaffected.
+	if cfg := os.Getenv("BENCHTAB_TEST_REPLICA_CONFIG"); cfg != "" {
+		err := runReplicaProc([]string{"-config", cfg, "-name", os.Getenv("BENCHTAB_TEST_REPLICA_NAME")})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replica:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestRemoteOpenLoopSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a multi-process cluster")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := replicaCommand
+	replicaCommand = func(configPath, name string) *exec.Cmd {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"BENCHTAB_TEST_REPLICA_CONFIG="+configPath,
+			"BENCHTAB_TEST_REPLICA_NAME="+name)
+		return cmd
+	}
+	defer func() { replicaCommand = orig }()
+
+	out := t.TempDir() + "/r1.json"
+	err = run([]string{"remote",
+		"-rates", "50,100", "-duration", "500ms", "-sessions", "4",
+		"-items", "8", "-o", out, "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []bench.Table
+	if err := json.Unmarshal(raw, &tables); err != nil {
+		t.Fatalf("R1 output not a benchtab table array: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "R1" {
+		t.Fatalf("want one R1 table, got %+v", tables)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("want one row per rate, got %d", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "0" {
+			t.Fatalf("errors in open-loop row %v", row)
+		}
+	}
+}

@@ -7,6 +7,14 @@
 //  2. Doc-comment coverage: every exported identifier in the packages
 //     listed in docPackages (the observability layer, whose godoc is the
 //     operator-facing API reference) must carry a doc comment.
+//  3. Benchmark artifact integrity: every BENCH_PR<k>.json filename
+//     mentioned in markdown must exist at the repo root — the docs
+//     navigate the performance trajectory by these files, and a renamed
+//     or deleted recording would break that silently.
+//  4. Metric name integrity: every securestore_* metric name mentioned
+//     in markdown must appear in the Go source under internal/ — a
+//     renamed counter must not leave OPERATIONS.md pointing at a metric
+//     that no longer exists.
 //
 // Usage:
 //
@@ -45,6 +53,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, mdProblems...)
+
+	refProblems, err := checkDocReferences(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, refProblems...)
 
 	for _, pkg := range docPackages {
 		pkgProblems, err := checkDocComments(filepath.Join(*root, pkg))
@@ -114,6 +129,83 @@ func checkMarkdownLinks(root string) ([]string, error) {
 		return nil
 	})
 	return problems, err
+}
+
+// benchFileRef matches mentions of per-PR benchmark recordings; metricRef
+// matches securestore_* metric names (the underscore after the prefix
+// keeps the bare package name out of scope).
+var (
+	benchFileRef = regexp.MustCompile(`BENCH_PR\d+\.json`)
+	metricRef    = regexp.MustCompile(`securestore_[a-z0-9_]+`)
+)
+
+// checkDocReferences verifies the benchmark-artifact and metric-name
+// mentions in the repo's markdown: every BENCH_PR<k>.json named in a doc
+// must exist at the repo root, and every securestore_* metric name must
+// appear in the Go source under internal/.
+func checkDocReferences(root string) ([]string, error) {
+	goSource, err := collectGoSource(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, name := range benchFileRef.FindAllString(line, -1) {
+				if _, err := os.Stat(filepath.Join(root, name)); err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: missing benchmark recording %q", path, lineNo+1, name))
+				}
+			}
+			for _, name := range metricRef.FindAllString(line, -1) {
+				if !strings.Contains(goSource, name) {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: metric %q not found in internal/ Go source", path, lineNo+1, name))
+				}
+			}
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// collectGoSource concatenates every non-test .go file under dir, the
+// haystack the metric-name check greps.
+func collectGoSource(dir string) (string, error) {
+	var b strings.Builder
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+		return nil
+	})
+	return b.String(), err
 }
 
 // skipLinkTarget reports whether a link target is outside this checker's

@@ -14,4 +14,18 @@
 // (experiments.go, experiments2.go — message counts and latency shapes)
 // or over real loopback TCP (transport.go, observability.go — wall-clock
 // throughput), and report costs via metrics.Snapshot deltas.
+//
+// Two layers sit beside the closed-loop registry:
+//
+//   - openloop.go is the coordinated-omission-safe driver behind
+//     `benchtab remote` (experiment R1): OpenLoop generates a fixed
+//     arrival schedule (uniform or Poisson, pure function of the seed),
+//     dispatches each operation at its intended time regardless of how
+//     the previous ones are faring, and measures latency from that
+//     intended start — so queueing delay under overload shows up in the
+//     histogram instead of silently throttling the load.
+//   - record.go normalizes result Tables into flat (pr, experiment,
+//     metric, value) records and implements the append-only merge and
+//     regression gate behind cmd/benchcat and dev/bench/records.json —
+//     the repo's continuous performance trajectory. See BENCHMARKS.md.
 package bench

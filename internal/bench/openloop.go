@@ -1,0 +1,228 @@
+package bench
+
+// openloop.go implements the open-loop driver behind `benchtab remote`
+// (experiment R1). Closed-loop harnesses (runTCPSessions and every T
+// table) issue the next operation only after the previous one returns, so
+// a slow server silently lowers the offered load and the recorded
+// latencies hide queueing delay — the "coordinated omission" measurement
+// error. The open loop fixes both: operations are released on a fixed
+// arrival schedule regardless of how the system keeps up, and every
+// latency is measured from the operation's *intended* start time, so time
+// an op spent queued behind a stalled cluster is charged to the op.
+//
+// The schedule (ArrivalTimes) and the operation stream (internal/workload)
+// are pure functions of the seed, so a run is reproducible up to
+// wall-clock noise and tests can pin the schedule exactly.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securestore/internal/metrics"
+	"securestore/internal/workload"
+)
+
+// Arrival selects the inter-arrival process of an open-loop schedule.
+type Arrival int
+
+const (
+	// ArrivalUniform spaces operations exactly 1/rate apart — the
+	// deterministic paced load of classic load generators.
+	ArrivalUniform Arrival = iota
+	// ArrivalPoisson draws exponential inter-arrival gaps with mean
+	// 1/rate, modelling independent clients: bursts and lulls at the same
+	// offered rate, which is what exposes queueing behaviour near
+	// saturation.
+	ArrivalPoisson
+)
+
+// String renders the arrival process name as accepted by ParseArrival.
+func (a Arrival) String() string {
+	if a == ArrivalPoisson {
+		return "poisson"
+	}
+	return "uniform"
+}
+
+// ParseArrival parses an arrival process name ("uniform" or "poisson").
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uniform":
+		return ArrivalUniform, nil
+	case "poisson":
+		return ArrivalPoisson, nil
+	}
+	return 0, fmt.Errorf("unknown arrival process %q (uniform or poisson)", s)
+}
+
+// OpenLoop parameterizes one fixed-rate open-loop run.
+type OpenLoop struct {
+	// Rate is the offered load in operations per second.
+	Rate float64
+	// Duration is the dispatch window; Rate*Duration operations are
+	// scheduled (the run itself lasts until the last one completes).
+	Duration time.Duration
+	// Sessions bounds the driver's concurrency: at most this many
+	// operations execute at once, the rest queue with their intended
+	// start times ticking.
+	Sessions int
+	// Arrival selects the inter-arrival process.
+	Arrival Arrival
+	// Seed makes the schedule and the operation stream reproducible.
+	Seed int64
+	// Workload generates the operation stream. Its Seed field is
+	// overridden with the run's Seed so one knob steers both.
+	Workload workload.Config
+	// DrainTimeout bounds how long the run waits for queued operations
+	// after the dispatch window ends; past it the run context is
+	// cancelled and stragglers count as errors. Zero waits forever.
+	DrainTimeout time.Duration
+}
+
+// ArrivalTimes returns the intended start offset of every operation in
+// the run, relative to the run's start. The schedule is a pure function
+// of (Rate, Duration, Arrival, Seed): uniform spacing is seed-independent
+// and Poisson gaps come from a seeded exponential source, so identical
+// configurations always produce identical schedules.
+func (c OpenLoop) ArrivalTimes() []time.Duration {
+	n := int(c.Rate * c.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	times := make([]time.Duration, n)
+	if c.Arrival == ArrivalPoisson {
+		rng := rand.New(rand.NewSource(c.Seed))
+		var t float64 // seconds since start
+		for i := range times {
+			t += rng.ExpFloat64() / c.Rate
+			times[i] = time.Duration(t * float64(time.Second))
+		}
+		return times
+	}
+	for i := range times {
+		times[i] = time.Duration(float64(i) / c.Rate * float64(time.Second))
+	}
+	return times
+}
+
+// Ops returns the run's deterministic operation stream, one per scheduled
+// arrival.
+func (c OpenLoop) Ops() []workload.Op {
+	wcfg := c.Workload
+	wcfg.Seed = c.Seed
+	gen := workload.New(wcfg)
+	ops := make([]workload.Op, len(c.ArrivalTimes()))
+	for i := range ops {
+		ops[i] = gen.Next()
+	}
+	return ops
+}
+
+// OpenLoopResult summarizes one fixed-rate run.
+type OpenLoopResult struct {
+	// Offered is the configured arrival rate (ops/s).
+	Offered float64
+	// Issued counts operations dispatched (the full schedule unless the
+	// context was cancelled mid-run).
+	Issued int
+	// Errors counts operations whose do callback returned an error.
+	Errors int
+	// Elapsed spans run start to last completion — at least Duration, and
+	// longer whenever the cluster could not keep up with the offered rate.
+	Elapsed time.Duration
+	// Achieved is Issued/Elapsed (ops/s): below Offered means saturation.
+	Achieved float64
+	// Latency is the intended-start latency distribution: completion time
+	// minus scheduled arrival time, queueing delay included.
+	Latency metrics.HistSnapshot
+}
+
+// Run executes the open-loop schedule against the do callback. A
+// dispatcher goroutine releases each operation at its intended time (or
+// immediately, if dispatch itself fell behind — the intended stamp still
+// carries the schedule); Sessions worker goroutines execute them. The
+// recorded latency of every operation is time.Since(intended start), so
+// operations that queued behind a saturated or stalled cluster show their
+// full sojourn time — the coordinated-omission-safe measurement.
+func (c OpenLoop) Run(ctx context.Context, do func(ctx context.Context, op workload.Op) error) (*OpenLoopResult, error) {
+	if c.Rate <= 0 {
+		return nil, fmt.Errorf("openloop: rate must be positive, got %v", c.Rate)
+	}
+	sessions := c.Sessions
+	if sessions <= 0 {
+		sessions = 1
+	}
+	times := c.ArrivalTimes()
+	ops := c.Ops()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct {
+		op       workload.Op
+		intended time.Time
+	}
+	queue := make(chan job, len(times))
+	hist := &metrics.Histogram{}
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				if err := do(runCtx, j.op); err != nil {
+					errs.Add(1)
+				}
+				hist.Observe(time.Since(j.intended))
+			}
+		}()
+	}
+
+	start := time.Now()
+	issued := 0
+dispatch:
+	for i, t := range times {
+		intended := start.Add(t)
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		queue <- job{op: ops[i], intended: intended}
+		issued++
+	}
+	close(queue)
+
+	// Bound the drain: an overloaded cluster still owes len(queue) ops.
+	var drainTimer *time.Timer
+	if c.DrainTimeout > 0 {
+		drainTimer = time.AfterFunc(c.DrainTimeout, cancel)
+	}
+	wg.Wait()
+	if drainTimer != nil {
+		drainTimer.Stop()
+	}
+	elapsed := time.Since(start)
+
+	res := &OpenLoopResult{
+		Offered: c.Rate,
+		Issued:  issued,
+		Errors:  int(errs.Load()),
+		Elapsed: elapsed,
+		Latency: hist.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(issued) / elapsed.Seconds()
+	}
+	return res, ctx.Err()
+}

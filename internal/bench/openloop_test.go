@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securestore/internal/workload"
+)
+
+func TestArrivalTimesDeterministicUnderSeed(t *testing.T) {
+	for _, arrival := range []Arrival{ArrivalUniform, ArrivalPoisson} {
+		a := OpenLoop{Rate: 500, Duration: time.Second, Arrival: arrival, Seed: 7}
+		b := OpenLoop{Rate: 500, Duration: time.Second, Arrival: arrival, Seed: 7}
+		ta, tb := a.ArrivalTimes(), b.ArrivalTimes()
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("%v: identical configs produced different schedules", arrival)
+		}
+		if len(ta) != 500 {
+			t.Fatalf("%v: want 500 arrivals for 500 ops/s x 1s, got %d", arrival, len(ta))
+		}
+		for i := 1; i < len(ta); i++ {
+			if ta[i] < ta[i-1] {
+				t.Fatalf("%v: schedule not monotone at %d: %v < %v", arrival, i, ta[i], ta[i-1])
+			}
+		}
+	}
+	// Poisson schedules must differ across seeds (uniform is seed-free by
+	// construction).
+	a := OpenLoop{Rate: 500, Duration: time.Second, Arrival: ArrivalPoisson, Seed: 7}
+	b := OpenLoop{Rate: 500, Duration: time.Second, Arrival: ArrivalPoisson, Seed: 8}
+	if reflect.DeepEqual(a.ArrivalTimes(), b.ArrivalTimes()) {
+		t.Fatal("poisson schedules identical across different seeds")
+	}
+}
+
+func TestOpsStreamDeterministicUnderSeed(t *testing.T) {
+	cfg := OpenLoop{Rate: 200, Duration: time.Second, Seed: 3,
+		Workload: workload.Config{Items: 8, ReadFraction: 0.5, ValueSize: 32}}
+	a, b := cfg.Ops(), cfg.Ops()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different op streams")
+	}
+	cfg.Seed = 4
+	if reflect.DeepEqual(a, cfg.Ops()) {
+		t.Fatal("op streams identical across different seeds")
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	if a, err := ParseArrival("poisson"); err != nil || a != ArrivalPoisson {
+		t.Fatalf("poisson: got %v, %v", a, err)
+	}
+	if a, err := ParseArrival(" Uniform "); err != nil || a != ArrivalUniform {
+		t.Fatalf("uniform: got %v, %v", a, err)
+	}
+	if _, err := ParseArrival("bursty"); err == nil {
+		t.Fatal("unknown arrival accepted")
+	}
+}
+
+// TestOpenLoopChargesQueueingDelay pins the coordinated-omission-safe
+// property: against a stalled server (every op takes 20ms, one session),
+// a 200 ops/s schedule backs up, and because latency is measured from the
+// *intended* start time the tail must show the queueing delay — far above
+// the 20ms service time a closed-loop harness would report.
+func TestOpenLoopChargesQueueingDelay(t *testing.T) {
+	const service = 20 * time.Millisecond
+	cfg := OpenLoop{
+		Rate: 200, Duration: 250 * time.Millisecond, Sessions: 1,
+		Arrival: ArrivalUniform, Seed: 1,
+		Workload: workload.Config{Items: 4, ValueSize: 8},
+	}
+	res, err := cfg.Run(context.Background(), func(ctx context.Context, op workload.Op) error {
+		time.Sleep(service)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 50 {
+		t.Fatalf("want 50 ops issued, got %d", res.Issued)
+	}
+	// 50 ops x 20ms through one session = 1s of work against a 250ms
+	// schedule: the last ops waited ~750ms. Demand a p99 of at least 5x
+	// the service time (generous slack for scheduler noise).
+	if got := res.Latency.P99; got < 5*service {
+		t.Fatalf("p99 %v does not show queueing delay (service time %v): intended-start measurement broken", got, service)
+	}
+	if res.Achieved >= cfg.Rate {
+		t.Fatalf("achieved %.0f ops/s >= offered %.0f on a saturated run", res.Achieved, cfg.Rate)
+	}
+
+	// The control: enough sessions to absorb the same schedule keeps the
+	// tail near the service time.
+	cfg.Sessions = 16
+	res, err = cfg.Run(context.Background(), func(ctx context.Context, op workload.Op) error {
+		time.Sleep(service)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Latency.P99; got > 5*service {
+		t.Fatalf("well-provisioned p99 %v unexpectedly high (service time %v)", got, service)
+	}
+}
+
+func TestOpenLoopCountsErrors(t *testing.T) {
+	cfg := OpenLoop{Rate: 1000, Duration: 20 * time.Millisecond, Sessions: 4, Seed: 1,
+		Workload: workload.Config{Items: 4, ValueSize: 8}}
+	var n atomic.Int64
+	res, err := cfg.Run(context.Background(), func(ctx context.Context, op workload.Op) error {
+		if n.Add(1)%2 == 0 {
+			return context.DeadlineExceeded
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Errors > res.Issued {
+		t.Fatalf("errors %d implausible for %d issued", res.Errors, res.Issued)
+	}
+}

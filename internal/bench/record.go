@@ -1,0 +1,266 @@
+package bench
+
+// record.go normalizes recorded benchtab tables (BENCH_PR*.json) into
+// flat scalar records — the continuous performance trajectory behind
+// scripts/bench_record.sh and the `benchcat -check` regression gate.
+//
+// A Table is a grid of strings shaped for humans; cross-PR comparison
+// needs (experiment, metric, value) triples instead. Normalization
+// classifies each column by its header: columns whose header names a
+// known measurement kind ("ops/s", "p99 ms", "speedup", ...) become
+// metrics with a gate direction (higher- or lower-is-better), every other
+// column is a dimension whose row cells key the metric, so "fine-grained
+// ops/s[8]" from PR4's T3 and the same cell from PR5's re-run land on the
+// same metric name and become comparable points on one curve.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one scalar measurement extracted from a recorded table: a
+// point on the repository's performance trajectory.
+type Record struct {
+	// PR is the pull request the measurement was recorded under.
+	PR int `json:"pr"`
+	// Source is the artifact file the measurement came from.
+	Source string `json:"source"`
+	// Commit and Date stamp the recording when known (bench_record.sh
+	// fills them from git for newly appended runs; records merged from an
+	// existing file keep their original stamps).
+	Commit string `json:"commit,omitempty"`
+	Date   string `json:"date,omitempty"`
+	// Experiment is the table ID (T3, R1, ...).
+	Experiment string `json:"experiment"`
+	// Metric is the measure column's header plus the row's dimension key,
+	// e.g. "fine-grained ops/s[8]".
+	Metric string `json:"metric"`
+	// Value is the parsed measurement (units stripped).
+	Value float64 `json:"value"`
+	// Unit is the measurement's unit when the header implies one.
+	Unit string `json:"unit,omitempty"`
+	// Better is the gate direction: "higher", "lower", or "" for metrics
+	// that are tracked but not gated.
+	Better string `json:"better,omitempty"`
+}
+
+// measureClasses maps header substrings to a gate direction and unit.
+// Scan order matters: more specific tokens come first ("msgs" before
+// "ms", "ns/op" before "ops"). Headers matching no class are dimensions.
+var measureClasses = []struct{ token, better, unit string }{
+	{"ns/op", "lower", "ns"},
+	{"b/op", "lower", "B"},
+	{"mb/s", "higher", "MB/s"},
+	{"ops/s", "higher", "ops/s"},
+	{"speedup", "higher", "x"},
+	{"hit rate", "higher", "%"},
+	{"fresh", "higher", "%"},
+	{"ok %", "higher", "%"},
+	{"overhead", "lower", "%"},
+	{"allocs", "lower", "allocs"},
+	{"msgs", "lower", "msgs"},
+	{"ms", "lower", "ms"},
+	{"bytes", "lower", "B"},
+	{"kb", "lower", "KB"},
+	{"verifies", "lower", ""},
+	{"violations", "lower", ""},
+	{"errors", "lower", ""},
+	{"fail", "lower", ""},
+	{"breaches", "lower", ""},
+	{"rounds", "lower", "rounds"},
+	{"hits", "higher", ""},
+	{"batch mean", "", ""},
+}
+
+// classifyHeader returns whether a column header names a measure, and if
+// so its gate direction and unit.
+func classifyHeader(h string) (isMeasure bool, better, unit string) {
+	l := strings.ToLower(h)
+	for _, c := range measureClasses {
+		if strings.Contains(l, c.token) {
+			return true, c.better, c.unit
+		}
+	}
+	return false, "", ""
+}
+
+// parseMeasure parses one measure cell, stripping the decorating suffixes
+// tables use ("2.53x", "93%"). Placeholder cells ("n/a", "-", empty) and
+// anything non-numeric report ok=false and are skipped, which is what
+// lets partially filled tables normalize.
+func parseMeasure(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "", "-", "n/a":
+		return 0, false
+	}
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// NormalizeTables flattens one recording's tables into records. source
+// and pr identify the artifact; commit and date stamp the records when
+// known (pass "" when not).
+func NormalizeTables(source string, pr int, commit, date string, tables []Table) []Record {
+	var recs []Record
+	for _, t := range tables {
+		type measure struct {
+			col    int
+			better string
+			unit   string
+		}
+		var dims []int
+		var measures []measure
+		for j, h := range t.Header {
+			if ok, better, unit := classifyHeader(h); ok {
+				measures = append(measures, measure{j, better, unit})
+			} else {
+				dims = append(dims, j)
+			}
+		}
+		for _, row := range t.Rows {
+			var key []string
+			for _, j := range dims {
+				if j < len(row) {
+					key = append(key, strings.TrimSpace(row[j]))
+				}
+			}
+			for _, m := range measures {
+				if m.col >= len(row) {
+					continue
+				}
+				v, ok := parseMeasure(row[m.col])
+				if !ok {
+					continue
+				}
+				name := t.Header[m.col]
+				if len(key) > 0 {
+					name += "[" + strings.Join(key, "/") + "]"
+				}
+				recs = append(recs, Record{
+					PR: pr, Source: source, Commit: commit, Date: date,
+					Experiment: t.ID, Metric: name, Value: v,
+					Unit: m.unit, Better: m.better,
+				})
+			}
+		}
+	}
+	return recs
+}
+
+// MergeRecords merges fresh records into an existing trajectory. Records
+// are keyed by (PR, experiment, metric); existing records win, keeping
+// their original commit/date stamps, so repeated runs of bench_record.sh
+// are append-only: re-normalizing an old BENCH file never rewrites the
+// history already recorded for it. The result is sorted by (PR,
+// experiment, metric).
+func MergeRecords(existing, fresh []Record) []Record {
+	key := func(r Record) string {
+		return fmt.Sprintf("%d\x00%s\x00%s", r.PR, r.Experiment, r.Metric)
+	}
+	seen := make(map[string]bool, len(existing))
+	out := append([]Record(nil), existing...)
+	for _, r := range existing {
+		seen[key(r)] = true
+	}
+	for _, r := range fresh {
+		if !seen[key(r)] {
+			seen[key(r)] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PR != b.PR {
+			return a.PR < b.PR
+		}
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}
+
+// Regression is one gated metric that moved the wrong way between its
+// two most recent recordings.
+type Regression struct {
+	// Experiment and Metric identify the measurement.
+	Experiment string `json:"experiment"`
+	Metric     string `json:"metric"`
+	// PrevPR/Prev and LastPR/Last are the two compared recordings.
+	PrevPR int     `json:"prevPR"`
+	Prev   float64 `json:"prev"`
+	LastPR int     `json:"lastPR"`
+	Last   float64 `json:"last"`
+	// Better is the metric's gate direction.
+	Better string `json:"better"`
+	// ChangePct is the relative change from Prev to Last in percent
+	// (negative = decreased).
+	ChangePct float64 `json:"changePct"`
+}
+
+// String renders the regression for the gate's failure output.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %g (PR%d) -> %g (PR%d), %+.1f%% (%s is better)",
+		r.Experiment, r.Metric, r.Prev, r.PrevPR, r.Last, r.LastPR, r.ChangePct, r.Better)
+}
+
+// CheckRecords runs the regression gate: for every gated metric (Better
+// set) recorded under at least two distinct PRs, compare the newest
+// recording against the previous one and report it when it moved in the
+// wrong direction by more than tolerancePct percent. Metrics recorded
+// only once, ungated metrics, and zero baselines are skipped, so a
+// trajectory of disjoint per-PR experiments passes trivially — the gate
+// bites exactly when a PR re-records a tracked number and tanks it.
+// gated reports how many metric pairs were actually compared.
+func CheckRecords(recs []Record, tolerancePct float64) (regressions []Regression, gated int) {
+	byMetric := make(map[string][]Record)
+	var order []string
+	for _, r := range recs {
+		if r.Better == "" {
+			continue
+		}
+		k := r.Experiment + "\x00" + r.Metric
+		if _, ok := byMetric[k]; !ok {
+			order = append(order, k)
+		}
+		byMetric[k] = append(byMetric[k], r)
+	}
+	sort.Strings(order)
+	for _, k := range order {
+		series := byMetric[k]
+		sort.SliceStable(series, func(i, j int) bool { return series[i].PR < series[j].PR })
+		last := series[len(series)-1]
+		var prev *Record
+		for i := len(series) - 2; i >= 0; i-- {
+			if series[i].PR < last.PR {
+				prev = &series[i]
+				break
+			}
+		}
+		if prev == nil || prev.Value == 0 {
+			continue
+		}
+		gated++
+		change := (last.Value - prev.Value) / prev.Value * 100
+		worse := (last.Better == "higher" && change < -tolerancePct) ||
+			(last.Better == "lower" && change > tolerancePct)
+		if worse {
+			regressions = append(regressions, Regression{
+				Experiment: last.Experiment, Metric: last.Metric,
+				PrevPR: prev.PR, Prev: prev.Value,
+				LastPR: last.PR, Last: last.Value,
+				Better: last.Better, ChangePct: change,
+			})
+		}
+	}
+	return regressions, gated
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"testing"
+)
+
+// tableWithOps builds a T3-shaped table whose 8-session throughput cell
+// is the given value.
+func tableWithOps(ops string) Table {
+	return Table{
+		ID:     "T3",
+		Title:  "replica concurrency",
+		Header: []string{"sessions", "fine-grained ops/s", "read ms"},
+		Rows: [][]string{
+			{"1", "5000", "0.50"},
+			{"8", ops, "1.20"},
+		},
+	}
+}
+
+func TestNormalizeTablesClassifiesColumns(t *testing.T) {
+	recs := NormalizeTables("BENCH_PR4.json", 4, "abc123", "2026-01-01", []Table{tableWithOps("10000")})
+	want := map[string]struct {
+		value  float64
+		better string
+	}{
+		"fine-grained ops/s[1]": {5000, "higher"},
+		"fine-grained ops/s[8]": {10000, "higher"},
+		"read ms[1]":            {0.5, "lower"},
+		"read ms[8]":            {1.2, "lower"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("want %d records, got %d: %+v", len(want), len(recs), recs)
+	}
+	for _, r := range recs {
+		w, ok := want[r.Metric]
+		if !ok {
+			t.Fatalf("unexpected metric %q", r.Metric)
+		}
+		if r.Value != w.value || r.Better != w.better {
+			t.Fatalf("metric %q: got (%g, %q), want (%g, %q)", r.Metric, r.Value, r.Better, w.value, w.better)
+		}
+		if r.Experiment != "T3" || r.PR != 4 || r.Commit != "abc123" {
+			t.Fatalf("metric %q mis-stamped: %+v", r.Metric, r)
+		}
+	}
+}
+
+func TestNormalizeSkipsPlaceholders(t *testing.T) {
+	tbl := Table{
+		ID:     "X",
+		Header: []string{"mode", "ops/s", "hit rate"},
+		Rows:   [][]string{{"off", "n/a", "-"}, {"on", "1200", "93%"}},
+	}
+	recs := NormalizeTables("f", 1, "", "", []Table{tbl})
+	if len(recs) != 2 {
+		t.Fatalf("want 2 records (placeholders skipped), got %d: %+v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Metric == "hit rate[on]" && r.Value != 93 {
+			t.Fatalf("percent suffix not stripped: %+v", r)
+		}
+	}
+}
+
+// TestCheckRecordsGate pins the satellite acceptance case: a synthetic
+// 20% throughput regression fails the 10% gate while a 5% wobble passes.
+func TestCheckRecordsGate(t *testing.T) {
+	base := NormalizeTables("BENCH_PR4.json", 4, "", "", []Table{tableWithOps("10000")})
+
+	wobble := MergeRecords(base, NormalizeTables("BENCH_PR5.json", 5, "", "", []Table{tableWithOps("9500")}))
+	regs, gated := CheckRecords(wobble, 10)
+	if gated == 0 {
+		t.Fatal("gate compared no metrics")
+	}
+	if len(regs) != 0 {
+		t.Fatalf("5%% wobble flagged as regression: %+v", regs)
+	}
+
+	tanked := MergeRecords(base, NormalizeTables("BENCH_PR5.json", 5, "", "", []Table{tableWithOps("8000")}))
+	regs, _ = CheckRecords(tanked, 10)
+	if len(regs) != 1 {
+		t.Fatalf("20%% regression not flagged exactly once: %+v", regs)
+	}
+	r := regs[0]
+	if r.Metric != "fine-grained ops/s[8]" || r.PrevPR != 4 || r.LastPR != 5 {
+		t.Fatalf("wrong regression identified: %+v", r)
+	}
+	if r.ChangePct > -19 || r.ChangePct < -21 {
+		t.Fatalf("change pct %v not ~-20", r.ChangePct)
+	}
+}
+
+// Lower-is-better metrics gate in the opposite direction.
+func TestCheckRecordsLowerIsBetter(t *testing.T) {
+	mk := func(pr int, ms string) []Record {
+		return NormalizeTables("f", pr, "", "", []Table{{
+			ID:     "R1",
+			Header: []string{"offered ops/s", "p99 ms"},
+			Rows:   [][]string{{"1000", ms}},
+		}})
+	}
+	// "offered ops/s" is itself a gated higher-better column here; keep it
+	// constant so only the latency moves.
+	recs := MergeRecords(mk(7, "2.0"), mk(8, "3.0"))
+	regs, _ := CheckRecords(recs, 10)
+	if len(regs) != 1 || regs[0].Metric == "" || regs[0].Better != "lower" {
+		t.Fatalf("latency increase not flagged: %+v", regs)
+	}
+	recs = MergeRecords(mk(7, "2.0"), mk(8, "1.5"))
+	if regs, _ := CheckRecords(recs, 10); len(regs) != 0 {
+		t.Fatalf("latency improvement flagged: %+v", regs)
+	}
+}
+
+// MergeRecords must be append-only: re-normalizing an old file with new
+// stamps never overwrites the recorded history.
+func TestMergeRecordsAppendOnly(t *testing.T) {
+	old := NormalizeTables("BENCH_PR4.json", 4, "oldcommit", "2026-01-01", []Table{tableWithOps("10000")})
+	fresh := NormalizeTables("BENCH_PR4.json", 4, "newcommit", "2026-02-02", []Table{tableWithOps("10000")})
+	merged := MergeRecords(old, fresh)
+	if len(merged) != len(old) {
+		t.Fatalf("duplicate keys appended: %d vs %d", len(merged), len(old))
+	}
+	for _, r := range merged {
+		if r.Commit != "oldcommit" {
+			t.Fatalf("existing record restamped: %+v", r)
+		}
+	}
+}

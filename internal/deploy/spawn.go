@@ -1,0 +1,267 @@
+package deploy
+
+// spawn.go — multi-process cluster helpers for `benchtab remote` and any
+// other harness that needs a real securestored-style cluster rather than
+// the in-process loopback deployments of internal/bench: reserve loopback
+// ports, write the shared config, start one OS process per replica, wait
+// until every replica accepts TCP connections, and tear the fleet down
+// (SIGTERM, then SIGKILL after a grace period). The replica process
+// itself is whatever command the caller builds — benchtab re-execs itself
+// into ServeReplica, but the same helpers drive a prebuilt securestored.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// FreeLoopbackAddrs reserves n distinct loopback TCP addresses by
+// binding ephemeral ports and releasing them. The usual caveat applies —
+// another process could grab a port between release and reuse — which is
+// acceptable for a local benchmark harness (the spawn's readiness check
+// catches the collision as a startup failure).
+func FreeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("reserve port: %w", err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
+}
+
+// SynthesizeCluster builds a loopback deployment config for spawn-mode
+// benchmarking: groups replica groups of 3b+1 servers each on freshly
+// reserved ports, one client principal, and one single-writer group named
+// "bench". groups == 1 leaves the config unsharded; groups > 1 partitions
+// the servers into that many shards (g<G>-s<K> naming, one shard each).
+func SynthesizeCluster(seed string, groups, b int, clientID string, fragThreshold, fragK int) (*Config, error) {
+	if groups < 1 {
+		groups = 1
+	}
+	perGroup := 3*b + 1
+	addrs, err := FreeLoopbackAddrs(groups * perGroup)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{
+		Seed:    seed,
+		B:       b,
+		Servers: make(map[string]string, groups*perGroup),
+		Groups:  []GroupConfig{{Name: "bench", Consistency: "MRC"}},
+		Clients: []string{clientID},
+		// Fast dissemination keeps read freshness high at benchmark rates.
+		GossipIntervalMillis:   100,
+		FragmentThresholdBytes: fragThreshold,
+		FragmentK:              fragK,
+	}
+	i := 0
+	for g := 0; g < groups; g++ {
+		var shard ShardConfig
+		for k := 0; k < perGroup; k++ {
+			name := fmt.Sprintf("s%02d", i)
+			if groups > 1 {
+				name = fmt.Sprintf("g%02d-s%02d", g, k)
+			}
+			cfg.Servers[name] = addrs[i]
+			shard.Servers = append(shard.Servers, name)
+			i++
+		}
+		if groups > 1 {
+			shard.Name = fmt.Sprintf("g%02d", g)
+			cfg.Shards = append(cfg.Shards, shard)
+		}
+	}
+	return cfg, nil
+}
+
+// WriteConfig serializes the config into dir/config.json and returns the
+// path — the shared artifact every spawned replica process loads.
+func WriteConfig(cfg *Config, dir string) (string, error) {
+	raw, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "config.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Proc is one spawned replica process.
+type Proc struct {
+	// Name is the replica's name in the config.
+	Name string
+	cmd  *exec.Cmd
+	// stderr accumulates the process's stderr for failure diagnostics.
+	stderr bytes.Buffer
+	// done receives the process's Wait result exactly once.
+	done chan error
+	// waitErr holds the consumed Wait result once exited is set.
+	waitErr error
+	exited  bool
+}
+
+// Exited reports whether the process has terminated (non-blocking).
+func (p *Proc) Exited() bool {
+	if p.exited {
+		return true
+	}
+	select {
+	case err := <-p.done:
+		p.waitErr = err
+		p.exited = true
+		return true
+	default:
+		return false
+	}
+}
+
+// CommandFunc builds the command serving one replica of a written config.
+type CommandFunc func(configPath, name string) *exec.Cmd
+
+// SpawnedCluster is a running multi-process deployment.
+type SpawnedCluster struct {
+	// Config is the deployment the processes were started from.
+	Config *Config
+	// ConfigPath is the shared config file the processes loaded.
+	ConfigPath string
+	// Procs holds one entry per replica process, in ServerNames order.
+	Procs []*Proc
+}
+
+// Spawn writes the config into dir and starts one replica process per
+// configured server via command, then blocks until every replica accepts
+// TCP connections (or the timeout hits, tearing everything down). The
+// returned cluster must be Teardown()-ed.
+func Spawn(cfg *Config, dir string, command CommandFunc) (*SpawnedCluster, error) {
+	path, err := WriteConfig(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &SpawnedCluster{Config: cfg, ConfigPath: path}
+	for _, name := range cfg.ServerNames() {
+		p := &Proc{Name: name, cmd: command(path, name), done: make(chan error, 1)}
+		if p.cmd.Stderr == nil {
+			p.cmd.Stderr = &p.stderr
+		}
+		if err := p.cmd.Start(); err != nil {
+			c.Teardown()
+			return nil, fmt.Errorf("start replica %s: %w", name, err)
+		}
+		cmd := p.cmd
+		done := p.done
+		go func() { done <- cmd.Wait() }()
+		c.Procs = append(c.Procs, p)
+	}
+	if err := c.waitReady(15 * time.Second); err != nil {
+		c.Teardown()
+		return nil, err
+	}
+	return c, nil
+}
+
+// waitReady dials every replica address until it accepts or the timeout
+// expires; a replica process dying first fails fast with its stderr.
+func (c *SpawnedCluster) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, p := range c.Procs {
+		addr := c.Config.Servers[p.Name]
+		for {
+			if p.Exited() {
+				return fmt.Errorf("replica %s exited during startup: %v\n%s",
+					p.Name, p.waitErr, strings.TrimSpace(p.stderr.String()))
+			}
+			conn, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+			if err == nil {
+				conn.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s (%s) not ready after %v: %v", p.Name, addr, timeout, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// Teardown stops every replica process: SIGTERM, a grace period, then
+// SIGKILL. Normal termination (clean exit or death-by-signal) is not an
+// error.
+func (c *SpawnedCluster) Teardown() error {
+	var firstErr error
+	for _, p := range c.Procs {
+		if p.Exited() || p.cmd.Process == nil {
+			continue
+		}
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for _, p := range c.Procs {
+		if p.exited || p.cmd.Process == nil {
+			continue
+		}
+		select {
+		case err := <-p.done:
+			p.waitErr = err
+			p.exited = true
+		case <-time.After(5 * time.Second):
+			_ = p.cmd.Process.Kill()
+			p.waitErr = <-p.done
+			p.exited = true
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %s needed SIGKILL", p.Name)
+			}
+		}
+	}
+	return firstErr
+}
+
+// ServeReplica runs one replica process of the config until ctx is
+// cancelled: build the server (with durable state when dataDir is
+// non-empty), serve TCP on the config's address for name, and run the
+// gossip engine. It blocks until cancellation, then stops gossip and
+// closes the listener. This is the in-process core of securestored that
+// spawned benchmark replicas re-exec into.
+func ServeReplica(ctx context.Context, cfg *Config, name, dataDir string) error {
+	addr, ok := cfg.Servers[name]
+	if !ok {
+		return fmt.Errorf("server %q not in config", name)
+	}
+	wire.RegisterGob()
+	obs := NewObs()
+	srv, engine, err := BuildServer(cfg, name, dataDir, obs)
+	if err != nil {
+		return err
+	}
+	tcp := transport.NewTCPServer(srv, transport.WithServerCounters(obs.Counters))
+	if _, err := tcp.Serve(addr); err != nil {
+		return err
+	}
+	engine.Start()
+	<-ctx.Done()
+	engine.Stop()
+	tcp.Close()
+	return nil
+}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench_record.sh — fold every per-PR benchmark recording (BENCH_PR*.json
+# at the repo root) into the normalized, append-only performance records
+# document dev/bench/records.json: one flat (pr, experiment, metric,
+# value) record per measured cell, stamped with the current commit and
+# date the first time each record appears. Re-running never rewrites
+# history — records already present keep their original stamps — so the
+# document is a continuous trajectory across PRs.
+#
+# Usage: scripts/bench_record.sh [output]
+#   output defaults to dev/bench/records.json in the repo root.
+#
+# The regression gate reads the same document:
+#   go run ./cmd/benchcat -check -tolerance 10% -lenient \
+#       -merge dev/bench/records.json BENCH_PR*.json
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-"$root/dev/bench/records.json"}
+
+cd "$root"
+set -- BENCH_PR*.json
+if [ ! -e "$1" ]; then
+    echo "bench_record: no BENCH_PR*.json recordings, nothing to do" >&2
+    exit 0
+fi
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(git show -s --format=%cs HEAD 2>/dev/null || date +%Y-%m-%d)
+
+mkdir -p "$(dirname -- "$out")"
+go run ./cmd/benchcat -records -lenient \
+    -merge "$out" -commit "$commit" -date "$date" -o "$out" "$@"
+echo "wrote $out"
