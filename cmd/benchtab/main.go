@@ -10,15 +10,17 @@
 //	benchtab -list           # list experiment ids
 //	benchtab -json           # emit the tables as a JSON array instead of text
 //
-// The `remote` subcommand is the open-loop driver (experiment R1): it
-// spawns — or attaches to, via -cluster — a real multi-process cluster
-// over TCP, offers load at fixed arrival rates, and reports
+// The `remote` subcommand is the open-loop driver (experiments R1 and
+// R2): it spawns — or attaches to, via -cluster — a real multi-process
+// cluster over TCP, offers load at fixed arrival rates, and reports
 // coordinated-omission-safe latency-vs-offered-load curves. See remote.go
 // and BENCHMARKS.md:
 //
 //	benchtab remote                          # spawn, default replicated sweep
-//	benchtab remote -profile all -json       # all three workload profiles
+//	benchtab remote -profile all -json       # all three R1 value-shape profiles
+//	benchtab remote -suite r2                # access patterns: zipf-hot + read-mostly
 //	benchtab remote -rates 500,1000 -sessions 32 -arrival uniform
+//	benchtab remote -cpuprofile cpu.pprof    # profile the driver across the sweep
 //	benchtab remote -cluster s00=host:7100,s01=host:7101,... -config demo.json
 //
 // (`benchtab _replica` is the hidden mode spawned replicas re-exec into.)

@@ -1,12 +1,18 @@
 package main
 
-// remote.go implements `benchtab remote` (experiment R1): an open-loop
-// benchmark driver against a real multi-process cluster. Unless attached
-// to an already-running deployment with -cluster, it spawns one OS
-// process per replica by re-execing itself into the hidden `_replica`
-// mode (deploy.ServeReplica — the core of securestored), so the measured
-// system pays real process isolation, real TCP, and real gossip, not the
-// in-process loopback shortcuts of the closed-loop T experiments.
+// remote.go implements `benchtab remote` (experiments R1 and R2): an
+// open-loop benchmark driver against a real multi-process cluster.
+// Unless attached to an already-running deployment with -cluster, it
+// spawns one OS process per replica by re-execing itself into the hidden
+// `_replica` mode (deploy.ServeReplica — the core of securestored), so
+// the measured system pays real process isolation, real TCP, and real
+// gossip, not the in-process loopback shortcuts of the closed-loop T
+// experiments.
+//
+// -suite selects the profile set: r1 sweeps value shapes (replicated /
+// sharded / fragmented), r2 sweeps access patterns (zipfian hot keys and
+// a read-mostly mix) over the replicated shape, exercising the verified-
+// signature cache and admission batching under skew.
 //
 // Requests are issued at a fixed offered rate from -sessions concurrent
 // workers and latency is measured from each operation's *intended* send
@@ -30,6 +36,7 @@ import (
 	"securestore/internal/bench"
 	"securestore/internal/client"
 	"securestore/internal/deploy"
+	"securestore/internal/profiling"
 	"securestore/internal/workload"
 )
 
@@ -68,31 +75,65 @@ func runReplicaProc(args []string) error {
 	return deploy.ServeReplica(ctx, cfg, *name, *dataDir)
 }
 
-// remoteProfile bundles one workload shape of the R1 sweep.
+// remoteProfile bundles one workload shape of a remote sweep.
 type remoteProfile struct {
 	name          string
-	groups        int   // replica groups (sharded when > 1)
-	valueSize     int   // bytes per written value
-	fragThreshold int   // erasure-code values at or above this size
-	rates         []int // default offered-rate sweep (ops/s)
+	groups        int     // replica groups (sharded when > 1)
+	valueSize     int     // bytes per written value
+	fragThreshold int     // erasure-code values at or above this size
+	rates         []int   // default offered-rate sweep (ops/s)
+	readFrac      float64 // > 0 overrides the -read flag
+	zipfSkew      float64 // > 1 selects zipfian item popularity
+	hotFraction   float64 // with hotItems: overlay hot-key traffic share
+	hotItems      int     // size of the hot set
 }
 
-// remoteProfiles are the three workload shapes the tentpole curves cover:
-// small replicated values on one group, the same spread across shards,
-// and large values on the erasure-coded path.
+// remoteProfiles (suite r1) are the three value shapes the R1 curves
+// cover: small replicated values on one group, the same spread across
+// shards, and large values on the erasure-coded path.
 var remoteProfiles = []remoteProfile{
 	{name: "replicated", groups: 1, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
 	{name: "sharded", groups: 2, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
 	{name: "fragmented", groups: 1, valueSize: 64 << 10, fragThreshold: 1 << 10, rates: []int{50, 100, 200, 400}},
 }
 
-func profileByName(name string) (remoteProfile, error) {
-	for _, p := range remoteProfiles {
+// r2Profiles (suite r2) keep the replicated value shape and vary the
+// access pattern instead: a zipfian hot-key mix (90% of traffic on 4
+// items, zipfian tail on the rest) and a 95%-read mix. Skewed repeats of
+// the same signed bytes hit the verified-signature cache; the read-heavy
+// mix shifts the load from write quorums to read rounds.
+var r2Profiles = []remoteProfile{
+	{name: "zipf-hot", groups: 1, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000},
+		zipfSkew: 1.2, hotFraction: 0.9, hotItems: 4},
+	{name: "read-mostly", groups: 1, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000},
+		readFrac: 0.95},
+}
+
+// remoteSuites names the profile sets; the key doubles (uppercased) as
+// the result table's experiment ID.
+var remoteSuites = map[string][]remoteProfile{
+	"r1": remoteProfiles,
+	"r2": r2Profiles,
+}
+
+// remoteSuiteDefault is each suite's profile selection when -profile is
+// empty. r1 keeps its historical single-profile default (the fragmented
+// sweep writes 64 KiB values and is slow to run by accident); r2's two
+// access patterns are cheap and only meaningful side by side.
+var remoteSuiteDefault = map[string]string{
+	"r1": "replicated",
+	"r2": "all",
+}
+
+func profileByName(suite []remoteProfile, name string) (remoteProfile, error) {
+	var known []string
+	for _, p := range suite {
 		if p.name == name {
 			return p, nil
 		}
+		known = append(known, p.name)
 	}
-	return remoteProfile{}, fmt.Errorf("unknown profile %q (replicated, sharded, fragmented, or all)", name)
+	return remoteProfile{}, fmt.Errorf("unknown profile %q (%s, or all)", name, strings.Join(known, ", "))
 }
 
 // parseRates parses "-rates 500,1000,2000".
@@ -141,7 +182,8 @@ func runRemote(args []string) error {
 	var (
 		configPath = fs.String("config", "", "deployment config to spawn or attach to (empty: synthesize per -profile)")
 		cluster    = fs.String("cluster", "", "attach to a running cluster: name=host:port pairs, comma-separated (skips spawning)")
-		profile    = fs.String("profile", "replicated", "workload profile: replicated, sharded, fragmented, or all")
+		suite      = fs.String("suite", "r1", "experiment suite: r1 (value shapes) or r2 (access patterns)")
+		profile    = fs.String("profile", "", "workload profile within the suite, or all (empty: suite default)")
 		groups     = fs.Int("groups", 0, "replica-group count for the sharded profile (0: profile default)")
 		b          = fs.Int("b", 1, "fault tolerance per replica group (n = 3b+1 servers each)")
 		ratesFlag  = fs.String("rates", "", "offered-rate sweep, ops/s, comma-separated (empty: profile default)")
@@ -155,6 +197,8 @@ func runRemote(args []string) error {
 		seed       = fs.Int64("seed", 1, "schedule/workload seed")
 		asJSON     = fs.Bool("json", false, "emit the result table as a JSON array on stdout")
 		out        = fs.String("o", "", "also write the JSON table array to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering the whole sweep to this file (empty: disabled)")
+		memProfile = fs.String("memprofile", "", "write a heap profile after the sweep to this file (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,30 +207,53 @@ func runRemote(args []string) error {
 	if err != nil {
 		return err
 	}
+	suiteKey := strings.ToLower(*suite)
+	suiteProfiles, ok := remoteSuites[suiteKey]
+	if !ok {
+		return fmt.Errorf("unknown suite %q (r1 or r2)", *suite)
+	}
+	selected := *profile
+	if selected == "" {
+		selected = remoteSuiteDefault[suiteKey]
+	}
 	var profiles []remoteProfile
-	if *profile == "all" {
-		profiles = remoteProfiles
+	if selected == "all" {
+		profiles = suiteProfiles
 	} else {
-		p, err := profileByName(*profile)
+		p, err := profileByName(suiteProfiles, selected)
 		if err != nil {
 			return err
 		}
 		profiles = []remoteProfile{p}
+	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	table := &bench.Table{
-		ID:     "R1",
+		ID:     strings.ToUpper(suiteKey),
 		Title:  fmt.Sprintf("open-loop latency vs offered load: multi-process cluster over TCP (b=%d, %s arrivals, %d sessions, %v per rate)", *b, arrivalMode, *sessions, *duration),
 		Header: []string{"profile", "offered ops/s", "achieved ops/s", "p50 ms", "p95 ms", "p99 ms", "max ms", "errors"},
 		Notes: []string{
 			"latency is measured from each op's intended send time (coordinated-omission-safe): queueing delay behind a saturated cluster is charged to the op",
 			"achieved < offered marks saturation; past it the p99 column shows the unbounded queue, not a service time",
-			fmt.Sprintf("workload: %.0f%% reads over private items, values per profile (replicated/sharded 128 B, fragmented 64 KiB erasure-coded)", *readFrac*100),
 			"each replica is its own OS process (deploy.ServeReplica) with real TCP transport and gossip between processes",
 		},
+	}
+	if suiteKey == "r2" {
+		table.Title = fmt.Sprintf("open-loop latency vs offered load: access-pattern profiles on the replicated shape (b=%d, %s arrivals, %d sessions, %v per rate)", *b, arrivalMode, *sessions, *duration)
+		table.Notes = append(table.Notes,
+			"zipf-hot: 90% of traffic on 4 hot items, zipfian (s=1.2) tail on the rest, 128 B values",
+			"read-mostly: 95% reads, uniform item popularity, 128 B values",
+		)
+	} else {
+		table.Notes = append(table.Notes,
+			fmt.Sprintf("workload: %.0f%% reads over private items, values per profile (replicated/sharded 128 B, fragmented 64 KiB erasure-coded)", *readFrac*100),
+		)
 	}
 
 	for _, p := range profiles {
@@ -208,8 +275,12 @@ func runRemote(args []string) error {
 			readFrac: *readFrac, items: *items, opTimeout: *opTimeout, seed: *seed,
 			quiet: *asJSON,
 		}); err != nil {
+			stopProfiles()
 			return fmt.Errorf("profile %s: %w", p.name, err)
 		}
+	}
+	if err := stopProfiles(); err != nil {
+		return err
 	}
 
 	if !*asJSON {
@@ -313,11 +384,18 @@ func runRemoteProfile(ctx context.Context, table *bench.Table, p remoteProfile, 
 		return fmt.Errorf("connect: %w", err)
 	}
 
+	readFrac := rc.readFrac
+	if p.readFrac > 0 {
+		readFrac = p.readFrac
+	}
 	wcfg := workload.Config{
 		Items:        rc.items,
 		ItemPrefix:   p.name + "-",
-		ReadFraction: rc.readFrac,
+		ReadFraction: readFrac,
 		ValueSize:    p.valueSize,
+		ZipfSkew:     p.zipfSkew,
+		HotFraction:  p.hotFraction,
+		HotItems:     p.hotItems,
 	}
 	if err := prewrite(ctx, cl, wcfg, rc.opTimeout); err != nil {
 		return fmt.Errorf("prewrite: %w", err)

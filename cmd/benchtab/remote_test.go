@@ -74,3 +74,50 @@ func TestRemoteOpenLoopSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteR2Sweep smoke-tests the access-pattern suite: the zipfian
+// hot-key profile must plumb its workload shape through a real spawned
+// cluster and come back error-free under table ID R2.
+func TestRemoteR2Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a multi-process cluster")
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := replicaCommand
+	replicaCommand = func(configPath, name string) *exec.Cmd {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"BENCHTAB_TEST_REPLICA_CONFIG="+configPath,
+			"BENCHTAB_TEST_REPLICA_NAME="+name)
+		return cmd
+	}
+	defer func() { replicaCommand = orig }()
+
+	out := t.TempDir() + "/r2.json"
+	err = run([]string{"remote", "-suite", "r2", "-profile", "zipf-hot",
+		"-rate", "50", "-duration", "500ms", "-sessions", "4",
+		"-items", "8", "-o", out, "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []bench.Table
+	if err := json.Unmarshal(raw, &tables); err != nil {
+		t.Fatalf("R2 output not a benchtab table array: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "R2" {
+		t.Fatalf("want one R2 table, got %+v", tables)
+	}
+	if len(tables[0].Rows) != 1 || tables[0].Rows[0][0] != "zipf-hot" {
+		t.Fatalf("want one zipf-hot row, got %+v", tables[0].Rows)
+	}
+	if tables[0].Rows[0][len(tables[0].Rows[0])-1] != "0" {
+		t.Fatalf("errors in R2 row %v", tables[0].Rows[0])
+	}
+}

@@ -45,6 +45,7 @@ import (
 
 	"securestore/internal/debughttp"
 	"securestore/internal/deploy"
+	"securestore/internal/profiling"
 	"securestore/internal/server"
 	"securestore/internal/trace"
 	"securestore/internal/transport"
@@ -67,12 +68,18 @@ func run(args []string) error {
 		debugAddr  = fs.String("debug-addr", "", "HTTP address for /metrics, /traces and /healthz (empty: disabled)")
 		traceLog   = fs.String("trace-log", "", "append completed spans to this JSON-lines file (empty: disabled)")
 		shardTable = fs.String("shard-table", "", "JSON shard-table file overriding the config's \"shards\" field (empty: use the config)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering the process lifetime to this file (empty: disabled)")
+		memProfile = fs.String("memprofile", "", "write a heap profile at shutdown to this file (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *configPath == "" || *name == "" {
 		return fmt.Errorf("-config and -name are required")
+	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
 
 	bound, debugBound, shutdown, err := startReplica(*configPath, *name, *dataDir, *debugAddr, *traceLog, *shardTable)
@@ -89,6 +96,9 @@ func run(args []string) error {
 	<-sig
 
 	shutdown()
+	if err := stopProfiles(); err != nil {
+		return err
+	}
 	fmt.Printf("securestored %s stopped\n", *name)
 	return nil
 }

@@ -151,6 +151,70 @@ func NormalizeTables(source string, pr int, commit, date string, tables []Table)
 				})
 			}
 		}
+		recs = append(recs, kneeRecords(source, pr, commit, date, t, dims)...)
+	}
+	return recs
+}
+
+// kneeRecords derives a "knee ops/s" metric for rate-sweep tables (those
+// with both an offered and an achieved ops/s column): the highest
+// achieved throughput across a dimension group's rows. Without it the
+// sweep's rows all map to the same metric names — "offered ops/s" is a
+// measure, not a dimension — and MergeRecords keeps only the first
+// (lowest-rate) row, so the saturation point the sweep exists to find
+// never reaches the trajectory or the regression gate.
+func kneeRecords(source string, pr int, commit, date string, t Table, dims []int) []Record {
+	offered, achieved := -1, -1
+	for j, h := range t.Header {
+		l := strings.ToLower(h)
+		if !strings.Contains(l, "ops/s") {
+			continue
+		}
+		if strings.Contains(l, "offered") {
+			offered = j
+		}
+		if strings.Contains(l, "achieved") {
+			achieved = j
+		}
+	}
+	if offered < 0 || achieved < 0 {
+		return nil
+	}
+	knee := make(map[string]float64)
+	var order []string
+	for _, row := range t.Rows {
+		if achieved >= len(row) {
+			continue
+		}
+		v, ok := parseMeasure(row[achieved])
+		if !ok {
+			continue
+		}
+		var key []string
+		for _, j := range dims {
+			if j < len(row) {
+				key = append(key, strings.TrimSpace(row[j]))
+			}
+		}
+		k := strings.Join(key, "/")
+		if _, seen := knee[k]; !seen {
+			order = append(order, k)
+		}
+		if v > knee[k] {
+			knee[k] = v
+		}
+	}
+	var recs []Record
+	for _, k := range order {
+		name := "knee ops/s"
+		if k != "" {
+			name += "[" + k + "]"
+		}
+		recs = append(recs, Record{
+			PR: pr, Source: source, Commit: commit, Date: date,
+			Experiment: t.ID, Metric: name, Value: knee[k],
+			Unit: "ops/s", Better: "higher",
+		})
 	}
 	return recs
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -110,6 +111,53 @@ func TestCheckRecordsLowerIsBetter(t *testing.T) {
 	recs = MergeRecords(mk(7, "2.0"), mk(8, "1.5"))
 	if regs, _ := CheckRecords(recs, 10); len(regs) != 0 {
 		t.Fatalf("latency improvement flagged: %+v", regs)
+	}
+}
+
+// Rate sweeps (tables with both an offered and an achieved ops/s
+// column) derive a per-dimension-group "knee ops/s" record: the highest
+// achieved throughput. The sweep's own rows all share one metric name —
+// the rate is a measure, not a dimension — so without the derived
+// record only the lowest-rate row would survive MergeRecords.
+func TestNormalizeDerivesKnee(t *testing.T) {
+	tbl := Table{
+		ID:     "R1",
+		Header: []string{"profile", "offered ops/s", "achieved ops/s", "p50 ms"},
+		Rows: [][]string{
+			{"replicated", "250", "249", "1.4"},
+			{"replicated", "1000", "980", "2.1"},
+			{"replicated", "2000", "1233", "9.8"},
+			{"sharded", "250", "251", "1.2"},
+			{"sharded", "1000", "997", "1.9"},
+		},
+	}
+	recs := NormalizeTables("BENCH_PR9.json", 9, "", "", []Table{tbl})
+	knees := map[string]float64{}
+	for _, r := range recs {
+		if strings.HasPrefix(r.Metric, "knee ops/s") {
+			knees[r.Metric] = r.Value
+			if r.Better != "higher" || r.Unit != "ops/s" || r.Experiment != "R1" {
+				t.Fatalf("knee record mis-classified: %+v", r)
+			}
+		}
+	}
+	want := map[string]float64{
+		"knee ops/s[replicated]": 1233,
+		"knee ops/s[sharded]":    997,
+	}
+	if len(knees) != len(want) {
+		t.Fatalf("want knees %v, got %v", want, knees)
+	}
+	for k, v := range want {
+		if knees[k] != v {
+			t.Fatalf("%s = %g, want %g", k, knees[k], v)
+		}
+	}
+	// Tables without the offered/achieved pair derive nothing.
+	for _, r := range NormalizeTables("f", 4, "", "", []Table{tableWithOps("10000")}) {
+		if strings.HasPrefix(r.Metric, "knee") {
+			t.Fatalf("knee derived for non-sweep table: %+v", r)
+		}
 	}
 }
 

@@ -1,0 +1,224 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"testing"
+
+	"securestore/internal/metrics"
+)
+
+// batchFixture builds a keyring with n deterministic principals and one
+// signed message each.
+func batchFixture(t testing.TB, n int) (*Keyring, []KeyPair, []BatchItem) {
+	t.Helper()
+	ring := NewKeyring()
+	pairs := make([]KeyPair, n)
+	items := make([]BatchItem, n)
+	for i := range pairs {
+		pairs[i] = DeterministicKeyPair(fmt.Sprintf("p%02d", i), "batch-test")
+		ring.MustRegister(pairs[i].ID, pairs[i].Public)
+		data := []byte(fmt.Sprintf("message %d for batch verification", i))
+		items[i] = BatchItem{
+			Signer: pairs[i].ID,
+			Data:   data,
+			Sig:    pairs[i].Sign(data, nil),
+		}
+	}
+	return ring, pairs, items
+}
+
+func TestVerifyBatchAllGood(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 32} {
+		ring, _, items := batchFixture(t, n)
+		m := &metrics.Counters{}
+		errs := ring.VerifyBatch(items, m)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("n=%d item %d: unexpected error %v", n, i, err)
+			}
+		}
+		if got := m.Verifications(); got != int64(n) {
+			t.Fatalf("n=%d: verifications = %d, want %d", n, got, n)
+		}
+		if n >= 2 && m.VerifyBatched() != int64(n) {
+			t.Fatalf("n=%d: batched = %d, want all %d via one batch", n, m.VerifyBatched(), n)
+		}
+		if n == 1 && m.VerifyBatched() != 0 {
+			t.Fatalf("singleton must use the direct path, batched = %d", m.VerifyBatched())
+		}
+	}
+}
+
+// TestVerifyBatchBisection is the satellite's convergence test: N-1 good
+// signatures plus one forged one must converge to exactly one rejection,
+// with every other item admitted, regardless of where the forgery sits.
+func TestVerifyBatchBisection(t *testing.T) {
+	const n = 9
+	for bad := 0; bad < n; bad++ {
+		ring, _, items := batchFixture(t, n)
+		forged := append([]byte(nil), items[bad].Sig...)
+		forged[5] ^= 0x40
+		items[bad].Sig = forged
+		m := &metrics.Counters{}
+		errs := ring.VerifyBatch(items, m)
+		for i, err := range errs {
+			if i == bad && err == nil {
+				t.Fatalf("bad=%d: forged item admitted", bad)
+			}
+			if i != bad && err != nil {
+				t.Fatalf("bad=%d: good item %d rejected: %v", bad, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyBatchUnknownPrincipal(t *testing.T) {
+	ring, _, items := batchFixture(t, 4)
+	items[2].Signer = "nobody"
+	errs := ring.VerifyBatch(items, nil)
+	for i, err := range errs {
+		if i == 2 {
+			if err == nil {
+				t.Fatal("unknown principal admitted")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+}
+
+// TestVerifyBatchMatchesVerify cross-checks per-item verdicts against the
+// unbatched Keyring.Verify on a mix of good, forged, truncated and
+// wrong-signer items.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	ring, pairs, items := batchFixture(t, 8)
+	// forged signature
+	items[1].Sig = append([]byte(nil), items[1].Sig...)
+	items[1].Sig[0] ^= 1
+	// signature by the wrong principal
+	items[3].Sig = pairs[4].Sign(items[3].Data, nil)
+	// truncated signature
+	items[5].Sig = items[5].Sig[:40]
+	// altered data
+	items[6].Data = append([]byte(nil), items[6].Data...)
+	items[6].Data[0] ^= 1
+
+	got := ring.VerifyBatch(items, nil)
+	for i, it := range items {
+		want := ring.Verify(it.Signer, it.Data, it.Sig, nil)
+		if (got[i] == nil) != (want == nil) {
+			t.Fatalf("item %d: batch says %v, Verify says %v", i, got[i], want)
+		}
+	}
+}
+
+// TestVerifyBatchPrimesCache: a batch-verified signature must hit the
+// LRU on a later unbatched Verify, and cached triples must satisfy a
+// batch without crypto.
+func TestVerifyBatchPrimesCache(t *testing.T) {
+	ring, _, items := batchFixture(t, 6)
+	ring.EnableVerifyCache(64)
+	m := &metrics.Counters{}
+	if errs := ring.VerifyBatch(items, m); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if m.VerifyCacheHits() != 0 {
+		t.Fatalf("cold batch hit the cache %d times", m.VerifyCacheHits())
+	}
+	base := m.Verifications()
+	// Unbatched re-verify: all hits, no new crypto.
+	for _, it := range items {
+		if err := ring.Verify(it.Signer, it.Data, it.Sig, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Verifications() != base {
+		t.Fatalf("cache not primed: verifications %d -> %d", base, m.Verifications())
+	}
+	// Batched re-verify: consulted first, also no new crypto.
+	if errs := ring.VerifyBatch(items, m); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if m.Verifications() != base {
+		t.Fatalf("batch ignored the cache: verifications %d -> %d", base, m.Verifications())
+	}
+}
+
+// TestVerifyBatchDuplicates: the same signed message appearing twice in
+// one batch must verify in both slots.
+func TestVerifyBatchDuplicates(t *testing.T) {
+	ring, _, items := batchFixture(t, 3)
+	dup := append(items, items[0], items[1])
+	for i, err := range ring.VerifyBatch(dup, nil) {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+}
+
+// FuzzBatchVerify mixes valid, corrupted and duplicated signatures and
+// asserts VerifyBatch's per-item verdicts always agree with the
+// unbatched Verify (with caching disabled so every path is crypto).
+func FuzzBatchVerify(f *testing.F) {
+	f.Add(uint8(3), uint8(0b101), []byte("seed data"))
+	f.Add(uint8(8), uint8(0), []byte("all good"))
+	f.Add(uint8(1), uint8(1), []byte{0})
+	f.Add(uint8(16), uint8(0xff), []byte("every slot corrupted"))
+	f.Fuzz(func(t *testing.T, n, corrupt uint8, data []byte) {
+		count := int(n%16) + 1
+		ring, pairs, _ := batchFixture(t, count)
+		items := make([]BatchItem, count)
+		for i := range items {
+			d := append([]byte(fmt.Sprintf("%d:", i)), data...)
+			items[i] = BatchItem{Signer: pairs[i].ID, Data: d, Sig: pairs[i].Sign(d, nil)}
+			switch {
+			case corrupt&(1<<(i%8)) != 0 && i%3 == 0:
+				items[i].Sig = append([]byte(nil), items[i].Sig...)
+				items[i].Sig[int(corrupt)%64] ^= 0x80
+			case corrupt&(1<<(i%8)) != 0 && i%3 == 1 && i > 0:
+				items[i] = items[i-1] // duplicate of the previous slot
+			case corrupt&(1<<(i%8)) != 0:
+				items[i].Sig = items[i].Sig[:32] // truncated
+			}
+		}
+		got := ring.VerifyBatch(items, nil)
+		if len(got) != count {
+			t.Fatalf("got %d verdicts for %d items", len(got), count)
+		}
+		for i, it := range items {
+			want := ring.Verify(it.Signer, it.Data, it.Sig, nil)
+			if (got[i] == nil) != (want == nil) {
+				t.Fatalf("item %d: batch %v, unbatched %v", i, got[i], want)
+			}
+		}
+	})
+}
+
+// BenchmarkVerifyBatch measures the per-signature cost of batch sizes 1,
+// 8 and 64 against the unbatched baseline.
+func BenchmarkVerifyBatch(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		ring, _, items := batchFixture(b, n)
+		b.Run(fmt.Sprintf("batch%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				errs := ring.VerifyBatch(items, nil)
+				if errs[0] != nil {
+					b.Fatal(errs[0])
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/sig")
+		})
+	}
+	ring, _, items := batchFixture(b, 1)
+	b.Run("unbatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ring.Verify(items[0].Signer, items[0].Data, items[0].Sig, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/sig")
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 
@@ -65,6 +66,14 @@ func Handler(s State) http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	// CPU/heap attribution for live processes: the standard pprof
+	// handlers, on the same debug port the operator already scrapes
+	// (`go tool pprof http://<debug-addr>/debug/pprof/profile`).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -85,6 +94,23 @@ var counterSeries = []struct {
 	{"securestore_stripe_contention_total", "Contended replica stripe-lock acquisitions.", func(s metrics.Snapshot) int64 { return s.StripeWaits }},
 	{"securestore_wal_batches_total", "Write-ahead-log group commits (one write+flush each).", func(s metrics.Snapshot) int64 { return s.WALBatches }},
 	{"securestore_shard_routing_mismatch_total", "Requests rejected (or seen rejected) because the item is owned by another shard.", func(s metrics.Snapshot) int64 { return s.RoutingMismatches }},
+	{"securestore_verify_batched_total", "Signatures verified via the Ed25519 batch equation (vs. one at a time).", func(s metrics.Snapshot) int64 { return s.VerifyBatched }},
+}
+
+// writeSizeHistogram renders one SizeHistogram as a classic Prometheus
+// cumulative histogram. Empty histograms are omitted (a process that
+// never batched exports no series).
+func writeSizeHistogram(w http.ResponseWriter, name, help string, h *metrics.SizeHistogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, b := range h.Buckets() {
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 }
 
 // writeLabeledBytes renders one per-operation byte counter family in
@@ -138,6 +164,11 @@ func serveMetricsProm(w http.ResponseWriter, s State) {
 		fmt.Fprint(w, "# HELP securestore_wal_batch_size Records per write-ahead-log group commit.\n# TYPE securestore_wal_batch_size summary\n")
 		fmt.Fprintf(w, "securestore_wal_batch_size_sum %d\n", snap.WALBatchRecords)
 		fmt.Fprintf(w, "securestore_wal_batch_size_count %d\n", snap.WALBatches)
+		// Admission batching and transport coalescing effectiveness: how
+		// many signatures ride one verify batch, and how many reply frames
+		// ride one vectored write.
+		writeSizeHistogram(w, "securestore_verify_batch_size", "Signatures per admission verify batch.", s.Counters.VerifyBatchSizes())
+		writeSizeHistogram(w, "securestore_writev_frames_per_call", "Reply frames per coalesced vectored write.", s.Counters.WritevFrameSizes())
 		writeLabeledBytes(w, "securestore_tx_bytes_total", "Wire bytes sent, by operation.", snap.TxBytes)
 		writeLabeledBytes(w, "securestore_rx_bytes_total", "Wire bytes received, by operation.", snap.RxBytes)
 		if len(snap.ShardOps) > 0 {

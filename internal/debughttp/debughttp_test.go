@@ -22,6 +22,9 @@ func fixedState() State {
 	counters.AddMessage(50)
 	counters.AddSignature()
 	counters.AddCustom("read.retries", 3)
+	counters.AddVerifyBatch(4)
+	counters.AddVerifyBatched(4)
+	counters.AddWritevCall(3)
 
 	hist := &metrics.HistogramSet{}
 	now := time.Unix(1700000000, 0)
@@ -67,6 +70,18 @@ func TestMetricsPrometheus(t *testing.T) {
 		"securestore_signatures_total 1",
 		"securestore_verifications_total 0",
 		`securestore_custom_total{name="read.retries"} 3`,
+		"securestore_verify_batched_total 4",
+		"# TYPE securestore_verify_batch_size histogram",
+		`securestore_verify_batch_size_bucket{le="2"} 0`,
+		`securestore_verify_batch_size_bucket{le="4"} 1`,
+		`securestore_verify_batch_size_bucket{le="+Inf"} 1`,
+		"securestore_verify_batch_size_sum 4",
+		"securestore_verify_batch_size_count 1",
+		"# TYPE securestore_writev_frames_per_call histogram",
+		`securestore_writev_frames_per_call_bucket{le="2"} 0`,
+		`securestore_writev_frames_per_call_bucket{le="4"} 1`,
+		"securestore_writev_frames_per_call_sum 3",
+		"securestore_writev_frames_per_call_count 1",
 		"# TYPE securestore_op_latency_seconds histogram",
 		`securestore_op_latency_seconds_bucket{op="data.read",le="0.000512"} 0`,
 		`securestore_op_latency_seconds_bucket{op="data.read",le="0.001024"} 1`,
@@ -164,6 +179,21 @@ func TestHealthz(t *testing.T) {
 	rec = get(t, sick, "/healthz")
 	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "replica crashed") {
 		t.Fatalf("sick healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPprofMounted: the standard pprof handlers must be reachable on the
+// debug mux so operators can attribute CPU without a separate port.
+func TestPprofMounted(t *testing.T) {
+	rec := get(t, State{}, "/debug/pprof/")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%s", body)
+	}
+	if rec := get(t, State{}, "/debug/pprof/symbol"); rec.Code != 200 {
+		t.Fatalf("/debug/pprof/symbol status = %d", rec.Code)
 	}
 }
 

@@ -70,6 +70,35 @@ type Config struct {
 	// whole deployment (default b+1; must satisfy b < k <= n-b per
 	// group). Every client must use the same k.
 	FragmentK int `json:"fragmentK,omitempty"`
+	// VerifyCacheSize sets the verified-signature LRU capacity per
+	// process (0 = default 4096, negative disables). Replicas see the
+	// same signed write once from the client and again per gossip
+	// redelivery; the cache turns the re-verifications into lookups.
+	VerifyCacheSize int `json:"verifyCacheSize,omitempty"`
+	// VerifyBatch caps the replica admission stage's signature batch (0 =
+	// default, negative disables batching).
+	VerifyBatch int `json:"verifyBatch,omitempty"`
+	// VerifyBatchWaitMicros bounds how long an admission batch leader
+	// waits for company while another batch verifies (0 = default 200µs).
+	VerifyBatchWaitMicros int `json:"verifyBatchWaitMicros,omitempty"`
+}
+
+// defaultVerifyCache is the verified-signature LRU capacity when the
+// config does not set one.
+const defaultVerifyCache = 4096
+
+// ring derives the deployment's key ring with the configured
+// verified-signature cache enabled.
+func (c *Config) ring() *cryptoutil.Keyring {
+	ring := c.Ring()
+	size := c.VerifyCacheSize
+	if size == 0 {
+		size = defaultVerifyCache
+	}
+	if size > 0 {
+		ring.EnableVerifyCache(size)
+	}
+	return ring
 }
 
 // Load reads and validates a config file.
@@ -276,7 +305,7 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 	if _, ok := cfg.Servers[name]; !ok {
 		return nil, nil, fmt.Errorf("server %q not in config", name)
 	}
-	ring := cfg.Ring()
+	ring := cfg.ring()
 	var persist *storage.Log
 	if dataDir != "" {
 		log, err := storage.Open(filepath.Join(dataDir, name+".log"))
@@ -310,14 +339,16 @@ func BuildServer(cfg *Config, name, dataDir string, obs *Obs) (*server.Server, *
 	}
 
 	srv := server.New(server.Config{
-		ID:          name,
-		Ring:        ring,
-		AuthorityID: "authority",
-		Metrics:     srvMetrics,
-		Tracer:      obs.tracer(),
-		Persist:     persist,
-		Shard:       shardName,
-		Owns:        owns,
+		ID:              name,
+		Ring:            ring,
+		AuthorityID:     "authority",
+		Metrics:         srvMetrics,
+		Tracer:          obs.tracer(),
+		Persist:         persist,
+		Shard:           shardName,
+		Owns:            owns,
+		VerifyBatch:     cfg.VerifyBatch,
+		VerifyBatchWait: time.Duration(cfg.VerifyBatchWaitMicros) * time.Microsecond,
 	})
 	for _, g := range cfg.Groups {
 		consistency, err := consistencyOf(g)
@@ -398,7 +429,7 @@ func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
 	cc := client.Config{
 		ID:          id,
 		Key:         cryptoutil.DeterministicKeyPair(id, cfg.Seed),
-		Ring:        cfg.Ring(),
+		Ring:        cfg.ring(),
 		Servers:     cfg.ServerNames(),
 		B:           cfg.B,
 		Group:       group,

@@ -1,0 +1,77 @@
+// Copyright (c) 2026 the securestore authors. MIT license.
+
+package edwards25519
+
+// multiscalar.go is securestore's addition to the vendored edwards25519
+// package: a variable-time multi-scalar multiplication (Straus's
+// interleaved width-5 NAF method) used by the batched signature
+// verification in internal/cryptoutil. The upstream package only exposes
+// the two-term VarTimeDoubleScalarBaseMult; batch verification needs the
+// general 2n+1-term sum  Σ sᵢ·Pᵢ  computed with one shared doubling
+// chain, which is where the batch's per-signature saving comes from.
+
+// VarTimeMultiScalarMult sets v = sum(scalars[i] * points[i]), and
+// returns v. Execution time depends on the inputs, so it must only be
+// used on public data (signature verification qualifies: signatures,
+// public keys and messages are all attacker-visible already).
+//
+// It panics when len(scalars) != len(points) or when the sum is empty.
+func (v *Point) VarTimeMultiScalarMult(scalars []*Scalar, points []*Point) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: mismatched multiscalar input lengths")
+	}
+	if len(scalars) == 0 {
+		panic("edwards25519: empty multiscalar input")
+	}
+
+	// Interleaved Straus: one width-5 NAF and one lookup table per term,
+	// a single doubling chain shared by every term. Versus n separate
+	// double-and-add passes this trades n*256 doublings for 256, leaving
+	// ~256/6 sparse additions per term.
+	nafs := make([][256]int8, len(scalars))
+	tables := make([]nafLookupTable5, len(points))
+	for i := range scalars {
+		nafs[i] = scalars[i].nonAdjacentForm(5)
+		tables[i].FromP3(points[i])
+	}
+
+	// Find the first nonzero coefficient across every NAF so the
+	// doubling chain starts at the highest live bit.
+	i := 255
+	for ; i > 0; i-- {
+		nonzero := false
+		for j := range nafs {
+			if nafs[j][i] != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			break
+		}
+	}
+
+	mult := &projCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	for ; i >= 0; i-- {
+		tmp1.Double(tmp2)
+		for j := range nafs {
+			if nafs[j][i] > 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(mult, nafs[j][i])
+				tmp1.Add(v, mult)
+			} else if nafs[j][i] < 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(mult, -nafs[j][i])
+				tmp1.Sub(v, mult)
+			}
+		}
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	v.fromP2(tmp2)
+	return v
+}

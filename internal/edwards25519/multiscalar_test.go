@@ -1,0 +1,62 @@
+// Copyright (c) 2026 the securestore authors. MIT license.
+
+package edwards25519
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestVarTimeMultiScalarMultMatchesDouble cross-checks the n-term Straus
+// sum against the upstream two-term VarTimeDoubleScalarBaseMult on random
+// scalars: a*A + b*B must agree between the two implementations.
+func TestVarTimeMultiScalarMultMatchesDouble(t *testing.T) {
+	f := func(a, b Scalar) bool {
+		A := (&Point{}).ScalarBaseMult(dalekScalar)
+		p := (&Point{}).VarTimeDoubleScalarBaseMult(&a, A, &b)
+		q := (&Point{}).VarTimeMultiScalarMult(
+			[]*Scalar{&a, &b}, []*Point{A, NewGeneratorPoint()})
+		return p.Equal(q) == 1
+	}
+	if err := quick.Check(f, quickCheckConfig(8)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVarTimeMultiScalarMultManyTerms checks that a wide sum matches the
+// result of accumulating one-term ScalarMults.
+func TestVarTimeMultiScalarMultManyTerms(t *testing.T) {
+	f := func(s1, s2, s3, s4, s5 Scalar) bool {
+		scalars := []*Scalar{&s1, &s2, &s3, &s4, &s5}
+		points := make([]*Point, len(scalars))
+		base := NewGeneratorPoint()
+		for i := range points {
+			// Distinct points: (i+1)*B via repeated addition.
+			p := NewIdentityPoint()
+			for j := 0; j <= i; j++ {
+				p.Add(p, base)
+			}
+			points[i] = p
+		}
+		want := NewIdentityPoint()
+		for i := range scalars {
+			term := (&Point{}).ScalarMult(scalars[i], points[i])
+			want.Add(want, term)
+		}
+		got := (&Point{}).VarTimeMultiScalarMult(scalars, points)
+		return want.Equal(got) == 1
+	}
+	if err := quick.Check(f, quickCheckConfig(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVarTimeMultiScalarMultZero: the zero scalar contributes nothing.
+func TestVarTimeMultiScalarMultZero(t *testing.T) {
+	zero := &Scalar{}
+	got := (&Point{}).VarTimeMultiScalarMult(
+		[]*Scalar{zero}, []*Point{NewGeneratorPoint()})
+	if got.Equal(NewIdentityPoint()) != 1 {
+		t.Fatalf("0*B != identity")
+	}
+}

@@ -32,6 +32,20 @@ type Counters struct {
 	walBatches      atomic.Int64
 	walBatchRecords atomic.Int64
 
+	// Admission batching visibility (DESIGN.md §7.11): verifyBatches
+	// counts batched Ed25519 verification calls, verifyBatched the
+	// signatures they covered (so verifyBatched/verifyBatches is the mean
+	// verify batch size); verifyBatchSizes keeps the distribution
+	// (securestore_verify_batch_size). writevCalls/writevFrames do the
+	// same for the transport's coalesced vectored writes
+	// (securestore_writev_frames_per_call).
+	verifyBatches    atomic.Int64
+	verifyBatched    atomic.Int64
+	verifyBatchSizes SizeHistogram
+	writevCalls      atomic.Int64
+	writevFrames     atomic.Int64
+	writevFrameSizes SizeHistogram
+
 	// custom maps counter names to *atomic.Int64. A lock-free map (rather
 	// than a mutex-guarded plain map) means Snapshot never contends with —
 	// or deadlocks against — AddCustom calls made from hooks that run while
@@ -84,6 +98,16 @@ type Snapshot struct {
 	WALBatches int64 `json:"walBatches,omitempty"`
 	// WALBatchRecords counts records flushed across all WAL group commits.
 	WALBatchRecords int64 `json:"walBatchRecords,omitempty"`
+	// VerifyBatches counts batched Ed25519 verification calls;
+	// VerifyBatched counts the signatures those calls covered.
+	VerifyBatches int64 `json:"verifyBatches,omitempty"`
+	// VerifyBatched counts signatures verified via the batch equation.
+	VerifyBatched int64 `json:"verifyBatched,omitempty"`
+	// WritevCalls counts coalesced vectored writes issued by the
+	// transport; WritevFrames counts the frames they carried.
+	WritevCalls int64 `json:"writevCalls,omitempty"`
+	// WritevFrames counts frames written across all vectored writes.
+	WritevFrames int64 `json:"writevFrames,omitempty"`
 	// ShardOps holds per-shard request totals (see Counters.AddShardOp).
 	ShardOps map[string]int64 `json:"shardOps,omitempty"`
 	// RoutingMismatches counts wrong-shard rejections observed.
@@ -173,6 +197,87 @@ func (c *Counters) AddWALBatch(records int) {
 	}
 	c.walBatches.Add(1)
 	c.walBatchRecords.Add(int64(records))
+}
+
+// AddVerifyBatch records one admission micro-batch of the given size
+// (securestore_verify_batch_size); sizes of 1 mean the batcher found no
+// company and fell through to the direct check.
+func (c *Counters) AddVerifyBatch(sigs int) {
+	if c == nil {
+		return
+	}
+	c.verifyBatches.Add(1)
+	c.verifyBatchSizes.Observe(sigs)
+}
+
+// AddVerifyBatched records sigs signatures verified together via the
+// Ed25519 batch equation (securestore_verify_batched_total).
+func (c *Counters) AddVerifyBatched(sigs int) {
+	if c == nil {
+		return
+	}
+	c.verifyBatched.Add(int64(sigs))
+}
+
+// AddWritevCall records one coalesced vectored write that carried the
+// given number of frames.
+func (c *Counters) AddWritevCall(frames int) {
+	if c == nil {
+		return
+	}
+	c.writevCalls.Add(1)
+	c.writevFrames.Add(int64(frames))
+	c.writevFrameSizes.Observe(frames)
+}
+
+// VerifyBatches returns the number of batched verification calls.
+func (c *Counters) VerifyBatches() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.verifyBatches.Load()
+}
+
+// VerifyBatched returns the number of signatures verified in batches.
+func (c *Counters) VerifyBatched() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.verifyBatched.Load()
+}
+
+// VerifyBatchSizes exposes the verify-batch-size histogram (nil when the
+// receiver is nil).
+func (c *Counters) VerifyBatchSizes() *SizeHistogram {
+	if c == nil {
+		return nil
+	}
+	return &c.verifyBatchSizes
+}
+
+// WritevCalls returns the number of coalesced vectored writes recorded.
+func (c *Counters) WritevCalls() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.writevCalls.Load()
+}
+
+// WritevFrames returns the number of frames carried by vectored writes.
+func (c *Counters) WritevFrames() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.writevFrames.Load()
+}
+
+// WritevFrameSizes exposes the frames-per-writev histogram (nil when the
+// receiver is nil).
+func (c *Counters) WritevFrameSizes() *SizeHistogram {
+	if c == nil {
+		return nil
+	}
+	return &c.writevFrameSizes
 }
 
 // StripeWaits returns the number of contended stripe-lock acquisitions.
@@ -390,6 +495,10 @@ func (c *Counters) Snapshot() Snapshot {
 		StripeWaits:       c.stripeWaits.Load(),
 		WALBatches:        c.walBatches.Load(),
 		WALBatchRecords:   c.walBatchRecords.Load(),
+		VerifyBatches:     c.verifyBatches.Load(),
+		VerifyBatched:     c.verifyBatched.Load(),
+		WritevCalls:       c.writevCalls.Load(),
+		WritevFrames:      c.writevFrames.Load(),
 		Custom:            custom,
 		TxBytes:           snapshotLabeled(&c.txBytes),
 		RxBytes:           snapshotLabeled(&c.rxBytes),
@@ -414,6 +523,12 @@ func (c *Counters) Reset() {
 	c.stripeWaits.Store(0)
 	c.walBatches.Store(0)
 	c.walBatchRecords.Store(0)
+	c.verifyBatches.Store(0)
+	c.verifyBatched.Store(0)
+	c.verifyBatchSizes.Reset()
+	c.writevCalls.Store(0)
+	c.writevFrames.Store(0)
+	c.writevFrameSizes.Reset()
 	c.custom.Range(func(k, _ any) bool {
 		c.custom.Delete(k)
 		return true
@@ -472,6 +587,10 @@ func Diff(before, after Snapshot) Snapshot {
 		StripeWaits:       after.StripeWaits - before.StripeWaits,
 		WALBatches:        after.WALBatches - before.WALBatches,
 		WALBatchRecords:   after.WALBatchRecords - before.WALBatchRecords,
+		VerifyBatches:     after.VerifyBatches - before.VerifyBatches,
+		VerifyBatched:     after.VerifyBatched - before.VerifyBatched,
+		WritevCalls:       after.WritevCalls - before.WritevCalls,
+		WritevFrames:      after.WritevFrames - before.WritevFrames,
 		Custom:            custom,
 		TxBytes:           diffLabeled(before.TxBytes, after.TxBytes),
 		RxBytes:           diffLabeled(before.RxBytes, after.RxBytes),

@@ -1,0 +1,98 @@
+package metrics
+
+// sizehist.go implements a tiny lock-free histogram over small integer
+// sizes (batch sizes, frames per writev): power-of-two buckets, an exact
+// sum and count. It backs the securestore_verify_batch_size and
+// securestore_writev_frames_per_call histograms on /metrics, where the
+// interesting question is "is the hot path actually batching, and how
+// hard?" — the shape (all mass at 1 vs. spread across 8..64) answers it.
+
+import "sync/atomic"
+
+// sizeBucketCount fixes the bucket layout: bucket i counts observations
+// n with 2^(i-1) < n <= 2^i (bucket 0 counts n <= 1), and anything past
+// the last bound lands in the implicit +Inf bucket rendered from Count.
+const sizeBucketCount = 12 // upper bounds 1, 2, 4, ..., 2048
+
+// SizeHistogram counts integer observations in power-of-two buckets. The
+// zero value is ready to use; a nil receiver is a no-op, matching the
+// Counters convention.
+type SizeHistogram struct {
+	buckets [sizeBucketCount]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one observation of size n (negative observations are
+// clamped to zero).
+func (h *SizeHistogram) Observe(n int) {
+	if h == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	idx := 0
+	for bound := 1; idx < sizeBucketCount-1 && n > bound; idx++ {
+		bound <<= 1
+	}
+	if n > 1<<(sizeBucketCount-1) {
+		idx = sizeBucketCount // +Inf only
+	}
+	if idx < sizeBucketCount {
+		h.buckets[idx].Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(n))
+}
+
+// SizeBucket is one cumulative histogram bucket: the count of
+// observations with value <= Le.
+type SizeBucket struct {
+	Le    int64
+	Count int64
+}
+
+// Buckets returns the cumulative bucket counts (Prometheus `le`
+// semantics), excluding the implicit +Inf bucket — render that from
+// Count. Nil receivers return nil.
+func (h *SizeHistogram) Buckets() []SizeBucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]SizeBucket, sizeBucketCount)
+	var cum int64
+	for i := range out {
+		cum += h.buckets[i].Load()
+		out[i] = SizeBucket{Le: 1 << i, Count: cum}
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *SizeHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed sizes.
+func (h *SizeHistogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Reset zeroes the histogram.
+func (h *SizeHistogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}

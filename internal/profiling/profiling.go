@@ -1,0 +1,52 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flag
+// behaviour shared by cmd/securestored and cmd/benchtab: a CPU profile
+// covering the process's (or run's) whole lifetime, and a heap profile
+// snapshotted at stop. For live processes the debug HTTP endpoint's
+// /debug/pprof handlers cover ad-hoc attribution; these flags exist for
+// scripted runs where the profile must land in a file next to the
+// benchmark output.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two paths (either may be empty to skip
+// that profile) and returns a stop function. Stop ends the CPU profile
+// and writes the heap profile; it is safe to call exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,169 @@
+package server
+
+// admission.go implements the signed-request admission stage (DESIGN.md
+// §7.11): concurrently arriving writes are collected into micro-batches
+// and their signatures checked with one Ed25519 batch verification
+// (cryptoutil.VerifyBatch) instead of one double-scalar multiplication
+// each. Batching is adaptive — group-commit style, like the WAL — so an
+// idle replica pays zero added latency:
+//
+//   - The first write to arrive becomes its batch's leader. It yields
+//     the processor once so peers that are already runnable can join,
+//     then — if no batch is being verified right now — flushes
+//     immediately (a batch of one falls through to the plain
+//     per-signature check).
+//   - While a verification is in flight, later arrivals accumulate into
+//     the next batch. Its leader flushes when the in-flight batch
+//     finishes (handoff), when the batch reaches the size cap, or after
+//     the flush deadline (~200µs) — whichever comes first. The deadline
+//     only bounds the wait; it is never an idle sleep.
+//
+// Ordering: admission never reorders effects. A write's admit call
+// returns only after its own batch verifies, and integration happens
+// after that, in the caller's goroutine, under the same locks as before
+// — so any two writes that were ordered before (one's admit returned
+// before the other's began) stay ordered, which is what the MW/CC causal
+// gating depends on. Verdicts are per-item: a write whose batch partner
+// fails verification is still admitted independently (VerifyBatch
+// bisects failures down to the offending signature).
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+)
+
+const (
+	// defaultVerifyBatch caps how many signatures one admission batch
+	// carries. Past ~64 the multi-scalar multiplication's per-signature
+	// saving flattens while batch latency keeps growing.
+	defaultVerifyBatch = 64
+	// defaultVerifyBatchWait bounds how long a batch leader waits for
+	// company while another batch's verification is in flight.
+	defaultVerifyBatchWait = 200 * time.Microsecond
+)
+
+// admitter is the admission batcher. One per server.
+type admitter struct {
+	ring    *cryptoutil.Keyring
+	metrics *metrics.Counters
+	max     int
+	wait    time.Duration
+
+	mu      sync.Mutex
+	cur     *admissionBatch // open batch accepting arrivals (nil: none)
+	running int             // batch verifications in flight
+}
+
+// admissionBatch is one micro-batch of signature-check jobs.
+type admissionBatch struct {
+	items []cryptoutil.BatchItem
+	errs  []error
+	done  chan struct{} // closed once errs is populated
+	kick  chan struct{} // wakes the leader early: size cap or handoff
+}
+
+func newAdmitter(ring *cryptoutil.Keyring, m *metrics.Counters, max int, wait time.Duration) *admitter {
+	if max <= 0 {
+		max = defaultVerifyBatch
+	}
+	if wait <= 0 {
+		wait = defaultVerifyBatchWait
+	}
+	return &admitter{ring: ring, metrics: m, max: max, wait: wait}
+}
+
+// admit submits one signature-check triple and blocks until its batch is
+// verified, returning this item's verdict.
+func (a *admitter) admit(signer string, data, sig []byte) error {
+	a.mu.Lock()
+	b := a.cur
+	if b == nil {
+		b = &admissionBatch{
+			items: make([]cryptoutil.BatchItem, 0, a.max),
+			done:  make(chan struct{}),
+			kick:  make(chan struct{}, 1),
+		}
+		a.cur = b
+	}
+	idx := len(b.items)
+	b.items = append(b.items, cryptoutil.BatchItem{Signer: signer, Data: data, Sig: sig})
+	leader := idx == 0
+	full := len(b.items) >= a.max
+	if full {
+		a.cur = nil // sealed: the next arrival opens a fresh batch
+	}
+	a.mu.Unlock()
+
+	if !leader {
+		if full {
+			b.wake()
+		}
+		<-b.done
+		return b.errs[idx]
+	}
+
+	// Leader. Give concurrently arriving requests one chance to join
+	// before flushing: yield the processor once, so every runnable peer
+	// gets to enqueue (or park on its own batch) first. On a single-CPU
+	// host this is what forms batches at all — concurrent demand exists
+	// but cannot enqueue while this goroutine holds the processor — and
+	// on an idle server it is a ~no-op, so solo requests still flush
+	// immediately with no added latency.
+	if !full {
+		runtime.Gosched()
+		a.mu.Lock()
+		full = a.cur != b || len(b.items) >= a.max
+		busy := a.running > 0
+		a.mu.Unlock()
+		if !full && busy {
+			// Another batch's verification is in flight: its arrivals-
+			// while-running are this batch's company, so wait for the
+			// handoff — bounded by the size cap and the flush deadline.
+			t := time.NewTimer(a.wait)
+			select {
+			case <-b.kick:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+	}
+	a.flush(b)
+	return b.errs[idx]
+}
+
+// wake nudges the batch's leader without blocking; extra wakes are
+// dropped.
+func (b *admissionBatch) wake() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flush seals and verifies the batch, publishes the verdicts, and hands
+// off to the next open batch's leader.
+func (a *admitter) flush(b *admissionBatch) {
+	a.mu.Lock()
+	if a.cur == b {
+		a.cur = nil
+	}
+	a.running++
+	a.mu.Unlock()
+
+	a.metrics.AddVerifyBatch(len(b.items))
+	b.errs = a.ring.VerifyBatch(b.items, a.metrics)
+	close(b.done)
+
+	a.mu.Lock()
+	a.running--
+	next := a.cur
+	idle := a.running == 0
+	a.mu.Unlock()
+	if idle && next != nil {
+		next.wake()
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+// admission_test.go covers the admission batcher (admission.go): verdict
+// independence between batch partners, per-connection order preservation
+// through batching (the MW/CC causal gating regression test), metric
+// accounting, and a -race stress run over concurrent connections.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"securestore/internal/cryptoutil"
+	"securestore/internal/metrics"
+	"securestore/internal/sessionctx"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// admissionFixture builds a server with admission batching forced on
+// with the given caps, plus n registered writer principals.
+func admissionFixture(t testing.TB, policy Policy, writers, maxBatch int, wait time.Duration) (*Server, []cryptoutil.KeyPair, *metrics.Counters) {
+	t.Helper()
+	ring := cryptoutil.NewKeyring()
+	ring.EnableVerifyCache(4096)
+	keys := make([]cryptoutil.KeyPair, writers)
+	for i := range keys {
+		keys[i] = cryptoutil.DeterministicKeyPair(fmt.Sprintf("w%02d", i), "adm")
+		ring.MustRegister(keys[i].ID, keys[i].Public)
+	}
+	m := &metrics.Counters{}
+	srv := New(Config{ID: "s00", Ring: ring, Metrics: m, VerifyBatch: maxBatch, VerifyBatchWait: wait})
+	srv.RegisterGroup("g", policy)
+	return srv, keys, m
+}
+
+func admissionWrite(key cryptoutil.KeyPair, item string, value []byte, tm uint64) *wire.SignedWrite {
+	st := timestamp.Stamp{Time: tm, Writer: key.ID, Digest: cryptoutil.Digest(value)}
+	w := &wire.SignedWrite{
+		Group: "g", Item: item, Stamp: st,
+		WriterCtx: sessionctx.Vector{item: st}, Value: value,
+	}
+	w.Sign(key, nil)
+	return w
+}
+
+// TestAdmissionPartnerFailureIndependence: a request whose batch partner
+// fails verification must still be admitted. The two writes are
+// submitted concurrently with a generous flush deadline so they share
+// one micro-batch.
+func TestAdmissionPartnerFailureIndependence(t *testing.T) {
+	srv, keys, m := admissionFixture(t, Policy{Consistency: wire.MRC, MultiWriter: true}, 2, 2, 50*time.Millisecond)
+
+	good := admissionWrite(keys[0], "item-good", []byte("good"), 1)
+	bad := admissionWrite(keys[1], "item-bad", []byte("bad"), 1)
+	bad.Sig = append([]byte(nil), bad.Sig...)
+	bad.Sig[3] ^= 0x10
+
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, goodErr = srv.ServeRequest(context.Background(), keys[0].ID, wire.WriteReq{Write: good})
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = srv.ServeRequest(context.Background(), keys[1].ID, wire.WriteReq{Write: bad})
+	}()
+	wg.Wait()
+
+	if goodErr != nil {
+		t.Fatalf("good write rejected alongside its failing partner: %v", goodErr)
+	}
+	if badErr == nil {
+		t.Fatal("forged write admitted")
+	}
+	if got := m.VerifyBatches(); got == 0 {
+		t.Fatal("no admission batch recorded — the writes did not go through the batcher")
+	}
+}
+
+// TestAdmissionPreservesConnectionOrder is the causal-gating regression
+// test: a client that issues write k+1 only after write k's admit
+// returned (per-connection pipelining discipline) must see its writes
+// integrate in issue order, batching or not. Each connection writes a
+// monotonically increasing multi-writer sequence to its own item while
+// other connections keep the batcher busy; any reordering would make a
+// later (higher-stamped) write integrate before an earlier one and the
+// final read would miss intermediate state transitions.
+func TestAdmissionPreservesConnectionOrder(t *testing.T) {
+	const conns = 8
+	const writesPerConn = 25
+	srv, keys, _ := admissionFixture(t, Policy{Consistency: wire.CC, MultiWriter: true}, conns, 4, 200*time.Microsecond)
+
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			item := fmt.Sprintf("item-%d", c)
+			ctx := sessionctx.Vector{}
+			for k := 1; k <= writesPerConn; k++ {
+				value := []byte(fmt.Sprintf("conn %d write %d", c, k))
+				st := timestamp.Stamp{Time: uint64(k), Writer: keys[c].ID, Digest: cryptoutil.Digest(value)}
+				w := &wire.SignedWrite{
+					Group: "g", Item: item, Stamp: st,
+					WriterCtx: ctx.Clone(), Value: value,
+				}
+				w.WriterCtx[item] = st
+				w.Sign(keys[c], nil)
+				if _, err := srv.ServeRequest(context.Background(), keys[c].ID, wire.WriteReq{Write: w}); err != nil {
+					errs[c] = fmt.Errorf("write %d: %w", k, err)
+					return
+				}
+				// The next write causally depends on this one: if admission
+				// reordered effects, the successor would gate forever (CC)
+				// or read back a stale head.
+				ctx[item] = st
+				resp, err := srv.ServeRequest(context.Background(), keys[c].ID, wire.MetaReq{Group: "g", Item: item})
+				if err != nil {
+					errs[c] = fmt.Errorf("meta after write %d: %w", k, err)
+					return
+				}
+				meta, ok := resp.(wire.MetaResp)
+				if !ok || !meta.Has {
+					errs[c] = fmt.Errorf("meta after write %d: no head", k)
+					return
+				}
+				if meta.Stamp.Time != uint64(k) {
+					errs[c] = fmt.Errorf("after write %d the head is stamp %d — effects reordered", k, meta.Stamp.Time)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("connection %d: %v", c, err)
+		}
+	}
+}
+
+// TestAdmissionBatcherStress hammers the batcher from many connections
+// under the race detector: mixed good and forged writes across items,
+// every verdict checked. CI runs this with -race.
+func TestAdmissionBatcherStress(t *testing.T) {
+	const conns = 16
+	const writesPerConn = 40
+	srv, keys, m := admissionFixture(t, Policy{Consistency: wire.MRC, MultiWriter: true}, conns, 8, 200*time.Microsecond)
+
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 1; k <= writesPerConn; k++ {
+				forged := (c+k)%5 == 0
+				w := admissionWrite(keys[c], fmt.Sprintf("item-%d", c), []byte(fmt.Sprintf("%d/%d", c, k)), uint64(k))
+				if forged {
+					w.Sig = append([]byte(nil), w.Sig...)
+					w.Sig[(c+k)%64] ^= 0x01
+				}
+				_, err := srv.ServeRequest(context.Background(), keys[c].ID, wire.WriteReq{Write: w})
+				if forged && err == nil {
+					errs[c] = fmt.Errorf("write %d: forged signature admitted", k)
+					return
+				}
+				if !forged && err != nil {
+					errs[c] = fmt.Errorf("write %d: %w", k, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("connection %d: %v", c, err)
+		}
+	}
+	if m.VerifyBatches() == 0 {
+		t.Fatal("stress run never batched")
+	}
+	t.Logf("admission batches: %d, batched sigs: %d, verifications: %d, cache hits: %d",
+		m.VerifyBatches(), m.VerifyBatched(), m.Verifications(), m.VerifyCacheHits())
+}
+
+// TestAdmissionDisabled: VerifyBatch < 0 must restore the unbatched
+// path exactly (no admission metrics, same verdicts).
+func TestAdmissionDisabled(t *testing.T) {
+	ring := cryptoutil.NewKeyring()
+	key := cryptoutil.DeterministicKeyPair("w00", "adm")
+	ring.MustRegister(key.ID, key.Public)
+	m := &metrics.Counters{}
+	srv := New(Config{ID: "s00", Ring: ring, Metrics: m, VerifyBatch: -1})
+	srv.RegisterGroup("g", Policy{Consistency: wire.MRC, MultiWriter: true})
+	w := admissionWrite(key, "item", []byte("v"), 1)
+	if _, err := srv.ServeRequest(context.Background(), key.ID, wire.WriteReq{Write: w}); err != nil {
+		t.Fatal(err)
+	}
+	if m.VerifyBatches() != 0 {
+		t.Fatalf("disabled batcher recorded %d batches", m.VerifyBatches())
+	}
+	if m.Verifications() != 1 {
+		t.Fatalf("verifications = %d, want 1", m.Verifications())
+	}
+}

@@ -60,8 +60,8 @@ func (s *Server) handleContextWrite(from string, r wire.ContextWriteReq, fault F
 	if r.Ctx.Owner != from {
 		return nil, fmt.Errorf("context write: owner %q does not match sender %q", r.Ctx.Owner, from)
 	}
-	if err := r.Ctx.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
-		return nil, err
+	if err := s.verifyTriple(r.Ctx.Owner, r.Ctx.SigningBytes(), r.Ctx.Sig); err != nil {
+		return nil, fmt.Errorf("context for %s/%s seq %d: %w", r.Ctx.Owner, r.Ctx.Group, r.Ctx.Seq, err)
 	}
 	if fault == Stale {
 		// A stale server acks but drops the update.
@@ -299,7 +299,7 @@ func (s *Server) acceptWrite(w *wire.SignedWrite, fault FaultMode) (bool, error)
 		s.cfg.Metrics.AddRoutingMismatch()
 		return false, fmt.Errorf("server %s: %q: %w", s.cfg.ID, w.Item, wire.ErrWrongShard)
 	}
-	if err := w.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
+	if err := s.verifyWrite(w); err != nil {
 		return false, err
 	}
 	if wire.IsFragmentEnvelope(w.Value) {

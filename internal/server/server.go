@@ -43,6 +43,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"securestore/internal/accessctl"
 	"securestore/internal/cryptoutil"
@@ -176,6 +177,17 @@ type Config struct {
 	// group independently enforces the same routing. Nil (unsharded
 	// deployments) accepts everything.
 	Owns func(key string) bool
+	// VerifyBatch caps the admission micro-batch: how many concurrently
+	// arriving signed requests are verified together with one Ed25519
+	// batch equation (DESIGN.md §7.11). Zero picks the default (64);
+	// negative disables admission batching so every request verifies its
+	// own signature, the pre-batching behaviour.
+	VerifyBatch int
+	// VerifyBatchWait bounds how long an admission batch's leader waits
+	// for company while another batch's verification is in flight; it is
+	// never an idle sleep (an idle replica flushes immediately). Zero
+	// picks the default (200µs).
+	VerifyBatchWait time.Duration
 	// Metrics receives the server's verification counts and lock/commit
 	// visibility counters (stripe contention, see metrics.AddStripeWait).
 	Metrics *metrics.Counters
@@ -240,6 +252,10 @@ type Server struct {
 	// only under stw (write mode), read under stw (read mode), so the
 	// RWMutex orders all accesses.
 	recovering bool
+
+	// admit batches concurrently arriving signature checks (nil when
+	// cfg.VerifyBatch < 0 disables admission batching).
+	admit *admitter
 }
 
 // stripe is one shard of item and context state.
@@ -298,7 +314,33 @@ func New(cfg Config) *Server {
 	s.stripeMask = uint32(n - 1)
 	s.initStripes()
 	s.epoch.Store(epochCounter.Add(1))
+	if cfg.VerifyBatch >= 0 {
+		s.admit = newAdmitter(cfg.Ring, cfg.Metrics, cfg.VerifyBatch, cfg.VerifyBatchWait)
+	}
 	return s
+}
+
+// verifyTriple routes one signature check through the admission batcher
+// when enabled, falling back to the plain per-signature ring check. Both
+// paths consult and prime the keyring's verified-signature LRU.
+func (s *Server) verifyTriple(signer string, data, sig []byte) error {
+	if s.admit != nil {
+		return s.admit.admit(signer, data, sig)
+	}
+	return s.cfg.Ring.Verify(signer, data, sig, s.cfg.Metrics)
+}
+
+// verifyWrite checks a signed write like wire.SignedWrite.Verify, with
+// the signature check routed through the admission batcher.
+func (s *Server) verifyWrite(w *wire.SignedWrite) error {
+	signer, data, sig, err := w.SigCheck()
+	if err != nil {
+		return err
+	}
+	if err := s.verifyTriple(signer, data, sig); err != nil {
+		return fmt.Errorf("%w: item %s: %v", wire.ErrBadWrite, w.Item, err)
+	}
+	return nil
 }
 
 // initStripes (re)allocates every stripe's maps. Callers hold stw

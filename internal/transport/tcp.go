@@ -156,19 +156,23 @@ const (
 	replyErr byte = 1
 )
 
-func (e *binaryEncoder) writeReply(rep *replyEnvelope) (int, error) {
-	buf := wire.NewBuffer()
-	defer buf.Release()
-	b := binary.AppendUvarint(buf.B, rep.ID)
-	var err error
+// appendReply appends rep's payload encoding (sans frame header) to b.
+func appendReply(b []byte, rep *replyEnvelope) ([]byte, error) {
+	b = binary.AppendUvarint(b, rep.ID)
 	if rep.Err != "" {
 		b = append(b, replyErr)
 		b = binary.AppendUvarint(b, uint64(len(rep.Err)))
 		b = append(b, rep.Err...)
-	} else {
-		b = append(b, replyOK)
-		b, err = wire.AppendResponse(b, rep.Resp)
+		return b, nil
 	}
+	b = append(b, replyOK)
+	return wire.AppendResponse(b, rep.Resp)
+}
+
+func (e *binaryEncoder) writeReply(rep *replyEnvelope) (int, error) {
+	buf := wire.NewBuffer()
+	defer buf.Release()
+	b, err := appendReply(buf.B, rep)
 	buf.B = b
 	if err != nil {
 		return 0, err
@@ -207,8 +211,7 @@ func (d *binaryDecoder) readFrame() (*wire.Buffer, int, error) {
 	if n > maxFramePayload {
 		return nil, 0, fmt.Errorf("transport: frame payload %d exceeds limit %d", n, maxFramePayload)
 	}
-	buf := wire.NewBuffer()
-	buf.Grow(int(n))
+	buf := wire.NewBufferSize(int(n))
 	if _, err := io.ReadFull(d.br, buf.B); err != nil {
 		buf.Release()
 		return nil, 0, fmt.Errorf("transport: short frame: %w", err)
@@ -524,6 +527,7 @@ type TCPServer struct {
 	handler Handler
 	codec   wireCodec
 	metrics *metrics.Counters
+	writer  *serverWriter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -538,6 +542,7 @@ func NewTCPServer(handler Handler, opts ...ServerOption) *TCPServer {
 	for _, opt := range opts {
 		opt.applyServer(s)
 	}
+	s.writer = newServerWriter(s.metrics)
 	return s
 }
 
@@ -597,22 +602,28 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 
 	setNoDelay(conn)
 	br := bufio.NewReader(conn)
-	fw := newFrameWriter(conn, s.codec)
+	// Binary connections reply through the server-wide coalescing writev
+	// writer; the gob baseline keeps its per-connection frameWriter.
+	var rs replySender
+	if _, ok := s.codec.(binaryCodec); ok {
+		rs = s.writer.newConn(conn)
+	} else {
+		rs = newFrameWriter(conn, s.codec)
+	}
 	if s.codec.handshake() {
 		// Announce our frame version immediately (the client demux blocks
-		// on it), then require the client's before decoding anything: a
-		// mismatched peer is refused here, at connect.
-		if err := fw.bufferHandshake(); err != nil {
+		// on it, and no reply exists yet to ride with), then require the
+		// client's before decoding anything: a mismatched peer is refused
+		// here, at connect.
+		hs := handshakeBytes()
+		if _, err := conn.Write(hs[:]); err != nil {
 			return
 		}
-		if err := fw.flush(); err != nil {
+		var peer [handshakeLen]byte
+		if _, err := io.ReadFull(br, peer[:]); err != nil {
 			return
 		}
-		var hs [handshakeLen]byte
-		if _, err := io.ReadFull(br, hs[:]); err != nil {
-			return
-		}
-		if err := checkHandshake(hs); err != nil {
+		if err := checkHandshake(peer); err != nil {
 			return // refused: close without serving a single frame
 		}
 	}
@@ -643,13 +654,13 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			} else {
 				reply.Resp = resp
 			}
-			wn, err := fw.sendReply(&reply)
+			wn, err := rs.sendReply(&reply)
 			if err != nil && errors.Is(err, wire.ErrUnknownType) {
 				// The handler produced a type the binary codec cannot carry
 				// (nothing was written): report it to the caller instead of
 				// dropping the connection.
 				fallback := replyEnvelope{ID: env.ID, Err: err.Error()}
-				wn, err = fw.sendReply(&fallback)
+				wn, err = rs.sendReply(&fallback)
 			}
 			if err != nil {
 				_ = conn.Close() // writer is poisoned; drop the connection

@@ -1,0 +1,229 @@
+package transport
+
+// tcp_writev.go is the server's coalescing reply writer (DESIGN.md
+// §7.11). It extends the frameWriter's waiter-delegated flush across
+// connections: every reply frame is encoded into a pooled buffer and
+// queued on its connection, and the last concurrent writer out — counted
+// server-wide, not per connection — drains every dirty connection, each
+// with one vectored write (net.Buffers, writev on TCP). Under concurrent
+// load this turns one write syscall per response into one writev per
+// connection per drain round, with frames from different handler
+// goroutines riding the same syscall.
+//
+// Isolation: a connection whose peer stops reading blocks only its own
+// writev. The drainer handles its own connection inline and hands every
+// other dirty connection to a fresh goroutine, so one slow client never
+// delays another client's responses. A connection being actively written
+// (writing flag) is skipped by other drainers; the active writer
+// re-checks the queue after each writev, so frames enqueued meanwhile
+// are never stranded.
+//
+// Ordering: per connection the queue is FIFO and drained in order, so
+// replies written by one connection's handlers leave in enqueue order —
+// coalescing never reorders frames within a connection.
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"securestore/internal/metrics"
+	"securestore/internal/wire"
+)
+
+// replySender is the server-side reply write path: the coalescing writev
+// writer for the binary codec, the per-connection frameWriter for gob.
+type replySender interface {
+	sendReply(rep *replyEnvelope) (int, error)
+}
+
+// serverWriter coordinates reply coalescing across all of one
+// TCPServer's connections.
+type serverWriter struct {
+	metrics *metrics.Counters
+	waiters atomic.Int64 // writers between enqueue and drain decision
+
+	mu    sync.Mutex
+	dirty []*connWriter // connections with queued frames awaiting a drain
+}
+
+func newServerWriter(m *metrics.Counters) *serverWriter {
+	return &serverWriter{metrics: m}
+}
+
+// newConn returns the coalescing writer for one accepted connection.
+func (sw *serverWriter) newConn(conn net.Conn) *connWriter {
+	cw := &connWriter{conn: conn, sw: sw}
+	cw.cond = sync.NewCond(&cw.mu)
+	return cw
+}
+
+// markDirty queues cw for the next drain round (idempotent).
+func (sw *serverWriter) markDirty(cw *connWriter) {
+	sw.mu.Lock()
+	if !cw.dirty {
+		cw.dirty = true
+		sw.dirty = append(sw.dirty, cw)
+	}
+	sw.mu.Unlock()
+}
+
+// drainFor drains every dirty connection: the caller's own inline, every
+// other in its own goroutine so a blocked peer stalls nobody else.
+func (sw *serverWriter) drainFor(own *connWriter) {
+	sw.mu.Lock()
+	conns := sw.dirty
+	sw.dirty = nil
+	for _, cw := range conns {
+		cw.dirty = false
+	}
+	sw.mu.Unlock()
+	for _, cw := range conns {
+		if cw != own {
+			go cw.drain(sw.metrics)
+		}
+	}
+	own.drain(sw.metrics)
+}
+
+// connWriter queues encoded reply frames for one connection and writes
+// them out in vectored batches. dirty is owned by serverWriter.mu; every
+// other mutable field by mu.
+type connWriter struct {
+	conn net.Conn
+	sw   *serverWriter
+
+	mu      sync.Mutex
+	cond    *sync.Cond     // signals written/err progress
+	queue   net.Buffers    // encoded frames awaiting writev, FIFO
+	owners  []*wire.Buffer // pooled buffers backing queue entries
+	enq     int64          // frames ever enqueued
+	written int64          // frames confirmed written, in order
+	err     error          // first write failure; poisons the connection
+	writing bool           // a drainer is inside writev for this connection
+	dirty   bool           // queued on sw.dirty (owned by sw.mu)
+}
+
+// enqueue appends one encoded frame, transferring buf's ownership to the
+// writer, and returns the frame's sequence number for await.
+func (cw *connWriter) enqueue(buf *wire.Buffer, frame []byte) (int64, error) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	cw.queue = append(cw.queue, frame)
+	cw.owners = append(cw.owners, buf)
+	cw.enq++
+	return cw.enq, nil
+}
+
+// await blocks until frame seq has been written or the writer failed.
+func (cw *connWriter) await(seq int64) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	for cw.written < seq && cw.err == nil {
+		cw.cond.Wait()
+	}
+	if cw.written >= seq {
+		return nil
+	}
+	return cw.err
+}
+
+// drain writes the queued frames with vectored writes until the queue is
+// empty, another drainer owns the connection, or a write fails. On
+// failure the connection is poisoned: queued and future frames fail fast
+// and every waiter is woken with the error.
+func (cw *connWriter) drain(m *metrics.Counters) {
+	cw.mu.Lock()
+	for !cw.writing && cw.err == nil && len(cw.queue) > 0 {
+		bufs := cw.queue
+		owners := cw.owners
+		cw.queue = nil
+		cw.owners = nil
+		cw.writing = true
+		cw.mu.Unlock()
+
+		frames := len(owners)
+		_, werr := bufs.WriteTo(cw.conn)
+		m.AddWritevCall(frames)
+		for _, b := range owners {
+			b.Release()
+		}
+
+		cw.mu.Lock()
+		cw.writing = false
+		if werr != nil {
+			cw.err = werr
+			for _, b := range cw.owners {
+				b.Release()
+			}
+			cw.queue, cw.owners = nil, nil
+			break
+		}
+		cw.written += int64(frames)
+		cw.cond.Broadcast()
+	}
+	cw.cond.Broadcast()
+	cw.mu.Unlock()
+}
+
+// frameHdrMax is the largest possible frame header: version byte plus
+// uvarint payload length.
+const frameHdrMax = 1 + binary.MaxVarintLen64
+
+// encodeReplyFrame encodes rep as one complete, self-contained wire
+// frame (version byte, length prefix, payload) inside a pooled buffer.
+// frame aliases buf.B; the caller owns buf until it hands it to enqueue.
+// On error nothing is retained (ErrUnknownType stays recoverable).
+func encodeReplyFrame(rep *replyEnvelope) (buf *wire.Buffer, frame []byte, err error) {
+	buf = wire.NewBuffer()
+	// Reserve worst-case header space, encode the payload after it, then
+	// right-align the real header so the frame is one contiguous slice.
+	b := buf.B[:frameHdrMax]
+	b, err = appendReply(b, rep)
+	buf.B = b
+	if err != nil {
+		buf.Release()
+		return nil, nil, err
+	}
+	payload := len(b) - frameHdrMax
+	var hdr [frameHdrMax]byte
+	hdr[0] = wire.FrameVersion
+	n := binary.PutUvarint(hdr[1:], uint64(payload))
+	start := frameHdrMax - (1 + n)
+	copy(b[start:], hdr[:1+n])
+	return buf, b[start:], nil
+}
+
+// sendReply implements replySender: encode, enqueue, and apply the
+// server-wide group-drain rule — the last concurrent writer out drains
+// every dirty connection; everyone else delegates and awaits.
+func (cw *connWriter) sendReply(rep *replyEnvelope) (int, error) {
+	buf, frame, err := encodeReplyFrame(rep)
+	if err != nil {
+		return 0, err
+	}
+	n := len(frame)
+	seq, err := cw.enqueue(buf, frame)
+	if err != nil {
+		buf.Release()
+		return 0, err
+	}
+	sw := cw.sw
+	sw.waiters.Add(1)
+	sw.markDirty(cw)
+	// Yield once before the drain decision so replies from peers that are
+	// already runnable join this drain round — on a single-CPU host they
+	// cannot enqueue while this goroutine holds the processor, and on an
+	// idle server the yield is a no-op. Senders that find waiters > 0
+	// afterwards delegate the whole drain to the last one out.
+	runtime.Gosched()
+	if sw.waiters.Add(-1) == 0 {
+		sw.drainFor(cw)
+	}
+	return n, cw.await(seq)
+}

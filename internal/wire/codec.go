@@ -74,22 +74,61 @@ type Buffer struct{ B []byte }
 // giant state-transfer frame does not pin memory forever.
 const maxPooledBuf = 1 << 20
 
-var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+// bufClasses are the pooled buffer size classes, smallest first. Pools
+// are keyed by class so a reader pulling 100-byte reply frames never
+// churns through megabyte gossip buffers (and vice versa): class i only
+// ever holds buffers with capacity >= bufClasses[i].
+var bufClasses = [...]int{512, 4096, 64 << 10, maxPooledBuf}
 
-// NewBuffer returns an empty pooled buffer.
+// defaultBufClass is the class NewBuffer draws from (encoders of
+// unknown-size frames).
+const defaultBufClass = 1 // 4096
+
+var bufPools [len(bufClasses)]sync.Pool
+
+func init() {
+	for i, size := range bufClasses {
+		bufPools[i].New = func() any { return &Buffer{B: make([]byte, 0, size)} }
+	}
+}
+
+// NewBuffer returns an empty pooled buffer (default size class).
 func NewBuffer() *Buffer {
-	b := bufPool.Get().(*Buffer)
+	b := bufPools[defaultBufClass].Get().(*Buffer)
 	b.B = b.B[:0]
 	return b
 }
 
-// Release returns the buffer to the pool. The caller must not retain
-// views into b.B afterwards.
+// NewBufferSize returns a pooled buffer with B already sized to length n,
+// drawn from the smallest size class that fits — the read path's
+// per-frame allocation killer (transport readFrame knows each frame's
+// exact length up front). Lengths beyond the largest class get a fresh
+// unpooled allocation, which Release then drops.
+func NewBufferSize(n int) *Buffer {
+	for i, size := range bufClasses {
+		if n <= size {
+			b := bufPools[i].Get().(*Buffer)
+			b.Grow(n)
+			return b
+		}
+	}
+	return &Buffer{B: make([]byte, n)}
+}
+
+// Release returns the buffer to its size class's pool. The caller must
+// not retain views into b.B afterwards.
 func (b *Buffer) Release() {
-	if cap(b.B) > maxPooledBuf {
+	c := cap(b.B)
+	if c > maxPooledBuf {
 		return
 	}
-	bufPool.Put(b)
+	for i := len(bufClasses) - 1; i > 0; i-- {
+		if c >= bufClasses[i] {
+			bufPools[i].Put(b)
+			return
+		}
+	}
+	bufPools[0].Put(b)
 }
 
 // Grow ensures b.B has length n (for io.ReadFull into it).
