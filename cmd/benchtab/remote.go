@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -72,6 +73,17 @@ func runReplicaProc(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SECURESTORE_REPLICA_CPUPROFILE=dir drops a per-replica CPU profile
+	// in dir — the replica-side counterpart of the driver's -cpuprofile,
+	// for attributing spawned-cluster cost (the processes have no
+	// /debug/pprof endpoint to scrape).
+	if dir := os.Getenv("SECURESTORE_REPLICA_CPUPROFILE"); dir != "" {
+		stopProf, err := profiling.Start(filepath.Join(dir, "replica-"+*name+".prof"), "")
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
 	return deploy.ServeReplica(ctx, cfg, *name, *dataDir)
 }
 
@@ -81,6 +93,9 @@ type remoteProfile struct {
 	groups        int     // replica groups (sharded when > 1)
 	valueSize     int     // bytes per written value
 	fragThreshold int     // erasure-code values at or above this size
+	fragK         int     // erasure-coding threshold (0: b+1)
+	extraReplicas int     // servers per group beyond 3b+1 (larger n for k)
+	items         int     // > 0 overrides the -items flag
 	rates         []int   // default offered-rate sweep (ops/s)
 	readFrac      float64 // > 0 overrides the -read flag
 	zipfSkew      float64 // > 1 selects zipfian item popularity
@@ -94,7 +109,7 @@ type remoteProfile struct {
 var remoteProfiles = []remoteProfile{
 	{name: "replicated", groups: 1, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
 	{name: "sharded", groups: 2, valueSize: 128, rates: []int{250, 500, 1000, 2000, 4000}},
-	{name: "fragmented", groups: 1, valueSize: 64 << 10, fragThreshold: 1 << 10, rates: []int{50, 100, 200, 400}},
+	{name: "fragmented", groups: 1, valueSize: 64 << 10, fragThreshold: 1 << 10, rates: []int{200, 400, 800, 1600}},
 }
 
 // r2Profiles (suite r2) keep the replicated value shape and vary the
@@ -109,11 +124,34 @@ var r2Profiles = []remoteProfile{
 		readFrac: 0.95},
 }
 
+// r3Profiles (suite r3) sweep the large-value spectrum — 64 KiB to 4 MiB
+// — on both the replicated and the erasure-coded data path, side by side.
+// Fragmented profiles run n=5 (one replica beyond 3b+1) with k=3, so each
+// share is ~a third of the value, writes need k+b=4 acks and hedged reads
+// fetch shares from k+b=4 servers (3 full, 1 stamp probe) in the healthy
+// case. Rates shrink with the value size: the interesting number is the
+// per-size saturation knee and the MB/s it implies, not a fixed rate grid.
+var r3Profiles = []remoteProfile{
+	{name: "repl-64k", groups: 1, valueSize: 64 << 10, items: 16, rates: []int{50, 100, 200}},
+	{name: "frag-64k", groups: 1, valueSize: 64 << 10, items: 16, rates: []int{50, 100, 200},
+		fragThreshold: 1 << 10, fragK: 3, extraReplicas: 1},
+	{name: "repl-256k", groups: 1, valueSize: 256 << 10, items: 16, rates: []int{25, 50, 100}},
+	{name: "frag-256k", groups: 1, valueSize: 256 << 10, items: 16, rates: []int{25, 50, 100},
+		fragThreshold: 1 << 10, fragK: 3, extraReplicas: 1},
+	{name: "repl-1m", groups: 1, valueSize: 1 << 20, items: 8, rates: []int{5, 10, 20}},
+	{name: "frag-1m", groups: 1, valueSize: 1 << 20, items: 8, rates: []int{5, 10, 20},
+		fragThreshold: 1 << 10, fragK: 3, extraReplicas: 1},
+	{name: "repl-4m", groups: 1, valueSize: 4 << 20, items: 4, rates: []int{2, 4, 8}},
+	{name: "frag-4m", groups: 1, valueSize: 4 << 20, items: 4, rates: []int{2, 4, 8},
+		fragThreshold: 1 << 10, fragK: 3, extraReplicas: 1},
+}
+
 // remoteSuites names the profile sets; the key doubles (uppercased) as
 // the result table's experiment ID.
 var remoteSuites = map[string][]remoteProfile{
 	"r1": remoteProfiles,
 	"r2": r2Profiles,
+	"r3": r3Profiles,
 }
 
 // remoteSuiteDefault is each suite's profile selection when -profile is
@@ -123,6 +161,7 @@ var remoteSuites = map[string][]remoteProfile{
 var remoteSuiteDefault = map[string]string{
 	"r1": "replicated",
 	"r2": "all",
+	"r3": "all",
 }
 
 func profileByName(suite []remoteProfile, name string) (remoteProfile, error) {
@@ -182,7 +221,7 @@ func runRemote(args []string) error {
 	var (
 		configPath = fs.String("config", "", "deployment config to spawn or attach to (empty: synthesize per -profile)")
 		cluster    = fs.String("cluster", "", "attach to a running cluster: name=host:port pairs, comma-separated (skips spawning)")
-		suite      = fs.String("suite", "r1", "experiment suite: r1 (value shapes) or r2 (access patterns)")
+		suite      = fs.String("suite", "r1", "experiment suite: r1 (value shapes), r2 (access patterns) or r3 (large values, replicated vs fragmented)")
 		profile    = fs.String("profile", "", "workload profile within the suite, or all (empty: suite default)")
 		groups     = fs.Int("groups", 0, "replica-group count for the sharded profile (0: profile default)")
 		b          = fs.Int("b", 1, "fault tolerance per replica group (n = 3b+1 servers each)")
@@ -210,7 +249,7 @@ func runRemote(args []string) error {
 	suiteKey := strings.ToLower(*suite)
 	suiteProfiles, ok := remoteSuites[suiteKey]
 	if !ok {
-		return fmt.Errorf("unknown suite %q (r1 or r2)", *suite)
+		return fmt.Errorf("unknown suite %q (r1, r2 or r3)", *suite)
 	}
 	selected := *profile
 	if selected == "" {
@@ -244,13 +283,23 @@ func runRemote(args []string) error {
 			"each replica is its own OS process (deploy.ServeReplica) with real TCP transport and gossip between processes",
 		},
 	}
-	if suiteKey == "r2" {
+	switch suiteKey {
+	case "r2":
 		table.Title = fmt.Sprintf("open-loop latency vs offered load: access-pattern profiles on the replicated shape (b=%d, %s arrivals, %d sessions, %v per rate)", *b, arrivalMode, *sessions, *duration)
 		table.Notes = append(table.Notes,
 			"zipf-hot: 90% of traffic on 4 hot items, zipfian (s=1.2) tail on the rest, 128 B values",
 			"read-mostly: 95% reads, uniform item popularity, 128 B values",
 		)
-	} else {
+	case "r3":
+		table.Title = fmt.Sprintf("large values, replicated vs erasure-coded: open-loop throughput and client rx bytes (b=%d, %s arrivals, %d sessions, %v per rate)", *b, arrivalMode, *sessions, *duration)
+		table.Header = []string{"profile", "offered ops/s", "achieved ops/s", "MB/s", "p50 ms", "p99 ms", "rx KB", "hedges", "errors"}
+		table.Notes = append(table.Notes,
+			"repl-* profiles replicate whole values across n=3b+1 servers; frag-* profiles erasure-code them (k=3, n=3b+2) so each replica stores ~1/3 of the value",
+			"MB/s is achieved ops/s times the value size (payload throughput seen by the client)",
+			"rx KB is mean wire bytes received by the client per operation: hedged fragmented reads fetch k shares plus stamp probes instead of n full shares",
+			"hedges counts fragmented reads whose straggler timer fired; 0 in a healthy cluster means the k+b fan-out completed every read",
+		)
+	default:
 		table.Notes = append(table.Notes,
 			fmt.Sprintf("workload: %.0f%% reads over private items, values per profile (replicated/sharded 128 B, fragmented 64 KiB erasure-coded)", *readFrac*100),
 		)
@@ -270,7 +319,7 @@ func runRemote(args []string) error {
 			rates = []int{*rateFlag}
 		}
 		if err := runRemoteProfile(ctx, table, p, rates, remoteRunConfig{
-			configPath: *configPath, cluster: *cluster, b: *b,
+			configPath: *configPath, cluster: *cluster, suite: suiteKey, b: *b,
 			sessions: *sessions, duration: *duration, arrival: arrivalMode,
 			readFrac: *readFrac, items: *items, opTimeout: *opTimeout, seed: *seed,
 			quiet: *asJSON,
@@ -310,6 +359,7 @@ func runRemote(args []string) error {
 type remoteRunConfig struct {
 	configPath string
 	cluster    string
+	suite      string
 	b          int
 	sessions   int
 	duration   time.Duration
@@ -333,9 +383,12 @@ func runRemoteProfile(ctx context.Context, table *bench.Table, p remoteProfile, 
 	} else {
 		fragK := 0
 		if p.fragThreshold > 0 {
-			fragK = rc.b + 1
+			fragK = p.fragK
+			if fragK == 0 {
+				fragK = rc.b + 1
+			}
 		}
-		if cfg, err = deploy.SynthesizeCluster("benchtab-remote", p.groups, rc.b, "bench", p.fragThreshold, fragK); err != nil {
+		if cfg, err = deploy.SynthesizeCluster("benchtab-remote", p.groups, rc.b, "bench", p.fragThreshold, fragK, p.extraReplicas); err != nil {
 			return err
 		}
 	}
@@ -388,8 +441,12 @@ func runRemoteProfile(ctx context.Context, table *bench.Table, p remoteProfile, 
 	if p.readFrac > 0 {
 		readFrac = p.readFrac
 	}
+	items := rc.items
+	if p.items > 0 {
+		items = p.items
+	}
 	wcfg := workload.Config{
-		Items:        rc.items,
+		Items:        items,
 		ItemPrefix:   p.name + "-",
 		ReadFraction: readFrac,
 		ValueSize:    p.valueSize,
@@ -425,17 +482,43 @@ func runRemoteProfile(ctx context.Context, table *bench.Table, p remoteProfile, 
 			// tail without hanging the sweep.
 			DrainTimeout: 6 * rc.duration,
 		}
+		before := cl.Metrics().Snapshot()
 		res, err := run.Run(ctx, do)
 		if err != nil {
 			return err
 		}
-		table.AddRow(
-			p.name,
-			rate,
-			fmt.Sprintf("%.0f", res.Achieved),
-			ms(res.Latency.P50), ms(res.Latency.P95), ms(res.Latency.P99), ms(res.Latency.Max),
-			res.Errors,
-		)
+		if rc.suite == "r3" {
+			// The r3 table reports payload throughput and the client's
+			// per-operation wire cost next to the latency columns: the
+			// numbers the fragmented data path exists to move.
+			delta := cl.Metrics().Snapshot().Delta(before)
+			var rxTotal int64
+			for _, v := range delta.RxBytes {
+				rxTotal += v
+			}
+			rxKB := "n/a"
+			if res.Issued > 0 {
+				rxKB = fmt.Sprintf("%.1f", float64(rxTotal)/float64(res.Issued)/1024)
+			}
+			table.AddRow(
+				p.name,
+				rate,
+				fmt.Sprintf("%.0f", res.Achieved),
+				fmt.Sprintf("%.1f", res.Achieved*float64(p.valueSize)/(1<<20)),
+				ms(res.Latency.P50), ms(res.Latency.P99),
+				rxKB,
+				delta.FragReadHedges,
+				res.Errors,
+			)
+		} else {
+			table.AddRow(
+				p.name,
+				rate,
+				fmt.Sprintf("%.0f", res.Achieved),
+				ms(res.Latency.P50), ms(res.Latency.P95), ms(res.Latency.P99), ms(res.Latency.Max),
+				res.Errors,
+			)
+		}
 		if !rc.quiet {
 			fmt.Printf("# %s @ %d ops/s: achieved %.0f, p50 %s ms, p99 %s ms, %d errors\n",
 				p.name, rate, res.Achieved, ms(res.Latency.P50), ms(res.Latency.P99), res.Errors)

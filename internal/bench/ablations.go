@@ -312,6 +312,7 @@ func All() []Experiment {
 		{"t4", "wire codec: binary vs gob round trips + saturation", T4CodecComparison},
 		{"t5", "sharding: multi-group scaling + hot-key skew", T5ShardScaling},
 		{"t6", "fragmentation: replicated vs erasure-coded wire bytes", T6Fragmentation},
+		{"t7", "fragmentation: GF(256) coding kernels vs scalar reference", T7CodingKernels},
 		{"obs", "observability: instrumentation overhead + latency percentiles", O1ObsOverhead},
 		{"chaos", "chaos soak: composed faults vs checker verdict", ChaosSoak},
 	}

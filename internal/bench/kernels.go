@@ -1,0 +1,108 @@
+package bench
+
+// kernels.go — experiment T7: the GF(256) coding kernels in isolation.
+// T6 measures what erasure coding buys on the wire; T7 measures what it
+// costs in CPU, and what the slice-wise nibble-table kernels (with cached
+// Vandermonde rows, a decode-matrix LRU and chunked parallelism) buy over
+// the retained byte-at-a-time reference implementation. The pair is
+// byte-identical by construction (FuzzGF256Kernels), so this table is a
+// pure throughput comparison.
+
+import (
+	"fmt"
+	"time"
+
+	"securestore/internal/fragment"
+)
+
+// codingThroughput runs fn iters times over size payload bytes and
+// returns MB/s of original data coded.
+func codingThroughput(size, iters int, fn func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(size) * float64(iters) / (1 << 20) / elapsed.Seconds(), nil
+}
+
+// T7CodingKernels measures IDA encode/decode throughput: the production
+// slice kernels against the scalar reference, across value sizes and the
+// two deployment geometries the store actually runs (k=2,n=4 at b=1
+// minimum clusters; k=3,n=5 for the space-efficiency point the R3 suite
+// benchmarks end to end).
+func T7CodingKernels(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "T7",
+		Title:  "GF(256) coding kernels: slice-wise nibble tables vs byte-at-a-time reference",
+		Header: []string{"value size", "geometry", "encode MB/s", "ref encode MB/s", "encode speedup", "decode MB/s", "ref decode MB/s", "decode speedup"},
+		Notes: []string{
+			"encode = Split (dispersal into n fragments), decode = Reconstruct from the first k fragments; MB/s counts original value bytes",
+			"the reference path is the retained scalar implementation (SplitReference/ReconstructReference), byte-identical under FuzzGF256Kernels",
+			"kernels: two 16-entry nibble tables per coefficient, 8-byte unrolled multiply-accumulate, cached Vandermonde rows, LRU-cached inverted decode matrices, chunked worker-pool parallelism for multi-MiB values",
+		},
+	}
+	sizes := pick(opts, []int{64 << 10, 1 << 20, 4 << 20}, []int{64 << 10, 1 << 20})
+	iters := pick(opts, 8, 3)
+	geoms := []struct{ k, n int }{{2, 4}, {3, 5}}
+
+	for _, size := range sizes {
+		value := make([]byte, size)
+		for i := range value {
+			value[i] = byte(i*31 + i>>9)
+		}
+		for _, g := range geoms {
+			frags, err := fragment.Split(value, g.k, g.n)
+			if err != nil {
+				return nil, fmt.Errorf("T7 split k=%d n=%d: %w", g.k, g.n, err)
+			}
+			subset := frags[:g.k]
+
+			enc, err := codingThroughput(size, iters, func() error {
+				_, err := fragment.Split(value, g.k, g.n)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			refEnc, err := codingThroughput(size, iters, func() error {
+				_, err := fragment.SplitReference(value, g.k, g.n)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			dec, err := codingThroughput(size, iters, func() error {
+				_, err := fragment.Reconstruct(subset)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			refDec, err := codingThroughput(size, iters, func() error {
+				_, err := fragment.ReconstructReference(subset)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			t.AddRow(
+				fmt.Sprintf("%d KiB", size>>10),
+				fmt.Sprintf("k%dn%d", g.k, g.n),
+				fmt.Sprintf("%.1f", enc),
+				fmt.Sprintf("%.1f", refEnc),
+				fmt.Sprintf("%.2fx", enc/refEnc),
+				fmt.Sprintf("%.1f", dec),
+				fmt.Sprintf("%.1f", refDec),
+				fmt.Sprintf("%.2fx", dec/refDec),
+			)
+		}
+	}
+	return t, nil
+}

@@ -71,6 +71,7 @@ var measureClasses = []struct{ token, better, unit string }{
 	{"breaches", "lower", ""},
 	{"rounds", "lower", "rounds"},
 	{"hits", "higher", ""},
+	{"hedge", "lower", ""},
 	{"batch mean", "", ""},
 }
 

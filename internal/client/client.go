@@ -146,6 +146,10 @@ type Config struct {
 	// All sessions of a deployment must agree on k — readers reject
 	// fragments dispersed under a different threshold.
 	FragmentK int
+	// FragHedgeDelay tunes the fragmented read's straggler hedge (see
+	// fragstore.Config.HedgeDelay): zero adapts to observed read latency,
+	// positive fixes the delay, negative disables hedging.
+	FragHedgeDelay time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -277,6 +281,7 @@ func New(cfg Config) (*Client, error) {
 			Servers: c.Servers, Table: c.Table, B: c.B, K: c.FragmentK,
 			Group: c.Group, Caller: c.Caller, Token: c.Token,
 			Metrics: c.Metrics, CallTimeout: c.CallTimeout,
+			HedgeDelay: c.FragHedgeDelay,
 		})
 		switch {
 		case err == nil:
@@ -290,6 +295,11 @@ func New(cfg Config) (*Client, error) {
 
 // sharded reports whether the client routes over more than one group.
 func (c *Client) sharded() bool { return c.router != nil }
+
+// Metrics exposes the session's cost counters (nil when none were
+// configured), so embedding drivers can read protocol-cost deltas —
+// hedge fires, bytes saved, coding times — without owning the Counters.
+func (c *Client) Metrics() *metrics.Counters { return c.cfg.Metrics }
 
 // shardFor resolves an item to its replica group's quorum view. The
 // per-shard routing counter mirrors the servers' securestore_shard_ops

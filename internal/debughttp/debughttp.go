@@ -95,6 +95,35 @@ var counterSeries = []struct {
 	{"securestore_wal_batches_total", "Write-ahead-log group commits (one write+flush each).", func(s metrics.Snapshot) int64 { return s.WALBatches }},
 	{"securestore_shard_routing_mismatch_total", "Requests rejected (or seen rejected) because the item is owned by another shard.", func(s metrics.Snapshot) int64 { return s.RoutingMismatches }},
 	{"securestore_verify_batched_total", "Signatures verified via the Ed25519 batch equation (vs. one at a time).", func(s metrics.Snapshot) int64 { return s.VerifyBatched }},
+	{"securestore_frag_read_hedge_total", "Hedged fragmented reads whose straggler timer fired.", func(s metrics.Snapshot) int64 { return s.FragReadHedges }},
+	{"securestore_frag_read_bytes_saved_total", "Estimated wire bytes fragmented reads avoided by contacting k+b servers instead of all n.", func(s metrics.Snapshot) int64 { return s.FragReadBytesSaved }},
+}
+
+// writeTimeHistogram renders one duration Histogram as a classic
+// Prometheus cumulative histogram in seconds. Empty histograms are
+// omitted (a process that never fragmented exports no coding series).
+func writeTimeHistogram(w http.ResponseWriter, name, help string, h *metrics.Histogram) {
+	if h == nil {
+		return
+	}
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return
+	}
+	bounds := metrics.BucketBounds()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range snap.Counts {
+		cum += c
+		if i < len(bounds) {
+			le := strconv.FormatFloat(bounds[i].Seconds(), 'g', -1, 64)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, snap.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
 }
 
 // writeSizeHistogram renders one SizeHistogram as a classic Prometheus
@@ -169,6 +198,11 @@ func serveMetricsProm(w http.ResponseWriter, s State) {
 		// ride one vectored write.
 		writeSizeHistogram(w, "securestore_verify_batch_size", "Signatures per admission verify batch.", s.Counters.VerifyBatchSizes())
 		writeSizeHistogram(w, "securestore_writev_frames_per_call", "Reply frames per coalesced vectored write.", s.Counters.WritevFrameSizes())
+		// Erasure-coding kernel visibility: how long the client spends in
+		// IDA encode (Split + cross-checksum) and decode (Reconstruct +
+		// consistency re-check) per fragmented operation.
+		writeTimeHistogram(w, "securestore_fragment_encode_seconds", "IDA dispersal time per fragmented write.", s.Counters.FragEncodeHist())
+		writeTimeHistogram(w, "securestore_fragment_decode_seconds", "IDA reconstruction time per fragmented read.", s.Counters.FragDecodeHist())
 		writeLabeledBytes(w, "securestore_tx_bytes_total", "Wire bytes sent, by operation.", snap.TxBytes)
 		writeLabeledBytes(w, "securestore_rx_bytes_total", "Wire bytes received, by operation.", snap.RxBytes)
 		if len(snap.ShardOps) > 0 {

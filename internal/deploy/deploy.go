@@ -20,6 +20,7 @@ import (
 	"securestore/internal/accessctl"
 	"securestore/internal/client"
 	"securestore/internal/cryptoutil"
+	"securestore/internal/fragment"
 	"securestore/internal/gossip"
 	"securestore/internal/metrics"
 	"securestore/internal/server"
@@ -70,6 +71,14 @@ type Config struct {
 	// whole deployment (default b+1; must satisfy b < k <= n-b per
 	// group). Every client must use the same k.
 	FragmentK int `json:"fragmentK,omitempty"`
+	// FragHedgeDelayMillis tunes the fragmented read's straggler hedge:
+	// 0 adapts to observed read latency, positive fixes the delay in
+	// milliseconds, negative disables hedging.
+	FragHedgeDelayMillis int `json:"fragHedgeDelayMillis,omitempty"`
+	// FragEncodeParallelism bounds the worker pool the IDA coding kernels
+	// chunk large values across (0 = GOMAXPROCS, negative forces the
+	// single-threaded path). Process-wide: the last loaded config wins.
+	FragEncodeParallelism int `json:"fragEncodeParallelism,omitempty"`
 	// VerifyCacheSize sets the verified-signature LRU capacity per
 	// process (0 = default 4096, negative disables). Replicas see the
 	// same signed write once from the client and again per gossip
@@ -442,6 +451,16 @@ func BuildClient(cfg *Config, id, group string) (*client.Client, error) {
 	if !g.MultiWriter {
 		cc.FragmentThreshold = cfg.FragmentThresholdBytes
 		cc.FragmentK = cfg.FragmentK
+		if cfg.FragHedgeDelayMillis != 0 {
+			cc.FragHedgeDelay = time.Duration(cfg.FragHedgeDelayMillis) * time.Millisecond
+		}
+	}
+	if cfg.FragEncodeParallelism != 0 {
+		p := cfg.FragEncodeParallelism
+		if p < 0 {
+			p = 1
+		}
+		fragment.SetEncodeParallelism(p)
 	}
 	if table := cfg.Table(m); table != nil {
 		// Sharded deployment: items route per shard; the flat server list

@@ -51,15 +51,21 @@ func FreeLoopbackAddrs(n int) ([]string, error) {
 }
 
 // SynthesizeCluster builds a loopback deployment config for spawn-mode
-// benchmarking: groups replica groups of 3b+1 servers each on freshly
-// reserved ports, one client principal, and one single-writer group named
-// "bench". groups == 1 leaves the config unsharded; groups > 1 partitions
-// the servers into that many shards (g<G>-s<K> naming, one shard each).
-func SynthesizeCluster(seed string, groups, b int, clientID string, fragThreshold, fragK int) (*Config, error) {
+// benchmarking: groups replica groups of 3b+1+extraPerGroup servers each
+// on freshly reserved ports, one client principal, and one single-writer
+// group named "bench". extraPerGroup widens groups beyond the quorum
+// minimum — erasure-coded profiles use it to reach n large enough for
+// b < k <= n-b at the k under test (e.g. n=5 for k=3, b=1). groups == 1
+// leaves the config unsharded; groups > 1 partitions the servers into
+// that many shards (g<G>-s<K> naming, one shard each).
+func SynthesizeCluster(seed string, groups, b int, clientID string, fragThreshold, fragK, extraPerGroup int) (*Config, error) {
 	if groups < 1 {
 		groups = 1
 	}
-	perGroup := 3*b + 1
+	if extraPerGroup < 0 {
+		extraPerGroup = 0
+	}
+	perGroup := 3*b + 1 + extraPerGroup
 	addrs, err := FreeLoopbackAddrs(groups * perGroup)
 	if err != nil {
 		return nil, err

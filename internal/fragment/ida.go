@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Errors returned by dispersal and reconstruction.
@@ -30,38 +29,53 @@ type Fragment struct {
 // (Rabin IDA). Each fragment is ~len(data)/k bytes, so total storage is
 // n/k times the original — the space optimality that distinguishes IDA
 // from plain replication. n is limited to 255 by the field size.
+//
+// The encode runs on the slice-wise nibble-table kernels of kernel.go:
+// fragment i accumulates row_i[j]·payload_row_j column-slice-wise from
+// the cached Vandermonde coefficients, chunked across the bounded worker
+// pool for multi-megabyte values. Output is byte-identical to the
+// retained scalar reference (SplitReference), which FuzzGF256Kernels
+// enforces.
 func Split(data []byte, k, n int) ([]Fragment, error) {
 	if k < 1 || n < k || n > 255 {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrParams, k, n)
 	}
 
 	// Prefix the payload with its length so padding can be stripped, and
-	// round the buffer up to a multiple of k in one allocation (the tail
-	// is already zero).
+	// round the staging buffer up to a multiple of k. The buffer is
+	// pooled: getPayload zeroes the padding tail dirty from earlier uses.
 	total := 8 + len(data)
 	padded := total + (k-total%k)%k
-	payload := make([]byte, padded)
+	bufp := getPayload(padded, total)
+	payload := *bufp
 	binary.BigEndian.PutUint64(payload, uint64(len(data)))
 	copy(payload[8:], data)
-	cols := len(payload) / k
+	cols := padded / k
 
+	// All n shares live in one slab: one allocation instead of n, and the
+	// full-capacity subslices keep appends from bleeding across shares.
 	frags := make([]Fragment, n)
+	slab := make([]byte, n*cols)
+	out := make([][]byte, n)
 	for i := range frags {
-		frags[i] = Fragment{Index: i, K: k, Data: make([]byte, cols)}
+		d := slab[i*cols : (i+1)*cols : (i+1)*cols]
+		out[i] = d
+		frags[i] = Fragment{Index: i, K: k, Data: d}
 	}
 	// Row i of the Vandermonde matrix is [1, x_i, x_i^2, ..., x_i^(k-1)]
 	// with x_i = i+1 (non-zero, distinct). Fragment i holds row_i * column
 	// for every column of the k×cols payload matrix.
-	for c := 0; c < cols; c++ {
+	rows := encodeRows(k, n)
+	runChunks(cols, func(lo, hi int) {
 		for i := 0; i < n; i++ {
-			x := byte(i + 1)
-			var acc byte
-			for j := 0; j < k; j++ {
-				acc ^= gfMul(gfPow(x, j), payload[j*cols+c])
+			row, dst := rows[i], out[i][lo:hi]
+			galMulSlice(row[0], payload[lo:hi], dst)
+			for j := 1; j < k; j++ {
+				galMulSliceXor(row[j], payload[j*cols+lo:j*cols+hi], dst)
 			}
-			frags[i].Data[c] = acc
 		}
-	}
+	})
+	putPayload(bufp)
 	return frags, nil
 }
 
@@ -69,6 +83,11 @@ func Split(data []byte, k, n int) ([]Fragment, error) {
 // When more than k are supplied it deterministically uses the k with the
 // lowest indices, so repeated reads over the same reply set — however the
 // gather ordered it — decode identically. The input slice is not mutated.
+//
+// Selection walks a presence table instead of copying and sorting the
+// input, the inverted decode matrix comes from the per-(k, index-set)
+// LRU, and the decode itself runs on the same chunked slice kernels as
+// Split — in the steady state the only allocation is the output payload.
 func Reconstruct(frags []Fragment) ([]byte, error) {
 	if len(frags) == 0 {
 		return nil, ErrInsufficient
@@ -77,48 +96,67 @@ func Reconstruct(frags []Fragment) ([]byte, error) {
 	if len(frags) < k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, len(frags), k)
 	}
-	sorted := append([]Fragment(nil), frags...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
-	use := sorted[:k]
+
+	// Pick the k lowest distinct indices via a presence table: O(n + 255)
+	// with zero allocation. Fragments with out-of-field indices or
+	// duplicates only matter — and only error — when they would be among
+	// the k chosen, mirroring the sort-based selection this replaces.
+	var present [255]*Fragment
+	var dup [255]bool
+	for i := range frags {
+		f := &frags[i]
+		if f.Index < 0 {
+			// A negative index would sort before every valid one and be
+			// chosen unconditionally.
+			return nil, fmt.Errorf("%w: duplicate or invalid index %d", ErrSingular, f.Index)
+		}
+		if f.Index > 254 {
+			continue // sorts past every valid index; an error only if needed below
+		}
+		if present[f.Index] != nil {
+			dup[f.Index] = true
+			continue
+		}
+		present[f.Index] = f
+	}
+	var useBuf [255]*Fragment
+	use := useBuf[:0]
+	for idx := 0; idx < 255 && len(use) < k; idx++ {
+		if present[idx] == nil {
+			continue
+		}
+		if dup[idx] {
+			return nil, fmt.Errorf("%w: duplicate or invalid index %d", ErrSingular, idx)
+		}
+		use = append(use, present[idx])
+	}
+	if len(use) < k {
+		// Only duplicates or out-of-field indices remain to fill the k.
+		return nil, fmt.Errorf("%w: duplicate or invalid index", ErrSingular)
+	}
 	cols := len(use[0].Data)
-	seen := make(map[int]bool, k)
 	for _, f := range use {
 		if f.K != k || len(f.Data) != cols {
 			return nil, ErrInconsistent
 		}
-		if f.Index < 0 || f.Index > 254 || seen[f.Index] {
-			return nil, fmt.Errorf("%w: duplicate or invalid index %d", ErrSingular, f.Index)
-		}
-		seen[f.Index] = true
 	}
 
-	// Invert the k×k Vandermonde submatrix for the chosen indices.
-	m := make([][]byte, k)
-	inv := make([][]byte, k)
-	for i, f := range use {
-		x := byte(f.Index + 1)
-		m[i] = make([]byte, k)
-		inv[i] = make([]byte, k)
-		for j := 0; j < k; j++ {
-			m[i][j] = gfPow(x, j)
-		}
-		inv[i][i] = 1
-	}
-	if err := gaussInvert(m, inv); err != nil {
+	inv, err := invertedMatrix(k, use)
+	if err != nil {
 		return nil, err
 	}
 
 	// payload row j, column c = sum_i inv[j][i] * use[i].Data[c].
 	payload := make([]byte, k*cols)
-	for j := 0; j < k; j++ {
-		for c := 0; c < cols; c++ {
-			var acc byte
-			for i := 0; i < k; i++ {
-				acc ^= gfMul(inv[j][i], use[i].Data[c])
+	runChunks(cols, func(lo, hi int) {
+		for j := 0; j < k; j++ {
+			row, dst := inv[j], payload[j*cols+lo:j*cols+hi]
+			galMulSlice(row[0], use[0].Data[lo:hi], dst)
+			for i := 1; i < k; i++ {
+				galMulSliceXor(row[i], use[i].Data[lo:hi], dst)
 			}
-			payload[j*cols+c] = acc
 		}
-	}
+	})
 
 	if len(payload) < 8 {
 		return nil, ErrCorruptLength

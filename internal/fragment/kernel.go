@@ -1,0 +1,295 @@
+package fragment
+
+// kernel.go — slice-wise GF(2^8) multiply-accumulate kernels behind
+// Split/Reconstruct (DESIGN.md §7.12). The scalar path multiplies one
+// byte at a time through the log/antilog tables, paying a gfPow and two
+// table indirections per term; the kernels below precompute, once per
+// process, two 16-entry nibble tables for every possible coefficient
+// (low[c][x] = c·x, high[c][x] = c·(x<<4), so c·b = low[c][b&0xf] ^
+// high[c][b>>4]) and stream whole columns through them eight bytes per
+// loop step — the classic pure-Go Reed-Solomon kernel shape. Vandermonde
+// row coefficients are cached per (k, n), inverted decode matrices are
+// LRU-cached per (k, index-set), and multi-megabyte encodes are chunked
+// across a bounded worker pool sized by SetEncodeParallelism.
+
+import (
+	"container/list"
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// mulTableLow[c][x] is c·x for x in 0..15; mulTableHigh[c][x] is
+// c·(x<<4). Together they resolve any GF(2^8) product with two small
+// array reads and one XOR. 8 KiB total, built once at init from the
+// table-free multiply so initialization order against gf256.go's
+// log-table init does not matter.
+var mulTableLow, mulTableHigh [256][16]byte
+
+func init() {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			mulTableLow[c][x] = mulNoTable(byte(c), byte(x))
+			mulTableHigh[c][x] = mulNoTable(byte(c), byte(x<<4))
+		}
+	}
+}
+
+// galMulSlice computes out[i] = c·in[i] for the whole slice. len(out)
+// must equal len(in).
+func galMulSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		clear(out)
+		return
+	case 1:
+		copy(out, in)
+		return
+	}
+	low, high := &mulTableLow[c], &mulTableHigh[c]
+	in = in[:len(out)] // bounds-check hint: one len, checked once
+	i := 0
+	for ; i+8 <= len(in); i += 8 {
+		s := in[i : i+8 : i+8]
+		d := out[i : i+8 : i+8]
+		d[0] = low[s[0]&0xf] ^ high[s[0]>>4]
+		d[1] = low[s[1]&0xf] ^ high[s[1]>>4]
+		d[2] = low[s[2]&0xf] ^ high[s[2]>>4]
+		d[3] = low[s[3]&0xf] ^ high[s[3]>>4]
+		d[4] = low[s[4]&0xf] ^ high[s[4]>>4]
+		d[5] = low[s[5]&0xf] ^ high[s[5]>>4]
+		d[6] = low[s[6]&0xf] ^ high[s[6]>>4]
+		d[7] = low[s[7]&0xf] ^ high[s[7]>>4]
+	}
+	for ; i < len(in); i++ {
+		out[i] = low[in[i]&0xf] ^ high[in[i]>>4]
+	}
+}
+
+// galMulSliceXor accumulates out[i] ^= c·in[i] for the whole slice.
+// len(out) must equal len(in).
+func galMulSliceXor(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorSlice(in, out)
+		return
+	}
+	low, high := &mulTableLow[c], &mulTableHigh[c]
+	in = in[:len(out)]
+	i := 0
+	for ; i+8 <= len(in); i += 8 {
+		s := in[i : i+8 : i+8]
+		d := out[i : i+8 : i+8]
+		d[0] ^= low[s[0]&0xf] ^ high[s[0]>>4]
+		d[1] ^= low[s[1]&0xf] ^ high[s[1]>>4]
+		d[2] ^= low[s[2]&0xf] ^ high[s[2]>>4]
+		d[3] ^= low[s[3]&0xf] ^ high[s[3]>>4]
+		d[4] ^= low[s[4]&0xf] ^ high[s[4]>>4]
+		d[5] ^= low[s[5]&0xf] ^ high[s[5]>>4]
+		d[6] ^= low[s[6]&0xf] ^ high[s[6]>>4]
+		d[7] ^= low[s[7]&0xf] ^ high[s[7]>>4]
+	}
+	for ; i < len(in); i++ {
+		out[i] ^= low[in[i]&0xf] ^ high[in[i]>>4]
+	}
+}
+
+// xorSlice is the c==1 accumulate path: word-at-a-time XOR.
+func xorSlice(in, out []byte) {
+	in = in[:len(out)]
+	i := 0
+	for ; i+8 <= len(in); i += 8 {
+		binary.LittleEndian.PutUint64(out[i:],
+			binary.LittleEndian.Uint64(out[i:])^binary.LittleEndian.Uint64(in[i:]))
+	}
+	for ; i < len(in); i++ {
+		out[i] ^= in[i]
+	}
+}
+
+// encodeRowCache caches the Vandermonde row coefficients per (k, n):
+// row i is [1, x_i, x_i^2, ..., x_i^(k-1)] with x_i = i+1. The rows are
+// tiny (n·k bytes) and immutable once built, so a grow-only sync.Map is
+// enough.
+var encodeRowCache sync.Map // uint32(k)<<16 | uint32(n) -> [][]byte
+
+// encodeRows returns the cached n×k coefficient matrix for a (k, n)
+// dispersal geometry.
+func encodeRows(k, n int) [][]byte {
+	key := uint32(k)<<16 | uint32(n)
+	if rows, ok := encodeRowCache.Load(key); ok {
+		return rows.([][]byte)
+	}
+	rows := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		x := byte(i + 1)
+		rows[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			rows[i][j] = gfPow(x, j)
+		}
+	}
+	actual, _ := encodeRowCache.LoadOrStore(key, rows)
+	return actual.([][]byte)
+}
+
+// decodeMatrixCacheSize bounds the inverted decode-matrix LRU. Each entry
+// is a k×k byte matrix keyed by its (k, index-set); a store reading one
+// geometry in the steady state hits a handful of index-sets (the healthy
+// wave plus failure permutations), so a small cache absorbs them all.
+const decodeMatrixCacheSize = 128
+
+// decodeMatrixCache is the LRU of inverted Vandermonde submatrices keyed
+// by (k, chosen indices). Gauss–Jordan inversion is O(k³) and allocates;
+// reads in the steady state reuse the same index-set every time, so the
+// cache turns per-read inversion into a map hit.
+var decodeMatrixCache = struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are matrixEntry
+}{entries: make(map[string]*list.Element), order: list.New()}
+
+type matrixEntry struct {
+	key string
+	inv [][]byte
+}
+
+// invertedMatrix returns the inverse of the k×k Vandermonde submatrix
+// whose rows correspond to the given fragment indices, from the LRU when
+// cached.
+func invertedMatrix(k int, use []*Fragment) ([][]byte, error) {
+	var keyBuf [256]byte
+	keyBuf[0] = byte(k)
+	for i, f := range use {
+		keyBuf[i+1] = byte(f.Index)
+	}
+	key := string(keyBuf[:k+1])
+
+	c := &decodeMatrixCache
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		inv := el.Value.(matrixEntry).inv
+		c.mu.Unlock()
+		return inv, nil
+	}
+	c.mu.Unlock()
+
+	m := make([][]byte, k)
+	inv := make([][]byte, k)
+	for i, f := range use {
+		x := byte(f.Index + 1)
+		m[i] = make([]byte, k)
+		inv[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			m[i][j] = gfPow(x, j)
+		}
+		inv[i][i] = 1
+	}
+	if err := gaussInvert(m, inv); err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = c.order.PushFront(matrixEntry{key: key, inv: inv})
+		for c.order.Len() > decodeMatrixCacheSize {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(matrixEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return inv, nil
+}
+
+// encodeParallelism holds the worker bound for chunked encodes/decodes;
+// 0 means GOMAXPROCS.
+var encodeParallelism atomic.Int32
+
+// SetEncodeParallelism bounds how many goroutines a single large
+// Split/Reconstruct may fan column chunks across. n <= 0 restores the
+// default (GOMAXPROCS at call time). 1 forces fully serial kernels.
+func SetEncodeParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	encodeParallelism.Store(int32(n))
+}
+
+// EncodeParallelism reports the effective worker bound.
+func EncodeParallelism() int {
+	if p := int(encodeParallelism.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+const (
+	// parallelChunkCols is the column count of one parallel work unit.
+	parallelChunkCols = 64 << 10
+	// parallelMinCols is the column count at which a matrix operation
+	// starts fanning chunks across workers; below it goroutine handoff
+	// costs more than it saves.
+	parallelMinCols = 2 * parallelChunkCols
+)
+
+// runChunks applies fn to column ranges [lo, hi) covering [0, cols),
+// serially for small inputs and across the bounded worker pool for large
+// ones. fn must be safe to call concurrently on disjoint ranges.
+func runChunks(cols int, fn func(lo, hi int)) {
+	workers := EncodeParallelism()
+	if workers <= 1 || cols < parallelMinCols {
+		fn(0, cols)
+		return
+	}
+	chunks := (cols + parallelChunkCols - 1) / parallelChunkCols
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * parallelChunkCols
+				hi := lo + parallelChunkCols
+				if hi > cols {
+					hi = cols
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// payloadPool recycles the padded k×cols staging buffer Split assembles
+// the length-prefixed payload in. The buffer never escapes (fragment data
+// lives in its own slab), so pooling it removes the largest encode-path
+// allocation for hot writers.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getPayload returns a pooled buffer of the exact requested length with
+// zeroed content beyond from (the caller overwrites [0, from)).
+func getPayload(n, from int) *[]byte {
+	bufp := payloadPool.Get().(*[]byte)
+	if cap(*bufp) < n {
+		*bufp = make([]byte, n)
+		return bufp
+	}
+	*bufp = (*bufp)[:n]
+	clear((*bufp)[from:])
+	return bufp
+}
+
+// putPayload returns a staging buffer to the pool.
+func putPayload(bufp *[]byte) { payloadPool.Put(bufp) }

@@ -1,0 +1,343 @@
+package fragment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestKernelMatchesScalarMul exhaustively checks the nibble-table product
+// against the log/antilog multiply for every (a, b) pair.
+func TestKernelMatchesScalarMul(t *testing.T) {
+	var in, out [1]byte
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			in[0] = byte(b)
+			galMulSlice(byte(a), in[:], out[:])
+			if want := gfMul(byte(a), byte(b)); out[0] != want {
+				t.Fatalf("galMulSlice(%d, %d) = %d, want %d", a, b, out[0], want)
+			}
+		}
+	}
+}
+
+// TestSplitMatchesReference cross-checks the kernel encode against the
+// scalar reference over a spread of sizes and geometries, including
+// lengths that exercise the padded tail and the 8-byte unroll remainder.
+func TestSplitMatchesReference(t *testing.T) {
+	geoms := [][2]int{{1, 1}, {1, 3}, {2, 4}, {3, 5}, {4, 10}, {7, 13}}
+	sizes := []int{0, 1, 7, 8, 9, 63, 64, 65, 1023, 4096, 70000}
+	for _, g := range geoms {
+		k, n := g[0], g[1]
+		for _, size := range sizes {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i*131 + k)
+			}
+			fast, err := Split(data, k, n)
+			ref, rerr := SplitReference(data, k, n)
+			if (err == nil) != (rerr == nil) {
+				t.Fatalf("k=%d n=%d size=%d: err %v vs reference %v", k, n, size, err, rerr)
+			}
+			if err != nil {
+				continue
+			}
+			for i := range ref {
+				if fast[i].Index != ref[i].Index || fast[i].K != ref[i].K || !bytes.Equal(fast[i].Data, ref[i].Data) {
+					t.Fatalf("k=%d n=%d size=%d: fragment %d differs from reference", k, n, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructMatchesReference decodes from non-contiguous fragment
+// subsets with both implementations — exercising the decode-matrix cache
+// against per-call inversion — and checks both recover the original.
+func TestReconstructMatchesReference(t *testing.T) {
+	data := make([]byte, 12345)
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	frags, err := Split(data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]int{{0, 1, 2}, {4, 5, 6}, {0, 3, 6}, {1, 2, 5}, {6, 0, 3}, {5, 1, 4, 2}}
+	for _, idx := range subsets {
+		var sub []Fragment
+		for _, i := range idx {
+			sub = append(sub, frags[i])
+		}
+		fast, err := Reconstruct(sub)
+		if err != nil {
+			t.Fatalf("subset %v: %v", idx, err)
+		}
+		ref, err := ReconstructReference(sub)
+		if err != nil {
+			t.Fatalf("subset %v: reference: %v", idx, err)
+		}
+		if !bytes.Equal(fast, data) || !bytes.Equal(ref, data) {
+			t.Fatalf("subset %v: decode mismatch (fast ok=%v ref ok=%v)", idx, bytes.Equal(fast, data), bytes.Equal(ref, data))
+		}
+	}
+}
+
+// TestReconstructRejectsLikeReference checks the allocation-free
+// selection path errors exactly where the sort-based reference does:
+// duplicates among the chosen k, invalid indices, geometry mixups.
+func TestReconstructRejectsLikeReference(t *testing.T) {
+	frags, err := Split([]byte("reject-parity"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		in   []Fragment
+	}{
+		{"dup in lowest k", []Fragment{frags[0], frags[0], frags[1]}},
+		{"dup above lowest k", []Fragment{frags[0], frags[1], frags[3], frags[3]}},
+		{"negative index", []Fragment{frags[0], {Index: -1, K: 2, Data: frags[1].Data}}},
+		{"index 255 needed", []Fragment{frags[0], {Index: 255, K: 2, Data: frags[1].Data}}},
+		{"index 255 ignored", []Fragment{frags[0], frags[1], {Index: 255, K: 2, Data: frags[2].Data}}},
+		{"k mismatch", []Fragment{frags[0], {Index: 1, K: 3, Data: frags[1].Data}}},
+		{"length mismatch", []Fragment{frags[0], {Index: 1, K: 2, Data: frags[1].Data[:1]}}},
+		{"too few", frags[:1]},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		_, fastErr := Reconstruct(tc.in)
+		_, refErr := ReconstructReference(tc.in)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Errorf("%s: err %v vs reference %v", tc.name, fastErr, refErr)
+		}
+	}
+}
+
+// TestSplitAllocs bounds the encode path's allocations: the fragment
+// header slice, the shared share slab, the out-slice scaffolding — not a
+// payload staging buffer per call (pooled) and not n separate shares.
+func TestSplitAllocs(t *testing.T) {
+	data := make([]byte, 64<<10)
+	if _, err := Split(data, 3, 5); err != nil { // warm pool and row cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Split(data, 3, 5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("Split allocates %.1f times per call, want <= 4", allocs)
+	}
+}
+
+// TestReconstructAllocs bounds the decode path: with the index-set's
+// inverted matrix cached, what remains is the output payload plus the
+// chunk-closure scaffolding — no sort copy, no seen-map, no per-call
+// matrix inversion (the old path allocated ~10+ times per call).
+func TestReconstructAllocs(t *testing.T) {
+	data := make([]byte, 64<<10)
+	frags, err := Split(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := frags[1:4]
+	if _, err := Reconstruct(sub); err != nil { // warm the matrix cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Reconstruct(sub); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("Reconstruct allocates %.1f times per call, want <= 4", allocs)
+	}
+}
+
+// TestParallelEncodeMatchesSerial forces the chunked worker-pool path
+// (multi-chunk input, parallelism > 1) and compares against a fully
+// serial encode of the same input.
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	data := make([]byte, 3*parallelMinCols+1017) // cols > parallelMinCols for k<=3
+	for i := range data {
+		data[i] = byte(i * 251)
+	}
+	defer SetEncodeParallelism(0)
+	SetEncodeParallelism(4)
+	par, err := Split(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetEncodeParallelism(1)
+	ser, err := Split(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ser {
+		if !bytes.Equal(par[i].Data, ser[i].Data) {
+			t.Fatalf("fragment %d: parallel encode differs from serial", i)
+		}
+	}
+	SetEncodeParallelism(4)
+	got, err := Reconstruct(par[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("parallel reconstruct did not recover the data")
+	}
+}
+
+// TestDecodeMatrixCacheEviction fills the LRU past capacity and checks
+// decodes still succeed (a miss re-inverts) and the cache stays bounded.
+func TestDecodeMatrixCacheEviction(t *testing.T) {
+	data := []byte("eviction probe")
+	frags, err := Split(data, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(frags); i++ { // distinct index-sets > cache size
+		got, err := Reconstruct(frags[i : i+2])
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pair %d: wrong decode", i)
+		}
+	}
+	decodeMatrixCache.mu.Lock()
+	size, entries := decodeMatrixCache.order.Len(), len(decodeMatrixCache.entries)
+	decodeMatrixCache.mu.Unlock()
+	if size > decodeMatrixCacheSize || entries != size {
+		t.Fatalf("cache size %d (entries %d), want <= %d and consistent", size, entries, decodeMatrixCacheSize)
+	}
+}
+
+// FuzzGF256Kernels differentially fuzzes the slice-wise kernels against
+// the scalar reference: same fragments out of Split, same decode out of
+// Reconstruct (from a derived non-trivial subset), same accept/reject
+// verdicts. CI runs this for a 10s smoke on every push.
+func FuzzGF256Kernels(f *testing.F) {
+	f.Add([]byte("hello, dispersal"), uint8(2), uint8(2), uint8(0))
+	f.Add([]byte{}, uint8(0), uint8(0), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xa5}, 3000), uint8(3), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, extraRaw, pick uint8) {
+		k := int(kRaw%8) + 1
+		n := k + int(extraRaw%8)
+		fast, err := Split(data, k, n)
+		ref, rerr := SplitReference(data, k, n)
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("Split err=%v reference err=%v", err, rerr)
+		}
+		if err != nil {
+			return
+		}
+		for i := range ref {
+			if !bytes.Equal(fast[i].Data, ref[i].Data) {
+				t.Fatalf("fragment %d: kernel output differs from scalar reference", i)
+			}
+		}
+		// Decode from a rotated k-subset so non-lowest index-sets (and the
+		// matrix cache) get coverage too.
+		sub := make([]Fragment, 0, k)
+		for i := 0; i < k; i++ {
+			sub = append(sub, fast[(i+int(pick))%n])
+		}
+		got, err := Reconstruct(sub)
+		refGot, rerr := ReconstructReference(sub)
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("Reconstruct err=%v reference err=%v", err, rerr)
+		}
+		if err == nil && (!bytes.Equal(got, data) || !bytes.Equal(refGot, data)) {
+			t.Fatalf("decode mismatch: kernel ok=%v reference ok=%v", bytes.Equal(got, data), bytes.Equal(refGot, data))
+		}
+	})
+}
+
+// kernelBenchGeoms are the microbenchmark geometries the ISSUE tracks.
+var kernelBenchGeoms = []struct{ k, n int }{{2, 4}, {3, 5}}
+
+// kernelBenchSizes spans the R3 value range.
+var kernelBenchSizes = []int{64 << 10, 1 << 20, 4 << 20}
+
+func benchName(size, k, n int) string {
+	return fmt.Sprintf("%dKiB/k%dn%d", size>>10, k, n)
+}
+
+func BenchmarkSplit(b *testing.B) {
+	for _, g := range kernelBenchGeoms {
+		for _, size := range kernelBenchSizes {
+			data := make([]byte, size)
+			b.Run(benchName(size, g.k, g.n), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Split(data, g.k, g.n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSplitScalar(b *testing.B) {
+	for _, g := range kernelBenchGeoms {
+		for _, size := range kernelBenchSizes {
+			data := make([]byte, size)
+			b.Run(benchName(size, g.k, g.n), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					if _, err := SplitReference(data, g.k, g.n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	for _, g := range kernelBenchGeoms {
+		for _, size := range kernelBenchSizes {
+			data := make([]byte, size)
+			frags, err := Split(data, g.k, g.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := frags[:g.k]
+			b.Run(benchName(size, g.k, g.n), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Reconstruct(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkReconstructScalar(b *testing.B) {
+	for _, g := range kernelBenchGeoms {
+		for _, size := range kernelBenchSizes {
+			data := make([]byte, size)
+			frags, err := Split(data, g.k, g.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := frags[:g.k]
+			b.Run(benchName(size, g.k, g.n), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					if _, err := ReconstructReference(sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package fragment
+
+// reference.go — the original byte-at-a-time IDA implementation, retained
+// verbatim as the differential-testing baseline for the slice-wise
+// kernels. FuzzGF256Kernels proves Split/Reconstruct byte-identical to
+// SplitReference/ReconstructReference; the T7 benchmark and the
+// fragment microbenchmarks use the pair to report the kernel speedup.
+// Correctness arguments live with the fast path in ida.go.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SplitReference is the scalar reference implementation of Split: the
+// same Vandermonde dispersal computed one byte at a time through the
+// log/antilog tables. It exists for differential tests and benchmarks;
+// production callers use Split.
+func SplitReference(data []byte, k, n int) ([]Fragment, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrParams, k, n)
+	}
+
+	total := 8 + len(data)
+	padded := total + (k-total%k)%k
+	payload := make([]byte, padded)
+	binary.BigEndian.PutUint64(payload, uint64(len(data)))
+	copy(payload[8:], data)
+	cols := len(payload) / k
+
+	frags := make([]Fragment, n)
+	for i := range frags {
+		frags[i] = Fragment{Index: i, K: k, Data: make([]byte, cols)}
+	}
+	for c := 0; c < cols; c++ {
+		for i := 0; i < n; i++ {
+			x := byte(i + 1)
+			var acc byte
+			for j := 0; j < k; j++ {
+				acc ^= gfMul(gfPow(x, j), payload[j*cols+c])
+			}
+			frags[i].Data[c] = acc
+		}
+	}
+	return frags, nil
+}
+
+// ReconstructReference is the scalar reference implementation of
+// Reconstruct: copy-and-sort selection, per-call matrix inversion, and a
+// byte-at-a-time decode loop. It exists for differential tests and
+// benchmarks; production callers use Reconstruct.
+func ReconstructReference(frags []Fragment) ([]byte, error) {
+	if len(frags) == 0 {
+		return nil, ErrInsufficient
+	}
+	k := frags[0].K
+	if len(frags) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficient, len(frags), k)
+	}
+	sorted := append([]Fragment(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	use := sorted[:k]
+	cols := len(use[0].Data)
+	seen := make(map[int]bool, k)
+	for _, f := range use {
+		if f.K != k || len(f.Data) != cols {
+			return nil, ErrInconsistent
+		}
+		if f.Index < 0 || f.Index > 254 || seen[f.Index] {
+			return nil, fmt.Errorf("%w: duplicate or invalid index %d", ErrSingular, f.Index)
+		}
+		seen[f.Index] = true
+	}
+
+	m := make([][]byte, k)
+	inv := make([][]byte, k)
+	for i, f := range use {
+		x := byte(f.Index + 1)
+		m[i] = make([]byte, k)
+		inv[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			m[i][j] = gfPow(x, j)
+		}
+		inv[i][i] = 1
+	}
+	if err := gaussInvert(m, inv); err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, k*cols)
+	for j := 0; j < k; j++ {
+		for c := 0; c < cols; c++ {
+			var acc byte
+			for i := 0; i < k; i++ {
+				acc ^= gfMul(inv[j][i], use[i].Data[c])
+			}
+			payload[j*cols+c] = acc
+		}
+	}
+
+	if len(payload) < 8 {
+		return nil, ErrCorruptLength
+	}
+	length := binary.BigEndian.Uint64(payload)
+	if length > uint64(len(payload)-8) {
+		return nil, fmt.Errorf("%w: claims %d bytes, payload %d", ErrCorruptLength, length, len(payload)-8)
+	}
+	return payload[8 : 8+length], nil
+}

@@ -17,10 +17,14 @@
 // cannot concentrate fragments because equal stamps never overwrite: each
 // honest server keeps exactly the one share addressed to it.
 //
-// Reads gather n-b replies, bucket verified fragments by their full stamp
-// (time, writer, cross-digest), reconstruct the newest bucket holding k
-// index-distinct shares, and then re-disperse the result to confirm it
-// regenerates the signed cross-checksum. That last check is what defeats
+// Reads wait for n-b distinct replies but fetch full shares selectively
+// (read.go): k servers are asked for shares and the rest of the first
+// max(k+b, n-b) for cheap stamp probes, with targeted escalation and a
+// latency-derived hedge covering stragglers and adversaries. Verified
+// fragments are bucketed by their full stamp (time, writer,
+// cross-digest), the newest bucket holding k index-distinct shares is
+// reconstructed, and the result re-dispersed to confirm it regenerates
+// the signed cross-checksum. That last check is what defeats
 // an equivocating *writer*: a client that signs a checksum vector not
 // produced by any single dispersal could otherwise make two honest
 // readers — reaching different k-subsets — reconstruct different values.
@@ -30,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"securestore/internal/accessctl"
@@ -99,12 +104,65 @@ type Config struct {
 	Metrics *metrics.Counters
 	// CallTimeout bounds each scatter/gather (default 2s).
 	CallTimeout time.Duration
+	// HedgeDelay tunes the fragmented read's straggler hedge: zero
+	// (default) derives the delay from the store's observed whole-read
+	// latency (~3x p99, clamped to [1ms, CallTimeout/2], CallTimeout/4
+	// until warmed up), a positive value fixes it, and a negative value
+	// disables hedging — a stalled initial wave then waits out
+	// CallTimeout.
+	HedgeDelay time.Duration
 }
 
 // Store is a fragmented-store client session.
 type Store struct {
 	cfg   Config
 	clock timestamp.Clock
+	// readDur samples whole-read gather durations; the adaptive hedge
+	// delay derives from its p99.
+	readDur metrics.Histogram
+	// verifiedCross memoizes cross-checksum digests whose full-vector
+	// re-dispersal check passed (crossConsistent). The digest commits to
+	// (k, n, cross), and any k-subset of a passing version decodes the
+	// same value, so a hit soundly skips the per-read re-encode + n-share
+	// hash — the dominant CPU of steady-state reads. FIFO-bounded; only
+	// passing vectors enter, so a poisoned dispersal is re-checked (and
+	// re-refused) every time.
+	verifiedMu    sync.Mutex
+	verifiedCross map[[32]byte]struct{}
+	verifiedOrder [][32]byte
+	verifiedNext  int
+}
+
+// verifiedCrossSize bounds the verified cross-checksum memo: entries are
+// 32 bytes, and a client's working set of fragmented items rarely has
+// more than a few hundred live versions at once.
+const verifiedCrossSize = 512
+
+// crossVerified reports whether digest's dispersal already passed the
+// full-vector check.
+func (s *Store) crossVerified(digest [32]byte) bool {
+	s.verifiedMu.Lock()
+	_, ok := s.verifiedCross[digest]
+	s.verifiedMu.Unlock()
+	return ok
+}
+
+// markCrossVerified records a passing dispersal, evicting FIFO at the
+// bound.
+func (s *Store) markCrossVerified(digest [32]byte) {
+	s.verifiedMu.Lock()
+	defer s.verifiedMu.Unlock()
+	if _, ok := s.verifiedCross[digest]; ok {
+		return
+	}
+	if len(s.verifiedOrder) < verifiedCrossSize {
+		s.verifiedOrder = append(s.verifiedOrder, digest)
+	} else {
+		delete(s.verifiedCross, s.verifiedOrder[s.verifiedNext])
+		s.verifiedOrder[s.verifiedNext] = digest
+		s.verifiedNext = (s.verifiedNext + 1) % verifiedCrossSize
+	}
+	s.verifiedCross[digest] = struct{}{}
 }
 
 // New validates the configuration: the feasibility bound b < k <= n-b
@@ -134,7 +192,7 @@ func New(cfg Config) (*Store, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
-	return &Store{cfg: cfg}, nil
+	return &Store{cfg: cfg, verifiedCross: make(map[[32]byte]struct{})}, nil
 }
 
 // K returns the reconstruction threshold in use.
@@ -163,6 +221,7 @@ func (s *Store) Write(ctx context.Context, item string, value []byte) (timestamp
 func (s *Store) WriteAbove(ctx context.Context, item string, value []byte, floor uint64) (timestamp.Stamp, error) {
 	servers := s.serversFor(item)
 	n := len(servers)
+	encStart := time.Now()
 	frags, err := fragment.Split(value, s.cfg.K, n)
 	if err != nil {
 		return timestamp.Stamp{}, fmt.Errorf("fragstore write %s: %w", item, err)
@@ -175,6 +234,7 @@ func (s *Store) WriteAbove(ctx context.Context, item string, value []byte, floor
 	for i, f := range frags {
 		cross[i] = cryptoutil.Digest(f.Data)
 	}
+	s.cfg.Metrics.ObserveFragEncode(time.Since(encStart))
 	envs := make([]*wire.FragmentEnvelope, n)
 	for i, f := range frags {
 		envs[i] = &wire.FragmentEnvelope{Index: f.Index, K: s.cfg.K, N: n, Cross: cross, Share: f.Data}
@@ -184,6 +244,10 @@ func (s *Store) WriteAbove(ctx context.Context, item string, value []byte, floor
 		Writer: s.cfg.Key.ID,
 		Digest: envs[0].CrossDigest(),
 	}
+	// One honest Split produced this vector, so it is consistent by
+	// construction: seed the memo and the writer's own read-back skips
+	// the re-dispersal check.
+	s.markCrossVerified(stamp.Digest)
 
 	// One signature for all n writes: the envelopes differ only in index
 	// and share, neither of which the signing bytes cover directly — the
@@ -224,141 +288,19 @@ func (s *Store) WriteAbove(ctx context.Context, item string, value []byte, floor
 	return stamp, nil
 }
 
-// Read gathers fragments from the item's replicas and reconstructs the
-// newest version for which k verifiable fragments with distinct indices
-// exist — then confirms the result re-disperses to the signed
-// cross-checksum before returning it.
-func (s *Store) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
-	servers := s.serversFor(item)
-	n := len(servers)
-
-	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
-	defer cancel()
-
-	replies, err := quorum.GatherAll(opCtx, s.cfg.Caller, servers, func(string) wire.Request {
-		return wire.ValueReq{Client: s.cfg.ID, Group: s.cfg.Group, Item: item, Token: s.cfg.Token}
-	}, n-s.cfg.B)
-	if err != nil {
-		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, err)
-	}
-
-	// Bucket verified fragments by their full stamp — (time, writer,
-	// cross-digest). Verify has already pinned each reply to its signer
-	// (stamp.Writer == signature), its cross-checksum (stamp.Digest ==
-	// CrossDigest) and its own share (digest(share) == cross[index]), so
-	// a bucket can only ever mix shares of one writer's one dispersal:
-	// concurrent writers with colliding times land in separate buckets
-	// instead of reconstructing interleaved garbage. Keying by fragment
-	// index keeps a replayed duplicate from counting twice.
-	type versionKey struct {
-		time   uint64
-		writer string
-	}
-	byStamp := make(map[timestamp.Stamp]map[int]fragment.Fragment)
-	// crossByStamp keeps each bucket's full cross-checksum vector for the
-	// post-reconstruction consistency check. All envelopes in one bucket
-	// carry the same vector: the stamp's digest commits to it.
-	crossByStamp := make(map[timestamp.Stamp][][32]byte)
-	crossSeen := make(map[versionKey][32]byte)
-	// poisoned marks (time, writer) pairs under which the writer signed two
-	// different dispersals. Neither may be returned: any two reader quorums
-	// (n-b each) overlap in enough servers that both readers see both
-	// digests, so refusing every bucket of the pair keeps honest readers
-	// consistent with each other — they fall back to the same older version.
-	poisoned := make(map[versionKey]bool)
-	equivocated := false
-	for _, r := range quorum.Successes(replies) {
-		vr, ok := r.Resp.(wire.ValueResp)
-		if !ok || vr.Write == nil || vr.Write.Item != item || vr.Write.Group != s.cfg.Group {
-			continue
-		}
-		if err := vr.Write.Verify(s.cfg.Ring, s.cfg.Metrics); err != nil {
-			continue // tampered or mislabeled fragment: drop
-		}
-		env, err := wire.DecodeFragmentEnvelope(vr.Write.Value)
-		if err != nil {
-			continue // not a fragment envelope (e.g. a replicated value)
-		}
-		if env.K != s.cfg.K {
-			s.cfg.Metrics.AddCustom(MetricKMismatch, 1)
-			continue
-		}
-		if env.N != n || env.Index < 0 || env.Index >= n {
-			// Geometry from some other replica set: its indices do not
-			// name rows of this item's n-row dispersal matrix, so letting
-			// them into a bucket would corrupt the k-distinct count.
-			s.cfg.Metrics.AddCustom(MetricBadIndex, 1)
-			continue
-		}
-		key := versionKey{time: vr.Write.Stamp.Time, writer: vr.Write.Stamp.Writer}
-		if prev, ok := crossSeen[key]; ok && prev != vr.Write.Stamp.Digest {
-			// Same (time, writer), two cross-checksums: the writer signed
-			// two different dispersals under one version number.
-			if !poisoned[key] {
-				s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
-			}
-			poisoned[key] = true
-			equivocated = true
-		} else {
-			crossSeen[key] = vr.Write.Stamp.Digest
-		}
-		set, ok := byStamp[vr.Write.Stamp]
-		if !ok {
-			set = make(map[int]fragment.Fragment)
-			byStamp[vr.Write.Stamp] = set
-			crossByStamp[vr.Write.Stamp] = env.Cross
-		}
-		set[env.Index] = fragment.Fragment{Index: env.Index, K: env.K, Data: env.Share}
-	}
-
-	// Walk candidate versions newest-first: reconstruct, then re-disperse
-	// and compare against the signed cross-checksum. A version that fails
-	// the re-check was poisoned by its writer and is skipped (counted),
-	// falling back to the newest honest version below it.
-	for {
-		var (
-			best      timestamp.Stamp
-			bestFrags []fragment.Fragment
-		)
-		for stamp, set := range byStamp {
-			if len(set) < s.cfg.K || poisoned[versionKey{time: stamp.Time, writer: stamp.Writer}] {
-				continue
-			}
-			if bestFrags == nil || best.Less(stamp) {
-				best = stamp
-				bestFrags = bestFrags[:0]
-				for _, f := range set {
-					bestFrags = append(bestFrags, f)
-				}
-			}
-		}
-		if bestFrags == nil {
-			if equivocated {
-				return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrEquivocation, item)
-			}
-			return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrNotEnoughFragments, item)
-		}
-
-		value, err := fragment.Reconstruct(bestFrags)
-		if err == nil && s.crossConsistent(value, crossByStamp[best]) {
-			return value, best, nil
-		}
-		// Reconstruction failed or did not regenerate the signed
-		// cross-checksum: the dispersal was never consistent, so any
-		// other k-subset could decode differently. Refuse this version.
-		s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
-		equivocated = true
-		delete(byStamp, best)
-	}
-}
-
 // crossConsistent re-disperses a reconstructed value and checks that ALL
 // n regenerated shares match the cross-checksum the writer signed — not
 // just the k shares this read happened to use, which any reconstruction
 // regenerates trivially. Only a checksum vector produced by one honest
 // Split passes at every index, so two correct readers reaching different
 // k-subsets either both accept the same value or both reject the version.
-func (s *Store) crossConsistent(value []byte, cross [][32]byte) bool {
+// digest is the stamp's cross-digest — H(magic, k, n, cross) — used to
+// memoize passing vectors (see verifiedCross): a version's first read
+// pays the full re-dispersal, steady-state re-reads skip it.
+func (s *Store) crossConsistent(digest [32]byte, value []byte, cross [][32]byte) bool {
+	if s.crossVerified(digest) {
+		return true
+	}
 	refrags, err := fragment.Split(value, s.cfg.K, len(cross))
 	if err != nil {
 		return false
@@ -368,5 +310,6 @@ func (s *Store) crossConsistent(value []byte, cross [][32]byte) bool {
 			return false
 		}
 	}
+	s.markCrossVerified(digest)
 	return true
 }

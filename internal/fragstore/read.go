@@ -1,0 +1,410 @@
+package fragstore
+
+// read.go — the hedged fragmented read. The original read GatherAll-ed a
+// full share from all n replicas and waited for n-b, moving n/k times the
+// value across the wire to use k shares. This path keeps the same safety
+// decisions — nothing is returned before n-b distinct servers respond,
+// every poison/equivocation verdict still comes only from
+// signature-verified envelopes — but moves the bytes selectively:
+//
+//   - full ValueReqs go to the k lowest-indexed replicas, cheap MetaReq
+//     stamp probes to the rest of the first max(k+b, n-b) servers;
+//   - a stamp advert that could supersede the current candidate (newer,
+//     or same (time, writer) with a different cross-digest) triggers a
+//     targeted ValueReq to the advertiser — adverts are unauthenticated
+//     scheduling hints, so they escalate fetches but never poison;
+//   - each failed call escalates one more ValueReq, the hedge timer
+//     (latency-derived, see Store.hedgeDelay) value-asks every remaining
+//     server once, and a no-candidate state at quorum escalates to all;
+//   - completion cancels everything still outstanding.
+//
+// In the healthy case a read therefore receives k shares plus tiny stamp
+// messages instead of n shares: ~n/k times fewer value bytes on the wire.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"securestore/internal/fragment"
+	"securestore/internal/quorum"
+	"securestore/internal/timestamp"
+	"securestore/internal/wire"
+)
+
+// hedgeWarmupSamples is how many whole-read latency samples the adaptive
+// hedge wants before trusting its p99; colder stores hedge at
+// CallTimeout/4.
+const hedgeWarmupSamples = 16
+
+// hedgeDelay resolves the straggler-hedge delay for one read: the
+// configured fixed value when set, hedging disabled when negative, and
+// otherwise ~3x the observed whole-read p99 clamped to [1ms,
+// CallTimeout/2] so a latency collapse cannot turn every read into a
+// full-fan-out one and a latency spike cannot postpone the hedge past the
+// call timeout.
+func (s *Store) hedgeDelay() time.Duration {
+	if s.cfg.HedgeDelay != 0 {
+		if s.cfg.HedgeDelay < 0 {
+			return 0 // disabled: GatherHedged never arms a non-positive timer
+		}
+		return s.cfg.HedgeDelay
+	}
+	snap := s.readDur.Snapshot()
+	if snap.Count < hedgeWarmupSamples {
+		return s.cfg.CallTimeout / 4
+	}
+	d := 3 * snap.P99
+	if min := time.Millisecond; d < min {
+		d = min
+	}
+	if max := s.cfg.CallTimeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// versionKey identifies one writer's version number: the unit of
+// equivocation. Two signed dispersals under one key poison both.
+type versionKey struct {
+	time   uint64
+	writer string
+}
+
+// supersedes reports whether an advertised stamp, if substantiated by a
+// verified envelope, could displace or poison the current candidate:
+// strictly newer, or the same version number with a different
+// cross-digest.
+func supersedes(adv, best timestamp.Stamp) bool {
+	return best.Less(adv) ||
+		(adv.Time == best.Time && adv.Writer == best.Writer && adv.Digest != best.Digest)
+}
+
+// readCollector is the planner behind one hedged fragmented read: it
+// absorbs replies, buckets verified fragments exactly as the original
+// full-fan-out read did, and decides which servers to contact next.
+type readCollector struct {
+	s       *Store
+	item    string
+	servers []string
+	n       int
+
+	// Verified-envelope state, identical in meaning to the original read:
+	// byStamp buckets fragments by full stamp, crossByStamp keeps each
+	// bucket's checksum vector, crossSeen/poisoned implement equivocation
+	// detection per (time, writer).
+	byStamp      map[timestamp.Stamp]map[int]fragment.Fragment
+	crossByStamp map[timestamp.Stamp][][32]byte
+	crossSeen    map[versionKey][32]byte
+	poisoned     map[versionKey]bool
+	equivocated  bool
+
+	// Scheduling state: which servers were sent a ValueReq, which
+	// responded at all (any request kind, the n-b floor counts distinct
+	// servers), which resolved or failed a ValueReq, and the stamp each
+	// meta-only responder advertised.
+	valueAsked   map[string]bool
+	valueGot     map[string]bool
+	valueFailed  map[string]bool
+	responded    map[string]bool
+	adverts      map[string]timestamp.Stamp
+	escalatedAll bool
+	errs         []error
+
+	// envBytes/envCount estimate the mean share envelope size for the
+	// bytes-saved metric.
+	envBytes int64
+	envCount int64
+
+	// Result, when got is set by an accepting evaluation.
+	value []byte
+	stamp timestamp.Stamp
+	got   bool
+}
+
+func newReadCollector(s *Store, item string, servers []string) *readCollector {
+	return &readCollector{
+		s: s, item: item, servers: servers, n: len(servers),
+		byStamp:      make(map[timestamp.Stamp]map[int]fragment.Fragment),
+		crossByStamp: make(map[timestamp.Stamp][][32]byte),
+		crossSeen:    make(map[versionKey][32]byte),
+		poisoned:     make(map[versionKey]bool),
+		valueAsked:   make(map[string]bool),
+		valueGot:     make(map[string]bool),
+		valueFailed:  make(map[string]bool),
+		responded:    make(map[string]bool),
+		adverts:      make(map[string]timestamp.Stamp),
+	}
+}
+
+// valueCall builds (and records) a full-share request to one server.
+func (c *readCollector) valueCall(srv string) quorum.Call {
+	c.valueAsked[srv] = true
+	return quorum.Call{Server: srv, Req: wire.ValueReq{
+		Client: c.s.cfg.ID, Group: c.s.cfg.Group, Item: c.item, Token: c.s.cfg.Token,
+	}}
+}
+
+// metaCall builds a stamp probe to one server.
+func (c *readCollector) metaCall(srv string) quorum.Call {
+	return quorum.Call{Server: srv, Req: wire.MetaReq{
+		Client: c.s.cfg.ID, Group: c.s.cfg.Group, Item: c.item, Token: c.s.cfg.Token,
+	}}
+}
+
+// initialWave contacts max(k+b, n-b) servers: full shares from the k
+// lowest-indexed (enough to reconstruct when all are honest and current),
+// stamp probes from the rest (enough distinct responders to clear the
+// n-b floor without a second round).
+func (c *readCollector) initialWave() []quorum.Call {
+	k, b := c.s.cfg.K, c.s.cfg.B
+	eager := k + b
+	if nb := c.n - b; nb > eager {
+		eager = nb
+	}
+	if eager > c.n {
+		eager = c.n
+	}
+	calls := make([]quorum.Call, 0, eager)
+	for _, srv := range c.servers[:k] {
+		calls = append(calls, c.valueCall(srv))
+	}
+	for _, srv := range c.servers[k:eager] {
+		calls = append(calls, c.metaCall(srv))
+	}
+	return calls
+}
+
+// askValues value-asks up to limit servers not yet sent a ValueReq, in
+// server order (limit < 0 means all).
+func (c *readCollector) askValues(limit int) []quorum.Call {
+	var calls []quorum.Call
+	for _, srv := range c.servers {
+		if limit >= 0 && len(calls) >= limit {
+			break
+		}
+		if !c.valueAsked[srv] {
+			calls = append(calls, c.valueCall(srv))
+		}
+	}
+	return calls
+}
+
+// hedge is the straggler escape hatch: when the timer fires before the
+// read completes, fetch a full share from every server not yet asked for
+// one.
+func (c *readCollector) hedge() []quorum.Call {
+	c.s.cfg.Metrics.AddFragReadHedge()
+	return c.askValues(-1)
+}
+
+// absorb folds one successful reply into the collector. The verification
+// pipeline for value replies is the original read's: signature, envelope
+// decode, geometry, equivocation bookkeeping, bucket insert.
+func (c *readCollector) absorb(r quorum.Reply) {
+	c.responded[r.Server] = true
+	switch resp := r.Resp.(type) {
+	case wire.MetaResp:
+		if resp.Has {
+			c.adverts[r.Server] = resp.Stamp
+		}
+	case wire.ValueResp:
+		c.valueGot[r.Server] = true
+		// The share itself (or proof the server has none worth keeping)
+		// supersedes the server's unauthenticated advert.
+		delete(c.adverts, r.Server)
+		vr := resp
+		if vr.Write == nil || vr.Write.Item != c.item || vr.Write.Group != c.s.cfg.Group {
+			return
+		}
+		if err := vr.Write.Verify(c.s.cfg.Ring, c.s.cfg.Metrics); err != nil {
+			return // tampered or mislabeled fragment: drop
+		}
+		env, err := wire.DecodeFragmentEnvelope(vr.Write.Value)
+		if err != nil {
+			return // not a fragment envelope (e.g. a replicated value)
+		}
+		if env.K != c.s.cfg.K {
+			c.s.cfg.Metrics.AddCustom(MetricKMismatch, 1)
+			return
+		}
+		if env.N != c.n || env.Index < 0 || env.Index >= c.n {
+			c.s.cfg.Metrics.AddCustom(MetricBadIndex, 1)
+			return
+		}
+		c.envBytes += int64(len(vr.Write.Value))
+		c.envCount++
+		key := versionKey{time: vr.Write.Stamp.Time, writer: vr.Write.Stamp.Writer}
+		if prev, ok := c.crossSeen[key]; ok && prev != vr.Write.Stamp.Digest {
+			// Same (time, writer), two signed cross-checksums: the writer
+			// signed two different dispersals under one version number.
+			if !c.poisoned[key] {
+				c.s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
+			}
+			c.poisoned[key] = true
+			c.equivocated = true
+		} else {
+			c.crossSeen[key] = vr.Write.Stamp.Digest
+		}
+		set, ok := c.byStamp[vr.Write.Stamp]
+		if !ok {
+			set = make(map[int]fragment.Fragment)
+			c.byStamp[vr.Write.Stamp] = set
+			c.crossByStamp[vr.Write.Stamp] = env.Cross
+		}
+		set[env.Index] = fragment.Fragment{Index: env.Index, K: env.K, Data: env.Share}
+	}
+}
+
+// evaluate looks for an acceptable version among the buckets. It returns
+// follow-up calls when more information is needed, and sets the result
+// fields when a version passes reconstruction plus the cross-checksum
+// re-check. With final set (the gather has drained) it neither waits nor
+// escalates: it decides on what arrived.
+func (c *readCollector) evaluate(final bool) (next []quorum.Call, done bool) {
+	k := c.s.cfg.K
+	for {
+		// Newest non-poisoned bucket holding k index-distinct shares.
+		var (
+			best      timestamp.Stamp
+			bestFrags []fragment.Fragment
+		)
+		for stamp, set := range c.byStamp {
+			if len(set) < k || c.poisoned[versionKey{time: stamp.Time, writer: stamp.Writer}] {
+				continue
+			}
+			if bestFrags == nil || best.Less(stamp) {
+				best = stamp
+				bestFrags = bestFrags[:0]
+				for _, f := range set {
+					bestFrags = append(bestFrags, f)
+				}
+			}
+		}
+		if bestFrags == nil {
+			if !final && !c.escalatedAll {
+				// Enough servers responded but no version is
+				// reconstructible from what they sent: fetch the shares the
+				// stamp probes only hinted at.
+				c.escalatedAll = true
+				return c.askValues(-1), false
+			}
+			return nil, false
+		}
+
+		if !final {
+			// An advert that could supersede the candidate must be
+			// substantiated (its signed envelope fetched) or fail before
+			// the candidate may win — an advert alone never poisons, but it
+			// always forces the fetch that would.
+			for srv, adv := range c.adverts {
+				if !supersedes(adv, best) {
+					continue
+				}
+				if !c.valueAsked[srv] {
+					next = append(next, c.valueCall(srv))
+					continue
+				}
+				if !c.valueGot[srv] && !c.valueFailed[srv] {
+					return next, false // fetch in flight: wait for it
+				}
+			}
+			if len(next) > 0 {
+				return next, false
+			}
+		}
+
+		start := time.Now()
+		value, err := fragment.Reconstruct(bestFrags)
+		ok := err == nil && c.s.crossConsistent(best.Digest, value, c.crossByStamp[best])
+		c.s.cfg.Metrics.ObserveFragDecode(time.Since(start))
+		if ok {
+			c.value, c.stamp, c.got = value, best, true
+			return nil, true
+		}
+		// Reconstruction failed or did not regenerate the signed
+		// cross-checksum: the dispersal was never consistent, so any other
+		// k-subset could decode differently. Refuse this version and fall
+		// back to the next newest.
+		c.s.cfg.Metrics.AddCustom(MetricEquivocation, 1)
+		c.equivocated = true
+		delete(c.byStamp, best)
+	}
+}
+
+// decide is the GatherHedged planner hook: absorb or escalate, and
+// evaluate once the distinct-responder floor is met.
+func (c *readCollector) decide(r quorum.Reply, outstanding int) ([]quorum.Call, bool) {
+	var next []quorum.Call
+	if r.Err != nil {
+		c.errs = append(c.errs, r.Err)
+		if c.valueAsked[r.Server] {
+			c.valueFailed[r.Server] = true
+		}
+		// One replacement full-share fetch per failure, staged-style.
+		next = c.askValues(1)
+	} else {
+		c.absorb(r)
+	}
+	if len(c.responded) >= c.n-c.s.cfg.B {
+		esc, done := c.evaluate(false)
+		if done {
+			return nil, true
+		}
+		next = append(next, esc...)
+	}
+	if len(next) == 0 && outstanding == 0 && !c.escalatedAll {
+		// Nothing in flight and no plan — the engine would drain short of
+		// the floor. Last resort: full shares from everyone left.
+		c.escalatedAll = true
+		next = c.askValues(-1)
+	}
+	return next, false
+}
+
+// Read gathers fragments from the item's replicas and reconstructs the
+// newest version for which k verifiable fragments with distinct indices
+// exist — then confirms the result re-disperses to the signed
+// cross-checksum before returning it. The fan-out is hedged (see the file
+// comment): full shares come from k servers in the common case, with
+// stamp probes covering the n-b distinct-responder floor.
+func (s *Store) Read(ctx context.Context, item string) ([]byte, timestamp.Stamp, error) {
+	servers := s.serversFor(item)
+	n := len(servers)
+
+	opCtx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
+	defer cancel()
+
+	col := newReadCollector(s, item, servers)
+	start := time.Now()
+	_, engineErr := quorum.GatherHedged(opCtx, s.cfg.Caller, col.initialWave(),
+		s.hedgeDelay(), col.hedge, col.decide)
+	s.readDur.Observe(time.Since(start))
+
+	// The engine drained (or the context expired) without an accepting
+	// evaluation: decide on everything that arrived, still gated on the
+	// n-b distinct-responder floor.
+	if !col.got && len(col.responded) >= n-s.cfg.B {
+		col.evaluate(true)
+	}
+	if col.got {
+		// Estimate the wire bytes the partial fan-out avoided: the mean
+		// share envelope observed, for every server never asked for one.
+		if col.envCount > 0 && len(col.valueAsked) < n {
+			s.cfg.Metrics.AddFragReadBytesSaved(col.envBytes / col.envCount * int64(n-len(col.valueAsked)))
+		}
+		return col.value, col.stamp, nil
+	}
+	if len(col.responded) < n-s.cfg.B {
+		errs := col.errs
+		if engineErr != nil {
+			errs = append(errs, engineErr)
+		}
+		ge := &quorum.GatherError{Need: n - s.cfg.B, Successes: len(col.responded), Servers: n, Errs: errs}
+		return nil, timestamp.Stamp{}, fmt.Errorf("fragstore read %s: %w", item, ge)
+	}
+	if col.equivocated {
+		return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrEquivocation, item)
+	}
+	return nil, timestamp.Stamp{}, fmt.Errorf("%w: item %s", ErrNotEnoughFragments, item)
+}

@@ -80,6 +80,18 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// Reset zeroes every bucket, the sum and the max.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
 // Snapshot copies the histogram state and precomputes the headline
 // percentiles. The copy is not atomic across buckets — concurrent
 // Observes may straddle it — but every count read is itself consistent,

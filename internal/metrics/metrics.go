@@ -61,6 +61,19 @@ type Counters struct {
 	txBytes sync.Map
 	rxBytes sync.Map
 
+	// Fragmented data-path visibility (DESIGN.md §7.12): fragEncode and
+	// fragDecode time the client-side IDA coding work
+	// (securestore_fragment_encode_seconds /
+	// securestore_fragment_decode_seconds on /metrics); fragReadHedges
+	// counts hedged fragmented reads whose straggler timer fired
+	// (securestore_frag_read_hedge_total); fragReadBytesSaved estimates the
+	// wire bytes the k+b read fan-out avoided versus the full-n share
+	// gather it replaced (securestore_frag_read_bytes_saved_total).
+	fragEncode         Histogram
+	fragDecode         Histogram
+	fragReadHedges     atomic.Int64
+	fragReadBytesSaved atomic.Int64
+
 	// shardOps maps shard names to *atomic.Int64 request totals
 	// (securestore_shard_ops_total on /metrics): on a replica, the
 	// requests its own shard served; on a routing client, the per-shard
@@ -108,6 +121,12 @@ type Snapshot struct {
 	WritevCalls int64 `json:"writevCalls,omitempty"`
 	// WritevFrames counts frames written across all vectored writes.
 	WritevFrames int64 `json:"writevFrames,omitempty"`
+	// FragReadHedges counts hedged fragmented reads whose straggler timer
+	// fired; FragReadBytesSaved estimates the wire bytes the k+b read
+	// fan-out avoided versus a full-n share gather.
+	FragReadHedges int64 `json:"fragReadHedges,omitempty"`
+	// FragReadBytesSaved estimates wire bytes avoided by partial fan-out.
+	FragReadBytesSaved int64 `json:"fragReadBytesSaved,omitempty"`
 	// ShardOps holds per-shard request totals (see Counters.AddShardOp).
 	ShardOps map[string]int64 `json:"shardOps,omitempty"`
 	// RoutingMismatches counts wrong-shard rejections observed.
@@ -228,6 +247,78 @@ func (c *Counters) AddWritevCall(frames int) {
 	c.writevCalls.Add(1)
 	c.writevFrames.Add(int64(frames))
 	c.writevFrameSizes.Observe(frames)
+}
+
+// ObserveFragEncode records the duration of one IDA dispersal (Split plus
+// cross-checksum computation) on the fragmented write path.
+func (c *Counters) ObserveFragEncode(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.fragEncode.Observe(d)
+}
+
+// ObserveFragDecode records the duration of one IDA reconstruction
+// (Reconstruct plus the cross-checksum consistency re-check) on the
+// fragmented read path.
+func (c *Counters) ObserveFragDecode(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.fragDecode.Observe(d)
+}
+
+// FragEncodeHist exposes the fragment-encode latency histogram (nil when
+// the receiver is nil).
+func (c *Counters) FragEncodeHist() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.fragEncode
+}
+
+// FragDecodeHist exposes the fragment-decode latency histogram (nil when
+// the receiver is nil).
+func (c *Counters) FragDecodeHist() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.fragDecode
+}
+
+// AddFragReadHedge records one hedged fragmented read: the straggler
+// timer fired before the initial k+b wave completed the read.
+func (c *Counters) AddFragReadHedge() {
+	if c == nil {
+		return
+	}
+	c.fragReadHedges.Add(1)
+}
+
+// FragReadHedges returns the number of hedge-timer fires recorded.
+func (c *Counters) FragReadHedges() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.fragReadHedges.Load()
+}
+
+// AddFragReadBytesSaved records an estimate of wire bytes a fragmented
+// read avoided by asking k+b servers for shares instead of all n.
+func (c *Counters) AddFragReadBytesSaved(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.fragReadBytesSaved.Add(n)
+}
+
+// FragReadBytesSaved returns the estimated wire bytes avoided by partial
+// read fan-out.
+func (c *Counters) FragReadBytesSaved() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.fragReadBytesSaved.Load()
 }
 
 // VerifyBatches returns the number of batched verification calls.
@@ -484,26 +575,28 @@ func (c *Counters) Snapshot() Snapshot {
 		return true
 	})
 	return Snapshot{
-		MessagesSent:      c.messagesSent.Load(),
-		BytesSent:         c.bytesSent.Load(),
-		Signatures:        c.signatures.Load(),
-		Verifications:     c.verifications.Load(),
-		VCacheHits:        c.vcacheHits.Load(),
-		VCacheMisses:      c.vcacheMisses.Load(),
-		Encryptions:       c.encryptions.Load(),
-		Decryptions:       c.decryptions.Load(),
-		StripeWaits:       c.stripeWaits.Load(),
-		WALBatches:        c.walBatches.Load(),
-		WALBatchRecords:   c.walBatchRecords.Load(),
-		VerifyBatches:     c.verifyBatches.Load(),
-		VerifyBatched:     c.verifyBatched.Load(),
-		WritevCalls:       c.writevCalls.Load(),
-		WritevFrames:      c.writevFrames.Load(),
-		Custom:            custom,
-		TxBytes:           snapshotLabeled(&c.txBytes),
-		RxBytes:           snapshotLabeled(&c.rxBytes),
-		ShardOps:          snapshotLabeled(&c.shardOps),
-		RoutingMismatches: c.routingMismatches.Load(),
+		MessagesSent:       c.messagesSent.Load(),
+		BytesSent:          c.bytesSent.Load(),
+		Signatures:         c.signatures.Load(),
+		Verifications:      c.verifications.Load(),
+		VCacheHits:         c.vcacheHits.Load(),
+		VCacheMisses:       c.vcacheMisses.Load(),
+		Encryptions:        c.encryptions.Load(),
+		Decryptions:        c.decryptions.Load(),
+		StripeWaits:        c.stripeWaits.Load(),
+		WALBatches:         c.walBatches.Load(),
+		WALBatchRecords:    c.walBatchRecords.Load(),
+		VerifyBatches:      c.verifyBatches.Load(),
+		VerifyBatched:      c.verifyBatched.Load(),
+		WritevCalls:        c.writevCalls.Load(),
+		WritevFrames:       c.writevFrames.Load(),
+		FragReadHedges:     c.fragReadHedges.Load(),
+		FragReadBytesSaved: c.fragReadBytesSaved.Load(),
+		Custom:             custom,
+		TxBytes:            snapshotLabeled(&c.txBytes),
+		RxBytes:            snapshotLabeled(&c.rxBytes),
+		ShardOps:           snapshotLabeled(&c.shardOps),
+		RoutingMismatches:  c.routingMismatches.Load(),
 	}
 }
 
@@ -529,6 +622,10 @@ func (c *Counters) Reset() {
 	c.writevCalls.Store(0)
 	c.writevFrames.Store(0)
 	c.writevFrameSizes.Reset()
+	c.fragEncode.Reset()
+	c.fragDecode.Reset()
+	c.fragReadHedges.Store(0)
+	c.fragReadBytesSaved.Store(0)
 	c.custom.Range(func(k, _ any) bool {
 		c.custom.Delete(k)
 		return true
@@ -576,26 +673,28 @@ func Diff(before, after Snapshot) Snapshot {
 		custom[k] = v - before.Custom[k]
 	}
 	return Snapshot{
-		MessagesSent:      after.MessagesSent - before.MessagesSent,
-		BytesSent:         after.BytesSent - before.BytesSent,
-		Signatures:        after.Signatures - before.Signatures,
-		Verifications:     after.Verifications - before.Verifications,
-		VCacheHits:        after.VCacheHits - before.VCacheHits,
-		VCacheMisses:      after.VCacheMisses - before.VCacheMisses,
-		Encryptions:       after.Encryptions - before.Encryptions,
-		Decryptions:       after.Decryptions - before.Decryptions,
-		StripeWaits:       after.StripeWaits - before.StripeWaits,
-		WALBatches:        after.WALBatches - before.WALBatches,
-		WALBatchRecords:   after.WALBatchRecords - before.WALBatchRecords,
-		VerifyBatches:     after.VerifyBatches - before.VerifyBatches,
-		VerifyBatched:     after.VerifyBatched - before.VerifyBatched,
-		WritevCalls:       after.WritevCalls - before.WritevCalls,
-		WritevFrames:      after.WritevFrames - before.WritevFrames,
-		Custom:            custom,
-		TxBytes:           diffLabeled(before.TxBytes, after.TxBytes),
-		RxBytes:           diffLabeled(before.RxBytes, after.RxBytes),
-		ShardOps:          diffLabeled(before.ShardOps, after.ShardOps),
-		RoutingMismatches: after.RoutingMismatches - before.RoutingMismatches,
+		MessagesSent:       after.MessagesSent - before.MessagesSent,
+		BytesSent:          after.BytesSent - before.BytesSent,
+		Signatures:         after.Signatures - before.Signatures,
+		Verifications:      after.Verifications - before.Verifications,
+		VCacheHits:         after.VCacheHits - before.VCacheHits,
+		VCacheMisses:       after.VCacheMisses - before.VCacheMisses,
+		Encryptions:        after.Encryptions - before.Encryptions,
+		Decryptions:        after.Decryptions - before.Decryptions,
+		StripeWaits:        after.StripeWaits - before.StripeWaits,
+		WALBatches:         after.WALBatches - before.WALBatches,
+		WALBatchRecords:    after.WALBatchRecords - before.WALBatchRecords,
+		VerifyBatches:      after.VerifyBatches - before.VerifyBatches,
+		VerifyBatched:      after.VerifyBatched - before.VerifyBatched,
+		WritevCalls:        after.WritevCalls - before.WritevCalls,
+		WritevFrames:       after.WritevFrames - before.WritevFrames,
+		FragReadHedges:     after.FragReadHedges - before.FragReadHedges,
+		FragReadBytesSaved: after.FragReadBytesSaved - before.FragReadBytesSaved,
+		Custom:             custom,
+		TxBytes:            diffLabeled(before.TxBytes, after.TxBytes),
+		RxBytes:            diffLabeled(before.RxBytes, after.RxBytes),
+		ShardOps:           diffLabeled(before.ShardOps, after.ShardOps),
+		RoutingMismatches:  after.RoutingMismatches - before.RoutingMismatches,
 	}
 }
 

@@ -1,0 +1,111 @@
+package quorum
+
+// hedged.go — a planner-driven scatter for partial fan-out reads. Where
+// GatherAll contacts every server and GatherStaged expands one server per
+// failure, GatherHedged lets the caller steer the fan-out reply by reply:
+// an initial wave of per-server calls (possibly of different request
+// kinds — full-share fetches to some servers, cheap metadata probes to
+// others), follow-up calls decided from each resolution, and a one-shot
+// hedge wave launched when a latency-derived delay elapses before the
+// operation completes. The fragmented read path (internal/fragstore) uses
+// it to contact k+b replicas instead of all n in the common case.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"securestore/internal/transport"
+	"securestore/internal/wire"
+)
+
+// Call names one request to send to one server.
+type Call struct {
+	Server string
+	Req    wire.Request
+}
+
+// HedgeResult is the outcome of a GatherHedged run.
+type HedgeResult struct {
+	// Replies holds every resolution collected before completion, in
+	// arrival order.
+	Replies []Reply
+	// Hedged reports whether the hedge timer fired and its wave was
+	// launched.
+	Hedged bool
+}
+
+// GatherHedged launches the initial calls concurrently and then lets
+// decide steer: after every resolution (success or failure) decide
+// receives the reply plus the number of still-outstanding calls and
+// returns follow-up calls to launch and whether the operation is
+// complete. When hedgeDelay elapses before completion (and hedge is
+// non-nil), hedge() is invoked exactly once and its calls are launched —
+// the slow-straggler escape hatch. The engine returns when decide reports
+// done, when every launched call has resolved, or when ctx expires;
+// outstanding calls are cancelled on return and their goroutines exit
+// without blocking. Completion semantics live entirely in the planner:
+// a drained engine without done is not an error here.
+func GatherHedged(ctx context.Context, caller transport.Caller, initial []Call,
+	hedgeDelay time.Duration, hedge func() []Call,
+	decide func(r Reply, outstanding int) (next []Call, done bool)) (HedgeResult, error) {
+
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Senders offer their reply under the call context so that a
+	// goroutine resolving after completion never blocks on the channel —
+	// cancel() releases it and the reply is dropped.
+	replies := make(chan Reply)
+	var wg sync.WaitGroup
+	launch := func(c Call) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := call(callCtx, caller, c.Server, c.Req)
+			select {
+			case replies <- Reply{Server: c.Server, Resp: resp, Err: err}:
+			case <-callCtx.Done():
+			}
+		}()
+	}
+
+	var res HedgeResult
+	for _, c := range initial {
+		launch(c)
+	}
+	outstanding := len(initial)
+
+	var hedgeCh <-chan time.Time
+	if hedge != nil && hedgeDelay > 0 {
+		timer := time.NewTimer(hedgeDelay)
+		defer timer.Stop()
+		hedgeCh = timer.C
+	}
+
+	for outstanding > 0 {
+		select {
+		case r := <-replies:
+			outstanding--
+			res.Replies = append(res.Replies, r)
+			next, done := decide(r, outstanding)
+			if done {
+				return res, nil
+			}
+			for _, c := range next {
+				launch(c)
+				outstanding++
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			res.Hedged = true
+			for _, c := range hedge() {
+				launch(c)
+				outstanding++
+			}
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package quorum
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"securestore/internal/wire"
+)
+
+// scriptCaller routes each call through a per-server handler; handlers
+// run on the engine's goroutines and may block on ctx.
+type scriptCaller struct {
+	handlers map[string]func(ctx context.Context, req wire.Request) (wire.Response, error)
+}
+
+func (c *scriptCaller) Call(ctx context.Context, to string, req wire.Request) (wire.Response, error) {
+	h, ok := c.handlers[to]
+	if !ok {
+		return nil, errors.New("no handler for " + to)
+	}
+	return h(ctx, req)
+}
+
+func (c *scriptCaller) Origin() string { return "test" }
+
+func ping() wire.Request { return wire.MetaReq{Client: "test", Group: "g", Item: "x"} }
+
+func ok(ctx context.Context, req wire.Request) (wire.Response, error) {
+	return wire.MetaResp{Has: true}, nil
+}
+
+func stalled(ctx context.Context, req wire.Request) (wire.Response, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestGatherHedgedCompletesWithoutHedge: the initial wave answers, decide
+// declares done, the hedge never fires.
+func TestGatherHedgedCompletesWithoutHedge(t *testing.T) {
+	caller := &scriptCaller{handlers: map[string]func(context.Context, wire.Request) (wire.Response, error){
+		"a": ok, "b": ok,
+	}}
+	var hedges atomic.Int32
+	got := 0
+	res, err := GatherHedged(context.Background(), caller,
+		[]Call{{"a", ping()}, {"b", ping()}},
+		time.Hour, func() []Call { hedges.Add(1); return nil },
+		func(r Reply, outstanding int) ([]Call, bool) {
+			if r.Err != nil {
+				t.Fatalf("unexpected error: %v", r.Err)
+			}
+			got++
+			return nil, got == 2
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hedged || hedges.Load() != 0 {
+		t.Fatal("hedge fired on a healthy wave")
+	}
+	if len(res.Replies) != 2 {
+		t.Fatalf("collected %d replies, want 2", len(res.Replies))
+	}
+}
+
+// TestGatherHedgedFiresOnStall: one initial call stalls, the hedge wave
+// completes the operation, and the stalled goroutine exits on cancel.
+func TestGatherHedgedFiresOnStall(t *testing.T) {
+	caller := &scriptCaller{handlers: map[string]func(context.Context, wire.Request) (wire.Response, error){
+		"a": ok, "slow": stalled, "c": ok,
+	}}
+	start := time.Now()
+	res, err := GatherHedged(context.Background(), caller,
+		[]Call{{"a", ping()}, {"slow", ping()}},
+		20*time.Millisecond, func() []Call { return []Call{{"c", ping()}} },
+		func(r Reply, outstanding int) ([]Call, bool) {
+			return nil, r.Err == nil && r.Server == "c"
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatal("hedge did not fire")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled call blocked completion for %v", elapsed)
+	}
+}
+
+// TestGatherHedgedEscalatesFromDecide: decide launches a follow-up call
+// on failure and the engine keeps the outstanding count straight.
+func TestGatherHedgedEscalatesFromDecide(t *testing.T) {
+	fail := func(ctx context.Context, req wire.Request) (wire.Response, error) {
+		return nil, errors.New("boom")
+	}
+	caller := &scriptCaller{handlers: map[string]func(context.Context, wire.Request) (wire.Response, error){
+		"a": fail, "b": ok,
+	}}
+	var done bool
+	_, err := GatherHedged(context.Background(), caller,
+		[]Call{{"a", ping()}}, 0, nil,
+		func(r Reply, outstanding int) ([]Call, bool) {
+			if r.Err != nil {
+				return []Call{{"b", ping()}}, false
+			}
+			done = true
+			return nil, true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("escalated call never resolved")
+	}
+}
+
+// TestGatherHedgedDrainsWithoutDone: when every call resolves and the
+// planner never declares done, the engine returns all replies without an
+// error — completion semantics belong to the planner.
+func TestGatherHedgedDrainsWithoutDone(t *testing.T) {
+	fail := func(ctx context.Context, req wire.Request) (wire.Response, error) {
+		return nil, errors.New("boom")
+	}
+	caller := &scriptCaller{handlers: map[string]func(context.Context, wire.Request) (wire.Response, error){
+		"a": ok, "b": fail,
+	}}
+	res, err := GatherHedged(context.Background(), caller,
+		[]Call{{"a", ping()}, {"b", ping()}}, 0, nil,
+		func(r Reply, outstanding int) ([]Call, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replies) != 2 {
+		t.Fatalf("collected %d replies, want 2", len(res.Replies))
+	}
+}
+
+// TestGatherHedgedContextCancel: an expired context surfaces as the
+// engine error with the partial reply set.
+func TestGatherHedgedContextCancel(t *testing.T) {
+	caller := &scriptCaller{handlers: map[string]func(context.Context, wire.Request) (wire.Response, error){
+		"slow": stalled,
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := GatherHedged(ctx, caller, []Call{{"slow", ping()}}, 0, nil,
+		func(r Reply, outstanding int) ([]Call, bool) { return nil, false })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

@@ -422,9 +422,18 @@ func (s *Server) integrateLocked(sp *stripe, key itemKey, w *wire.SignedWrite, p
 	}
 
 	if newer {
-		// Only new heads are worth disseminating. Appending while the
-		// stripe lock is held keeps the dissemination log consistent with
-		// head order for this item.
+		// Only new heads are worth disseminating — and fragment envelopes
+		// not at all: every peer keeps exactly the one share addressed to
+		// it, so a pushed foreign share is dead weight (the receiver can
+		// neither serve it under its own index nor be repaired by it),
+		// and at large values the share bytes dominate gossip CPU. Peers
+		// that missed a dispersal are covered by the read path's n−b
+		// quorum, not anti-entropy.
+		if wire.IsFragmentEnvelope(clone.Value) {
+			return
+		}
+		// Appending while the stripe lock is held keeps the dissemination
+		// log consistent with head order for this item.
 		s.dissem.Lock()
 		s.dissem.updates = append(s.dissem.updates, clone)
 		s.dissem.seq++
@@ -563,7 +572,7 @@ func (s *Server) updatesSince(after uint64) ([]*wire.SignedWrite, uint64) {
 		sp := &s.stripes[i]
 		s.rlock(sp)
 		for _, st := range sp.items {
-			if st.head != nil {
+			if st.head != nil && !wire.IsFragmentEnvelope(st.head.Value) {
 				out = append(out, st.head.Clone())
 			}
 		}
@@ -619,7 +628,7 @@ func (s *Server) updatesPage(after uint64, limit int, cursor string) (writes []*
 		sp := &s.stripes[i]
 		s.rlock(sp)
 		for k, st := range sp.items {
-			if st.head == nil {
+			if st.head == nil || wire.IsFragmentEnvelope(st.head.Value) {
 				continue
 			}
 			if key := k.group + "\x00" + k.item; key > cursor {
